@@ -1,0 +1,98 @@
+//! Criterion micro-benchmarks of the core engines (sanity-level
+//! performance tracking; the paper-figure harnesses live in `src/bin/`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_wasm_kernel(c: &mut Criterion) {
+    use twine_polybench::{kernels, run_kernel};
+    let kernel = kernels::Kernel {
+        name: "gemm",
+        source: kernels::source_for("gemm", kernels::Scale::Mini),
+    };
+    c.bench_function("wasm_gemm_mini", |b| {
+        b.iter(|| run_kernel(&kernel).expect("run"));
+    });
+}
+
+fn bench_pfs(c: &mut Criterion) {
+    use twine_pfs::{MemStorage, PfsMode, PfsOptions, SgxFile};
+    let data = vec![0xA5u8; 64 * 1024];
+    for mode in [PfsMode::Intel, PfsMode::Optimised] {
+        let name = match mode {
+            PfsMode::Intel => "pfs_write_read_64k_intel",
+            PfsMode::Optimised => "pfs_write_read_64k_optimised",
+        };
+        c.bench_function(name, |b| {
+            b.iter(|| {
+                let opts = PfsOptions {
+                    mode,
+                    cache_nodes: 16,
+                    enclave: None,
+                    profiler: None,
+                };
+                let mut f = SgxFile::create(MemStorage::new(), [1u8; 16], opts).expect("create");
+                f.write(&data).expect("write");
+                f.flush().expect("flush");
+                f.seek(0).expect("seek");
+                let mut buf = vec![0u8; data.len()];
+                f.read(&mut buf).expect("read");
+                buf
+            });
+        });
+    }
+}
+
+fn bench_crypto(c: &mut Criterion) {
+    use twine_crypto::{AesCcm, AesGcm};
+    let gcm = AesGcm::new_128(&[7u8; 16]);
+    let ccm = AesCcm::new_128(&[7u8; 16]);
+    let mut buf = vec![0x5Au8; 4096];
+    c.bench_function("aes_gcm_4k_encrypt", |b| {
+        b.iter(|| gcm.encrypt_in_place(&[1u8; 12], b"", &mut buf));
+    });
+    c.bench_function("aes_ccm_4k_encrypt", |b| {
+        b.iter(|| ccm.encrypt_in_place(&[1u8; 12], b"", &mut buf));
+    });
+}
+
+fn bench_sql(c: &mut Criterion) {
+    use twine_sqldb::Connection;
+    c.bench_function("sql_insert_select_100", |b| {
+        b.iter(|| {
+            let mut db = Connection::open_memory();
+            db.execute("CREATE TABLE t(a INTEGER PRIMARY KEY, b INTEGER)").expect("ct");
+            db.execute("BEGIN").expect("begin");
+            for i in 0..100 {
+                db.execute(&format!("INSERT INTO t VALUES ({i}, {})", i * 3)).expect("ins");
+            }
+            db.execute("COMMIT").expect("commit");
+            db.query_scalar("SELECT sum(b) FROM t").expect("sum")
+        });
+    });
+}
+
+fn bench_btree(c: &mut Criterion) {
+    use twine_sqldb::btree;
+    use twine_sqldb::pager::Pager;
+    c.bench_function("btree_insert_1000", |b| {
+        b.iter(|| {
+            let mut p = Pager::open_memory();
+            p.begin().expect("begin");
+            let root = btree::create_table_tree(&mut p).expect("tree");
+            for i in 0..1000i64 {
+                btree::table_insert(&mut p, root, i, &[7u8; 64]).expect("insert");
+            }
+            p.commit().expect("commit");
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_wasm_kernel,
+    bench_pfs,
+    bench_crypto,
+    bench_sql,
+    bench_btree
+);
+criterion_main!(benches);

@@ -1,0 +1,115 @@
+//! Figure 3: PolyBench/C micro-benchmarks, normalised run time
+//! (Native = 1) for Native, WAMR and Twine.
+//!
+//! Each kernel is compiled from MiniC to Wasm, executed once on the metered
+//! engine, and the same instruction stream is priced under the three cost
+//! models (DESIGN.md §4). `--mem-sweep` additionally reports the EPC
+//! behaviour of the memory-hungry kernels the paper singles out
+//! (deriche/lu/ludcmp, §V-B).
+
+use twine_baselines::model::{kernel_seconds, ExecMode};
+use twine_bench::{arg_value, has_flag, write_csv};
+use twine_polybench::{all_kernels, run_kernel, Scale};
+
+fn main() {
+    let scale = match arg_value("--scale").as_deref() {
+        Some("mini") => Scale::Mini,
+        _ => Scale::Small,
+    };
+    println!("Figure 3 — PolyBench/C, normalised run time (native = 1)\n");
+    println!(
+        "{:<16} {:>9} {:>9} {:>9}   {:>12} {:>10}",
+        "kernel", "native", "wamr", "twine", "instrs", "pages"
+    );
+    let mut rows = Vec::new();
+    let mut wamr_sum = 0.0;
+    let mut twine_sum = 0.0;
+    let kernels = all_kernels(scale);
+    for k in &kernels {
+        let run = run_kernel(k).unwrap_or_else(|e| panic!("{e}"));
+        let native = kernel_seconds(&run.meter, ExecMode::Native);
+        let wamr = kernel_seconds(&run.meter, ExecMode::WamrAot) / native;
+        let twine = kernel_seconds(&run.meter, ExecMode::TwineAot) / native;
+        wamr_sum += wamr;
+        twine_sum += twine;
+        println!(
+            "{:<16} {:>9.2} {:>9.2} {:>9.2}   {:>12} {:>10}",
+            run.name,
+            1.0,
+            wamr,
+            twine,
+            run.meter.total(),
+            run.page_transitions
+        );
+        rows.push(format!(
+            "{},{:.4},{:.4},{:.4},{},{}",
+            run.name,
+            1.0,
+            wamr,
+            twine,
+            run.meter.total(),
+            run.page_transitions
+        ));
+    }
+    let n = kernels.len() as f64;
+    println!(
+        "\nmean slowdown: wamr {:.2}x, twine {:.2}x (paper: wamr ~2.1x avg, twine above wamr)",
+        wamr_sum / n,
+        twine_sum / n
+    );
+    write_csv(
+        "fig3_polybench.csv",
+        "kernel,native,wamr,twine,instructions,page_transitions",
+        &rows,
+    );
+
+    if has_flag("--mem-sweep") {
+        mem_sweep();
+    }
+}
+
+/// §V-B memory study: attach an EPC model of shrinking size to the kernels
+/// the paper calls out and report fault escalation.
+fn mem_sweep() {
+    use twine_sgx::{Epc, SimClock};
+
+    println!("\nMemory sweep (§V-B): EPC faults vs usable EPC size");
+    println!("{:<16} {:>10} {:>12} {:>12}", "kernel", "epc_pages", "faults", "evictions");
+    let mut rows = Vec::new();
+    for name in ["deriche", "lu", "ludcmp", "gemm"] {
+        let kernel = twine_polybench::kernels::Kernel {
+            name: "sweep",
+            source: twine_polybench::kernels::source_for(name, Scale::Small),
+        };
+        // Replay the page-touch stream against EPCs of different sizes.
+        for pages in [4096usize, 1024, 256, 64] {
+            let wasm = twine_minicc::compile_to_bytes(&kernel.source).expect("compile");
+            let code = twine_wasm::compile::CompiledModule::from_bytes(&wasm).expect("wasm");
+            let mut linker = twine_wasm::Linker::new();
+            twine_core::runtime::register_libm(&mut linker);
+            let mut inst = twine_wasm::Instance::instantiate(
+                std::sync::Arc::new(code),
+                linker,
+                Box::new(()),
+            )
+            .expect("instantiate");
+            struct Sink(std::rc::Rc<std::cell::RefCell<Epc>>);
+            impl twine_wasm::PageSink for Sink {
+                fn touch(&mut self, page: u64) {
+                    self.0.borrow_mut().touch(page);
+                }
+            }
+            let epc = std::rc::Rc::new(std::cell::RefCell::new(Epc::new(pages, SimClock::new())));
+            inst.set_page_sink(Some(Box::new(Sink(epc.clone()))));
+            inst.invoke("init", &[]).expect("init");
+            inst.invoke("kernel", &[]).expect("kernel");
+            let stats = epc.borrow().stats();
+            println!(
+                "{:<16} {:>10} {:>12} {:>12}",
+                name, pages, stats.faults, stats.evictions
+            );
+            rows.push(format!("{name},{pages},{},{}", stats.faults, stats.evictions));
+        }
+    }
+    write_csv("fig3_mem_sweep.csv", "kernel,epc_pages,faults,evictions", &rows);
+}

@@ -1,0 +1,90 @@
+//! Figure 4: relative performance of the SQLite Speedtest1 clone —
+//! 29 tests × {Native, SGX-LKL, WAMR, Twine} × {memory, file}, normalised
+//! to native for each storage class.
+
+use twine_baselines::{DbStorage, DbVariant, VariantDb};
+use twine_bench::{arg_value, write_csv};
+use twine_pfs::PfsMode;
+use twine_sgx::SgxMode;
+use twine_sqldb::speedtest::{test_name, Speedtest, TEST_IDS};
+
+fn main() {
+    let size: u32 = arg_value("--size").and_then(|s| s.parse().ok()).unwrap_or(150);
+    println!("Figure 4 — Speedtest1 clone, normalised run time (native = 1), size={size}\n");
+
+    // results[test][variant][storage] = virtual seconds
+    let variants = DbVariant::all();
+    let storages = [DbStorage::Memory, DbStorage::File];
+    let mut seconds = vec![[[0.0f64; 2]; 4]; TEST_IDS.len()];
+
+    for (vi, &variant) in variants.iter().enumerate() {
+        for (si, &storage) in storages.iter().enumerate() {
+            let mut db = VariantDb::open(variant, storage, SgxMode::Hardware, PfsMode::Intel);
+            let mut st = Speedtest::new(size, 42);
+            for (ti, &id) in TEST_IDS.iter().enumerate() {
+                let (_, report) = db
+                    .run(|conn| st.run_test(conn, id))
+                    .unwrap_or_else(|e| panic!("{}/{storage:?} test {id}: {e}", variant.label()));
+                seconds[ti][vi][si] = report.virtual_seconds;
+            }
+        }
+    }
+
+    println!(
+        "{:<5} {:<38} {:>21} {:>21} {:>21}",
+        "test", "description", "sgx-lkl (mem/file)", "wamr (mem/file)", "twine (mem/file)"
+    );
+    let mut rows = Vec::new();
+    let mut sums = [[0.0f64; 2]; 4];
+    for (ti, &id) in TEST_IDS.iter().enumerate() {
+        let native = [seconds[ti][0][0].max(1e-9), seconds[ti][0][1].max(1e-9)];
+        let norm = |vi: usize, si: usize| seconds[ti][vi][si] / native[si];
+        for (vi, _) in variants.iter().enumerate() {
+            sums[vi][0] += norm(vi, 0);
+            sums[vi][1] += norm(vi, 1);
+        }
+        println!(
+            "{:<5} {:<38} {:>9.2}/{:<9.2} {:>9.2}/{:<9.2} {:>9.2}/{:<9.2}",
+            id,
+            test_name(id),
+            norm(1, 0),
+            norm(1, 1),
+            norm(2, 0),
+            norm(2, 1),
+            norm(3, 0),
+            norm(3, 1),
+        );
+        rows.push(format!(
+            "{id},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4}",
+            norm(0, 0),
+            norm(0, 1),
+            norm(1, 0),
+            norm(1, 1),
+            norm(2, 0),
+            norm(2, 1),
+            norm(3, 0),
+            norm(3, 1),
+        ));
+    }
+    let n = TEST_IDS.len() as f64;
+    println!(
+        "\naverages vs native:  sgx-lkl mem {:.2}x file {:.2}x | wamr mem {:.2}x file {:.2}x | twine mem {:.2}x file {:.2}x",
+        sums[1][0] / n,
+        sums[1][1] / n,
+        sums[2][0] / n,
+        sums[2][1] / n,
+        sums[3][0] / n,
+        sums[3][1] / n,
+    );
+    println!(
+        "paper: wamr ~4.1x mem / ~3.7x file; twine/wamr ~1.7x mem / ~1.9x file \
+         (here: {:.2}x / {:.2}x)",
+        sums[3][0] / sums[2][0],
+        sums[3][1] / sums[2][1],
+    );
+    write_csv(
+        "fig4_speedtest.csv",
+        "test,native_mem,native_file,sgxlkl_mem,sgxlkl_file,wamr_mem,wamr_file,twine_mem,twine_file",
+        &rows,
+    );
+}

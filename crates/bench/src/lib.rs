@@ -1,0 +1,61 @@
+//! # twine-bench
+//!
+//! The experiment harness: one binary per table/figure of the paper's
+//! evaluation (§V). Each binary prints the same rows/series the paper
+//! reports and writes CSV under `results/`.
+//!
+//! | Binary            | Reproduces              |
+//! |-------------------|-------------------------|
+//! | `fig3_polybench`  | Figure 3                |
+//! | `fig4_speedtest`  | Figure 4                |
+//! | `fig5_micro`      | Figure 5a/b/c           |
+//! | `table2_summary`  | Table II                |
+//! | `fig6_hw_sw`      | Figure 6                |
+//! | `fig7_breakdown`  | Figure 7                |
+//! | `table3_costs`    | Table IIIa/IIIb         |
+//!
+//! Run e.g. `cargo run -p twine-bench --release --bin fig3_polybench`.
+
+#![forbid(unsafe_code)]
+
+use std::io::Write as _;
+use std::path::PathBuf;
+
+/// Where CSV outputs land (`results/` at the workspace root).
+#[must_use]
+pub fn results_dir() -> PathBuf {
+    let candidates = [PathBuf::from("results"), PathBuf::from("../../results")];
+    for c in &candidates {
+        if c.is_dir() {
+            return c.clone();
+        }
+    }
+    std::fs::create_dir_all("results").ok();
+    PathBuf::from("results")
+}
+
+/// Write a CSV file under `results/`.
+pub fn write_csv(name: &str, header: &str, rows: &[String]) {
+    let path = results_dir().join(name);
+    let mut f = std::fs::File::create(&path).expect("create csv");
+    writeln!(f, "{header}").expect("write header");
+    for r in rows {
+        writeln!(f, "{r}").expect("write row");
+    }
+    println!("\nwrote {}", path.display());
+}
+
+/// Parse a `--flag value` style argument.
+#[must_use]
+pub fn arg_value(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// Is a bare flag present?
+#[must_use]
+pub fn has_flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
+}

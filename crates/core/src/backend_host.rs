@@ -1,0 +1,213 @@
+//! The *generic untrusted POSIX layer* (paper §IV-C): WASI calls with no
+//! trusted implementation are forwarded to the host OS through OCALLs.
+//!
+//! Files served by this backend are **plaintext on the host** — that is the
+//! point of the contrast with [`crate::PfsBackend`]. Twine can also be built
+//! with this layer disabled entirely (the paper's compilation flag for a
+//! "strict and restricted environment"); [`crate::TwineBuilder`] exposes the
+//! same switch.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use twine_sgx::Enclave;
+use twine_wasi::{Errno, FsBackend, WasiFile};
+
+type HostFileMap = Rc<RefCell<HashMap<String, Rc<RefCell<Vec<u8>>>>>>;
+
+/// Untrusted host file system reached through OCALLs.
+pub struct HostBackend {
+    enclave: Option<Rc<Enclave>>,
+    files: HostFileMap,
+}
+
+impl HostBackend {
+    /// New backend; I/O crosses `enclave`'s boundary when given.
+    #[must_use]
+    pub fn new(enclave: Option<Rc<Enclave>>) -> Self {
+        Self {
+            enclave,
+            files: Rc::new(RefCell::new(HashMap::new())),
+        }
+    }
+
+    /// Host-side view of a file — plaintext, unlike the PFS backend.
+    #[must_use]
+    pub fn plaintext_of(&self, path: &str) -> Option<Vec<u8>> {
+        self.files.borrow().get(path).map(|f| f.borrow().clone())
+    }
+
+    fn ocall<R>(&self, bytes: u64, f: impl FnOnce() -> R) -> R {
+        match &self.enclave {
+            Some(e) => e.ocall(bytes, f),
+            None => f(),
+        }
+    }
+}
+
+struct HostFile {
+    enclave: Option<Rc<Enclave>>,
+    data: Rc<RefCell<Vec<u8>>>,
+    pos: u64,
+}
+
+impl HostFile {
+    fn ocall<R>(&self, bytes: u64, f: impl FnOnce() -> R) -> R {
+        match &self.enclave {
+            Some(e) => e.ocall(bytes, f),
+            None => f(),
+        }
+    }
+}
+
+impl WasiFile for HostFile {
+    fn read(&mut self, buf: &mut [u8]) -> Result<usize, Errno> {
+        let data = self.data.clone();
+        let pos = self.pos;
+        let n = self.ocall(buf.len() as u64, || {
+            let data = data.borrow();
+            let start = (pos as usize).min(data.len());
+            let n = buf.len().min(data.len() - start);
+            buf[..n].copy_from_slice(&data[start..start + n]);
+            n
+        });
+        self.pos += n as u64;
+        Ok(n)
+    }
+
+    fn write(&mut self, buf: &[u8]) -> Result<usize, Errno> {
+        let data = self.data.clone();
+        let pos = self.pos as usize;
+        self.ocall(buf.len() as u64, || {
+            let mut data = data.borrow_mut();
+            let end = pos + buf.len();
+            if data.len() < end {
+                data.resize(end, 0);
+            }
+            data[pos..end].copy_from_slice(buf);
+        });
+        self.pos += buf.len() as u64;
+        Ok(buf.len())
+    }
+
+    fn seek(&mut self, pos: u64) -> Result<u64, Errno> {
+        self.pos = pos;
+        Ok(pos)
+    }
+
+    fn tell(&self) -> u64 {
+        self.pos
+    }
+
+    fn size(&self) -> Result<u64, Errno> {
+        Ok(self.data.borrow().len() as u64)
+    }
+
+    fn set_size(&mut self, size: u64) -> Result<(), Errno> {
+        let data = self.data.clone();
+        self.ocall(8, || data.borrow_mut().resize(size as usize, 0));
+        Ok(())
+    }
+
+    fn sync(&mut self) -> Result<(), Errno> {
+        // fsync on the host: one boundary crossing, no data copied.
+        self.ocall(0, || ());
+        Ok(())
+    }
+}
+
+impl FsBackend for HostBackend {
+    fn open(
+        &mut self,
+        path: &str,
+        create: bool,
+        truncate: bool,
+    ) -> Result<Box<dyn WasiFile>, Errno> {
+        let files = self.files.clone();
+        let exists = self.ocall(path.len() as u64, || files.borrow().contains_key(path));
+        if !exists && !create {
+            return Err(Errno::Noent);
+        }
+        let data = {
+            let mut files = self.files.borrow_mut();
+            let entry = files
+                .entry(path.to_string())
+                .or_insert_with(|| Rc::new(RefCell::new(Vec::new())))
+                .clone();
+            if truncate {
+                entry.borrow_mut().clear();
+            }
+            entry
+        };
+        Ok(Box::new(HostFile {
+            enclave: self.enclave.clone(),
+            data,
+            pos: 0,
+        }))
+    }
+
+    fn exists(&mut self, path: &str) -> bool {
+        let files = self.files.clone();
+        self.ocall(path.len() as u64, || files.borrow().contains_key(path))
+    }
+
+    fn filesize(&mut self, path: &str) -> Result<u64, Errno> {
+        let files = self.files.clone();
+        self.ocall(8, || {
+            files
+                .borrow()
+                .get(path)
+                .map(|f| f.borrow().len() as u64)
+                .ok_or(Errno::Noent)
+        })
+    }
+
+    fn unlink(&mut self, path: &str) -> Result<(), Errno> {
+        let files = self.files.clone();
+        self.ocall(path.len() as u64, || {
+            files
+                .borrow_mut()
+                .remove(path)
+                .map(|_| ())
+                .ok_or(Errno::Noent)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::rc::Rc;
+    use twine_sgx::{EnclaveBuilder, Processor};
+
+    #[test]
+    fn plaintext_visible_on_host() {
+        let mut b = HostBackend::new(None);
+        let mut f = b.open("/h/clear.txt", true, false).unwrap();
+        f.write(b"visible to the OS").unwrap();
+        drop(f);
+        assert_eq!(b.plaintext_of("/h/clear.txt").unwrap(), b"visible to the OS");
+    }
+
+    #[test]
+    fn ops_charge_ocalls() {
+        let enclave = Rc::new(EnclaveBuilder::new(b"host-backend").build(&Processor::new(1)));
+        let mut b = HostBackend::new(Some(enclave.clone()));
+        let before = enclave.stats().ocalls;
+        let mut f = b.open("/h/x", true, false).unwrap();
+        f.write(b"1234").unwrap();
+        let mut buf = [0u8; 4];
+        f.seek(0).unwrap();
+        f.read(&mut buf).unwrap();
+        assert!(enclave.stats().ocalls >= before + 3, "open+write+read cross the boundary");
+    }
+
+    #[test]
+    fn noent_semantics() {
+        let mut b = HostBackend::new(None);
+        assert!(b.open("/missing", false, false).is_err());
+        assert_eq!(b.filesize("/missing").err(), Some(Errno::Noent));
+        assert_eq!(b.unlink("/missing").err(), Some(Errno::Noent));
+    }
+}

@@ -1,0 +1,228 @@
+//! Confidential code provisioning (paper Figure 1 and §IV-B).
+//!
+//! Unlike plain SGX — which guarantees only the *integrity* of the enclave
+//! binary — Twine also provides *confidentiality of the Wasm application*:
+//! the code is delivered over a secure channel after the enclave starts and
+//! only ever exists decrypted inside reserved enclave memory.
+//!
+//! Flow reproduced here:
+//!
+//! 1. The runtime produces a **quote** over its enclave measurement.
+//! 2. The application provider verifies the quote against the attestation
+//!    service and the expected Twine measurement.
+//! 3. The provider encrypts the Wasm binary under a fresh session key and
+//!    has the key wrapped for the attested processor (the simulator's
+//!    stand-in for an ECDH channel — see DESIGN.md's substitution table).
+//! 4. The runtime unwraps the key *inside the enclave*, decrypts the module
+//!    into reserved memory and compiles it.
+
+use rand::RngCore;
+
+use twine_crypto::gcm::AesGcm;
+use twine_sgx::{AttestationService, Quote, Report};
+
+use crate::runtime::{TwineApp, TwineError, TwineRuntime, TWINE_RUNTIME_IMAGE};
+
+/// An encrypted, attestation-bound application bundle.
+pub struct EncryptedApp {
+    /// Session key wrapped to the target processor.
+    pub wrapped_key: Vec<u8>,
+    /// GCM nonce for the payload.
+    pub nonce: [u8; 12],
+    /// Encrypted Wasm bytes.
+    pub ciphertext: Vec<u8>,
+    /// Authentication tag.
+    pub tag: [u8; 16],
+}
+
+/// The application provider (developer's premises, Figure 1 left).
+pub struct ApplicationProvider {
+    wasm: Vec<u8>,
+    expected_measurement: [u8; 32],
+}
+
+impl ApplicationProvider {
+    /// A provider shipping `wasm`, trusting only enclaves whose measurement
+    /// equals the published Twine runtime measurement.
+    #[must_use]
+    pub fn new(wasm: Vec<u8>, expected_measurement: [u8; 32]) -> Self {
+        Self {
+            wasm,
+            expected_measurement,
+        }
+    }
+
+    /// The measurement of the reference Twine runtime image (what a real
+    /// provider would obtain from the reproducible build).
+    #[must_use]
+    pub fn reference_twine_measurement(heap_bytes: u64) -> [u8; 32] {
+        // Mirrors EnclaveBuilder's measurement computation.
+        let mut h = twine_crypto::sha256::Sha256::new();
+        h.update(b"twine-sgx-sim MRENCLAVE v1");
+        h.update(TWINE_RUNTIME_IMAGE);
+        h.update(&heap_bytes.to_le_bytes());
+        h.finalize()
+    }
+
+    /// Verify the runtime's quote and, if trusted, encrypt the application
+    /// for it.
+    pub fn deliver(
+        &self,
+        service: &AttestationService,
+        quote: &Quote,
+    ) -> Result<EncryptedApp, TwineError> {
+        service
+            .verify_quote(quote, Some(&self.expected_measurement))
+            .map_err(|e| TwineError::Provision(format!("quote rejected: {e}")))?;
+        let mut rng = rand::thread_rng();
+        let mut session_key = [0u8; 16];
+        rng.fill_bytes(&mut session_key);
+        let mut nonce = [0u8; 12];
+        rng.fill_bytes(&mut nonce);
+        let wrapped_key = service
+            .wrap_secret(
+                quote.processor_id,
+                u64::from_le_bytes(nonce[..8].try_into().expect("8 bytes")),
+                &quote.report.measurement,
+                &session_key,
+            )
+            .map_err(|e| TwineError::Provision(format!("key wrap failed: {e}")))?;
+        let gcm = AesGcm::new_128(&session_key);
+        let (ciphertext, tag) = gcm.encrypt(&nonce, b"twine-app", &self.wasm);
+        Ok(EncryptedApp {
+            wrapped_key,
+            nonce,
+            ciphertext,
+            tag,
+        })
+    }
+}
+
+impl TwineRuntime {
+    /// Produce a remote-attestation quote for this runtime.
+    #[must_use]
+    pub fn attest(&self, user_data: &[u8]) -> Quote {
+        let report = Report::create(
+            self.processor(),
+            &self.enclave().measurement(),
+            &[0u8; 32], // quoting enclave target
+            user_data,
+        );
+        AttestationService::quote(self.processor(), report)
+    }
+
+    /// Receive a confidential application: unwrap the session key and
+    /// decrypt the Wasm *inside the enclave*, then compile and install it.
+    pub fn receive_app(&mut self, bundle: &EncryptedApp) -> Result<TwineApp, TwineError> {
+        let measurement = self.enclave().measurement();
+        let processor = self.processor().clone();
+        let enclave = self.enclave().clone();
+        let wasm = enclave.ecall(|| -> Result<Vec<u8>, TwineError> {
+            let key_bytes = AttestationService::unwrap_secret(
+                &processor,
+                &measurement,
+                &bundle.wrapped_key,
+            )
+            .map_err(|e| TwineError::Provision(format!("key unwrap failed: {e}")))?;
+            let key: [u8; 16] = key_bytes
+                .try_into()
+                .map_err(|_| TwineError::Provision("bad session key length".into()))?;
+            let gcm = AesGcm::new_128(&key);
+            gcm.decrypt(&bundle.nonce, b"twine-app", &bundle.ciphertext, &bundle.tag)
+                .map_err(|_| TwineError::Provision("application ciphertext tampered".into()))
+        })?;
+        self.load_wasm(&wasm)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::TwineBuilder;
+    use twine_wasm::Value;
+
+    fn service_with(rt: &TwineRuntime) -> AttestationService {
+        let mut s = AttestationService::new();
+        s.register_processor(rt.processor());
+        s
+    }
+
+    #[test]
+    fn provisioning_happy_path() {
+        let mut rt = TwineBuilder::new().heap_bytes(1 << 20).build();
+        let service = service_with(&rt);
+        let wasm = twine_minicc::compile_to_bytes("int twice(int x) { return 2 * x; }").unwrap();
+        let provider = ApplicationProvider::new(
+            wasm,
+            ApplicationProvider::reference_twine_measurement(1 << 20),
+        );
+        let quote = rt.attest(b"session");
+        let bundle = provider.deliver(&service, &quote).unwrap();
+        let app = rt.receive_app(&bundle).unwrap();
+        let out = rt.invoke(&app, "twice", &[Value::I32(21)]).unwrap();
+        assert_eq!(out[0], Value::I32(42));
+    }
+
+    #[test]
+    fn wrong_measurement_rejected() {
+        let mut rt = TwineBuilder::new().heap_bytes(1 << 20).build();
+        let service = service_with(&rt);
+        let provider = ApplicationProvider::new(vec![1, 2, 3], [0xAA; 32]);
+        let quote = rt.attest(b"");
+        assert!(matches!(
+            provider.deliver(&service, &quote),
+            Err(TwineError::Provision(_))
+        ));
+    }
+
+    #[test]
+    fn unregistered_processor_rejected() {
+        let rt = TwineBuilder::new().heap_bytes(1 << 20).build();
+        let service = AttestationService::new(); // nothing registered
+        let provider = ApplicationProvider::new(
+            vec![],
+            ApplicationProvider::reference_twine_measurement(1 << 20),
+        );
+        let quote = rt.attest(b"");
+        assert!(provider.deliver(&service, &quote).is_err());
+    }
+
+    #[test]
+    fn tampered_bundle_rejected() {
+        let mut rt = TwineBuilder::new().heap_bytes(1 << 20).build();
+        let service = service_with(&rt);
+        let wasm = twine_minicc::compile_to_bytes("int f() { return 1; }").unwrap();
+        let provider = ApplicationProvider::new(
+            wasm,
+            ApplicationProvider::reference_twine_measurement(1 << 20),
+        );
+        let quote = rt.attest(b"");
+        let mut bundle = provider.deliver(&service, &quote).unwrap();
+        bundle.ciphertext[0] ^= 1;
+        assert!(matches!(
+            rt.receive_app(&bundle),
+            Err(TwineError::Provision(_))
+        ));
+    }
+
+    #[test]
+    fn bundle_for_other_processor_rejected() {
+        // Deliver to processor A, try to consume on processor B.
+        let mut rt_a = TwineBuilder::new().heap_bytes(1 << 20).build();
+        let mut service = AttestationService::new();
+        service.register_processor(rt_a.processor());
+        let mut rt_b = TwineBuilder::new()
+            .heap_bytes(1 << 20)
+            .processor(twine_sgx::Processor::new(99))
+            .build();
+        let wasm = twine_minicc::compile_to_bytes("int f() { return 1; }").unwrap();
+        let provider = ApplicationProvider::new(
+            wasm,
+            ApplicationProvider::reference_twine_measurement(1 << 20),
+        );
+        let quote = rt_a.attest(b"");
+        let bundle = provider.deliver(&service, &quote).unwrap();
+        assert!(rt_a.receive_app(&bundle).is_ok());
+        assert!(rt_b.receive_app(&bundle).is_err());
+    }
+}

@@ -1,0 +1,524 @@
+//! The Twine runtime: configuration, enclave setup, and guest execution.
+
+use std::cell::Cell;
+use std::rc::Rc;
+use std::sync::Arc;
+
+use twine_pfs::{PfsMode, PfsProfiler};
+use twine_sgx::{Enclave, EnclaveBuilder, EpcStats, Processor, SgxError, SgxMode, SimClock};
+use twine_wasi::abi::PROC_EXIT_TRAP;
+use twine_wasi::{register_wasi, Errno, FsBackend, Rights, WasiCtx, WasiFile};
+use twine_wasm::compile::CompiledModule;
+use twine_wasm::types::{FuncType, ValType};
+use twine_wasm::{Instance, Linker, Meter, ModuleError, PageSink, Trap, Value};
+
+use crate::backend_host::HostBackend;
+use crate::backend_pfs::PfsBackend;
+
+/// Which file-system implementation serves WASI fs calls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsChoice {
+    /// Trusted: Intel-Protected-FS over in-memory untrusted storage
+    /// (paper's default Twine configuration).
+    ProtectedInMemory,
+    /// Untrusted: generic POSIX layer via OCALLs, plaintext on the host.
+    UntrustedHost,
+    /// Strict mode: the untrusted layer compiled out; all fs calls fail
+    /// (paper §IV-C's compilation flag).
+    Disabled,
+}
+
+/// Errors from the Twine runtime.
+#[derive(Debug)]
+pub enum TwineError {
+    /// Decode/validate/compile failure of the guest module.
+    Module(ModuleError),
+    /// The guest trapped.
+    Trap(Trap),
+    /// SGX-level failure (attestation, unsealing).
+    Sgx(SgxError),
+    /// Code-provisioning failure.
+    Provision(String),
+}
+
+impl core::fmt::Display for TwineError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            TwineError::Module(e) => write!(f, "module error: {e}"),
+            TwineError::Trap(t) => write!(f, "guest trap: {t}"),
+            TwineError::Sgx(e) => write!(f, "sgx error: {e}"),
+            TwineError::Provision(m) => write!(f, "provisioning error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TwineError {}
+
+impl From<ModuleError> for TwineError {
+    fn from(e: ModuleError) -> Self {
+        TwineError::Module(e)
+    }
+}
+
+impl From<SgxError> for TwineError {
+    fn from(e: SgxError) -> Self {
+        TwineError::Sgx(e)
+    }
+}
+
+/// Builder for [`TwineRuntime`].
+pub struct TwineBuilder {
+    sgx_mode: SgxMode,
+    epc_limit_pages: usize,
+    heap_bytes: u64,
+    pfs_mode: PfsMode,
+    pfs_cache_nodes: usize,
+    fs: FsChoice,
+    preopen: String,
+    rights: Rights,
+    processor: Processor,
+    args: Vec<String>,
+    env: Vec<(String, String)>,
+    with_profiler: bool,
+    fuel: Option<u64>,
+}
+
+impl Default for TwineBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TwineBuilder {
+    /// Defaults matching the paper's testbed configuration.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            sgx_mode: SgxMode::Hardware,
+            epc_limit_pages: twine_sgx::costs::epc_usable_pages() as usize,
+            heap_bytes: 64 << 20,
+            pfs_mode: PfsMode::Intel,
+            pfs_cache_nodes: twine_pfs::DEFAULT_CACHE_NODES,
+            fs: FsChoice::ProtectedInMemory,
+            preopen: "/data".to_string(),
+            rights: Rights::all(),
+            processor: Processor::new(0),
+            args: vec!["app.wasm".to_string()],
+            env: Vec::new(),
+            with_profiler: false,
+            fuel: None,
+        }
+    }
+
+    /// SGX hardware vs simulation mode (Figure 6 contrast).
+    #[must_use]
+    pub fn sgx_mode(mut self, mode: SgxMode) -> Self {
+        self.sgx_mode = mode;
+        self
+    }
+
+    /// Usable EPC limit in MiB (paper default: 93 usable of 128).
+    #[must_use]
+    pub fn epc_limit_mib(mut self, mib: u64) -> Self {
+        self.epc_limit_pages = (mib << 20 >> 12) as usize;
+        self
+    }
+
+    /// Enclave heap size (drives launch cost).
+    #[must_use]
+    pub fn heap_bytes(mut self, bytes: u64) -> Self {
+        self.heap_bytes = bytes;
+        self
+    }
+
+    /// Protected-FS mode: stock Intel or §V-F optimised.
+    #[must_use]
+    pub fn pfs_mode(mut self, mode: PfsMode) -> Self {
+        self.pfs_mode = mode;
+        self
+    }
+
+    /// Protected-FS node cache capacity.
+    #[must_use]
+    pub fn pfs_cache_nodes(mut self, nodes: usize) -> Self {
+        self.pfs_cache_nodes = nodes;
+        self
+    }
+
+    /// File-system choice.
+    #[must_use]
+    pub fn fs(mut self, fs: FsChoice) -> Self {
+        self.fs = fs;
+        self
+    }
+
+    /// Preopened directory name and rights (the WASI sandbox).
+    #[must_use]
+    pub fn preopen(mut self, dir: &str, rights: Rights) -> Self {
+        self.preopen = dir.to_string();
+        self.rights = rights;
+        self
+    }
+
+    /// Guest argv.
+    #[must_use]
+    pub fn args(mut self, args: &[&str]) -> Self {
+        self.args = args.iter().map(ToString::to_string).collect();
+        self
+    }
+
+    /// Guest environment.
+    #[must_use]
+    pub fn env(mut self, env: &[(&str, &str)]) -> Self {
+        self.env = env
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        self
+    }
+
+    /// Host the enclave on a specific simulated processor.
+    #[must_use]
+    pub fn processor(mut self, p: Processor) -> Self {
+        self.processor = p;
+        self
+    }
+
+    /// Enable the §V-F PFS profiler.
+    #[must_use]
+    pub fn profile_pfs(mut self) -> Self {
+        self.with_profiler = true;
+        self
+    }
+
+    /// Bound guest execution (defence against runaway guests).
+    #[must_use]
+    pub fn fuel(mut self, fuel: u64) -> Self {
+        self.fuel = Some(fuel);
+        self
+    }
+
+    /// Create the enclave and runtime (charges launch cycles).
+    #[must_use]
+    pub fn build(self) -> TwineRuntime {
+        let enclave = Rc::new(
+            EnclaveBuilder::new(TWINE_RUNTIME_IMAGE)
+                .heap_bytes(self.heap_bytes)
+                .mode(self.sgx_mode)
+                .epc_limit_pages(self.epc_limit_pages)
+                .build(&self.processor),
+        );
+        let profiler = self
+            .with_profiler
+            .then(|| PfsProfiler::new(enclave.clock().clone()));
+        let backend = make_backend(
+            self.fs,
+            &enclave,
+            self.pfs_mode,
+            self.pfs_cache_nodes,
+            profiler.clone(),
+        );
+        TwineRuntime {
+            enclave,
+            processor: self.processor,
+            fs: self.fs,
+            pfs_mode: self.pfs_mode,
+            pfs_cache_nodes: self.pfs_cache_nodes,
+            preopen: self.preopen,
+            rights: self.rights,
+            args: self.args,
+            env: self.env,
+            profiler,
+            backend: Some(backend),
+            fuel: self.fuel,
+        }
+    }
+}
+
+/// Bytes standing in for the measured Twine runtime enclave image. Real
+/// Twine's enclave is ~567 KiB on disk (Table IIIb); we mirror that size so
+/// launch costs are comparable.
+pub const TWINE_RUNTIME_IMAGE: &[u8] = &[0x54; 567 * 1024];
+
+fn make_backend(
+    fs: FsChoice,
+    enclave: &Rc<Enclave>,
+    pfs_mode: PfsMode,
+    cache_nodes: usize,
+    profiler: Option<PfsProfiler>,
+) -> Box<dyn FsBackend> {
+    match fs {
+        FsChoice::ProtectedInMemory => Box::new(PfsBackend::new(
+            Some(enclave.clone()),
+            pfs_mode,
+            cache_nodes,
+            profiler,
+        )),
+        FsChoice::UntrustedHost => Box::new(HostBackend::new(Some(enclave.clone()))),
+        FsChoice::Disabled => Box::new(NoFs),
+    }
+}
+
+/// Strict-mode backend: every fs call fails with `NOTCAPABLE`.
+struct NoFs;
+
+impl FsBackend for NoFs {
+    fn open(&mut self, _: &str, _: bool, _: bool) -> Result<Box<dyn WasiFile>, Errno> {
+        Err(Errno::Notcapable)
+    }
+    fn exists(&mut self, _: &str) -> bool {
+        false
+    }
+    fn filesize(&mut self, _: &str) -> Result<u64, Errno> {
+        Err(Errno::Notcapable)
+    }
+    fn unlink(&mut self, _: &str) -> Result<(), Errno> {
+        Err(Errno::Notcapable)
+    }
+}
+
+/// A loaded (AoT-compiled, enclave-resident) guest application.
+pub struct TwineApp {
+    pub(crate) compiled: Arc<CompiledModule>,
+    /// Size of the delivered Wasm binary in bytes.
+    pub wasm_bytes: usize,
+}
+
+/// Everything the embedder learns from one guest run.
+pub struct RunReport {
+    /// `proc_exit` code (0 when `_start` returned normally).
+    pub exit_code: u32,
+    /// Captured guest stdout.
+    pub stdout: Vec<u8>,
+    /// Captured guest stderr.
+    pub stderr: Vec<u8>,
+    /// Retired-instruction meter of the run.
+    pub meter: Meter,
+    /// Virtual cycles consumed (transitions, paging, modelled I/O).
+    pub cycles: u64,
+    /// Number of WASI calls served.
+    pub wasi_calls: u64,
+    /// EPC paging counters for the run.
+    pub epc: EpcStats,
+}
+
+/// Routes Wasm linear-memory page touches into the enclave's EPC model,
+/// offset so guest pages don't alias other enclave users.
+struct EpcSink {
+    epc: twine_sgx::EpcHandle,
+    base_page: u64,
+}
+
+impl PageSink for EpcSink {
+    fn touch(&mut self, page: u64) {
+        self.epc.touch(self.base_page + page);
+    }
+}
+
+/// The Twine runtime instance (one simulated enclave).
+pub struct TwineRuntime {
+    enclave: Rc<Enclave>,
+    processor: Processor,
+    fs: FsChoice,
+    pfs_mode: PfsMode,
+    pfs_cache_nodes: usize,
+    preopen: String,
+    rights: Rights,
+    args: Vec<String>,
+    env: Vec<(String, String)>,
+    profiler: Option<PfsProfiler>,
+    backend: Option<Box<dyn FsBackend>>,
+    fuel: Option<u64>,
+}
+
+impl TwineRuntime {
+    /// The enclave hosting this runtime.
+    #[must_use]
+    pub fn enclave(&self) -> &Rc<Enclave> {
+        &self.enclave
+    }
+
+    /// The simulated processor.
+    #[must_use]
+    pub fn processor(&self) -> &Processor {
+        &self.processor
+    }
+
+    /// The virtual clock (includes launch cost already).
+    #[must_use]
+    pub fn clock(&self) -> &SimClock {
+        self.enclave.clock()
+    }
+
+    /// The PFS profiler, when enabled.
+    #[must_use]
+    pub fn pfs_profiler(&self) -> Option<&PfsProfiler> {
+        self.profiler.as_ref()
+    }
+
+    /// Load a Wasm binary: decode, validate, AoT-compile (all performed on
+    /// the already-delivered bytes) and map it into the enclave's reserved
+    /// memory (§IV-B). One ECALL.
+    pub fn load_wasm(&mut self, wasm: &[u8]) -> Result<TwineApp, TwineError> {
+        let compiled = CompiledModule::from_bytes(wasm)?;
+        // Copy into reserved memory: charge the boundary copy.
+        self.enclave.ecall(|| {
+            self.enclave.clock().add_cycles(wasm.len() as u64 / 4);
+        });
+        Ok(TwineApp {
+            compiled: Arc::new(compiled),
+            wasm_bytes: wasm.len(),
+        })
+    }
+
+    /// Run a WASI application: executes the exported `_start` (WASI ABI)
+    /// inside a single ECALL.
+    pub fn run(&mut self, app: &TwineApp) -> Result<RunReport, TwineError> {
+        self.execute(app, "_start", &[]).map(|(report, _)| report)
+    }
+
+    /// Invoke an arbitrary exported function (embedding API).
+    pub fn invoke(
+        &mut self,
+        app: &TwineApp,
+        func: &str,
+        args: &[Value],
+    ) -> Result<Vec<Value>, TwineError> {
+        self.execute(app, func, args).map(|(_, values)| values)
+    }
+
+    /// Invoke an export and also return the run report.
+    pub fn invoke_with_report(
+        &mut self,
+        app: &TwineApp,
+        func: &str,
+        args: &[Value],
+    ) -> Result<(RunReport, Vec<Value>), TwineError> {
+        self.execute(app, func, args)
+    }
+
+    fn execute(
+        &mut self,
+        app: &TwineApp,
+        func: &str,
+        args: &[Value],
+    ) -> Result<(RunReport, Vec<Value>), TwineError> {
+        let mut linker = Linker::new();
+        register_wasi(&mut linker);
+        register_libm(&mut linker);
+
+        let backend = self.backend.take().unwrap_or_else(|| {
+            make_backend(
+                self.fs,
+                &self.enclave,
+                self.pfs_mode,
+                self.pfs_cache_nodes,
+                self.profiler.clone(),
+            )
+        });
+        let mut ctx = WasiCtx::new(backend, &self.preopen, self.rights);
+        ctx.args = self.args.clone();
+        ctx.env = self.env.clone();
+        // Trusted time: leave the enclave for the host clock, then enforce
+        // monotonicity inside (§IV-C).
+        {
+            let enclave = self.enclave.clone();
+            let last = Cell::new(0u64);
+            ctx.set_clock(Box::new(move || {
+                let host_time = enclave.ocall(8, || {
+                    // Host "clock": derived from virtual cycles so runs are
+                    // deterministic.
+                    enclave.clock().cycles().wrapping_mul(263) / 1_000
+                });
+                let t = host_time.max(last.get() + 1);
+                last.set(t);
+                t
+            }));
+        }
+
+        let epc = self.enclave.epc();
+        let epc_stats_before = epc.stats();
+        let cycles_before = self.enclave.clock().cycles();
+
+        let mut instance =
+            Instance::instantiate(Arc::clone(&app.compiled), linker, Box::new(ctx))
+                .map_err(TwineError::Module)?;
+        instance.fuel = self.fuel;
+        instance.set_page_sink(Some(Box::new(EpcSink {
+            epc: epc.clone(),
+            base_page: 1 << 32,
+        })));
+
+        // The single ECALL of §IV-C: the whole guest run happens inside.
+        let result = self.enclave.ecall(|| instance.invoke(func, args));
+
+        let meter = instance.meter.clone();
+        let values = match result {
+            Ok(v) => v,
+            Err(Trap::Host(m)) if m == PROC_EXIT_TRAP => Vec::new(),
+            Err(t) => {
+                // Preserve backend for subsequent runs even on trap.
+                if let Some(ctx) = instance.into_state::<WasiCtx>() {
+                    self.backend = Some(wasi_backend_into_box(ctx));
+                }
+                return Err(TwineError::Trap(t));
+            }
+        };
+        let mut report = RunReport {
+            exit_code: 0,
+            stdout: Vec::new(),
+            stderr: Vec::new(),
+            meter,
+            cycles: self.enclave.clock().cycles() - cycles_before,
+            wasi_calls: 0,
+            epc: diff_epc(epc.stats(), epc_stats_before),
+        };
+        if let Some(ctx) = instance.into_state::<WasiCtx>() {
+            report.exit_code = ctx.exit_code.unwrap_or(0);
+            report.stdout = ctx.stdout.clone();
+            report.stderr = ctx.stderr.clone();
+            report.wasi_calls = ctx.call_count;
+            self.backend = Some(wasi_backend_into_box(ctx));
+        }
+        Ok((report, values))
+    }
+
+}
+
+fn diff_epc(now: EpcStats, before: EpcStats) -> EpcStats {
+    EpcStats {
+        hits: now.hits - before.hits,
+        faults: now.faults - before.faults,
+        evictions: now.evictions - before.evictions,
+    }
+}
+
+// WasiCtx owns its backend; this helper moves it back out after a run so
+// protected files persist for the lifetime of the runtime.
+fn wasi_backend_into_box(ctx: WasiCtx) -> Box<dyn FsBackend> {
+    ctx.into_backend()
+}
+
+/// Register the `env` math imports the MiniC toolchain uses (libm stand-in,
+/// provided natively by the runtime just as WAMR links libm).
+pub fn register_libm(linker: &mut Linker) {
+    for (name, arity) in twine_minicc_libm() {
+        let ty = FuncType::new(vec![ValType::F64; arity], vec![ValType::F64]);
+        linker.func("env", name, ty, move |_ctx, args: &[Value]| {
+            let xs: Vec<f64> = args.iter().map(|a| a.as_f64().unwrap_or(0.0)).collect();
+            let r = match (name, xs.as_slice()) {
+                ("exp", [x]) => x.exp(),
+                ("log", [x]) => x.ln(),
+                ("sin", [x]) => x.sin(),
+                ("cos", [x]) => x.cos(),
+                ("pow", [x, y]) => x.powf(*y),
+                _ => return Err(Trap::Host(format!("unknown libm fn {name}"))),
+            };
+            Ok(vec![Value::F64(r)])
+        });
+    }
+}
+
+fn twine_minicc_libm() -> [(&'static str, usize); 5] {
+    [("exp", 1), ("log", 1), ("sin", 1), ("cos", 1), ("pow", 2)]
+}

@@ -1,0 +1,338 @@
+//! AES block cipher (FIPS-197), supporting 128- and 256-bit keys.
+//!
+//! Byte-oriented implementation with a precomputed S-box. The protected file
+//! system encrypts/decrypts every node through this code path, so its real
+//! CPU cost shows up in the measured I/O times of the benchmark harness,
+//! mirroring the paper's observation that file encryption dominates some
+//! SQLite workloads (§V-C).
+
+/// Forward S-box (FIPS-197 Figure 7).
+const SBOX: [u8; 256] = [
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab,
+    0x76, 0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0, 0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4,
+    0x72, 0xc0, 0xb7, 0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71,
+    0xd8, 0x31, 0x15, 0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2,
+    0xeb, 0x27, 0xb2, 0x75, 0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0, 0x52, 0x3b, 0xd6,
+    0xb3, 0x29, 0xe3, 0x2f, 0x84, 0x53, 0xd1, 0x00, 0xed, 0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb,
+    0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf, 0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45,
+    0xf9, 0x02, 0x7f, 0x50, 0x3c, 0x9f, 0xa8, 0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5,
+    0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2, 0xcd, 0x0c, 0x13, 0xec, 0x5f, 0x97, 0x44,
+    0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73, 0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a,
+    0x90, 0x88, 0x46, 0xee, 0xb8, 0x14, 0xde, 0x5e, 0x0b, 0xdb, 0xe0, 0x32, 0x3a, 0x0a, 0x49,
+    0x06, 0x24, 0x5c, 0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79, 0xe7, 0xc8, 0x37, 0x6d,
+    0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08, 0xba, 0x78, 0x25,
+    0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f, 0x4b, 0xbd, 0x8b, 0x8a, 0x70, 0x3e,
+    0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e, 0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e, 0xe1,
+    0xf8, 0x98, 0x11, 0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+    0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb,
+    0x16,
+];
+
+/// Inverse S-box, derived from [`SBOX`] at first use.
+fn inv_sbox() -> &'static [u8; 256] {
+    use std::sync::OnceLock;
+    static INV: OnceLock<[u8; 256]> = OnceLock::new();
+    INV.get_or_init(|| {
+        let mut inv = [0u8; 256];
+        for (i, &s) in SBOX.iter().enumerate() {
+            inv[s as usize] = i as u8;
+        }
+        inv
+    })
+}
+
+/// Round constants for the key schedule.
+const RCON: [u8; 15] = [
+    0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36, 0x6c, 0xd8, 0xab, 0x4d, 0x9a,
+];
+
+#[inline]
+fn xtime(b: u8) -> u8 {
+    let hi = b & 0x80;
+    let mut r = b << 1;
+    if hi != 0 {
+        r ^= 0x1b;
+    }
+    r
+}
+
+/// Multiply two elements of GF(2^8) with the AES polynomial.
+#[inline]
+fn gmul(mut a: u8, mut b: u8) -> u8 {
+    let mut p = 0u8;
+    for _ in 0..8 {
+        if b & 1 != 0 {
+            p ^= a;
+        }
+        a = xtime(a);
+        b >>= 1;
+    }
+    p
+}
+
+/// AES key size selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KeySize {
+    /// AES-128 (10 rounds). Used by the protected file system, matching the
+    /// Intel SGX SDK's `sgx_aes_gcm_128bit_key_t`.
+    Aes128,
+    /// AES-256 (14 rounds). Used for sealing keys.
+    Aes256,
+}
+
+/// An expanded AES key, usable for block encryption and decryption.
+#[derive(Clone)]
+pub struct Aes {
+    round_keys: Vec<[u8; 16]>,
+    rounds: usize,
+}
+
+impl Aes {
+    /// Expand a 16-byte key (AES-128).
+    #[must_use]
+    pub fn new_128(key: &[u8; 16]) -> Self {
+        Self::expand(key, KeySize::Aes128)
+    }
+
+    /// Expand a 32-byte key (AES-256).
+    #[must_use]
+    pub fn new_256(key: &[u8; 32]) -> Self {
+        Self::expand(key, KeySize::Aes256)
+    }
+
+    /// Expand a key of either supported size.
+    ///
+    /// # Panics
+    /// Panics if `key.len()` does not match `size`.
+    #[must_use]
+    pub fn expand(key: &[u8], size: KeySize) -> Self {
+        let (nk, rounds) = match size {
+            KeySize::Aes128 => (4usize, 10usize),
+            KeySize::Aes256 => (8usize, 14usize),
+        };
+        assert_eq!(key.len(), nk * 4, "AES key length mismatch");
+        let total_words = 4 * (rounds + 1);
+        let mut w: Vec<[u8; 4]> = Vec::with_capacity(total_words);
+        for i in 0..nk {
+            w.push([key[4 * i], key[4 * i + 1], key[4 * i + 2], key[4 * i + 3]]);
+        }
+        for i in nk..total_words {
+            let mut temp = w[i - 1];
+            if i % nk == 0 {
+                temp.rotate_left(1);
+                for t in &mut temp {
+                    *t = SBOX[*t as usize];
+                }
+                temp[0] ^= RCON[i / nk - 1];
+            } else if nk > 6 && i % nk == 4 {
+                for t in &mut temp {
+                    *t = SBOX[*t as usize];
+                }
+            }
+            let prev = w[i - nk];
+            w.push([
+                prev[0] ^ temp[0],
+                prev[1] ^ temp[1],
+                prev[2] ^ temp[2],
+                prev[3] ^ temp[3],
+            ]);
+        }
+        let mut round_keys = Vec::with_capacity(rounds + 1);
+        for r in 0..=rounds {
+            let mut rk = [0u8; 16];
+            for c in 0..4 {
+                rk[4 * c..4 * c + 4].copy_from_slice(&w[4 * r + c]);
+            }
+            round_keys.push(rk);
+        }
+        Self { round_keys, rounds }
+    }
+
+    /// Encrypt a single 16-byte block in place.
+    pub fn encrypt_block(&self, block: &mut [u8; 16]) {
+        add_round_key(block, &self.round_keys[0]);
+        for r in 1..self.rounds {
+            sub_bytes(block);
+            shift_rows(block);
+            mix_columns(block);
+            add_round_key(block, &self.round_keys[r]);
+        }
+        sub_bytes(block);
+        shift_rows(block);
+        add_round_key(block, &self.round_keys[self.rounds]);
+    }
+
+    /// Decrypt a single 16-byte block in place.
+    pub fn decrypt_block(&self, block: &mut [u8; 16]) {
+        add_round_key(block, &self.round_keys[self.rounds]);
+        for r in (1..self.rounds).rev() {
+            inv_shift_rows(block);
+            inv_sub_bytes(block);
+            add_round_key(block, &self.round_keys[r]);
+            inv_mix_columns(block);
+        }
+        inv_shift_rows(block);
+        inv_sub_bytes(block);
+        add_round_key(block, &self.round_keys[0]);
+    }
+
+    /// Encrypt a copy of the block and return it (convenience for CTR/GCM).
+    #[must_use]
+    pub fn encrypt_block_copy(&self, block: &[u8; 16]) -> [u8; 16] {
+        let mut b = *block;
+        self.encrypt_block(&mut b);
+        b
+    }
+}
+
+#[inline]
+fn add_round_key(state: &mut [u8; 16], rk: &[u8; 16]) {
+    for i in 0..16 {
+        state[i] ^= rk[i];
+    }
+}
+
+#[inline]
+fn sub_bytes(state: &mut [u8; 16]) {
+    for b in state.iter_mut() {
+        *b = SBOX[*b as usize];
+    }
+}
+
+#[inline]
+fn inv_sub_bytes(state: &mut [u8; 16]) {
+    let inv = inv_sbox();
+    for b in state.iter_mut() {
+        *b = inv[*b as usize];
+    }
+}
+
+/// State layout: state[4*c + r] is row r, column c (column-major, FIPS-197).
+#[inline]
+fn shift_rows(state: &mut [u8; 16]) {
+    // Row 1: shift left by 1.
+    let t = state[1];
+    state[1] = state[5];
+    state[5] = state[9];
+    state[9] = state[13];
+    state[13] = t;
+    // Row 2: shift left by 2.
+    state.swap(2, 10);
+    state.swap(6, 14);
+    // Row 3: shift left by 3 (= right by 1).
+    let t = state[15];
+    state[15] = state[11];
+    state[11] = state[7];
+    state[7] = state[3];
+    state[3] = t;
+}
+
+#[inline]
+fn inv_shift_rows(state: &mut [u8; 16]) {
+    // Row 1: shift right by 1.
+    let t = state[13];
+    state[13] = state[9];
+    state[9] = state[5];
+    state[5] = state[1];
+    state[1] = t;
+    // Row 2: shift right by 2 (same as left by 2).
+    state.swap(2, 10);
+    state.swap(6, 14);
+    // Row 3: shift right by 3 (= left by 1).
+    let t = state[3];
+    state[3] = state[7];
+    state[7] = state[11];
+    state[11] = state[15];
+    state[15] = t;
+}
+
+#[inline]
+fn mix_columns(state: &mut [u8; 16]) {
+    for c in 0..4 {
+        let col = &mut state[4 * c..4 * c + 4];
+        let a0 = col[0];
+        let a1 = col[1];
+        let a2 = col[2];
+        let a3 = col[3];
+        col[0] = xtime(a0) ^ (xtime(a1) ^ a1) ^ a2 ^ a3;
+        col[1] = a0 ^ xtime(a1) ^ (xtime(a2) ^ a2) ^ a3;
+        col[2] = a0 ^ a1 ^ xtime(a2) ^ (xtime(a3) ^ a3);
+        col[3] = (xtime(a0) ^ a0) ^ a1 ^ a2 ^ xtime(a3);
+    }
+}
+
+#[inline]
+fn inv_mix_columns(state: &mut [u8; 16]) {
+    for c in 0..4 {
+        let col = &mut state[4 * c..4 * c + 4];
+        let a0 = col[0];
+        let a1 = col[1];
+        let a2 = col[2];
+        let a3 = col[3];
+        col[0] = gmul(a0, 0x0e) ^ gmul(a1, 0x0b) ^ gmul(a2, 0x0d) ^ gmul(a3, 0x09);
+        col[1] = gmul(a0, 0x09) ^ gmul(a1, 0x0e) ^ gmul(a2, 0x0b) ^ gmul(a3, 0x0d);
+        col[2] = gmul(a0, 0x0d) ^ gmul(a1, 0x09) ^ gmul(a2, 0x0e) ^ gmul(a3, 0x0b);
+        col[3] = gmul(a0, 0x0b) ^ gmul(a1, 0x0d) ^ gmul(a2, 0x09) ^ gmul(a3, 0x0e);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hex;
+
+    /// FIPS-197 Appendix C.1 example vector for AES-128.
+    #[test]
+    fn fips197_aes128_vector() {
+        let key: [u8; 16] = hex("000102030405060708090a0b0c0d0e0f").try_into().unwrap();
+        let aes = Aes::new_128(&key);
+        let mut block: [u8; 16] = hex("00112233445566778899aabbccddeeff").try_into().unwrap();
+        aes.encrypt_block(&mut block);
+        assert_eq!(crate::to_hex(&block), "69c4e0d86a7b0430d8cdb78070b4c55a");
+        aes.decrypt_block(&mut block);
+        assert_eq!(crate::to_hex(&block), "00112233445566778899aabbccddeeff");
+    }
+
+    /// FIPS-197 Appendix C.3 example vector for AES-256.
+    #[test]
+    fn fips197_aes256_vector() {
+        let key: [u8; 32] =
+            hex("000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f")
+                .try_into()
+                .unwrap();
+        let aes = Aes::new_256(&key);
+        let mut block: [u8; 16] = hex("00112233445566778899aabbccddeeff").try_into().unwrap();
+        aes.encrypt_block(&mut block);
+        assert_eq!(crate::to_hex(&block), "8ea2b7ca516745bfeafc49904b496089");
+        aes.decrypt_block(&mut block);
+        assert_eq!(crate::to_hex(&block), "00112233445566778899aabbccddeeff");
+    }
+
+    #[test]
+    fn encrypt_decrypt_roundtrip_many() {
+        let key = [0x42u8; 16];
+        let aes = Aes::new_128(&key);
+        for i in 0..64u8 {
+            let mut block = [i; 16];
+            let orig = block;
+            aes.encrypt_block(&mut block);
+            assert_ne!(block, orig, "ciphertext must differ from plaintext");
+            aes.decrypt_block(&mut block);
+            assert_eq!(block, orig);
+        }
+    }
+
+    #[test]
+    fn distinct_keys_distinct_ciphertexts() {
+        let a = Aes::new_128(&[1u8; 16]);
+        let b = Aes::new_128(&[2u8; 16]);
+        let block = [0u8; 16];
+        assert_ne!(a.encrypt_block_copy(&block), b.encrypt_block_copy(&block));
+    }
+
+    #[test]
+    #[should_panic(expected = "AES key length mismatch")]
+    fn wrong_key_length_panics() {
+        let _ = Aes::expand(&[0u8; 8], KeySize::Aes128);
+    }
+}

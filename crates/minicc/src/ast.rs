@@ -1,0 +1,301 @@
+//! Abstract syntax tree of the MiniC dialect.
+
+/// Scalar types of the language, mapping 1:1 to Wasm value types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ty {
+    /// `int` → i32
+    I32,
+    /// `long` → i64
+    I64,
+    /// `float` → f32
+    F32,
+    /// `double` → f64
+    F64,
+}
+
+impl Ty {
+    /// Size of a value of this type in linear memory.
+    #[must_use]
+    pub fn size(self) -> u32 {
+        match self {
+            Ty::I32 | Ty::F32 => 4,
+            Ty::I64 | Ty::F64 => 8,
+        }
+    }
+
+    /// Whether this is a floating-point type.
+    #[must_use]
+    pub fn is_float(self) -> bool {
+        matches!(self, Ty::F32 | Ty::F64)
+    }
+
+    /// C usual-arithmetic-conversions rank.
+    #[must_use]
+    pub fn rank(self) -> u8 {
+        match self {
+            Ty::I32 => 0,
+            Ty::I64 => 1,
+            Ty::F32 => 2,
+            Ty::F64 => 3,
+        }
+    }
+
+    /// The common type of a binary operation per C promotion rules.
+    #[must_use]
+    pub fn promote(a: Ty, b: Ty) -> Ty {
+        if a.rank() >= b.rank() {
+            a
+        } else {
+            b
+        }
+    }
+}
+
+impl core::fmt::Display for Ty {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let s = match self {
+            Ty::I32 => "int",
+            Ty::I64 => "long",
+            Ty::F32 => "float",
+            Ty::F64 => "double",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%` (integers only)
+    Rem,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&` (short-circuit)
+    And,
+    /// `||` (short-circuit)
+    Or,
+}
+
+impl BinOp {
+    /// Whether the operator produces an `int` truth value.
+    #[must_use]
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+        )
+    }
+
+    /// Whether the operator is logical (`&&`/`||`).
+    #[must_use]
+    pub fn is_logical(self) -> bool {
+        matches!(self, BinOp::And | BinOp::Or)
+    }
+}
+
+/// An expression, annotated with its source line for diagnostics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Expr {
+    /// Node kind.
+    pub kind: ExprKind,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// Expression node kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprKind {
+    /// Integer literal (type `int` if it fits, else `long`).
+    IntLit(i64),
+    /// Floating literal (`double`).
+    FloatLit(f64),
+    /// Scalar variable reference (local, parameter or global).
+    Var(String),
+    /// Array element read: `A[i][j]`.
+    Index(String, Vec<Expr>),
+    /// Binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// Unary negation.
+    Neg(Box<Expr>),
+    /// Logical not (`!x` → `x == 0`).
+    Not(Box<Expr>),
+    /// Explicit cast.
+    Cast(Ty, Box<Expr>),
+    /// Function call (user function or builtin).
+    Call(String, Vec<Expr>),
+}
+
+/// Assignment target.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LValue {
+    /// Scalar variable.
+    Var(String),
+    /// Array element.
+    Index(String, Vec<Expr>),
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// Local declaration with optional initialiser.
+    Decl {
+        /// Variable name.
+        name: String,
+        /// Declared type.
+        ty: Ty,
+        /// Optional initialiser.
+        init: Option<Expr>,
+        /// Source line.
+        line: u32,
+    },
+    /// Assignment, possibly compound (`op` is the `+` of `+=`).
+    Assign {
+        /// Target.
+        target: LValue,
+        /// `Some(op)` for compound assignment.
+        op: Option<BinOp>,
+        /// Right-hand side.
+        value: Expr,
+        /// Source line.
+        line: u32,
+    },
+    /// Two-armed conditional.
+    If {
+        /// Condition (integer truth value).
+        cond: Expr,
+        /// Then branch.
+        then_body: Vec<Stmt>,
+        /// Else branch (possibly empty).
+        else_body: Vec<Stmt>,
+    },
+    /// While loop.
+    While {
+        /// Condition.
+        cond: Expr,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+    /// C-style for loop.
+    For {
+        /// Initialiser statement (declaration or assignment), optional.
+        init: Option<Box<Stmt>>,
+        /// Condition, optional (missing = true).
+        cond: Option<Expr>,
+        /// Step statement, optional.
+        step: Option<Box<Stmt>>,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+    /// `return expr;` or `return;`
+    Return(Option<Expr>, u32),
+    /// `break;`
+    Break(u32),
+    /// `continue;`
+    Continue(u32),
+    /// Expression evaluated for side effects (function call).
+    ExprStmt(Expr),
+    /// Nested block scope.
+    Block(Vec<Stmt>),
+}
+
+/// A global variable (scalar if `dims` is empty, else a row-major array).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GlobalVar {
+    /// Name.
+    pub name: String,
+    /// Element type.
+    pub ty: Ty,
+    /// Constant dimensions (empty for scalars).
+    pub dims: Vec<u32>,
+    /// Source line.
+    pub line: u32,
+}
+
+impl GlobalVar {
+    /// Number of scalar elements.
+    #[must_use]
+    pub fn element_count(&self) -> u64 {
+        self.dims.iter().map(|&d| u64::from(d)).product::<u64>().max(1)
+    }
+
+    /// Total byte size.
+    #[must_use]
+    pub fn byte_size(&self) -> u64 {
+        self.element_count() * u64::from(self.ty.size())
+    }
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuncDef {
+    /// Name (also the export name).
+    pub name: String,
+    /// Parameters.
+    pub params: Vec<(String, Ty)>,
+    /// Return type (`None` = void).
+    pub ret: Option<Ty>,
+    /// Body.
+    pub body: Vec<Stmt>,
+    /// Source line.
+    pub line: u32,
+}
+
+/// A complete translation unit.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Program {
+    /// Global variables, in declaration order.
+    pub globals: Vec<GlobalVar>,
+    /// Function definitions, in declaration order.
+    pub funcs: Vec<FuncDef>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn promote_follows_rank() {
+        assert_eq!(Ty::promote(Ty::I32, Ty::F64), Ty::F64);
+        assert_eq!(Ty::promote(Ty::I64, Ty::I32), Ty::I64);
+        assert_eq!(Ty::promote(Ty::F32, Ty::I64), Ty::F32);
+        assert_eq!(Ty::promote(Ty::I32, Ty::I32), Ty::I32);
+    }
+
+    #[test]
+    fn global_sizes() {
+        let g = GlobalVar {
+            name: "A".into(),
+            ty: Ty::F64,
+            dims: vec![10, 20],
+            line: 1,
+        };
+        assert_eq!(g.element_count(), 200);
+        assert_eq!(g.byte_size(), 1600);
+        let s = GlobalVar {
+            name: "x".into(),
+            ty: Ty::I32,
+            dims: vec![],
+            line: 1,
+        };
+        assert_eq!(s.element_count(), 1);
+        assert_eq!(s.byte_size(), 4);
+    }
+}

@@ -1,0 +1,979 @@
+//! Code generation: MiniC AST → `twine_wasm::Module`.
+//!
+//! Globals live in linear memory at statically-assigned, 8-byte-aligned
+//! offsets; locals and parameters map to Wasm locals. Control flow lowers to
+//! structured Wasm blocks with computed branch depths, and the C "usual
+//! arithmetic conversions" are emitted as explicit Wasm conversion ops.
+
+use std::collections::HashMap;
+
+use crate::ast::*;
+use crate::CompileError;
+use twine_wasm::instr::{
+    BlockType, CvtOp, FBinOp, FRelOp, FUnOp, FloatWidth, IBinOp, IRelOp, Instr, IntWidth,
+    LoadKind, MemArg, StoreKind,
+};
+use twine_wasm::types::{FuncType, Limits, ValType, Value};
+use twine_wasm::{Module, ModuleBuilder};
+
+/// `env` imports that stand in for libm (no Wasm equivalent instruction).
+pub const LIBM_IMPORTS: [(&str, usize); 5] =
+    [("exp", 1), ("log", 1), ("sin", 1), ("cos", 1), ("pow", 2)];
+
+/// Builtins lowered directly to Wasm float instructions.
+const WASM_BUILTINS: [&str; 4] = ["sqrt", "fabs", "floor", "ceil"];
+
+fn valtype(ty: Ty) -> ValType {
+    match ty {
+        Ty::I32 => ValType::I32,
+        Ty::I64 => ValType::I64,
+        Ty::F32 => ValType::F32,
+        Ty::F64 => ValType::F64,
+    }
+}
+
+struct GlobalInfo {
+    ty: Ty,
+    dims: Vec<u32>,
+    offset: u32,
+}
+
+struct FuncInfo {
+    index: u32,
+    params: Vec<Ty>,
+    ret: Option<Ty>,
+}
+
+struct Env {
+    globals: HashMap<String, GlobalInfo>,
+    funcs: HashMap<String, FuncInfo>,
+    /// Bytes of linear memory used by globals.
+    globals_size: u32,
+}
+
+/// Generate a Wasm module from a parsed program.
+pub fn generate(program: &Program) -> Result<Module, CompileError> {
+    // ---- global layout ----------------------------------------------------
+    let mut globals = HashMap::new();
+    let mut offset = 8u32; // keep address 0 unused (null-ish guard)
+    for g in &program.globals {
+        if globals.contains_key(&g.name) {
+            return Err(CompileError::new(g.line, format!("duplicate global {:?}", g.name)));
+        }
+        offset = (offset + 7) & !7;
+        let size = g.byte_size();
+        if u64::from(offset) + size > u64::from(u32::MAX) {
+            return Err(CompileError::new(g.line, "globals exceed address space"));
+        }
+        globals.insert(
+            g.name.clone(),
+            GlobalInfo {
+                ty: g.ty,
+                dims: g.dims.clone(),
+                offset,
+            },
+        );
+        offset += size as u32;
+    }
+
+    // ---- imports (only those actually referenced) -------------------------
+    let used_imports: Vec<(&str, usize)> = LIBM_IMPORTS
+        .iter()
+        .filter(|(name, _)| program_calls(program, name))
+        .copied()
+        .collect();
+
+    let mut builder = ModuleBuilder::new();
+    let mut funcs: HashMap<String, FuncInfo> = HashMap::new();
+    for (name, arity) in &used_imports {
+        let ty = FuncType::new(vec![ValType::F64; *arity], vec![ValType::F64]);
+        let idx = builder.import_func("env", name, ty);
+        funcs.insert(
+            (*name).to_string(),
+            FuncInfo {
+                index: idx,
+                params: vec![Ty::F64; *arity],
+                ret: Some(Ty::F64),
+            },
+        );
+    }
+
+    // ---- function index pre-pass (allows mutual recursion) ----------------
+    let n_imports = used_imports.len() as u32;
+    for (i, f) in program.funcs.iter().enumerate() {
+        if funcs.contains_key(&f.name) {
+            return Err(CompileError::new(f.line, format!("duplicate function {:?}", f.name)));
+        }
+        funcs.insert(
+            f.name.clone(),
+            FuncInfo {
+                index: n_imports + i as u32,
+                params: f.params.iter().map(|(_, t)| *t).collect(),
+                ret: f.ret,
+            },
+        );
+    }
+
+    let env = Env {
+        globals,
+        funcs,
+        globals_size: offset,
+    };
+
+    // ---- memory ------------------------------------------------------------
+    let pages = (u64::from(env.globals_size)).div_ceil(65_536) as u32 + 1;
+    builder.memory(Limits::at_least(pages));
+    builder.export_memory("memory");
+
+    // ---- function bodies ----------------------------------------------------
+    for f in &program.funcs {
+        let mut gen = FnGen::new(&env, f)?;
+        let mut body = Vec::new();
+        gen.stmts(&f.body, &mut body)?;
+        if let Some(ret) = f.ret {
+            // Guarantee a result for fall-through paths (dead if the body
+            // always returns).
+            body.push(Instr::Const(zero_value(ret)));
+        }
+        let ty = FuncType::new(
+            f.params.iter().map(|(_, t)| valtype(*t)).collect(),
+            f.ret.map(valtype).into_iter().collect(),
+        );
+        let idx = builder.add_func(ty, gen.locals, body);
+        debug_assert_eq!(idx, env.funcs[&f.name].index);
+        builder.export_func(&f.name, idx);
+    }
+
+    Ok(builder.build())
+}
+
+fn zero_value(ty: Ty) -> Value {
+    match ty {
+        Ty::I32 => Value::I32(0),
+        Ty::I64 => Value::I64(0),
+        Ty::F32 => Value::F32(0.0),
+        Ty::F64 => Value::F64(0.0),
+    }
+}
+
+/// Does the program call the named function anywhere?
+fn program_calls(program: &Program, name: &str) -> bool {
+    fn expr_calls(e: &Expr, name: &str) -> bool {
+        match &e.kind {
+            ExprKind::Call(n, args) => n == name || args.iter().any(|a| expr_calls(a, name)),
+            ExprKind::Binary(_, a, b) => expr_calls(a, name) || expr_calls(b, name),
+            ExprKind::Neg(a) | ExprKind::Not(a) | ExprKind::Cast(_, a) => expr_calls(a, name),
+            ExprKind::Index(_, idx) => idx.iter().any(|a| expr_calls(a, name)),
+            _ => false,
+        }
+    }
+    fn stmt_calls(s: &Stmt, name: &str) -> bool {
+        match s {
+            Stmt::Decl { init, .. } => init.as_ref().is_some_and(|e| expr_calls(e, name)),
+            Stmt::Assign { target, value, .. } => {
+                expr_calls(value, name)
+                    || match target {
+                        LValue::Index(_, idx) => idx.iter().any(|e| expr_calls(e, name)),
+                        LValue::Var(_) => false,
+                    }
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                expr_calls(cond, name)
+                    || then_body.iter().any(|s| stmt_calls(s, name))
+                    || else_body.iter().any(|s| stmt_calls(s, name))
+            }
+            Stmt::While { cond, body } => {
+                expr_calls(cond, name) || body.iter().any(|s| stmt_calls(s, name))
+            }
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                init.as_ref().is_some_and(|s| stmt_calls(s, name))
+                    || cond.as_ref().is_some_and(|e| expr_calls(e, name))
+                    || step.as_ref().is_some_and(|s| stmt_calls(s, name))
+                    || body.iter().any(|s| stmt_calls(s, name))
+            }
+            Stmt::Return(e, _) => e.as_ref().is_some_and(|e| expr_calls(e, name)),
+            Stmt::ExprStmt(e) => expr_calls(e, name),
+            Stmt::Block(body) => body.iter().any(|s| stmt_calls(s, name)),
+            Stmt::Break(_) | Stmt::Continue(_) => false,
+        }
+    }
+    program
+        .funcs
+        .iter()
+        .any(|f| f.body.iter().any(|s| stmt_calls(s, name)))
+}
+
+struct FnGen<'e> {
+    env: &'e Env,
+    /// Declared (non-parameter) local types, in allocation order.
+    locals: Vec<ValType>,
+    n_params: usize,
+    ret: Option<Ty>,
+    scopes: Vec<HashMap<String, (u32, Ty)>>,
+    /// Number of enclosing labelled constructs at the emission point.
+    label_depth: u32,
+    /// (break target depth, continue target depth) per enclosing loop.
+    loops: Vec<(u32, u32)>,
+    /// Lazily-allocated i32 scratch local for compound array assignment.
+    scratch_i32: Option<u32>,
+}
+
+type GResult<T> = Result<T, CompileError>;
+
+impl<'e> FnGen<'e> {
+    fn new(env: &'e Env, f: &FuncDef) -> GResult<Self> {
+        let mut top = HashMap::new();
+        for (i, (name, ty)) in f.params.iter().enumerate() {
+            if top.insert(name.clone(), (i as u32, *ty)).is_some() {
+                return Err(CompileError::new(f.line, format!("duplicate parameter {name:?}")));
+            }
+        }
+        Ok(Self {
+            env,
+            locals: Vec::new(),
+            n_params: f.params.len(),
+            ret: f.ret,
+            scopes: vec![top],
+            label_depth: 0,
+            loops: Vec::new(),
+            scratch_i32: None,
+        })
+    }
+
+    fn alloc_local(&mut self, ty: Ty) -> u32 {
+        let idx = (self.n_params + self.locals.len()) as u32;
+        self.locals.push(valtype(ty));
+        idx
+    }
+
+    fn scratch(&mut self) -> u32 {
+        if let Some(s) = self.scratch_i32 {
+            return s;
+        }
+        let s = self.alloc_local(Ty::I32);
+        self.scratch_i32 = Some(s);
+        s
+    }
+
+    fn lookup(&self, name: &str) -> Option<(u32, Ty)> {
+        for scope in self.scopes.iter().rev() {
+            if let Some(v) = scope.get(name) {
+                return Some(*v);
+            }
+        }
+        None
+    }
+
+    // ------------------------------------------------------------------
+    // Statements
+    // ------------------------------------------------------------------
+
+    fn stmts(&mut self, stmts: &[Stmt], out: &mut Vec<Instr>) -> GResult<()> {
+        for s in stmts {
+            self.stmt(s, out)?;
+        }
+        Ok(())
+    }
+
+    fn stmt(&mut self, stmt: &Stmt, out: &mut Vec<Instr>) -> GResult<()> {
+        match stmt {
+            Stmt::Decl {
+                name,
+                ty,
+                init,
+                line,
+            } => {
+                let idx = self.alloc_local(*ty);
+                let scope = self.scopes.last_mut().expect("scope");
+                if scope.insert(name.clone(), (idx, *ty)).is_some() {
+                    return Err(CompileError::new(
+                        *line,
+                        format!("duplicate declaration of {name:?} in scope"),
+                    ));
+                }
+                if let Some(e) = init {
+                    let vt = self.expr(e, out)?;
+                    convert(out, vt, *ty);
+                    out.push(Instr::LocalSet(idx));
+                }
+            }
+            Stmt::Assign {
+                target,
+                op,
+                value,
+                line,
+            } => self.assign(target, *op, value, *line, out)?,
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                self.condition(cond, out)?;
+                let mut then_instrs = Vec::new();
+                let mut else_instrs = Vec::new();
+                self.label_depth += 1;
+                self.scopes.push(HashMap::new());
+                self.stmts(then_body, &mut then_instrs)?;
+                self.scopes.pop();
+                self.scopes.push(HashMap::new());
+                self.stmts(else_body, &mut else_instrs)?;
+                self.scopes.pop();
+                self.label_depth -= 1;
+                out.push(Instr::If(BlockType::Empty, then_instrs, else_instrs));
+            }
+            Stmt::While { cond, body } => {
+                // block (D+1)  -- break target
+                //   loop (D+2) -- continue target
+                //     !cond -> br 1 (exit)
+                //     body
+                //     br 0 (head)
+                let break_depth = self.label_depth + 1;
+                let continue_depth = self.label_depth + 2;
+                self.loops.push((break_depth, continue_depth));
+                self.label_depth += 2;
+                self.scopes.push(HashMap::new());
+                let mut loop_body = Vec::new();
+                self.condition(cond, &mut loop_body)?;
+                loop_body.push(Instr::ITestEqz(IntWidth::W32));
+                loop_body.push(Instr::BrIf(1));
+                self.stmts(body, &mut loop_body)?;
+                loop_body.push(Instr::Br(0));
+                self.scopes.pop();
+                self.label_depth -= 2;
+                self.loops.pop();
+                out.push(Instr::Block(
+                    BlockType::Empty,
+                    vec![Instr::Loop(BlockType::Empty, loop_body)],
+                ));
+            }
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                // init
+                // block (D+1)        -- break target
+                //   loop (D+2)
+                //     !cond -> br 1
+                //     block (D+3)    -- continue target
+                //       body
+                //     end
+                //     step
+                //     br 0
+                self.scopes.push(HashMap::new());
+                if let Some(i) = init {
+                    self.stmt(i, out)?;
+                }
+                let break_depth = self.label_depth + 1;
+                let continue_depth = self.label_depth + 3;
+                self.loops.push((break_depth, continue_depth));
+
+                self.label_depth += 2;
+                let mut loop_body = Vec::new();
+                if let Some(c) = cond {
+                    self.condition(c, &mut loop_body)?;
+                    loop_body.push(Instr::ITestEqz(IntWidth::W32));
+                    loop_body.push(Instr::BrIf(1));
+                }
+                // inner block for continue
+                self.label_depth += 1;
+                self.scopes.push(HashMap::new());
+                let mut inner = Vec::new();
+                self.stmts(body, &mut inner)?;
+                self.scopes.pop();
+                self.label_depth -= 1;
+                loop_body.push(Instr::Block(BlockType::Empty, inner));
+                if let Some(s) = step {
+                    self.stmt(s, &mut loop_body)?;
+                }
+                loop_body.push(Instr::Br(0));
+                self.label_depth -= 2;
+                self.loops.pop();
+                self.scopes.pop();
+                out.push(Instr::Block(
+                    BlockType::Empty,
+                    vec![Instr::Loop(BlockType::Empty, loop_body)],
+                ));
+            }
+            Stmt::Return(e, line) => {
+                match (e, self.ret) {
+                    (Some(e), Some(rt)) => {
+                        let vt = self.expr(e, out)?;
+                        convert(out, vt, rt);
+                    }
+                    (None, None) => {}
+                    (Some(_), None) => {
+                        return Err(CompileError::new(*line, "void function returns a value"))
+                    }
+                    (None, Some(_)) => {
+                        return Err(CompileError::new(*line, "non-void function returns nothing"))
+                    }
+                }
+                out.push(Instr::Return);
+            }
+            Stmt::Break(line) => {
+                let (break_depth, _) = *self
+                    .loops
+                    .last()
+                    .ok_or_else(|| CompileError::new(*line, "break outside loop"))?;
+                out.push(Instr::Br(self.label_depth - break_depth));
+            }
+            Stmt::Continue(line) => {
+                let (_, continue_depth) = *self
+                    .loops
+                    .last()
+                    .ok_or_else(|| CompileError::new(*line, "continue outside loop"))?;
+                out.push(Instr::Br(self.label_depth - continue_depth));
+            }
+            Stmt::ExprStmt(e) => {
+                let ty = self.expr_maybe_void(e, out)?;
+                if ty.is_some() {
+                    out.push(Instr::Drop);
+                }
+            }
+            Stmt::Block(body) => {
+                self.scopes.push(HashMap::new());
+                self.stmts(body, out)?;
+                self.scopes.pop();
+            }
+        }
+        Ok(())
+    }
+
+    fn assign(
+        &mut self,
+        target: &LValue,
+        op: Option<BinOp>,
+        value: &Expr,
+        line: u32,
+        out: &mut Vec<Instr>,
+    ) -> GResult<()> {
+        match target {
+            LValue::Var(name) => {
+                if let Some((idx, ty)) = self.lookup(name) {
+                    match op {
+                        None => {
+                            let vt = self.expr(value, out)?;
+                            convert(out, vt, ty);
+                        }
+                        Some(op) => {
+                            out.push(Instr::LocalGet(idx));
+                            let common = self.compound_rhs(ty, op, value, line, out)?;
+                            convert(out, common, ty);
+                        }
+                    }
+                    out.push(Instr::LocalSet(idx));
+                    Ok(())
+                } else if let Some(g) = self.env.globals.get(name) {
+                    if !g.dims.is_empty() {
+                        return Err(CompileError::new(line, format!("{name:?} is an array")));
+                    }
+                    let (ty, base) = (g.ty, g.offset);
+                    out.push(Instr::Const(Value::I32(0)));
+                    match op {
+                        None => {
+                            let vt = self.expr(value, out)?;
+                            convert(out, vt, ty);
+                        }
+                        Some(op) => {
+                            out.push(Instr::Const(Value::I32(0)));
+                            out.push(Instr::Load(load_kind(ty), MemArg { align: 0, offset: base }));
+                            let common = self.compound_rhs(ty, op, value, line, out)?;
+                            convert(out, common, ty);
+                        }
+                    }
+                    out.push(Instr::Store(store_kind(ty), MemArg { align: 0, offset: base }));
+                    Ok(())
+                } else {
+                    Err(CompileError::new(line, format!("undefined variable {name:?}")))
+                }
+            }
+            LValue::Index(name, indices) => {
+                let g = self
+                    .env
+                    .globals
+                    .get(name)
+                    .ok_or_else(|| CompileError::new(line, format!("undefined array {name:?}")))?;
+                let (ty, base, dims) = (g.ty, g.offset, g.dims.clone());
+                if indices.len() != dims.len() {
+                    return Err(CompileError::new(
+                        line,
+                        format!(
+                            "array {name:?} has {} dimensions, {} indices given",
+                            dims.len(),
+                            indices.len()
+                        ),
+                    ));
+                }
+                self.element_addr(&dims, ty, indices, out)?;
+                match op {
+                    None => {
+                        let vt = self.expr(value, out)?;
+                        convert(out, vt, ty);
+                    }
+                    Some(op) => {
+                        // Keep the address in a scratch local so we can both
+                        // load the old value and store the new one.
+                        let scratch = self.scratch();
+                        out.push(Instr::LocalTee(scratch));
+                        out.push(Instr::Load(load_kind(ty), MemArg { align: 0, offset: base }));
+                        let common = self.compound_rhs(ty, op, value, line, out)?;
+                        convert(out, common, ty);
+                        // Stack is [value]; rebuild [addr, value] via a
+                        // second scratch for the value.
+                        let vscratch = self.alloc_local(ty);
+                        out.push(Instr::LocalSet(vscratch));
+                        out.push(Instr::LocalGet(scratch));
+                        out.push(Instr::LocalGet(vscratch));
+                    }
+                }
+                out.push(Instr::Store(store_kind(ty), MemArg { align: 0, offset: base }));
+                Ok(())
+            }
+        }
+    }
+
+    /// With the old value (type `lhs_ty`) already on the stack, generate the
+    /// RHS and the operator in the promoted type; returns the promoted type.
+    fn compound_rhs(
+        &mut self,
+        lhs_ty: Ty,
+        op: BinOp,
+        value: &Expr,
+        line: u32,
+        out: &mut Vec<Instr>,
+    ) -> GResult<Ty> {
+        // Old value is on top; may need conversion *under* the RHS — so
+        // convert it now, before generating the RHS.
+        let vt = self.peek_type(value)?;
+        let common = Ty::promote(lhs_ty, vt);
+        convert(out, lhs_ty, common);
+        let actual = self.expr(value, out)?;
+        debug_assert_eq!(actual, vt);
+        convert(out, vt, common);
+        emit_arith(op, common, line, out)?;
+        Ok(common)
+    }
+
+    /// Push the byte address of an array element (i32) onto the stack.
+    fn element_addr(
+        &mut self,
+        dims: &[u32],
+        ty: Ty,
+        indices: &[Expr],
+        out: &mut Vec<Instr>,
+    ) -> GResult<()> {
+        // Horner: lin = ((i0*d1 + i1)*d2 + i2)...
+        for (k, idx) in indices.iter().enumerate() {
+            let it = self.expr(idx, out)?;
+            convert_index_to_i32(out, it, idx.line)?;
+            if k > 0 {
+                out.push(Instr::IBinop(IntWidth::W32, IBinOp::Add));
+            }
+            if k + 1 < dims.len() {
+                out.push(Instr::Const(Value::I32(dims[k + 1] as i32)));
+                out.push(Instr::IBinop(IntWidth::W32, IBinOp::Mul));
+            }
+        }
+        out.push(Instr::Const(Value::I32(ty.size() as i32)));
+        out.push(Instr::IBinop(IntWidth::W32, IBinOp::Mul));
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Expressions
+    // ------------------------------------------------------------------
+
+    /// Static type of an expression without emitting code.
+    fn peek_type(&mut self, e: &Expr) -> GResult<Ty> {
+        Ok(match &e.kind {
+            ExprKind::IntLit(v) => {
+                if i32::try_from(*v).is_ok() {
+                    Ty::I32
+                } else {
+                    Ty::I64
+                }
+            }
+            ExprKind::FloatLit(_) => Ty::F64,
+            ExprKind::Var(name) => {
+                if let Some((_, t)) = self.lookup(name) {
+                    t
+                } else if let Some(g) = self.env.globals.get(name) {
+                    g.ty
+                } else {
+                    return Err(CompileError::new(e.line, format!("undefined variable {name:?}")));
+                }
+            }
+            ExprKind::Index(name, _) => {
+                self.env
+                    .globals
+                    .get(name)
+                    .ok_or_else(|| CompileError::new(e.line, format!("undefined array {name:?}")))?
+                    .ty
+            }
+            ExprKind::Binary(op, a, b) => {
+                if op.is_comparison() || op.is_logical() {
+                    Ty::I32
+                } else {
+                    Ty::promote(self.peek_type(a)?, self.peek_type(b)?)
+                }
+            }
+            ExprKind::Neg(a) => self.peek_type(a)?,
+            ExprKind::Not(_) => Ty::I32,
+            ExprKind::Cast(t, _) => *t,
+            ExprKind::Call(name, _) => {
+                if WASM_BUILTINS.contains(&name.as_str()) {
+                    Ty::F64
+                } else if let Some(f) = self.env.funcs.get(name) {
+                    f.ret.ok_or_else(|| {
+                        CompileError::new(e.line, format!("void function {name:?} used as value"))
+                    })?
+                } else {
+                    return Err(CompileError::new(e.line, format!("undefined function {name:?}")));
+                }
+            }
+        })
+    }
+
+    /// Generate an expression; returns its type.
+    fn expr(&mut self, e: &Expr, out: &mut Vec<Instr>) -> GResult<Ty> {
+        self.expr_maybe_void(e, out)?
+            .ok_or_else(|| CompileError::new(e.line, "void value used in expression"))
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn expr_maybe_void(&mut self, e: &Expr, out: &mut Vec<Instr>) -> GResult<Option<Ty>> {
+        let line = e.line;
+        Ok(Some(match &e.kind {
+            ExprKind::IntLit(v) => {
+                if let Ok(v32) = i32::try_from(*v) {
+                    out.push(Instr::Const(Value::I32(v32)));
+                    Ty::I32
+                } else {
+                    out.push(Instr::Const(Value::I64(*v)));
+                    Ty::I64
+                }
+            }
+            ExprKind::FloatLit(v) => {
+                out.push(Instr::Const(Value::F64(*v)));
+                Ty::F64
+            }
+            ExprKind::Var(name) => {
+                if let Some((idx, ty)) = self.lookup(name) {
+                    out.push(Instr::LocalGet(idx));
+                    ty
+                } else if let Some(g) = self.env.globals.get(name) {
+                    if !g.dims.is_empty() {
+                        return Err(CompileError::new(
+                            line,
+                            format!("array {name:?} used without indices"),
+                        ));
+                    }
+                    out.push(Instr::Const(Value::I32(0)));
+                    out.push(Instr::Load(
+                        load_kind(g.ty),
+                        MemArg { align: 0, offset: g.offset },
+                    ));
+                    g.ty
+                } else {
+                    return Err(CompileError::new(line, format!("undefined variable {name:?}")));
+                }
+            }
+            ExprKind::Index(name, indices) => {
+                let g = self
+                    .env
+                    .globals
+                    .get(name)
+                    .ok_or_else(|| CompileError::new(line, format!("undefined array {name:?}")))?;
+                let (ty, base, dims) = (g.ty, g.offset, g.dims.clone());
+                if indices.len() != dims.len() {
+                    return Err(CompileError::new(
+                        line,
+                        format!(
+                            "array {name:?} has {} dimensions, {} indices given",
+                            dims.len(),
+                            indices.len()
+                        ),
+                    ));
+                }
+                self.element_addr(&dims, ty, indices, out)?;
+                out.push(Instr::Load(load_kind(ty), MemArg { align: 0, offset: base }));
+                ty
+            }
+            ExprKind::Binary(op, a, b) => {
+                if op.is_logical() {
+                    // Short-circuit: a && b / a || b yield 0 or 1.
+                    self.condition(a, out)?;
+                    let mut then_body = Vec::new();
+                    let mut else_body = Vec::new();
+                    self.label_depth += 1;
+                    if *op == BinOp::And {
+                        self.condition(b, &mut then_body)?;
+                        else_body.push(Instr::Const(Value::I32(0)));
+                    } else {
+                        then_body.push(Instr::Const(Value::I32(1)));
+                        self.condition(b, &mut else_body)?;
+                    }
+                    self.label_depth -= 1;
+                    out.push(Instr::If(
+                        BlockType::Value(ValType::I32),
+                        then_body,
+                        else_body,
+                    ));
+                    Ty::I32
+                } else {
+                    let at = self.peek_type(a)?;
+                    let bt = self.peek_type(b)?;
+                    let common = Ty::promote(at, bt);
+                    let aa = self.expr(a, out)?;
+                    debug_assert_eq!(aa, at);
+                    convert(out, at, common);
+                    let bb = self.expr(b, out)?;
+                    debug_assert_eq!(bb, bt);
+                    convert(out, bt, common);
+                    if op.is_comparison() {
+                        emit_compare(*op, common, out);
+                        Ty::I32
+                    } else {
+                        emit_arith(*op, common, line, out)?;
+                        common
+                    }
+                }
+            }
+            ExprKind::Neg(a) => {
+                let ty = self.expr(a, out)?;
+                match ty {
+                    Ty::I32 => {
+                        out.push(Instr::Const(Value::I32(-1)));
+                        out.push(Instr::IBinop(IntWidth::W32, IBinOp::Mul));
+                    }
+                    Ty::I64 => {
+                        out.push(Instr::Const(Value::I64(-1)));
+                        out.push(Instr::IBinop(IntWidth::W64, IBinOp::Mul));
+                    }
+                    Ty::F32 => out.push(Instr::FUnop(FloatWidth::W32, FUnOp::Neg)),
+                    Ty::F64 => out.push(Instr::FUnop(FloatWidth::W64, FUnOp::Neg)),
+                }
+                ty
+            }
+            ExprKind::Not(a) => {
+                let ty = self.expr(a, out)?;
+                match ty {
+                    Ty::I32 => out.push(Instr::ITestEqz(IntWidth::W32)),
+                    Ty::I64 => out.push(Instr::ITestEqz(IntWidth::W64)),
+                    Ty::F32 => {
+                        out.push(Instr::Const(Value::F32(0.0)));
+                        out.push(Instr::FRelop(FloatWidth::W32, FRelOp::Eq));
+                    }
+                    Ty::F64 => {
+                        out.push(Instr::Const(Value::F64(0.0)));
+                        out.push(Instr::FRelop(FloatWidth::W64, FRelOp::Eq));
+                    }
+                }
+                Ty::I32
+            }
+            ExprKind::Cast(ty, a) => {
+                let at = self.expr(a, out)?;
+                convert(out, at, *ty);
+                *ty
+            }
+            ExprKind::Call(name, args) => {
+                if WASM_BUILTINS.contains(&name.as_str()) {
+                    if args.len() != 1 {
+                        return Err(CompileError::new(
+                            line,
+                            format!("{name} takes exactly one argument"),
+                        ));
+                    }
+                    let at = self.expr(&args[0], out)?;
+                    convert(out, at, Ty::F64);
+                    let op = match name.as_str() {
+                        "sqrt" => FUnOp::Sqrt,
+                        "fabs" => FUnOp::Abs,
+                        "floor" => FUnOp::Floor,
+                        _ => FUnOp::Ceil,
+                    };
+                    out.push(Instr::FUnop(FloatWidth::W64, op));
+                    Ty::F64
+                } else {
+                    let f = self
+                        .env
+                        .funcs
+                        .get(name)
+                        .ok_or_else(|| {
+                            CompileError::new(line, format!("undefined function {name:?}"))
+                        })?;
+                    let (index, params, ret) = (f.index, f.params.clone(), f.ret);
+                    if args.len() != params.len() {
+                        return Err(CompileError::new(
+                            line,
+                            format!(
+                                "{name:?} takes {} arguments, {} given",
+                                params.len(),
+                                args.len()
+                            ),
+                        ));
+                    }
+                    for (arg, pt) in args.iter().zip(params.iter()) {
+                        let at = self.expr(arg, out)?;
+                        convert(out, at, *pt);
+                    }
+                    out.push(Instr::Call(index));
+                    match ret {
+                        Some(t) => t,
+                        None => return Ok(None),
+                    }
+                }
+            }
+        }))
+    }
+
+    /// Generate a condition as an i32 truth value (0 or 1 for logical ops;
+    /// any non-zero i32 is accepted by `if`/`br_if`).
+    fn condition(&mut self, e: &Expr, out: &mut Vec<Instr>) -> GResult<()> {
+        let ty = self.expr(e, out)?;
+        match ty {
+            Ty::I32 => {}
+            Ty::I64 => {
+                // i64 truth value: x != 0.
+                out.push(Instr::Const(Value::I64(0)));
+                out.push(Instr::IRelop(IntWidth::W64, IRelOp::Ne));
+            }
+            Ty::F32 => {
+                out.push(Instr::Const(Value::F32(0.0)));
+                out.push(Instr::FRelop(FloatWidth::W32, FRelOp::Ne));
+            }
+            Ty::F64 => {
+                out.push(Instr::Const(Value::F64(0.0)));
+                out.push(Instr::FRelop(FloatWidth::W64, FRelOp::Ne));
+            }
+        }
+        Ok(())
+    }
+}
+
+fn convert_index_to_i32(out: &mut Vec<Instr>, ty: Ty, line: u32) -> GResult<()> {
+    match ty {
+        Ty::I32 => Ok(()),
+        Ty::I64 => {
+            out.push(Instr::Cvt(CvtOp::I32WrapI64));
+            Ok(())
+        }
+        _ => Err(CompileError::new(line, "array index must be an integer")),
+    }
+}
+
+fn load_kind(ty: Ty) -> LoadKind {
+    match ty {
+        Ty::I32 => LoadKind::I32,
+        Ty::I64 => LoadKind::I64,
+        Ty::F32 => LoadKind::F32,
+        Ty::F64 => LoadKind::F64,
+    }
+}
+
+fn store_kind(ty: Ty) -> StoreKind {
+    match ty {
+        Ty::I32 => StoreKind::I32,
+        Ty::I64 => StoreKind::I64,
+        Ty::F32 => StoreKind::F32,
+        Ty::F64 => StoreKind::F64,
+    }
+}
+
+/// Emit conversion ops for `from` → `to` (C-style value conversion).
+fn convert(out: &mut Vec<Instr>, from: Ty, to: Ty) {
+    use CvtOp::*;
+    if from == to {
+        return;
+    }
+    let op = match (from, to) {
+        (Ty::I32, Ty::I64) => I64ExtendI32S,
+        (Ty::I32, Ty::F32) => F32ConvertI32S,
+        (Ty::I32, Ty::F64) => F64ConvertI32S,
+        (Ty::I64, Ty::I32) => I32WrapI64,
+        (Ty::I64, Ty::F32) => F32ConvertI64S,
+        (Ty::I64, Ty::F64) => F64ConvertI64S,
+        (Ty::F32, Ty::I32) => I32TruncF32S,
+        (Ty::F32, Ty::I64) => I64TruncF32S,
+        (Ty::F32, Ty::F64) => F64PromoteF32,
+        (Ty::F64, Ty::I32) => I32TruncF64S,
+        (Ty::F64, Ty::I64) => I64TruncF64S,
+        (Ty::F64, Ty::F32) => F32DemoteF64,
+        _ => unreachable!("identity handled above"),
+    };
+    out.push(Instr::Cvt(op));
+}
+
+fn emit_compare(op: BinOp, ty: Ty, out: &mut Vec<Instr>) {
+    match ty {
+        Ty::I32 | Ty::I64 => {
+            let w = if ty == Ty::I32 { IntWidth::W32 } else { IntWidth::W64 };
+            let rel = match op {
+                BinOp::Eq => IRelOp::Eq,
+                BinOp::Ne => IRelOp::Ne,
+                BinOp::Lt => IRelOp::LtS,
+                BinOp::Le => IRelOp::LeS,
+                BinOp::Gt => IRelOp::GtS,
+                BinOp::Ge => IRelOp::GeS,
+                _ => unreachable!(),
+            };
+            out.push(Instr::IRelop(w, rel));
+        }
+        Ty::F32 | Ty::F64 => {
+            let w = if ty == Ty::F32 { FloatWidth::W32 } else { FloatWidth::W64 };
+            let rel = match op {
+                BinOp::Eq => FRelOp::Eq,
+                BinOp::Ne => FRelOp::Ne,
+                BinOp::Lt => FRelOp::Lt,
+                BinOp::Le => FRelOp::Le,
+                BinOp::Gt => FRelOp::Gt,
+                BinOp::Ge => FRelOp::Ge,
+                _ => unreachable!(),
+            };
+            out.push(Instr::FRelop(w, rel));
+        }
+    }
+}
+
+fn emit_arith(op: BinOp, ty: Ty, line: u32, out: &mut Vec<Instr>) -> GResult<()> {
+    match ty {
+        Ty::I32 | Ty::I64 => {
+            let w = if ty == Ty::I32 { IntWidth::W32 } else { IntWidth::W64 };
+            let bin = match op {
+                BinOp::Add => IBinOp::Add,
+                BinOp::Sub => IBinOp::Sub,
+                BinOp::Mul => IBinOp::Mul,
+                BinOp::Div => IBinOp::DivS,
+                BinOp::Rem => IBinOp::RemS,
+                _ => unreachable!("non-arithmetic operator"),
+            };
+            out.push(Instr::IBinop(w, bin));
+        }
+        Ty::F32 | Ty::F64 => {
+            if op == BinOp::Rem {
+                return Err(CompileError::new(line, "% requires integer operands"));
+            }
+            let w = if ty == Ty::F32 { FloatWidth::W32 } else { FloatWidth::W64 };
+            let bin = match op {
+                BinOp::Add => FBinOp::Add,
+                BinOp::Sub => FBinOp::Sub,
+                BinOp::Mul => FBinOp::Mul,
+                BinOp::Div => FBinOp::Div,
+                _ => unreachable!("non-arithmetic operator"),
+            };
+            out.push(Instr::FBinop(w, bin));
+        }
+    }
+    Ok(())
+}

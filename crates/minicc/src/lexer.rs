@@ -1,0 +1,240 @@
+//! Tokeniser for the MiniC dialect.
+
+use crate::CompileError;
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Floating literal.
+    Float(f64),
+    /// Punctuation / operator, e.g. `"+"`, `"<="`, `"&&"`.
+    Punct(&'static str),
+    /// End of input.
+    Eof,
+}
+
+/// A token with its source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Kind.
+    pub tok: Tok,
+    /// 1-based line.
+    pub line: u32,
+}
+
+const PUNCTS2: [&str; 11] = ["<=", ">=", "==", "!=", "&&", "||", "+=", "-=", "*=", "/=", "%="];
+const PUNCTS1: [&str; 16] = [
+    "+", "-", "*", "/", "%", "<", ">", "=", "!", "(", ")", "{", "}", "[", "]", ";",
+];
+
+/// Tokenise `source`.
+pub fn lex(source: &str) -> Result<Vec<Token>, CompileError> {
+    let bytes = source.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'*' => {
+                i += 2;
+                loop {
+                    if i + 1 >= bytes.len() {
+                        return Err(CompileError::new(line, "unterminated block comment"));
+                    }
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        i += 2;
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let ident = &source[start..i];
+                out.push(Token {
+                    tok: Tok::Ident(ident.to_string()),
+                    line,
+                });
+            }
+            b'0'..=b'9' | b'.' => {
+                let start = i;
+                let mut is_float = c == b'.';
+                if is_float {
+                    i += 1; // consume the leading '.' of a ".5" literal
+                }
+                while i < bytes.len() {
+                    match bytes[i] {
+                        b'0'..=b'9' => i += 1,
+                        b'.' if !is_float => {
+                            is_float = true;
+                            i += 1;
+                        }
+                        b'e' | b'E' if i > start => {
+                            is_float = true;
+                            i += 1;
+                            if i < bytes.len() && (bytes[i] == b'+' || bytes[i] == b'-') {
+                                i += 1;
+                            }
+                        }
+                        _ => break,
+                    }
+                }
+                let text = &source[start..i];
+                // Optional L / f suffix.
+                let mut long_suffix = false;
+                if i < bytes.len() && (bytes[i] == b'L' || bytes[i] == b'l') {
+                    long_suffix = true;
+                    i += 1;
+                } else if i < bytes.len() && (bytes[i] == b'f' || bytes[i] == b'F') {
+                    is_float = true;
+                    i += 1;
+                }
+                if is_float {
+                    let v: f64 = text
+                        .parse()
+                        .map_err(|_| CompileError::new(line, format!("bad float literal {text:?}")))?;
+                    out.push(Token {
+                        tok: Tok::Float(v),
+                        line,
+                    });
+                } else {
+                    let v: i64 = text
+                        .parse()
+                        .map_err(|_| CompileError::new(line, format!("bad int literal {text:?}")))?;
+                    // The `L` suffix is accepted for C compatibility; the
+                    // type checker promotes by value range either way.
+                    let _ = long_suffix;
+                    out.push(Token {
+                        tok: Tok::Int(v),
+                        line,
+                    });
+                }
+            }
+            b',' => {
+                out.push(Token {
+                    tok: Tok::Punct(","),
+                    line,
+                });
+                i += 1;
+            }
+            _ => {
+                let rest = &source[i..];
+                if let Some(p) = PUNCTS2.iter().find(|p| rest.starts_with(**p)) {
+                    out.push(Token {
+                        tok: Tok::Punct(p),
+                        line,
+                    });
+                    i += 2;
+                } else if let Some(p) = PUNCTS1.iter().find(|p| rest.starts_with(**p)) {
+                    out.push(Token {
+                        tok: Tok::Punct(p),
+                        line,
+                    });
+                    i += 1;
+                } else {
+                    return Err(CompileError::new(
+                        line,
+                        format!("unexpected character {:?}", rest.chars().next().unwrap()),
+                    ));
+                }
+            }
+        }
+    }
+    out.push(Token {
+        tok: Tok::Eof,
+        line,
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        assert_eq!(
+            toks("int x = 42;"),
+            vec![
+                Tok::Ident("int".into()),
+                Tok::Ident("x".into()),
+                Tok::Punct("="),
+                Tok::Int(42),
+                Tok::Punct(";"),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn floats_and_exponents() {
+        assert_eq!(toks("1.5")[0], Tok::Float(1.5));
+        assert_eq!(toks("2e3")[0], Tok::Float(2000.0));
+        assert_eq!(toks("1.5e-2")[0], Tok::Float(0.015));
+        assert_eq!(toks("3.0f")[0], Tok::Float(3.0));
+        assert_eq!(toks(".5")[0], Tok::Float(0.5));
+    }
+
+    #[test]
+    fn two_char_operators() {
+        assert_eq!(
+            toks("a <= b && c != d"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Punct("<="),
+                Tok::Ident("b".into()),
+                Tok::Punct("&&"),
+                Tok::Ident("c".into()),
+                Tok::Punct("!="),
+                Tok::Ident("d".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped_lines_counted() {
+        let tokens = lex("// line comment\n/* block\ncomment */ x").unwrap();
+        assert_eq!(tokens[0].tok, Tok::Ident("x".into()));
+        assert_eq!(tokens[0].line, 3);
+    }
+
+    #[test]
+    fn compound_assignment_ops() {
+        assert_eq!(toks("x += 1")[1], Tok::Punct("+="));
+        assert_eq!(toks("x %= 2")[1], Tok::Punct("%="));
+    }
+
+    #[test]
+    fn bad_char_rejected() {
+        assert!(lex("int x @ y").is_err());
+        assert!(lex("/* unterminated").is_err());
+    }
+}

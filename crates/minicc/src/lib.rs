@@ -1,0 +1,90 @@
+//! # twine-minicc
+//!
+//! A small C-subset compiler targeting WebAssembly, standing in for the
+//! Clang/LLVM → Wasm+WASI toolchain of the paper's Figure 1 (offline
+//! environments cannot run a real C compiler, so the PolyBench/C kernels of
+//! §V-B are written in this dialect and compiled to genuine Wasm bytecode).
+//!
+//! ## The MiniC dialect
+//!
+//! * Scalar types: `int` (i32), `long` (i64), `float` (f32), `double` (f64).
+//! * Global variables, including multi-dimensional arrays with constant
+//!   dimensions (`double A[128][128];`) laid out row-major in linear memory.
+//! * Functions with parameters and scalar returns; recursion allowed.
+//! * Statements: declarations, assignment (incl. `+=` family), `if`/`else`,
+//!   `while`, `for`, `break`, `continue`, `return`, blocks.
+//! * Expressions: arithmetic with C-style promotions, comparisons, `&&`/`||`
+//!   with short-circuit evaluation, `!`, unary `-`, casts
+//!   (`(int)x`, `(double)n`), calls, array indexing.
+//! * Built-ins lowered to Wasm instructions: `sqrt`, `fabs`, `floor`,
+//!   `ceil`. Built-ins lowered to `env` imports (libm analogue): `exp`,
+//!   `log`, `pow`, `sin`, `cos`.
+//!
+//! ```
+//! let src = "int add(int a, int b) { return a + b; }";
+//! let module = twine_minicc::compile(src).unwrap();
+//! let bytes = twine_minicc::compile_to_bytes(src).unwrap();
+//! assert!(bytes.starts_with(b"\0asm"));
+//! # let _ = module;
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod codegen;
+pub mod lexer;
+pub mod parser;
+
+use twine_wasm::Module;
+
+/// A compilation error with a source line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileError {
+    /// 1-based line where the error was detected.
+    pub line: u32,
+    /// Human-readable message.
+    pub msg: String,
+}
+
+impl core::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+impl CompileError {
+    pub(crate) fn new(line: u32, msg: impl Into<String>) -> Self {
+        Self {
+            line,
+            msg: msg.into(),
+        }
+    }
+}
+
+/// Compile MiniC source into a Wasm [`Module`].
+///
+/// Every top-level function is exported under its own name; linear memory is
+/// sized to hold all globals plus `extra_pages` of headroom and exported as
+/// `"memory"`.
+pub fn compile(source: &str) -> Result<Module, CompileError> {
+    let tokens = lexer::lex(source)?;
+    let program = parser::parse(tokens)?;
+    codegen::generate(&program)
+}
+
+/// Compile MiniC source all the way to `.wasm` bytes.
+pub fn compile_to_bytes(source: &str) -> Result<Vec<u8>, CompileError> {
+    Ok(twine_wasm::encode::encode(&compile(source)?))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn compile_error_display() {
+        let e = super::CompileError::new(3, "unexpected token");
+        assert_eq!(e.to_string(), "line 3: unexpected token");
+    }
+}

@@ -1,0 +1,635 @@
+//! Recursive-descent parser for the MiniC dialect.
+
+use crate::ast::*;
+use crate::lexer::{Tok, Token};
+use crate::CompileError;
+
+/// Parse a token stream into a [`Program`].
+pub fn parse(tokens: Vec<Token>) -> Result<Program, CompileError> {
+    let mut p = Parser { tokens, pos: 0 };
+    p.program()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+type PResult<T> = Result<T, CompileError>;
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.tokens[self.pos].tok
+    }
+
+    fn peek2(&self) -> &Tok {
+        &self.tokens[(self.pos + 1).min(self.tokens.len() - 1)].tok
+    }
+
+    fn line(&self) -> u32 {
+        self.tokens[self.pos].line
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.tokens[self.pos].tok.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_punct(&mut self, p: &str) -> bool {
+        if matches!(self.peek(), Tok::Punct(q) if *q == p) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_punct(&mut self, p: &str) -> PResult<()> {
+        if self.eat_punct(p) {
+            Ok(())
+        } else {
+            Err(CompileError::new(
+                self.line(),
+                format!("expected {p:?}, found {:?}", self.peek()),
+            ))
+        }
+    }
+
+    fn expect_ident(&mut self) -> PResult<String> {
+        match self.bump() {
+            Tok::Ident(s) => Ok(s),
+            other => Err(CompileError::new(
+                self.line(),
+                format!("expected identifier, found {other:?}"),
+            )),
+        }
+    }
+
+    fn peek_type(&self) -> Option<Ty> {
+        match self.peek() {
+            Tok::Ident(s) => match s.as_str() {
+                "int" => Some(Ty::I32),
+                "long" => Some(Ty::I64),
+                "float" => Some(Ty::F32),
+                "double" => Some(Ty::F64),
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+
+    fn program(&mut self) -> PResult<Program> {
+        let mut prog = Program::default();
+        while !matches!(self.peek(), Tok::Eof) {
+            let line = self.line();
+            // `void` or a type keyword begins every top-level item.
+            let is_void = matches!(self.peek(), Tok::Ident(s) if s == "void");
+            let ty = self.peek_type();
+            if !is_void && ty.is_none() {
+                return Err(CompileError::new(
+                    line,
+                    format!("expected type at top level, found {:?}", self.peek()),
+                ));
+            }
+            self.bump(); // type / void
+            let name = self.expect_ident()?;
+            if self.eat_punct("(") {
+                // Function definition.
+                let mut params = Vec::new();
+                if !self.eat_punct(")") {
+                    loop {
+                        let pty = self.peek_type().ok_or_else(|| {
+                            CompileError::new(self.line(), "expected parameter type")
+                        })?;
+                        self.bump();
+                        let pname = self.expect_ident()?;
+                        params.push((pname, pty));
+                        if self.eat_punct(")") {
+                            break;
+                        }
+                        self.expect_punct(",")?;
+                    }
+                }
+                let body = self.block()?;
+                prog.funcs.push(FuncDef {
+                    name,
+                    params,
+                    ret: if is_void { None } else { ty },
+                    body,
+                    line,
+                });
+            } else {
+                // Global variable (possibly an array).
+                if is_void {
+                    return Err(CompileError::new(line, "void variable is not allowed"));
+                }
+                let mut dims = Vec::new();
+                while self.eat_punct("[") {
+                    match self.bump() {
+                        Tok::Int(n) if n > 0 => dims.push(n as u32),
+                        other => {
+                            return Err(CompileError::new(
+                                self.line(),
+                                format!("expected positive array dimension, found {other:?}"),
+                            ))
+                        }
+                    }
+                    self.expect_punct("]")?;
+                }
+                self.expect_punct(";")?;
+                prog.globals.push(GlobalVar {
+                    name,
+                    ty: ty.expect("checked above"),
+                    dims,
+                    line,
+                });
+            }
+        }
+        Ok(prog)
+    }
+
+    fn block(&mut self) -> PResult<Vec<Stmt>> {
+        self.expect_punct("{")?;
+        let mut stmts = Vec::new();
+        while !self.eat_punct("}") {
+            if matches!(self.peek(), Tok::Eof) {
+                return Err(CompileError::new(self.line(), "unterminated block"));
+            }
+            stmts.push(self.stmt()?);
+        }
+        Ok(stmts)
+    }
+
+    /// A statement body that may be a block or a single statement.
+    fn stmt_or_block(&mut self) -> PResult<Vec<Stmt>> {
+        if matches!(self.peek(), Tok::Punct("{")) {
+            self.block()
+        } else {
+            Ok(vec![self.stmt()?])
+        }
+    }
+
+    fn stmt(&mut self) -> PResult<Stmt> {
+        let line = self.line();
+        if let Some(ty) = self.peek_type() {
+            // Local declaration.
+            self.bump();
+            let name = self.expect_ident()?;
+            let init = if self.eat_punct("=") {
+                Some(self.expr()?)
+            } else {
+                None
+            };
+            self.expect_punct(";")?;
+            return Ok(Stmt::Decl {
+                name,
+                ty,
+                init,
+                line,
+            });
+        }
+        if let Tok::Ident(kw) = self.peek() {
+            match kw.as_str() {
+                "if" => {
+                    self.bump();
+                    self.expect_punct("(")?;
+                    let cond = self.expr()?;
+                    self.expect_punct(")")?;
+                    let then_body = self.stmt_or_block()?;
+                    let else_body = if matches!(self.peek(), Tok::Ident(s) if s == "else") {
+                        self.bump();
+                        self.stmt_or_block()?
+                    } else {
+                        Vec::new()
+                    };
+                    return Ok(Stmt::If {
+                        cond,
+                        then_body,
+                        else_body,
+                    });
+                }
+                "while" => {
+                    self.bump();
+                    self.expect_punct("(")?;
+                    let cond = self.expr()?;
+                    self.expect_punct(")")?;
+                    let body = self.stmt_or_block()?;
+                    return Ok(Stmt::While { cond, body });
+                }
+                "for" => {
+                    self.bump();
+                    self.expect_punct("(")?;
+                    let init = if self.eat_punct(";") {
+                        None
+                    } else if self.peek_type().is_some() {
+                        Some(Box::new(self.stmt()?)) // decl consumes ';'
+                    } else {
+                        let s = self.assign_or_expr_stmt()?;
+                        self.expect_punct(";")?;
+                        Some(Box::new(s))
+                    };
+                    let cond = if matches!(self.peek(), Tok::Punct(";")) {
+                        None
+                    } else {
+                        Some(self.expr()?)
+                    };
+                    self.expect_punct(";")?;
+                    let step = if matches!(self.peek(), Tok::Punct(")")) {
+                        None
+                    } else {
+                        Some(Box::new(self.assign_or_expr_stmt()?))
+                    };
+                    self.expect_punct(")")?;
+                    let body = self.stmt_or_block()?;
+                    return Ok(Stmt::For {
+                        init,
+                        cond,
+                        step,
+                        body,
+                    });
+                }
+                "return" => {
+                    self.bump();
+                    let e = if matches!(self.peek(), Tok::Punct(";")) {
+                        None
+                    } else {
+                        Some(self.expr()?)
+                    };
+                    self.expect_punct(";")?;
+                    return Ok(Stmt::Return(e, line));
+                }
+                "break" => {
+                    self.bump();
+                    self.expect_punct(";")?;
+                    return Ok(Stmt::Break(line));
+                }
+                "continue" => {
+                    self.bump();
+                    self.expect_punct(";")?;
+                    return Ok(Stmt::Continue(line));
+                }
+                _ => {}
+            }
+        }
+        if matches!(self.peek(), Tok::Punct("{")) {
+            return Ok(Stmt::Block(self.block()?));
+        }
+        let s = self.assign_or_expr_stmt()?;
+        self.expect_punct(";")?;
+        Ok(s)
+    }
+
+    /// Parse `lvalue = expr`, `lvalue op= expr`, or a bare expression, not
+    /// consuming the trailing `;`.
+    fn assign_or_expr_stmt(&mut self) -> PResult<Stmt> {
+        let line = self.line();
+        let e = self.expr()?;
+        let compound = |p: &str| -> Option<BinOp> {
+            match p {
+                "+=" => Some(BinOp::Add),
+                "-=" => Some(BinOp::Sub),
+                "*=" => Some(BinOp::Mul),
+                "/=" => Some(BinOp::Div),
+                "%=" => Some(BinOp::Rem),
+                _ => None,
+            }
+        };
+        let (op, is_assign) = match self.peek() {
+            Tok::Punct("=") => (None, true),
+            Tok::Punct(p) => match compound(p) {
+                Some(op) => (Some(op), true),
+                None => (None, false),
+            },
+            _ => (None, false),
+        };
+        if is_assign {
+            self.bump();
+            let target = match e.kind {
+                ExprKind::Var(name) => LValue::Var(name),
+                ExprKind::Index(name, idx) => LValue::Index(name, idx),
+                _ => {
+                    return Err(CompileError::new(line, "invalid assignment target"));
+                }
+            };
+            let value = self.expr()?;
+            return Ok(Stmt::Assign {
+                target,
+                op,
+                value,
+                line,
+            });
+        }
+        Ok(Stmt::ExprStmt(e))
+    }
+
+    // -- expression precedence climbing ------------------------------------
+
+    fn expr(&mut self) -> PResult<Expr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> PResult<Expr> {
+        let mut lhs = self.and_expr()?;
+        while matches!(self.peek(), Tok::Punct("||")) {
+            let line = self.line();
+            self.bump();
+            let rhs = self.and_expr()?;
+            lhs = Expr {
+                kind: ExprKind::Binary(BinOp::Or, Box::new(lhs), Box::new(rhs)),
+                line,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> PResult<Expr> {
+        let mut lhs = self.equality()?;
+        while matches!(self.peek(), Tok::Punct("&&")) {
+            let line = self.line();
+            self.bump();
+            let rhs = self.equality()?;
+            lhs = Expr {
+                kind: ExprKind::Binary(BinOp::And, Box::new(lhs), Box::new(rhs)),
+                line,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn equality(&mut self) -> PResult<Expr> {
+        let mut lhs = self.relational()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Punct("==") => BinOp::Eq,
+                Tok::Punct("!=") => BinOp::Ne,
+                _ => break,
+            };
+            let line = self.line();
+            self.bump();
+            let rhs = self.relational()?;
+            lhs = Expr {
+                kind: ExprKind::Binary(op, Box::new(lhs), Box::new(rhs)),
+                line,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn relational(&mut self) -> PResult<Expr> {
+        let mut lhs = self.additive()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Punct("<") => BinOp::Lt,
+                Tok::Punct("<=") => BinOp::Le,
+                Tok::Punct(">") => BinOp::Gt,
+                Tok::Punct(">=") => BinOp::Ge,
+                _ => break,
+            };
+            let line = self.line();
+            self.bump();
+            let rhs = self.additive()?;
+            lhs = Expr {
+                kind: ExprKind::Binary(op, Box::new(lhs), Box::new(rhs)),
+                line,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn additive(&mut self) -> PResult<Expr> {
+        let mut lhs = self.multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Punct("+") => BinOp::Add,
+                Tok::Punct("-") => BinOp::Sub,
+                _ => break,
+            };
+            let line = self.line();
+            self.bump();
+            let rhs = self.multiplicative()?;
+            lhs = Expr {
+                kind: ExprKind::Binary(op, Box::new(lhs), Box::new(rhs)),
+                line,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn multiplicative(&mut self) -> PResult<Expr> {
+        let mut lhs = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Punct("*") => BinOp::Mul,
+                Tok::Punct("/") => BinOp::Div,
+                Tok::Punct("%") => BinOp::Rem,
+                _ => break,
+            };
+            let line = self.line();
+            self.bump();
+            let rhs = self.unary()?;
+            lhs = Expr {
+                kind: ExprKind::Binary(op, Box::new(lhs), Box::new(rhs)),
+                line,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> PResult<Expr> {
+        let line = self.line();
+        if self.eat_punct("-") {
+            let e = self.unary()?;
+            return Ok(Expr {
+                kind: ExprKind::Neg(Box::new(e)),
+                line,
+            });
+        }
+        if self.eat_punct("!") {
+            let e = self.unary()?;
+            return Ok(Expr {
+                kind: ExprKind::Not(Box::new(e)),
+                line,
+            });
+        }
+        // Cast: '(' type ')' unary
+        if matches!(self.peek(), Tok::Punct("(")) {
+            if let Tok::Ident(s) = self.peek2() {
+                let ty = match s.as_str() {
+                    "int" => Some(Ty::I32),
+                    "long" => Some(Ty::I64),
+                    "float" => Some(Ty::F32),
+                    "double" => Some(Ty::F64),
+                    _ => None,
+                };
+                if let Some(ty) = ty {
+                    self.bump(); // (
+                    self.bump(); // type
+                    self.expect_punct(")")?;
+                    let e = self.unary()?;
+                    return Ok(Expr {
+                        kind: ExprKind::Cast(ty, Box::new(e)),
+                        line,
+                    });
+                }
+            }
+        }
+        self.postfix()
+    }
+
+    fn postfix(&mut self) -> PResult<Expr> {
+        let line = self.line();
+        match self.bump() {
+            Tok::Int(v) => Ok(Expr {
+                kind: ExprKind::IntLit(v),
+                line,
+            }),
+            Tok::Float(v) => Ok(Expr {
+                kind: ExprKind::FloatLit(v),
+                line,
+            }),
+            Tok::Punct("(") => {
+                let e = self.expr()?;
+                self.expect_punct(")")?;
+                Ok(e)
+            }
+            Tok::Ident(name) => {
+                if self.eat_punct("(") {
+                    let mut args = Vec::new();
+                    if !self.eat_punct(")") {
+                        loop {
+                            args.push(self.expr()?);
+                            if self.eat_punct(")") {
+                                break;
+                            }
+                            self.expect_punct(",")?;
+                        }
+                    }
+                    return Ok(Expr {
+                        kind: ExprKind::Call(name, args),
+                        line,
+                    });
+                }
+                if matches!(self.peek(), Tok::Punct("[")) {
+                    let mut indices = Vec::new();
+                    while self.eat_punct("[") {
+                        indices.push(self.expr()?);
+                        self.expect_punct("]")?;
+                    }
+                    return Ok(Expr {
+                        kind: ExprKind::Index(name, indices),
+                        line,
+                    });
+                }
+                Ok(Expr {
+                    kind: ExprKind::Var(name),
+                    line,
+                })
+            }
+            other => Err(CompileError::new(
+                line,
+                format!("unexpected token {other:?} in expression"),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_src(src: &str) -> Program {
+        parse(lex(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn parse_global_array() {
+        let p = parse_src("double A[4][8];\nint n;\n");
+        assert_eq!(p.globals.len(), 2);
+        assert_eq!(p.globals[0].dims, vec![4, 8]);
+        assert_eq!(p.globals[0].ty, Ty::F64);
+        assert!(p.globals[1].dims.is_empty());
+    }
+
+    #[test]
+    fn parse_function_with_params() {
+        let p = parse_src("int add(int a, int b) { return a + b; }");
+        assert_eq!(p.funcs.len(), 1);
+        let f = &p.funcs[0];
+        assert_eq!(f.params.len(), 2);
+        assert_eq!(f.ret, Some(Ty::I32));
+        assert!(matches!(f.body[0], Stmt::Return(Some(_), _)));
+    }
+
+    #[test]
+    fn parse_void_function() {
+        let p = parse_src("void f() { return; }");
+        assert_eq!(p.funcs[0].ret, None);
+    }
+
+    #[test]
+    fn parse_for_loop() {
+        let p = parse_src(
+            "void f() { int s = 0; for (int i = 0; i < 10; i += 1) { s += i; } }",
+        );
+        match &p.funcs[0].body[1] {
+            Stmt::For { init, cond, step, body } => {
+                assert!(init.is_some());
+                assert!(cond.is_some());
+                assert!(step.is_some());
+                assert_eq!(body.len(), 1);
+            }
+            other => panic!("expected For, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence() {
+        let p = parse_src("int f() { return 1 + 2 * 3; }");
+        match &p.funcs[0].body[0] {
+            Stmt::Return(Some(e), _) => match &e.kind {
+                ExprKind::Binary(BinOp::Add, _, rhs) => {
+                    assert!(matches!(rhs.kind, ExprKind::Binary(BinOp::Mul, _, _)));
+                }
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn cast_vs_parenthesised_expr() {
+        let p = parse_src("double f(int n) { return (double)n + (n * 2); }");
+        match &p.funcs[0].body[0] {
+            Stmt::Return(Some(e), _) => match &e.kind {
+                ExprKind::Binary(BinOp::Add, lhs, _) => {
+                    assert!(matches!(lhs.kind, ExprKind::Cast(Ty::F64, _)));
+                }
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn array_assignment() {
+        let p = parse_src("double A[4]; void f() { A[2] = 1.5; }");
+        match &p.funcs[0].body[0] {
+            Stmt::Assign { target: LValue::Index(name, idx), op: None, .. } => {
+                assert_eq!(name, "A");
+                assert_eq!(idx.len(), 1);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_on_garbage() {
+        assert!(parse(lex("int f( {").unwrap()).is_err());
+        assert!(parse(lex("42;").unwrap()).is_err());
+        assert!(parse(lex("int f() { 1 = 2; }").unwrap()).is_err());
+    }
+}

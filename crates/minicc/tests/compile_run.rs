@@ -1,0 +1,344 @@
+//! End-to-end MiniC tests: compile source, run on the Wasm engine, compare
+//! against the same computation done natively in Rust.
+
+use std::sync::Arc;
+
+use twine_minicc::compile;
+use twine_wasm::compile::CompiledModule;
+use twine_wasm::types::{FuncType, ValType, Value};
+use twine_wasm::{Instance, Linker};
+
+/// Instantiate a MiniC program with the libm `env` imports registered.
+fn instantiate(src: &str) -> Instance {
+    let module = compile(src).expect("minicc compile");
+    let code = CompiledModule::compile(module).expect("wasm validate+compile");
+    let mut linker = Linker::new();
+    for (name, arity) in twine_minicc::codegen::LIBM_IMPORTS {
+        let ty = FuncType::new(vec![ValType::F64; arity], vec![ValType::F64]);
+        linker.func("env", name, ty, move |_ctx, args: &[Value]| {
+            let xs: Vec<f64> = args.iter().map(|a| a.as_f64().unwrap()).collect();
+            let r = match (name, xs.as_slice()) {
+                ("exp", [x]) => x.exp(),
+                ("log", [x]) => x.ln(),
+                ("sin", [x]) => x.sin(),
+                ("cos", [x]) => x.cos(),
+                ("pow", [x, y]) => x.powf(*y),
+                _ => unreachable!(),
+            };
+            Ok(vec![Value::F64(r)])
+        });
+    }
+    Instance::instantiate(Arc::new(code), linker, Box::new(())).expect("instantiate")
+}
+
+fn run_i32(src: &str, func: &str, args: &[Value]) -> i32 {
+    let mut inst = instantiate(src);
+    inst.invoke(func, args).expect("invoke")[0]
+        .as_i32()
+        .expect("i32 result")
+}
+
+fn run_f64(src: &str, func: &str, args: &[Value]) -> f64 {
+    let mut inst = instantiate(src);
+    inst.invoke(func, args).expect("invoke")[0]
+        .as_f64()
+        .expect("f64 result")
+}
+
+#[test]
+fn simple_arith() {
+    assert_eq!(
+        run_i32("int f(int a, int b) { return a * 10 + b; }", "f", &[Value::I32(4), Value::I32(2)]),
+        42
+    );
+}
+
+#[test]
+fn operator_precedence_matches_c() {
+    assert_eq!(run_i32("int f() { return 2 + 3 * 4 - 10 / 2; }", "f", &[]), 9);
+    assert_eq!(run_i32("int f() { return (2 + 3) * (4 - 10) / 2; }", "f", &[]), -15);
+    assert_eq!(run_i32("int f() { return 17 % 5; }", "f", &[]), 2);
+}
+
+#[test]
+fn while_loop_sum() {
+    let src = r"
+        int sum(int n) {
+            int s = 0;
+            int i = 1;
+            while (i <= n) {
+                s = s + i;
+                i = i + 1;
+            }
+            return s;
+        }";
+    assert_eq!(run_i32(src, "sum", &[Value::I32(100)]), 5050);
+}
+
+#[test]
+fn for_loop_with_compound_assign() {
+    let src = r"
+        int sumsq(int n) {
+            int s = 0;
+            for (int i = 0; i < n; i += 1) {
+                s += i * i;
+            }
+            return s;
+        }";
+    assert_eq!(run_i32(src, "sumsq", &[Value::I32(10)]), 285);
+}
+
+#[test]
+fn break_and_continue() {
+    let src = r"
+        int f(int n) {
+            int s = 0;
+            for (int i = 0; i < n; i += 1) {
+                if (i % 2 == 0) { continue; }
+                if (i > 7) { break; }
+                s += i;
+            }
+            return s;
+        }";
+    // odd numbers <= 7: 1+3+5+7 = 16
+    assert_eq!(run_i32(src, "f", &[Value::I32(100)]), 16);
+}
+
+#[test]
+fn nested_loops_with_break() {
+    let src = r"
+        int f() {
+            int count = 0;
+            for (int i = 0; i < 10; i += 1) {
+                for (int j = 0; j < 10; j += 1) {
+                    if (j == 3) { break; }
+                    count += 1;
+                }
+            }
+            return count;
+        }";
+    assert_eq!(run_i32(src, "f", &[]), 30);
+}
+
+#[test]
+fn recursion() {
+    let src = "int fib(int n) { if (n < 2) { return n; } return fib(n-1) + fib(n-2); }";
+    assert_eq!(run_i32(src, "fib", &[Value::I32(10)]), 55);
+}
+
+#[test]
+fn mutual_recursion() {
+    let src = r"
+        int is_odd(int n);
+        ";
+    // Forward declarations are not supported; mutual recursion works because
+    // function indices are assigned in a pre-pass.
+    let _ = src;
+    let src = r"
+        int is_even(int n) { if (n == 0) { return 1; } return is_odd(n - 1); }
+        int is_odd(int n) { if (n == 0) { return 0; } return is_even(n - 1); }";
+    assert_eq!(run_i32(src, "is_even", &[Value::I32(10)]), 1);
+    assert_eq!(run_i32(src, "is_odd", &[Value::I32(10)]), 0);
+}
+
+#[test]
+fn global_arrays_matmul() {
+    let src = r"
+        double A[4][4];
+        double B[4][4];
+        double C[4][4];
+        void init() {
+            for (int i = 0; i < 4; i += 1) {
+                for (int j = 0; j < 4; j += 1) {
+                    A[i][j] = i * 4 + j;
+                    B[i][j] = (i == j);
+                    C[i][j] = 0.0;
+                }
+            }
+        }
+        void matmul() {
+            for (int i = 0; i < 4; i += 1) {
+                for (int j = 0; j < 4; j += 1) {
+                    for (int k = 0; k < 4; k += 1) {
+                        C[i][j] += A[i][k] * B[k][j];
+                    }
+                }
+            }
+        }
+        double get(int i, int j) { return C[i][j]; }";
+    let mut inst = instantiate(src);
+    inst.invoke("init", &[]).unwrap();
+    inst.invoke("matmul", &[]).unwrap();
+    // A × I = A
+    for i in 0..4 {
+        for j in 0..4 {
+            let v = inst
+                .invoke("get", &[Value::I32(i), Value::I32(j)])
+                .unwrap()[0]
+                .as_f64()
+                .unwrap();
+            assert_eq!(v, f64::from(i * 4 + j), "C[{i}][{j}]");
+        }
+    }
+}
+
+#[test]
+fn global_scalars_persist() {
+    let src = r"
+        int counter;
+        void bump() { counter += 1; }
+        int get() { return counter; }";
+    let mut inst = instantiate(src);
+    for _ in 0..5 {
+        inst.invoke("bump", &[]).unwrap();
+    }
+    assert_eq!(inst.invoke("get", &[]).unwrap()[0], Value::I32(5));
+}
+
+#[test]
+fn promotions_int_to_double() {
+    let src = "double f(int a, double b) { return a / 2 + b / 2.0; }";
+    // 7 / 2 (int division) = 3; 1.0/2.0 = 0.5 → 3.5
+    assert_eq!(run_f64(src, "f", &[Value::I32(7), Value::F64(1.0)]), 3.5);
+}
+
+#[test]
+fn casts() {
+    assert_eq!(run_i32("int f(double x) { return (int)x; }", "f", &[Value::F64(3.9)]), 3);
+    assert_eq!(run_i32("int f(double x) { return (int)x; }", "f", &[Value::F64(-3.9)]), -3);
+    assert_eq!(
+        run_f64("double f(int n) { return (double)n / 4; }", "f", &[Value::I32(10)]),
+        2.5
+    );
+}
+
+#[test]
+fn long_arithmetic() {
+    let src = "long f(long a, long b) { return a * b + 1; }";
+    let mut inst = instantiate(src);
+    let r = inst
+        .invoke("f", &[Value::I64(3_000_000_000), Value::I64(2)])
+        .unwrap()[0];
+    assert_eq!(r, Value::I64(6_000_000_001));
+}
+
+#[test]
+fn logical_short_circuit() {
+    // Division by zero on the RHS must not be evaluated when the LHS decides.
+    let src = r"
+        int f(int a, int b) {
+            if (a == 0 || 10 / a > b) { return 1; }
+            return 0;
+        }";
+    assert_eq!(run_i32(src, "f", &[Value::I32(0), Value::I32(5)]), 1);
+    assert_eq!(run_i32(src, "f", &[Value::I32(1), Value::I32(5)]), 1);
+    assert_eq!(run_i32(src, "f", &[Value::I32(1), Value::I32(20)]), 0);
+    let src_and = r"
+        int g(int a) {
+            if (a != 0 && 10 / a == 5) { return 1; }
+            return 0;
+        }";
+    assert_eq!(run_i32(src_and, "g", &[Value::I32(0)]), 0);
+    assert_eq!(run_i32(src_and, "g", &[Value::I32(2)]), 1);
+}
+
+#[test]
+fn not_operator() {
+    assert_eq!(run_i32("int f(int x) { return !x; }", "f", &[Value::I32(0)]), 1);
+    assert_eq!(run_i32("int f(int x) { return !x; }", "f", &[Value::I32(7)]), 0);
+    assert_eq!(run_i32("int f(int x) { return !!x; }", "f", &[Value::I32(7)]), 1);
+}
+
+#[test]
+fn builtins_sqrt_fabs() {
+    assert_eq!(run_f64("double f(double x) { return sqrt(x); }", "f", &[Value::F64(16.0)]), 4.0);
+    assert_eq!(run_f64("double f(double x) { return fabs(x); }", "f", &[Value::F64(-2.5)]), 2.5);
+    assert_eq!(run_f64("double f(double x) { return floor(x); }", "f", &[Value::F64(2.9)]), 2.0);
+    assert_eq!(run_f64("double f(double x) { return ceil(x); }", "f", &[Value::F64(2.1)]), 3.0);
+}
+
+#[test]
+fn libm_imports() {
+    let r = run_f64("double f(double x) { return exp(x); }", "f", &[Value::F64(1.0)]);
+    assert!((r - std::f64::consts::E).abs() < 1e-12);
+    let r = run_f64(
+        "double f(double x, double y) { return pow(x, y); }",
+        "f",
+        &[Value::F64(2.0), Value::F64(10.0)],
+    );
+    assert_eq!(r, 1024.0);
+}
+
+#[test]
+fn compound_assign_array_element() {
+    let src = r"
+        double acc[4];
+        void add(int i, double v) { acc[i] += v; }
+        double get(int i) { return acc[i]; }";
+    let mut inst = instantiate(src);
+    inst.invoke("add", &[Value::I32(2), Value::F64(1.5)]).unwrap();
+    inst.invoke("add", &[Value::I32(2), Value::F64(2.5)]).unwrap();
+    assert_eq!(inst.invoke("get", &[Value::I32(2)]).unwrap()[0], Value::F64(4.0));
+    assert_eq!(inst.invoke("get", &[Value::I32(0)]).unwrap()[0], Value::F64(0.0));
+}
+
+#[test]
+fn block_scoping_and_shadowing() {
+    let src = r"
+        int f() {
+            int x = 1;
+            {
+                int x = 2;
+                x += 10;
+            }
+            return x;
+        }";
+    assert_eq!(run_i32(src, "f", &[]), 1);
+}
+
+#[test]
+fn comparison_chains() {
+    let src = "int f(int a, int b, int c) { return a < b && b < c; }";
+    assert_eq!(run_i32(src, "f", &[Value::I32(1), Value::I32(2), Value::I32(3)]), 1);
+    assert_eq!(run_i32(src, "f", &[Value::I32(3), Value::I32(2), Value::I32(3)]), 0);
+}
+
+#[test]
+fn compile_errors() {
+    assert!(compile("int f() { return y; }").is_err());
+    assert!(compile("int f() { undefined(); }").is_err());
+    assert!(compile("int f(int a) { return a % 2.0; }").is_err());
+    assert!(compile("void f() { return 1; }").is_err());
+    assert!(compile("int f() { return; }").is_err());
+    assert!(compile("int f() { break; }").is_err());
+    assert!(compile("double A[2]; int f() { return A[0][1]; }").is_err());
+    assert!(compile("int f(int a, int a) { return a; }").is_err());
+    assert!(compile("int x; int x;").is_err());
+}
+
+#[test]
+fn gauss_sum_against_native() {
+    // A slightly larger numeric kernel compared against a native Rust
+    // implementation.
+    let src = r"
+        double K[32][32];
+        void build(int n) {
+            for (int i = 0; i < n; i += 1) {
+                for (int j = 0; j < n; j += 1) {
+                    K[i][j] = 1.0 / (1.0 + i + j);
+                }
+            }
+        }
+        double trace(int n) {
+            double t = 0.0;
+            for (int i = 0; i < n; i += 1) { t += K[i][i]; }
+            return t;
+        }";
+    let mut inst = instantiate(src);
+    inst.invoke("build", &[Value::I32(32)]).unwrap();
+    let got = inst.invoke("trace", &[Value::I32(32)]).unwrap()[0]
+        .as_f64()
+        .unwrap();
+    let want: f64 = (0..32).map(|i| 1.0 / (1.0 + 2.0 * f64::from(i))).sum();
+    assert!((got - want).abs() < 1e-12, "got {got}, want {want}");
+}

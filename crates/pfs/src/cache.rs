@@ -1,0 +1,305 @@
+//! The LRU cache of decrypted nodes.
+//!
+//! Mirrors the IPFS node cache the paper profiles: each cached node owns
+//! *two* 4 KiB buffers (ciphertext and plaintext) plus metadata — the
+//! structure whose clearing dominates random-read time in stock IPFS
+//! (§V-F: "at least two pages must be cleared ... when a node is removed,
+//! the plaintext buffer is cleared as well").
+//!
+//! Buffer boxes are pooled across allocations so that the Intel-mode
+//! clearing cost is real work on recycled dirty memory, exactly like the
+//! SDK's allocator reuse.
+
+use std::collections::HashMap;
+
+use crate::NODE_SIZE;
+
+/// A decrypted node held in enclave memory.
+pub struct CachedNode {
+    /// Decrypted contents.
+    pub plaintext: Box<[u8; NODE_SIZE]>,
+    /// Ciphertext staging buffer (kept per node, as in the SDK).
+    pub ciphertext: Box<[u8; NODE_SIZE]>,
+    /// Needs flushing before eviction.
+    pub dirty: bool,
+}
+
+/// Recycled buffer pair.
+struct PooledBufs {
+    plaintext: Box<[u8; NODE_SIZE]>,
+    ciphertext: Box<[u8; NODE_SIZE]>,
+}
+
+const NIL: u32 = u32::MAX;
+
+struct Slot {
+    phys: u64,
+    node: Option<CachedNode>,
+    prev: u32,
+    next: u32,
+}
+
+/// Exact-LRU cache keyed by physical node index.
+pub struct NodeCache {
+    capacity: usize,
+    map: HashMap<u64, u32>,
+    slots: Vec<Slot>,
+    free: Vec<u32>,
+    head: u32,
+    tail: u32,
+    pool: Vec<PooledBufs>,
+}
+
+impl NodeCache {
+    /// Cache with the given capacity (≥ 4 to keep a Merkle path resident).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(4),
+            map: HashMap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            pool: Vec::new(),
+        }
+    }
+
+    /// Number of cached nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Whether an insert would require eviction first.
+    #[must_use]
+    pub fn is_full(&self) -> bool {
+        self.map.len() >= self.capacity
+    }
+
+    /// Access a node, refreshing its recency.
+    pub fn get(&mut self, phys: u64) -> Option<&mut CachedNode> {
+        let idx = *self.map.get(&phys)?;
+        self.move_to_front(idx);
+        self.slots[idx as usize].node.as_mut()
+    }
+
+    /// Whether the node is cached (no recency update).
+    #[must_use]
+    pub fn contains(&self, phys: u64) -> bool {
+        self.map.contains_key(&phys)
+    }
+
+    /// Take a buffer pair from the pool (or allocate zeroed ones). The
+    /// caller decides whether to clear them (Intel mode does, §V-F).
+    pub fn alloc_bufs(&mut self) -> (Box<[u8; NODE_SIZE]>, Box<[u8; NODE_SIZE]>) {
+        match self.pool.pop() {
+            Some(p) => (p.plaintext, p.ciphertext),
+            None => (
+                vec![0u8; NODE_SIZE].into_boxed_slice().try_into().expect("size"),
+                vec![0u8; NODE_SIZE].into_boxed_slice().try_into().expect("size"),
+            ),
+        }
+    }
+
+    /// Return a node's buffers to the pool (after eviction bookkeeping).
+    pub fn recycle(&mut self, node: CachedNode) {
+        self.pool.push(PooledBufs {
+            plaintext: node.plaintext,
+            ciphertext: node.ciphertext,
+        });
+    }
+
+    /// Insert a node. The cache must not be full (evict first).
+    ///
+    /// # Panics
+    /// Panics if full or if `phys` is already present.
+    pub fn insert(&mut self, phys: u64, node: CachedNode) {
+        assert!(!self.is_full(), "evict before inserting");
+        assert!(!self.map.contains_key(&phys), "duplicate insert");
+        let idx = if let Some(idx) = self.free.pop() {
+            self.slots[idx as usize] = Slot {
+                phys,
+                node: Some(node),
+                prev: NIL,
+                next: NIL,
+            };
+            idx
+        } else {
+            self.slots.push(Slot {
+                phys,
+                node: Some(node),
+                prev: NIL,
+                next: NIL,
+            });
+            (self.slots.len() - 1) as u32
+        };
+        self.push_front(idx);
+        self.map.insert(phys, idx);
+    }
+
+    /// Remove and return the least-recently-used node.
+    pub fn pop_lru(&mut self) -> Option<(u64, CachedNode)> {
+        let tail = self.tail;
+        if tail == NIL {
+            return None;
+        }
+        Some(self.remove_idx(tail))
+    }
+
+    /// Remove a specific node.
+    pub fn remove(&mut self, phys: u64) -> Option<(u64, CachedNode)> {
+        let idx = *self.map.get(&phys)?;
+        Some(self.remove_idx(idx))
+    }
+
+    /// Physical indices of all dirty nodes (for flush).
+    #[must_use]
+    pub fn dirty_nodes(&self) -> Vec<u64> {
+        self.map
+            .iter()
+            .filter(|(_, &idx)| {
+                self.slots[idx as usize]
+                    .node
+                    .as_ref()
+                    .is_some_and(|n| n.dirty)
+            })
+            .map(|(&phys, _)| phys)
+            .collect()
+    }
+
+    fn remove_idx(&mut self, idx: u32) -> (u64, CachedNode) {
+        self.unlink(idx);
+        let slot = &mut self.slots[idx as usize];
+        let phys = slot.phys;
+        let node = slot.node.take().expect("occupied slot");
+        self.map.remove(&phys);
+        self.free.push(idx);
+        (phys, node)
+    }
+
+    fn push_front(&mut self, idx: u32) {
+        let old = self.head;
+        self.slots[idx as usize].prev = NIL;
+        self.slots[idx as usize].next = old;
+        if old != NIL {
+            self.slots[old as usize].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+
+    fn unlink(&mut self, idx: u32) {
+        let (prev, next) = {
+            let s = &self.slots[idx as usize];
+            (s.prev, s.next)
+        };
+        if prev != NIL {
+            self.slots[prev as usize].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slots[next as usize].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    fn move_to_front(&mut self, idx: u32) {
+        if self.head == idx {
+            return;
+        }
+        self.unlink(idx);
+        self.push_front(idx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node(cache: &mut NodeCache, fill: u8) -> CachedNode {
+        let (mut pt, ct) = cache.alloc_bufs();
+        pt.fill(fill);
+        CachedNode {
+            plaintext: pt,
+            ciphertext: ct,
+            dirty: false,
+        }
+    }
+
+    #[test]
+    fn insert_get() {
+        let mut c = NodeCache::new(4);
+        let n = node(&mut c, 7);
+        c.insert(10, n);
+        assert_eq!(c.get(10).unwrap().plaintext[0], 7);
+        assert!(c.get(11).is_none());
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn lru_order() {
+        let mut c = NodeCache::new(4);
+        for i in 0..4u64 {
+            let n = node(&mut c, i as u8);
+            c.insert(i, n);
+        }
+        // Touch 0 so 1 becomes LRU.
+        c.get(0);
+        let (phys, evicted) = c.pop_lru().unwrap();
+        assert_eq!(phys, 1);
+        c.recycle(evicted);
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn dirty_tracking() {
+        let mut c = NodeCache::new(4);
+        let mut n = node(&mut c, 0);
+        n.dirty = true;
+        c.insert(5, n);
+        let n2 = node(&mut c, 0);
+        c.insert(6, n2);
+        assert_eq!(c.dirty_nodes(), vec![5]);
+        c.get(5).unwrap().dirty = false;
+        assert!(c.dirty_nodes().is_empty());
+    }
+
+    #[test]
+    fn pool_recycles_buffers() {
+        let mut c = NodeCache::new(4);
+        let n = node(&mut c, 0xAA);
+        c.insert(1, n);
+        let (_, evicted) = c.remove(1).unwrap();
+        c.recycle(evicted);
+        // Next alloc returns the dirty buffer (not cleared by the pool).
+        let (pt, _) = c.alloc_bufs();
+        assert_eq!(pt[0], 0xAA, "pool must hand back dirty memory");
+    }
+
+    #[test]
+    #[should_panic(expected = "evict before inserting")]
+    fn insert_when_full_panics() {
+        let mut c = NodeCache::new(4);
+        for i in 0..5u64 {
+            let n = node(&mut c, 0);
+            c.insert(i, n);
+        }
+    }
+}

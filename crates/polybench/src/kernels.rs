@@ -1,0 +1,976 @@
+//! MiniC sources for the 30 PolyBench/C kernels of Figure 3.
+//!
+//! Loop nests and operation mixes follow the PolyBench 4.2.1 reference
+//! definitions; initialisation formulas are PolyBench's (modulo scaling).
+//! Stencils with time loops (`adi`, `fdtd-2d`, `heat-3d`, `jacobi-*`,
+//! `seidel-2d`) use reduced step counts.
+
+/// Problem-size class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Tiny (validation tests).
+    Mini,
+    /// Benchmark size (Figure 3 runs).
+    Small,
+}
+
+impl Scale {
+    /// Base dimension.
+    #[must_use]
+    pub fn n(self) -> u32 {
+        match self {
+            Scale::Mini => 16,
+            Scale::Small => 48,
+        }
+    }
+
+    /// Time steps for stencils.
+    #[must_use]
+    pub fn steps(self) -> u32 {
+        match self {
+            Scale::Mini => 4,
+            Scale::Small => 10,
+        }
+    }
+}
+
+/// A kernel: name plus MiniC source.
+#[derive(Debug, Clone)]
+pub struct Kernel {
+    /// PolyBench kernel name.
+    pub name: &'static str,
+    /// MiniC translation unit defining `init`, `kernel`, `checksum`.
+    pub source: String,
+}
+
+/// The 30 kernel names, in Figure 3's order.
+#[must_use]
+pub fn kernel_names() -> [&'static str; 30] {
+    [
+        "2mm",
+        "3mm",
+        "adi",
+        "atax",
+        "bicg",
+        "cholesky",
+        "correlation",
+        "covariance",
+        "deriche",
+        "doitgen",
+        "durbin",
+        "fdtd-2d",
+        "floyd-warshall",
+        "gemm",
+        "gemver",
+        "gesummv",
+        "gramschmidt",
+        "heat-3d",
+        "jacobi-1d",
+        "jacobi-2d",
+        "lu",
+        "ludcmp",
+        "mvt",
+        "nussinov",
+        "seidel-2d",
+        "symm",
+        "syr2k",
+        "syrk",
+        "trisolv",
+        "trmm",
+    ]
+}
+
+/// Build every kernel at the given scale.
+#[must_use]
+pub fn all_kernels(scale: Scale) -> Vec<Kernel> {
+    kernel_names()
+        .iter()
+        .map(|name| Kernel {
+            name,
+            source: source_for(name, scale),
+        })
+        .collect()
+}
+
+/// Generate the MiniC source of one kernel.
+#[must_use]
+#[allow(clippy::too_many_lines)]
+pub fn source_for(name: &str, scale: Scale) -> String {
+    let n = scale.n();
+    let t = scale.steps();
+    let half = n / 2;
+    match name {
+        "gemm" => format!(
+            r"double A[{n}][{n}]; double B[{n}][{n}]; double C[{n}][{n}];
+void init() {{
+  for (int i = 0; i < {n}; i += 1) for (int j = 0; j < {n}; j += 1) {{
+    A[i][j] = (double)(i * j % {n}) / {n};
+    B[i][j] = (double)(i * (j + 1) % {n}) / {n};
+    C[i][j] = (double)(i * (j + 2) % {n}) / {n};
+  }}
+}}
+void kernel() {{
+  for (int i = 0; i < {n}; i += 1) {{
+    for (int j = 0; j < {n}; j += 1) C[i][j] = C[i][j] * 1.2;
+    for (int k = 0; k < {n}; k += 1)
+      for (int j = 0; j < {n}; j += 1)
+        C[i][j] += 1.5 * A[i][k] * B[k][j];
+  }}
+}}
+double checksum() {{
+  double s = 0.0;
+  for (int i = 0; i < {n}; i += 1) for (int j = 0; j < {n}; j += 1) s += C[i][j];
+  return s;
+}}"
+        ),
+        "2mm" => format!(
+            r"double A[{n}][{n}]; double B[{n}][{n}]; double C[{n}][{n}]; double D[{n}][{n}]; double Tmp[{n}][{n}];
+void init() {{
+  for (int i = 0; i < {n}; i += 1) for (int j = 0; j < {n}; j += 1) {{
+    A[i][j] = (double)((i * j + 1) % {n}) / {n};
+    B[i][j] = (double)(i * (j + 1) % {n}) / {n};
+    C[i][j] = (double)((i * (j + 3) + 1) % {n}) / {n};
+    D[i][j] = (double)(i * (j + 2) % {n}) / {n};
+  }}
+}}
+void kernel() {{
+  for (int i = 0; i < {n}; i += 1) for (int j = 0; j < {n}; j += 1) {{
+    Tmp[i][j] = 0.0;
+    for (int k = 0; k < {n}; k += 1) Tmp[i][j] += 1.5 * A[i][k] * B[k][j];
+  }}
+  for (int i = 0; i < {n}; i += 1) for (int j = 0; j < {n}; j += 1) {{
+    D[i][j] = D[i][j] * 1.2;
+    for (int k = 0; k < {n}; k += 1) D[i][j] += Tmp[i][k] * C[k][j];
+  }}
+}}
+double checksum() {{
+  double s = 0.0;
+  for (int i = 0; i < {n}; i += 1) for (int j = 0; j < {n}; j += 1) s += D[i][j];
+  return s;
+}}"
+        ),
+        "3mm" => format!(
+            r"double A[{n}][{n}]; double B[{n}][{n}]; double C[{n}][{n}]; double D[{n}][{n}];
+double E[{n}][{n}]; double F[{n}][{n}]; double G[{n}][{n}];
+void init() {{
+  for (int i = 0; i < {n}; i += 1) for (int j = 0; j < {n}; j += 1) {{
+    A[i][j] = (double)((i * j + 1) % {n}) / (5.0 * {n});
+    B[i][j] = (double)((i * (j + 1) + 2) % {n}) / (5.0 * {n});
+    C[i][j] = (double)(i * (j + 3) % {n}) / (5.0 * {n});
+    D[i][j] = (double)((i * (j + 2) + 2) % {n}) / (5.0 * {n});
+  }}
+}}
+void kernel() {{
+  for (int i = 0; i < {n}; i += 1) for (int j = 0; j < {n}; j += 1) {{
+    E[i][j] = 0.0;
+    for (int k = 0; k < {n}; k += 1) E[i][j] += A[i][k] * B[k][j];
+  }}
+  for (int i = 0; i < {n}; i += 1) for (int j = 0; j < {n}; j += 1) {{
+    F[i][j] = 0.0;
+    for (int k = 0; k < {n}; k += 1) F[i][j] += C[i][k] * D[k][j];
+  }}
+  for (int i = 0; i < {n}; i += 1) for (int j = 0; j < {n}; j += 1) {{
+    G[i][j] = 0.0;
+    for (int k = 0; k < {n}; k += 1) G[i][j] += E[i][k] * F[k][j];
+  }}
+}}
+double checksum() {{
+  double s = 0.0;
+  for (int i = 0; i < {n}; i += 1) for (int j = 0; j < {n}; j += 1) s += G[i][j];
+  return s;
+}}"
+        ),
+        "atax" => format!(
+            r"double A[{n}][{n}]; double x[{n}]; double y[{n}]; double tmp[{n}];
+void init() {{
+  for (int i = 0; i < {n}; i += 1) {{
+    x[i] = 1.0 + (double)i / {n};
+    for (int j = 0; j < {n}; j += 1) A[i][j] = (double)((i + j) % {n}) / (5.0 * {n});
+  }}
+}}
+void kernel() {{
+  for (int i = 0; i < {n}; i += 1) y[i] = 0.0;
+  for (int i = 0; i < {n}; i += 1) {{
+    tmp[i] = 0.0;
+    for (int j = 0; j < {n}; j += 1) tmp[i] += A[i][j] * x[j];
+    for (int j = 0; j < {n}; j += 1) y[j] += A[i][j] * tmp[i];
+  }}
+}}
+double checksum() {{
+  double s = 0.0;
+  for (int i = 0; i < {n}; i += 1) s += y[i];
+  return s;
+}}"
+        ),
+        "bicg" => format!(
+            r"double A[{n}][{n}]; double s[{n}]; double q[{n}]; double p[{n}]; double r[{n}];
+void init() {{
+  for (int i = 0; i < {n}; i += 1) {{
+    p[i] = (double)(i % {n}) / {n};
+    r[i] = (double)(i % {n}) / {n};
+    for (int j = 0; j < {n}; j += 1) A[i][j] = (double)(i * (j + 1) % {n}) / {n};
+  }}
+}}
+void kernel() {{
+  for (int i = 0; i < {n}; i += 1) s[i] = 0.0;
+  for (int i = 0; i < {n}; i += 1) {{
+    q[i] = 0.0;
+    for (int j = 0; j < {n}; j += 1) {{
+      s[j] += r[i] * A[i][j];
+      q[i] += A[i][j] * p[j];
+    }}
+  }}
+}}
+double checksum() {{
+  double acc = 0.0;
+  for (int i = 0; i < {n}; i += 1) acc += s[i] + q[i];
+  return acc;
+}}"
+        ),
+        "mvt" => format!(
+            r"double A[{n}][{n}]; double x1[{n}]; double x2[{n}]; double y1[{n}]; double y2[{n}];
+void init() {{
+  for (int i = 0; i < {n}; i += 1) {{
+    x1[i] = (double)(i % {n}) / {n};
+    x2[i] = (double)((i + 1) % {n}) / {n};
+    y1[i] = (double)((i + 3) % {n}) / {n};
+    y2[i] = (double)((i + 4) % {n}) / {n};
+    for (int j = 0; j < {n}; j += 1) A[i][j] = (double)(i * j % {n}) / {n};
+  }}
+}}
+void kernel() {{
+  for (int i = 0; i < {n}; i += 1)
+    for (int j = 0; j < {n}; j += 1)
+      x1[i] += A[i][j] * y1[j];
+  for (int i = 0; i < {n}; i += 1)
+    for (int j = 0; j < {n}; j += 1)
+      x2[i] += A[j][i] * y2[j];
+}}
+double checksum() {{
+  double s = 0.0;
+  for (int i = 0; i < {n}; i += 1) s += x1[i] + x2[i];
+  return s;
+}}"
+        ),
+        "gemver" => format!(
+            r"double A[{n}][{n}]; double u1[{n}]; double v1[{n}]; double u2[{n}]; double v2[{n}];
+double w[{n}]; double x[{n}]; double y[{n}]; double z[{n}];
+void init() {{
+  for (int i = 0; i < {n}; i += 1) {{
+    u1[i] = i; u2[i] = ((i + 1) / {n}) / 2.0; v1[i] = ((i + 1) / {n}) / 4.0;
+    v2[i] = ((i + 1) / {n}) / 6.0; y[i] = ((i + 1) / {n}) / 8.0;
+    z[i] = ((i + 1) / {n}) / 9.0; x[i] = 0.0; w[i] = 0.0;
+    for (int j = 0; j < {n}; j += 1) A[i][j] = (double)(i * j % {n}) / {n};
+  }}
+}}
+void kernel() {{
+  for (int i = 0; i < {n}; i += 1)
+    for (int j = 0; j < {n}; j += 1)
+      A[i][j] = A[i][j] + u1[i] * v1[j] + u2[i] * v2[j];
+  for (int i = 0; i < {n}; i += 1)
+    for (int j = 0; j < {n}; j += 1)
+      x[i] = x[i] + 1.2 * A[j][i] * y[j];
+  for (int i = 0; i < {n}; i += 1) x[i] = x[i] + z[i];
+  for (int i = 0; i < {n}; i += 1)
+    for (int j = 0; j < {n}; j += 1)
+      w[i] = w[i] + 1.5 * A[i][j] * x[j];
+}}
+double checksum() {{
+  double s = 0.0;
+  for (int i = 0; i < {n}; i += 1) s += w[i];
+  return s;
+}}"
+        ),
+        "gesummv" => format!(
+            r"double A[{n}][{n}]; double B[{n}][{n}]; double x[{n}]; double y[{n}]; double tmp[{n}];
+void init() {{
+  for (int i = 0; i < {n}; i += 1) {{
+    x[i] = (double)(i % {n}) / {n};
+    for (int j = 0; j < {n}; j += 1) {{
+      A[i][j] = (double)((i * j + 1) % {n}) / {n};
+      B[i][j] = (double)((i * j + 2) % {n}) / {n};
+    }}
+  }}
+}}
+void kernel() {{
+  for (int i = 0; i < {n}; i += 1) {{
+    tmp[i] = 0.0;
+    y[i] = 0.0;
+    for (int j = 0; j < {n}; j += 1) {{
+      tmp[i] = A[i][j] * x[j] + tmp[i];
+      y[i] = B[i][j] * x[j] + y[i];
+    }}
+    y[i] = 1.5 * tmp[i] + 1.2 * y[i];
+  }}
+}}
+double checksum() {{
+  double s = 0.0;
+  for (int i = 0; i < {n}; i += 1) s += y[i];
+  return s;
+}}"
+        ),
+        "syrk" => format!(
+            r"double A[{n}][{n}]; double C[{n}][{n}];
+void init() {{
+  for (int i = 0; i < {n}; i += 1) for (int j = 0; j < {n}; j += 1) {{
+    A[i][j] = (double)((i * j + 1) % {n}) / {n};
+    C[i][j] = (double)((i * j + 2) % {n}) / {n};
+  }}
+}}
+void kernel() {{
+  for (int i = 0; i < {n}; i += 1) {{
+    for (int j = 0; j <= i; j += 1) C[i][j] = C[i][j] * 1.2;
+    for (int k = 0; k < {n}; k += 1)
+      for (int j = 0; j <= i; j += 1)
+        C[i][j] += 1.5 * A[i][k] * A[j][k];
+  }}
+}}
+double checksum() {{
+  double s = 0.0;
+  for (int i = 0; i < {n}; i += 1) for (int j = 0; j < {n}; j += 1) s += C[i][j];
+  return s;
+}}"
+        ),
+        "syr2k" => format!(
+            r"double A[{n}][{n}]; double B[{n}][{n}]; double C[{n}][{n}];
+void init() {{
+  for (int i = 0; i < {n}; i += 1) for (int j = 0; j < {n}; j += 1) {{
+    A[i][j] = (double)((i * j + 1) % {n}) / {n};
+    B[i][j] = (double)((i * j + 2) % {n}) / {n};
+    C[i][j] = (double)((i * j + 3) % {n}) / {n};
+  }}
+}}
+void kernel() {{
+  for (int i = 0; i < {n}; i += 1) {{
+    for (int j = 0; j <= i; j += 1) C[i][j] = C[i][j] * 1.2;
+    for (int k = 0; k < {n}; k += 1)
+      for (int j = 0; j <= i; j += 1)
+        C[i][j] += A[j][k] * 1.5 * B[i][k] + B[j][k] * 1.5 * A[i][k];
+  }}
+}}
+double checksum() {{
+  double s = 0.0;
+  for (int i = 0; i < {n}; i += 1) for (int j = 0; j < {n}; j += 1) s += C[i][j];
+  return s;
+}}"
+        ),
+        "trmm" => format!(
+            r"double A[{n}][{n}]; double B[{n}][{n}];
+void init() {{
+  for (int i = 0; i < {n}; i += 1) for (int j = 0; j < {n}; j += 1) {{
+    A[i][j] = (double)((i * j) % {n}) / {n};
+    B[i][j] = (double)(({n} + i - j) % {n}) / {n};
+  }}
+}}
+void kernel() {{
+  for (int i = 0; i < {n}; i += 1)
+    for (int j = 0; j < {n}; j += 1) {{
+      for (int k = i + 1; k < {n}; k += 1)
+        B[i][j] += A[k][i] * B[k][j];
+      B[i][j] = 1.5 * B[i][j];
+    }}
+}}
+double checksum() {{
+  double s = 0.0;
+  for (int i = 0; i < {n}; i += 1) for (int j = 0; j < {n}; j += 1) s += B[i][j];
+  return s;
+}}"
+        ),
+        "symm" => format!(
+            r"double A[{n}][{n}]; double B[{n}][{n}]; double C[{n}][{n}];
+void init() {{
+  for (int i = 0; i < {n}; i += 1) for (int j = 0; j < {n}; j += 1) {{
+    A[i][j] = (double)((i + j) % 100) / {n};
+    B[i][j] = (double)(({n} + i - j) % 100) / {n};
+    C[i][j] = (double)((i + j) % 100) / {n};
+  }}
+}}
+void kernel() {{
+  for (int i = 0; i < {n}; i += 1)
+    for (int j = 0; j < {n}; j += 1) {{
+      double temp2 = 0.0;
+      for (int k = 0; k < i; k += 1) {{
+        C[k][j] += 1.5 * B[i][j] * A[i][k];
+        temp2 += B[k][j] * A[i][k];
+      }}
+      C[i][j] = 1.2 * C[i][j] + 1.5 * B[i][j] * A[i][i] + 1.5 * temp2;
+    }}
+}}
+double checksum() {{
+  double s = 0.0;
+  for (int i = 0; i < {n}; i += 1) for (int j = 0; j < {n}; j += 1) s += C[i][j];
+  return s;
+}}"
+        ),
+        "trisolv" => format!(
+            r"double L[{n}][{n}]; double x[{n}]; double b[{n}];
+void init() {{
+  for (int i = 0; i < {n}; i += 1) {{
+    x[i] = -999.0;
+    b[i] = i;
+    for (int j = 0; j <= i; j += 1) L[i][j] = (double)(i + {n} - j + 1) * 2.0 / {n};
+  }}
+}}
+void kernel() {{
+  for (int i = 0; i < {n}; i += 1) {{
+    x[i] = b[i];
+    for (int j = 0; j < i; j += 1) x[i] -= L[i][j] * x[j];
+    x[i] = x[i] / L[i][i];
+  }}
+}}
+double checksum() {{
+  double s = 0.0;
+  for (int i = 0; i < {n}; i += 1) s += x[i];
+  return s;
+}}"
+        ),
+        "durbin" => format!(
+            r"double r[{n}]; double y[{n}]; double z[{n}];
+void init() {{
+  for (int i = 0; i < {n}; i += 1) r[i] = {n} + 1 - i;
+}}
+void kernel() {{
+  double alpha = -r[0];
+  double beta = 1.0;
+  y[0] = -r[0];
+  for (int k = 1; k < {n}; k += 1) {{
+    beta = (1.0 - alpha * alpha) * beta;
+    double sum = 0.0;
+    for (int i = 0; i < k; i += 1) sum += r[k - i - 1] * y[i];
+    alpha = -(r[k] + sum) / beta;
+    for (int i = 0; i < k; i += 1) z[i] = y[i] + alpha * y[k - i - 1];
+    for (int i = 0; i < k; i += 1) y[i] = z[i];
+    y[k] = alpha;
+  }}
+}}
+double checksum() {{
+  double s = 0.0;
+  for (int i = 0; i < {n}; i += 1) s += y[i];
+  return s;
+}}"
+        ),
+        "lu" => format!(
+            r"double A[{n}][{n}];
+void init() {{
+  for (int i = 0; i < {n}; i += 1) {{
+    for (int j = 0; j <= i; j += 1) A[i][j] = (double)(-j % {n}) / {n} + 1.0;
+    for (int j = i + 1; j < {n}; j += 1) A[i][j] = 0.0;
+    A[i][i] = 1.0;
+  }}
+  // Make positive semi-definite-ish: A = B*B^T done in-place surrogate.
+  for (int i = 0; i < {n}; i += 1) A[i][i] = A[i][i] + {n};
+}}
+void kernel() {{
+  for (int i = 0; i < {n}; i += 1) {{
+    for (int j = 0; j < i; j += 1) {{
+      for (int k = 0; k < j; k += 1) A[i][j] -= A[i][k] * A[k][j];
+      A[i][j] = A[i][j] / A[j][j];
+    }}
+    for (int j = i; j < {n}; j += 1)
+      for (int k = 0; k < i; k += 1) A[i][j] -= A[i][k] * A[k][j];
+  }}
+}}
+double checksum() {{
+  double s = 0.0;
+  for (int i = 0; i < {n}; i += 1) for (int j = 0; j < {n}; j += 1) s += A[i][j];
+  return s;
+}}"
+        ),
+        "ludcmp" => format!(
+            r"double A[{n}][{n}]; double b[{n}]; double x[{n}]; double y[{n}];
+void init() {{
+  for (int i = 0; i < {n}; i += 1) {{
+    x[i] = 0.0;
+    b[i] = (i + 1.0) / {n} / 2.0 + 4.0;
+    for (int j = 0; j <= i; j += 1) A[i][j] = (double)(-j % {n}) / {n} + 1.0;
+    for (int j = i + 1; j < {n}; j += 1) A[i][j] = 0.0;
+    A[i][i] = {n} + 1.0;
+  }}
+}}
+void kernel() {{
+  for (int i = 0; i < {n}; i += 1) {{
+    for (int j = 0; j < i; j += 1) {{
+      double w = A[i][j];
+      for (int k = 0; k < j; k += 1) w -= A[i][k] * A[k][j];
+      A[i][j] = w / A[j][j];
+    }}
+    for (int j = i; j < {n}; j += 1) {{
+      double w = A[i][j];
+      for (int k = 0; k < i; k += 1) w -= A[i][k] * A[k][j];
+      A[i][j] = w;
+    }}
+  }}
+  for (int i = 0; i < {n}; i += 1) {{
+    double w = b[i];
+    for (int j = 0; j < i; j += 1) w -= A[i][j] * y[j];
+    y[i] = w;
+  }}
+  for (int i = {n} - 1; i >= 0; i -= 1) {{
+    double w = y[i];
+    for (int j = i + 1; j < {n}; j += 1) w -= A[i][j] * x[j];
+    x[i] = w / A[i][i];
+  }}
+}}
+double checksum() {{
+  double s = 0.0;
+  for (int i = 0; i < {n}; i += 1) s += x[i];
+  return s;
+}}"
+        ),
+        "cholesky" => format!(
+            r"double A[{n}][{n}];
+void init() {{
+  for (int i = 0; i < {n}; i += 1) {{
+    for (int j = 0; j <= i; j += 1) A[i][j] = (double)(-j % {n}) / {n} + 1.0;
+    for (int j = i + 1; j < {n}; j += 1) A[i][j] = 0.0;
+    A[i][i] = {n} * 2.0;
+  }}
+}}
+void kernel() {{
+  for (int i = 0; i < {n}; i += 1) {{
+    for (int j = 0; j < i; j += 1) {{
+      for (int k = 0; k < j; k += 1) A[i][j] -= A[i][k] * A[j][k];
+      A[i][j] = A[i][j] / A[j][j];
+    }}
+    for (int k = 0; k < i; k += 1) A[i][i] -= A[i][k] * A[i][k];
+    A[i][i] = sqrt(A[i][i]);
+  }}
+}}
+double checksum() {{
+  double s = 0.0;
+  for (int i = 0; i < {n}; i += 1) for (int j = 0; j <= i; j += 1) s += A[i][j];
+  return s;
+}}"
+        ),
+        "gramschmidt" => format!(
+            r"double A[{n}][{n}]; double R[{n}][{n}]; double Q[{n}][{n}];
+void init() {{
+  for (int i = 0; i < {n}; i += 1) for (int j = 0; j < {n}; j += 1) {{
+    A[i][j] = (((double)((i * j) % {n}) / {n}) * 100.0) + 10.0;
+    Q[i][j] = 0.0;
+    R[i][j] = 0.0;
+  }}
+}}
+void kernel() {{
+  for (int k = 0; k < {n}; k += 1) {{
+    double nrm = 0.0;
+    for (int i = 0; i < {n}; i += 1) nrm += A[i][k] * A[i][k];
+    R[k][k] = sqrt(nrm);
+    for (int i = 0; i < {n}; i += 1) Q[i][k] = A[i][k] / R[k][k];
+    for (int j = k + 1; j < {n}; j += 1) {{
+      R[k][j] = 0.0;
+      for (int i = 0; i < {n}; i += 1) R[k][j] += Q[i][k] * A[i][j];
+      for (int i = 0; i < {n}; i += 1) A[i][j] = A[i][j] - Q[i][k] * R[k][j];
+    }}
+  }}
+}}
+double checksum() {{
+  double s = 0.0;
+  for (int i = 0; i < {n}; i += 1) for (int j = 0; j < {n}; j += 1) s += R[i][j] + Q[i][j];
+  return s;
+}}"
+        ),
+        "correlation" => format!(
+            r"double data[{n}][{n}]; double corr[{n}][{n}]; double mean[{n}]; double stddev[{n}];
+void init() {{
+  for (int i = 0; i < {n}; i += 1) for (int j = 0; j < {n}; j += 1)
+    data[i][j] = (double)(i * j) / {n} + i;
+}}
+void kernel() {{
+  for (int j = 0; j < {n}; j += 1) {{
+    mean[j] = 0.0;
+    for (int i = 0; i < {n}; i += 1) mean[j] += data[i][j];
+    mean[j] = mean[j] / {n};
+  }}
+  for (int j = 0; j < {n}; j += 1) {{
+    stddev[j] = 0.0;
+    for (int i = 0; i < {n}; i += 1)
+      stddev[j] += (data[i][j] - mean[j]) * (data[i][j] - mean[j]);
+    stddev[j] = sqrt(stddev[j] / {n});
+    if (stddev[j] <= 0.1) {{ stddev[j] = 1.0; }}
+  }}
+  for (int i = 0; i < {n}; i += 1)
+    for (int j = 0; j < {n}; j += 1)
+      data[i][j] = (data[i][j] - mean[j]) / sqrt((double){n}) / stddev[j];
+  for (int i = 0; i < {n} - 1; i += 1) {{
+    corr[i][i] = 1.0;
+    for (int j = i + 1; j < {n}; j += 1) {{
+      corr[i][j] = 0.0;
+      for (int k = 0; k < {n}; k += 1) corr[i][j] += data[k][i] * data[k][j];
+      corr[j][i] = corr[i][j];
+    }}
+  }}
+  corr[{n} - 1][{n} - 1] = 1.0;
+}}
+double checksum() {{
+  double s = 0.0;
+  for (int i = 0; i < {n}; i += 1) for (int j = 0; j < {n}; j += 1) s += corr[i][j];
+  return s;
+}}"
+        ),
+        "covariance" => format!(
+            r"double data[{n}][{n}]; double cov[{n}][{n}]; double mean[{n}];
+void init() {{
+  for (int i = 0; i < {n}; i += 1) for (int j = 0; j < {n}; j += 1)
+    data[i][j] = (double)(i * j) / {n};
+}}
+void kernel() {{
+  for (int j = 0; j < {n}; j += 1) {{
+    mean[j] = 0.0;
+    for (int i = 0; i < {n}; i += 1) mean[j] += data[i][j];
+    mean[j] = mean[j] / {n};
+  }}
+  for (int i = 0; i < {n}; i += 1)
+    for (int j = 0; j < {n}; j += 1)
+      data[i][j] -= mean[j];
+  for (int i = 0; i < {n}; i += 1)
+    for (int j = i; j < {n}; j += 1) {{
+      cov[i][j] = 0.0;
+      for (int k = 0; k < {n}; k += 1) cov[i][j] += data[k][i] * data[k][j];
+      cov[i][j] = cov[i][j] / ({n} - 1.0);
+      cov[j][i] = cov[i][j];
+    }}
+}}
+double checksum() {{
+  double s = 0.0;
+  for (int i = 0; i < {n}; i += 1) for (int j = 0; j < {n}; j += 1) s += cov[i][j];
+  return s;
+}}"
+        ),
+        "doitgen" => format!(
+            r"double A[{half}][{half}][{n}]; double C4[{n}][{n}]; double sum[{n}];
+void init() {{
+  for (int r = 0; r < {half}; r += 1)
+    for (int q = 0; q < {half}; q += 1)
+      for (int p = 0; p < {n}; p += 1)
+        A[r][q][p] = (double)((r * q + p) % {n}) / {n};
+  for (int i = 0; i < {n}; i += 1)
+    for (int j = 0; j < {n}; j += 1)
+      C4[i][j] = (double)(i * j % {n}) / {n};
+}}
+void kernel() {{
+  for (int r = 0; r < {half}; r += 1)
+    for (int q = 0; q < {half}; q += 1) {{
+      for (int p = 0; p < {n}; p += 1) {{
+        sum[p] = 0.0;
+        for (int s = 0; s < {n}; s += 1) sum[p] += A[r][q][s] * C4[s][p];
+      }}
+      for (int p = 0; p < {n}; p += 1) A[r][q][p] = sum[p];
+    }}
+}}
+double checksum() {{
+  double acc = 0.0;
+  for (int r = 0; r < {half}; r += 1)
+    for (int q = 0; q < {half}; q += 1)
+      for (int p = 0; p < {n}; p += 1) acc += A[r][q][p];
+  return acc;
+}}"
+        ),
+        "floyd-warshall" => format!(
+            r"int path[{n}][{n}];
+void init() {{
+  for (int i = 0; i < {n}; i += 1) for (int j = 0; j < {n}; j += 1) {{
+    path[i][j] = i * j % 7 + 1;
+    if ((i + j) % 13 == 0 || (i + j) % 7 == 0 || (i + j) % 11 == 0) {{ path[i][j] = 999; }}
+  }}
+}}
+void kernel() {{
+  for (int k = 0; k < {n}; k += 1)
+    for (int i = 0; i < {n}; i += 1)
+      for (int j = 0; j < {n}; j += 1) {{
+        if (path[i][k] + path[k][j] < path[i][j]) {{
+          path[i][j] = path[i][k] + path[k][j];
+        }}
+      }}
+}}
+double checksum() {{
+  double s = 0.0;
+  for (int i = 0; i < {n}; i += 1) for (int j = 0; j < {n}; j += 1) s += path[i][j];
+  return s;
+}}"
+        ),
+        "nussinov" => format!(
+            r"int seq[{n}]; int table[{n}][{n}];
+int maxi(int a, int b) {{ if (a > b) {{ return a; }} return b; }}
+void init() {{
+  for (int i = 0; i < {n}; i += 1) {{
+    seq[i] = (i + 1) % 4;
+    for (int j = 0; j < {n}; j += 1) table[i][j] = 0;
+  }}
+}}
+void kernel() {{
+  for (int i = {n} - 1; i >= 0; i -= 1) {{
+    for (int j = i + 1; j < {n}; j += 1) {{
+      if (j - 1 >= 0) {{ table[i][j] = maxi(table[i][j], table[i][j - 1]); }}
+      if (i + 1 < {n}) {{ table[i][j] = maxi(table[i][j], table[i + 1][j]); }}
+      if (j - 1 >= 0 && i + 1 < {n}) {{
+        int match = 0;
+        if (seq[i] + seq[j] == 3) {{ match = 1; }}
+        if (i < j - 1) {{ table[i][j] = maxi(table[i][j], table[i + 1][j - 1] + match); }}
+        else {{ table[i][j] = maxi(table[i][j], table[i + 1][j - 1]); }}
+      }}
+      for (int k = i + 1; k < j; k += 1)
+        table[i][j] = maxi(table[i][j], table[i][k] + table[k + 1][j]);
+    }}
+  }}
+}}
+double checksum() {{
+  double s = 0.0;
+  for (int i = 0; i < {n}; i += 1) for (int j = 0; j < {n}; j += 1) s += table[i][j];
+  return s;
+}}"
+        ),
+        "jacobi-1d" => {
+            let big = n * n; // 1-D stencils use a larger extent
+            format!(
+                r"double A[{big}]; double B[{big}];
+void init() {{
+  for (int i = 0; i < {big}; i += 1) {{
+    A[i] = ((double)i + 2.0) / {big};
+    B[i] = ((double)i + 3.0) / {big};
+  }}
+}}
+void kernel() {{
+  for (int t = 0; t < {t}; t += 1) {{
+    for (int i = 1; i < {big} - 1; i += 1) B[i] = 0.33333 * (A[i-1] + A[i] + A[i+1]);
+    for (int i = 1; i < {big} - 1; i += 1) A[i] = 0.33333 * (B[i-1] + B[i] + B[i+1]);
+  }}
+}}
+double checksum() {{
+  double s = 0.0;
+  for (int i = 0; i < {big}; i += 1) s += A[i];
+  return s;
+}}"
+            )
+        }
+        "jacobi-2d" => format!(
+            r"double A[{n}][{n}]; double B[{n}][{n}];
+void init() {{
+  for (int i = 0; i < {n}; i += 1) for (int j = 0; j < {n}; j += 1) {{
+    A[i][j] = ((double)i * (j + 2) + 2.0) / {n};
+    B[i][j] = ((double)i * (j + 3) + 3.0) / {n};
+  }}
+}}
+void kernel() {{
+  for (int t = 0; t < {t}; t += 1) {{
+    for (int i = 1; i < {n} - 1; i += 1)
+      for (int j = 1; j < {n} - 1; j += 1)
+        B[i][j] = 0.2 * (A[i][j] + A[i][j-1] + A[i][j+1] + A[i+1][j] + A[i-1][j]);
+    for (int i = 1; i < {n} - 1; i += 1)
+      for (int j = 1; j < {n} - 1; j += 1)
+        A[i][j] = 0.2 * (B[i][j] + B[i][j-1] + B[i][j+1] + B[i+1][j] + B[i-1][j]);
+  }}
+}}
+double checksum() {{
+  double s = 0.0;
+  for (int i = 0; i < {n}; i += 1) for (int j = 0; j < {n}; j += 1) s += A[i][j];
+  return s;
+}}"
+        ),
+        "seidel-2d" => format!(
+            r"double A[{n}][{n}];
+void init() {{
+  for (int i = 0; i < {n}; i += 1) for (int j = 0; j < {n}; j += 1)
+    A[i][j] = ((double)i * (j + 2) + 2.0) / {n};
+}}
+void kernel() {{
+  for (int t = 0; t < {t}; t += 1)
+    for (int i = 1; i < {n} - 1; i += 1)
+      for (int j = 1; j < {n} - 1; j += 1)
+        A[i][j] = (A[i-1][j-1] + A[i-1][j] + A[i-1][j+1]
+                 + A[i][j-1] + A[i][j] + A[i][j+1]
+                 + A[i+1][j-1] + A[i+1][j] + A[i+1][j+1]) / 9.0;
+}}
+double checksum() {{
+  double s = 0.0;
+  for (int i = 0; i < {n}; i += 1) for (int j = 0; j < {n}; j += 1) s += A[i][j];
+  return s;
+}}"
+        ),
+        "fdtd-2d" => format!(
+            r"double ex[{n}][{n}]; double ey[{n}][{n}]; double hz[{n}][{n}]; double fict[{t}];
+void init() {{
+  for (int i = 0; i < {t}; i += 1) fict[i] = i;
+  for (int i = 0; i < {n}; i += 1) for (int j = 0; j < {n}; j += 1) {{
+    ex[i][j] = ((double)i * (j + 1)) / {n};
+    ey[i][j] = ((double)i * (j + 2)) / {n};
+    hz[i][j] = ((double)i * (j + 3)) / {n};
+  }}
+}}
+void kernel() {{
+  for (int tt = 0; tt < {t}; tt += 1) {{
+    for (int j = 0; j < {n}; j += 1) ey[0][j] = fict[tt];
+    for (int i = 1; i < {n}; i += 1)
+      for (int j = 0; j < {n}; j += 1)
+        ey[i][j] = ey[i][j] - 0.5 * (hz[i][j] - hz[i-1][j]);
+    for (int i = 0; i < {n}; i += 1)
+      for (int j = 1; j < {n}; j += 1)
+        ex[i][j] = ex[i][j] - 0.5 * (hz[i][j] - hz[i][j-1]);
+    for (int i = 0; i < {n} - 1; i += 1)
+      for (int j = 0; j < {n} - 1; j += 1)
+        hz[i][j] = hz[i][j] - 0.7 * (ex[i][j+1] - ex[i][j] + ey[i+1][j] - ey[i][j]);
+  }}
+}}
+double checksum() {{
+  double s = 0.0;
+  for (int i = 0; i < {n}; i += 1) for (int j = 0; j < {n}; j += 1) s += hz[i][j] + ex[i][j] + ey[i][j];
+  return s;
+}}"
+        ),
+        "heat-3d" => {
+            let m = (n / 3).max(8);
+            format!(
+                r"double A[{m}][{m}][{m}]; double B[{m}][{m}][{m}];
+void init() {{
+  for (int i = 0; i < {m}; i += 1)
+    for (int j = 0; j < {m}; j += 1)
+      for (int k = 0; k < {m}; k += 1) {{
+        A[i][j][k] = (double)(i + j + ({m} - k)) * 10.0 / {m};
+        B[i][j][k] = A[i][j][k];
+      }}
+}}
+void kernel() {{
+  for (int t = 1; t <= {t}; t += 1) {{
+    for (int i = 1; i < {m} - 1; i += 1)
+      for (int j = 1; j < {m} - 1; j += 1)
+        for (int k = 1; k < {m} - 1; k += 1)
+          B[i][j][k] = 0.125 * (A[i+1][j][k] - 2.0 * A[i][j][k] + A[i-1][j][k])
+                     + 0.125 * (A[i][j+1][k] - 2.0 * A[i][j][k] + A[i][j-1][k])
+                     + 0.125 * (A[i][j][k+1] - 2.0 * A[i][j][k] + A[i][j][k-1])
+                     + A[i][j][k];
+    for (int i = 1; i < {m} - 1; i += 1)
+      for (int j = 1; j < {m} - 1; j += 1)
+        for (int k = 1; k < {m} - 1; k += 1)
+          A[i][j][k] = 0.125 * (B[i+1][j][k] - 2.0 * B[i][j][k] + B[i-1][j][k])
+                     + 0.125 * (B[i][j+1][k] - 2.0 * B[i][j][k] + B[i][j-1][k])
+                     + 0.125 * (B[i][j][k+1] - 2.0 * B[i][j][k] + B[i][j][k-1])
+                     + B[i][j][k];
+  }}
+}}
+double checksum() {{
+  double s = 0.0;
+  for (int i = 0; i < {m}; i += 1)
+    for (int j = 0; j < {m}; j += 1)
+      for (int k = 0; k < {m}; k += 1) s += A[i][j][k];
+  return s;
+}}"
+            )
+        }
+        "adi" => format!(
+            r"double u[{n}][{n}]; double v[{n}][{n}]; double p[{n}][{n}]; double q[{n}][{n}];
+void init() {{
+  for (int i = 0; i < {n}; i += 1) for (int j = 0; j < {n}; j += 1)
+    u[i][j] = ((double)i + {n} - j) / {n};
+}}
+void kernel() {{
+  double DX = 1.0 / {n}; double DY = 1.0 / {n}; double DT = 1.0 / {t};
+  double B1 = 2.0; double B2 = 1.0;
+  double mul1 = B1 * DT / (DX * DX); double mul2 = B2 * DT / (DY * DY);
+  double a = -mul1 / 2.0; double b = 1.0 + mul1; double c = a;
+  double d = -mul2 / 2.0; double e = 1.0 + mul2; double f = d;
+  for (int tt = 1; tt <= {t}; tt += 1) {{
+    for (int i = 1; i < {n} - 1; i += 1) {{
+      v[0][i] = 1.0; p[i][0] = 0.0; q[i][0] = v[0][i];
+      for (int j = 1; j < {n} - 1; j += 1) {{
+        p[i][j] = -c / (a * p[i][j-1] + b);
+        q[i][j] = (-d * u[j][i-1] + (1.0 + 2.0 * d) * u[j][i] - f * u[j][i+1] - a * q[i][j-1]) / (a * p[i][j-1] + b);
+      }}
+      v[{n}-1][i] = 1.0;
+      for (int j = {n} - 2; j >= 1; j -= 1) v[j][i] = p[i][j] * v[j+1][i] + q[i][j];
+    }}
+    for (int i = 1; i < {n} - 1; i += 1) {{
+      u[i][0] = 1.0; p[i][0] = 0.0; q[i][0] = u[i][0];
+      for (int j = 1; j < {n} - 1; j += 1) {{
+        p[i][j] = -f / (d * p[i][j-1] + e);
+        q[i][j] = (-a * v[i-1][j] + (1.0 + 2.0 * a) * v[i][j] - c * v[i+1][j] - d * q[i][j-1]) / (d * p[i][j-1] + e);
+      }}
+      u[i][{n}-1] = 1.0;
+      for (int j = {n} - 2; j >= 1; j -= 1) u[i][j] = p[i][j] * u[i][j+1] + q[i][j];
+    }}
+  }}
+}}
+double checksum() {{
+  double s = 0.0;
+  for (int i = 0; i < {n}; i += 1) for (int j = 0; j < {n}; j += 1) s += u[i][j];
+  return s;
+}}"
+        ),
+        "deriche" => format!(
+            r"double imgIn[{n}][{n}]; double imgOut[{n}][{n}]; double y1[{n}][{n}]; double y2[{n}][{n}];
+void init() {{
+  for (int i = 0; i < {n}; i += 1) for (int j = 0; j < {n}; j += 1)
+    imgIn[i][j] = (double)((313 * i + 991 * j) % 65536) / 65535.0;
+}}
+void kernel() {{
+  double alpha = 0.25;
+  double k = (1.0 - exp(-alpha)) * (1.0 - exp(-alpha)) / (1.0 + 2.0 * alpha * exp(-alpha) - exp(2.0 * alpha));
+  double a1 = k; double a5 = k;
+  double a2 = k * exp(-alpha) * (alpha - 1.0); double a6 = a2;
+  double a3 = k * exp(-alpha) * (alpha + 1.0); double a7 = a3;
+  double a4 = -k * exp(-2.0 * alpha); double a8 = a4;
+  double b1 = pow(2.0, -alpha); double b2 = -exp(-2.0 * alpha);
+  double c1 = 1.0; double c2 = 1.0;
+  for (int i = 0; i < {n}; i += 1) {{
+    double ym1 = 0.0; double ym2 = 0.0; double xm1 = 0.0;
+    for (int j = 0; j < {n}; j += 1) {{
+      y1[i][j] = a1 * imgIn[i][j] + a2 * xm1 + b1 * ym1 + b2 * ym2;
+      xm1 = imgIn[i][j]; ym2 = ym1; ym1 = y1[i][j];
+    }}
+  }}
+  for (int i = 0; i < {n}; i += 1) {{
+    double yp1 = 0.0; double yp2 = 0.0; double xp1 = 0.0; double xp2 = 0.0;
+    for (int j = {n} - 1; j >= 0; j -= 1) {{
+      y2[i][j] = a3 * xp1 + a4 * xp2 + b1 * yp1 + b2 * yp2;
+      xp2 = xp1; xp1 = imgIn[i][j]; yp2 = yp1; yp1 = y2[i][j];
+    }}
+  }}
+  for (int i = 0; i < {n}; i += 1)
+    for (int j = 0; j < {n}; j += 1)
+      imgOut[i][j] = c1 * (y1[i][j] + y2[i][j]);
+  for (int j = 0; j < {n}; j += 1) {{
+    double tm1 = 0.0; double ym1 = 0.0; double ym2 = 0.0;
+    for (int i = 0; i < {n}; i += 1) {{
+      y1[i][j] = a5 * imgOut[i][j] + a6 * tm1 + b1 * ym1 + b2 * ym2;
+      tm1 = imgOut[i][j]; ym2 = ym1; ym1 = y1[i][j];
+    }}
+  }}
+  for (int j = 0; j < {n}; j += 1) {{
+    double tp1 = 0.0; double tp2 = 0.0; double yp1 = 0.0; double yp2 = 0.0;
+    for (int i = {n} - 1; i >= 0; i -= 1) {{
+      y2[i][j] = a7 * tp1 + a8 * tp2 + b1 * yp1 + b2 * yp2;
+      tp2 = tp1; tp1 = imgOut[i][j]; yp2 = yp1; yp1 = y2[i][j];
+    }}
+  }}
+  for (int i = 0; i < {n}; i += 1)
+    for (int j = 0; j < {n}; j += 1)
+      imgOut[i][j] = c2 * (y1[i][j] + y2[i][j]);
+}}
+double checksum() {{
+  double s = 0.0;
+  for (int i = 0; i < {n}; i += 1) for (int j = 0; j < {n}; j += 1) s += imgOut[i][j];
+  return s;
+}}"
+        ),
+        _ => unreachable!("unknown kernel {name}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_30_kernels_compile_to_wasm() {
+        for k in all_kernels(Scale::Mini) {
+            let r = twine_minicc::compile(&k.source);
+            assert!(r.is_ok(), "kernel {} failed to compile: {:?}", k.name, r.err());
+        }
+    }
+
+    #[test]
+    fn names_unique_and_complete() {
+        let names = kernel_names();
+        let set: std::collections::HashSet<_> = names.iter().collect();
+        assert_eq!(set.len(), 30);
+    }
+}

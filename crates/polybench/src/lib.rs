@@ -1,0 +1,24 @@
+//! # twine-polybench
+//!
+//! The 30 PolyBench/C 4.2.1 kernels of the paper's Figure 3, written in the
+//! MiniC dialect and compiled to real Wasm by `twine-minicc` (the Clang
+//! stand-in). Each kernel ships three entry points:
+//!
+//! * `init()` — deterministic array initialisation (PolyBench's init);
+//! * `kernel()` — the computation under test;
+//! * `checksum()` — a reduction over the output arrays, used to validate
+//!   Wasm execution against native Rust reference implementations.
+//!
+//! Problem sizes are scaled down from PolyBench's defaults so that metering
+//! runs finish in benchmark-friendly time; Figure 3 reports *normalised*
+//! run times, which are size-stable (see DESIGN.md §4).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod kernels;
+pub mod reference;
+pub mod runner;
+
+pub use kernels::{all_kernels, kernel_names, Kernel, Scale};
+pub use runner::{run_kernel, KernelRun};

@@ -1,0 +1,179 @@
+//! Native Rust reference implementations for a validation subset of the
+//! kernels. Used by tests to check that the MiniC → Wasm → engine pipeline
+//! computes the same numbers a native build would (the paper's correctness
+//! premise for comparing native vs Wasm runs).
+
+use crate::kernels::Scale;
+
+/// Native checksum of `gemm` (mirrors the MiniC source exactly).
+#[must_use]
+pub fn gemm(scale: Scale) -> f64 {
+    let n = scale.n() as usize;
+    let nf = n as f64;
+    let mut a = vec![vec![0.0f64; n]; n];
+    let mut b = vec![vec![0.0f64; n]; n];
+    let mut c = vec![vec![0.0f64; n]; n];
+    for i in 0..n {
+        for j in 0..n {
+            a[i][j] = ((i * j) % n) as f64 / nf;
+            b[i][j] = ((i * (j + 1)) % n) as f64 / nf;
+            c[i][j] = ((i * (j + 2)) % n) as f64 / nf;
+        }
+    }
+    for i in 0..n {
+        for j in 0..n {
+            c[i][j] *= 1.2;
+        }
+        for k in 0..n {
+            for j in 0..n {
+                c[i][j] += 1.5 * a[i][k] * b[k][j];
+            }
+        }
+    }
+    c.iter().flatten().sum()
+}
+
+/// Native checksum of `atax`.
+#[must_use]
+pub fn atax(scale: Scale) -> f64 {
+    let n = scale.n() as usize;
+    let nf = n as f64;
+    let mut a = vec![vec![0.0f64; n]; n];
+    let mut x = vec![0.0f64; n];
+    let mut y = vec![0.0f64; n];
+    let mut tmp = vec![0.0f64; n];
+    for i in 0..n {
+        x[i] = 1.0 + i as f64 / nf;
+        for j in 0..n {
+            a[i][j] = ((i + j) % n) as f64 / (5.0 * nf);
+        }
+    }
+    for i in 0..n {
+        tmp[i] = 0.0;
+        for j in 0..n {
+            tmp[i] += a[i][j] * x[j];
+        }
+        for j in 0..n {
+            y[j] += a[i][j] * tmp[i];
+        }
+    }
+    y.iter().sum()
+}
+
+/// Native checksum of `trisolv`.
+#[must_use]
+pub fn trisolv(scale: Scale) -> f64 {
+    let n = scale.n() as usize;
+    let nf = n as f64;
+    let mut l = vec![vec![0.0f64; n]; n];
+    let mut x = vec![-999.0f64; n];
+    let mut b = vec![0.0f64; n];
+    for i in 0..n {
+        b[i] = i as f64;
+        for j in 0..=i {
+            l[i][j] = (i + n - j + 1) as f64 * 2.0 / nf;
+        }
+    }
+    for i in 0..n {
+        x[i] = b[i];
+        for j in 0..i {
+            x[i] -= l[i][j] * x[j];
+        }
+        x[i] /= l[i][i];
+    }
+    x.iter().sum()
+}
+
+/// Native checksum of `jacobi-2d`.
+#[must_use]
+pub fn jacobi_2d(scale: Scale) -> f64 {
+    let n = scale.n() as usize;
+    let nf = n as f64;
+    let steps = scale.steps();
+    let mut a = vec![vec![0.0f64; n]; n];
+    let mut b = vec![vec![0.0f64; n]; n];
+    for i in 0..n {
+        for j in 0..n {
+            a[i][j] = (i as f64 * (j + 2) as f64 + 2.0) / nf;
+            b[i][j] = (i as f64 * (j + 3) as f64 + 3.0) / nf;
+        }
+    }
+    for _ in 0..steps {
+        for i in 1..n - 1 {
+            for j in 1..n - 1 {
+                b[i][j] = 0.2 * (a[i][j] + a[i][j - 1] + a[i][j + 1] + a[i + 1][j] + a[i - 1][j]);
+            }
+        }
+        for i in 1..n - 1 {
+            for j in 1..n - 1 {
+                a[i][j] = 0.2 * (b[i][j] + b[i][j - 1] + b[i][j + 1] + b[i + 1][j] + b[i - 1][j]);
+            }
+        }
+    }
+    a.iter().flatten().sum()
+}
+
+/// Native checksum of `floyd-warshall`.
+#[must_use]
+pub fn floyd_warshall(scale: Scale) -> f64 {
+    let n = scale.n() as usize;
+    let mut path = vec![vec![0i64; n]; n];
+    for (i, row) in path.iter_mut().enumerate() {
+        for (j, p) in row.iter_mut().enumerate() {
+            *p = (i as i64 * j as i64) % 7 + 1;
+            if (i + j) % 13 == 0 || (i + j) % 7 == 0 || (i + j) % 11 == 0 {
+                *p = 999;
+            }
+        }
+    }
+    for k in 0..n {
+        for i in 0..n {
+            for j in 0..n {
+                if path[i][k] + path[k][j] < path[i][j] {
+                    path[i][j] = path[i][k] + path[k][j];
+                }
+            }
+        }
+    }
+    path.iter().flatten().map(|&v| v as f64).sum()
+}
+
+/// Reference checksum for a kernel, when a native implementation exists.
+#[must_use]
+pub fn reference_checksum(name: &str, scale: Scale) -> Option<f64> {
+    Some(match name {
+        "gemm" => gemm(scale),
+        "atax" => atax(scale),
+        "trisolv" => trisolv(scale),
+        "jacobi-2d" => jacobi_2d(scale),
+        "floyd-warshall" => floyd_warshall(scale),
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::{source_for, Kernel, Scale};
+    use crate::runner::run_kernel;
+
+    /// The Wasm pipeline must compute exactly what native Rust computes —
+    /// bit-for-bit, since both use IEEE-754 f64 in the same order.
+    #[test]
+    fn wasm_matches_native_bit_for_bit() {
+        for name in ["gemm", "atax", "trisolv", "jacobi-2d", "floyd-warshall"] {
+            let native = reference_checksum(name, Scale::Mini).unwrap();
+            let kernel = Kernel {
+                name: "validation",
+                source: source_for(name, Scale::Mini),
+            };
+            let run = run_kernel(&kernel).unwrap();
+            assert_eq!(
+                run.checksum.to_bits(),
+                native.to_bits(),
+                "{name}: wasm {} vs native {native}",
+                run.checksum
+            );
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! Compile + execute a kernel on the Wasm engine, collecting the metered
+//! instruction stream that the Figure 3 cost models consume.
+
+use std::sync::Arc;
+
+use twine_wasm::compile::CompiledModule;
+use twine_wasm::types::{FuncType, ValType, Value};
+use twine_wasm::{Instance, Linker, Meter, Trap};
+
+use crate::kernels::Kernel;
+
+/// Result of one metered kernel run.
+pub struct KernelRun {
+    /// Kernel name.
+    pub name: &'static str,
+    /// Output checksum (validation).
+    pub checksum: f64,
+    /// Metered instruction stream of `init` + `kernel` + `checksum`.
+    pub meter: Meter,
+    /// Distinct 4 KiB page transitions observed (locality proxy).
+    pub page_transitions: u64,
+    /// Wasm linear-memory footprint in bytes.
+    pub memory_bytes: usize,
+    /// Size of the encoded `.wasm` binary.
+    pub wasm_bytes: usize,
+}
+
+fn libm_linker() -> Linker {
+    let mut linker = Linker::new();
+    for (name, arity) in [("exp", 1usize), ("log", 1), ("sin", 1), ("cos", 1), ("pow", 2)] {
+        let ty = FuncType::new(vec![ValType::F64; arity], vec![ValType::F64]);
+        linker.func("env", name, ty, move |_ctx, args: &[Value]| {
+            let xs: Vec<f64> = args.iter().map(|a| a.as_f64().unwrap_or(0.0)).collect();
+            let r = match (name, xs.as_slice()) {
+                ("exp", [x]) => x.exp(),
+                ("log", [x]) => x.ln(),
+                ("sin", [x]) => x.sin(),
+                ("cos", [x]) => x.cos(),
+                ("pow", [x, y]) => x.powf(*y),
+                _ => return Err(Trap::Host("bad libm call".into())),
+            };
+            Ok(vec![Value::F64(r)])
+        });
+    }
+    linker
+}
+
+/// Compile and execute one kernel end to end.
+pub fn run_kernel(kernel: &Kernel) -> Result<KernelRun, String> {
+    let wasm = twine_minicc::compile_to_bytes(&kernel.source)
+        .map_err(|e| format!("{}: minicc: {e}", kernel.name))?;
+    let code = CompiledModule::from_bytes(&wasm)
+        .map_err(|e| format!("{}: wasm: {e}", kernel.name))?;
+    let mut inst = Instance::instantiate(Arc::new(code), libm_linker(), Box::new(()))
+        .map_err(|e| format!("{}: instantiate: {e}", kernel.name))?;
+    inst.invoke("init", &[])
+        .map_err(|e| format!("{}: init: {e}", kernel.name))?;
+    inst.invoke("kernel", &[])
+        .map_err(|e| format!("{}: kernel: {e}", kernel.name))?;
+    let out = inst
+        .invoke("checksum", &[])
+        .map_err(|e| format!("{}: checksum: {e}", kernel.name))?;
+    let checksum = out[0].as_f64().ok_or("checksum not f64")?;
+    Ok(KernelRun {
+        name: kernel.name,
+        checksum,
+        page_transitions: inst.meter.page_transitions,
+        memory_bytes: inst.memory().map_or(0, twine_wasm::Memory::size_bytes),
+        meter: inst.meter.clone(),
+        wasm_bytes: wasm.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::{all_kernels, Scale};
+
+    #[test]
+    fn every_kernel_runs_and_produces_finite_checksum() {
+        for k in all_kernels(Scale::Mini) {
+            let run = run_kernel(&k).unwrap_or_else(|e| panic!("{e}"));
+            assert!(
+                run.checksum.is_finite(),
+                "{}: checksum {}",
+                run.name,
+                run.checksum
+            );
+            assert!(run.meter.total() > 1000, "{}: too few instrs", run.name);
+        }
+    }
+
+    #[test]
+    fn checksum_deterministic() {
+        let k = &all_kernels(Scale::Mini)[0];
+        let a = run_kernel(k).unwrap();
+        let b = run_kernel(k).unwrap();
+        assert_eq!(a.checksum.to_bits(), b.checksum.to_bits());
+        assert_eq!(a.meter.total(), b.meter.total());
+    }
+}

@@ -1,0 +1,124 @@
+//! Virtual time accounting.
+//!
+//! Every simulated cost (transition cycles, paging, modelled instruction
+//! streams) accumulates into a [`SimClock`]. Benchmarks report
+//! `clock.elapsed()`, i.e. cycles divided by the reference frequency of the
+//! paper's testbed CPU (Xeon E3-1275 v6 @ 3.8 GHz, §V-A). Real measured
+//! compute can be folded in with [`SimClock::add_duration`].
+
+use std::cell::Cell;
+use std::rc::Rc;
+use std::time::Duration;
+
+/// Reference CPU frequency (cycles per second) used to convert cycles into
+/// virtual wall-clock time. Matches the paper's 3.8 GHz Xeon E3-1275 v6.
+pub const CPU_HZ: u64 = 3_800_000_000;
+
+/// A shareable virtual-cycle counter (single-threaded interior mutability —
+/// the benchmark harness is single-threaded by design for determinism).
+#[derive(Clone, Default)]
+pub struct SimClock {
+    cycles: Rc<Cell<u64>>,
+}
+
+impl SimClock {
+    /// New clock at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Charge `n` cycles.
+    #[inline]
+    pub fn add_cycles(&self, n: u64) {
+        self.cycles.set(self.cycles.get().wrapping_add(n));
+    }
+
+    /// Fold a real measured duration into the virtual clock (converted at
+    /// the reference frequency), optionally scaled — the cost models scale
+    /// real Rust compute into per-variant estimates this way.
+    pub fn add_duration_scaled(&self, d: Duration, scale: f64) {
+        let cycles = (d.as_secs_f64() * scale * CPU_HZ as f64) as u64;
+        self.add_cycles(cycles);
+    }
+
+    /// Fold a real measured duration 1:1.
+    pub fn add_duration(&self, d: Duration) {
+        self.add_duration_scaled(d, 1.0);
+    }
+
+    /// Total cycles charged.
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.cycles.get()
+    }
+
+    /// Virtual elapsed time.
+    #[must_use]
+    pub fn elapsed(&self) -> Duration {
+        Duration::from_secs_f64(self.cycles.get() as f64 / CPU_HZ as f64)
+    }
+
+    /// Reset to zero.
+    pub fn reset(&self) {
+        self.cycles.set(0);
+    }
+
+    /// Cycles elapsed since a previous reading.
+    #[must_use]
+    pub fn cycles_since(&self, mark: u64) -> u64 {
+        self.cycles.get().wrapping_sub(mark)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates() {
+        let c = SimClock::new();
+        c.add_cycles(100);
+        c.add_cycles(50);
+        assert_eq!(c.cycles(), 150);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let a = SimClock::new();
+        let b = a.clone();
+        a.add_cycles(10);
+        b.add_cycles(5);
+        assert_eq!(a.cycles(), 15);
+        assert_eq!(b.cycles(), 15);
+    }
+
+    #[test]
+    fn elapsed_at_reference_frequency() {
+        let c = SimClock::new();
+        c.add_cycles(CPU_HZ); // one second worth
+        let e = c.elapsed();
+        assert!((e.as_secs_f64() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn duration_folding() {
+        let c = SimClock::new();
+        c.add_duration(Duration::from_millis(10));
+        let expect = CPU_HZ / 100;
+        let got = c.cycles();
+        assert!((got as i64 - expect as i64).unsigned_abs() < CPU_HZ / 10_000);
+        c.reset();
+        c.add_duration_scaled(Duration::from_millis(10), 2.0);
+        assert!(c.cycles() > expect);
+    }
+
+    #[test]
+    fn cycles_since() {
+        let c = SimClock::new();
+        c.add_cycles(100);
+        let mark = c.cycles();
+        c.add_cycles(42);
+        assert_eq!(c.cycles_since(mark), 42);
+    }
+}

@@ -1,0 +1,62 @@
+//! Calibrated cycle costs of simulated SGX events.
+//!
+//! Sources: the paper (§III-A, §V-A) and Intel's performance guidance the
+//! paper cites ([23], [24], [54]). These constants are the *only* knobs of
+//! the SGX simulation; everything else emerges from the workload's real
+//! event stream.
+
+/// Cycles to cross the enclave boundary in one direction. A full
+/// ECALL or OCALL round trip (enter + exit) therefore costs 13,100 cycles,
+/// the figure the paper quotes for "latest server-grade processors"
+/// (§III-A).
+pub const TRANSITION_CYCLES: u64 = 6_550;
+
+/// Cycles to evict one EPC page (EWB: re-encrypt + write back + MAC update).
+pub const PAGE_EVICT_CYCLES: u64 = 12_000;
+
+/// Cycles to load one page into the EPC (page fault + ELDU: fetch, decrypt,
+/// integrity check, TLB shootdown amortised).
+pub const PAGE_LOAD_CYCLES: u64 = 20_000;
+
+/// Cycles per 4 KiB page to build an enclave (EADD + EEXTEND measurement).
+/// Dominates launch time for large enclaves (Table IIIa).
+pub const PAGE_ADD_CYCLES: u64 = 11_000;
+
+/// Fixed enclave creation overhead (ECREATE, EINIT, launch token checks).
+pub const ENCLAVE_INIT_CYCLES: u64 = 40_000_000;
+
+/// Cycles for `EGETKEY` (key derivation request).
+pub const EGETKEY_CYCLES: u64 = 15_000;
+
+/// Cycles for `EREPORT` (local attestation report generation).
+pub const EREPORT_CYCLES: u64 = 20_000;
+
+/// In simulation mode (paper's "SGX software mode", Figure 6) a boundary
+/// crossing is an ordinary indirect call plus bookkeeping.
+pub const SIM_TRANSITION_CYCLES: u64 = 150;
+
+/// Default EPC configuration of the paper's testbed: 128 MiB configured,
+/// 93 MiB usable after SGX metadata (§V-A).
+pub const EPC_USABLE_BYTES: u64 = 93 * 1024 * 1024;
+
+/// Simulated EPC page size (SGX pages are 4 KiB).
+pub const EPC_PAGE_BYTES: u64 = 4096;
+
+/// Usable EPC size in pages.
+#[must_use]
+pub fn epc_usable_pages() -> u64 {
+    EPC_USABLE_BYTES / EPC_PAGE_BYTES
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn round_trip_matches_paper() {
+        assert_eq!(super::TRANSITION_CYCLES * 2, 13_100);
+    }
+
+    #[test]
+    fn epc_pages() {
+        assert_eq!(super::epc_usable_pages(), 23_808);
+    }
+}

@@ -1,0 +1,67 @@
+//! # twine-sgx
+//!
+//! A software simulator of the Intel SGX mechanisms Twine depends on
+//! (paper §III-A), replacing the SGX hardware and SDK that are unavailable
+//! in this environment (see DESIGN.md for the substitution argument).
+//!
+//! Simulated faithfully enough to reproduce the paper's performance
+//! phenomena:
+//!
+//! * **Enclave lifecycle** — creation measures the enclave contents page by
+//!   page (`MRENCLAVE` analogue) and charges per-page build cost, which is
+//!   what makes enclave launch time proportional to enclave size
+//!   (Table IIIa: launch 2 ms native vs 3.1 s Twine vs 6.1 s SGX-LKL).
+//! * **ECALL/OCALL transitions** — each boundary crossing charges cycles; a
+//!   full call round trip costs ≈13,100 cycles (§III-A).
+//! * **EPC paging** — a page-granular LRU over a 93 MiB usable EPC; touching
+//!   a non-resident page charges EWB+ELDU swap costs. This produces the
+//!   performance cliffs of Figure 5 when the database outgrows the EPC.
+//! * **Key hierarchy & sealing** — deterministic derivation from a per-
+//!   processor root key (`EGETKEY` analogue) via `twine-crypto`.
+//! * **Attestation** — local reports MAC'd with the report key and remote
+//!   quotes verified by a simulated attestation service (§III-A).
+//! * **Hardware vs simulation mode** — [`SgxMode::Simulation`] disables the
+//!   memory-protection charges, reproducing the HW/SW contrast of Figure 6.
+//!
+//! Time is *virtual*: costs accumulate in a [`SimClock`] as cycles and are
+//! reported as durations at the paper's 3.8 GHz reference frequency.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attest;
+pub mod clock;
+pub mod costs;
+pub mod enclave;
+pub mod epc;
+pub mod processor;
+pub mod seal;
+
+pub use attest::{AttestationService, Quote, Report};
+pub use clock::SimClock;
+pub use enclave::{Enclave, EnclaveBuilder, EnclaveStats, SgxMode};
+pub use epc::{Epc, EpcHandle, EpcStats};
+pub use processor::Processor;
+
+/// Errors raised by the simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SgxError {
+    /// Attestation verification failed.
+    AttestationFailed(String),
+    /// Unsealing failed (wrong enclave/processor or tampered blob).
+    UnsealFailed,
+    /// Invalid configuration.
+    Config(String),
+}
+
+impl core::fmt::Display for SgxError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SgxError::AttestationFailed(m) => write!(f, "attestation failed: {m}"),
+            SgxError::UnsealFailed => write!(f, "unsealing failed"),
+            SgxError::Config(m) => write!(f, "configuration error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SgxError {}

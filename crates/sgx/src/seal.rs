@@ -1,0 +1,82 @@
+//! Sealed storage: encrypt data so only the same enclave on the same
+//! processor can recover it (the `sgx_seal_data` analogue).
+
+use twine_crypto::gcm::{AesGcm, NONCE_LEN, TAG_LEN};
+
+use crate::SgxError;
+
+/// Seal `plaintext` under `key`, binding `aad` (typically the enclave
+/// measurement). Blob layout: `nonce (12) || tag (16) || ciphertext`.
+#[must_use]
+pub fn seal(key: &[u8; 16], nonce_counter: u64, aad: &[u8], plaintext: &[u8]) -> Vec<u8> {
+    let gcm = AesGcm::new_128(key);
+    let mut nonce = [0u8; NONCE_LEN];
+    nonce[..8].copy_from_slice(&nonce_counter.to_le_bytes());
+    let (ct, tag) = gcm.encrypt(&nonce, aad, plaintext);
+    let mut blob = Vec::with_capacity(NONCE_LEN + TAG_LEN + ct.len());
+    blob.extend_from_slice(&nonce);
+    blob.extend_from_slice(&tag);
+    blob.extend_from_slice(&ct);
+    blob
+}
+
+/// Unseal a blob produced by [`seal`].
+pub fn unseal(key: &[u8; 16], aad: &[u8], blob: &[u8]) -> Result<Vec<u8>, SgxError> {
+    if blob.len() < NONCE_LEN + TAG_LEN {
+        return Err(SgxError::UnsealFailed);
+    }
+    let gcm = AesGcm::new_128(key);
+    let nonce: [u8; NONCE_LEN] = blob[..NONCE_LEN].try_into().expect("len checked");
+    let tag: [u8; TAG_LEN] = blob[NONCE_LEN..NONCE_LEN + TAG_LEN]
+        .try_into()
+        .expect("len checked");
+    gcm.decrypt(&nonce, aad, &blob[NONCE_LEN + TAG_LEN..], &tag)
+        .map_err(|_| SgxError::UnsealFailed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let key = [9u8; 16];
+        let blob = seal(&key, 1, b"mrenclave", b"database master key");
+        assert_eq!(unseal(&key, b"mrenclave", &blob).unwrap(), b"database master key");
+    }
+
+    #[test]
+    fn wrong_key_fails() {
+        let blob = seal(&[1u8; 16], 1, b"", b"secret");
+        assert_eq!(unseal(&[2u8; 16], b"", &blob), Err(SgxError::UnsealFailed));
+    }
+
+    #[test]
+    fn wrong_aad_fails() {
+        let key = [1u8; 16];
+        let blob = seal(&key, 1, b"enclave-a", b"secret");
+        assert_eq!(unseal(&key, b"enclave-b", &blob), Err(SgxError::UnsealFailed));
+    }
+
+    #[test]
+    fn tampered_blob_fails() {
+        let key = [1u8; 16];
+        let mut blob = seal(&key, 1, b"", b"secret");
+        let last = blob.len() - 1;
+        blob[last] ^= 1;
+        assert_eq!(unseal(&key, b"", &blob), Err(SgxError::UnsealFailed));
+    }
+
+    #[test]
+    fn short_blob_fails() {
+        assert_eq!(unseal(&[0u8; 16], b"", &[1, 2, 3]), Err(SgxError::UnsealFailed));
+    }
+
+    #[test]
+    fn distinct_nonces_distinct_blobs() {
+        let key = [1u8; 16];
+        let b1 = seal(&key, 1, b"", b"same");
+        let b2 = seal(&key, 2, b"", b"same");
+        assert_ne!(b1, b2);
+    }
+}

@@ -1,0 +1,160 @@
+//! The connection: statement dispatch, autocommit, and configuration.
+
+use crate::exec::{execute, ExecResult};
+use crate::pager::{PageHook, Pager, PagerStats};
+use crate::schema::{self, Schema};
+use crate::sql::{parse, Stmt};
+use crate::value::Row;
+use crate::vfs::Vfs;
+use crate::{DbError, DbResult};
+
+/// A database connection (single-threaded, like an SQLite handle).
+pub struct Connection {
+    pager: Pager,
+    schema: Schema,
+    explicit_txn: bool,
+}
+
+impl Connection {
+    /// Open an in-memory database.
+    #[must_use]
+    pub fn open_memory() -> Self {
+        let mut pager = Pager::open_memory();
+        pager.begin().expect("fresh txn");
+        schema::init_catalog(&mut pager).expect("catalog init");
+        pager.commit().expect("catalog commit");
+        Self {
+            pager,
+            schema: Schema::default(),
+            explicit_txn: false,
+        }
+    }
+
+    /// Open (or create) a file-backed database through a VFS.
+    pub fn open(vfs: Box<dyn Vfs>, name: &str) -> DbResult<Self> {
+        let mut pager = Pager::open_file(vfs, name)?;
+        if pager.page_count() < 2 {
+            pager.begin()?;
+            schema::init_catalog(&mut pager)?;
+            pager.commit()?;
+        }
+        let schema = schema::load_schema(&mut pager)?;
+        Ok(Self {
+            pager,
+            schema,
+            explicit_txn: false,
+        })
+    }
+
+    /// Configure the page-cache size in pages (PRAGMA cache_size analogue).
+    pub fn set_cache_pages(&mut self, pages: usize) {
+        self.pager.set_cache_pages(pages);
+    }
+
+    /// Install a page-access hook (EPC modelling / I/O tracing).
+    pub fn set_page_hook(&mut self, hook: Option<PageHook>) {
+        self.pager.set_hook(hook);
+    }
+
+    /// Pager I/O statistics.
+    #[must_use]
+    pub fn stats(&self) -> PagerStats {
+        self.pager.stats
+    }
+
+    /// Total pages in the database file.
+    #[must_use]
+    pub fn page_count(&self) -> u32 {
+        self.pager.page_count()
+    }
+
+    /// The current schema (read-only view).
+    #[must_use]
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Execute one statement, returning the full result.
+    pub fn execute(&mut self, sql: &str) -> DbResult<ExecResult> {
+        let stmt = parse(sql)?;
+        match stmt {
+            Stmt::Begin => {
+                if self.explicit_txn {
+                    return Err(DbError::Unsupported("nested BEGIN".into()));
+                }
+                self.pager.begin()?;
+                self.explicit_txn = true;
+                Ok(ExecResult::default())
+            }
+            Stmt::Commit => {
+                if !self.explicit_txn {
+                    return Err(DbError::Unsupported("COMMIT outside transaction".into()));
+                }
+                self.pager.commit()?;
+                self.explicit_txn = false;
+                Ok(ExecResult::default())
+            }
+            Stmt::Rollback => {
+                if !self.explicit_txn {
+                    return Err(DbError::Unsupported("ROLLBACK outside transaction".into()));
+                }
+                self.pager.rollback()?;
+                self.explicit_txn = false;
+                // The rolled-back transaction may have changed the schema.
+                self.schema = schema::load_schema(&mut self.pager)?;
+                Ok(ExecResult::default())
+            }
+            Stmt::Pragma { ref name, ref value } => {
+                if name.eq_ignore_ascii_case("cache_size") {
+                    if let Some(v) = value.as_ref().and_then(|v| v.parse::<i64>().ok()) {
+                        self.set_cache_pages(v.unsigned_abs() as usize);
+                    }
+                }
+                Ok(ExecResult::default())
+            }
+            other => self.run_dml(&other),
+        }
+    }
+
+    fn run_dml(&mut self, stmt: &Stmt) -> DbResult<ExecResult> {
+        if self.explicit_txn {
+            return execute(&mut self.pager, &mut self.schema, stmt);
+        }
+        // Autocommit: wrap the statement in its own transaction.
+        self.pager.begin()?;
+        match execute(&mut self.pager, &mut self.schema, stmt) {
+            Ok(r) => {
+                self.pager.commit()?;
+                Ok(r)
+            }
+            Err(e) => {
+                self.pager.rollback()?;
+                // Roll back any in-memory schema changes too.
+                self.schema = schema::load_schema(&mut self.pager)?;
+                Err(e)
+            }
+        }
+    }
+
+    /// Execute and return just the rows.
+    pub fn query(&mut self, sql: &str) -> DbResult<Vec<Row>> {
+        Ok(self.execute(sql)?.rows)
+    }
+
+    /// Execute and return the single scalar result.
+    pub fn query_scalar(&mut self, sql: &str) -> DbResult<crate::value::SqlValue> {
+        let rows = self.query(sql)?;
+        rows.first()
+            .and_then(|r| r.first())
+            .cloned()
+            .ok_or_else(|| DbError::Schema("query returned no rows".into()))
+    }
+
+    /// Flush everything to storage (close).
+    pub fn close(mut self) -> DbResult<()> {
+        if self.explicit_txn {
+            self.pager.commit()?;
+        }
+        self.pager.flush()
+    }
+}

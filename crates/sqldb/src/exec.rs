@@ -1,0 +1,1246 @@
+//! Statement execution: access-path planning, scans, joins, aggregation,
+//! and DML with index maintenance.
+
+use std::collections::HashMap;
+
+use crate::btree::{self, Cursor};
+use crate::expr::{eval, is_aggregate, ColumnResolver, NoRows};
+use crate::pager::Pager;
+use crate::record::{
+    decode_record, encode_index_key, encode_record, index_key_prefix, index_key_rowid,
+};
+use crate::schema::{self, Column, Index, Schema, Table};
+use crate::sql::{Affinity, BinaryOp, ColumnDef, Expr, FromTable, SelectCol, SelectStmt, Stmt};
+use crate::value::{Row, SqlValue};
+use crate::{DbError, DbResult};
+
+/// Result of a statement.
+#[derive(Debug, Default)]
+pub struct ExecResult {
+    /// Column labels (SELECT only).
+    pub columns: Vec<String>,
+    /// Result rows (SELECT only).
+    pub rows: Vec<Row>,
+    /// Rows affected (DML).
+    pub affected: u64,
+}
+
+/// Execute one parsed statement. Transaction control (`Begin`/`Commit`/
+/// `Rollback`) is handled by the connection, not here.
+pub fn execute(pager: &mut Pager, schema: &mut Schema, stmt: &Stmt) -> DbResult<ExecResult> {
+    match stmt {
+        Stmt::CreateTable {
+            name,
+            columns,
+            if_not_exists,
+        } => create_table(pager, schema, name, columns, *if_not_exists),
+        Stmt::CreateIndex {
+            name,
+            table,
+            columns,
+            unique,
+        } => create_index(pager, schema, name, table, columns, *unique),
+        Stmt::DropTable { name } => drop_table(pager, schema, name),
+        Stmt::DropIndex { name } => drop_index(pager, schema, name),
+        Stmt::Insert {
+            table,
+            columns,
+            rows,
+        } => insert(pager, schema, table, columns.as_deref(), rows),
+        Stmt::Select(sel) => select(pager, schema, sel),
+        Stmt::Update {
+            table,
+            sets,
+            where_,
+        } => update(pager, schema, table, sets, where_.as_ref()),
+        Stmt::Delete { table, where_ } => delete(pager, schema, table, where_.as_ref()),
+        Stmt::Analyze => analyze(pager, schema),
+        Stmt::Pragma { .. } => Ok(ExecResult::default()),
+        Stmt::Begin | Stmt::Commit | Stmt::Rollback => {
+            Err(DbError::Unsupported("transaction control handled by connection".into()))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// DDL
+// ---------------------------------------------------------------------
+
+fn create_table(
+    pager: &mut Pager,
+    schema: &mut Schema,
+    name: &str,
+    columns: &[ColumnDef],
+    if_not_exists: bool,
+) -> DbResult<ExecResult> {
+    let lower = name.to_ascii_lowercase();
+    if schema.tables.contains_key(&lower) {
+        if if_not_exists {
+            return Ok(ExecResult::default());
+        }
+        return Err(DbError::Schema(format!("table {name} already exists")));
+    }
+    let root = btree::create_table_tree(pager)?;
+    let rowid_alias = columns
+        .iter()
+        .position(|c| c.primary_key && c.affinity == Affinity::Integer);
+    let table = Table {
+        name: lower.clone(),
+        root,
+        columns: columns
+            .iter()
+            .map(|c| Column {
+                name: c.name.to_ascii_lowercase(),
+                affinity: c.affinity,
+            })
+            .collect(),
+        rowid_alias,
+    };
+    schema::persist_table(pager, &table, columns)?;
+    schema.tables.insert(lower, table);
+    Ok(ExecResult::default())
+}
+
+fn create_index(
+    pager: &mut Pager,
+    schema: &mut Schema,
+    name: &str,
+    table: &str,
+    columns: &[String],
+    unique: bool,
+) -> DbResult<ExecResult> {
+    let lower = name.to_ascii_lowercase();
+    if schema.indexes.contains_key(&lower) {
+        return Err(DbError::Schema(format!("index {name} already exists")));
+    }
+    let t = schema.table(table)?.clone();
+    let col_ids: Vec<usize> = columns
+        .iter()
+        .map(|c| {
+            t.column_index(c)
+                .ok_or_else(|| DbError::Schema(format!("no such column: {c}")))
+        })
+        .collect::<DbResult<_>>()?;
+    let root = btree::create_index_tree(pager)?;
+    let index = Index {
+        name: lower.clone(),
+        table: t.name.clone(),
+        columns: col_ids,
+        unique,
+        root,
+    };
+    // Populate from existing rows.
+    let mut cursor = Cursor::first(pager, t.root)?;
+    while cursor.valid() {
+        let (rowid, rec) = cursor.table_entry(pager)?;
+        let vals = materialize(&t, rowid, decode_record(&rec)?);
+        let key_vals: Vec<SqlValue> = index.columns.iter().map(|&i| vals[i].clone()).collect();
+        if index.unique {
+            check_unique(pager, &index, &key_vals, None)?;
+        }
+        btree::index_insert(pager, index.root, encode_index_key(&key_vals, rowid))?;
+        cursor.next(pager)?;
+    }
+    schema::persist_index(pager, &index)?;
+    schema.indexes.insert(lower, index);
+    Ok(ExecResult::default())
+}
+
+fn drop_table(pager: &mut Pager, schema: &mut Schema, name: &str) -> DbResult<ExecResult> {
+    let t = schema.table(name)?.clone();
+    // Drop dependent indexes first.
+    let dependent: Vec<String> = schema
+        .indexes_of(&t.name)
+        .into_iter()
+        .map(|i| i.name.clone())
+        .collect();
+    for idx in dependent {
+        drop_index(pager, schema, &idx)?;
+    }
+    btree::free_tree(pager, t.root)?;
+    schema::unpersist(pager, &t.name)?;
+    schema.tables.remove(&t.name);
+    Ok(ExecResult::default())
+}
+
+fn drop_index(pager: &mut Pager, schema: &mut Schema, name: &str) -> DbResult<ExecResult> {
+    let lower = name.to_ascii_lowercase();
+    let idx = schema
+        .indexes
+        .get(&lower)
+        .ok_or_else(|| DbError::Schema(format!("no such index: {name}")))?
+        .clone();
+    btree::free_tree(pager, idx.root)?;
+    schema::unpersist(pager, &lower)?;
+    schema.indexes.remove(&lower);
+    Ok(ExecResult::default())
+}
+
+// ---------------------------------------------------------------------
+// Row materialisation & bindings
+// ---------------------------------------------------------------------
+
+/// Substitute the rowid for the INTEGER PRIMARY KEY alias column and pad
+/// short records (columns added by older writers default to NULL).
+fn materialize(table: &Table, rowid: i64, mut vals: Vec<SqlValue>) -> Vec<SqlValue> {
+    vals.resize(table.columns.len(), SqlValue::Null);
+    if let Some(i) = table.rowid_alias {
+        vals[i] = SqlValue::Int(rowid);
+    }
+    vals
+}
+
+struct Binding {
+    alias: String,
+    table: Table,
+}
+
+/// Evaluation context: one bound row per FROM table.
+struct RowCtx<'a> {
+    bindings: &'a [Binding],
+    /// (rowid, materialised values) per binding; None while unbound.
+    rows: Vec<Option<(i64, Vec<SqlValue>)>>,
+    /// Aggregate outputs (aggregation phase only), addressed as `#agg.N`.
+    agg_values: Vec<SqlValue>,
+}
+
+impl ColumnResolver for RowCtx<'_> {
+    fn column(&self, table: Option<&str>, name: &str) -> DbResult<SqlValue> {
+        if table == Some("#agg") {
+            let i: usize = name
+                .parse()
+                .map_err(|_| DbError::Schema("bad agg ref".into()))?;
+            return Ok(self.agg_values[i].clone());
+        }
+        let lname = name.to_ascii_lowercase();
+        for (b, row) in self.bindings.iter().zip(self.rows.iter()) {
+            if let Some(t) = table {
+                if !t.eq_ignore_ascii_case(&b.alias) && !t.eq_ignore_ascii_case(&b.table.name) {
+                    continue;
+                }
+            }
+            let Some((rowid, vals)) = row else { continue };
+            if lname == "rowid" {
+                return Ok(SqlValue::Int(*rowid));
+            }
+            if let Some(i) = b.table.column_index(&lname) {
+                return Ok(vals[i].clone());
+            }
+            if table.is_some() {
+                return Err(DbError::Schema(format!("no such column: {name}")));
+            }
+        }
+        Err(DbError::Schema(format!("no such column: {name}")))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Access-path planning
+// ---------------------------------------------------------------------
+
+enum Plan {
+    FullScan,
+    RowidEq(SqlValue),
+    RowidRange {
+        lo: Option<i64>,
+        hi: Option<i64>,
+    },
+    IndexEq {
+        index: Index,
+        value: SqlValue,
+    },
+    IndexRange {
+        index: Index,
+        lo: Option<SqlValue>,
+        hi: Option<SqlValue>,
+    },
+}
+
+/// Split a WHERE tree into AND-ed conjuncts.
+fn conjuncts(e: &Expr) -> Vec<&Expr> {
+    match e {
+        Expr::Binary(BinaryOp::And, a, b) => {
+            let mut v = conjuncts(a);
+            v.extend(conjuncts(b));
+            v
+        }
+        other => vec![other],
+    }
+}
+
+/// Is `e` a reference to `col` of the table bound as `alias`?
+fn is_col_ref(e: &Expr, alias: &str, table: &Table, col_name: &str) -> bool {
+    match e {
+        Expr::Column { table: t, name } => {
+            let t_ok = match t {
+                None => true,
+                Some(t) => t.eq_ignore_ascii_case(alias) || t.eq_ignore_ascii_case(&table.name),
+            };
+            t_ok && name.eq_ignore_ascii_case(col_name)
+        }
+        _ => false,
+    }
+}
+
+/// Does this column name denote the rowid for the table?
+fn rowid_col_names(table: &Table) -> Vec<String> {
+    let mut v = vec!["rowid".to_string()];
+    if let Some(i) = table.rowid_alias {
+        v.push(table.columns[i].name.clone());
+    }
+    v
+}
+
+/// Evaluate an expression that must not reference the target table (it may
+/// reference already-bound outer tables via `ctx`).
+fn eval_outer(e: &Expr, ctx: &RowCtx<'_>) -> Option<SqlValue> {
+    eval(e, ctx).ok()
+}
+
+/// Choose an access path for `binding` given the applicable conjuncts.
+fn plan_table(
+    binding: &Binding,
+    schema: &Schema,
+    where_conjuncts: &[&Expr],
+    ctx: &RowCtx<'_>,
+) -> Plan {
+    let table = &binding.table;
+    let rowid_names = rowid_col_names(table);
+    // 1. rowid equality.
+    for c in where_conjuncts {
+        if let Expr::Binary(BinaryOp::Eq, a, b) = c {
+            for (l, r) in [(a, b), (b, a)] {
+                for rn in &rowid_names {
+                    if is_col_ref(l, &binding.alias, table, rn) {
+                        if let Some(v) = eval_outer(r, ctx) {
+                            return Plan::RowidEq(v);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    // 2. rowid range (BETWEEN or inequalities).
+    let mut lo: Option<i64> = None;
+    let mut hi: Option<i64> = None;
+    for c in where_conjuncts {
+        match c {
+            Expr::Between {
+                expr,
+                lo: l,
+                hi: h,
+                negated: false,
+            } => {
+                for rn in &rowid_names {
+                    if is_col_ref(expr, &binding.alias, table, rn) {
+                        if let (Some(lv), Some(hv)) = (eval_outer(l, ctx), eval_outer(h, ctx)) {
+                            lo = lv.as_i64().map(|v| lo.map_or(v, |x: i64| x.max(v)));
+                            hi = hv.as_i64().map(|v| hi.map_or(v, |x: i64| x.min(v)));
+                        }
+                    }
+                }
+            }
+            Expr::Binary(op @ (BinaryOp::Lt | BinaryOp::Le | BinaryOp::Gt | BinaryOp::Ge), a, b) => {
+                for rn in &rowid_names {
+                    if is_col_ref(a, &binding.alias, table, rn) {
+                        if let Some(v) = eval_outer(b, ctx).and_then(|v| v.as_i64()) {
+                            match op {
+                                BinaryOp::Lt => hi = Some(hi.map_or(v - 1, |x| x.min(v - 1))),
+                                BinaryOp::Le => hi = Some(hi.map_or(v, |x| x.min(v))),
+                                BinaryOp::Gt => lo = Some(lo.map_or(v + 1, |x| x.max(v + 1))),
+                                BinaryOp::Ge => lo = Some(lo.map_or(v, |x| x.max(v))),
+                                _ => {}
+                            }
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    if lo.is_some() || hi.is_some() {
+        return Plan::RowidRange { lo, hi };
+    }
+    // 3. index equality / range on the first indexed column.
+    for index in schema.indexes_of(&table.name) {
+        let Some(&first_col) = index.columns.first() else {
+            continue;
+        };
+        let col_name = &table.columns[first_col].name;
+        for c in where_conjuncts {
+            if let Expr::Binary(BinaryOp::Eq, a, b) = c {
+                for (l, r) in [(a, b), (b, a)] {
+                    if is_col_ref(l, &binding.alias, table, col_name) {
+                        if let Some(v) = eval_outer(r, ctx) {
+                            if !matches!(v, SqlValue::Real(_)) {
+                                return Plan::IndexEq {
+                                    index: index.clone(),
+                                    value: v,
+                                };
+                            }
+                        }
+                    }
+                }
+            }
+            if let Expr::Between {
+                expr,
+                lo,
+                hi,
+                negated: false,
+            } = c
+            {
+                if is_col_ref(expr, &binding.alias, table, col_name) {
+                    if let (Some(lv), Some(hv)) = (eval_outer(lo, ctx), eval_outer(hi, ctx)) {
+                        if !matches!(lv, SqlValue::Real(_)) && !matches!(hv, SqlValue::Real(_)) {
+                            return Plan::IndexRange {
+                                index: index.clone(),
+                                lo: Some(lv),
+                                hi: Some(hv),
+                            };
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Plan::FullScan
+}
+
+/// Collect the rowids selected by a plan (filters still applied later).
+fn plan_rowids(pager: &mut Pager, table: &Table, plan: &Plan) -> DbResult<Vec<i64>> {
+    let mut out = Vec::new();
+    match plan {
+        Plan::FullScan => {
+            let mut c = Cursor::first(pager, table.root)?;
+            while c.valid() {
+                out.push(c.table_entry(pager)?.0);
+                c.next(pager)?;
+            }
+        }
+        Plan::RowidEq(v) => {
+            if let Some(rowid) = v.as_i64() {
+                if btree::table_get(pager, table.root, rowid)?.is_some() {
+                    out.push(rowid);
+                }
+            }
+        }
+        Plan::RowidRange { lo, hi } => {
+            let mut c = Cursor::seek_rowid(pager, table.root, lo.unwrap_or(i64::MIN))?;
+            while c.valid() {
+                let (rowid, _) = c.table_entry(pager)?;
+                if let Some(h) = hi {
+                    if rowid > *h {
+                        break;
+                    }
+                }
+                out.push(rowid);
+                c.next(pager)?;
+            }
+        }
+        Plan::IndexEq { index, value } => {
+            let start = encode_index_key(std::slice::from_ref(value), i64::MIN);
+            let end = encode_index_key(std::slice::from_ref(value), i64::MAX);
+            let mut c = Cursor::seek_key(pager, index.root, &start)?;
+            while c.valid() {
+                let key = c.index_entry()?;
+                if key > end.as_slice() {
+                    break;
+                }
+                out.push(index_key_rowid(key)?);
+                c.next(pager)?;
+            }
+        }
+        Plan::IndexRange { index, lo, hi } => {
+            let start = match lo {
+                Some(v) => encode_index_key(std::slice::from_ref(v), i64::MIN),
+                None => Vec::new(),
+            };
+            let end = hi
+                .as_ref()
+                .map(|v| encode_index_key(std::slice::from_ref(v), i64::MAX));
+            let mut c = Cursor::seek_key(pager, index.root, &start)?;
+            while c.valid() {
+                let key = c.index_entry()?;
+                if let Some(e) = &end {
+                    // Compare only the first encoded value; multi-column
+                    // keys extend beyond it but sort within the bound.
+                    if index_key_prefix(key) > index_key_prefix(e)
+                        || (!e.is_empty() && key > e.as_slice() && !key.starts_with(index_key_prefix(e)))
+                    {
+                        break;
+                    }
+                }
+                out.push(index_key_rowid(key)?);
+                c.next(pager)?;
+            }
+        }
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------
+// INSERT
+// ---------------------------------------------------------------------
+
+fn coerce(affinity: Affinity, v: SqlValue) -> SqlValue {
+    match (affinity, v) {
+        (Affinity::Integer, SqlValue::Real(f)) if f.fract() == 0.0 && f.abs() < 9e18 => {
+            SqlValue::Int(f as i64)
+        }
+        (Affinity::Integer | Affinity::Real, SqlValue::Text(t)) => {
+            if let Ok(i) = t.trim().parse::<i64>() {
+                if affinity == Affinity::Integer {
+                    SqlValue::Int(i)
+                } else {
+                    SqlValue::Real(i as f64)
+                }
+            } else if let Ok(f) = t.trim().parse::<f64>() {
+                SqlValue::Real(f)
+            } else {
+                SqlValue::Text(t)
+            }
+        }
+        (Affinity::Real, SqlValue::Int(i)) => SqlValue::Real(i as f64),
+        (Affinity::Text, SqlValue::Int(i)) => SqlValue::Text(i.to_string()),
+        (Affinity::Text, SqlValue::Real(f)) => SqlValue::Text(format!("{f}")),
+        (_, v) => v,
+    }
+}
+
+fn check_unique(
+    pager: &mut Pager,
+    index: &Index,
+    key_vals: &[SqlValue],
+    exclude_rowid: Option<i64>,
+) -> DbResult<()> {
+    // NULLs never collide (SQL semantics).
+    if key_vals.iter().any(|v| matches!(v, SqlValue::Null)) {
+        return Ok(());
+    }
+    let start = encode_index_key(key_vals, i64::MIN);
+    let prefix = index_key_prefix(&start).to_vec();
+    let c = Cursor::seek_key(pager, index.root, &start)?;
+    if c.valid() {
+        let key = c.index_entry()?;
+        if index_key_prefix(key) == prefix.as_slice() {
+            let existing = index_key_rowid(key)?;
+            if Some(existing) != exclude_rowid {
+                return Err(DbError::Constraint(format!(
+                    "UNIQUE constraint failed: {}",
+                    index.name
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn add_index_entries(
+    pager: &mut Pager,
+    schema: &Schema,
+    table: &Table,
+    rowid: i64,
+    vals: &[SqlValue],
+    check_uniques: bool,
+) -> DbResult<()> {
+    for index in schema.indexes_of(&table.name) {
+        let key_vals: Vec<SqlValue> = index.columns.iter().map(|&i| vals[i].clone()).collect();
+        if check_uniques && index.unique {
+            check_unique(pager, index, &key_vals, None)?;
+        }
+        btree::index_insert(pager, index.root, encode_index_key(&key_vals, rowid))?;
+    }
+    Ok(())
+}
+
+fn remove_index_entries(
+    pager: &mut Pager,
+    schema: &Schema,
+    table: &Table,
+    rowid: i64,
+    vals: &[SqlValue],
+) -> DbResult<()> {
+    for index in schema.indexes_of(&table.name) {
+        let key_vals: Vec<SqlValue> = index.columns.iter().map(|&i| vals[i].clone()).collect();
+        btree::index_delete(pager, index.root, &encode_index_key(&key_vals, rowid))?;
+    }
+    Ok(())
+}
+
+fn insert(
+    pager: &mut Pager,
+    schema: &mut Schema,
+    table: &str,
+    columns: Option<&[String]>,
+    rows: &[Vec<Expr>],
+) -> DbResult<ExecResult> {
+    let t = schema.table(table)?.clone();
+    let col_map: Vec<usize> = match columns {
+        Some(cols) => cols
+            .iter()
+            .map(|c| {
+                t.column_index(c)
+                    .ok_or_else(|| DbError::Schema(format!("no such column: {c}")))
+            })
+            .collect::<DbResult<_>>()?,
+        None => (0..t.columns.len()).collect(),
+    };
+    let mut affected = 0u64;
+    let mut next_rowid = btree::table_max_rowid(pager, t.root)?.unwrap_or(0) + 1;
+    for row in rows {
+        if row.len() != col_map.len() {
+            return Err(DbError::Schema(format!(
+                "expected {} values, got {}",
+                col_map.len(),
+                row.len()
+            )));
+        }
+        let mut vals = vec![SqlValue::Null; t.columns.len()];
+        for (expr, &col) in row.iter().zip(col_map.iter()) {
+            let v = eval(expr, &NoRows)?;
+            vals[col] = coerce(t.columns[col].affinity, v);
+        }
+        // Resolve the rowid.
+        let rowid = match t.rowid_alias {
+            Some(i) => match &vals[i] {
+                SqlValue::Null => {
+                    let r = next_rowid;
+                    next_rowid += 1;
+                    r
+                }
+                SqlValue::Int(v) => {
+                    let v = *v;
+                    if btree::table_get(pager, t.root, v)?.is_some() {
+                        return Err(DbError::Constraint(format!(
+                            "UNIQUE constraint failed: {}.{}",
+                            t.name, t.columns[i].name
+                        )));
+                    }
+                    next_rowid = next_rowid.max(v + 1);
+                    v
+                }
+                other => {
+                    return Err(DbError::Schema(format!(
+                        "INTEGER PRIMARY KEY must be an integer, got {other:?}"
+                    )))
+                }
+            },
+            None => {
+                let r = next_rowid;
+                next_rowid += 1;
+                r
+            }
+        };
+        // Store NULL in the alias slot (reconstructed on read).
+        let mut stored = vals.clone();
+        if let Some(i) = t.rowid_alias {
+            stored[i] = SqlValue::Null;
+        }
+        let materialized = materialize(&t, rowid, stored.clone());
+        add_index_entries(pager, schema, &t, rowid, &materialized, true)?;
+        btree::table_insert(pager, t.root, rowid, &encode_record(&stored))?;
+        affected += 1;
+    }
+    Ok(ExecResult {
+        affected,
+        ..Default::default()
+    })
+}
+
+// ---------------------------------------------------------------------
+// SELECT
+// ---------------------------------------------------------------------
+
+/// Aggregate kinds.
+#[derive(Debug, Clone)]
+struct AggSpec {
+    name: String,
+    arg: Option<Expr>,
+    star: bool,
+}
+
+#[derive(Debug, Clone, Default)]
+struct AggState {
+    count: i64,
+    sum_i: i64,
+    sum_f: f64,
+    all_int: bool,
+    min: Option<SqlValue>,
+    max: Option<SqlValue>,
+    seen: bool,
+}
+
+impl AggState {
+    fn new() -> Self {
+        Self {
+            all_int: true,
+            ..Default::default()
+        }
+    }
+
+    fn update(&mut self, v: &SqlValue) {
+        if matches!(v, SqlValue::Null) {
+            return;
+        }
+        self.seen = true;
+        self.count += 1;
+        match v {
+            SqlValue::Int(i) => {
+                self.sum_i = self.sum_i.wrapping_add(*i);
+                self.sum_f += *i as f64;
+            }
+            SqlValue::Real(f) => {
+                self.all_int = false;
+                self.sum_f += f;
+            }
+            _ => {}
+        }
+        if self.min.as_ref().is_none_or(|m| v.total_cmp(m) == std::cmp::Ordering::Less) {
+            self.min = Some(v.clone());
+        }
+        if self.max.as_ref().is_none_or(|m| v.total_cmp(m) == std::cmp::Ordering::Greater) {
+            self.max = Some(v.clone());
+        }
+    }
+
+    fn result(&self, spec: &AggSpec) -> SqlValue {
+        match spec.name.as_str() {
+            "count" => SqlValue::Int(self.count),
+            "sum" => {
+                if !self.seen {
+                    SqlValue::Null
+                } else if self.all_int {
+                    SqlValue::Int(self.sum_i)
+                } else {
+                    SqlValue::Real(self.sum_f)
+                }
+            }
+            "total" => SqlValue::Real(self.sum_f),
+            "avg" => {
+                if self.count == 0 {
+                    SqlValue::Null
+                } else {
+                    SqlValue::Real(self.sum_f / self.count as f64)
+                }
+            }
+            "min" => self.min.clone().unwrap_or(SqlValue::Null),
+            "max" => self.max.clone().unwrap_or(SqlValue::Null),
+            _ => SqlValue::Null,
+        }
+    }
+}
+
+/// Replace aggregate calls with `#agg.N` references, collecting specs.
+fn rewrite_aggs(e: &Expr, specs: &mut Vec<AggSpec>) -> Expr {
+    match e {
+        Expr::Func { name, args, star }
+            if is_aggregate(name) && (*star || args.len() <= 1) && !(matches!(name.as_str(), "min" | "max") && args.len() >= 2) =>
+        {
+            specs.push(AggSpec {
+                name: name.clone(),
+                arg: args.first().cloned(),
+                star: *star,
+            });
+            Expr::Column {
+                table: Some("#agg".into()),
+                name: (specs.len() - 1).to_string(),
+            }
+        }
+        Expr::Binary(op, a, b) => Expr::Binary(
+            *op,
+            Box::new(rewrite_aggs(a, specs)),
+            Box::new(rewrite_aggs(b, specs)),
+        ),
+        Expr::Neg(a) => Expr::Neg(Box::new(rewrite_aggs(a, specs))),
+        Expr::Not(a) => Expr::Not(Box::new(rewrite_aggs(a, specs))),
+        Expr::Func { name, args, star } => Expr::Func {
+            name: name.clone(),
+            args: args.iter().map(|a| rewrite_aggs(a, specs)).collect(),
+            star: *star,
+        },
+        Expr::Case { arms, otherwise } => Expr::Case {
+            arms: arms
+                .iter()
+                .map(|(c, v)| (rewrite_aggs(c, specs), rewrite_aggs(v, specs)))
+                .collect(),
+            otherwise: otherwise
+                .as_ref()
+                .map(|o| Box::new(rewrite_aggs(o, specs))),
+        },
+        other => other.clone(),
+    }
+}
+
+/// Expand `*` and rewrite aggregates; returns (labels, exprs, agg specs).
+fn projection(
+    sel: &SelectStmt,
+    bindings: &[Binding],
+) -> DbResult<(Vec<String>, Vec<Expr>, Vec<AggSpec>)> {
+    let mut labels = Vec::new();
+    let mut exprs = Vec::new();
+    let mut specs = Vec::new();
+    for col in &sel.columns {
+        match col {
+            SelectCol::Star => {
+                for b in bindings {
+                    for c in &b.table.columns {
+                        labels.push(c.name.clone());
+                        exprs.push(Expr::Column {
+                            table: Some(b.alias.clone()),
+                            name: c.name.clone(),
+                        });
+                    }
+                }
+            }
+            SelectCol::Expr(e, alias) => {
+                labels.push(alias.clone().unwrap_or_else(|| expr_label(e)));
+                exprs.push(rewrite_aggs(e, &mut specs));
+            }
+        }
+    }
+    Ok((labels, exprs, specs))
+}
+
+fn expr_label(e: &Expr) -> String {
+    match e {
+        Expr::Column { name, .. } => name.clone(),
+        Expr::Func { name, .. } => format!("{name}()"),
+        _ => "expr".to_string(),
+    }
+}
+
+/// Enumerate joined rows, invoking `cb` for each complete binding.
+fn join_rows(
+    pager: &mut Pager,
+    schema: &Schema,
+    bindings: &[Binding],
+    from: &[FromTable],
+    where_: Option<&Expr>,
+    level: usize,
+    ctx: &mut RowCtx<'_>,
+    cb: &mut dyn FnMut(&mut Pager, &RowCtx<'_>) -> DbResult<()>,
+) -> DbResult<()> {
+    if level == bindings.len() {
+        // All bound: apply WHERE.
+        if let Some(w) = where_ {
+            if !eval(w, ctx)?.is_truthy() {
+                return Ok(());
+            }
+        }
+        return cb(pager, ctx);
+    }
+    let binding = &bindings[level];
+    // Conditions available at this level: the table's ON plus WHERE
+    // conjuncts (used for planning only; full filters re-checked later).
+    let mut planning_conjuncts: Vec<&Expr> = Vec::new();
+    if let Some(on) = &from[level].on {
+        planning_conjuncts.extend(conjuncts(on));
+    }
+    if let Some(w) = where_ {
+        planning_conjuncts.extend(conjuncts(w));
+    }
+    let plan = plan_table(binding, schema, &planning_conjuncts, ctx);
+    let rowids = plan_rowids(pager, &binding.table, &plan)?;
+    for rowid in rowids {
+        let Some(rec) = btree::table_get(pager, binding.table.root, rowid)? else {
+            continue;
+        };
+        let vals = materialize(&binding.table, rowid, decode_record(&rec)?);
+        ctx.rows[level] = Some((rowid, vals));
+        // Apply this level's ON condition as soon as it is evaluable.
+        if let Some(on) = &from[level].on {
+            if !eval(on, ctx)?.is_truthy() {
+                ctx.rows[level] = None;
+                continue;
+            }
+        }
+        join_rows(pager, schema, bindings, from, where_, level + 1, ctx, cb)?;
+        ctx.rows[level] = None;
+    }
+    Ok(())
+}
+
+#[allow(clippy::too_many_lines)]
+fn select(pager: &mut Pager, schema: &mut Schema, sel: &SelectStmt) -> DbResult<ExecResult> {
+    // Bindings.
+    let bindings: Vec<Binding> = sel
+        .from
+        .iter()
+        .map(|f| {
+            Ok(Binding {
+                alias: f
+                    .alias
+                    .clone()
+                    .unwrap_or_else(|| f.name.to_ascii_lowercase()),
+                table: schema.table(&f.name)?.clone(),
+            })
+        })
+        .collect::<DbResult<_>>()?;
+    let (labels, exprs, agg_specs) = projection(sel, &bindings)?;
+    // Rewrite aggregates in ORDER BY too (e.g. ORDER BY count(*)).
+    let mut order_specs = agg_specs.clone();
+    let order_exprs: Vec<Expr> = sel
+        .order_by
+        .iter()
+        .map(|(e, _)| rewrite_aggs(e, &mut order_specs))
+        .collect();
+    let grouped = !sel.group_by.is_empty() || !order_specs.is_empty();
+
+    // No FROM: evaluate once.
+    if bindings.is_empty() {
+        let ctx = RowCtx {
+            bindings: &bindings,
+            rows: Vec::new(),
+            agg_values: Vec::new(),
+        };
+        let row: Row = exprs
+            .iter()
+            .map(|e| eval(e, &ctx))
+            .collect::<DbResult<_>>()?;
+        return Ok(ExecResult {
+            columns: labels,
+            rows: vec![row],
+            affected: 0,
+        });
+    }
+
+    let mut out: Vec<(Vec<SqlValue>, Row)> = Vec::new(); // (order keys, row)
+
+    if grouped {
+        // Aggregation: group rows, accumulate, then project per group.
+        type GroupEntry = (Vec<SqlValue>, Vec<AggState>, Option<(usize, Vec<Option<(i64, Vec<SqlValue>)>>)>);
+        let mut groups: HashMap<Vec<u8>, GroupEntry> = HashMap::new();
+        let mut group_order: Vec<Vec<u8>> = Vec::new();
+        {
+            let mut ctx = RowCtx {
+                bindings: &bindings,
+                rows: vec![None; bindings.len()],
+                agg_values: Vec::new(),
+            };
+            let group_by = sel.group_by.clone();
+            let specs = order_specs.clone();
+            join_rows(
+                pager,
+                schema,
+                &bindings,
+                &sel.from,
+                sel.where_.as_ref(),
+                0,
+                &mut ctx,
+                &mut |_pager, ctx| {
+                    let key_vals: Vec<SqlValue> = group_by
+                        .iter()
+                        .map(|e| eval(e, ctx))
+                        .collect::<DbResult<_>>()?;
+                    let key = encode_record(&key_vals);
+                    let entry = groups.entry(key.clone()).or_insert_with(|| {
+                        group_order.push(key);
+                        (
+                            key_vals,
+                            specs.iter().map(|_| AggState::new()).collect(),
+                            Some((0, ctx.rows.clone())),
+                        )
+                    });
+                    for (spec, state) in specs.iter().zip(entry.1.iter_mut()) {
+                        if spec.star {
+                            state.count += 1;
+                            state.seen = true;
+                        } else if let Some(arg) = &spec.arg {
+                            let v = eval(arg, ctx)?;
+                            state.update(&v);
+                        } else {
+                            state.count += 1;
+                            state.seen = true;
+                        }
+                    }
+                    Ok(())
+                },
+            )?;
+        }
+        // Aggregate with no GROUP BY over an empty input: one empty group.
+        if groups.is_empty() && sel.group_by.is_empty() {
+            let key = encode_record(&[]);
+            group_order.push(key.clone());
+            groups.insert(
+                key,
+                (
+                    Vec::new(),
+                    order_specs.iter().map(|_| AggState::new()).collect(),
+                    None,
+                ),
+            );
+        }
+        for key in group_order {
+            let (_, states, rep) = &groups[&key];
+            let agg_values: Vec<SqlValue> = order_specs
+                .iter()
+                .zip(states.iter())
+                .map(|(spec, st)| st.result(spec))
+                .collect();
+            let ctx = RowCtx {
+                bindings: &bindings,
+                rows: rep
+                    .as_ref()
+                    .map_or_else(|| vec![None; bindings.len()], |(_, r)| r.clone()),
+                agg_values,
+            };
+            let row: Row = exprs
+                .iter()
+                .map(|e| eval(e, &ctx))
+                .collect::<DbResult<_>>()?;
+            let order_keys: Vec<SqlValue> = order_exprs
+                .iter()
+                .map(|e| eval(e, &ctx))
+                .collect::<DbResult<_>>()?;
+            out.push((order_keys, row));
+        }
+    } else {
+        let mut ctx = RowCtx {
+            bindings: &bindings,
+            rows: vec![None; bindings.len()],
+            agg_values: Vec::new(),
+        };
+        let exprs_ref = &exprs;
+        let order_ref = &order_exprs;
+        join_rows(
+            pager,
+            schema,
+            &bindings,
+            &sel.from,
+            sel.where_.as_ref(),
+            0,
+            &mut ctx,
+            &mut |_pager, ctx| {
+                let row: Row = exprs_ref
+                    .iter()
+                    .map(|e| eval(e, ctx))
+                    .collect::<DbResult<_>>()?;
+                let order_keys: Vec<SqlValue> = order_ref
+                    .iter()
+                    .map(|e| eval(e, ctx))
+                    .collect::<DbResult<_>>()?;
+                out.push((order_keys, row));
+                Ok(())
+            },
+        )?;
+    }
+
+    // DISTINCT.
+    if sel.distinct {
+        let mut seen = std::collections::HashSet::new();
+        out.retain(|(_, row)| seen.insert(encode_record(row)));
+    }
+    // ORDER BY.
+    if !sel.order_by.is_empty() {
+        let desc: Vec<bool> = sel.order_by.iter().map(|(_, d)| *d).collect();
+        out.sort_by(|a, b| {
+            for (i, d) in desc.iter().enumerate() {
+                let ord = a.0[i].total_cmp(&b.0[i]);
+                let ord = if *d { ord.reverse() } else { ord };
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+    }
+    // LIMIT / OFFSET.
+    let offset = match &sel.offset {
+        Some(e) => eval(e, &NoRows)?.as_i64().unwrap_or(0).max(0) as usize,
+        None => 0,
+    };
+    let limit = match &sel.limit {
+        Some(e) => eval(e, &NoRows)?.as_i64().unwrap_or(i64::MAX).max(0) as usize,
+        None => usize::MAX,
+    };
+    let rows: Vec<Row> = out
+        .into_iter()
+        .skip(offset)
+        .take(limit)
+        .map(|(_, r)| r)
+        .collect();
+    Ok(ExecResult {
+        columns: labels,
+        rows,
+        affected: 0,
+    })
+}
+
+// ---------------------------------------------------------------------
+// UPDATE / DELETE / ANALYZE
+// ---------------------------------------------------------------------
+
+fn collect_target_rowids(
+    pager: &mut Pager,
+    schema: &Schema,
+    table: &Table,
+    where_: Option<&Expr>,
+) -> DbResult<Vec<i64>> {
+    let binding = Binding {
+        alias: table.name.clone(),
+        table: table.clone(),
+    };
+    let empty_ctx = RowCtx {
+        bindings: std::slice::from_ref(&binding),
+        rows: vec![None],
+        agg_values: Vec::new(),
+    };
+    let planning: Vec<&Expr> = where_.map(conjuncts).unwrap_or_default();
+    let plan = plan_table(&binding, schema, &planning, &empty_ctx);
+    let candidates = plan_rowids(pager, table, &plan)?;
+    let mut out = Vec::new();
+    for rowid in candidates {
+        let Some(rec) = btree::table_get(pager, table.root, rowid)? else {
+            continue;
+        };
+        let vals = materialize(table, rowid, decode_record(&rec)?);
+        let ctx = RowCtx {
+            bindings: std::slice::from_ref(&binding),
+            rows: vec![Some((rowid, vals))],
+            agg_values: Vec::new(),
+        };
+        let keep = match where_ {
+            Some(w) => eval(w, &ctx)?.is_truthy(),
+            None => true,
+        };
+        if keep {
+            out.push(rowid);
+        }
+    }
+    Ok(out)
+}
+
+fn update(
+    pager: &mut Pager,
+    schema: &mut Schema,
+    table: &str,
+    sets: &[(String, Expr)],
+    where_: Option<&Expr>,
+) -> DbResult<ExecResult> {
+    let t = schema.table(table)?.clone();
+    let set_cols: Vec<(usize, &Expr)> = sets
+        .iter()
+        .map(|(c, e)| {
+            let i = t
+                .column_index(c)
+                .ok_or_else(|| DbError::Schema(format!("no such column: {c}")))?;
+            if t.rowid_alias == Some(i) {
+                return Err(DbError::Unsupported(
+                    "updating the INTEGER PRIMARY KEY is not supported".into(),
+                ));
+            }
+            Ok((i, e))
+        })
+        .collect::<DbResult<_>>()?;
+    let rowids = collect_target_rowids(pager, schema, &t, where_)?;
+    let binding = Binding {
+        alias: t.name.clone(),
+        table: t.clone(),
+    };
+    let mut affected = 0;
+    for rowid in rowids {
+        let Some(rec) = btree::table_get(pager, t.root, rowid)? else {
+            continue;
+        };
+        let old_vals = materialize(&t, rowid, decode_record(&rec)?);
+        let ctx = RowCtx {
+            bindings: std::slice::from_ref(&binding),
+            rows: vec![Some((rowid, old_vals.clone()))],
+            agg_values: Vec::new(),
+        };
+        let mut new_vals = old_vals.clone();
+        for (i, e) in &set_cols {
+            new_vals[*i] = coerce(t.columns[*i].affinity, eval(e, &ctx)?);
+        }
+        remove_index_entries(pager, schema, &t, rowid, &old_vals)?;
+        // Unique re-checks exclude our own (removed) entries.
+        for index in schema.indexes_of(&t.name) {
+            if index.unique {
+                let key_vals: Vec<SqlValue> =
+                    index.columns.iter().map(|&i| new_vals[i].clone()).collect();
+                check_unique(pager, index, &key_vals, Some(rowid))?;
+            }
+        }
+        add_index_entries(pager, schema, &t, rowid, &new_vals, false)?;
+        let mut stored = new_vals;
+        if let Some(i) = t.rowid_alias {
+            stored[i] = SqlValue::Null;
+        }
+        btree::table_insert(pager, t.root, rowid, &encode_record(&stored))?;
+        affected += 1;
+    }
+    Ok(ExecResult {
+        affected,
+        ..Default::default()
+    })
+}
+
+fn delete(
+    pager: &mut Pager,
+    schema: &mut Schema,
+    table: &str,
+    where_: Option<&Expr>,
+) -> DbResult<ExecResult> {
+    let t = schema.table(table)?.clone();
+    let rowids = collect_target_rowids(pager, schema, &t, where_)?;
+    let mut affected = 0;
+    for rowid in rowids {
+        let Some(rec) = btree::table_get(pager, t.root, rowid)? else {
+            continue;
+        };
+        let vals = materialize(&t, rowid, decode_record(&rec)?);
+        remove_index_entries(pager, schema, &t, rowid, &vals)?;
+        btree::table_delete(pager, t.root, rowid)?;
+        affected += 1;
+    }
+    Ok(ExecResult {
+        affected,
+        ..Default::default()
+    })
+}
+
+/// ANALYZE: gather row counts per table into `twine_stats` (the
+/// `sqlite_stat1` analogue, Speedtest1 test 990).
+fn analyze(pager: &mut Pager, schema: &mut Schema) -> DbResult<ExecResult> {
+    if schema.table("twine_stats").is_err() {
+        create_table(
+            pager,
+            schema,
+            "twine_stats",
+            &[
+                ColumnDef {
+                    name: "tbl".into(),
+                    affinity: Affinity::Text,
+                    primary_key: false,
+                },
+                ColumnDef {
+                    name: "nrow".into(),
+                    affinity: Affinity::Integer,
+                    primary_key: false,
+                },
+            ],
+            false,
+        )?;
+    }
+    delete(pager, schema, "twine_stats", None)?;
+    let tables: Vec<Table> = schema
+        .tables
+        .values()
+        .filter(|t| t.name != "twine_stats")
+        .cloned()
+        .collect();
+    let stats_root = schema.table("twine_stats")?.root;
+    let mut rowid = 1i64;
+    for t in tables {
+        let mut n = 0i64;
+        let mut c = Cursor::first(pager, t.root)?;
+        while c.valid() {
+            n += 1;
+            c.next(pager)?;
+        }
+        let rec = encode_record(&[SqlValue::Text(t.name.clone()), SqlValue::Int(n)]);
+        btree::table_insert(pager, stats_root, rowid, &rec)?;
+        rowid += 1;
+    }
+    Ok(ExecResult::default())
+}

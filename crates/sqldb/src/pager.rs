@@ -1,0 +1,780 @@
+//! The pager: page cache, transactions, and the delete-mode rollback
+//! journal (SQLite's default journal mode, used by the paper's benchmarks).
+//!
+//! The cache holds 2048 4-KiB pages by default — the 8 MiB SQLite page
+//! cache the paper configures (§V-C). Figure 5b's "sharp increase up to
+//! twice the cache size" behaviour comes from exactly this structure.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::vfs::{Vfs, VfsFile};
+use crate::{DbError, DbResult, PAGE_SIZE};
+
+/// 1-based page identifier; page 1 is the database header.
+pub type PageId = u32;
+
+/// Default page-cache capacity (2048 pages = 8 MiB).
+pub const DEFAULT_CACHE_PAGES: usize = 2048;
+
+const HEADER_MAGIC: &[u8; 16] = b"twine-sqldb v1\0\0";
+const JOURNAL_MAGIC: &[u8; 8] = b"twjrnl1\0";
+
+/// Maximum freelist entries storable in the header page.
+const MAX_FREELIST: usize = (PAGE_SIZE - 64) / 4;
+
+type PageBuf = Box<[u8; PAGE_SIZE]>;
+
+fn new_page() -> PageBuf {
+    vec![0u8; PAGE_SIZE].into_boxed_slice().try_into().expect("size")
+}
+
+/// Observation hook: `(page_id, is_write)` for every cache miss/flush —
+/// the seam the EPC simulator and I/O accounting attach to.
+pub type PageHook = Box<dyn FnMut(PageId, bool)>;
+
+struct CacheSlot {
+    id: PageId,
+    buf: PageBuf,
+    dirty: bool,
+    referenced: bool,
+    occupied: bool,
+}
+
+/// I/O statistics (drives the harness' virtual-time I/O model).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PagerStats {
+    /// Pages read from the VFS.
+    pub page_reads: u64,
+    /// Pages written to the VFS.
+    pub page_writes: u64,
+    /// Cache hits.
+    pub cache_hits: u64,
+    /// fsync calls.
+    pub syncs: u64,
+    /// Journal page writes.
+    pub journal_writes: u64,
+}
+
+/// The pager.
+pub struct Pager {
+    /// `None` for a pure in-memory database.
+    file: Option<Box<dyn VfsFile>>,
+    vfs: Option<Box<dyn Vfs>>,
+    journal_name: String,
+    journal: Option<Box<dyn VfsFile>>,
+    journal_count: u32,
+    /// Clock-hand page cache (file-backed mode).
+    slots: Vec<CacheSlot>,
+    map: HashMap<PageId, usize>,
+    hand: usize,
+    cache_limit: usize,
+    /// In-memory mode backing store.
+    mem_pages: Vec<Option<PageBuf>>,
+    /// Rollback copies for in-memory transactions.
+    mem_undo: HashMap<PageId, Option<PageBuf>>,
+    n_pages: u32,
+    freelist: Vec<PageId>,
+    in_txn: bool,
+    journaled: HashSet<PageId>,
+    txn_start_n_pages: u32,
+    /// Statistics.
+    pub stats: PagerStats,
+    hook: Option<PageHook>,
+}
+
+impl Pager {
+    /// Pure in-memory database.
+    #[must_use]
+    pub fn open_memory() -> Self {
+        let mut p = Self::base(None, None, String::new());
+        p.init_fresh();
+        p
+    }
+
+    /// File-backed database named `name` on `vfs` (journal: `{name}-journal`).
+    pub fn open_file(mut vfs: Box<dyn Vfs>, name: &str) -> DbResult<Self> {
+        let journal_name = format!("{name}-journal");
+        let hot_journal = vfs.exists(&journal_name);
+        let file = vfs.open(name)?;
+        let mut p = Self::base(Some(file), Some(vfs), journal_name);
+        if hot_journal {
+            p.recover_hot_journal()?;
+        }
+        let size = p.file.as_mut().expect("file").size()?;
+        if size == 0 {
+            p.init_fresh();
+            p.write_header()?;
+            let file = p.file.as_mut().expect("file");
+            file.sync()?;
+        } else {
+            p.read_header()?;
+        }
+        Ok(p)
+    }
+
+    fn base(file: Option<Box<dyn VfsFile>>, vfs: Option<Box<dyn Vfs>>, journal_name: String) -> Self {
+        Self {
+            file,
+            vfs,
+            journal_name,
+            journal: None,
+            journal_count: 0,
+            slots: Vec::new(),
+            map: HashMap::new(),
+            hand: 0,
+            cache_limit: DEFAULT_CACHE_PAGES,
+            mem_pages: vec![None],
+            mem_undo: HashMap::new(),
+            n_pages: 0,
+            freelist: Vec::new(),
+            in_txn: false,
+            journaled: HashSet::new(),
+            txn_start_n_pages: 0,
+            stats: PagerStats::default(),
+            hook: None,
+        }
+    }
+
+    fn init_fresh(&mut self) {
+        self.n_pages = 1; // header page
+        self.freelist.clear();
+    }
+
+    /// Whether this is an in-memory database.
+    #[must_use]
+    pub fn is_memory(&self) -> bool {
+        self.file.is_none()
+    }
+
+    /// Set the page-cache capacity (in pages).
+    pub fn set_cache_pages(&mut self, pages: usize) {
+        self.cache_limit = pages.max(16);
+    }
+
+    /// Install a page-access hook.
+    pub fn set_hook(&mut self, hook: Option<PageHook>) {
+        self.hook = hook;
+    }
+
+    /// Total pages in the database.
+    #[must_use]
+    pub fn page_count(&self) -> u32 {
+        self.n_pages
+    }
+
+    fn touch_hook(&mut self, id: PageId, write: bool) {
+        if let Some(h) = self.hook.as_mut() {
+            h(id, write);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Header
+    // ------------------------------------------------------------------
+
+    fn write_header(&mut self) -> DbResult<()> {
+        let mut buf = new_page();
+        buf[..16].copy_from_slice(HEADER_MAGIC);
+        buf[16..20].copy_from_slice(&self.n_pages.to_le_bytes());
+        let n_free = self.freelist.len().min(MAX_FREELIST);
+        buf[20..24].copy_from_slice(&(n_free as u32).to_le_bytes());
+        for (i, id) in self.freelist.iter().take(MAX_FREELIST).enumerate() {
+            buf[64 + i * 4..64 + i * 4 + 4].copy_from_slice(&id.to_le_bytes());
+        }
+        if let Some(f) = self.file.as_mut() {
+            f.write_at(0, &buf[..])?;
+            self.stats.page_writes += 1;
+        } else {
+            self.mem_pages[0] = Some(buf);
+        }
+        Ok(())
+    }
+
+    fn read_header(&mut self) -> DbResult<()> {
+        let mut buf = new_page();
+        let f = self.file.as_mut().expect("file-backed");
+        f.read_at(0, &mut buf[..])?;
+        self.stats.page_reads += 1;
+        if &buf[..16] != HEADER_MAGIC {
+            return Err(DbError::Storage("bad database header".into()));
+        }
+        self.n_pages = u32::from_le_bytes(buf[16..20].try_into().expect("4"));
+        let n_free = u32::from_le_bytes(buf[20..24].try_into().expect("4")) as usize;
+        if n_free > MAX_FREELIST {
+            return Err(DbError::Storage("corrupt freelist".into()));
+        }
+        self.freelist = (0..n_free)
+            .map(|i| u32::from_le_bytes(buf[64 + i * 4..64 + i * 4 + 4].try_into().expect("4")))
+            .collect();
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Page access
+    // ------------------------------------------------------------------
+
+    /// Read-only page view.
+    pub fn get(&mut self, id: PageId) -> DbResult<&[u8]> {
+        self.load(id, false)?;
+        Ok(self.page_ref(id))
+    }
+
+    /// Writable page view (journals the original on first touch).
+    pub fn get_mut(&mut self, id: PageId) -> DbResult<&mut [u8]> {
+        if !self.in_txn {
+            return Err(DbError::Storage("write outside transaction".into()));
+        }
+        self.load(id, true)?;
+        self.journal_page(id)?;
+        if self.is_memory() {
+            let buf = self.mem_pages[id as usize - 1].as_deref_mut().expect("loaded");
+            Ok(&mut buf[..])
+        } else {
+            let slot = self.map[&id];
+            self.slots[slot].dirty = true;
+            self.slots[slot].referenced = true;
+            Ok(&mut self.slots[slot].buf[..])
+        }
+    }
+
+    fn page_ref(&self, id: PageId) -> &[u8] {
+        if self.is_memory() {
+            self.mem_pages[id as usize - 1].as_deref().expect("loaded")
+        } else {
+            &self.slots[self.map[&id]].buf[..]
+        }
+    }
+
+    fn load(&mut self, id: PageId, for_write: bool) -> DbResult<()> {
+        if id == 0 || id > self.n_pages {
+            return Err(DbError::Storage(format!("page {id} out of range")));
+        }
+        self.touch_hook(id, for_write);
+        if self.is_memory() {
+            let idx = id as usize - 1;
+            if self.mem_pages.len() <= idx {
+                self.mem_pages.resize_with(idx + 1, || None);
+            }
+            if self.mem_pages[idx].is_none() {
+                self.mem_pages[idx] = Some(new_page());
+            }
+            return Ok(());
+        }
+        if let Some(&slot) = self.map.get(&id) {
+            self.slots[slot].referenced = true;
+            self.stats.cache_hits += 1;
+            return Ok(());
+        }
+        // Miss: read from file into a (possibly evicted) slot.
+        let mut buf = self.take_slot_buf()?;
+        let f = self.file.as_mut().expect("file-backed");
+        f.read_at(u64::from(id - 1) * PAGE_SIZE as u64, &mut buf[..])?;
+        self.stats.page_reads += 1;
+        self.insert_slot(id, buf, false);
+        Ok(())
+    }
+
+    /// Obtain a free buffer, evicting if the cache is full.
+    fn take_slot_buf(&mut self) -> DbResult<PageBuf> {
+        if self.map.len() < self.cache_limit {
+            return Ok(new_page());
+        }
+        // Clock (second chance) eviction.
+        loop {
+            if self.slots.is_empty() {
+                return Ok(new_page());
+            }
+            self.hand = (self.hand + 1) % self.slots.len();
+            let slot = &mut self.slots[self.hand];
+            if !slot.occupied {
+                continue;
+            }
+            if slot.referenced {
+                slot.referenced = false;
+                continue;
+            }
+            // Victim found.
+            let id = slot.id;
+            let dirty = slot.dirty;
+            let buf = std::mem::replace(&mut slot.buf, new_page());
+            slot.occupied = false;
+            self.map.remove(&id);
+            if dirty {
+                // Spill: legal mid-transaction because the original page is
+                // already in the journal.
+                let f = self.file.as_mut().expect("file-backed");
+                f.write_at(u64::from(id - 1) * PAGE_SIZE as u64, &buf[..])?;
+                self.stats.page_writes += 1;
+            }
+            return Ok(buf);
+        }
+    }
+
+    fn insert_slot(&mut self, id: PageId, buf: PageBuf, dirty: bool) {
+        // Reuse an unoccupied slot if available.
+        for (i, s) in self.slots.iter_mut().enumerate() {
+            if !s.occupied {
+                *s = CacheSlot {
+                    id,
+                    buf,
+                    dirty,
+                    referenced: true,
+                    occupied: true,
+                };
+                self.map.insert(id, i);
+                return;
+            }
+        }
+        self.slots.push(CacheSlot {
+            id,
+            buf,
+            dirty,
+            referenced: true,
+            occupied: true,
+        });
+        self.map.insert(id, self.slots.len() - 1);
+    }
+
+    // ------------------------------------------------------------------
+    // Allocation
+    // ------------------------------------------------------------------
+
+    /// Allocate a page (zeroed) within the current transaction.
+    pub fn allocate(&mut self) -> DbResult<PageId> {
+        if !self.in_txn {
+            return Err(DbError::Storage("allocate outside transaction".into()));
+        }
+        let id = if let Some(id) = self.freelist.pop() {
+            id
+        } else {
+            self.n_pages += 1;
+            self.n_pages
+        };
+        if self.is_memory() {
+            let idx = id as usize - 1;
+            if self.mem_pages.len() <= idx {
+                self.mem_pages.resize_with(idx + 1, || None);
+            }
+            self.mem_undo.entry(id).or_insert(None);
+            self.mem_pages[idx] = Some(new_page());
+        } else {
+            self.ensure_journal()?; // growth must be recoverable
+            self.journaled.insert(id); // fresh page: no prior image needed
+            self.insert_or_reset_slot(id)?;
+        }
+        Ok(id)
+    }
+
+    fn insert_or_reset_slot(&mut self, id: PageId) -> DbResult<()> {
+        if let Some(&slot) = self.map.get(&id) {
+            self.slots[slot].buf.fill(0);
+            self.slots[slot].dirty = true;
+            self.slots[slot].referenced = true;
+            return Ok(());
+        }
+        let buf = self.take_slot_buf().map(|mut b| {
+            b.fill(0);
+            b
+        })?;
+        self.insert_slot(id, buf, true);
+        Ok(())
+    }
+
+    /// Return a page to the freelist.
+    pub fn free_page(&mut self, id: PageId) -> DbResult<()> {
+        if !self.in_txn {
+            return Err(DbError::Storage("free outside transaction".into()));
+        }
+        if self.freelist.len() < MAX_FREELIST {
+            self.freelist.push(id);
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Transactions
+    // ------------------------------------------------------------------
+
+    /// Whether a transaction is active.
+    #[must_use]
+    pub fn in_transaction(&self) -> bool {
+        self.in_txn
+    }
+
+    /// Begin a transaction. The rollback journal is created lazily on the
+    /// first page modification, so read-only transactions (plain SELECTs in
+    /// autocommit) cost no journal I/O — matching SQLite's behaviour.
+    pub fn begin(&mut self) -> DbResult<()> {
+        if self.in_txn {
+            return Err(DbError::Storage("nested transaction".into()));
+        }
+        self.in_txn = true;
+        self.txn_start_n_pages = self.n_pages;
+        self.journaled.clear();
+        self.mem_undo.clear();
+        Ok(())
+    }
+
+    /// Open the journal file (first write of the transaction).
+    fn ensure_journal(&mut self) -> DbResult<()> {
+        if self.is_memory() || self.journal.is_some() {
+            return Ok(());
+        }
+        let vfs = self.vfs.as_mut().expect("vfs");
+        let mut j = vfs.open(&self.journal_name)?;
+        let mut head = Vec::with_capacity(16);
+        head.extend_from_slice(JOURNAL_MAGIC);
+        head.extend_from_slice(&self.txn_start_n_pages.to_le_bytes());
+        head.extend_from_slice(&0u32.to_le_bytes()); // entry count, patched
+        j.write_at(0, &head)?;
+        self.journal = Some(j);
+        self.journal_count = 0;
+        Ok(())
+    }
+
+    /// Whether the current transaction has modified anything.
+    fn txn_dirty(&self) -> bool {
+        if self.is_memory() {
+            !self.mem_undo.is_empty() || self.n_pages != self.txn_start_n_pages
+        } else {
+            self.journal.is_some()
+        }
+    }
+
+    /// Write the pre-image of `id` to the journal (first touch only).
+    fn journal_page(&mut self, id: PageId) -> DbResult<()> {
+        if self.journaled.contains(&id) || (self.is_memory() && self.mem_undo.contains_key(&id)) {
+            return Ok(());
+        }
+        if self.is_memory() {
+            let pre = self.mem_pages[id as usize - 1].clone();
+            self.mem_undo.insert(id, pre);
+            return Ok(());
+        }
+        self.ensure_journal()?;
+        // Copy the current (pre-modification) content.
+        let pre: PageBuf = {
+            let slot = self.map.get(&id).copied().expect("loaded before journal");
+            let mut b = new_page();
+            b.copy_from_slice(&self.slots[slot].buf[..]);
+            b
+        };
+        let j = self.journal.as_mut().expect("journal open in txn");
+        let off = 16 + u64::from(self.journal_count) * (4 + PAGE_SIZE as u64);
+        j.write_at(off, &id.to_le_bytes())?;
+        j.write_at(off + 4, &pre[..])?;
+        self.journal_count += 1;
+        self.stats.journal_writes += 1;
+        self.journaled.insert(id);
+        Ok(())
+    }
+
+    /// Commit: flush dirty pages, sync, drop the journal. Read-only
+    /// transactions commit for free.
+    pub fn commit(&mut self) -> DbResult<()> {
+        if !self.in_txn {
+            return Err(DbError::Storage("commit outside transaction".into()));
+        }
+        if !self.txn_dirty() {
+            self.in_txn = false;
+            self.journaled.clear();
+            self.mem_undo.clear();
+            return Ok(());
+        }
+        self.write_header()?;
+        if !self.is_memory() {
+            // Persist the journal entry count, then sync it (commit point
+            // ordering: journal first, then data).
+            let count = self.journal_count;
+            if let Some(j) = self.journal.as_mut() {
+                j.write_at(12, &count.to_le_bytes())?;
+                j.sync()?;
+            }
+            self.stats.syncs += 1;
+            for slot in &mut self.slots {
+                if slot.occupied && slot.dirty {
+                    let f = self.file.as_mut().expect("file");
+                    f.write_at(u64::from(slot.id - 1) * PAGE_SIZE as u64, &slot.buf[..])?;
+                    self.stats.page_writes += 1;
+                    slot.dirty = false;
+                }
+            }
+            let f = self.file.as_mut().expect("file");
+            f.sync()?;
+            self.stats.syncs += 1;
+            self.journal = None;
+            let vfs = self.vfs.as_mut().expect("vfs");
+            if vfs.exists(&self.journal_name) {
+                vfs.delete(&self.journal_name)?;
+            }
+        }
+        self.in_txn = false;
+        self.journaled.clear();
+        self.mem_undo.clear();
+        Ok(())
+    }
+
+    /// Roll back the current transaction.
+    pub fn rollback(&mut self) -> DbResult<()> {
+        if !self.in_txn {
+            return Err(DbError::Storage("rollback outside transaction".into()));
+        }
+        if !self.txn_dirty() {
+            self.in_txn = false;
+            self.journaled.clear();
+            self.mem_undo.clear();
+            return Ok(());
+        }
+        if self.is_memory() {
+            let undo = std::mem::take(&mut self.mem_undo);
+            for (id, pre) in undo {
+                self.mem_pages[id as usize - 1] = pre;
+            }
+        } else {
+            // Restore pre-images from the journal into cache + file.
+            self.replay_journal_into_file()?;
+            // Drop all cached state (simplest correct invalidation).
+            self.slots.clear();
+            self.map.clear();
+            self.hand = 0;
+            self.journal = None;
+            let vfs = self.vfs.as_mut().expect("vfs");
+            if vfs.exists(&self.journal_name) {
+                vfs.delete(&self.journal_name)?;
+            }
+            self.read_header()?;
+        }
+        self.n_pages = self.txn_start_n_pages;
+        self.in_txn = false;
+        self.journaled.clear();
+        Ok(())
+    }
+
+    fn replay_journal_into_file(&mut self) -> DbResult<()> {
+        let Some(j) = self.journal.as_mut() else {
+            return Ok(());
+        };
+        let mut head = [0u8; 16];
+        j.read_at(0, &mut head)?;
+        if &head[..8] != JOURNAL_MAGIC {
+            return Err(DbError::Storage("bad journal header".into()));
+        }
+        let n_pages = u32::from_le_bytes(head[8..12].try_into().expect("4"));
+        let count = u32::from_le_bytes(head[12..16].try_into().expect("4"));
+        let mut buf = new_page();
+        for i in 0..count {
+            let off = 16 + u64::from(i) * (4 + PAGE_SIZE as u64);
+            let mut idb = [0u8; 4];
+            j.read_at(off, &mut idb)?;
+            j.read_at(off + 4, &mut buf[..])?;
+            let id = u32::from_le_bytes(idb);
+            let f = self.file.as_mut().expect("file");
+            f.write_at(u64::from(id - 1) * PAGE_SIZE as u64, &buf[..])?;
+            self.stats.page_writes += 1;
+        }
+        let f = self.file.as_mut().expect("file");
+        f.truncate(u64::from(n_pages) * PAGE_SIZE as u64)?;
+        f.sync()?;
+        Ok(())
+    }
+
+    /// Crash recovery: a journal file exists from an interrupted
+    /// transaction — roll the database back before use.
+    fn recover_hot_journal(&mut self) -> DbResult<()> {
+        let vfs = self.vfs.as_mut().expect("vfs");
+        let j = vfs.open(&self.journal_name)?;
+        self.journal = Some(j);
+        // Only replay if the journal header is complete (a torn journal
+        // header means the transaction never reached its commit point and
+        // the main file was not yet touched).
+        let ok = {
+            let j = self.journal.as_mut().expect("journal");
+            let mut head = [0u8; 16];
+            j.read_at(0, &mut head).is_ok() && &head[..8] == JOURNAL_MAGIC
+        };
+        if ok {
+            self.replay_journal_into_file()?;
+        }
+        self.journal = None;
+        let vfs = self.vfs.as_mut().expect("vfs");
+        vfs.delete(&self.journal_name)?;
+        Ok(())
+    }
+
+    /// Flush everything (used at clean close).
+    pub fn flush(&mut self) -> DbResult<()> {
+        if self.in_txn {
+            self.commit()?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vfs::MemVfs;
+
+    fn file_pager() -> (Pager, MemVfs) {
+        let vfs = MemVfs::new();
+        let p = Pager::open_file(Box::new(vfs.clone()), "test.db").unwrap();
+        (p, vfs)
+    }
+
+    #[test]
+    fn memory_alloc_write_read() {
+        let mut p = Pager::open_memory();
+        p.begin().unwrap();
+        let id = p.allocate().unwrap();
+        p.get_mut(id).unwrap()[0] = 0xAB;
+        p.commit().unwrap();
+        assert_eq!(p.get(id).unwrap()[0], 0xAB);
+    }
+
+    #[test]
+    fn file_persistence_across_reopen() {
+        let vfs = MemVfs::new();
+        {
+            let mut p = Pager::open_file(Box::new(vfs.clone()), "x.db").unwrap();
+            p.begin().unwrap();
+            let id = p.allocate().unwrap();
+            assert_eq!(id, 2);
+            p.get_mut(id).unwrap()[100] = 42;
+            p.commit().unwrap();
+        }
+        let mut p = Pager::open_file(Box::new(vfs), "x.db").unwrap();
+        assert_eq!(p.page_count(), 2);
+        assert_eq!(p.get(2).unwrap()[100], 42);
+    }
+
+    #[test]
+    fn rollback_restores_content_memory() {
+        let mut p = Pager::open_memory();
+        p.begin().unwrap();
+        let id = p.allocate().unwrap();
+        p.get_mut(id).unwrap()[0] = 1;
+        p.commit().unwrap();
+        p.begin().unwrap();
+        p.get_mut(id).unwrap()[0] = 99;
+        p.rollback().unwrap();
+        assert_eq!(p.get(id).unwrap()[0], 1);
+    }
+
+    #[test]
+    fn rollback_restores_content_file() {
+        let (mut p, _vfs) = file_pager();
+        p.begin().unwrap();
+        let id = p.allocate().unwrap();
+        p.get_mut(id).unwrap()[7] = 7;
+        p.commit().unwrap();
+        p.begin().unwrap();
+        p.get_mut(id).unwrap()[7] = 70;
+        assert_eq!(p.get(id).unwrap()[7], 70);
+        p.rollback().unwrap();
+        assert_eq!(p.get(id).unwrap()[7], 7);
+    }
+
+    #[test]
+    fn rollback_undoes_allocation() {
+        let (mut p, _) = file_pager();
+        p.begin().unwrap();
+        p.allocate().unwrap();
+        p.commit().unwrap();
+        let before = p.page_count();
+        p.begin().unwrap();
+        p.allocate().unwrap();
+        p.allocate().unwrap();
+        p.rollback().unwrap();
+        assert_eq!(p.page_count(), before);
+    }
+
+    #[test]
+    fn hot_journal_recovery() {
+        // Simulate a crash: journal written, data file modified, but the
+        // journal never deleted (no commit).
+        let vfs = MemVfs::new();
+        {
+            let mut p = Pager::open_file(Box::new(vfs.clone()), "c.db").unwrap();
+            p.begin().unwrap();
+            let id = p.allocate().unwrap();
+            p.get_mut(id).unwrap()[0] = 5;
+            p.commit().unwrap();
+            // Start a second txn, modify, and *simulate crash* by dropping
+            // the pager after forcing the dirty page to disk via spill.
+            p.begin().unwrap();
+            p.get_mut(id).unwrap()[0] = 99;
+            // Manually persist the journal count and dirty page, as if the
+            // crash happened mid-commit (after data write, before journal
+            // deletion).
+            let count = p.journal_count;
+            if let Some(j) = p.journal.as_mut() {
+                j.write_at(12, &count.to_le_bytes()).unwrap();
+            }
+            for slot in &p.slots {
+                if slot.occupied && slot.dirty {
+                    let off = u64::from(slot.id - 1) * PAGE_SIZE as u64;
+                    p.file.as_mut().unwrap().write_at(off, &slot.buf[..]).unwrap();
+                }
+            }
+            // ... crash: no commit, journal remains.
+        }
+        let mut p = Pager::open_file(Box::new(vfs), "c.db").unwrap();
+        assert_eq!(p.get(2).unwrap()[0], 5, "hot journal rolled back");
+    }
+
+    #[test]
+    fn freelist_reuse() {
+        let (mut p, _) = file_pager();
+        p.begin().unwrap();
+        let a = p.allocate().unwrap();
+        let _b = p.allocate().unwrap();
+        p.free_page(a).unwrap();
+        let c = p.allocate().unwrap();
+        assert_eq!(c, a, "freed page is reused");
+        p.commit().unwrap();
+    }
+
+    #[test]
+    fn cache_eviction_under_pressure() {
+        let (mut p, _) = file_pager();
+        p.set_cache_pages(16);
+        p.begin().unwrap();
+        let ids: Vec<PageId> = (0..100).map(|_| p.allocate().unwrap()).collect();
+        for (i, &id) in ids.iter().enumerate() {
+            p.get_mut(id).unwrap()[0] = i as u8;
+        }
+        p.commit().unwrap();
+        for (i, &id) in ids.iter().enumerate() {
+            assert_eq!(p.get(id).unwrap()[0], i as u8);
+        }
+        assert!(p.stats.page_reads > 0, "misses under pressure");
+    }
+
+    #[test]
+    fn write_outside_txn_rejected() {
+        let mut p = Pager::open_memory();
+        p.begin().unwrap();
+        let id = p.allocate().unwrap();
+        p.commit().unwrap();
+        assert!(p.get_mut(id).is_err());
+        assert!(p.allocate().is_err());
+    }
+
+    #[test]
+    fn hook_observes_touches() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        let touches = Rc::new(RefCell::new(Vec::new()));
+        let t2 = touches.clone();
+        let mut p = Pager::open_memory();
+        p.set_hook(Some(Box::new(move |id, w| t2.borrow_mut().push((id, w)))));
+        p.begin().unwrap();
+        let id = p.allocate().unwrap();
+        p.get_mut(id).unwrap()[0] = 1;
+        let _ = p.get(id).unwrap();
+        p.commit().unwrap();
+        let t = touches.borrow();
+        assert!(t.contains(&(id, true)));
+        assert!(t.contains(&(id, false)));
+    }
+}

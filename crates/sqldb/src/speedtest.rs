@@ -1,0 +1,384 @@
+//! A clone of SQLite's `Speedtest1` workload generator (§V-C) and the
+//! §V-D micro-benchmark workloads.
+//!
+//! SQLite's Speedtest1 is a sequence of numbered tests, each stressing one
+//! aspect of the engine. The paper runs 29 of them (Figure 4's x-axis).
+//! This module reproduces the same test numbers with workloads of the same
+//! *shape* (same statement mix, same access patterns); row counts scale
+//! with a size parameter so laptop runs stay tractable.
+//!
+//! Deviations from the original (documented per test):
+//! * test 210 (ALTER TABLE) is emulated by copy-into-new-table + drop,
+//!   which touches every record just like the original schema change;
+//! * tests that need `HAVING` use an equivalent GROUP BY + WHERE shape.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::db::Connection;
+use crate::value::SqlValue;
+use crate::{DbError, DbResult};
+
+/// The Speedtest1 test numbers the paper reports (Figure 4).
+pub const TEST_IDS: [u32; 29] = [
+    100, 110, 120, 130, 140, 142, 145, 160, 161, 170, 180, 190, 210, 230, 240, 250, 260, 270,
+    280, 290, 300, 320, 400, 410, 500, 510, 520, 980, 990,
+];
+
+/// Short description of a test (mirrors speedtest1's banner lines).
+#[must_use]
+pub fn test_name(id: u32) -> &'static str {
+    match id {
+        100 => "INSERTs into unindexed table",
+        110 => "INSERTs into table with INTEGER PRIMARY KEY",
+        120 => "INSERTs into indexed table",
+        130 => "SELECT range sums on unindexed column",
+        140 => "SELECTs with LIKE pattern scan",
+        142 => "SELECT with ORDER BY, non-indexed",
+        145 => "SELECT with ORDER BY and LIMIT",
+        160 => "point SELECTs by rowid",
+        161 => "point SELECTs by rowid (misses)",
+        170 => "UPDATEs over rowid range",
+        180 => "UPDATEs on unindexed column scan",
+        190 => "DELETE and re-INSERT",
+        210 => "schema change touching every record",
+        230 => "UPDATEs with index maintenance",
+        240 => "SELECTs with IN list",
+        250 => "UPDATE of every record",
+        260 => "wide-range SUM",
+        270 => "join by rowid",
+        280 => "join through index",
+        290 => "GROUP BY aggregation",
+        300 => "SELECT with compound WHERE",
+        320 => "GROUP BY over join",
+        400 => "full-table sequential scan",
+        410 => "random point reads (cache-busting)",
+        500 => "CREATE INDEX on populated table",
+        510 => "random reads through the index",
+        520 => "SELECT DISTINCT",
+        980 => "integrity check (full-scan verification)",
+        990 => "ANALYZE",
+        _ => "unknown",
+    }
+}
+
+/// Speedtest driver: owns the connection-independent workload state.
+pub struct Speedtest {
+    /// Base row count (speedtest1's --size; the paper uses the default).
+    pub size: u32,
+    rng: StdRng,
+}
+
+impl Speedtest {
+    /// Create a driver; `size` scales all row counts.
+    #[must_use]
+    pub fn new(size: u32, seed: u64) -> Self {
+        Self {
+            size: size.max(10),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    fn n(&self, scale: f64) -> u32 {
+        ((f64::from(self.size) * scale) as u32).max(2)
+    }
+
+    fn rand_text(&mut self, len: usize) -> String {
+        const WORDS: [&str; 16] = [
+            "alpha", "bravo", "charlie", "delta", "echo", "foxtrot", "golf", "hotel", "india",
+            "juliet", "kilo", "lima", "mike", "november", "oscar", "papa",
+        ];
+        let mut s = String::new();
+        while s.len() < len {
+            if !s.is_empty() {
+                s.push(' ');
+            }
+            s.push_str(WORDS[self.rng.gen_range(0..WORDS.len())]);
+        }
+        s.truncate(len);
+        s
+    }
+
+    /// Run one numbered test against `db`. Tests must run in ascending
+    /// order (later tests use tables created by earlier ones).
+    #[allow(clippy::too_many_lines)]
+    pub fn run_test(&mut self, db: &mut Connection, id: u32) -> DbResult<()> {
+        match id {
+            100 => {
+                let n = self.n(1.0);
+                db.execute("CREATE TABLE t1(a INTEGER, b INTEGER, c TEXT)")?;
+                db.execute("BEGIN")?;
+                for i in 0..n {
+                    let b: u32 = self.rng.gen_range(0..1_000_000);
+                    let c = self.rand_text(40);
+                    db.execute(&format!("INSERT INTO t1 VALUES({i}, {b}, '{c}')"))?;
+                }
+                db.execute("COMMIT")?;
+            }
+            110 => {
+                let n = self.n(1.0);
+                db.execute("CREATE TABLE t2(a INTEGER PRIMARY KEY, b INTEGER, c TEXT)")?;
+                db.execute("BEGIN")?;
+                for i in 0..n {
+                    let b: u32 = self.rng.gen_range(0..1_000_000);
+                    let c = self.rand_text(40);
+                    db.execute(&format!("INSERT INTO t2 VALUES({i}, {b}, '{c}')"))?;
+                }
+                db.execute("COMMIT")?;
+            }
+            120 => {
+                let n = self.n(1.0);
+                db.execute("CREATE TABLE t3(a INTEGER PRIMARY KEY, b INTEGER, c TEXT)")?;
+                db.execute("CREATE INDEX t3b ON t3(b)")?;
+                db.execute("BEGIN")?;
+                for i in 0..n {
+                    let b: u32 = self.rng.gen_range(0..1_000_000);
+                    let c = self.rand_text(40);
+                    db.execute(&format!("INSERT INTO t3 VALUES({i}, {b}, '{c}')"))?;
+                }
+                db.execute("COMMIT")?;
+            }
+            130 => {
+                for _ in 0..10 {
+                    let lo: u32 = self.rng.gen_range(0..900_000);
+                    db.query(&format!(
+                        "SELECT count(*), avg(b) FROM t1 WHERE b BETWEEN {lo} AND {}",
+                        lo + 100_000
+                    ))?;
+                }
+            }
+            140 => {
+                for pat in ["%alpha%", "%kilo%", "%zulu%"] {
+                    db.query(&format!(
+                        "SELECT count(*) FROM t1 WHERE c LIKE '{pat}'"
+                    ))?;
+                }
+            }
+            142 => {
+                db.query("SELECT a, b FROM t1 ORDER BY b LIMIT 100")?;
+                db.query("SELECT b, c FROM t1 ORDER BY c LIMIT 100")?;
+            }
+            145 => {
+                db.query("SELECT a FROM t1 ORDER BY b DESC LIMIT 10")?;
+            }
+            160 => {
+                let n = self.n(0.5);
+                let max = self.n(1.0);
+                for _ in 0..n {
+                    let k = self.rng.gen_range(0..max);
+                    db.query(&format!("SELECT c FROM t2 WHERE a = {k}"))?;
+                }
+            }
+            161 => {
+                let n = self.n(0.25);
+                let max = self.n(1.0);
+                for _ in 0..n {
+                    let k = max + self.rng.gen_range(0..max);
+                    db.query(&format!("SELECT c FROM t2 WHERE a = {k}"))?;
+                }
+            }
+            170 => {
+                let max = self.n(1.0);
+                db.execute("BEGIN")?;
+                for _ in 0..10 {
+                    let lo = self.rng.gen_range(0..max / 2);
+                    db.execute(&format!(
+                        "UPDATE t2 SET b = b + 1 WHERE a BETWEEN {lo} AND {}",
+                        lo + max / 10
+                    ))?;
+                }
+                db.execute("COMMIT")?;
+            }
+            180 => {
+                db.execute("UPDATE t1 SET b = b + 1 WHERE b % 10 = 0")?;
+            }
+            190 => {
+                let max = self.n(1.0);
+                db.execute("BEGIN")?;
+                db.execute(&format!("DELETE FROM t2 WHERE a > {}", max / 2))?;
+                for i in max / 2 + 1..max {
+                    let b: u32 = self.rng.gen_range(0..1_000_000);
+                    db.execute(&format!("INSERT INTO t2 VALUES({i}, {b}, 'reinserted')"))?;
+                }
+                db.execute("COMMIT")?;
+            }
+            210 => {
+                // ALTER TABLE emulation: rebuild t1 with an extra column.
+                db.execute("BEGIN")?;
+                db.execute("CREATE TABLE t1_new(a INTEGER, b INTEGER, c TEXT, d INTEGER)")?;
+                let rows = db.query("SELECT a, b, c FROM t1")?;
+                for r in rows {
+                    let (a, b, c) = (
+                        r[0].as_i64().unwrap_or(0),
+                        r[1].as_i64().unwrap_or(0),
+                        r[2].to_display().replace('\'', "''"),
+                    );
+                    db.execute(&format!("INSERT INTO t1_new VALUES({a}, {b}, '{c}', 0)"))?;
+                }
+                db.execute("DROP TABLE t1")?;
+                // Keep the name t1 for subsequent tests.
+                db.execute("CREATE TABLE t1(a INTEGER, b INTEGER, c TEXT, d INTEGER)")?;
+                let rows = db.query("SELECT a, b, c, d FROM t1_new")?;
+                for r in rows {
+                    let (a, b, c, d) = (
+                        r[0].as_i64().unwrap_or(0),
+                        r[1].as_i64().unwrap_or(0),
+                        r[2].to_display().replace('\'', "''"),
+                        r[3].as_i64().unwrap_or(0),
+                    );
+                    db.execute(&format!("INSERT INTO t1 VALUES({a}, {b}, '{c}', {d})"))?;
+                }
+                db.execute("DROP TABLE t1_new")?;
+                db.execute("COMMIT")?;
+            }
+            230 => {
+                let max = self.n(1.0);
+                db.execute("BEGIN")?;
+                for _ in 0..10 {
+                    let lo = self.rng.gen_range(0..max / 2);
+                    db.execute(&format!(
+                        "UPDATE t3 SET b = b + 100 WHERE a BETWEEN {lo} AND {}",
+                        lo + max / 20
+                    ))?;
+                }
+                db.execute("COMMIT")?;
+            }
+            240 => {
+                let max = self.n(1.0);
+                for _ in 0..5 {
+                    let ks: Vec<String> = (0..10)
+                        .map(|_| self.rng.gen_range(0..max).to_string())
+                        .collect();
+                    db.query(&format!(
+                        "SELECT count(*) FROM t2 WHERE a IN ({})",
+                        ks.join(",")
+                    ))?;
+                }
+            }
+            250 => {
+                db.execute("UPDATE t2 SET b = b + 1")?;
+            }
+            260 => {
+                db.query("SELECT sum(b) FROM t2 WHERE a BETWEEN 0 AND 1000000000")?;
+            }
+            270 => {
+                db.query(
+                    "SELECT t2.c FROM t2 JOIN t3 ON t2.a = t3.a WHERE t2.b < 100000 LIMIT 100",
+                )?;
+            }
+            280 => {
+                db.query(
+                    "SELECT count(*) FROM t2 JOIN t3 ON t2.b = t3.b WHERE t2.a < 100",
+                )?;
+            }
+            290 => {
+                db.query("SELECT b % 100, count(*), avg(a) FROM t2 GROUP BY b % 100")?;
+            }
+            300 => {
+                db.query(
+                    "SELECT count(*) FROM t1 WHERE b > 100 AND b < 500000 AND c LIKE 'a%'",
+                )?;
+            }
+            320 => {
+                db.query(
+                    "SELECT t3.b % 10, count(*) FROM t2 JOIN t3 ON t2.a = t3.a \
+                     GROUP BY t3.b % 10 ORDER BY 1",
+                )?;
+            }
+            400 => {
+                db.query("SELECT sum(b), sum(length(c)) FROM t2")?;
+            }
+            410 => {
+                let n = self.n(0.5);
+                let max = self.n(1.0);
+                for _ in 0..n {
+                    let k = self.rng.gen_range(0..max);
+                    db.query(&format!("SELECT b, c FROM t2 WHERE a = {k}"))?;
+                }
+            }
+            500 => {
+                db.execute("CREATE INDEX t2b ON t2(b)")?;
+            }
+            510 => {
+                let n = self.n(0.25);
+                for _ in 0..n {
+                    let b = self.rng.gen_range(0..1_000_000);
+                    db.query(&format!("SELECT count(*) FROM t2 WHERE b = {b}"))?;
+                }
+            }
+            520 => {
+                db.query("SELECT DISTINCT b % 1000 FROM t2")?;
+            }
+            980 => {
+                integrity_check(db)?;
+            }
+            990 => {
+                db.execute("ANALYZE")?;
+            }
+            other => {
+                return Err(DbError::Unsupported(format!("unknown speedtest {other}")));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Full-scan verification of every table (PRAGMA integrity_check analogue).
+pub fn integrity_check(db: &mut Connection) -> DbResult<u64> {
+    let tables: Vec<String> = db.schema().tables.keys().cloned().collect();
+    let mut total = 0u64;
+    for t in tables {
+        let n = db.query_scalar(&format!("SELECT count(*) FROM {t}"))?;
+        if let SqlValue::Int(n) = n {
+            total += n as u64;
+        }
+    }
+    Ok(total)
+}
+
+// ---------------------------------------------------------------------
+// §V-D micro-benchmark workloads
+// ---------------------------------------------------------------------
+
+/// Create the micro-benchmark table: auto-increment key + 1 KiB blob
+/// (exactly the §V-D schema).
+pub fn micro_setup(db: &mut Connection) -> DbResult<()> {
+    db.execute("CREATE TABLE kv(a INTEGER PRIMARY KEY, b BLOB)")?;
+    Ok(())
+}
+
+/// Insert `count` records of `blob_len` pseudo-random bytes (PRNG, like
+/// Speedtest1), in one transaction.
+pub fn micro_insert(db: &mut Connection, count: u32, blob_len: u32) -> DbResult<()> {
+    db.execute("BEGIN")?;
+    for _ in 0..count {
+        db.execute(&format!(
+            "INSERT INTO kv(b) VALUES (randomblob({blob_len}))"
+        ))?;
+    }
+    db.execute("COMMIT")?;
+    Ok(())
+}
+
+/// Read every record in rowid order (WHERE clause over the full range).
+pub fn micro_sequential_read(db: &mut Connection) -> DbResult<u64> {
+    let r = db.query_scalar("SELECT sum(length(b)) FROM kv WHERE a >= 0")?;
+    Ok(r.as_i64().unwrap_or(0) as u64)
+}
+
+/// Read `count` random records by primary key.
+pub fn micro_random_read(db: &mut Connection, count: u32, rng: &mut StdRng) -> DbResult<u64> {
+    let max = db
+        .query_scalar("SELECT max(a) FROM kv")?
+        .as_i64()
+        .unwrap_or(0);
+    let mut bytes = 0u64;
+    for _ in 0..count {
+        let k = rng.gen_range(1..=max.max(1));
+        let rows = db.query(&format!("SELECT length(b) FROM kv WHERE a = {k}"))?;
+        if let Some(row) = rows.first() {
+            bytes += row[0].as_i64().unwrap_or(0) as u64;
+        }
+    }
+    Ok(bytes)
+}

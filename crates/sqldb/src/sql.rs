@@ -1,0 +1,1220 @@
+//! SQL tokenizer, AST and recursive-descent parser.
+//!
+//! Covers the statement shapes exercised by the paper's evaluation
+//! workloads (Speedtest1 and the §V-D micro-benchmarks).
+
+use crate::value::SqlValue;
+use crate::{DbError, DbResult};
+
+// ---------------------------------------------------------------------
+// Tokens
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Tok {
+    Ident(String),
+    Keyword(String),
+    Int(i64),
+    Real(f64),
+    Str(String),
+    Blob(Vec<u8>),
+    Punct(&'static str),
+    Eof,
+}
+
+const KEYWORDS: &[&str] = &[
+    "select", "from", "where", "insert", "into", "values", "update", "set", "delete", "create",
+    "table", "index", "unique", "drop", "begin", "commit", "rollback", "and", "or", "not", "null",
+    "like", "between", "in", "is", "order", "by", "group", "asc", "desc", "limit", "offset",
+    "distinct", "join", "inner", "on", "as", "primary", "key", "integer", "int", "text", "real",
+    "blob", "numeric", "if", "exists", "analyze", "pragma", "transaction", "varchar", "double",
+    "float", "bigint", "char", "default", "case", "when", "then", "else", "end",
+];
+
+fn lex(sql: &str) -> DbResult<Vec<Tok>> {
+    let b = sql.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b' ' | b'\t' | b'\n' | b'\r' => i += 1,
+            b'-' if i + 1 < b.len() && b[i + 1] == b'-' => {
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'\'' => {
+                // String literal with '' escaping.
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    if i >= b.len() {
+                        return Err(DbError::Parse("unterminated string".into()));
+                    }
+                    if b[i] == b'\'' {
+                        if i + 1 < b.len() && b[i + 1] == b'\'' {
+                            s.push('\'');
+                            i += 2;
+                            continue;
+                        }
+                        i += 1;
+                        break;
+                    }
+                    s.push(b[i] as char);
+                    i += 1;
+                }
+                out.push(Tok::Str(s));
+            }
+            b'"' => {
+                let mut s = String::new();
+                i += 1;
+                while i < b.len() && b[i] != b'"' {
+                    s.push(b[i] as char);
+                    i += 1;
+                }
+                if i >= b.len() {
+                    return Err(DbError::Parse("unterminated quoted identifier".into()));
+                }
+                i += 1;
+                out.push(Tok::Ident(s));
+            }
+            b'x' | b'X' if i + 1 < b.len() && b[i + 1] == b'\'' => {
+                // Blob literal x'AB01'.
+                i += 2;
+                let start = i;
+                while i < b.len() && b[i] != b'\'' {
+                    i += 1;
+                }
+                if i >= b.len() {
+                    return Err(DbError::Parse("unterminated blob literal".into()));
+                }
+                let hexs = &sql[start..i];
+                i += 1;
+                if hexs.len() % 2 != 0 {
+                    return Err(DbError::Parse("odd-length blob literal".into()));
+                }
+                let bytes = (0..hexs.len())
+                    .step_by(2)
+                    .map(|k| u8::from_str_radix(&hexs[k..k + 2], 16))
+                    .collect::<Result<Vec<u8>, _>>()
+                    .map_err(|_| DbError::Parse("bad blob literal".into()))?;
+                out.push(Tok::Blob(bytes));
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                let mut is_real = false;
+                while i < b.len() {
+                    match b[i] {
+                        b'0'..=b'9' => i += 1,
+                        b'.' if !is_real => {
+                            is_real = true;
+                            i += 1;
+                        }
+                        b'e' | b'E' if i > start => {
+                            is_real = true;
+                            i += 1;
+                            if i < b.len() && (b[i] == b'+' || b[i] == b'-') {
+                                i += 1;
+                            }
+                        }
+                        _ => break,
+                    }
+                }
+                let text = &sql[start..i];
+                if is_real {
+                    out.push(Tok::Real(text.parse().map_err(|_| {
+                        DbError::Parse(format!("bad number {text:?}"))
+                    })?));
+                } else {
+                    out.push(Tok::Int(text.parse().map_err(|_| {
+                        DbError::Parse(format!("bad number {text:?}"))
+                    })?));
+                }
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                let word = &sql[start..i];
+                let lower = word.to_ascii_lowercase();
+                if KEYWORDS.contains(&lower.as_str()) {
+                    out.push(Tok::Keyword(lower));
+                } else {
+                    out.push(Tok::Ident(word.to_string()));
+                }
+            }
+            _ => {
+                let rest = &sql[i..];
+                const P2: [&str; 5] = ["<=", ">=", "<>", "!=", "||"];
+                const P1: [&str; 13] =
+                    ["(", ")", ",", ";", "=", "<", ">", "+", "-", "*", "/", "%", "."];
+                if let Some(p) = P2.iter().find(|p| rest.starts_with(**p)) {
+                    out.push(Tok::Punct(p));
+                    i += 2;
+                } else if let Some(p) = P1.iter().find(|p| rest.starts_with(**p)) {
+                    out.push(Tok::Punct(p));
+                    i += 1;
+                } else {
+                    return Err(DbError::Parse(format!(
+                        "unexpected character {:?}",
+                        rest.chars().next().unwrap()
+                    )));
+                }
+            }
+        }
+    }
+    out.push(Tok::Eof);
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------
+// AST
+// ---------------------------------------------------------------------
+
+/// Column type affinity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Affinity {
+    /// INTEGER affinity.
+    Integer,
+    /// REAL affinity.
+    Real,
+    /// TEXT affinity.
+    Text,
+    /// BLOB / none.
+    Blob,
+}
+
+/// A column definition in CREATE TABLE.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnDef {
+    /// Name.
+    pub name: String,
+    /// Affinity from the declared type.
+    pub affinity: Affinity,
+    /// Declared `PRIMARY KEY` on an INTEGER column (rowid alias).
+    pub primary_key: bool,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum BinaryOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    Concat,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    And,
+    Or,
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Literal value.
+    Lit(SqlValue),
+    /// Column reference, optionally qualified.
+    Column {
+        /// Table qualifier.
+        table: Option<String>,
+        /// Column name (or `rowid`).
+        name: String,
+    },
+    /// Unary minus.
+    Neg(Box<Expr>),
+    /// Logical NOT.
+    Not(Box<Expr>),
+    /// Binary operation.
+    Binary(BinaryOp, Box<Expr>, Box<Expr>),
+    /// `expr LIKE pattern`.
+    Like {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Pattern with `%`/`_`.
+        pattern: Box<Expr>,
+        /// NOT LIKE.
+        negated: bool,
+    },
+    /// `expr BETWEEN lo AND hi`.
+    Between {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Lower bound (inclusive).
+        lo: Box<Expr>,
+        /// Upper bound (inclusive).
+        hi: Box<Expr>,
+        /// NOT BETWEEN.
+        negated: bool,
+    },
+    /// `expr IN (list)`.
+    InList {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Candidates.
+        list: Vec<Expr>,
+        /// NOT IN.
+        negated: bool,
+    },
+    /// `expr IS [NOT] NULL`.
+    IsNull {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// IS NOT NULL.
+        negated: bool,
+    },
+    /// Function call (scalar or aggregate).
+    Func {
+        /// Lowercase function name.
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+        /// `count(*)`.
+        star: bool,
+    },
+    /// `CASE WHEN cond THEN val ... [ELSE e] END`.
+    Case {
+        /// (condition, result) arms.
+        arms: Vec<(Expr, Expr)>,
+        /// ELSE result.
+        otherwise: Option<Box<Expr>>,
+    },
+}
+
+/// One selected column.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectCol {
+    /// `*`
+    Star,
+    /// Expression with optional alias.
+    Expr(Expr, Option<String>),
+}
+
+/// FROM item: table with optional alias.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FromTable {
+    /// Table name.
+    pub name: String,
+    /// Alias.
+    pub alias: Option<String>,
+    /// ON condition joining to earlier tables (None for the first table).
+    pub on: Option<Expr>,
+}
+
+/// A SELECT statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStmt {
+    /// DISTINCT flag.
+    pub distinct: bool,
+    /// Projection.
+    pub columns: Vec<SelectCol>,
+    /// FROM tables (left-deep joins).
+    pub from: Vec<FromTable>,
+    /// WHERE filter.
+    pub where_: Option<Expr>,
+    /// GROUP BY expressions.
+    pub group_by: Vec<Expr>,
+    /// ORDER BY (expr, descending).
+    pub order_by: Vec<(Expr, bool)>,
+    /// LIMIT.
+    pub limit: Option<Expr>,
+    /// OFFSET.
+    pub offset: Option<Expr>,
+}
+
+/// A parsed statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// CREATE TABLE.
+    CreateTable {
+        /// Table name.
+        name: String,
+        /// Columns.
+        columns: Vec<ColumnDef>,
+        /// IF NOT EXISTS.
+        if_not_exists: bool,
+    },
+    /// CREATE [UNIQUE] INDEX.
+    CreateIndex {
+        /// Index name.
+        name: String,
+        /// Indexed table.
+        table: String,
+        /// Indexed column names.
+        columns: Vec<String>,
+        /// UNIQUE.
+        unique: bool,
+    },
+    /// DROP TABLE.
+    DropTable {
+        /// Name.
+        name: String,
+    },
+    /// DROP INDEX.
+    DropIndex {
+        /// Name.
+        name: String,
+    },
+    /// INSERT.
+    Insert {
+        /// Target table.
+        table: String,
+        /// Explicit column list.
+        columns: Option<Vec<String>>,
+        /// VALUES rows.
+        rows: Vec<Vec<Expr>>,
+    },
+    /// SELECT.
+    Select(SelectStmt),
+    /// UPDATE.
+    Update {
+        /// Target table.
+        table: String,
+        /// SET assignments.
+        sets: Vec<(String, Expr)>,
+        /// WHERE filter.
+        where_: Option<Expr>,
+    },
+    /// DELETE.
+    Delete {
+        /// Target table.
+        table: String,
+        /// WHERE filter.
+        where_: Option<Expr>,
+    },
+    /// BEGIN [TRANSACTION].
+    Begin,
+    /// COMMIT.
+    Commit,
+    /// ROLLBACK.
+    Rollback,
+    /// ANALYZE (statistics gathering, Speedtest1 test 990).
+    Analyze,
+    /// PRAGMA name [= value] (accepted, applied where meaningful).
+    Pragma {
+        /// Pragma name.
+        name: String,
+        /// Optional value.
+        value: Option<String>,
+    },
+}
+
+/// Parse one SQL statement (a trailing `;` is allowed).
+pub fn parse(sql: &str) -> DbResult<Stmt> {
+    let toks = lex(sql)?;
+    let mut p = P { toks, pos: 0 };
+    let stmt = p.stmt()?;
+    p.eat_punct(";");
+    if !matches!(p.peek(), Tok::Eof) {
+        return Err(DbError::Parse(format!(
+            "trailing input after statement: {:?}",
+            p.peek()
+        )));
+    }
+    Ok(stmt)
+}
+
+struct P {
+    toks: Vec<Tok>,
+    pos: usize,
+}
+
+impl P {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos]
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos].clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Tok::Keyword(k) if k == kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> DbResult<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(DbError::Parse(format!(
+                "expected {kw:?}, found {:?}",
+                self.peek()
+            )))
+        }
+    }
+
+    fn eat_punct(&mut self, p: &str) -> bool {
+        if matches!(self.peek(), Tok::Punct(q) if *q == p) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_punct(&mut self, p: &str) -> DbResult<()> {
+        if self.eat_punct(p) {
+            Ok(())
+        } else {
+            Err(DbError::Parse(format!(
+                "expected {p:?}, found {:?}",
+                self.peek()
+            )))
+        }
+    }
+
+    /// Identifier (non-reserved keywords also accepted as names).
+    fn ident(&mut self) -> DbResult<String> {
+        match self.bump() {
+            Tok::Ident(s) => Ok(s),
+            Tok::Keyword(k) => Ok(k),
+            other => Err(DbError::Parse(format!(
+                "expected identifier, found {other:?}"
+            ))),
+        }
+    }
+
+    fn stmt(&mut self) -> DbResult<Stmt> {
+        if self.eat_kw("create") {
+            let unique = self.eat_kw("unique");
+            if self.eat_kw("table") {
+                if unique {
+                    return Err(DbError::Parse("UNIQUE TABLE is not a thing".into()));
+                }
+                return self.create_table();
+            }
+            if self.eat_kw("index") {
+                return self.create_index(unique);
+            }
+            return Err(DbError::Parse("expected TABLE or INDEX after CREATE".into()));
+        }
+        if self.eat_kw("drop") {
+            if self.eat_kw("table") {
+                return Ok(Stmt::DropTable { name: self.ident()? });
+            }
+            if self.eat_kw("index") {
+                return Ok(Stmt::DropIndex { name: self.ident()? });
+            }
+            return Err(DbError::Parse("expected TABLE or INDEX after DROP".into()));
+        }
+        if self.eat_kw("insert") {
+            return self.insert();
+        }
+        if self.eat_kw("select") {
+            return Ok(Stmt::Select(self.select()?));
+        }
+        if self.eat_kw("update") {
+            return self.update();
+        }
+        if self.eat_kw("delete") {
+            self.expect_kw("from")?;
+            let table = self.ident()?;
+            let where_ = self.opt_where()?;
+            return Ok(Stmt::Delete { table, where_ });
+        }
+        if self.eat_kw("begin") {
+            self.eat_kw("transaction");
+            return Ok(Stmt::Begin);
+        }
+        if self.eat_kw("commit") {
+            return Ok(Stmt::Commit);
+        }
+        if self.eat_kw("rollback") {
+            return Ok(Stmt::Rollback);
+        }
+        if self.eat_kw("analyze") {
+            return Ok(Stmt::Analyze);
+        }
+        if self.eat_kw("pragma") {
+            let name = self.ident()?;
+            let value = if self.eat_punct("=") {
+                Some(match self.bump() {
+                    Tok::Ident(s) | Tok::Str(s) => s,
+                    Tok::Keyword(s) => s,
+                    Tok::Int(v) => v.to_string(),
+                    other => return Err(DbError::Parse(format!("bad pragma value {other:?}"))),
+                })
+            } else {
+                None
+            };
+            return Ok(Stmt::Pragma { name, value });
+        }
+        Err(DbError::Parse(format!("unexpected token {:?}", self.peek())))
+    }
+
+    fn create_table(&mut self) -> DbResult<Stmt> {
+        let if_not_exists = if self.eat_kw("if") {
+            self.expect_kw("not")?;
+            self.expect_kw("exists")?;
+            true
+        } else {
+            false
+        };
+        let name = self.ident()?;
+        self.expect_punct("(")?;
+        let mut columns = Vec::new();
+        loop {
+            let col_name = self.ident()?;
+            let mut type_words = Vec::new();
+            while let Tok::Keyword(k) = self.peek() {
+                match k.as_str() {
+                    "integer" | "int" | "bigint" | "text" | "real" | "double" | "float"
+                    | "blob" | "numeric" | "varchar" | "char" => {
+                        type_words.push(k.clone());
+                        self.bump();
+                        if self.eat_punct("(") {
+                            while !self.eat_punct(")") {
+                                self.bump();
+                            }
+                        }
+                    }
+                    _ => break,
+                }
+            }
+            let affinity = affinity_of(&type_words);
+            let mut primary_key = false;
+            loop {
+                if self.eat_kw("primary") {
+                    self.expect_kw("key")?;
+                    primary_key = true;
+                } else if self.eat_kw("not") {
+                    self.expect_kw("null")?; // accepted, not enforced
+                } else if self.eat_kw("unique") {
+                    // accepted; enforced only via explicit unique indexes
+                } else if self.eat_kw("default") {
+                    let _ = self.expr()?; // accepted, ignored
+                } else {
+                    break;
+                }
+            }
+            columns.push(ColumnDef {
+                name: col_name,
+                affinity,
+                primary_key,
+            });
+            if self.eat_punct(")") {
+                break;
+            }
+            self.expect_punct(",")?;
+        }
+        Ok(Stmt::CreateTable {
+            name,
+            columns,
+            if_not_exists,
+        })
+    }
+
+    fn create_index(&mut self, unique: bool) -> DbResult<Stmt> {
+        let name = self.ident()?;
+        self.expect_kw("on")?;
+        let table = self.ident()?;
+        self.expect_punct("(")?;
+        let mut columns = Vec::new();
+        loop {
+            columns.push(self.ident()?);
+            self.eat_kw("asc");
+            self.eat_kw("desc"); // accepted; order ignored
+            if self.eat_punct(")") {
+                break;
+            }
+            self.expect_punct(",")?;
+        }
+        Ok(Stmt::CreateIndex {
+            name,
+            table,
+            columns,
+            unique,
+        })
+    }
+
+    fn insert(&mut self) -> DbResult<Stmt> {
+        self.expect_kw("into")?;
+        let table = self.ident()?;
+        let columns = if self.eat_punct("(") {
+            let mut cols = Vec::new();
+            loop {
+                cols.push(self.ident()?);
+                if self.eat_punct(")") {
+                    break;
+                }
+                self.expect_punct(",")?;
+            }
+            Some(cols)
+        } else {
+            None
+        };
+        self.expect_kw("values")?;
+        let mut rows = Vec::new();
+        loop {
+            self.expect_punct("(")?;
+            let mut row = Vec::new();
+            loop {
+                row.push(self.expr()?);
+                if self.eat_punct(")") {
+                    break;
+                }
+                self.expect_punct(",")?;
+            }
+            rows.push(row);
+            if !self.eat_punct(",") {
+                break;
+            }
+        }
+        Ok(Stmt::Insert {
+            table,
+            columns,
+            rows,
+        })
+    }
+
+    fn select(&mut self) -> DbResult<SelectStmt> {
+        let distinct = self.eat_kw("distinct");
+        let mut columns = Vec::new();
+        loop {
+            if self.eat_punct("*") {
+                columns.push(SelectCol::Star);
+            } else {
+                let e = self.expr()?;
+                let alias = if self.eat_kw("as") {
+                    Some(self.ident()?)
+                } else if let Tok::Ident(_) = self.peek() {
+                    Some(self.ident()?)
+                } else {
+                    None
+                };
+                columns.push(SelectCol::Expr(e, alias));
+            }
+            if !self.eat_punct(",") {
+                break;
+            }
+        }
+        let mut from = Vec::new();
+        if self.eat_kw("from") {
+            loop {
+                let name = self.ident()?;
+                let alias = match self.peek() {
+                    Tok::Ident(_) => Some(self.ident()?),
+                    _ => None,
+                };
+                from.push(FromTable {
+                    name,
+                    alias,
+                    on: None,
+                });
+                if self.eat_punct(",") {
+                    continue; // comma join: condition lives in WHERE
+                }
+                let joined = if self.eat_kw("inner") {
+                    self.expect_kw("join")?;
+                    true
+                } else {
+                    self.eat_kw("join")
+                };
+                if !joined {
+                    break;
+                }
+                let name = self.ident()?;
+                let alias = match self.peek() {
+                    Tok::Ident(_) => Some(self.ident()?),
+                    _ => None,
+                };
+                self.expect_kw("on")?;
+                let on = self.expr()?;
+                from.push(FromTable {
+                    name,
+                    alias,
+                    on: Some(on),
+                });
+                if !self.eat_punct(",") {
+                    // allow chained JOIN via loop continuation below
+                }
+                if !matches!(self.peek(), Tok::Keyword(k) if k == "join" || k == "inner") {
+                    break;
+                }
+            }
+        }
+        let where_ = self.opt_where()?;
+        let mut group_by = Vec::new();
+        if self.eat_kw("group") {
+            self.expect_kw("by")?;
+            loop {
+                group_by.push(self.expr()?);
+                if !self.eat_punct(",") {
+                    break;
+                }
+            }
+        }
+        let mut order_by = Vec::new();
+        if self.eat_kw("order") {
+            self.expect_kw("by")?;
+            loop {
+                let e = self.expr()?;
+                let desc = if self.eat_kw("desc") {
+                    true
+                } else {
+                    self.eat_kw("asc");
+                    false
+                };
+                order_by.push((e, desc));
+                if !self.eat_punct(",") {
+                    break;
+                }
+            }
+        }
+        let mut limit = None;
+        let mut offset = None;
+        if self.eat_kw("limit") {
+            limit = Some(self.expr()?);
+            if self.eat_kw("offset") {
+                offset = Some(self.expr()?);
+            }
+        }
+        Ok(SelectStmt {
+            distinct,
+            columns,
+            from,
+            where_,
+            group_by,
+            order_by,
+            limit,
+            offset,
+        })
+    }
+
+    fn update(&mut self) -> DbResult<Stmt> {
+        let table = self.ident()?;
+        self.expect_kw("set")?;
+        let mut sets = Vec::new();
+        loop {
+            let col = self.ident()?;
+            self.expect_punct("=")?;
+            let e = self.expr()?;
+            sets.push((col, e));
+            if !self.eat_punct(",") {
+                break;
+            }
+        }
+        let where_ = self.opt_where()?;
+        Ok(Stmt::Update {
+            table,
+            sets,
+            where_,
+        })
+    }
+
+    fn opt_where(&mut self) -> DbResult<Option<Expr>> {
+        if self.eat_kw("where") {
+            Ok(Some(self.expr()?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    // ---- expressions ------------------------------------------------------
+
+    fn expr(&mut self) -> DbResult<Expr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> DbResult<Expr> {
+        let mut lhs = self.and_expr()?;
+        while self.eat_kw("or") {
+            let rhs = self.and_expr()?;
+            lhs = Expr::Binary(BinaryOp::Or, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> DbResult<Expr> {
+        let mut lhs = self.not_expr()?;
+        while self.eat_kw("and") {
+            let rhs = self.not_expr()?;
+            lhs = Expr::Binary(BinaryOp::And, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn not_expr(&mut self) -> DbResult<Expr> {
+        if self.eat_kw("not") {
+            return Ok(Expr::Not(Box::new(self.not_expr()?)));
+        }
+        self.predicate()
+    }
+
+    /// Comparison-level: handles =, <, LIKE, BETWEEN, IN, IS NULL.
+    fn predicate(&mut self) -> DbResult<Expr> {
+        let lhs = self.additive()?;
+        let negated = if matches!(self.peek(), Tok::Keyword(k) if k == "not") {
+            let next = self.toks.get(self.pos + 1);
+            if matches!(next, Some(Tok::Keyword(k)) if k == "like" || k == "between" || k == "in")
+            {
+                self.bump();
+                true
+            } else {
+                false
+            }
+        } else {
+            false
+        };
+        if self.eat_kw("like") {
+            let pattern = self.additive()?;
+            return Ok(Expr::Like {
+                expr: Box::new(lhs),
+                pattern: Box::new(pattern),
+                negated,
+            });
+        }
+        if self.eat_kw("between") {
+            let lo = self.additive()?;
+            self.expect_kw("and")?;
+            let hi = self.additive()?;
+            return Ok(Expr::Between {
+                expr: Box::new(lhs),
+                lo: Box::new(lo),
+                hi: Box::new(hi),
+                negated,
+            });
+        }
+        if self.eat_kw("in") {
+            self.expect_punct("(")?;
+            let mut list = Vec::new();
+            loop {
+                list.push(self.expr()?);
+                if self.eat_punct(")") {
+                    break;
+                }
+                self.expect_punct(",")?;
+            }
+            return Ok(Expr::InList {
+                expr: Box::new(lhs),
+                list,
+                negated,
+            });
+        }
+        if self.eat_kw("is") {
+            let negated = self.eat_kw("not");
+            self.expect_kw("null")?;
+            return Ok(Expr::IsNull {
+                expr: Box::new(lhs),
+                negated,
+            });
+        }
+        let op = match self.peek() {
+            Tok::Punct("=") => Some(BinaryOp::Eq),
+            Tok::Punct("<>") | Tok::Punct("!=") => Some(BinaryOp::Ne),
+            Tok::Punct("<") => Some(BinaryOp::Lt),
+            Tok::Punct("<=") => Some(BinaryOp::Le),
+            Tok::Punct(">") => Some(BinaryOp::Gt),
+            Tok::Punct(">=") => Some(BinaryOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let rhs = self.additive()?;
+            return Ok(Expr::Binary(op, Box::new(lhs), Box::new(rhs)));
+        }
+        Ok(lhs)
+    }
+
+    fn additive(&mut self) -> DbResult<Expr> {
+        let mut lhs = self.multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Punct("+") => BinaryOp::Add,
+                Tok::Punct("-") => BinaryOp::Sub,
+                Tok::Punct("||") => BinaryOp::Concat,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.multiplicative()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn multiplicative(&mut self) -> DbResult<Expr> {
+        let mut lhs = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Punct("*") => BinaryOp::Mul,
+                Tok::Punct("/") => BinaryOp::Div,
+                Tok::Punct("%") => BinaryOp::Rem,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.unary()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> DbResult<Expr> {
+        if self.eat_punct("-") {
+            return Ok(Expr::Neg(Box::new(self.unary()?)));
+        }
+        if self.eat_punct("+") {
+            return self.unary();
+        }
+        self.primary()
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn primary(&mut self) -> DbResult<Expr> {
+        match self.bump() {
+            Tok::Int(v) => Ok(Expr::Lit(SqlValue::Int(v))),
+            Tok::Real(v) => Ok(Expr::Lit(SqlValue::Real(v))),
+            Tok::Str(s) => Ok(Expr::Lit(SqlValue::Text(s))),
+            Tok::Blob(b) => Ok(Expr::Lit(SqlValue::Blob(b))),
+            Tok::Keyword(k) if k == "null" => Ok(Expr::Lit(SqlValue::Null)),
+            Tok::Keyword(k) if k == "case" => {
+                let mut arms = Vec::new();
+                while self.eat_kw("when") {
+                    let cond = self.expr()?;
+                    self.expect_kw("then")?;
+                    let val = self.expr()?;
+                    arms.push((cond, val));
+                }
+                let otherwise = if self.eat_kw("else") {
+                    Some(Box::new(self.expr()?))
+                } else {
+                    None
+                };
+                self.expect_kw("end")?;
+                Ok(Expr::Case { arms, otherwise })
+            }
+            Tok::Punct("(") => {
+                let e = self.expr()?;
+                self.expect_punct(")")?;
+                Ok(e)
+            }
+            Tok::Ident(name) => {
+                if self.eat_punct("(") {
+                    if self.eat_punct("*") {
+                        self.expect_punct(")")?;
+                        return Ok(Expr::Func {
+                            name: name.to_ascii_lowercase(),
+                            args: vec![],
+                            star: true,
+                        });
+                    }
+                    let mut args = Vec::new();
+                    if !self.eat_punct(")") {
+                        loop {
+                            args.push(self.expr()?);
+                            if self.eat_punct(")") {
+                                break;
+                            }
+                            self.expect_punct(",")?;
+                        }
+                    }
+                    return Ok(Expr::Func {
+                        name: name.to_ascii_lowercase(),
+                        args,
+                        star: false,
+                    });
+                }
+                if self.eat_punct(".") {
+                    let col = self.ident()?;
+                    return Ok(Expr::Column {
+                        table: Some(name),
+                        name: col,
+                    });
+                }
+                Ok(Expr::Column { table: None, name })
+            }
+            other => Err(DbError::Parse(format!("unexpected token {other:?}"))),
+        }
+    }
+}
+
+fn affinity_of(type_words: &[String]) -> Affinity {
+    let joined = type_words.join(" ");
+    if joined.contains("int") {
+        Affinity::Integer
+    } else if joined.contains("char") || joined.contains("text") || joined.contains("varchar") {
+        Affinity::Text
+    } else if joined.contains("real") || joined.contains("double") || joined.contains("float") {
+        Affinity::Real
+    } else if joined.contains("blob") || joined.is_empty() {
+        Affinity::Blob
+    } else {
+        Affinity::Real
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_create_table() {
+        let s = parse(
+            "CREATE TABLE t1(a INTEGER PRIMARY KEY, b INT NOT NULL, c VARCHAR(100), d DOUBLE)",
+        )
+        .unwrap();
+        match s {
+            Stmt::CreateTable { name, columns, .. } => {
+                assert_eq!(name, "t1");
+                assert_eq!(columns.len(), 4);
+                assert!(columns[0].primary_key);
+                assert_eq!(columns[0].affinity, Affinity::Integer);
+                assert_eq!(columns[2].affinity, Affinity::Text);
+                assert_eq!(columns[3].affinity, Affinity::Real);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_insert_multi_row() {
+        let s = parse("INSERT INTO t(a,b) VALUES (1,'x'), (2,'y''z')").unwrap();
+        match s {
+            Stmt::Insert {
+                table,
+                columns,
+                rows,
+            } => {
+                assert_eq!(table, "t");
+                assert_eq!(columns.unwrap(), vec!["a", "b"]);
+                assert_eq!(rows.len(), 2);
+                assert_eq!(rows[1][1], Expr::Lit(SqlValue::Text("y'z".into())));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_select_full() {
+        let s = parse(
+            "SELECT DISTINCT a, count(*) AS n FROM t WHERE b BETWEEN 1 AND 10 \
+             GROUP BY a ORDER BY n DESC, a LIMIT 5 OFFSET 2",
+        )
+        .unwrap();
+        match s {
+            Stmt::Select(sel) => {
+                assert!(sel.distinct);
+                assert_eq!(sel.columns.len(), 2);
+                assert_eq!(sel.group_by.len(), 1);
+                assert_eq!(sel.order_by.len(), 2);
+                assert!(sel.order_by[0].1);
+                assert!(sel.limit.is_some());
+                assert!(sel.offset.is_some());
+                assert!(matches!(sel.where_, Some(Expr::Between { .. })));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_join() {
+        let s =
+            parse("SELECT t1.a, t2.b FROM t1 JOIN t2 ON t1.id = t2.ref WHERE t2.b > 5").unwrap();
+        match s {
+            Stmt::Select(sel) => {
+                assert_eq!(sel.from.len(), 2);
+                assert!(sel.from[0].on.is_none());
+                assert!(sel.from[1].on.is_some());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_update_delete() {
+        assert!(matches!(
+            parse("UPDATE t SET a = a + 1, b = 'x' WHERE rowid = 5").unwrap(),
+            Stmt::Update { .. }
+        ));
+        assert!(matches!(
+            parse("DELETE FROM t WHERE a IN (1,2,3)").unwrap(),
+            Stmt::Delete { .. }
+        ));
+    }
+
+    #[test]
+    fn parse_expression_precedence() {
+        let s = parse("SELECT 1 + 2 * 3").unwrap();
+        match s {
+            Stmt::Select(sel) => match &sel.columns[0] {
+                SelectCol::Expr(Expr::Binary(BinaryOp::Add, _, rhs), _) => {
+                    assert!(matches!(**rhs, Expr::Binary(BinaryOp::Mul, _, _)));
+                }
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_not_like_and_is_null() {
+        assert!(matches!(
+            parse("SELECT * FROM t WHERE a NOT LIKE '%x%'").unwrap(),
+            Stmt::Select(_)
+        ));
+        assert!(matches!(
+            parse("SELECT * FROM t WHERE a IS NOT NULL AND b IS NULL").unwrap(),
+            Stmt::Select(_)
+        ));
+    }
+
+    #[test]
+    fn parse_txn_and_misc() {
+        assert_eq!(parse("BEGIN").unwrap(), Stmt::Begin);
+        assert_eq!(parse("BEGIN TRANSACTION;").unwrap(), Stmt::Begin);
+        assert_eq!(parse("COMMIT").unwrap(), Stmt::Commit);
+        assert_eq!(parse("ROLLBACK").unwrap(), Stmt::Rollback);
+        assert_eq!(parse("ANALYZE").unwrap(), Stmt::Analyze);
+        assert!(matches!(
+            parse("PRAGMA cache_size = 2048").unwrap(),
+            Stmt::Pragma { .. }
+        ));
+    }
+
+    #[test]
+    fn parse_blob_literal() {
+        let s = parse("INSERT INTO t VALUES (x'DEADBEEF')").unwrap();
+        match s {
+            Stmt::Insert { rows, .. } => {
+                assert_eq!(
+                    rows[0][0],
+                    Expr::Lit(SqlValue::Blob(vec![0xDE, 0xAD, 0xBE, 0xEF]))
+                );
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_case_expression() {
+        assert!(matches!(
+            parse("SELECT CASE WHEN a > 0 THEN 'pos' ELSE 'neg' END FROM t").unwrap(),
+            Stmt::Select(_)
+        ));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse("SELEC 1").is_err());
+        assert!(parse("SELECT 'unterminated").is_err());
+        assert!(parse("INSERT INTO").is_err());
+        assert!(parse("SELECT 1 SELECT 2").is_err());
+        assert!(parse("CREATE UNIQUE TABLE t(a)").is_err());
+    }
+}

@@ -1,0 +1,168 @@
+//! SQL values and their comparison semantics.
+
+use std::cmp::Ordering;
+
+/// A dynamically-typed SQL value (SQLite's five storage classes).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlValue {
+    /// SQL NULL.
+    Null,
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit float.
+    Real(f64),
+    /// UTF-8 text.
+    Text(String),
+    /// Binary blob.
+    Blob(Vec<u8>),
+}
+
+impl SqlValue {
+    /// SQL truthiness: NULL is false-y; numbers by non-zero; text false.
+    #[must_use]
+    pub fn is_truthy(&self) -> bool {
+        match self {
+            SqlValue::Null => false,
+            SqlValue::Int(v) => *v != 0,
+            SqlValue::Real(v) => *v != 0.0,
+            SqlValue::Text(_) | SqlValue::Blob(_) => false,
+        }
+    }
+
+    /// Storage-class rank for cross-type comparison:
+    /// NULL < numeric < text < blob (SQLite's ordering).
+    #[must_use]
+    pub fn type_rank(&self) -> u8 {
+        match self {
+            SqlValue::Null => 0,
+            SqlValue::Int(_) | SqlValue::Real(_) => 1,
+            SqlValue::Text(_) => 2,
+            SqlValue::Blob(_) => 3,
+        }
+    }
+
+    /// Total ordering used for ORDER BY and index keys (NULLs first; numeric
+    /// affinity across Int/Real; NaN sorts below all numbers).
+    #[must_use]
+    pub fn total_cmp(&self, other: &SqlValue) -> Ordering {
+        use SqlValue::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Int(a), Int(b)) => a.cmp(b),
+            (Real(a), Real(b)) => a.total_cmp(b),
+            (Int(a), Real(b)) => (*a as f64).total_cmp(b),
+            (Real(a), Int(b)) => a.total_cmp(&(*b as f64)),
+            (Text(a), Text(b)) => a.cmp(b),
+            (Blob(a), Blob(b)) => a.cmp(b),
+            _ => self.type_rank().cmp(&other.type_rank()),
+        }
+    }
+
+    /// SQL equality for WHERE (`=`): NULL = anything → not equal here; the
+    /// executor handles three-valued logic separately.
+    #[must_use]
+    pub fn sql_eq(&self, other: &SqlValue) -> bool {
+        !matches!(self, SqlValue::Null)
+            && !matches!(other, SqlValue::Null)
+            && self.total_cmp(other) == Ordering::Equal
+    }
+
+    /// Numeric view (for arithmetic); NULL propagates as None.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            SqlValue::Int(v) => Some(*v as f64),
+            SqlValue::Real(v) => Some(*v),
+            SqlValue::Text(t) => t.trim().parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// Integer view.
+    #[must_use]
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            SqlValue::Int(v) => Some(*v),
+            SqlValue::Real(v) => Some(*v as i64),
+            SqlValue::Text(t) => t.trim().parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// Render like SQLite's text conversion.
+    #[must_use]
+    pub fn to_display(&self) -> String {
+        match self {
+            SqlValue::Null => String::new(),
+            SqlValue::Int(v) => v.to_string(),
+            SqlValue::Real(v) => format!("{v}"),
+            SqlValue::Text(t) => t.clone(),
+            SqlValue::Blob(b) => format!("x'{}'", b.iter().map(|x| format!("{x:02x}")).collect::<String>()),
+        }
+    }
+}
+
+impl From<i64> for SqlValue {
+    fn from(v: i64) -> Self {
+        SqlValue::Int(v)
+    }
+}
+impl From<f64> for SqlValue {
+    fn from(v: f64) -> Self {
+        SqlValue::Real(v)
+    }
+}
+impl From<&str> for SqlValue {
+    fn from(v: &str) -> Self {
+        SqlValue::Text(v.to_string())
+    }
+}
+impl From<Vec<u8>> for SqlValue {
+    fn from(v: Vec<u8>) -> Self {
+        SqlValue::Blob(v)
+    }
+}
+
+/// A result row.
+pub type Row = Vec<SqlValue>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_across_types() {
+        let vals = [
+            SqlValue::Null,
+            SqlValue::Int(-5),
+            SqlValue::Real(2.5),
+            SqlValue::Int(3),
+            SqlValue::Text("a".into()),
+            SqlValue::Blob(vec![0]),
+        ];
+        for w in vals.windows(2) {
+            assert_ne!(w[0].total_cmp(&w[1]), Ordering::Greater, "{w:?}");
+        }
+    }
+
+    #[test]
+    fn numeric_affinity() {
+        assert_eq!(SqlValue::Int(2).total_cmp(&SqlValue::Real(2.0)), Ordering::Equal);
+        assert_eq!(SqlValue::Real(1.5).total_cmp(&SqlValue::Int(2)), Ordering::Less);
+    }
+
+    #[test]
+    fn null_never_sql_equal() {
+        assert!(!SqlValue::Null.sql_eq(&SqlValue::Null));
+        assert!(!SqlValue::Null.sql_eq(&SqlValue::Int(0)));
+        assert!(SqlValue::Int(1).sql_eq(&SqlValue::Int(1)));
+    }
+
+    #[test]
+    fn truthiness() {
+        assert!(SqlValue::Int(1).is_truthy());
+        assert!(!SqlValue::Int(0).is_truthy());
+        assert!(!SqlValue::Null.is_truthy());
+        assert!(!SqlValue::Text("x".into()).is_truthy());
+    }
+}

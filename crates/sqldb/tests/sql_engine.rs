@@ -1,0 +1,381 @@
+//! End-to-end SQL engine tests through the public `Connection` API.
+
+use twine_sqldb::{Connection, DbError, MemVfs, SqlValue};
+
+fn mem() -> Connection {
+    Connection::open_memory()
+}
+
+fn ints(rows: &[Vec<SqlValue>]) -> Vec<i64> {
+    rows.iter().map(|r| r[0].as_i64().unwrap()).collect()
+}
+
+#[test]
+fn create_insert_select() {
+    let mut db = mem();
+    db.execute("CREATE TABLE t(a INTEGER PRIMARY KEY, b TEXT)").unwrap();
+    db.execute("INSERT INTO t VALUES (1, 'one'), (2, 'two'), (3, 'three')").unwrap();
+    let rows = db.query("SELECT b FROM t WHERE a = 2").unwrap();
+    assert_eq!(rows, vec![vec![SqlValue::Text("two".into())]]);
+    let n = db.query_scalar("SELECT count(*) FROM t").unwrap();
+    assert_eq!(n, SqlValue::Int(3));
+}
+
+#[test]
+fn auto_rowid_assignment() {
+    let mut db = mem();
+    db.execute("CREATE TABLE t(a INTEGER PRIMARY KEY, b TEXT)").unwrap();
+    db.execute("INSERT INTO t(b) VALUES ('x')").unwrap();
+    db.execute("INSERT INTO t(b) VALUES ('y')").unwrap();
+    db.execute("INSERT INTO t VALUES (10, 'z')").unwrap();
+    db.execute("INSERT INTO t(b) VALUES ('w')").unwrap();
+    let rows = db.query("SELECT a FROM t ORDER BY a").unwrap();
+    assert_eq!(ints(&rows), vec![1, 2, 10, 11]);
+}
+
+#[test]
+fn primary_key_constraint() {
+    let mut db = mem();
+    db.execute("CREATE TABLE t(a INTEGER PRIMARY KEY, b TEXT)").unwrap();
+    db.execute("INSERT INTO t VALUES (1, 'x')").unwrap();
+    let e = db.execute("INSERT INTO t VALUES (1, 'y')");
+    assert!(matches!(e, Err(DbError::Constraint(_))));
+    // Failed autocommit statement must not leave partial state.
+    assert_eq!(db.query_scalar("SELECT count(*) FROM t").unwrap(), SqlValue::Int(1));
+}
+
+#[test]
+fn unique_index_constraint() {
+    let mut db = mem();
+    db.execute("CREATE TABLE t(a INTEGER PRIMARY KEY, b TEXT)").unwrap();
+    db.execute("CREATE UNIQUE INDEX tb ON t(b)").unwrap();
+    db.execute("INSERT INTO t VALUES (1, 'x')").unwrap();
+    assert!(matches!(
+        db.execute("INSERT INTO t VALUES (2, 'x')"),
+        Err(DbError::Constraint(_))
+    ));
+    db.execute("INSERT INTO t VALUES (2, 'y')").unwrap();
+    // NULLs do not collide.
+    db.execute("INSERT INTO t(b) VALUES (NULL)").unwrap();
+    db.execute("INSERT INTO t(b) VALUES (NULL)").unwrap();
+}
+
+#[test]
+fn where_filters_and_expressions() {
+    let mut db = mem();
+    db.execute("CREATE TABLE t(a INTEGER PRIMARY KEY, b INTEGER, c TEXT)").unwrap();
+    db.execute("BEGIN").unwrap();
+    for i in 0..100 {
+        db.execute(&format!("INSERT INTO t VALUES ({i}, {}, 'row{i}')", i * 10)).unwrap();
+    }
+    db.execute("COMMIT").unwrap();
+    assert_eq!(
+        db.query_scalar("SELECT count(*) FROM t WHERE b BETWEEN 100 AND 200").unwrap(),
+        SqlValue::Int(11)
+    );
+    assert_eq!(
+        db.query_scalar("SELECT count(*) FROM t WHERE c LIKE 'row1%'").unwrap(),
+        SqlValue::Int(11) // row1, row10..row19
+    );
+    assert_eq!(
+        db.query_scalar("SELECT count(*) FROM t WHERE a IN (1, 5, 500)").unwrap(),
+        SqlValue::Int(2)
+    );
+    // b = a*10 > 500 → a in 51..=99; odd a's: 51, 53, …, 99 → 25 rows.
+    assert_eq!(
+        db.query_scalar("SELECT count(*) FROM t WHERE b > 500 AND NOT (a % 2 = 0)").unwrap(),
+        SqlValue::Int(25)
+    );
+}
+
+#[test]
+fn order_by_limit_offset() {
+    let mut db = mem();
+    db.execute("CREATE TABLE t(a INTEGER PRIMARY KEY, b INTEGER)").unwrap();
+    for (a, b) in [(1, 30), (2, 10), (3, 20), (4, 40)] {
+        db.execute(&format!("INSERT INTO t VALUES ({a}, {b})")).unwrap();
+    }
+    let rows = db.query("SELECT a FROM t ORDER BY b").unwrap();
+    assert_eq!(ints(&rows), vec![2, 3, 1, 4]);
+    let rows = db.query("SELECT a FROM t ORDER BY b DESC LIMIT 2").unwrap();
+    assert_eq!(ints(&rows), vec![4, 1]);
+    let rows = db.query("SELECT a FROM t ORDER BY b LIMIT 2 OFFSET 1").unwrap();
+    assert_eq!(ints(&rows), vec![3, 1]);
+}
+
+#[test]
+fn aggregates_and_group_by() {
+    let mut db = mem();
+    db.execute("CREATE TABLE t(a INTEGER PRIMARY KEY, grp INTEGER, v INTEGER)").unwrap();
+    db.execute("BEGIN").unwrap();
+    for i in 0..30 {
+        db.execute(&format!("INSERT INTO t VALUES ({i}, {}, {i})", i % 3)).unwrap();
+    }
+    db.execute("COMMIT").unwrap();
+    assert_eq!(db.query_scalar("SELECT sum(v) FROM t").unwrap(), SqlValue::Int(435));
+    assert_eq!(db.query_scalar("SELECT avg(v) FROM t").unwrap(), SqlValue::Real(14.5));
+    assert_eq!(db.query_scalar("SELECT min(v) FROM t").unwrap(), SqlValue::Int(0));
+    assert_eq!(db.query_scalar("SELECT max(v) FROM t").unwrap(), SqlValue::Int(29));
+    let rows = db
+        .query("SELECT grp, count(*), sum(v) FROM t GROUP BY grp ORDER BY grp")
+        .unwrap();
+    assert_eq!(rows.len(), 3);
+    assert_eq!(rows[0], vec![SqlValue::Int(0), SqlValue::Int(10), SqlValue::Int(135)]);
+    // Aggregate over empty input.
+    assert_eq!(
+        db.query_scalar("SELECT count(*) FROM t WHERE v > 1000").unwrap(),
+        SqlValue::Int(0)
+    );
+    assert_eq!(
+        db.query_scalar("SELECT sum(v) FROM t WHERE v > 1000").unwrap(),
+        SqlValue::Null
+    );
+}
+
+#[test]
+fn distinct() {
+    let mut db = mem();
+    db.execute("CREATE TABLE t(a INTEGER PRIMARY KEY, b INTEGER)").unwrap();
+    for i in 0..20 {
+        db.execute(&format!("INSERT INTO t VALUES ({i}, {})", i % 4)).unwrap();
+    }
+    let rows = db.query("SELECT DISTINCT b FROM t ORDER BY b").unwrap();
+    assert_eq!(ints(&rows), vec![0, 1, 2, 3]);
+}
+
+#[test]
+fn joins() {
+    let mut db = mem();
+    db.execute("CREATE TABLE users(id INTEGER PRIMARY KEY, name TEXT)").unwrap();
+    db.execute("CREATE TABLE orders(id INTEGER PRIMARY KEY, user_id INTEGER, amount INTEGER)")
+        .unwrap();
+    db.execute("INSERT INTO users VALUES (1,'ada'), (2,'bob'), (3,'eve')").unwrap();
+    db.execute(
+        "INSERT INTO orders VALUES (1,1,100), (2,1,200), (3,2,50), (4,9,999)",
+    )
+    .unwrap();
+    let rows = db
+        .query(
+            "SELECT users.name, sum(orders.amount) FROM users \
+             JOIN orders ON orders.user_id = users.id \
+             GROUP BY users.name ORDER BY users.name",
+        )
+        .unwrap();
+    assert_eq!(
+        rows,
+        vec![
+            vec![SqlValue::Text("ada".into()), SqlValue::Int(300)],
+            vec![SqlValue::Text("bob".into()), SqlValue::Int(50)],
+        ]
+    );
+    // Aliases.
+    let rows = db
+        .query("SELECT u.name FROM users u JOIN orders o ON o.user_id = u.id WHERE o.amount > 150")
+        .unwrap();
+    assert_eq!(rows, vec![vec![SqlValue::Text("ada".into())]]);
+}
+
+#[test]
+fn update_and_delete() {
+    let mut db = mem();
+    db.execute("CREATE TABLE t(a INTEGER PRIMARY KEY, b INTEGER)").unwrap();
+    for i in 0..10 {
+        db.execute(&format!("INSERT INTO t VALUES ({i}, {i})")).unwrap();
+    }
+    let r = db.execute("UPDATE t SET b = b * 10 WHERE a < 5").unwrap();
+    assert_eq!(r.affected, 5);
+    assert_eq!(db.query_scalar("SELECT b FROM t WHERE a = 3").unwrap(), SqlValue::Int(30));
+    assert_eq!(db.query_scalar("SELECT b FROM t WHERE a = 7").unwrap(), SqlValue::Int(7));
+    // After the update b = {0,10,20,30,40,5,6,7,8,9}; DELETE b>=30 removes
+    // the rows with b=30 and b=40.
+    let r = db.execute("DELETE FROM t WHERE b >= 30").unwrap();
+    assert_eq!(r.affected, 2);
+    let n = db.query_scalar("SELECT count(*) FROM t").unwrap();
+    assert_eq!(n, SqlValue::Int(8));
+}
+
+#[test]
+fn update_maintains_indexes() {
+    let mut db = mem();
+    db.execute("CREATE TABLE t(a INTEGER PRIMARY KEY, b INTEGER)").unwrap();
+    db.execute("CREATE INDEX tb ON t(b)").unwrap();
+    for i in 0..50 {
+        db.execute(&format!("INSERT INTO t VALUES ({i}, {})", i * 2)).unwrap();
+    }
+    db.execute("UPDATE t SET b = 1000 WHERE a = 25").unwrap();
+    // Index-driven query must see the new value and not the old.
+    assert_eq!(
+        db.query_scalar("SELECT count(*) FROM t WHERE b = 1000").unwrap(),
+        SqlValue::Int(1)
+    );
+    assert_eq!(
+        db.query_scalar("SELECT count(*) FROM t WHERE b = 50").unwrap(),
+        SqlValue::Int(0)
+    );
+}
+
+#[test]
+fn explicit_transactions_rollback() {
+    let mut db = mem();
+    db.execute("CREATE TABLE t(a INTEGER PRIMARY KEY, b INTEGER)").unwrap();
+    db.execute("INSERT INTO t VALUES (1, 1)").unwrap();
+    db.execute("BEGIN").unwrap();
+    db.execute("INSERT INTO t VALUES (2, 2)").unwrap();
+    db.execute("UPDATE t SET b = 99 WHERE a = 1").unwrap();
+    db.execute("ROLLBACK").unwrap();
+    assert_eq!(db.query_scalar("SELECT count(*) FROM t").unwrap(), SqlValue::Int(1));
+    assert_eq!(db.query_scalar("SELECT b FROM t WHERE a = 1").unwrap(), SqlValue::Int(1));
+    // And commit works.
+    db.execute("BEGIN").unwrap();
+    db.execute("INSERT INTO t VALUES (2, 2)").unwrap();
+    db.execute("COMMIT").unwrap();
+    assert_eq!(db.query_scalar("SELECT count(*) FROM t").unwrap(), SqlValue::Int(2));
+}
+
+#[test]
+fn ddl_rollback_restores_schema() {
+    let mut db = mem();
+    db.execute("BEGIN").unwrap();
+    db.execute("CREATE TABLE temp_t(a INTEGER)").unwrap();
+    db.execute("INSERT INTO temp_t VALUES (1)").unwrap();
+    db.execute("ROLLBACK").unwrap();
+    assert!(db.execute("SELECT * FROM temp_t").is_err());
+}
+
+#[test]
+fn file_backed_persistence() {
+    let vfs = MemVfs::new();
+    {
+        let mut db = Connection::open(Box::new(vfs.clone()), "test.db").unwrap();
+        db.execute("CREATE TABLE t(a INTEGER PRIMARY KEY, b TEXT)").unwrap();
+        db.execute("BEGIN").unwrap();
+        for i in 0..500 {
+            db.execute(&format!("INSERT INTO t VALUES ({i}, 'value-{i}')")).unwrap();
+        }
+        db.execute("COMMIT").unwrap();
+        db.close().unwrap();
+    }
+    let mut db = Connection::open(Box::new(vfs), "test.db").unwrap();
+    assert_eq!(db.query_scalar("SELECT count(*) FROM t").unwrap(), SqlValue::Int(500));
+    assert_eq!(
+        db.query_scalar("SELECT b FROM t WHERE a = 42").unwrap(),
+        SqlValue::Text("value-42".into())
+    );
+}
+
+#[test]
+fn blobs_roundtrip() {
+    let mut db = mem();
+    db.execute("CREATE TABLE t(a INTEGER PRIMARY KEY, b BLOB)").unwrap();
+    db.execute("INSERT INTO t VALUES (1, x'0011FF')").unwrap();
+    db.execute("INSERT INTO t VALUES (2, randomblob(1024))").unwrap();
+    let rows = db.query("SELECT b FROM t WHERE a = 1").unwrap();
+    assert_eq!(rows[0][0], SqlValue::Blob(vec![0x00, 0x11, 0xFF]));
+    assert_eq!(
+        db.query_scalar("SELECT length(b) FROM t WHERE a = 2").unwrap(),
+        SqlValue::Int(1024)
+    );
+}
+
+#[test]
+fn large_blobs_overflow_pages() {
+    let mut db = mem();
+    db.execute("CREATE TABLE t(a INTEGER PRIMARY KEY, b BLOB)").unwrap();
+    db.execute("INSERT INTO t VALUES (1, zeroblob(50000))").unwrap();
+    assert_eq!(
+        db.query_scalar("SELECT length(b) FROM t").unwrap(),
+        SqlValue::Int(50000)
+    );
+}
+
+#[test]
+fn null_semantics_in_where() {
+    let mut db = mem();
+    db.execute("CREATE TABLE t(a INTEGER PRIMARY KEY, b INTEGER)").unwrap();
+    db.execute("INSERT INTO t(b) VALUES (1), (NULL), (3)").unwrap();
+    assert_eq!(db.query_scalar("SELECT count(*) FROM t WHERE b = 1").unwrap(), SqlValue::Int(1));
+    // NULL never matches =.
+    assert_eq!(
+        db.query_scalar("SELECT count(*) FROM t WHERE b = NULL").unwrap(),
+        SqlValue::Int(0)
+    );
+    assert_eq!(
+        db.query_scalar("SELECT count(*) FROM t WHERE b IS NULL").unwrap(),
+        SqlValue::Int(1)
+    );
+    assert_eq!(db.query_scalar("SELECT count(b) FROM t").unwrap(), SqlValue::Int(2));
+    assert_eq!(db.query_scalar("SELECT count(*) FROM t").unwrap(), SqlValue::Int(3));
+}
+
+#[test]
+fn rowid_queries_without_alias() {
+    let mut db = mem();
+    db.execute("CREATE TABLE t(x TEXT)").unwrap();
+    db.execute("INSERT INTO t VALUES ('a'), ('b')").unwrap();
+    let rows = db.query("SELECT rowid, x FROM t ORDER BY rowid").unwrap();
+    assert_eq!(rows[0][0], SqlValue::Int(1));
+    assert_eq!(rows[1][0], SqlValue::Int(2));
+    assert_eq!(
+        db.query_scalar("SELECT x FROM t WHERE rowid = 2").unwrap(),
+        SqlValue::Text("b".into())
+    );
+}
+
+#[test]
+fn drop_table_and_index() {
+    let mut db = mem();
+    db.execute("CREATE TABLE t(a INTEGER PRIMARY KEY, b INTEGER)").unwrap();
+    db.execute("CREATE INDEX tb ON t(b)").unwrap();
+    db.execute("INSERT INTO t VALUES (1, 2)").unwrap();
+    db.execute("DROP INDEX tb").unwrap();
+    assert!(db.execute("DROP INDEX tb").is_err());
+    db.execute("DROP TABLE t").unwrap();
+    assert!(db.execute("SELECT * FROM t").is_err());
+    // Re-creating reuses the namespace.
+    db.execute("CREATE TABLE t(z TEXT)").unwrap();
+    db.execute("INSERT INTO t VALUES ('fresh')").unwrap();
+    assert_eq!(db.query_scalar("SELECT z FROM t").unwrap(), SqlValue::Text("fresh".into()));
+}
+
+#[test]
+fn analyze_runs() {
+    let mut db = mem();
+    db.execute("CREATE TABLE t(a INTEGER PRIMARY KEY)").unwrap();
+    for i in 0..10 {
+        db.execute(&format!("INSERT INTO t VALUES ({i})")).unwrap();
+    }
+    db.execute("ANALYZE").unwrap();
+    let rows = db.query("SELECT tbl, nrow FROM twine_stats").unwrap();
+    assert_eq!(rows.len(), 1);
+    assert_eq!(rows[0][1], SqlValue::Int(10));
+    // Re-run refreshes.
+    db.execute("INSERT INTO t VALUES (100)").unwrap();
+    db.execute("ANALYZE").unwrap();
+    let rows = db.query("SELECT nrow FROM twine_stats WHERE tbl = 't'").unwrap();
+    assert_eq!(rows[0][0], SqlValue::Int(11));
+}
+
+#[test]
+fn speedtest_suite_runs_small() {
+    use twine_sqldb::speedtest::{Speedtest, TEST_IDS};
+    let mut db = mem();
+    let mut st = Speedtest::new(60, 42);
+    for id in TEST_IDS {
+        st.run_test(&mut db, id)
+            .unwrap_or_else(|e| panic!("speedtest {id} failed: {e}"));
+    }
+}
+
+#[test]
+fn micro_workloads_run() {
+    use rand::SeedableRng;
+    use twine_sqldb::speedtest;
+    let mut db = mem();
+    speedtest::micro_setup(&mut db).unwrap();
+    speedtest::micro_insert(&mut db, 100, 1024).unwrap();
+    let bytes = speedtest::micro_sequential_read(&mut db).unwrap();
+    assert_eq!(bytes, 100 * 1024);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let bytes = speedtest::micro_random_read(&mut db, 50, &mut rng).unwrap();
+    assert_eq!(bytes, 50 * 1024);
+}

@@ -1,0 +1,730 @@
+//! The WASI ABI surface: host functions registered into a Wasm [`Linker`].
+//!
+//! Each function unmarshals pointers/iovecs from guest memory, consults the
+//! [`WasiCtx`] stored as instance host state, and writes results back —
+//! returning a WASI errno as its i32 result (except `proc_exit`).
+
+use twine_wasm::types::{FuncType, ValType, Value};
+use twine_wasm::{HostCtx, Linker, Memory, Trap};
+
+use crate::ctx::{FdKind, WasiCtx};
+use crate::errno::{Errno, WasiResult};
+use crate::rights::Rights;
+use crate::WASI_MODULE;
+
+/// Marker message of the `proc_exit` trap; the embedder (twine-core) maps
+/// it back to a clean exit using [`WasiCtx::exit_code`].
+pub const PROC_EXIT_TRAP: &str = "proc_exit";
+
+// ---- guest memory helpers ----------------------------------------------
+
+fn write_u32(mem: &mut Memory, addr: u32, v: u32) -> WasiResult<()> {
+    mem.write::<4>(addr, 0, v.to_le_bytes()).ok_or(Errno::Inval)
+}
+
+fn write_u64(mem: &mut Memory, addr: u32, v: u64) -> WasiResult<()> {
+    mem.write::<8>(addr, 0, v.to_le_bytes()).ok_or(Errno::Inval)
+}
+
+fn read_u32(mem: &Memory, addr: u32) -> WasiResult<u32> {
+    mem.read::<4>(addr, 0).map(u32::from_le_bytes).ok_or(Errno::Inval)
+}
+
+fn read_str(mem: &Memory, ptr: u32, len: u32) -> WasiResult<String> {
+    let bytes = mem.slice(ptr, len).ok_or(Errno::Inval)?;
+    String::from_utf8(bytes.to_vec()).map_err(|_| Errno::Inval)
+}
+
+/// Write a `filestat` struct (64 bytes) for a regular file of `size`.
+fn write_filestat(mem: &mut Memory, addr: u32, size: u64, now: u64) -> WasiResult<()> {
+    write_u64(mem, addr, 1)?; // dev
+    write_u64(mem, addr + 8, 1)?; // ino
+    write_u64(mem, addr + 16, 4)?; // filetype: regular_file (4), low byte
+    write_u64(mem, addr + 24, 1)?; // nlink
+    write_u64(mem, addr + 32, size)?;
+    write_u64(mem, addr + 40, now)?; // atim
+    write_u64(mem, addr + 48, now)?; // mtim
+    write_u64(mem, addr + 56, now)?; // ctim
+    Ok(())
+}
+
+fn errno_val(e: Errno) -> Vec<Value> {
+    vec![Value::I32(i32::from(e.raw()))]
+}
+
+fn ok_val() -> Vec<Value> {
+    errno_val(Errno::Success)
+}
+
+/// Run `f`; convert a WASI error into its errno return value.
+fn wasi_call(f: impl FnOnce() -> WasiResult<()>) -> Result<Vec<Value>, Trap> {
+    match f() {
+        Ok(()) => Ok(ok_val()),
+        Err(e) => Ok(errno_val(e)),
+    }
+}
+
+fn ty(params: &[ValType], results: &[ValType]) -> FuncType {
+    FuncType::new(params.to_vec(), results.to_vec())
+}
+
+macro_rules! args_i32 {
+    ($args:expr, $($i:expr),+) => {
+        ($( $args[$i].as_i32().expect("typed by linker") as u32 ),+)
+    };
+}
+
+/// Register the WASI snapshot-preview-1 surface into `linker`.
+///
+/// The instance's host state must be (or contain, at `Any` level) a
+/// [`WasiCtx`]; use [`state`] to fetch it.
+#[allow(clippy::too_many_lines)]
+pub fn register_wasi(linker: &mut Linker) {
+    use ValType::{I32, I64};
+
+    fn state<'a>(ctx: &'a mut HostCtx<'_>) -> &'a mut WasiCtx {
+        ctx.data
+            .downcast_mut::<WasiCtx>()
+            .expect("host state must be WasiCtx")
+    }
+
+    /// Split the HostCtx into (memory, wasi state) — both are needed at once.
+    fn mem_state<'a>(ctx: &'a mut HostCtx<'_>) -> Result<(&'a mut Memory, &'a mut WasiCtx), Trap> {
+        let HostCtx { memory, data } = ctx;
+        let mem = memory
+            .as_deref_mut()
+            .ok_or_else(|| Trap::Host("wasi requires a guest memory".into()))?;
+        let wasi = data
+            .downcast_mut::<WasiCtx>()
+            .expect("host state must be WasiCtx");
+        Ok((mem, wasi))
+    }
+
+    // ---- args / environ ---------------------------------------------------
+
+    linker.func(
+        WASI_MODULE,
+        "args_sizes_get",
+        ty(&[I32, I32], &[I32]),
+        |ctx, args| {
+            let (argc_ptr, buf_len_ptr) = args_i32!(args, 0, 1);
+            let (mem, wasi) = mem_state(ctx)?;
+            wasi.call_count += 1;
+            let total: usize = wasi.args.iter().map(|a| a.len() + 1).sum();
+            let n = wasi.args.len();
+            wasi_call(|| {
+                write_u32(mem, argc_ptr, n as u32)?;
+                write_u32(mem, buf_len_ptr, total as u32)
+            })
+        },
+    );
+
+    linker.func(
+        WASI_MODULE,
+        "args_get",
+        ty(&[I32, I32], &[I32]),
+        |ctx, args| {
+            let (argv_ptr, buf_ptr) = args_i32!(args, 0, 1);
+            let (mem, wasi) = mem_state(ctx)?;
+            wasi.call_count += 1;
+            let args_list = wasi.args.clone();
+            wasi_call(|| {
+                let mut p = buf_ptr;
+                for (i, a) in args_list.iter().enumerate() {
+                    write_u32(mem, argv_ptr + 4 * i as u32, p)?;
+                    let dst = mem
+                        .slice_mut(p, a.len() as u32 + 1)
+                        .ok_or(Errno::Inval)?;
+                    dst[..a.len()].copy_from_slice(a.as_bytes());
+                    dst[a.len()] = 0;
+                    p += a.len() as u32 + 1;
+                }
+                Ok(())
+            })
+        },
+    );
+
+    linker.func(
+        WASI_MODULE,
+        "environ_sizes_get",
+        ty(&[I32, I32], &[I32]),
+        |ctx, args| {
+            let (envc_ptr, buf_len_ptr) = args_i32!(args, 0, 1);
+            let (mem, wasi) = mem_state(ctx)?;
+            wasi.call_count += 1;
+            let total: usize = wasi.env.iter().map(|(k, v)| k.len() + v.len() + 2).sum();
+            let n = wasi.env.len();
+            wasi_call(|| {
+                write_u32(mem, envc_ptr, n as u32)?;
+                write_u32(mem, buf_len_ptr, total as u32)
+            })
+        },
+    );
+
+    linker.func(
+        WASI_MODULE,
+        "environ_get",
+        ty(&[I32, I32], &[I32]),
+        |ctx, args| {
+            let (env_ptr, buf_ptr) = args_i32!(args, 0, 1);
+            let (mem, wasi) = mem_state(ctx)?;
+            wasi.call_count += 1;
+            let env = wasi.env.clone();
+            wasi_call(|| {
+                let mut p = buf_ptr;
+                for (i, (k, v)) in env.iter().enumerate() {
+                    write_u32(mem, env_ptr + 4 * i as u32, p)?;
+                    let s = format!("{k}={v}");
+                    let dst = mem
+                        .slice_mut(p, s.len() as u32 + 1)
+                        .ok_or(Errno::Inval)?;
+                    dst[..s.len()].copy_from_slice(s.as_bytes());
+                    dst[s.len()] = 0;
+                    p += s.len() as u32 + 1;
+                }
+                Ok(())
+            })
+        },
+    );
+
+    // ---- clock / random / process ------------------------------------------
+
+    linker.func(
+        WASI_MODULE,
+        "clock_time_get",
+        ty(&[I32, I64, I32], &[I32]),
+        |ctx, args| {
+            let out = args[2].as_i32().expect("typed") as u32;
+            let (mem, wasi) = mem_state(ctx)?;
+            wasi.call_count += 1;
+            let now = wasi.now();
+            wasi_call(|| write_u64(mem, out, now))
+        },
+    );
+
+    linker.func(
+        WASI_MODULE,
+        "random_get",
+        ty(&[I32, I32], &[I32]),
+        |ctx, args| {
+            let (buf, len) = args_i32!(args, 0, 1);
+            let (mem, wasi) = mem_state(ctx)?;
+            wasi.call_count += 1;
+            let mut bytes = vec![0u8; len as usize];
+            wasi.random_fill(&mut bytes);
+            wasi_call(|| {
+                mem.slice_mut(buf, len)
+                    .ok_or(Errno::Inval)?
+                    .copy_from_slice(&bytes);
+                Ok(())
+            })
+        },
+    );
+
+    linker.func(
+        WASI_MODULE,
+        "proc_exit",
+        ty(&[I32], &[]),
+        |ctx, args| {
+            let code = args[0].as_i32().expect("typed") as u32;
+            state(ctx).exit_code = Some(code);
+            Err(Trap::Host(PROC_EXIT_TRAP.into()))
+        },
+    );
+
+    linker.func(WASI_MODULE, "sched_yield", ty(&[], &[I32]), |ctx, _| {
+        state(ctx).call_count += 1;
+        Ok(ok_val())
+    });
+
+    linker.func(
+        WASI_MODULE,
+        "poll_oneoff",
+        ty(&[I32, I32, I32, I32], &[I32]),
+        |_, _| Ok(errno_val(Errno::Nosys)),
+    );
+
+    // ---- prestats ------------------------------------------------------------
+
+    linker.func(
+        WASI_MODULE,
+        "fd_prestat_get",
+        ty(&[I32, I32], &[I32]),
+        |ctx, args| {
+            let (fd, out) = args_i32!(args, 0, 1);
+            let (mem, wasi) = mem_state(ctx)?;
+            wasi.call_count += 1;
+            let name_len = match wasi.fd(fd) {
+                Ok(entry) => match &entry.kind {
+                    FdKind::Preopen { name } => Some(name.len() as u32),
+                    _ => None,
+                },
+                Err(_) => None,
+            };
+            wasi_call(|| match name_len {
+                Some(len) => {
+                    write_u32(mem, out, 0)?; // tag 0: dir
+                    write_u32(mem, out + 4, len)
+                }
+                None => Err(Errno::Badf),
+            })
+        },
+    );
+
+    linker.func(
+        WASI_MODULE,
+        "fd_prestat_dir_name",
+        ty(&[I32, I32, I32], &[I32]),
+        |ctx, args| {
+            let (fd, path_ptr, path_len) = args_i32!(args, 0, 1, 2);
+            let (mem, wasi) = mem_state(ctx)?;
+            wasi.call_count += 1;
+            let name = match wasi.fd(fd) {
+                Ok(entry) => match &entry.kind {
+                    FdKind::Preopen { name } => Some(name.clone()),
+                    _ => None,
+                },
+                Err(_) => None,
+            };
+            wasi_call(|| {
+                let name = name.ok_or(Errno::Badf)?;
+                if (path_len as usize) < name.len() {
+                    return Err(Errno::Inval);
+                }
+                mem.slice_mut(path_ptr, name.len() as u32)
+                    .ok_or(Errno::Inval)?
+                    .copy_from_slice(name.as_bytes());
+                Ok(())
+            })
+        },
+    );
+
+    // ---- fd I/O ------------------------------------------------------------
+
+    linker.func(
+        WASI_MODULE,
+        "fd_write",
+        ty(&[I32, I32, I32, I32], &[I32]),
+        |ctx, args| {
+            let (fd, iovs, iovs_len, nwritten) = args_i32!(args, 0, 1, 2, 3);
+            let (mem, wasi) = mem_state(ctx)?;
+            wasi.call_count += 1;
+            wasi_call(|| {
+                wasi.check_rights(fd, Rights::FD_WRITE)?;
+                let mut total = 0u32;
+                for i in 0..iovs_len {
+                    let base = read_u32(mem, iovs + 8 * i)?;
+                    let len = read_u32(mem, iovs + 8 * i + 4)?;
+                    let data = mem.slice(base, len).ok_or(Errno::Inval)?.to_vec();
+                    match &mut wasi.fd(fd)?.kind {
+                        FdKind::Stdout => wasi.stdout.extend_from_slice(&data),
+                        FdKind::Stderr => wasi.stderr.extend_from_slice(&data),
+                        FdKind::File { handle } => {
+                            total += handle.write(&data)? as u32;
+                            continue;
+                        }
+                        _ => return Err(Errno::Badf),
+                    }
+                    total += len;
+                }
+                write_u32(mem, nwritten, total)
+            })
+        },
+    );
+
+    linker.func(
+        WASI_MODULE,
+        "fd_read",
+        ty(&[I32, I32, I32, I32], &[I32]),
+        |ctx, args| {
+            let (fd, iovs, iovs_len, nread) = args_i32!(args, 0, 1, 2, 3);
+            let (mem, wasi) = mem_state(ctx)?;
+            wasi.call_count += 1;
+            wasi_call(|| {
+                wasi.check_rights(fd, Rights::FD_READ)?;
+                let mut total = 0u32;
+                // WASI fd_read is vectored; PFS reads are not — iterate
+                // (exactly the adaptation the paper describes in §IV-E).
+                for i in 0..iovs_len {
+                    let base = read_u32(mem, iovs + 8 * i)?;
+                    let len = read_u32(mem, iovs + 8 * i + 4)?;
+                    let mut buf = vec![0u8; len as usize];
+                    let n = match &mut wasi.fd(fd)?.kind {
+                        FdKind::Stdin => 0,
+                        FdKind::File { handle } => handle.read(&mut buf)?,
+                        _ => return Err(Errno::Badf),
+                    };
+                    mem.slice_mut(base, n as u32)
+                        .ok_or(Errno::Inval)?
+                        .copy_from_slice(&buf[..n]);
+                    total += n as u32;
+                    if n < len as usize {
+                        break;
+                    }
+                }
+                write_u32(mem, nread, total)
+            })
+        },
+    );
+
+    linker.func(
+        WASI_MODULE,
+        "fd_seek",
+        ty(&[I32, I64, I32, I32], &[I32]),
+        |ctx, args| {
+            let fd = args[0].as_i32().expect("typed") as u32;
+            let offset = args[1].as_i64().expect("typed");
+            let whence = args[2].as_i32().expect("typed") as u32;
+            let out = args[3].as_i32().expect("typed") as u32;
+            let (mem, wasi) = mem_state(ctx)?;
+            wasi.call_count += 1;
+            wasi_call(|| {
+                wasi.check_rights(fd, Rights::FD_SEEK)?;
+                let entry = wasi.fd(fd)?;
+                let FdKind::File { handle } = &mut entry.kind else {
+                    return Err(Errno::Spipe);
+                };
+                let base = match whence {
+                    0 => 0i64,                       // Set
+                    1 => handle.tell() as i64,       // Cur
+                    2 => handle.size()? as i64,      // End
+                    _ => return Err(Errno::Inval),
+                };
+                let target = base.checked_add(offset).ok_or(Errno::Inval)?;
+                if target < 0 {
+                    return Err(Errno::Inval);
+                }
+                // sgx_fseek does not advance beyond EOF; Twine's WASI layer
+                // extends the file with null bytes instead (§IV-E).
+                let target = target as u64;
+                if target > handle.size()? {
+                    handle.set_size(target)?;
+                }
+                let new = handle.seek(target)?;
+                write_u64(mem, out, new)
+            })
+        },
+    );
+
+    linker.func(
+        WASI_MODULE,
+        "fd_tell",
+        ty(&[I32, I32], &[I32]),
+        |ctx, args| {
+            let (fd, out) = args_i32!(args, 0, 1);
+            let (mem, wasi) = mem_state(ctx)?;
+            wasi.call_count += 1;
+            wasi_call(|| {
+                let entry = wasi.fd(fd)?;
+                let FdKind::File { handle } = &mut entry.kind else {
+                    return Err(Errno::Spipe);
+                };
+                write_u64(mem, out, handle.tell())
+            })
+        },
+    );
+
+    linker.func(WASI_MODULE, "fd_close", ty(&[I32], &[I32]), |ctx, args| {
+        let fd = args[0].as_i32().expect("typed") as u32;
+        let wasi = state(ctx);
+        wasi.call_count += 1;
+        wasi_call(|| wasi.close(fd))
+    });
+
+    linker.func(WASI_MODULE, "fd_sync", ty(&[I32], &[I32]), |ctx, args| {
+        let fd = args[0].as_i32().expect("typed") as u32;
+        let wasi = state(ctx);
+        wasi.call_count += 1;
+        wasi_call(|| {
+            wasi.check_rights(fd, Rights::FD_SYNC)?;
+            match &mut wasi.fd(fd)?.kind {
+                FdKind::File { handle } => handle.sync(),
+                _ => Ok(()),
+            }
+        })
+    });
+
+    linker.func(
+        WASI_MODULE,
+        "fd_fdstat_get",
+        ty(&[I32, I32], &[I32]),
+        |ctx, args| {
+            let (fd, out) = args_i32!(args, 0, 1);
+            let (mem, wasi) = mem_state(ctx)?;
+            wasi.call_count += 1;
+            wasi_call(|| {
+                let entry = wasi.fd(fd)?;
+                let (filetype, rights) = match &entry.kind {
+                    FdKind::Stdin | FdKind::Stdout | FdKind::Stderr => (2u8, entry.rights.0),
+                    FdKind::Preopen { .. } => (3u8, entry.rights.0),
+                    FdKind::File { .. } => (4u8, entry.rights.0),
+                };
+                write_u32(mem, out, u32::from(filetype))?;
+                write_u32(mem, out + 4, 0)?;
+                write_u64(mem, out + 8, rights)?;
+                write_u64(mem, out + 16, rights)
+            })
+        },
+    );
+
+    linker.func(
+        WASI_MODULE,
+        "fd_fdstat_set_flags",
+        ty(&[I32, I32], &[I32]),
+        |ctx, _| {
+            state(ctx).call_count += 1;
+            Ok(ok_val())
+        },
+    );
+
+    linker.func(
+        WASI_MODULE,
+        "fd_filestat_get",
+        ty(&[I32, I32], &[I32]),
+        |ctx, args| {
+            let (fd, out) = args_i32!(args, 0, 1);
+            let (mem, wasi) = mem_state(ctx)?;
+            wasi.call_count += 1;
+            let now = wasi.now();
+            wasi_call(|| {
+                wasi.check_rights(fd, Rights::FILESTAT_GET)?;
+                let entry = wasi.fd(fd)?;
+                let size = match &mut entry.kind {
+                    FdKind::File { handle } => handle.size()?,
+                    _ => 0,
+                };
+                write_filestat(mem, out, size, now)
+            })
+        },
+    );
+
+    linker.func(
+        WASI_MODULE,
+        "fd_filestat_set_size",
+        ty(&[I32, I64], &[I32]),
+        |ctx, args| {
+            let fd = args[0].as_i32().expect("typed") as u32;
+            let size = args[1].as_i64().expect("typed") as u64;
+            let wasi = state(ctx);
+            wasi.call_count += 1;
+            wasi_call(|| {
+                wasi.check_rights(fd, Rights::FILESTAT_SET_SIZE)?;
+                match &mut wasi.fd(fd)?.kind {
+                    FdKind::File { handle } => handle.set_size(size),
+                    _ => Err(Errno::Badf),
+                }
+            })
+        },
+    );
+
+    // ---- path ops -------------------------------------------------------------
+
+    linker.func(
+        WASI_MODULE,
+        "path_open",
+        ty(&[I32, I32, I32, I32, I32, I64, I64, I32, I32], &[I32]),
+        |ctx, args| {
+            let dirfd = args[0].as_i32().expect("typed") as u32;
+            let path_ptr = args[2].as_i32().expect("typed") as u32;
+            let path_len = args[3].as_i32().expect("typed") as u32;
+            let oflags = args[4].as_i32().expect("typed") as u32;
+            let rights_base = args[5].as_i64().expect("typed") as u64;
+            let out = args[8].as_i32().expect("typed") as u32;
+            let (mem, wasi) = mem_state(ctx)?;
+            wasi.call_count += 1;
+            wasi_call(|| {
+                let path = read_str(mem, path_ptr, path_len)?;
+                let create = oflags & 0x1 != 0;
+                let trunc = oflags & 0x8 != 0;
+                if oflags & 0x2 != 0 {
+                    return Err(Errno::Notdir); // O_DIRECTORY unsupported here
+                }
+                let fd = wasi.open_file(dirfd, &path, create, trunc, Rights(rights_base))?;
+                write_u32(mem, out, fd)
+            })
+        },
+    );
+
+    linker.func(
+        WASI_MODULE,
+        "path_filestat_get",
+        ty(&[I32, I32, I32, I32, I32], &[I32]),
+        |ctx, args| {
+            let dirfd = args[0].as_i32().expect("typed") as u32;
+            let path_ptr = args[2].as_i32().expect("typed") as u32;
+            let path_len = args[3].as_i32().expect("typed") as u32;
+            let out = args[4].as_i32().expect("typed") as u32;
+            let (mem, wasi) = mem_state(ctx)?;
+            wasi.call_count += 1;
+            let now = wasi.now();
+            wasi_call(|| {
+                let path = read_str(mem, path_ptr, path_len)?;
+                let size = wasi.path_size(dirfd, &path)?;
+                write_filestat(mem, out, size, now)
+            })
+        },
+    );
+
+    linker.func(
+        WASI_MODULE,
+        "path_unlink_file",
+        ty(&[I32, I32, I32], &[I32]),
+        |ctx, args| {
+            let (dirfd, path_ptr, path_len) = args_i32!(args, 0, 1, 2);
+            let (mem, wasi) = mem_state(ctx)?;
+            wasi.call_count += 1;
+            wasi_call(|| {
+                let path = read_str(mem, path_ptr, path_len)?;
+                wasi.unlink(dirfd, &path)
+            })
+        },
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctx::MemBackend;
+    use std::sync::Arc;
+    use twine_wasm::compile::CompiledModule;
+    use twine_wasm::instr::{Instr, MemArg, StoreKind};
+    use twine_wasm::types::Limits;
+    use twine_wasm::{Instance, ModuleBuilder};
+
+    /// Build a guest that performs one WASI call with constant args and
+    /// returns its errno.
+    fn guest_one_call(
+        name: &str,
+        param_tys: &[ValType],
+        call_args: &[Value],
+        prep: Vec<Instr>,
+    ) -> Instance {
+        let mut b = ModuleBuilder::new();
+        let host = b.import_func(WASI_MODULE, name, ty(param_tys, &[ValType::I32]));
+        b.memory(Limits::at_least(2));
+        let mut body = prep;
+        for a in call_args {
+            body.push(Instr::Const(*a));
+        }
+        body.push(Instr::Call(host));
+        let f = b.add_func(FuncType::new(vec![], vec![ValType::I32]), vec![], body);
+        b.export_func("go", f);
+        let code = CompiledModule::compile(b.build()).unwrap();
+        let mut linker = Linker::new();
+        register_wasi(&mut linker);
+        let ctx = WasiCtx::new(Box::new(MemBackend::new()), "/data", Rights::all());
+        Instance::instantiate(Arc::new(code), linker, Box::new(ctx)).unwrap()
+    }
+
+    #[test]
+    fn fd_write_to_stdout() {
+        // iovec at 0: base=64 len=5; message at 64.
+        let prep = vec![
+            Instr::Const(Value::I32(0)),
+            Instr::Const(Value::I32(64)),
+            Instr::Store(StoreKind::I32, MemArg::offset(0)),
+            Instr::Const(Value::I32(4)),
+            Instr::Const(Value::I32(5)),
+            Instr::Store(StoreKind::I32, MemArg::offset(0)),
+            // message
+            Instr::Const(Value::I32(64)),
+            Instr::Const(Value::I32(i32::from_le_bytes(*b"hell" ))),
+            Instr::Store(StoreKind::I32, MemArg::offset(0)),
+            Instr::Const(Value::I32(68)),
+            Instr::Const(Value::I32(i32::from(b'o'))),
+            Instr::Store(StoreKind::I32_8, MemArg::offset(0)),
+        ];
+        let mut inst = guest_one_call(
+            "fd_write",
+            &[ValType::I32; 4],
+            &[
+                Value::I32(1),   // stdout
+                Value::I32(0),   // iovs
+                Value::I32(1),   // iovs_len
+                Value::I32(100), // nwritten out
+            ],
+            prep,
+        );
+        let r = inst.invoke("go", &[]).unwrap();
+        assert_eq!(r[0], Value::I32(0), "errno success");
+        let wasi = inst.state::<WasiCtx>();
+        assert_eq!(wasi.stdout, b"hello");
+    }
+
+    #[test]
+    fn random_get_fills_memory() {
+        let mut inst = guest_one_call(
+            "random_get",
+            &[ValType::I32, ValType::I32],
+            &[Value::I32(128), Value::I32(16)],
+            vec![],
+        );
+        let r = inst.invoke("go", &[]).unwrap();
+        assert_eq!(r[0], Value::I32(0));
+        let bytes = inst.memory().unwrap().slice(128, 16).unwrap();
+        assert_ne!(bytes, &[0u8; 16][..], "filled with randomness");
+    }
+
+    #[test]
+    fn clock_monotonic_through_abi() {
+        let mut inst = guest_one_call(
+            "clock_time_get",
+            &[ValType::I32, ValType::I64, ValType::I32],
+            &[Value::I32(1), Value::I64(0), Value::I32(200)],
+            vec![],
+        );
+        inst.invoke("go", &[]).unwrap();
+        let t1 = u64::from_le_bytes(inst.memory().unwrap().read::<8>(200, 0).unwrap());
+        inst.invoke("go", &[]).unwrap();
+        let t2 = u64::from_le_bytes(inst.memory().unwrap().read::<8>(200, 0).unwrap());
+        assert!(t2 > t1);
+    }
+
+    #[test]
+    fn bad_fd_returns_badf() {
+        let mut inst = guest_one_call(
+            "fd_close",
+            &[ValType::I32],
+            &[Value::I32(77)],
+            vec![],
+        );
+        let r = inst.invoke("go", &[]).unwrap();
+        assert_eq!(r[0], Value::I32(i32::from(Errno::Badf.raw())));
+    }
+
+    #[test]
+    fn proc_exit_traps_with_code() {
+        let mut b = ModuleBuilder::new();
+        let host = b.import_func(WASI_MODULE, "proc_exit", ty(&[ValType::I32], &[]));
+        b.memory(Limits::at_least(1));
+        let f = b.add_func(
+            FuncType::new(vec![], vec![]),
+            vec![],
+            vec![Instr::Const(Value::I32(7)), Instr::Call(host)],
+        );
+        b.export_func("go", f);
+        let code = CompiledModule::compile(b.build()).unwrap();
+        let mut linker = Linker::new();
+        register_wasi(&mut linker);
+        let ctx = WasiCtx::new(Box::new(MemBackend::new()), "/", Rights::all());
+        let mut inst = Instance::instantiate(Arc::new(code), linker, Box::new(ctx)).unwrap();
+        let r = inst.invoke("go", &[]);
+        assert!(matches!(r, Err(Trap::Host(m)) if m == PROC_EXIT_TRAP));
+        assert_eq!(inst.state::<WasiCtx>().exit_code, Some(7));
+    }
+
+    #[test]
+    fn prestat_reports_preopen() {
+        let mut inst = guest_one_call(
+            "fd_prestat_get",
+            &[ValType::I32, ValType::I32],
+            &[Value::I32(3), Value::I32(300)],
+            vec![],
+        );
+        let r = inst.invoke("go", &[]).unwrap();
+        assert_eq!(r[0], Value::I32(0));
+        let mem = inst.memory().unwrap();
+        assert_eq!(u32::from_le_bytes(mem.read::<4>(300, 0).unwrap()), 0); // dir tag
+        assert_eq!(u32::from_le_bytes(mem.read::<4>(304, 0).unwrap()), 5); // "/data"
+    }
+}

@@ -1,0 +1,471 @@
+//! The WASI context: file-descriptor table, capability sandbox, clocks and
+//! randomness. Stored as the Wasm instance's host state.
+
+use std::collections::HashMap;
+
+use rand::{RngCore, SeedableRng};
+
+use crate::errno::{Errno, WasiResult};
+use crate::rights::Rights;
+
+/// An open file as seen by WASI (implemented over the protected FS in
+/// Twine's trusted layer, or over the host FS in the untrusted layer).
+pub trait WasiFile {
+    /// Read at the current position.
+    fn read(&mut self, buf: &mut [u8]) -> WasiResult<usize>;
+    /// Write at the current position (extending the file as needed).
+    fn write(&mut self, buf: &[u8]) -> WasiResult<usize>;
+    /// Seek to an absolute position (the ABI layer resolves whence).
+    fn seek(&mut self, pos: u64) -> WasiResult<u64>;
+    /// Current position.
+    fn tell(&self) -> u64;
+    /// File size.
+    fn size(&self) -> WasiResult<u64>;
+    /// Truncate or extend.
+    fn set_size(&mut self, size: u64) -> WasiResult<()>;
+    /// Durably persist.
+    fn sync(&mut self) -> WasiResult<()>;
+}
+
+/// A file-system backend resolving sandboxed paths.
+pub trait FsBackend {
+    /// Open (optionally create/truncate) a file.
+    fn open(
+        &mut self,
+        path: &str,
+        create: bool,
+        truncate: bool,
+    ) -> WasiResult<Box<dyn WasiFile>>;
+    /// Does the path exist?
+    fn exists(&mut self, path: &str) -> bool;
+    /// Size without opening.
+    fn filesize(&mut self, path: &str) -> WasiResult<u64>;
+    /// Delete a file.
+    fn unlink(&mut self, path: &str) -> WasiResult<()>;
+}
+
+/// What an fd refers to.
+pub enum FdKind {
+    /// Guest stdin (always empty).
+    Stdin,
+    /// Guest stdout, captured into [`WasiCtx::stdout`].
+    Stdout,
+    /// Guest stderr, captured into [`WasiCtx::stderr`].
+    Stderr,
+    /// A preopened directory (the sandbox root(s)).
+    Preopen {
+        /// Guest-visible name, e.g. `/data`.
+        name: String,
+    },
+    /// An open file.
+    File {
+        /// Backend handle.
+        handle: Box<dyn WasiFile>,
+    },
+}
+
+/// One fd-table entry.
+pub struct FdEntry {
+    /// Kind.
+    pub kind: FdKind,
+    /// Capability rights attached to this descriptor.
+    pub rights: Rights,
+}
+
+/// The per-instance WASI state.
+pub struct WasiCtx {
+    /// Program arguments (argv[0] = program name).
+    pub args: Vec<String>,
+    /// Environment variables.
+    pub env: Vec<(String, String)>,
+    fds: HashMap<u32, FdEntry>,
+    next_fd: u32,
+    backend: Box<dyn FsBackend>,
+    /// Captured stdout bytes.
+    pub stdout: Vec<u8>,
+    /// Captured stderr bytes.
+    pub stderr: Vec<u8>,
+    clock: Box<dyn FnMut() -> u64>,
+    rng: rand::rngs::StdRng,
+    /// Set by `proc_exit`.
+    pub exit_code: Option<u32>,
+    /// Count of WASI calls served (per-function class), for the harness.
+    pub call_count: u64,
+}
+
+impl WasiCtx {
+    /// Build a context over `backend` with one preopened directory `root`
+    /// (mounted at fd 3) carrying `rights`.
+    #[must_use]
+    pub fn new(backend: Box<dyn FsBackend>, root: &str, rights: Rights) -> Self {
+        let mut fds = HashMap::new();
+        fds.insert(
+            0,
+            FdEntry {
+                kind: FdKind::Stdin,
+                rights: Rights::FD_READ,
+            },
+        );
+        fds.insert(
+            1,
+            FdEntry {
+                kind: FdKind::Stdout,
+                rights: Rights::FD_WRITE,
+            },
+        );
+        fds.insert(
+            2,
+            FdEntry {
+                kind: FdKind::Stderr,
+                rights: Rights::FD_WRITE,
+            },
+        );
+        fds.insert(
+            3,
+            FdEntry {
+                kind: FdKind::Preopen {
+                    name: root.to_string(),
+                },
+                rights,
+            },
+        );
+        let mut t = 1_600_000_000_000_000_000u64; // deterministic epoch
+        Self {
+            args: vec!["app.wasm".to_string()],
+            env: Vec::new(),
+            fds,
+            next_fd: 4,
+            backend,
+            stdout: Vec::new(),
+            stderr: Vec::new(),
+            clock: Box::new(move || {
+                t += 1_000_000; // 1 ms per observation, strictly monotonic
+                t
+            }),
+            rng: rand::rngs::StdRng::seed_from_u64(0x7717_e5a2),
+            exit_code: None,
+            call_count: 0,
+        }
+    }
+
+    /// Replace the clock source (Twine's trusted layer installs an
+    /// OCALL-backed clock with a monotonicity guard, §IV-C).
+    pub fn set_clock(&mut self, clock: Box<dyn FnMut() -> u64>) {
+        self.clock = clock;
+    }
+
+    /// Consume the context and recover the backend (so the embedder can
+    /// keep file state across guest runs).
+    #[must_use]
+    pub fn into_backend(self) -> Box<dyn FsBackend> {
+        self.backend
+    }
+
+    /// Read the clock (nanoseconds).
+    pub fn now(&mut self) -> u64 {
+        (self.clock)()
+    }
+
+    /// Fill with random bytes.
+    pub fn random_fill(&mut self, buf: &mut [u8]) {
+        self.rng.fill_bytes(buf);
+    }
+
+    /// Look up an fd.
+    pub fn fd(&mut self, fd: u32) -> WasiResult<&mut FdEntry> {
+        self.fds.get_mut(&fd).ok_or(Errno::Badf)
+    }
+
+    /// Require `rights` on `fd`, returning `Notcapable` otherwise.
+    pub fn check_rights(&mut self, fd: u32, rights: Rights) -> WasiResult<()> {
+        let entry = self.fd(fd)?;
+        if entry.rights.contains(rights) {
+            Ok(())
+        } else {
+            Err(Errno::Notcapable)
+        }
+    }
+
+    /// Normalise and sandbox-check a guest path relative to a preopen fd.
+    ///
+    /// Rejects absolute escapes and any use of `..` (capability model:
+    /// nothing outside the preopened tree is reachable, like `chroot`).
+    pub fn resolve_path(&mut self, dirfd: u32, path: &str) -> WasiResult<String> {
+        let root = match &self.fd(dirfd)?.kind {
+            FdKind::Preopen { name } => name.clone(),
+            _ => return Err(Errno::Notdir),
+        };
+        let trimmed = path.trim_start_matches('/');
+        if trimmed.split('/').any(|seg| seg == "..") {
+            return Err(Errno::Notcapable);
+        }
+        if trimmed.is_empty() {
+            return Err(Errno::Inval);
+        }
+        Ok(format!("{}/{}", root.trim_end_matches('/'), trimmed))
+    }
+
+    /// Open a file under a preopen, attenuating rights.
+    pub fn open_file(
+        &mut self,
+        dirfd: u32,
+        path: &str,
+        create: bool,
+        truncate: bool,
+        requested: Rights,
+    ) -> WasiResult<u32> {
+        self.check_rights(dirfd, Rights::PATH_OPEN)?;
+        if create {
+            self.check_rights(dirfd, Rights::PATH_CREATE_FILE)?;
+        }
+        let resolved = self.resolve_path(dirfd, path)?;
+        let granted = self.fd(dirfd)?.rights.intersect(requested);
+        if !create && !self.backend.exists(&resolved) {
+            return Err(Errno::Noent);
+        }
+        let handle = self.backend.open(&resolved, create, truncate)?;
+        let fd = self.next_fd;
+        self.next_fd += 1;
+        self.fds.insert(
+            fd,
+            FdEntry {
+                kind: FdKind::File { handle },
+                rights: granted,
+            },
+        );
+        Ok(fd)
+    }
+
+    /// Close an fd.
+    pub fn close(&mut self, fd: u32) -> WasiResult<()> {
+        if fd <= 3 {
+            return Err(Errno::Notcapable); // std streams and preopens stay
+        }
+        self.fds.remove(&fd).map(|_| ()).ok_or(Errno::Badf)
+    }
+
+    /// Delete a file under a preopen.
+    pub fn unlink(&mut self, dirfd: u32, path: &str) -> WasiResult<()> {
+        self.check_rights(dirfd, Rights::PATH_UNLINK)?;
+        let resolved = self.resolve_path(dirfd, path)?;
+        self.backend.unlink(&resolved)
+    }
+
+    /// Stat a path under a preopen.
+    pub fn path_size(&mut self, dirfd: u32, path: &str) -> WasiResult<u64> {
+        self.check_rights(dirfd, Rights::FILESTAT_GET)?;
+        let resolved = self.resolve_path(dirfd, path)?;
+        self.backend.filesize(&resolved)
+    }
+}
+
+/// A trivial in-memory backend (testing and examples).
+#[derive(Default)]
+pub struct MemBackend {
+    files: HashMap<String, std::rc::Rc<std::cell::RefCell<Vec<u8>>>>,
+}
+
+impl MemBackend {
+    /// Empty backend.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inspect a file's bytes (host side).
+    #[must_use]
+    pub fn contents(&self, path: &str) -> Option<Vec<u8>> {
+        self.files.get(path).map(|f| f.borrow().clone())
+    }
+}
+
+struct MemFile {
+    data: std::rc::Rc<std::cell::RefCell<Vec<u8>>>,
+    pos: u64,
+}
+
+impl WasiFile for MemFile {
+    fn read(&mut self, buf: &mut [u8]) -> WasiResult<usize> {
+        let data = self.data.borrow();
+        let start = (self.pos as usize).min(data.len());
+        let n = buf.len().min(data.len() - start);
+        buf[..n].copy_from_slice(&data[start..start + n]);
+        self.pos += n as u64;
+        Ok(n)
+    }
+
+    fn write(&mut self, buf: &[u8]) -> WasiResult<usize> {
+        let mut data = self.data.borrow_mut();
+        let end = self.pos as usize + buf.len();
+        if data.len() < end {
+            data.resize(end, 0);
+        }
+        data[self.pos as usize..end].copy_from_slice(buf);
+        self.pos = end as u64;
+        Ok(buf.len())
+    }
+
+    fn seek(&mut self, pos: u64) -> WasiResult<u64> {
+        self.pos = pos;
+        Ok(pos)
+    }
+
+    fn tell(&self) -> u64 {
+        self.pos
+    }
+
+    fn size(&self) -> WasiResult<u64> {
+        Ok(self.data.borrow().len() as u64)
+    }
+
+    fn set_size(&mut self, size: u64) -> WasiResult<()> {
+        self.data.borrow_mut().resize(size as usize, 0);
+        Ok(())
+    }
+
+    fn sync(&mut self) -> WasiResult<()> {
+        Ok(())
+    }
+}
+
+impl FsBackend for MemBackend {
+    fn open(&mut self, path: &str, create: bool, truncate: bool) -> WasiResult<Box<dyn WasiFile>> {
+        let entry = self.files.entry(path.to_string());
+        let data = match entry {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                let d = e.get().clone();
+                if truncate {
+                    d.borrow_mut().clear();
+                }
+                d
+            }
+            std::collections::hash_map::Entry::Vacant(v) => {
+                if !create {
+                    return Err(Errno::Noent);
+                }
+                v.insert(std::rc::Rc::new(std::cell::RefCell::new(Vec::new())))
+                    .clone()
+            }
+        };
+        Ok(Box::new(MemFile { data, pos: 0 }))
+    }
+
+    fn exists(&mut self, path: &str) -> bool {
+        self.files.contains_key(path)
+    }
+
+    fn filesize(&mut self, path: &str) -> WasiResult<u64> {
+        self.files
+            .get(path)
+            .map(|f| f.borrow().len() as u64)
+            .ok_or(Errno::Noent)
+    }
+
+    fn unlink(&mut self, path: &str) -> WasiResult<()> {
+        self.files.remove(path).map(|_| ()).ok_or(Errno::Noent)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> WasiCtx {
+        WasiCtx::new(Box::new(MemBackend::new()), "/data", Rights::all())
+    }
+
+    #[test]
+    fn std_fds_present() {
+        let mut c = ctx();
+        assert!(c.fd(0).is_ok());
+        assert!(c.fd(1).is_ok());
+        assert!(c.fd(2).is_ok());
+        assert!(c.fd(3).is_ok());
+        assert_eq!(c.fd(4).err(), Some(Errno::Badf));
+    }
+
+    #[test]
+    fn open_write_read() {
+        let mut c = ctx();
+        let fd = c.open_file(3, "db.bin", true, false, Rights::all()).unwrap();
+        match &mut c.fd(fd).unwrap().kind {
+            FdKind::File { handle } => {
+                handle.write(b"hello").unwrap();
+                handle.seek(0).unwrap();
+                let mut buf = [0u8; 5];
+                handle.read(&mut buf).unwrap();
+                assert_eq!(&buf, b"hello");
+            }
+            _ => panic!("expected file"),
+        }
+        c.close(fd).unwrap();
+        assert_eq!(c.fd(fd).err(), Some(Errno::Badf));
+    }
+
+    #[test]
+    fn sandbox_rejects_escapes() {
+        let mut c = ctx();
+        assert_eq!(c.resolve_path(3, "../etc/passwd").err(), Some(Errno::Notcapable));
+        assert_eq!(c.resolve_path(3, "a/../../b").err(), Some(Errno::Notcapable));
+        assert_eq!(c.resolve_path(3, "").err(), Some(Errno::Inval));
+        assert_eq!(c.resolve_path(3, "ok/file").unwrap(), "/data/ok/file");
+        assert_eq!(c.resolve_path(3, "/abs").unwrap(), "/data/abs");
+        // Non-preopen dirfd:
+        assert_eq!(c.resolve_path(1, "x").err(), Some(Errno::Notdir));
+    }
+
+    #[test]
+    fn rights_attenuation_on_open() {
+        let mut c = WasiCtx::new(Box::new(MemBackend::new()), "/ro", Rights::read_only());
+        // Cannot create without PATH_CREATE_FILE.
+        assert_eq!(
+            c.open_file(3, "new.txt", true, false, Rights::all()).err(),
+            Some(Errno::Notcapable)
+        );
+        // Opening a missing file without create: NOENT.
+        assert_eq!(
+            c.open_file(3, "missing.txt", false, false, Rights::all()).err(),
+            Some(Errno::Noent)
+        );
+    }
+
+    #[test]
+    fn unlink_requires_right() {
+        let mut c = WasiCtx::new(Box::new(MemBackend::new()), "/ro", Rights::read_only());
+        assert_eq!(c.unlink(3, "x").err(), Some(Errno::Notcapable));
+        let mut c = ctx();
+        assert_eq!(c.unlink(3, "x").err(), Some(Errno::Noent));
+        c.open_file(3, "x", true, false, Rights::all()).unwrap();
+        c.unlink(3, "x").unwrap();
+    }
+
+    #[test]
+    fn clock_is_monotonic() {
+        let mut c = ctx();
+        let a = c.now();
+        let b = c.now();
+        let d = c.now();
+        assert!(a < b && b < d);
+    }
+
+    #[test]
+    fn cannot_close_std_or_preopen() {
+        let mut c = ctx();
+        assert!(c.close(0).is_err());
+        assert!(c.close(3).is_err());
+    }
+
+    #[test]
+    fn random_deterministic_per_seed() {
+        let mut c1 = ctx();
+        let mut c2 = ctx();
+        let mut a = [0u8; 16];
+        let mut b = [0u8; 16];
+        c1.random_fill(&mut a);
+        c2.random_fill(&mut b);
+        assert_eq!(a, b, "same seed, same stream");
+        let mut c = [0u8; 16];
+        c1.random_fill(&mut c);
+        assert_ne!(a, c, "stream advances");
+    }
+}

@@ -1,0 +1,49 @@
+//! WASI errno values (snapshot preview 1).
+
+/// WASI error numbers returned to the guest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u16)]
+#[allow(missing_docs)] // names mirror the WASI spec 1:1
+pub enum Errno {
+    Success = 0,
+    TooBig = 1,
+    Acces = 2,
+    Badf = 8,
+    Exist = 20,
+    Inval = 28,
+    Io = 29,
+    Isdir = 31,
+    Noent = 44,
+    Nosys = 52,
+    Notdir = 54,
+    Notcapable = 76,
+    Perm = 63,
+    Spipe = 70,
+    Fbig = 22,
+    Nospc = 51,
+}
+
+impl Errno {
+    /// Raw value for the guest.
+    #[must_use]
+    pub fn raw(self) -> u16 {
+        self as u16
+    }
+}
+
+/// Result type used by WASI host implementations.
+pub type WasiResult<T> = Result<T, Errno>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raw_values_match_spec() {
+        assert_eq!(Errno::Success.raw(), 0);
+        assert_eq!(Errno::Badf.raw(), 8);
+        assert_eq!(Errno::Inval.raw(), 28);
+        assert_eq!(Errno::Noent.raw(), 44);
+        assert_eq!(Errno::Notcapable.raw(), 76);
+    }
+}

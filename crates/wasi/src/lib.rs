@@ -1,0 +1,37 @@
+//! # twine-wasi
+//!
+//! The WebAssembly System Interface layer of the Twine reproduction
+//! (paper §III-B, §IV-B/C). WASI is "the equivalent of the traditional SGX
+//! adaptation layer comprised of the OCALLs": guest programs talk POSIX-ish
+//! file/clock/random APIs, and the runtime decides per-function whether a
+//! trusted implementation (protected file system) or a generic untrusted
+//! one (host OS via OCALL) serves the call.
+//!
+//! This crate is backend-agnostic: it implements the ABI surface (pointer
+//! marshalling, iovecs, errno), the capability sandbox (preopens + rights,
+//! the `chroot`-like restriction of §IV), and an [`FsBackend`] trait that
+//! `twine-core` implements twice — once over `twine-pfs` (trusted) and once
+//! over the host file system (untrusted POSIX layer).
+//!
+//! The subset implemented covers what the evaluation workloads (SQLite-like
+//! database, PolyBench) and typical WASI CLI programs need: args/environ,
+//! clocks, fd_{read,write,seek,tell,close,sync,filestat*,fdstat*,prestat*},
+//! path_{open,filestat_get,unlink_file}, random_get, sched_yield and
+//! proc_exit.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod abi;
+pub mod ctx;
+pub mod errno;
+pub mod rights;
+
+pub use abi::register_wasi;
+pub use ctx::{FsBackend, WasiCtx, WasiFile};
+pub use errno::Errno;
+pub use rights::Rights;
+
+/// The WASI module name guests import from (snapshot preview 1, the version
+/// current when the paper was written — "45 functions", §III-B).
+pub const WASI_MODULE: &str = "wasi_snapshot_preview1";

@@ -1,0 +1,98 @@
+//! WASI capability rights.
+//!
+//! WASI's security model is capability-based: every file descriptor carries
+//! a rights mask, and preopened directories bound what a program can touch
+//! — "the runtime environment can limit what Wasm can do on a
+//! program-by-program basis" (paper §IV).
+
+/// A rights bitmask (subset of the WASI rights relevant to file I/O).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rights(pub u64);
+
+impl Rights {
+    /// `fd_read`.
+    pub const FD_READ: Rights = Rights(1 << 1);
+    /// `fd_seek` / `fd_tell`.
+    pub const FD_SEEK: Rights = Rights(1 << 2);
+    /// `fd_sync`.
+    pub const FD_SYNC: Rights = Rights(1 << 4);
+    /// `fd_write`.
+    pub const FD_WRITE: Rights = Rights(1 << 6);
+    /// `path_create_file` (via `path_open` with CREAT).
+    pub const PATH_CREATE_FILE: Rights = Rights(1 << 9);
+    /// `path_open`.
+    pub const PATH_OPEN: Rights = Rights(1 << 13);
+    /// `fd_filestat_get` / `path_filestat_get`.
+    pub const FILESTAT_GET: Rights = Rights(1 << 21);
+    /// `fd_filestat_set_size`.
+    pub const FILESTAT_SET_SIZE: Rights = Rights(1 << 22);
+    /// `path_unlink_file`.
+    pub const PATH_UNLINK: Rights = Rights(1 << 26);
+
+    /// No rights.
+    pub const NONE: Rights = Rights(0);
+
+    /// Everything this implementation supports.
+    #[must_use]
+    pub fn all() -> Rights {
+        Rights(
+            Self::FD_READ.0
+                | Self::FD_SEEK.0
+                | Self::FD_SYNC.0
+                | Self::FD_WRITE.0
+                | Self::PATH_CREATE_FILE.0
+                | Self::PATH_OPEN.0
+                | Self::FILESTAT_GET.0
+                | Self::FILESTAT_SET_SIZE.0
+                | Self::PATH_UNLINK.0,
+        )
+    }
+
+    /// Read-only file access.
+    #[must_use]
+    pub fn read_only() -> Rights {
+        Rights(Self::FD_READ.0 | Self::FD_SEEK.0 | Self::PATH_OPEN.0 | Self::FILESTAT_GET.0)
+    }
+
+    /// Does this mask contain all bits of `other`?
+    #[must_use]
+    pub fn contains(self, other: Rights) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Union.
+    #[must_use]
+    pub fn union(self, other: Rights) -> Rights {
+        Rights(self.0 | other.0)
+    }
+
+    /// Intersection (used to attenuate rights on open).
+    #[must_use]
+    pub fn intersect(self, other: Rights) -> Rights {
+        Rights(self.0 & other.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contains_and_combine() {
+        let rw = Rights::FD_READ.union(Rights::FD_WRITE);
+        assert!(rw.contains(Rights::FD_READ));
+        assert!(rw.contains(Rights::FD_WRITE));
+        assert!(!rw.contains(Rights::FD_SYNC));
+        assert!(Rights::all().contains(rw));
+        assert!(!Rights::read_only().contains(Rights::FD_WRITE));
+    }
+
+    #[test]
+    fn attenuation() {
+        let parent = Rights::read_only();
+        let asked = Rights::all();
+        let granted = parent.intersect(asked);
+        assert!(!granted.contains(Rights::FD_WRITE));
+        assert!(granted.contains(Rights::FD_READ));
+    }
+}

@@ -1,0 +1,689 @@
+//! Ahead-of-time lowering of validated modules to linear, jump-resolved code.
+//!
+//! This pass is the functional analogue of WAMR's `wamrc` AoT compiler used
+//! by the paper (§IV-B): it runs *outside* the enclave, on the developer's
+//! premises, and the enclave only ever executes its output. Structured
+//! control flow is flattened into a linear [`Op`] array with pre-computed
+//! branch targets and stack-transfer metadata, so the execution engine is a
+//! simple dispatch loop with no decoding or label searching at run time.
+
+use crate::instr::{Instr, LoadKind, StoreKind};
+use crate::meter::InstrClass;
+use crate::module::Module;
+use crate::types::{FuncType, ValType};
+use crate::ModuleError;
+
+/// Branch descriptor: where to jump and how to fix the operand stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BranchTarget {
+    /// Destination op index.
+    pub target: u32,
+    /// Operand-stack height (relative to the frame base) of the target label.
+    pub height: u32,
+    /// Number of values carried across the branch (0 or 1 in MVP).
+    pub arity: u8,
+}
+
+/// A flattened instruction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    /// Trap.
+    Unreachable,
+    /// Unconditional branch with value transfer.
+    Br(BranchTarget),
+    /// Pop a condition; branch if non-zero.
+    BrIf(BranchTarget),
+    /// Pop an index; branch through the table (last entry = default).
+    BrTable(Box<[BranchTarget]>),
+    /// Plain jump (no stack adjustment) — used to skip `else` arms.
+    Jump(u32),
+    /// Pop a condition; jump if zero (the `if` entry test).
+    JumpIfZero(u32),
+    /// Return from the function.
+    Return,
+    /// Call a function by unified index (may be an import).
+    Call(u32),
+    /// Pop a table index; call through the table, checking the type index.
+    CallIndirect(u32),
+    /// Pop and discard.
+    Drop,
+    /// Ternary select.
+    Select,
+    /// Push local `n`.
+    LocalGet(u32),
+    /// Pop into local `n`.
+    LocalSet(u32),
+    /// Copy stack top into local `n`.
+    LocalTee(u32),
+    /// Push global `n`.
+    GlobalGet(u32),
+    /// Pop into global `n`.
+    GlobalSet(u32),
+    /// Memory load (static offset folded in).
+    Load(LoadKind, u32),
+    /// Memory store (static offset folded in).
+    Store(StoreKind, u32),
+    /// Push memory size in pages.
+    MemorySize,
+    /// Grow memory.
+    MemoryGrow,
+    /// Bulk copy.
+    MemoryCopy,
+    /// Bulk fill.
+    MemoryFill,
+    /// Push a constant (raw bits).
+    Const(u64),
+    /// `i32.eqz`/`i64.eqz`.
+    ITestEqz(crate::instr::IntWidth),
+    /// Integer unary op.
+    IUnop(crate::instr::IntWidth, crate::instr::IUnOp),
+    /// Integer binary op.
+    IBinop(crate::instr::IntWidth, crate::instr::IBinOp),
+    /// Integer comparison.
+    IRelop(crate::instr::IntWidth, crate::instr::IRelOp),
+    /// Float unary op.
+    FUnop(crate::instr::FloatWidth, crate::instr::FUnOp),
+    /// Float binary op.
+    FBinop(crate::instr::FloatWidth, crate::instr::FBinOp),
+    /// Float comparison.
+    FRelop(crate::instr::FloatWidth, crate::instr::FRelOp),
+    /// Conversion.
+    Cvt(crate::instr::CvtOp),
+    /// Implicit function end (returns the results on the stack).
+    End,
+}
+
+impl Op {
+    /// Metering class of this op.
+    #[must_use]
+    pub fn class(&self) -> InstrClass {
+        use crate::instr::{FBinOp, FUnOp, IBinOp};
+        use InstrClass::*;
+        match self {
+            Op::Const(_)
+            | Op::LocalGet(_)
+            | Op::LocalSet(_)
+            | Op::LocalTee(_)
+            | Op::GlobalGet(_)
+            | Op::GlobalSet(_)
+            | Op::Drop
+            | Op::Select => Simple,
+            Op::IBinop(_, IBinOp::DivS | IBinOp::DivU | IBinOp::RemS | IBinOp::RemU) => IntDiv,
+            Op::IBinop(..) | Op::IUnop(..) => IntArith,
+            Op::FBinop(_, FBinOp::Div) | Op::FUnop(_, FUnOp::Sqrt) => FloatDiv,
+            Op::FBinop(..) | Op::FUnop(..) => FloatArith,
+            Op::IRelop(..) | Op::FRelop(..) | Op::ITestEqz(_) | Op::Cvt(_) => Compare,
+            Op::Load(..) => Load,
+            Op::Store(..) => Store,
+            Op::Br(_) | Op::BrIf(_) | Op::BrTable(_) | Op::Jump(_) | Op::JumpIfZero(_) => Branch,
+            Op::Call(_) | Op::CallIndirect(_) | Op::Return | Op::End => Call,
+            Op::MemorySize
+            | Op::MemoryGrow
+            | Op::MemoryCopy
+            | Op::MemoryFill
+            | Op::Unreachable => Other,
+        }
+    }
+}
+
+/// A compiled function body.
+#[derive(Debug, Clone)]
+pub struct CompiledFunc {
+    /// Index into the module's type table.
+    pub type_idx: u32,
+    /// Number of parameters.
+    pub n_params: usize,
+    /// Total local slots (parameters + declared locals).
+    pub n_locals: usize,
+    /// Number of results (0 or 1).
+    pub n_results: usize,
+    /// Flattened code.
+    pub ops: Vec<Op>,
+    /// Metering class per op (parallel to `ops`).
+    pub classes: Vec<InstrClass>,
+}
+
+/// A validated, flattened module ready for instantiation.
+#[derive(Debug, Clone)]
+pub struct CompiledModule {
+    /// The source module (types, imports, exports, segments).
+    pub module: Module,
+    /// Compiled local functions (indexed after imported functions).
+    pub funcs: Vec<CompiledFunc>,
+}
+
+impl CompiledModule {
+    /// Validate and compile a module. This is the only way to obtain
+    /// executable code, mirroring Twine's "AoT-only" design.
+    pub fn compile(module: Module) -> Result<Self, ModuleError> {
+        crate::validate::validate(&module)?;
+        let mut funcs = Vec::with_capacity(module.funcs.len());
+        for f in &module.funcs {
+            let ty = &module.types[f.type_idx as usize];
+            let mut c = compile_func(&module, ty, &f.locals, &f.body);
+            c.type_idx = f.type_idx;
+            funcs.push(c);
+        }
+        Ok(Self { module, funcs })
+    }
+
+    /// Decode, validate and compile in one step.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, ModuleError> {
+        Self::compile(crate::decode::decode(bytes)?)
+    }
+
+    /// Total number of flattened ops across all functions (a code-size
+    /// proxy reported by the Table III harness).
+    #[must_use]
+    pub fn code_size_ops(&self) -> usize {
+        self.funcs.iter().map(|f| f.ops.len()).sum()
+    }
+}
+
+/// A pending forward patch: op index, plus the `BrTable` slot if applicable.
+type Patch = (usize, Option<usize>);
+
+struct CtrlEntry {
+    /// For loops: branch destination (the loop head).
+    loop_start: Option<u32>,
+    /// Operand height at label (relative to frame base).
+    height: u32,
+    /// Values a branch to this label carries.
+    arity: u8,
+    /// Result arity pushed at the construct's end.
+    end_arity: u8,
+    /// Forward branches that must be patched to the construct's end.
+    patches: Vec<Patch>,
+}
+
+struct Flattener<'m> {
+    module: &'m Module,
+    ops: Vec<Op>,
+    ctrls: Vec<CtrlEntry>,
+    height: u32,
+    dead: bool,
+}
+
+fn compile_func(module: &Module, ty: &FuncType, locals: &[ValType], body: &[Instr]) -> CompiledFunc {
+    let mut fl = Flattener {
+        module,
+        ops: Vec::with_capacity(body.len() + 8),
+        ctrls: Vec::new(),
+        height: 0,
+        dead: false,
+    };
+    fl.ctrls.push(CtrlEntry {
+        loop_start: None,
+        height: 0,
+        arity: ty.results.len() as u8,
+        end_arity: ty.results.len() as u8,
+        patches: Vec::new(),
+    });
+    fl.seq(body);
+    let frame = fl.ctrls.pop().expect("function frame");
+    let end_pc = fl.ops.len() as u32;
+    apply_patches(&mut fl.ops, &frame.patches, end_pc);
+    fl.ops.push(Op::End);
+    let classes = fl.ops.iter().map(Op::class).collect();
+    CompiledFunc {
+        type_idx: 0, // fixed up by the caller
+        n_params: ty.params.len(),
+        n_locals: ty.params.len() + locals.len(),
+        n_results: ty.results.len(),
+        ops: fl.ops,
+        classes,
+    }
+}
+
+fn apply_patches(ops: &mut [Op], patches: &[Patch], end_pc: u32) {
+    for &(at, slot) in patches {
+        match (&mut ops[at], slot) {
+            (Op::Br(bt) | Op::BrIf(bt), None) => bt.target = end_pc,
+            (Op::BrTable(table), Some(s)) => table[s].target = end_pc,
+            (Op::Jump(t) | Op::JumpIfZero(t), None) => *t = end_pc,
+            (other, s) => unreachable!("bad patch {other:?} slot {s:?}"),
+        }
+    }
+}
+
+impl<'m> Flattener<'m> {
+    fn pc(&self) -> u32 {
+        self.ops.len() as u32
+    }
+
+    fn emit(&mut self, op: Op) {
+        self.ops.push(op);
+    }
+
+    fn label(&self, depth: u32) -> &CtrlEntry {
+        let n = self.ctrls.len();
+        &self.ctrls[n - 1 - depth as usize]
+    }
+
+    /// Resolve a branch to `depth`: backward branches (loops) are final;
+    /// forward branches return `true` meaning "register a patch".
+    fn branch_target(&self, depth: u32) -> (BranchTarget, bool) {
+        let entry = self.label(depth);
+        match entry.loop_start {
+            Some(start) => (
+                BranchTarget {
+                    target: start,
+                    height: entry.height,
+                    arity: 0,
+                },
+                false,
+            ),
+            None => (
+                BranchTarget {
+                    target: u32::MAX,
+                    height: entry.height,
+                    arity: entry.arity,
+                },
+                true,
+            ),
+        }
+    }
+
+    fn register_patch(&mut self, depth: u32, patch: Patch) {
+        let n = self.ctrls.len();
+        self.ctrls[n - 1 - depth as usize].patches.push(patch);
+    }
+
+    fn seq(&mut self, instrs: &[Instr]) {
+        for i in instrs {
+            if self.dead {
+                // Dead code is validated but never emitted; nested structure
+                // is skipped wholesale.
+                continue;
+            }
+            self.one(i);
+        }
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn one(&mut self, instr: &Instr) {
+        use Instr as I;
+        match instr {
+            I::Unreachable => {
+                self.emit(Op::Unreachable);
+                self.dead = true;
+            }
+            I::Nop => {}
+            I::Block(bt, body) => {
+                let arity = bt.arity() as u8;
+                self.ctrls.push(CtrlEntry {
+                    loop_start: None,
+                    height: self.height,
+                    arity,
+                    end_arity: arity,
+                    patches: Vec::new(),
+                });
+                self.seq(body);
+                self.end_ctrl();
+            }
+            I::Loop(bt, body) => {
+                let arity = bt.arity() as u8;
+                self.ctrls.push(CtrlEntry {
+                    loop_start: Some(self.pc()),
+                    height: self.height,
+                    arity: 0,
+                    end_arity: arity,
+                    patches: Vec::new(),
+                });
+                self.seq(body);
+                self.end_ctrl();
+            }
+            I::If(bt, then_body, else_body) => {
+                self.height -= 1; // condition
+                let arity = bt.arity() as u8;
+                let test_at = self.ops.len();
+                self.emit(Op::JumpIfZero(u32::MAX));
+                self.ctrls.push(CtrlEntry {
+                    loop_start: None,
+                    height: self.height,
+                    arity,
+                    end_arity: arity,
+                    patches: Vec::new(),
+                });
+                let entry_height = self.height;
+                self.seq(then_body);
+                let then_dead = self.dead;
+                self.dead = false;
+                if else_body.is_empty() {
+                    // No else: the test jumps to the construct's end.
+                    let frame = self.ctrls.last_mut().expect("if frame");
+                    frame.patches.push((test_at, None));
+                } else {
+                    if !then_dead {
+                        let jump_at = self.ops.len();
+                        self.emit(Op::Jump(u32::MAX));
+                        let frame = self.ctrls.last_mut().expect("if frame");
+                        frame.patches.push((jump_at, None));
+                    }
+                    let else_start = self.pc();
+                    if let Op::JumpIfZero(t) = &mut self.ops[test_at] {
+                        *t = else_start;
+                    }
+                    self.height = entry_height;
+                    self.seq(else_body);
+                    self.dead = false;
+                }
+                self.end_ctrl();
+            }
+            I::Br(depth) => {
+                let (bt, needs_patch) = self.branch_target(*depth);
+                let at = self.ops.len();
+                self.emit(Op::Br(bt));
+                if needs_patch {
+                    self.register_patch(*depth, (at, None));
+                }
+                self.dead = true;
+            }
+            I::BrIf(depth) => {
+                self.height -= 1; // condition
+                let (bt, needs_patch) = self.branch_target(*depth);
+                let at = self.ops.len();
+                self.emit(Op::BrIf(bt));
+                if needs_patch {
+                    self.register_patch(*depth, (at, None));
+                }
+            }
+            I::BrTable(targets, default) => {
+                self.height -= 1; // index
+                let at = self.ops.len();
+                let mut table = Vec::with_capacity(targets.len() + 1);
+                let mut pending: Vec<(u32, usize)> = Vec::new();
+                for (slot, depth) in targets
+                    .iter()
+                    .chain(std::iter::once(default))
+                    .copied()
+                    .enumerate()
+                {
+                    let (bt, needs_patch) = self.branch_target(depth);
+                    table.push(bt);
+                    if needs_patch {
+                        pending.push((depth, slot));
+                    }
+                }
+                self.emit(Op::BrTable(table.into_boxed_slice()));
+                for (depth, slot) in pending {
+                    self.register_patch(depth, (at, Some(slot)));
+                }
+                self.dead = true;
+            }
+            I::Return => {
+                self.emit(Op::Return);
+                self.dead = true;
+            }
+            I::Call(f) => {
+                let ty = self.module.func_type(*f).expect("validated call");
+                self.height = self.height - ty.params.len() as u32 + ty.results.len() as u32;
+                self.emit(Op::Call(*f));
+            }
+            I::CallIndirect(type_idx) => {
+                let ty = &self.module.types[*type_idx as usize];
+                self.height -= 1; // table index
+                self.height = self.height - ty.params.len() as u32 + ty.results.len() as u32;
+                self.emit(Op::CallIndirect(*type_idx));
+            }
+            I::Drop => {
+                self.height -= 1;
+                self.emit(Op::Drop);
+            }
+            I::Select => {
+                self.height -= 2;
+                self.emit(Op::Select);
+            }
+            I::LocalGet(i) => {
+                self.height += 1;
+                self.emit(Op::LocalGet(*i));
+            }
+            I::LocalSet(i) => {
+                self.height -= 1;
+                self.emit(Op::LocalSet(*i));
+            }
+            I::LocalTee(i) => self.emit(Op::LocalTee(*i)),
+            I::GlobalGet(i) => {
+                self.height += 1;
+                self.emit(Op::GlobalGet(*i));
+            }
+            I::GlobalSet(i) => {
+                self.height -= 1;
+                self.emit(Op::GlobalSet(*i));
+            }
+            I::Load(kind, m) => self.emit(Op::Load(*kind, m.offset)),
+            I::Store(kind, m) => {
+                self.height -= 2;
+                self.emit(Op::Store(*kind, m.offset));
+            }
+            I::MemorySize => {
+                self.height += 1;
+                self.emit(Op::MemorySize);
+            }
+            I::MemoryGrow => self.emit(Op::MemoryGrow),
+            I::MemoryCopy => {
+                self.height -= 3;
+                self.emit(Op::MemoryCopy);
+            }
+            I::MemoryFill => {
+                self.height -= 3;
+                self.emit(Op::MemoryFill);
+            }
+            I::Const(v) => {
+                self.height += 1;
+                self.emit(Op::Const(v.to_bits()));
+            }
+            I::ITestEqz(w) => self.emit(Op::ITestEqz(*w)),
+            I::IUnop(w, op) => self.emit(Op::IUnop(*w, *op)),
+            I::IBinop(w, op) => {
+                self.height -= 1;
+                self.emit(Op::IBinop(*w, *op));
+            }
+            I::IRelop(w, op) => {
+                self.height -= 1;
+                self.emit(Op::IRelop(*w, *op));
+            }
+            I::FUnop(w, op) => self.emit(Op::FUnop(*w, *op)),
+            I::FBinop(w, op) => {
+                self.height -= 1;
+                self.emit(Op::FBinop(*w, *op));
+            }
+            I::FRelop(w, op) => {
+                self.height -= 1;
+                self.emit(Op::FRelop(*w, *op));
+            }
+            I::Cvt(op) => self.emit(Op::Cvt(*op)),
+        }
+    }
+
+    /// Close the innermost construct: patch forward branches to here and
+    /// restore the post-construct stack height.
+    fn end_ctrl(&mut self) {
+        let frame = self.ctrls.pop().expect("ctrl frame");
+        let end_pc = self.pc();
+        apply_patches(&mut self.ops, &frame.patches, end_pc);
+        self.dead = false;
+        self.height = frame.height + u32::from(frame.end_arity);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::{BlockType, IBinOp, IntWidth, MemArg};
+    use crate::module::ModuleBuilder;
+    use crate::types::{Limits, Value};
+
+    fn compile_body(body: Vec<Instr>, results: Vec<ValType>) -> CompiledFunc {
+        let mut b = ModuleBuilder::new();
+        b.memory(Limits::at_least(1));
+        b.add_func(FuncType::new(vec![], results), vec![ValType::I32], body);
+        let m = b.build();
+        let cm = CompiledModule::compile(m).unwrap();
+        cm.funcs[0].clone()
+    }
+
+    #[test]
+    fn straightline_flattens_one_to_one() {
+        let f = compile_body(
+            vec![
+                Instr::Const(Value::I32(1)),
+                Instr::Const(Value::I32(2)),
+                Instr::IBinop(IntWidth::W32, IBinOp::Add),
+            ],
+            vec![ValType::I32],
+        );
+        assert_eq!(f.ops.len(), 4); // 3 + End
+        assert!(matches!(f.ops[3], Op::End));
+    }
+
+    #[test]
+    fn block_branch_resolved_to_end() {
+        let f = compile_body(
+            vec![Instr::Block(
+                BlockType::Empty,
+                vec![Instr::Const(Value::I32(1)), Instr::BrIf(0), Instr::Nop],
+            )],
+            vec![],
+        );
+        // ops: Const, BrIf(target = after block), End
+        match &f.ops[1] {
+            Op::BrIf(bt) => assert_eq!(bt.target, 2),
+            other => panic!("expected BrIf, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn loop_branch_resolved_to_start() {
+        let f = compile_body(
+            vec![Instr::Loop(
+                BlockType::Empty,
+                vec![Instr::Const(Value::I32(0)), Instr::BrIf(0)],
+            )],
+            vec![],
+        );
+        match &f.ops[1] {
+            Op::BrIf(bt) => assert_eq!(bt.target, 0),
+            other => panic!("expected BrIf, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn if_else_jumps() {
+        let f = compile_body(
+            vec![
+                Instr::Const(Value::I32(1)),
+                Instr::If(
+                    BlockType::Value(ValType::I32),
+                    vec![Instr::Const(Value::I32(10))],
+                    vec![Instr::Const(Value::I32(20))],
+                ),
+                Instr::Drop,
+            ],
+            vec![],
+        );
+        // Const(1), JumpIfZero(->4), Const(10), Jump(->5), Const(20), Drop, End
+        match &f.ops[1] {
+            Op::JumpIfZero(t) => assert_eq!(*t, 4),
+            other => panic!("{other:?}"),
+        }
+        match &f.ops[3] {
+            Op::Jump(t) => assert_eq!(*t, 5),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn dead_code_not_emitted() {
+        let f = compile_body(
+            vec![
+                Instr::Return,
+                Instr::Const(Value::I32(1)),
+                Instr::Const(Value::I32(2)),
+                Instr::IBinop(IntWidth::W32, IBinOp::Add),
+                Instr::Drop,
+            ],
+            vec![],
+        );
+        assert_eq!(f.ops.len(), 2); // Return + End
+    }
+
+    #[test]
+    fn memarg_offset_folded() {
+        let f = compile_body(
+            vec![
+                Instr::Const(Value::I32(0)),
+                Instr::Load(LoadKind::I32, MemArg { align: 2, offset: 64 }),
+                Instr::Drop,
+            ],
+            vec![],
+        );
+        assert!(matches!(f.ops[1], Op::Load(LoadKind::I32, 64)));
+    }
+
+    #[test]
+    fn classes_parallel_to_ops() {
+        let f = compile_body(
+            vec![
+                Instr::Const(Value::I32(1)),
+                Instr::Const(Value::I32(2)),
+                Instr::IBinop(IntWidth::W32, IBinOp::DivS),
+                Instr::Drop,
+            ],
+            vec![],
+        );
+        assert_eq!(f.ops.len(), f.classes.len());
+        assert_eq!(f.classes[2], InstrClass::IntDiv);
+    }
+
+    #[test]
+    fn br_table_targets_resolved() {
+        // Two nested blocks; br_table picks between them and a default to
+        // the function end.
+        let f = compile_body(
+            vec![Instr::Block(
+                BlockType::Empty,
+                vec![Instr::Block(
+                    BlockType::Empty,
+                    vec![Instr::Const(Value::I32(1)), Instr::BrTable(vec![0, 1], 1)],
+                )],
+            )],
+            vec![],
+        );
+        let table = f
+            .ops
+            .iter()
+            .find_map(|op| match op {
+                Op::BrTable(t) => Some(t.clone()),
+                _ => None,
+            })
+            .expect("has br_table");
+        assert_eq!(table.len(), 3);
+        // All targets point at or after the br_table itself and at or
+        // before End.
+        for bt in table.iter() {
+            assert!(bt.target as usize <= f.ops.len());
+            assert_ne!(bt.target, u32::MAX, "target must be patched");
+        }
+        // Inner block's end (slot 0) precedes outer block's end (slot 1).
+        assert!(table[0].target <= table[1].target);
+    }
+
+    #[test]
+    fn branch_with_value_has_arity() {
+        let f = compile_body(
+            vec![Instr::Block(
+                BlockType::Value(ValType::I32),
+                vec![Instr::Const(Value::I32(3)), Instr::Br(0)],
+            ), Instr::Drop],
+            vec![],
+        );
+        match &f.ops[1] {
+            Op::Br(bt) => {
+                assert_eq!(bt.arity, 1);
+                assert_eq!(bt.height, 0);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

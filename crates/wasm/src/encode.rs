@@ -1,0 +1,623 @@
+//! WebAssembly binary format encoder.
+//!
+//! Produces real `.wasm` bytes from a [`Module`]. Together with
+//! [`crate::decode`] this closes the loop that the paper's Figure 1 shows:
+//! the developer compiles source to Wasm (here: `twine-minicc` → builder →
+//! encoder), ships the binary, and the runtime decodes it. The encoder is
+//! also what the property tests use to check `decode(encode(m)) == m`.
+
+use crate::instr::{
+    BlockType, CvtOp, FBinOp, FRelOp, FUnOp, FloatWidth, IBinOp, IRelOp, IUnOp, Instr, IntWidth,
+    LoadKind, MemArg, StoreKind,
+};
+use crate::module::{ConstExpr, ImportDesc, Module};
+use crate::types::{ExternKind, Limits, ValType, Value};
+
+/// Magic number and version header.
+pub const HEADER: [u8; 8] = [0x00, 0x61, 0x73, 0x6D, 0x01, 0x00, 0x00, 0x00];
+
+/// Encode a module to its binary representation.
+#[must_use]
+pub fn encode(module: &Module) -> Vec<u8> {
+    let mut out = Vec::with_capacity(1024);
+    out.extend_from_slice(&HEADER);
+
+    // Section 1: types.
+    if !module.types.is_empty() {
+        let mut body = Vec::new();
+        write_u32(&mut body, module.types.len() as u32);
+        for ty in &module.types {
+            body.push(0x60);
+            write_u32(&mut body, ty.params.len() as u32);
+            for p in &ty.params {
+                body.push(p.to_byte());
+            }
+            write_u32(&mut body, ty.results.len() as u32);
+            for r in &ty.results {
+                body.push(r.to_byte());
+            }
+        }
+        write_section(&mut out, 1, &body);
+    }
+
+    // Section 2: imports.
+    if !module.imports.is_empty() {
+        let mut body = Vec::new();
+        write_u32(&mut body, module.imports.len() as u32);
+        for imp in &module.imports {
+            write_name(&mut body, &imp.module);
+            write_name(&mut body, &imp.name);
+            match &imp.desc {
+                ImportDesc::Func(t) => {
+                    body.push(0x00);
+                    write_u32(&mut body, *t);
+                }
+                ImportDesc::Table(l) => {
+                    body.push(0x01);
+                    body.push(0x70);
+                    write_limits(&mut body, *l);
+                }
+                ImportDesc::Memory(l) => {
+                    body.push(0x02);
+                    write_limits(&mut body, *l);
+                }
+                ImportDesc::Global(g) => {
+                    body.push(0x03);
+                    body.push(g.ty.to_byte());
+                    body.push(u8::from(g.mutable));
+                }
+            }
+        }
+        write_section(&mut out, 2, &body);
+    }
+
+    // Section 3: function declarations.
+    if !module.funcs.is_empty() {
+        let mut body = Vec::new();
+        write_u32(&mut body, module.funcs.len() as u32);
+        for f in &module.funcs {
+            write_u32(&mut body, f.type_idx);
+        }
+        write_section(&mut out, 3, &body);
+    }
+
+    // Section 4: table.
+    if let Some(limits) = module.table {
+        let mut body = Vec::new();
+        write_u32(&mut body, 1);
+        body.push(0x70); // funcref
+        write_limits(&mut body, limits);
+        write_section(&mut out, 4, &body);
+    }
+
+    // Section 5: memory.
+    if let Some(limits) = module.memory {
+        let mut body = Vec::new();
+        write_u32(&mut body, 1);
+        write_limits(&mut body, limits);
+        write_section(&mut out, 5, &body);
+    }
+
+    // Section 6: globals.
+    if !module.globals.is_empty() {
+        let mut body = Vec::new();
+        write_u32(&mut body, module.globals.len() as u32);
+        for g in &module.globals {
+            body.push(g.ty.ty.to_byte());
+            body.push(u8::from(g.ty.mutable));
+            write_const_expr(&mut body, &g.init);
+        }
+        write_section(&mut out, 6, &body);
+    }
+
+    // Section 7: exports.
+    if !module.exports.is_empty() {
+        let mut body = Vec::new();
+        write_u32(&mut body, module.exports.len() as u32);
+        for e in &module.exports {
+            write_name(&mut body, &e.name);
+            body.push(match e.kind {
+                ExternKind::Func => 0x00,
+                ExternKind::Table => 0x01,
+                ExternKind::Memory => 0x02,
+                ExternKind::Global => 0x03,
+            });
+            write_u32(&mut body, e.index);
+        }
+        write_section(&mut out, 7, &body);
+    }
+
+    // Section 8: start.
+    if let Some(start) = module.start {
+        let mut body = Vec::new();
+        write_u32(&mut body, start);
+        write_section(&mut out, 8, &body);
+    }
+
+    // Section 9: elements.
+    if !module.elems.is_empty() {
+        let mut body = Vec::new();
+        write_u32(&mut body, module.elems.len() as u32);
+        for seg in &module.elems {
+            write_u32(&mut body, 0); // table index 0, active
+            write_const_expr(&mut body, &seg.offset);
+            write_u32(&mut body, seg.funcs.len() as u32);
+            for f in &seg.funcs {
+                write_u32(&mut body, *f);
+            }
+        }
+        write_section(&mut out, 9, &body);
+    }
+
+    // Section 10: code.
+    if !module.funcs.is_empty() {
+        let mut body = Vec::new();
+        write_u32(&mut body, module.funcs.len() as u32);
+        for f in &module.funcs {
+            let mut code = Vec::new();
+            // Compress locals into (count, type) runs.
+            let mut runs: Vec<(u32, ValType)> = Vec::new();
+            for &l in &f.locals {
+                match runs.last_mut() {
+                    Some((n, t)) if *t == l => *n += 1,
+                    _ => runs.push((1, l)),
+                }
+            }
+            write_u32(&mut code, runs.len() as u32);
+            for (n, t) in runs {
+                write_u32(&mut code, n);
+                code.push(t.to_byte());
+            }
+            encode_instrs(&mut code, &f.body);
+            code.push(0x0B); // end
+            write_u32(&mut body, code.len() as u32);
+            body.extend_from_slice(&code);
+        }
+        write_section(&mut out, 10, &body);
+    }
+
+    // Section 11: data.
+    if !module.data.is_empty() {
+        let mut body = Vec::new();
+        write_u32(&mut body, module.data.len() as u32);
+        for seg in &module.data {
+            write_u32(&mut body, 0); // memory index 0, active
+            write_const_expr(&mut body, &seg.offset);
+            write_u32(&mut body, seg.bytes.len() as u32);
+            body.extend_from_slice(&seg.bytes);
+        }
+        write_section(&mut out, 11, &body);
+    }
+
+    out
+}
+
+fn write_section(out: &mut Vec<u8>, id: u8, body: &[u8]) {
+    out.push(id);
+    write_u32(out, body.len() as u32);
+    out.extend_from_slice(body);
+}
+
+fn write_name(out: &mut Vec<u8>, name: &str) {
+    write_u32(out, name.len() as u32);
+    out.extend_from_slice(name.as_bytes());
+}
+
+fn write_limits(out: &mut Vec<u8>, l: Limits) {
+    match l.max {
+        None => {
+            out.push(0x00);
+            write_u32(out, l.min);
+        }
+        Some(max) => {
+            out.push(0x01);
+            write_u32(out, l.min);
+            write_u32(out, max);
+        }
+    }
+}
+
+fn write_const_expr(out: &mut Vec<u8>, e: &ConstExpr) {
+    encode_instr(out, &Instr::Const(e.0));
+    out.push(0x0B);
+}
+
+/// Unsigned LEB128.
+pub fn write_u32(out: &mut Vec<u8>, mut v: u32) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Signed LEB128 (33-bit domain for i32).
+pub fn write_i32(out: &mut Vec<u8>, v: i32) {
+    write_i64(out, i64::from(v));
+}
+
+/// Signed LEB128.
+pub fn write_i64(out: &mut Vec<u8>, mut v: i64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        let sign_clear = byte & 0x40 == 0;
+        if (v == 0 && sign_clear) || (v == -1 && !sign_clear) {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn write_blocktype(out: &mut Vec<u8>, bt: BlockType) {
+    match bt {
+        BlockType::Empty => out.push(0x40),
+        BlockType::Value(t) => out.push(t.to_byte()),
+    }
+}
+
+fn write_memarg(out: &mut Vec<u8>, m: MemArg) {
+    write_u32(out, m.align);
+    write_u32(out, m.offset);
+}
+
+fn encode_instrs(out: &mut Vec<u8>, instrs: &[Instr]) {
+    for i in instrs {
+        encode_instr(out, i);
+    }
+}
+
+fn encode_instr(out: &mut Vec<u8>, instr: &Instr) {
+    use Instr::*;
+    match instr {
+        Unreachable => out.push(0x00),
+        Nop => out.push(0x01),
+        Block(bt, body) => {
+            out.push(0x02);
+            write_blocktype(out, *bt);
+            encode_instrs(out, body);
+            out.push(0x0B);
+        }
+        Loop(bt, body) => {
+            out.push(0x03);
+            write_blocktype(out, *bt);
+            encode_instrs(out, body);
+            out.push(0x0B);
+        }
+        If(bt, then_body, else_body) => {
+            out.push(0x04);
+            write_blocktype(out, *bt);
+            encode_instrs(out, then_body);
+            if !else_body.is_empty() {
+                out.push(0x05);
+                encode_instrs(out, else_body);
+            }
+            out.push(0x0B);
+        }
+        Br(l) => {
+            out.push(0x0C);
+            write_u32(out, *l);
+        }
+        BrIf(l) => {
+            out.push(0x0D);
+            write_u32(out, *l);
+        }
+        BrTable(targets, default) => {
+            out.push(0x0E);
+            write_u32(out, targets.len() as u32);
+            for t in targets {
+                write_u32(out, *t);
+            }
+            write_u32(out, *default);
+        }
+        Return => out.push(0x0F),
+        Call(f) => {
+            out.push(0x10);
+            write_u32(out, *f);
+        }
+        CallIndirect(t) => {
+            out.push(0x11);
+            write_u32(out, *t);
+            out.push(0x00); // table index
+        }
+        Drop => out.push(0x1A),
+        Select => out.push(0x1B),
+        LocalGet(i) => {
+            out.push(0x20);
+            write_u32(out, *i);
+        }
+        LocalSet(i) => {
+            out.push(0x21);
+            write_u32(out, *i);
+        }
+        LocalTee(i) => {
+            out.push(0x22);
+            write_u32(out, *i);
+        }
+        GlobalGet(i) => {
+            out.push(0x23);
+            write_u32(out, *i);
+        }
+        GlobalSet(i) => {
+            out.push(0x24);
+            write_u32(out, *i);
+        }
+        Load(kind, m) => {
+            use LoadKind::*;
+            let op = match kind {
+                I32 => 0x28,
+                I64 => 0x29,
+                F32 => 0x2A,
+                F64 => 0x2B,
+                I32_8S => 0x2C,
+                I32_8U => 0x2D,
+                I32_16S => 0x2E,
+                I32_16U => 0x2F,
+                I64_8S => 0x30,
+                I64_8U => 0x31,
+                I64_16S => 0x32,
+                I64_16U => 0x33,
+                I64_32S => 0x34,
+                I64_32U => 0x35,
+            };
+            out.push(op);
+            write_memarg(out, *m);
+        }
+        Store(kind, m) => {
+            use StoreKind::*;
+            let op = match kind {
+                I32 => 0x36,
+                I64 => 0x37,
+                F32 => 0x38,
+                F64 => 0x39,
+                I32_8 => 0x3A,
+                I32_16 => 0x3B,
+                I64_8 => 0x3C,
+                I64_16 => 0x3D,
+                I64_32 => 0x3E,
+            };
+            out.push(op);
+            write_memarg(out, *m);
+        }
+        MemorySize => {
+            out.push(0x3F);
+            out.push(0x00);
+        }
+        MemoryGrow => {
+            out.push(0x40);
+            out.push(0x00);
+        }
+        MemoryCopy => {
+            out.push(0xFC);
+            write_u32(out, 10);
+            out.push(0x00);
+            out.push(0x00);
+        }
+        MemoryFill => {
+            out.push(0xFC);
+            write_u32(out, 11);
+            out.push(0x00);
+        }
+        Const(v) => match v {
+            Value::I32(x) => {
+                out.push(0x41);
+                write_i32(out, *x);
+            }
+            Value::I64(x) => {
+                out.push(0x42);
+                write_i64(out, *x);
+            }
+            Value::F32(x) => {
+                out.push(0x43);
+                out.extend_from_slice(&x.to_le_bytes());
+            }
+            Value::F64(x) => {
+                out.push(0x44);
+                out.extend_from_slice(&x.to_le_bytes());
+            }
+        },
+        ITestEqz(w) => out.push(match w {
+            IntWidth::W32 => 0x45,
+            IntWidth::W64 => 0x50,
+        }),
+        IRelop(w, op) => {
+            use IRelOp::*;
+            let base = match w {
+                IntWidth::W32 => 0x46,
+                IntWidth::W64 => 0x51,
+            };
+            let off = match op {
+                Eq => 0,
+                Ne => 1,
+                LtS => 2,
+                LtU => 3,
+                GtS => 4,
+                GtU => 5,
+                LeS => 6,
+                LeU => 7,
+                GeS => 8,
+                GeU => 9,
+            };
+            out.push(base + off);
+        }
+        FRelop(w, op) => {
+            use FRelOp::*;
+            let base = match w {
+                FloatWidth::W32 => 0x5B,
+                FloatWidth::W64 => 0x61,
+            };
+            let off = match op {
+                Eq => 0,
+                Ne => 1,
+                Lt => 2,
+                Gt => 3,
+                Le => 4,
+                Ge => 5,
+            };
+            out.push(base + off);
+        }
+        IUnop(w, op) => {
+            use IUnOp::*;
+            let base = match w {
+                IntWidth::W32 => 0x67,
+                IntWidth::W64 => 0x79,
+            };
+            let off = match op {
+                Clz => 0,
+                Ctz => 1,
+                Popcnt => 2,
+            };
+            out.push(base + off);
+        }
+        IBinop(w, op) => {
+            use IBinOp::*;
+            let base = match w {
+                IntWidth::W32 => 0x6A,
+                IntWidth::W64 => 0x7C,
+            };
+            let off = match op {
+                Add => 0,
+                Sub => 1,
+                Mul => 2,
+                DivS => 3,
+                DivU => 4,
+                RemS => 5,
+                RemU => 6,
+                And => 7,
+                Or => 8,
+                Xor => 9,
+                Shl => 10,
+                ShrS => 11,
+                ShrU => 12,
+                Rotl => 13,
+                Rotr => 14,
+            };
+            out.push(base + off);
+        }
+        FUnop(w, op) => {
+            use FUnOp::*;
+            let base = match w {
+                FloatWidth::W32 => 0x8B,
+                FloatWidth::W64 => 0x99,
+            };
+            let off = match op {
+                Abs => 0,
+                Neg => 1,
+                Ceil => 2,
+                Floor => 3,
+                Trunc => 4,
+                Nearest => 5,
+                Sqrt => 6,
+            };
+            out.push(base + off);
+        }
+        FBinop(w, op) => {
+            use FBinOp::*;
+            let base = match w {
+                FloatWidth::W32 => 0x92,
+                FloatWidth::W64 => 0xA0,
+            };
+            let off = match op {
+                Add => 0,
+                Sub => 1,
+                Mul => 2,
+                Div => 3,
+                Min => 4,
+                Max => 5,
+                Copysign => 6,
+            };
+            out.push(base + off);
+        }
+        Cvt(op) => {
+            use CvtOp::*;
+            let byte = match op {
+                I32WrapI64 => 0xA7,
+                I32TruncF32S => 0xA8,
+                I32TruncF32U => 0xA9,
+                I32TruncF64S => 0xAA,
+                I32TruncF64U => 0xAB,
+                I64ExtendI32S => 0xAC,
+                I64ExtendI32U => 0xAD,
+                I64TruncF32S => 0xAE,
+                I64TruncF32U => 0xAF,
+                I64TruncF64S => 0xB0,
+                I64TruncF64U => 0xB1,
+                F32ConvertI32S => 0xB2,
+                F32ConvertI32U => 0xB3,
+                F32ConvertI64S => 0xB4,
+                F32ConvertI64U => 0xB5,
+                F32DemoteF64 => 0xB6,
+                F64ConvertI32S => 0xB7,
+                F64ConvertI32U => 0xB8,
+                F64ConvertI64S => 0xB9,
+                F64ConvertI64U => 0xBA,
+                F64PromoteF32 => 0xBB,
+                I32ReinterpretF32 => 0xBC,
+                I64ReinterpretF64 => 0xBD,
+                F32ReinterpretI32 => 0xBE,
+                F64ReinterpretI64 => 0xBF,
+                I32Extend8S => 0xC0,
+                I32Extend16S => 0xC1,
+                I64Extend8S => 0xC2,
+                I64Extend16S => 0xC3,
+                I64Extend32S => 0xC4,
+            };
+            out.push(byte);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leb_u32() {
+        let mut v = Vec::new();
+        write_u32(&mut v, 0);
+        write_u32(&mut v, 127);
+        write_u32(&mut v, 128);
+        write_u32(&mut v, 624485);
+        assert_eq!(v, vec![0x00, 0x7F, 0x80, 0x01, 0xE5, 0x8E, 0x26]);
+    }
+
+    #[test]
+    fn leb_i32() {
+        let mut v = Vec::new();
+        write_i32(&mut v, -1);
+        assert_eq!(v, vec![0x7F]);
+        v.clear();
+        write_i32(&mut v, -123456);
+        assert_eq!(v, vec![0xC0, 0xBB, 0x78]);
+        v.clear();
+        write_i32(&mut v, 64);
+        assert_eq!(v, vec![0xC0, 0x00]);
+    }
+
+    #[test]
+    fn empty_module_is_header_only() {
+        let m = Module::default();
+        assert_eq!(encode(&m), HEADER.to_vec());
+    }
+
+    #[test]
+    fn minimal_module_has_sections() {
+        let mut b = crate::module::ModuleBuilder::new();
+        let f = b.add_func(
+            crate::types::FuncType::new(vec![], vec![ValType::I32]),
+            vec![],
+            vec![Instr::Const(Value::I32(42))],
+        );
+        b.export_func("answer", f);
+        let bytes = encode(&b.build());
+        assert_eq!(&bytes[..8], &HEADER);
+        // Section ids present: type (1), function (3), export (7), code (10).
+        assert!(bytes[8..].contains(&1));
+        assert!(bytes[8..].contains(&10));
+    }
+}

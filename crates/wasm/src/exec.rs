@@ -1,0 +1,1118 @@
+//! The execution engine: instantiation, host-function linking, and the
+//! dispatch loop over pre-compiled (flattened) code.
+//!
+//! In the paper's architecture this is "the Wasm runtime [that] runs
+//! entirely inside the TEE" (§IV). Host functions registered through the
+//! [`Linker`] model the WASI boundary: inside Twine they are provided by the
+//! trusted WASI layer, which in turn may leave the enclave via OCALLs.
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::compile::{BranchTarget, CompiledModule, Op};
+use crate::instr::{FBinOp, FRelOp, FUnOp, FloatWidth, IBinOp, IRelOp, IUnOp, IntWidth};
+use crate::instr::{CvtOp, LoadKind, StoreKind};
+use crate::memory::Memory;
+use crate::meter::Meter;
+use crate::module::ImportDesc;
+use crate::types::{ExternKind, FuncType, Value};
+use crate::ModuleError;
+
+/// Maximum call depth before [`Trap::StackExhausted`].
+pub const MAX_CALL_DEPTH: usize = 2_048;
+
+/// A runtime trap, terminating execution of the whole instance call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Trap {
+    /// `unreachable` executed.
+    Unreachable,
+    /// Out-of-bounds memory access.
+    MemOutOfBounds,
+    /// Integer division by zero.
+    DivByZero,
+    /// Integer overflow (e.g. `i32::MIN / -1`).
+    IntOverflow,
+    /// Float-to-int conversion of NaN or out-of-range value.
+    InvalidConversion,
+    /// Call stack exhausted.
+    StackExhausted,
+    /// `call_indirect` hit a null table slot.
+    UndefinedElement,
+    /// `call_indirect` signature mismatch.
+    IndirectTypeMismatch,
+    /// The configured fuel budget ran out.
+    OutOfFuel,
+    /// A host function reported an error.
+    Host(String),
+    /// The invoked export does not exist or has the wrong arguments.
+    BadInvoke(String),
+}
+
+impl core::fmt::Display for Trap {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Trap::Unreachable => write!(f, "unreachable executed"),
+            Trap::MemOutOfBounds => write!(f, "out-of-bounds memory access"),
+            Trap::DivByZero => write!(f, "integer division by zero"),
+            Trap::IntOverflow => write!(f, "integer overflow"),
+            Trap::InvalidConversion => write!(f, "invalid float-to-int conversion"),
+            Trap::StackExhausted => write!(f, "call stack exhausted"),
+            Trap::UndefinedElement => write!(f, "undefined table element"),
+            Trap::IndirectTypeMismatch => write!(f, "indirect call type mismatch"),
+            Trap::OutOfFuel => write!(f, "out of fuel"),
+            Trap::Host(m) => write!(f, "host error: {m}"),
+            Trap::BadInvoke(m) => write!(f, "bad invoke: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Trap {}
+
+/// Receives the stream of 4 KiB-page indices touched by guest memory
+/// accesses. The SGX simulator implements this to model EPC paging.
+pub trait PageSink {
+    /// Called when execution touches a page different from the previous one.
+    fn touch(&mut self, page: u64);
+}
+
+/// Context passed to host functions.
+pub struct HostCtx<'a> {
+    /// The guest's linear memory, if it has one.
+    pub memory: Option<&'a mut Memory>,
+    /// User state registered at instantiation (e.g. the WASI implementation).
+    pub data: &'a mut dyn Any,
+}
+
+impl HostCtx<'_> {
+    /// Downcast the user state. Panics if the type does not match — host
+    /// functions and instance creator are part of the same embedding.
+    pub fn state<T: 'static>(&mut self) -> &mut T {
+        self.data.downcast_mut::<T>().expect("host state type")
+    }
+
+    /// The guest memory, or a trap if the module has none.
+    pub fn mem(&mut self) -> Result<&mut Memory, Trap> {
+        self.memory
+            .as_deref_mut()
+            .ok_or_else(|| Trap::Host("module has no memory".into()))
+    }
+}
+
+/// A host (import) function.
+pub type HostFn = Box<dyn FnMut(&mut HostCtx<'_>, &[Value]) -> Result<Vec<Value>, Trap>>;
+
+/// Resolves module imports to host functions.
+#[derive(Default)]
+pub struct Linker {
+    funcs: HashMap<(String, String), (FuncType, HostFn)>,
+}
+
+impl Linker {
+    /// Empty linker.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a host function under `(module, name)`.
+    pub fn func(
+        &mut self,
+        module: &str,
+        name: &str,
+        ty: FuncType,
+        f: impl FnMut(&mut HostCtx<'_>, &[Value]) -> Result<Vec<Value>, Trap> + 'static,
+    ) -> &mut Self {
+        self.funcs
+            .insert((module.to_string(), name.to_string()), (ty, Box::new(f)));
+        self
+    }
+
+    fn take(&mut self, module: &str, name: &str) -> Option<(FuncType, HostFn)> {
+        self.funcs.remove(&(module.to_string(), name.to_string()))
+    }
+}
+
+struct HostSlot {
+    ty: FuncType,
+    f: HostFn,
+}
+
+/// One activation record.
+#[derive(Clone, Copy)]
+struct Frame {
+    /// Local function index (unified index − imports).
+    func: usize,
+    /// Resume point.
+    pc: usize,
+    /// Operand-stack base (args already consumed).
+    opd_base: usize,
+    /// Locals-arena base.
+    locals_base: usize,
+}
+
+/// An instantiated module ready for invocation.
+pub struct Instance {
+    code: Arc<CompiledModule>,
+    memory: Option<Memory>,
+    globals: Vec<u64>,
+    table: Vec<Option<u32>>,
+    host_funcs: Vec<HostSlot>,
+    host_data: Box<dyn Any>,
+    /// Retired-instruction meter (reset/read by the embedder).
+    pub meter: Meter,
+    /// Optional instruction budget; `None` = unlimited.
+    pub fuel: Option<u64>,
+    page_sink: Option<Box<dyn PageSink>>,
+}
+
+impl Instance {
+    /// Instantiate a compiled module, resolving imports from `linker` and
+    /// attaching `host_data` (retrievable in host functions through
+    /// [`HostCtx::state`]). Runs the start function if present.
+    pub fn instantiate(
+        code: Arc<CompiledModule>,
+        mut linker: Linker,
+        host_data: Box<dyn Any>,
+    ) -> Result<Self, ModuleError> {
+        let module = &code.module;
+        // Resolve function imports, in order.
+        let mut host_funcs = Vec::new();
+        for imp in &module.imports {
+            match &imp.desc {
+                ImportDesc::Func(type_idx) => {
+                    let want = &module.types[*type_idx as usize];
+                    let (ty, f) = linker.take(&imp.module, &imp.name).ok_or_else(|| {
+                        ModuleError::Instantiate(format!(
+                            "unresolved import {}.{}",
+                            imp.module, imp.name
+                        ))
+                    })?;
+                    if &ty != want {
+                        return Err(ModuleError::Instantiate(format!(
+                            "import {}.{}: type mismatch (module wants {want}, host provides {ty})",
+                            imp.module, imp.name
+                        )));
+                    }
+                    host_funcs.push(HostSlot { ty, f });
+                }
+                ImportDesc::Memory(_) => {
+                    return Err(ModuleError::Instantiate(
+                        "imported memories are not supported; define the memory in-module".into(),
+                    ))
+                }
+                _ => unreachable!("rejected by validation"),
+            }
+        }
+
+        // Memory + data segments.
+        let mut memory = module.memory.map(Memory::new);
+        for (i, seg) in module.data.iter().enumerate() {
+            let mem = memory.as_mut().ok_or_else(|| {
+                ModuleError::Instantiate(format!("data segment {i} without memory"))
+            })?;
+            let offset = seg.offset.eval().as_i32().unwrap_or(0) as u32;
+            let dst = mem.slice_mut(offset, seg.bytes.len() as u32).ok_or_else(|| {
+                ModuleError::Instantiate(format!("data segment {i} out of bounds"))
+            })?;
+            dst.copy_from_slice(&seg.bytes);
+        }
+
+        // Globals.
+        let globals = module.globals.iter().map(|g| g.init.eval().to_bits()).collect();
+
+        // Table + element segments.
+        let mut table: Vec<Option<u32>> = match module.table {
+            Some(l) => vec![None; l.min as usize],
+            None => Vec::new(),
+        };
+        for (i, seg) in module.elems.iter().enumerate() {
+            let offset = seg.offset.eval().as_i32().unwrap_or(0) as usize;
+            if offset + seg.funcs.len() > table.len() {
+                return Err(ModuleError::Instantiate(format!(
+                    "element segment {i} out of bounds"
+                )));
+            }
+            for (k, f) in seg.funcs.iter().enumerate() {
+                table[offset + k] = Some(*f);
+            }
+        }
+
+        let start = module.start;
+        let mut inst = Self {
+            code,
+            memory,
+            globals,
+            table,
+            host_funcs,
+            host_data,
+            meter: Meter::new(),
+            fuel: None,
+            page_sink: None,
+        };
+        if let Some(s) = start {
+            inst.invoke_index(s, &[])
+                .map_err(|t| ModuleError::Instantiate(format!("start function trapped: {t}")))?;
+        }
+        Ok(inst)
+    }
+
+    /// Attach (or clear) the EPC page sink.
+    pub fn set_page_sink(&mut self, sink: Option<Box<dyn PageSink>>) {
+        self.page_sink = sink;
+    }
+
+    /// Take back the page sink (e.g. to inspect a recording sink).
+    pub fn take_page_sink(&mut self) -> Option<Box<dyn PageSink>> {
+        self.page_sink.take()
+    }
+
+    /// Borrow the guest memory.
+    #[must_use]
+    pub fn memory(&self) -> Option<&Memory> {
+        self.memory.as_ref()
+    }
+
+    /// Mutably borrow the guest memory.
+    pub fn memory_mut(&mut self) -> Option<&mut Memory> {
+        self.memory.as_mut()
+    }
+
+    /// Borrow the host state.
+    pub fn state<T: 'static>(&mut self) -> &mut T {
+        self.host_data.downcast_mut::<T>().expect("host state type")
+    }
+
+    /// Consume the instance and recover the host state (e.g. to reclaim a
+    /// file-system backend for the next run).
+    pub fn into_state<T: 'static>(self) -> Option<T> {
+        self.host_data.downcast::<T>().ok().map(|b| *b)
+    }
+
+    /// The compiled module.
+    #[must_use]
+    pub fn code(&self) -> &CompiledModule {
+        &self.code
+    }
+
+    /// Read a global by index (for tests and embedding).
+    #[must_use]
+    pub fn global(&self, idx: u32) -> Option<Value> {
+        let g = self.code.module.globals.get(idx as usize)?;
+        Some(Value::from_bits(g.ty.ty, self.globals[idx as usize]))
+    }
+
+    /// Invoke an exported function by name.
+    pub fn invoke(&mut self, name: &str, args: &[Value]) -> Result<Vec<Value>, Trap> {
+        let idx = self
+            .code
+            .module
+            .find_export(name, ExternKind::Func)
+            .ok_or_else(|| Trap::BadInvoke(format!("no exported function {name:?}")))?;
+        self.invoke_index(idx, args)
+    }
+
+    /// Invoke a function by unified index.
+    pub fn invoke_index(&mut self, func_idx: u32, args: &[Value]) -> Result<Vec<Value>, Trap> {
+        let ty = self
+            .code
+            .module
+            .func_type(func_idx)
+            .ok_or_else(|| Trap::BadInvoke(format!("function index {func_idx} out of range")))?
+            .clone();
+        if args.len() != ty.params.len() {
+            return Err(Trap::BadInvoke(format!(
+                "expected {} arguments, got {}",
+                ty.params.len(),
+                args.len()
+            )));
+        }
+        for (a, p) in args.iter().zip(ty.params.iter()) {
+            if a.ty() != *p {
+                return Err(Trap::BadInvoke(format!(
+                    "argument type mismatch: expected {p}, got {}",
+                    a.ty()
+                )));
+            }
+        }
+        let n_imports = self.code.module.num_imported_funcs() as usize;
+        if (func_idx as usize) < n_imports {
+            // Directly invoking a host import.
+            let mut opds: Vec<u64> = args.iter().map(|a| a.to_bits()).collect();
+            self.call_host(func_idx as usize, &mut opds)?;
+            let results = ty.results.clone();
+            return Ok(collect_results(&opds, &results));
+        }
+        let mut opds: Vec<u64> = Vec::with_capacity(256);
+        for a in args {
+            opds.push(a.to_bits());
+        }
+        self.run(func_idx as usize - n_imports, &mut opds)?;
+        Ok(collect_results(&opds, &ty.results))
+    }
+
+    // ------------------------------------------------------------------
+    // Host calls
+    // ------------------------------------------------------------------
+
+    fn call_host(&mut self, import_idx: usize, opds: &mut Vec<u64>) -> Result<(), Trap> {
+        let slot = &mut self.host_funcs[import_idx];
+        let n = slot.ty.params.len();
+        let base = opds.len() - n;
+        let args: Vec<Value> = slot
+            .ty
+            .params
+            .iter()
+            .enumerate()
+            .map(|(i, t)| Value::from_bits(*t, opds[base + i]))
+            .collect();
+        opds.truncate(base);
+        let mut ctx = HostCtx {
+            memory: self.memory.as_mut(),
+            data: self.host_data.as_mut(),
+        };
+        let results = (slot.f)(&mut ctx, &args)?;
+        if results.len() != slot.ty.results.len() {
+            return Err(Trap::Host(format!(
+                "host function returned {} values, expected {}",
+                results.len(),
+                slot.ty.results.len()
+            )));
+        }
+        for (r, t) in results.iter().zip(slot.ty.results.iter()) {
+            if r.ty() != *t {
+                return Err(Trap::Host("host function result type mismatch".into()));
+            }
+            opds.push(r.to_bits());
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // The dispatch loop
+    // ------------------------------------------------------------------
+
+    #[allow(clippy::too_many_lines)]
+    fn run(&mut self, entry_func: usize, opds: &mut Vec<u64>) -> Result<(), Trap> {
+        let code = Arc::clone(&self.code);
+        let n_imports = code.module.num_imported_funcs() as usize;
+        let mut locals: Vec<u64> = Vec::with_capacity(256);
+        let mut frames: Vec<Frame> = Vec::with_capacity(64);
+        let mut last_page: u64 = u64::MAX;
+
+        push_frame(&code, entry_func, opds, &mut locals, &mut frames)?;
+
+        'frames: loop {
+            let frame = *frames.last().expect("active frame");
+            let func = &code.funcs[frame.func];
+            let ops = &func.ops;
+            let classes = &func.classes;
+            let mut pc = frame.pc;
+            let lb = frame.locals_base;
+            let ob = frame.opd_base;
+
+            macro_rules! pop {
+                () => {
+                    opds.pop().expect("validated stack")
+                };
+            }
+            macro_rules! top {
+                () => {
+                    *opds.last().expect("validated stack")
+                };
+            }
+            macro_rules! touch_page {
+                ($addr:expr, $off:expr) => {{
+                    let page = (u64::from($addr) + u64::from($off)) >> 12;
+                    if page != last_page {
+                        last_page = page;
+                        self.meter.page_transitions += 1;
+                        if let Some(sink) = self.page_sink.as_deref_mut() {
+                            sink.touch(page);
+                        }
+                    }
+                }};
+            }
+
+            loop {
+                if let Some(fuel) = self.fuel.as_mut() {
+                    if *fuel == 0 {
+                        return Err(Trap::OutOfFuel);
+                    }
+                    *fuel -= 1;
+                }
+                self.meter.bump(classes[pc]);
+                match &ops[pc] {
+                    Op::Unreachable => return Err(Trap::Unreachable),
+                    Op::Br(bt) => {
+                        do_branch(opds, ob, bt);
+                        pc = bt.target as usize;
+                        continue;
+                    }
+                    Op::BrIf(bt) => {
+                        let cond = pop!();
+                        if cond as u32 != 0 {
+                            do_branch(opds, ob, bt);
+                            pc = bt.target as usize;
+                            continue;
+                        }
+                    }
+                    Op::BrTable(table) => {
+                        let idx = pop!() as u32 as usize;
+                        let bt = table.get(idx).unwrap_or_else(|| table.last().expect("default"));
+                        do_branch(opds, ob, bt);
+                        pc = bt.target as usize;
+                        continue;
+                    }
+                    Op::Jump(t) => {
+                        pc = *t as usize;
+                        continue;
+                    }
+                    Op::JumpIfZero(t) => {
+                        let cond = pop!();
+                        if cond as u32 == 0 {
+                            pc = *t as usize;
+                            continue;
+                        }
+                    }
+                    Op::Return | Op::End => {
+                        let n_results = func.n_results;
+                        let from = opds.len() - n_results;
+                        for k in 0..n_results {
+                            opds[ob + k] = opds[from + k];
+                        }
+                        opds.truncate(ob + n_results);
+                        locals.truncate(lb);
+                        frames.pop();
+                        if frames.is_empty() {
+                            return Ok(());
+                        }
+                        continue 'frames;
+                    }
+                    Op::Call(g) => {
+                        let g = *g as usize;
+                        if g < n_imports {
+                            self.call_host(g, opds)?;
+                        } else {
+                            frames.last_mut().expect("frame").pc = pc + 1;
+                            push_frame(&code, g - n_imports, opds, &mut locals, &mut frames)?;
+                            continue 'frames;
+                        }
+                    }
+                    Op::CallIndirect(type_idx) => {
+                        let idx = pop!() as u32 as usize;
+                        let g = self
+                            .table
+                            .get(idx)
+                            .copied()
+                            .flatten()
+                            .ok_or(Trap::UndefinedElement)? as usize;
+                        let want = &code.module.types[*type_idx as usize];
+                        let got = code
+                            .module
+                            .func_type(g as u32)
+                            .ok_or(Trap::UndefinedElement)?;
+                        if want != got {
+                            return Err(Trap::IndirectTypeMismatch);
+                        }
+                        if g < n_imports {
+                            self.call_host(g, opds)?;
+                        } else {
+                            frames.last_mut().expect("frame").pc = pc + 1;
+                            push_frame(&code, g - n_imports, opds, &mut locals, &mut frames)?;
+                            continue 'frames;
+                        }
+                    }
+                    Op::Drop => {
+                        pop!();
+                    }
+                    Op::Select => {
+                        let c = pop!() as u32;
+                        let v2 = pop!();
+                        let v1 = pop!();
+                        opds.push(if c != 0 { v1 } else { v2 });
+                    }
+                    Op::LocalGet(i) => opds.push(locals[lb + *i as usize]),
+                    Op::LocalSet(i) => locals[lb + *i as usize] = pop!(),
+                    Op::LocalTee(i) => locals[lb + *i as usize] = top!(),
+                    Op::GlobalGet(i) => opds.push(self.globals[*i as usize]),
+                    Op::GlobalSet(i) => self.globals[*i as usize] = pop!(),
+                    Op::Load(kind, off) => {
+                        let addr = pop!() as u32;
+                        touch_page!(addr, *off);
+                        let mem = self.memory.as_ref().expect("validated memory");
+                        let v = load_value(mem, *kind, addr, *off).ok_or(Trap::MemOutOfBounds)?;
+                        self.meter.bytes_accessed += kind.width() as u64;
+                        opds.push(v);
+                    }
+                    Op::Store(kind, off) => {
+                        let v = pop!();
+                        let addr = pop!() as u32;
+                        touch_page!(addr, *off);
+                        let mem = self.memory.as_mut().expect("validated memory");
+                        store_value(mem, *kind, addr, *off, v).ok_or(Trap::MemOutOfBounds)?;
+                        self.meter.bytes_accessed += kind.width() as u64;
+                    }
+                    Op::MemorySize => {
+                        let mem = self.memory.as_ref().expect("validated memory");
+                        opds.push(u64::from(mem.size_pages()));
+                    }
+                    Op::MemoryGrow => {
+                        let delta = pop!() as u32;
+                        let mem = self.memory.as_mut().expect("validated memory");
+                        let r = match mem.grow(delta) {
+                            Some(old) => old as i32,
+                            None => -1,
+                        };
+                        opds.push(r as u32 as u64);
+                    }
+                    Op::MemoryCopy => {
+                        let len = pop!() as u32;
+                        let src = pop!() as u32;
+                        let dst = pop!() as u32;
+                        let mem = self.memory.as_mut().expect("validated memory");
+                        mem.copy_within(dst, src, len).ok_or(Trap::MemOutOfBounds)?;
+                        self.meter.bytes_accessed += u64::from(len) * 2;
+                    }
+                    Op::MemoryFill => {
+                        let len = pop!() as u32;
+                        let val = pop!() as u32 as u8;
+                        let dst = pop!() as u32;
+                        let mem = self.memory.as_mut().expect("validated memory");
+                        mem.fill(dst, val, len).ok_or(Trap::MemOutOfBounds)?;
+                        self.meter.bytes_accessed += u64::from(len);
+                    }
+                    Op::Const(bits) => opds.push(*bits),
+                    Op::ITestEqz(w) => {
+                        let v = pop!();
+                        let z = match w {
+                            IntWidth::W32 => v as u32 == 0,
+                            IntWidth::W64 => v == 0,
+                        };
+                        opds.push(u64::from(z));
+                    }
+                    Op::IUnop(w, op) => {
+                        let v = pop!();
+                        opds.push(iunop(*w, *op, v));
+                    }
+                    Op::IBinop(w, op) => {
+                        let b = pop!();
+                        let a = pop!();
+                        opds.push(ibinop(*w, *op, a, b)?);
+                    }
+                    Op::IRelop(w, op) => {
+                        let b = pop!();
+                        let a = pop!();
+                        opds.push(u64::from(irelop(*w, *op, a, b)));
+                    }
+                    Op::FUnop(w, op) => {
+                        let v = pop!();
+                        opds.push(funop(*w, *op, v));
+                    }
+                    Op::FBinop(w, op) => {
+                        let b = pop!();
+                        let a = pop!();
+                        opds.push(fbinop(*w, *op, a, b));
+                    }
+                    Op::FRelop(w, op) => {
+                        let b = pop!();
+                        let a = pop!();
+                        opds.push(u64::from(frelop(*w, *op, a, b)));
+                    }
+                    Op::Cvt(op) => {
+                        let v = pop!();
+                        opds.push(cvt(*op, v)?);
+                    }
+                }
+                pc += 1;
+            }
+        }
+    }
+}
+
+fn collect_results(opds: &[u64], results: &[crate::types::ValType]) -> Vec<Value> {
+    results
+        .iter()
+        .enumerate()
+        .map(|(i, t)| Value::from_bits(*t, opds[opds.len() - results.len() + i]))
+        .collect()
+}
+
+fn push_frame(
+    code: &CompiledModule,
+    local_func: usize,
+    opds: &mut Vec<u64>,
+    locals: &mut Vec<u64>,
+    frames: &mut Vec<Frame>,
+) -> Result<(), Trap> {
+    if frames.len() >= MAX_CALL_DEPTH {
+        return Err(Trap::StackExhausted);
+    }
+    let func = &code.funcs[local_func];
+    let locals_base = locals.len();
+    let args_start = opds.len() - func.n_params;
+    locals.extend_from_slice(&opds[args_start..]);
+    locals.resize(locals_base + func.n_locals, 0);
+    opds.truncate(args_start);
+    frames.push(Frame {
+        func: local_func,
+        pc: 0,
+        opd_base: opds.len(),
+        locals_base,
+    });
+    Ok(())
+}
+
+#[inline]
+fn do_branch(opds: &mut Vec<u64>, base: usize, bt: &BranchTarget) {
+    let dest = base + bt.height as usize;
+    let arity = bt.arity as usize;
+    let from = opds.len() - arity;
+    for k in 0..arity {
+        opds[dest + k] = opds[from + k];
+    }
+    opds.truncate(dest + arity);
+}
+
+// ---------------------------------------------------------------------
+// Numeric semantics
+// ---------------------------------------------------------------------
+
+fn load_value(mem: &Memory, kind: LoadKind, addr: u32, off: u32) -> Option<u64> {
+    use LoadKind::*;
+    Some(match kind {
+        I32 => u64::from(u32::from_le_bytes(mem.read::<4>(addr, off)?)),
+        I64 => u64::from_le_bytes(mem.read::<8>(addr, off)?),
+        F32 => u64::from(u32::from_le_bytes(mem.read::<4>(addr, off)?)),
+        F64 => u64::from_le_bytes(mem.read::<8>(addr, off)?),
+        I32_8S => i64::from(mem.read::<1>(addr, off)?[0] as i8) as u32 as u64,
+        I32_8U => u64::from(mem.read::<1>(addr, off)?[0]),
+        I32_16S => i64::from(i16::from_le_bytes(mem.read::<2>(addr, off)?)) as u32 as u64,
+        I32_16U => u64::from(u16::from_le_bytes(mem.read::<2>(addr, off)?)),
+        I64_8S => (i64::from(mem.read::<1>(addr, off)?[0] as i8)) as u64,
+        I64_8U => u64::from(mem.read::<1>(addr, off)?[0]),
+        I64_16S => i64::from(i16::from_le_bytes(mem.read::<2>(addr, off)?)) as u64,
+        I64_16U => u64::from(u16::from_le_bytes(mem.read::<2>(addr, off)?)),
+        I64_32S => i64::from(i32::from_le_bytes(mem.read::<4>(addr, off)?)) as u64,
+        I64_32U => u64::from(u32::from_le_bytes(mem.read::<4>(addr, off)?)),
+    })
+}
+
+fn store_value(mem: &mut Memory, kind: StoreKind, addr: u32, off: u32, v: u64) -> Option<()> {
+    use StoreKind::*;
+    match kind {
+        I32 | F32 => mem.write::<4>(addr, off, (v as u32).to_le_bytes()),
+        I64 | F64 => mem.write::<8>(addr, off, v.to_le_bytes()),
+        I32_8 | I64_8 => mem.write::<1>(addr, off, [v as u8]),
+        I32_16 | I64_16 => mem.write::<2>(addr, off, (v as u16).to_le_bytes()),
+        I64_32 => mem.write::<4>(addr, off, (v as u32).to_le_bytes()),
+    }
+}
+
+fn iunop(w: IntWidth, op: IUnOp, v: u64) -> u64 {
+    match w {
+        IntWidth::W32 => {
+            let x = v as u32;
+            let r = match op {
+                IUnOp::Clz => x.leading_zeros(),
+                IUnOp::Ctz => x.trailing_zeros(),
+                IUnOp::Popcnt => x.count_ones(),
+            };
+            u64::from(r)
+        }
+        IntWidth::W64 => {
+            let r = match op {
+                IUnOp::Clz => v.leading_zeros(),
+                IUnOp::Ctz => v.trailing_zeros(),
+                IUnOp::Popcnt => v.count_ones(),
+            };
+            u64::from(r)
+        }
+    }
+}
+
+fn ibinop(w: IntWidth, op: IBinOp, a: u64, b: u64) -> Result<u64, Trap> {
+    use IBinOp::*;
+    match w {
+        IntWidth::W32 => {
+            let x = a as u32;
+            let y = b as u32;
+            let r: u32 = match op {
+                Add => x.wrapping_add(y),
+                Sub => x.wrapping_sub(y),
+                Mul => x.wrapping_mul(y),
+                DivS => {
+                    let (x, y) = (x as i32, y as i32);
+                    if y == 0 {
+                        return Err(Trap::DivByZero);
+                    }
+                    if x == i32::MIN && y == -1 {
+                        return Err(Trap::IntOverflow);
+                    }
+                    (x / y) as u32
+                }
+                DivU => {
+                    if y == 0 {
+                        return Err(Trap::DivByZero);
+                    }
+                    x / y
+                }
+                RemS => {
+                    let (x, y) = (x as i32, y as i32);
+                    if y == 0 {
+                        return Err(Trap::DivByZero);
+                    }
+                    x.wrapping_rem(y) as u32
+                }
+                RemU => {
+                    if y == 0 {
+                        return Err(Trap::DivByZero);
+                    }
+                    x % y
+                }
+                And => x & y,
+                Or => x | y,
+                Xor => x ^ y,
+                Shl => x.wrapping_shl(y),
+                ShrS => ((x as i32).wrapping_shr(y)) as u32,
+                ShrU => x.wrapping_shr(y),
+                Rotl => x.rotate_left(y & 31),
+                Rotr => x.rotate_right(y & 31),
+            };
+            Ok(u64::from(r))
+        }
+        IntWidth::W64 => {
+            let x = a;
+            let y = b;
+            let r: u64 = match op {
+                Add => x.wrapping_add(y),
+                Sub => x.wrapping_sub(y),
+                Mul => x.wrapping_mul(y),
+                DivS => {
+                    let (x, y) = (x as i64, y as i64);
+                    if y == 0 {
+                        return Err(Trap::DivByZero);
+                    }
+                    if x == i64::MIN && y == -1 {
+                        return Err(Trap::IntOverflow);
+                    }
+                    (x / y) as u64
+                }
+                DivU => {
+                    if y == 0 {
+                        return Err(Trap::DivByZero);
+                    }
+                    x / y
+                }
+                RemS => {
+                    let (x, y) = (x as i64, y as i64);
+                    if y == 0 {
+                        return Err(Trap::DivByZero);
+                    }
+                    x.wrapping_rem(y) as u64
+                }
+                RemU => {
+                    if y == 0 {
+                        return Err(Trap::DivByZero);
+                    }
+                    x % y
+                }
+                And => x & y,
+                Or => x | y,
+                Xor => x ^ y,
+                Shl => x.wrapping_shl(y as u32),
+                ShrS => ((x as i64).wrapping_shr(y as u32)) as u64,
+                ShrU => x.wrapping_shr(y as u32),
+                Rotl => x.rotate_left((y & 63) as u32),
+                Rotr => x.rotate_right((y & 63) as u32),
+            };
+            Ok(r)
+        }
+    }
+}
+
+fn irelop(w: IntWidth, op: IRelOp, a: u64, b: u64) -> bool {
+    use IRelOp::*;
+    match w {
+        IntWidth::W32 => {
+            let (xu, yu) = (a as u32, b as u32);
+            let (xs, ys) = (xu as i32, yu as i32);
+            match op {
+                Eq => xu == yu,
+                Ne => xu != yu,
+                LtS => xs < ys,
+                LtU => xu < yu,
+                GtS => xs > ys,
+                GtU => xu > yu,
+                LeS => xs <= ys,
+                LeU => xu <= yu,
+                GeS => xs >= ys,
+                GeU => xu >= yu,
+            }
+        }
+        IntWidth::W64 => {
+            let (xu, yu) = (a, b);
+            let (xs, ys) = (xu as i64, yu as i64);
+            match op {
+                Eq => xu == yu,
+                Ne => xu != yu,
+                LtS => xs < ys,
+                LtU => xu < yu,
+                GtS => xs > ys,
+                GtU => xu > yu,
+                LeS => xs <= ys,
+                LeU => xu <= yu,
+                GeS => xs >= ys,
+                GeU => xu >= yu,
+            }
+        }
+    }
+}
+
+fn funop(w: FloatWidth, op: FUnOp, v: u64) -> u64 {
+    use FUnOp::*;
+    match w {
+        FloatWidth::W32 => {
+            let x = f32::from_bits(v as u32);
+            let r = match op {
+                Abs => x.abs(),
+                Neg => -x,
+                Ceil => x.ceil(),
+                Floor => x.floor(),
+                Trunc => x.trunc(),
+                Nearest => x.round_ties_even(),
+                Sqrt => x.sqrt(),
+            };
+            u64::from(r.to_bits())
+        }
+        FloatWidth::W64 => {
+            let x = f64::from_bits(v);
+            let r = match op {
+                Abs => x.abs(),
+                Neg => -x,
+                Ceil => x.ceil(),
+                Floor => x.floor(),
+                Trunc => x.trunc(),
+                Nearest => x.round_ties_even(),
+                Sqrt => x.sqrt(),
+            };
+            r.to_bits()
+        }
+    }
+}
+
+fn fmin<T: num_float::Float>(a: T, b: T) -> T {
+    if a.is_nan() || b.is_nan() {
+        T::nan()
+    } else if a < b {
+        a
+    } else if b < a {
+        b
+    } else if a.is_sign_negative() {
+        a
+    } else {
+        b
+    }
+}
+
+fn fmax<T: num_float::Float>(a: T, b: T) -> T {
+    if a.is_nan() || b.is_nan() {
+        T::nan()
+    } else if a > b {
+        a
+    } else if b > a {
+        b
+    } else if a.is_sign_positive() {
+        a
+    } else {
+        b
+    }
+}
+
+/// Minimal float abstraction so `fmin`/`fmax` are width-generic without an
+/// external num crate.
+mod num_float {
+    pub trait Float: Copy + PartialOrd {
+        fn is_nan(self) -> bool;
+        fn nan() -> Self;
+        fn is_sign_negative(self) -> bool;
+        fn is_sign_positive(self) -> bool;
+    }
+    impl Float for f32 {
+        fn is_nan(self) -> bool {
+            f32::is_nan(self)
+        }
+        fn nan() -> Self {
+            f32::NAN
+        }
+        fn is_sign_negative(self) -> bool {
+            f32::is_sign_negative(self)
+        }
+        fn is_sign_positive(self) -> bool {
+            f32::is_sign_positive(self)
+        }
+    }
+    impl Float for f64 {
+        fn is_nan(self) -> bool {
+            f64::is_nan(self)
+        }
+        fn nan() -> Self {
+            f64::NAN
+        }
+        fn is_sign_negative(self) -> bool {
+            f64::is_sign_negative(self)
+        }
+        fn is_sign_positive(self) -> bool {
+            f64::is_sign_positive(self)
+        }
+    }
+}
+
+fn fbinop(w: FloatWidth, op: FBinOp, a: u64, b: u64) -> u64 {
+    use FBinOp::*;
+    match w {
+        FloatWidth::W32 => {
+            let x = f32::from_bits(a as u32);
+            let y = f32::from_bits(b as u32);
+            let r = match op {
+                Add => x + y,
+                Sub => x - y,
+                Mul => x * y,
+                Div => x / y,
+                Min => fmin(x, y),
+                Max => fmax(x, y),
+                Copysign => x.copysign(y),
+            };
+            u64::from(r.to_bits())
+        }
+        FloatWidth::W64 => {
+            let x = f64::from_bits(a);
+            let y = f64::from_bits(b);
+            let r = match op {
+                Add => x + y,
+                Sub => x - y,
+                Mul => x * y,
+                Div => x / y,
+                Min => fmin(x, y),
+                Max => fmax(x, y),
+                Copysign => x.copysign(y),
+            };
+            r.to_bits()
+        }
+    }
+}
+
+fn frelop(w: FloatWidth, op: FRelOp, a: u64, b: u64) -> bool {
+    use FRelOp::*;
+    match w {
+        FloatWidth::W32 => {
+            let x = f32::from_bits(a as u32);
+            let y = f32::from_bits(b as u32);
+            match op {
+                Eq => x == y,
+                Ne => x != y,
+                Lt => x < y,
+                Gt => x > y,
+                Le => x <= y,
+                Ge => x >= y,
+            }
+        }
+        FloatWidth::W64 => {
+            let x = f64::from_bits(a);
+            let y = f64::from_bits(b);
+            match op {
+                Eq => x == y,
+                Ne => x != y,
+                Lt => x < y,
+                Gt => x > y,
+                Le => x <= y,
+                Ge => x >= y,
+            }
+        }
+    }
+}
+
+/// Checked float→int truncation per the spec (traps on NaN/out-of-range).
+fn trunc_checked(x: f64, min_excl: f64, max_excl: f64) -> Result<f64, Trap> {
+    if x.is_nan() {
+        return Err(Trap::InvalidConversion);
+    }
+    let t = x.trunc();
+    if t <= min_excl || t >= max_excl {
+        return Err(Trap::IntOverflow);
+    }
+    Ok(t)
+}
+
+fn cvt(op: CvtOp, v: u64) -> Result<u64, Trap> {
+    use CvtOp::*;
+    Ok(match op {
+        I32WrapI64 => v as u32 as u64,
+        I64ExtendI32S => (v as u32 as i32 as i64) as u64,
+        I64ExtendI32U => u64::from(v as u32),
+        I32TruncF32S => {
+            let t = trunc_checked(f64::from(f32::from_bits(v as u32)), -2_147_483_649.0, 2_147_483_648.0)?;
+            (t as i32) as u32 as u64
+        }
+        I32TruncF32U => {
+            let t = trunc_checked(f64::from(f32::from_bits(v as u32)), -1.0, 4_294_967_296.0)?;
+            u64::from(t as u32)
+        }
+        I32TruncF64S => {
+            let t = trunc_checked(f64::from_bits(v), -2_147_483_649.0, 2_147_483_648.0)?;
+            (t as i32) as u32 as u64
+        }
+        I32TruncF64U => {
+            let t = trunc_checked(f64::from_bits(v), -1.0, 4_294_967_296.0)?;
+            u64::from(t as u32)
+        }
+        I64TruncF32S | I64TruncF64S => {
+            let x = if op == I64TruncF32S {
+                f64::from(f32::from_bits(v as u32))
+            } else {
+                f64::from_bits(v)
+            };
+            if x.is_nan() {
+                return Err(Trap::InvalidConversion);
+            }
+            let t = x.trunc();
+            // 2^63 is exactly representable; i64::MIN too.
+            if t >= 9_223_372_036_854_775_808.0 || t < -9_223_372_036_854_775_808.0 {
+                return Err(Trap::IntOverflow);
+            }
+            (t as i64) as u64
+        }
+        I64TruncF32U | I64TruncF64U => {
+            let x = if op == I64TruncF32U {
+                f64::from(f32::from_bits(v as u32))
+            } else {
+                f64::from_bits(v)
+            };
+            if x.is_nan() {
+                return Err(Trap::InvalidConversion);
+            }
+            let t = x.trunc();
+            if t >= 18_446_744_073_709_551_616.0 || t <= -1.0 {
+                return Err(Trap::IntOverflow);
+            }
+            t as u64
+        }
+        F32ConvertI32S => u64::from(((v as u32 as i32) as f32).to_bits()),
+        F32ConvertI32U => u64::from(((v as u32) as f32).to_bits()),
+        F32ConvertI64S => u64::from(((v as i64) as f32).to_bits()),
+        F32ConvertI64U => u64::from((v as f32).to_bits()),
+        F64ConvertI32S => ((v as u32 as i32) as f64).to_bits(),
+        F64ConvertI32U => ((v as u32) as f64).to_bits(),
+        F64ConvertI64S => ((v as i64) as f64).to_bits(),
+        F64ConvertI64U => (v as f64).to_bits(),
+        F32DemoteF64 => u64::from((f64::from_bits(v) as f32).to_bits()),
+        F64PromoteF32 => f64::from(f32::from_bits(v as u32)).to_bits(),
+        I32ReinterpretF32 | F32ReinterpretI32 => v & 0xFFFF_FFFF,
+        I64ReinterpretF64 | F64ReinterpretI64 => v,
+        I32Extend8S => (v as u8 as i8 as i32) as u32 as u64,
+        I32Extend16S => (v as u16 as i16 as i32) as u32 as u64,
+        I64Extend8S => (v as u8 as i8 as i64) as u64,
+        I64Extend16S => (v as u16 as i16 as i64) as u64,
+        I64Extend32S => (v as u32 as i32 as i64) as u64,
+    })
+}

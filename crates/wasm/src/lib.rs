@@ -1,0 +1,77 @@
+//! # twine-wasm
+//!
+//! A from-scratch WebAssembly (MVP + sign-extension + bulk-memory subset)
+//! engine: the stand-in for WAMR, the runtime the paper embeds inside SGX
+//! enclaves (§III-B, §IV-B).
+//!
+//! Pipeline, mirroring the WAMR AoT flow the paper uses:
+//!
+//! ```text
+//! .wasm bytes ──decode──▶ Module ──validate──▶ CompiledModule (flattened,
+//!      ▲                                        jump-resolved "AoT" code)
+//!      │ encode                                     │
+//! ModuleBuilder (used by twine-minicc,              ▼
+//! the Clang/LLVM stand-in)                    Instance::invoke
+//! ```
+//!
+//! * [`module`] — structural representation of a module and a builder API.
+//! * [`instr`] — the instruction AST produced by the decoder.
+//! * [`decode`] / [`encode`] — the binary format (LEB128, sections).
+//! * [`validate`] — full stack-polymorphic type checking.
+//! * [`compile`] — flattening to linear, jump-resolved opcodes. This is the
+//!   functional analogue of WAMR's `wamrc` ahead-of-time compiler: it is run
+//!   *before* the module enters the enclave, and the enclave only executes
+//!   pre-compiled code (the paper's Twine contains no interpreter, §IV-B).
+//! * [`exec`] — the execution engine with per-class instruction metering and
+//!   a page-touch hook that drives the SGX EPC simulator.
+//! * [`memory`] — sandboxed linear memory.
+//!
+//! Because no offline toolchain can produce native x86 from Wasm here, the
+//! engine *executes* compiled code by dispatch, and execution **time** for
+//! benchmarking is derived from the metered instruction stream via the cost
+//! models in `twine-baselines` (see DESIGN.md §4). Functional semantics are
+//! real and extensively tested.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod compile;
+pub mod decode;
+pub mod encode;
+pub mod exec;
+pub mod instr;
+pub mod memory;
+pub mod meter;
+pub mod module;
+pub mod types;
+pub mod validate;
+
+pub use compile::CompiledModule;
+pub use exec::{HostCtx, HostFn, Instance, Linker, PageSink, Trap};
+pub use memory::Memory;
+pub use meter::{InstrClass, Meter};
+pub use module::{Module, ModuleBuilder};
+pub use types::{FuncType, Limits, ValType, Value};
+
+/// Errors arising while handling a module before execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModuleError {
+    /// Malformed binary (decoder error) with a description.
+    Decode(String),
+    /// The module failed validation.
+    Validate(String),
+    /// Instantiation failed (missing import, limit mismatch, ...).
+    Instantiate(String),
+}
+
+impl core::fmt::Display for ModuleError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ModuleError::Decode(m) => write!(f, "decode error: {m}"),
+            ModuleError::Validate(m) => write!(f, "validation error: {m}"),
+            ModuleError::Instantiate(m) => write!(f, "instantiation error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ModuleError {}

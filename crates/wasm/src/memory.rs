@@ -1,0 +1,183 @@
+//! Sandboxed linear memory.
+//!
+//! The Wasm sandbox guarantee the paper leans on (§IV: the two-way sandbox)
+//! is enforced here: every access is bounds-checked against the current
+//! memory size, and memory can only grow through `memory.grow` within the
+//! declared limits. The 4 KiB *EPC page* access pattern used by the SGX
+//! simulator is derived from addresses flowing through this module.
+
+use crate::types::Limits;
+
+/// Size of a WebAssembly page (64 KiB).
+pub const PAGE_SIZE: usize = 65_536;
+
+/// Hard cap on memory size (4 GiB address space / 64 Ki pages).
+pub const MAX_PAGES: u32 = 65_536;
+
+/// A linear memory instance.
+#[derive(Debug, Clone)]
+pub struct Memory {
+    data: Vec<u8>,
+    limits: Limits,
+}
+
+impl Memory {
+    /// Allocate a memory with the given limits.
+    #[must_use]
+    pub fn new(limits: Limits) -> Self {
+        let pages = limits.min.min(MAX_PAGES);
+        Self {
+            data: vec![0; pages as usize * PAGE_SIZE],
+            limits,
+        }
+    }
+
+    /// Current size in pages.
+    #[must_use]
+    pub fn size_pages(&self) -> u32 {
+        (self.data.len() / PAGE_SIZE) as u32
+    }
+
+    /// Current size in bytes.
+    #[must_use]
+    pub fn size_bytes(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Grow by `delta` pages. Returns the previous size in pages, or `None`
+    /// if the growth exceeds the limits (the Wasm `-1` result).
+    pub fn grow(&mut self, delta: u32) -> Option<u32> {
+        let old = self.size_pages();
+        let new = old.checked_add(delta)?;
+        let max = self.limits.max.unwrap_or(MAX_PAGES).min(MAX_PAGES);
+        if new > max {
+            return None;
+        }
+        self.data.resize(new as usize * PAGE_SIZE, 0);
+        Some(old)
+    }
+
+    /// Read `N` bytes at `addr` (+`offset`), bounds-checked.
+    pub fn read<const N: usize>(&self, addr: u32, offset: u32) -> Option<[u8; N]> {
+        let start = effective_addr(addr, offset, N, self.data.len())?;
+        let mut out = [0u8; N];
+        out.copy_from_slice(&self.data[start..start + N]);
+        Some(out)
+    }
+
+    /// Write `N` bytes at `addr` (+`offset`), bounds-checked.
+    pub fn write<const N: usize>(&mut self, addr: u32, offset: u32, bytes: [u8; N]) -> Option<()> {
+        let start = effective_addr(addr, offset, N, self.data.len())?;
+        self.data[start..start + N].copy_from_slice(&bytes);
+        Some(())
+    }
+
+    /// Borrow a byte range (used by host functions / WASI to read buffers).
+    pub fn slice(&self, addr: u32, len: u32) -> Option<&[u8]> {
+        let start = effective_addr(addr, 0, len as usize, self.data.len())?;
+        Some(&self.data[start..start + len as usize])
+    }
+
+    /// Mutably borrow a byte range (used by WASI to fill buffers).
+    pub fn slice_mut(&mut self, addr: u32, len: u32) -> Option<&mut [u8]> {
+        let start = effective_addr(addr, 0, len as usize, self.data.len())?;
+        Some(&mut self.data[start..start + len as usize])
+    }
+
+    /// `memory.copy` semantics (overlap-safe). Returns `None` on OOB.
+    pub fn copy_within(&mut self, dst: u32, src: u32, len: u32) -> Option<()> {
+        let n = len as usize;
+        let d = effective_addr(dst, 0, n, self.data.len())?;
+        let s = effective_addr(src, 0, n, self.data.len())?;
+        self.data.copy_within(s..s + n, d);
+        Some(())
+    }
+
+    /// `memory.fill` semantics. Returns `None` on OOB.
+    pub fn fill(&mut self, dst: u32, value: u8, len: u32) -> Option<()> {
+        let n = len as usize;
+        let d = effective_addr(dst, 0, n, self.data.len())?;
+        self.data[d..d + n].fill(value);
+        Some(())
+    }
+
+    /// Read a NUL-terminated string (for host diagnostics).
+    pub fn read_cstr(&self, addr: u32, max_len: u32) -> Option<String> {
+        let slice = self.slice(addr, max_len.min((self.data.len() as u64).min(u64::from(u32::MAX)) as u32 - addr.min(self.data.len() as u32)))?;
+        let end = slice.iter().position(|&b| b == 0)?;
+        String::from_utf8(slice[..end].to_vec()).ok()
+    }
+}
+
+/// Compute the effective start address of an access, checking bounds.
+#[inline]
+fn effective_addr(addr: u32, offset: u32, width: usize, mem_len: usize) -> Option<usize> {
+    let start = u64::from(addr) + u64::from(offset);
+    let end = start + width as u64;
+    if end > mem_len as u64 {
+        return None;
+    }
+    Some(start as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_read_write() {
+        let mut m = Memory::new(Limits::at_least(1));
+        m.write::<4>(100, 0, 0xDEAD_BEEFu32.to_le_bytes()).unwrap();
+        assert_eq!(
+            u32::from_le_bytes(m.read::<4>(100, 0).unwrap()),
+            0xDEAD_BEEF
+        );
+        assert_eq!(u32::from_le_bytes(m.read::<4>(96, 4).unwrap()), 0xDEAD_BEEF);
+    }
+
+    #[test]
+    fn bounds_checked() {
+        let mut m = Memory::new(Limits::at_least(1));
+        assert!(m.read::<4>(PAGE_SIZE as u32 - 4, 0).is_some());
+        assert!(m.read::<4>(PAGE_SIZE as u32 - 3, 0).is_none());
+        assert!(m.write::<8>(PAGE_SIZE as u32 - 7, 0, [0; 8]).is_none());
+        // Offset + addr overflow must not wrap.
+        assert!(m.read::<1>(u32::MAX, u32::MAX).is_none());
+    }
+
+    #[test]
+    fn grow_respects_max() {
+        let mut m = Memory::new(Limits::bounded(1, 3));
+        assert_eq!(m.grow(1), Some(1));
+        assert_eq!(m.size_pages(), 2);
+        assert_eq!(m.grow(2), None, "would exceed max");
+        assert_eq!(m.grow(1), Some(2));
+        assert_eq!(m.grow(1), None);
+        assert_eq!(m.size_pages(), 3);
+    }
+
+    #[test]
+    fn grown_memory_zeroed() {
+        let mut m = Memory::new(Limits::at_least(0));
+        assert_eq!(m.size_pages(), 0);
+        assert!(m.read::<1>(0, 0).is_none());
+        m.grow(1).unwrap();
+        assert_eq!(m.read::<1>(0, 0), Some([0]));
+    }
+
+    #[test]
+    fn copy_overlapping() {
+        let mut m = Memory::new(Limits::at_least(1));
+        m.slice_mut(0, 8).unwrap().copy_from_slice(b"abcdefgh");
+        m.copy_within(2, 0, 6).unwrap();
+        assert_eq!(m.slice(0, 8).unwrap(), b"ababcdef");
+    }
+
+    #[test]
+    fn fill_and_oob_fill() {
+        let mut m = Memory::new(Limits::at_least(1));
+        m.fill(10, 0xAA, 4).unwrap();
+        assert_eq!(m.slice(9, 6).unwrap(), &[0, 0xAA, 0xAA, 0xAA, 0xAA, 0]);
+        assert!(m.fill(PAGE_SIZE as u32 - 1, 0xBB, 2).is_none());
+    }
+}

@@ -1,0 +1,171 @@
+//! Instruction metering.
+//!
+//! The execution engine counts every retired instruction, bucketed by class.
+//! The per-class stream is the raw material for the virtual-time cost models
+//! in `twine-baselines`: native, WAMR-AoT and Twine-AoT execution times for
+//! a kernel are all derived from the *same* metered run, so per-kernel
+//! differences in Figure 3 emerge from real instruction mixes rather than
+//! per-kernel constants (DESIGN.md §4).
+
+/// Coarse instruction classes with distinct relative costs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InstrClass {
+    /// Constants, local/global access, parametric ops.
+    Simple,
+    /// Integer ALU operations.
+    IntArith,
+    /// Integer division/remainder (microcoded, slower).
+    IntDiv,
+    /// Floating-point arithmetic.
+    FloatArith,
+    /// Floating-point division and square root.
+    FloatDiv,
+    /// Comparisons and conversions.
+    Compare,
+    /// Memory loads.
+    Load,
+    /// Memory stores.
+    Store,
+    /// Branches (taken or not) and block bookkeeping.
+    Branch,
+    /// Direct and indirect calls, returns.
+    Call,
+    /// `memory.grow`, bulk memory, misc.
+    Other,
+}
+
+/// Number of instruction classes (array-backed counters).
+pub const NUM_CLASSES: usize = 11;
+
+impl InstrClass {
+    /// Dense index for counter arrays.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// All classes, in index order.
+    #[must_use]
+    pub fn all() -> [InstrClass; NUM_CLASSES] {
+        use InstrClass::*;
+        [
+            Simple, IntArith, IntDiv, FloatArith, FloatDiv, Compare, Load, Store, Branch, Call,
+            Other,
+        ]
+    }
+}
+
+/// Retired-instruction counters, one per class.
+#[derive(Debug, Clone, Default)]
+pub struct Meter {
+    counts: [u64; NUM_CLASSES],
+    /// Bytes moved by loads/stores/bulk ops (feeds memory-bandwidth models).
+    pub bytes_accessed: u64,
+    /// Number of distinct 4 KiB page transitions observed (locality proxy).
+    pub page_transitions: u64,
+}
+
+impl Meter {
+    /// Fresh meter.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one retired instruction of the given class.
+    #[inline]
+    pub fn bump(&mut self, class: InstrClass) {
+        self.counts[class.index()] += 1;
+    }
+
+    /// Record `n` retired instructions of the given class.
+    #[inline]
+    pub fn bump_n(&mut self, class: InstrClass, n: u64) {
+        self.counts[class.index()] += n;
+    }
+
+    /// Count for one class.
+    #[must_use]
+    pub fn count(&self, class: InstrClass) -> u64 {
+        self.counts[class.index()]
+    }
+
+    /// Total retired instructions.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Weighted total: Σ count(class) × weight(class).
+    #[must_use]
+    pub fn weighted_total(&self, weights: &[f64; NUM_CLASSES]) -> f64 {
+        self.counts
+            .iter()
+            .zip(weights.iter())
+            .map(|(&c, &w)| c as f64 * w)
+            .sum()
+    }
+
+    /// Reset all counters.
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+
+    /// Merge another meter's counts into this one.
+    pub fn merge(&mut self, other: &Meter) {
+        for i in 0..NUM_CLASSES {
+            self.counts[i] += other.counts[i];
+        }
+        self.bytes_accessed += other.bytes_accessed;
+        self.page_transitions += other.page_transitions;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bump_and_total() {
+        let mut m = Meter::new();
+        m.bump(InstrClass::IntArith);
+        m.bump(InstrClass::IntArith);
+        m.bump(InstrClass::Load);
+        assert_eq!(m.count(InstrClass::IntArith), 2);
+        assert_eq!(m.count(InstrClass::Load), 1);
+        assert_eq!(m.total(), 3);
+    }
+
+    #[test]
+    fn weighted_total() {
+        let mut m = Meter::new();
+        m.bump_n(InstrClass::Simple, 10);
+        m.bump_n(InstrClass::FloatDiv, 2);
+        let mut w = [0.0f64; NUM_CLASSES];
+        w[InstrClass::Simple.index()] = 1.0;
+        w[InstrClass::FloatDiv.index()] = 20.0;
+        assert!((m.weighted_total(&w) - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge() {
+        let mut a = Meter::new();
+        let mut b = Meter::new();
+        a.bump(InstrClass::Call);
+        b.bump(InstrClass::Call);
+        b.bump(InstrClass::Branch);
+        b.bytes_accessed = 64;
+        a.merge(&b);
+        assert_eq!(a.count(InstrClass::Call), 2);
+        assert_eq!(a.count(InstrClass::Branch), 1);
+        assert_eq!(a.bytes_accessed, 64);
+    }
+
+    #[test]
+    fn class_indices_dense_and_unique() {
+        let all = InstrClass::all();
+        for (i, c) in all.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+    }
+}

@@ -1,0 +1,280 @@
+//! Core WebAssembly type definitions (value types, function types, limits)
+//! and the runtime [`Value`] representation.
+
+/// A WebAssembly value type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ValType {
+    /// 32-bit integer (also used for booleans and pointers).
+    I32,
+    /// 64-bit integer.
+    I64,
+    /// 32-bit IEEE-754 float.
+    F32,
+    /// 64-bit IEEE-754 float.
+    F64,
+}
+
+impl ValType {
+    /// Binary-format type byte (§5.3.1 of the spec).
+    #[must_use]
+    pub fn to_byte(self) -> u8 {
+        match self {
+            ValType::I32 => 0x7F,
+            ValType::I64 => 0x7E,
+            ValType::F32 => 0x7D,
+            ValType::F64 => 0x7C,
+        }
+    }
+
+    /// Parse a binary-format type byte.
+    #[must_use]
+    pub fn from_byte(b: u8) -> Option<Self> {
+        match b {
+            0x7F => Some(ValType::I32),
+            0x7E => Some(ValType::I64),
+            0x7D => Some(ValType::F32),
+            0x7C => Some(ValType::F64),
+            _ => None,
+        }
+    }
+}
+
+impl core::fmt::Display for ValType {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let s = match self {
+            ValType::I32 => "i32",
+            ValType::I64 => "i64",
+            ValType::F32 => "f32",
+            ValType::F64 => "f64",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A function signature: parameter and result types.
+///
+/// The engine supports the MVP restriction of at most one result.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct FuncType {
+    /// Parameter types, in order.
+    pub params: Vec<ValType>,
+    /// Result types (0 or 1 entries in MVP).
+    pub results: Vec<ValType>,
+}
+
+impl FuncType {
+    /// Construct a signature.
+    #[must_use]
+    pub fn new(params: Vec<ValType>, results: Vec<ValType>) -> Self {
+        Self { params, results }
+    }
+}
+
+impl core::fmt::Display for FuncType {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "(")?;
+        for (i, p) in self.params.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{p}")?;
+        }
+        write!(f, ") -> (")?;
+        for (i, r) in self.results.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{r}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Size limits for memories and tables, in units of pages / elements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Limits {
+    /// Initial size.
+    pub min: u32,
+    /// Optional maximum size.
+    pub max: Option<u32>,
+}
+
+impl Limits {
+    /// Limits with only a minimum.
+    #[must_use]
+    pub fn at_least(min: u32) -> Self {
+        Self { min, max: None }
+    }
+
+    /// Bounded limits.
+    #[must_use]
+    pub fn bounded(min: u32, max: u32) -> Self {
+        Self {
+            min,
+            max: Some(max),
+        }
+    }
+}
+
+/// A runtime WebAssembly value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Value {
+    /// 32-bit integer.
+    I32(i32),
+    /// 64-bit integer.
+    I64(i64),
+    /// 32-bit float.
+    F32(f32),
+    /// 64-bit float.
+    F64(f64),
+}
+
+impl Value {
+    /// The type of this value.
+    #[must_use]
+    pub fn ty(&self) -> ValType {
+        match self {
+            Value::I32(_) => ValType::I32,
+            Value::I64(_) => ValType::I64,
+            Value::F32(_) => ValType::F32,
+            Value::F64(_) => ValType::F64,
+        }
+    }
+
+    /// Raw 64-bit representation used on the untyped operand stack.
+    #[must_use]
+    pub fn to_bits(self) -> u64 {
+        match self {
+            Value::I32(v) => v as u32 as u64,
+            Value::I64(v) => v as u64,
+            Value::F32(v) => v.to_bits() as u64,
+            Value::F64(v) => v.to_bits(),
+        }
+    }
+
+    /// Reconstruct a typed value from raw stack bits.
+    #[must_use]
+    pub fn from_bits(ty: ValType, bits: u64) -> Self {
+        match ty {
+            ValType::I32 => Value::I32(bits as u32 as i32),
+            ValType::I64 => Value::I64(bits as i64),
+            ValType::F32 => Value::F32(f32::from_bits(bits as u32)),
+            ValType::F64 => Value::F64(f64::from_bits(bits)),
+        }
+    }
+
+    /// Zero value of a given type (used for locals initialisation).
+    #[must_use]
+    pub fn zero(ty: ValType) -> Self {
+        match ty {
+            ValType::I32 => Value::I32(0),
+            ValType::I64 => Value::I64(0),
+            ValType::F32 => Value::F32(0.0),
+            ValType::F64 => Value::F64(0.0),
+        }
+    }
+
+    /// Extract an i32, if that is the value's type.
+    #[must_use]
+    pub fn as_i32(&self) -> Option<i32> {
+        match self {
+            Value::I32(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Extract an i64, if that is the value's type.
+    #[must_use]
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::I64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Extract an f64, if that is the value's type.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::F64(v) => Some(*v),
+            _ => None,
+        }
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::I32(v)
+    }
+}
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+impl From<f32> for Value {
+    fn from(v: f32) -> Self {
+        Value::F32(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+
+/// Kind of an import or export entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExternKind {
+    /// A function.
+    Func,
+    /// A table.
+    Table,
+    /// A linear memory.
+    Memory,
+    /// A global variable.
+    Global,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valtype_byte_roundtrip() {
+        for t in [ValType::I32, ValType::I64, ValType::F32, ValType::F64] {
+            assert_eq!(ValType::from_byte(t.to_byte()), Some(t));
+        }
+        assert_eq!(ValType::from_byte(0x00), None);
+    }
+
+    #[test]
+    fn value_bits_roundtrip() {
+        let cases = [
+            Value::I32(-1),
+            Value::I32(i32::MIN),
+            Value::I64(i64::MAX),
+            Value::F32(3.5),
+            Value::F64(-0.0),
+            Value::F64(f64::INFINITY),
+        ];
+        for v in cases {
+            let back = Value::from_bits(v.ty(), v.to_bits());
+            assert_eq!(back.to_bits(), v.to_bits());
+            assert_eq!(back.ty(), v.ty());
+        }
+    }
+
+    #[test]
+    fn nan_bits_preserved() {
+        let nan = f64::from_bits(0x7ff8_0000_dead_beef);
+        let v = Value::F64(nan);
+        assert_eq!(Value::from_bits(ValType::F64, v.to_bits()).to_bits(), v.to_bits());
+    }
+
+    #[test]
+    fn display_functype() {
+        let ft = FuncType::new(vec![ValType::I32, ValType::F64], vec![ValType::I64]);
+        assert_eq!(ft.to_string(), "(i32, f64) -> (i64)");
+    }
+}

@@ -1,0 +1,707 @@
+//! End-to-end execution tests: build modules with the builder, compile,
+//! instantiate and invoke, checking full semantics including traps.
+
+use std::sync::Arc;
+
+use twine_wasm::compile::CompiledModule;
+use twine_wasm::instr::{
+    BlockType, CvtOp, FBinOp, FloatWidth, IBinOp, IRelOp, Instr, IntWidth, LoadKind, MemArg,
+    StoreKind,
+};
+use twine_wasm::types::{FuncType, Limits, ValType, Value};
+use twine_wasm::{Instance, Linker, Trap};
+
+fn instantiate(b: twine_wasm::ModuleBuilder) -> Instance {
+    let code = CompiledModule::compile(b.build()).expect("compile");
+    Instance::instantiate(Arc::new(code), Linker::new(), Box::new(())).expect("instantiate")
+}
+
+fn run1(body: Vec<Instr>, params: Vec<ValType>, result: ValType, args: &[Value]) -> Result<Value, Trap> {
+    let mut b = twine_wasm::ModuleBuilder::new();
+    b.memory(Limits::at_least(1));
+    let f = b.add_func(FuncType::new(params, vec![result]), vec![], body);
+    b.export_func("f", f);
+    let mut inst = instantiate(b);
+    inst.invoke("f", args).map(|r| r[0])
+}
+
+#[test]
+fn constant_function() {
+    let r = run1(vec![Instr::Const(Value::I32(42))], vec![], ValType::I32, &[]).unwrap();
+    assert_eq!(r, Value::I32(42));
+}
+
+#[test]
+fn add_params() {
+    let r = run1(
+        vec![
+            Instr::LocalGet(0),
+            Instr::LocalGet(1),
+            Instr::IBinop(IntWidth::W32, IBinOp::Add),
+        ],
+        vec![ValType::I32, ValType::I32],
+        ValType::I32,
+        &[Value::I32(20), Value::I32(22)],
+    )
+    .unwrap();
+    assert_eq!(r, Value::I32(42));
+}
+
+/// Iterative factorial with a loop + br_if: exercises locals, branches.
+#[test]
+fn factorial_loop() {
+    // local 0 = n (param), local 1 = acc
+    let body = vec![
+        Instr::Const(Value::I64(1)),
+        Instr::LocalSet(1),
+        Instr::Block(
+            BlockType::Empty,
+            vec![Instr::Loop(
+                BlockType::Empty,
+                vec![
+                    // if n == 0 break
+                    Instr::LocalGet(0),
+                    Instr::ITestEqz(IntWidth::W64),
+                    Instr::BrIf(1),
+                    // acc *= n
+                    Instr::LocalGet(1),
+                    Instr::LocalGet(0),
+                    Instr::IBinop(IntWidth::W64, IBinOp::Mul),
+                    Instr::LocalSet(1),
+                    // n -= 1
+                    Instr::LocalGet(0),
+                    Instr::Const(Value::I64(1)),
+                    Instr::IBinop(IntWidth::W64, IBinOp::Sub),
+                    Instr::LocalSet(0),
+                    Instr::Br(0),
+                ],
+            )],
+        ),
+        Instr::LocalGet(1),
+    ];
+    let mut b = twine_wasm::ModuleBuilder::new();
+    let f = b.add_func(
+        FuncType::new(vec![ValType::I64], vec![ValType::I64]),
+        vec![ValType::I64],
+        body,
+    );
+    b.export_func("fact", f);
+    let mut inst = instantiate(b);
+    for (n, expect) in [(0u64, 1u64), (1, 1), (5, 120), (10, 3_628_800), (20, 2_432_902_008_176_640_000)] {
+        let r = inst.invoke("fact", &[Value::I64(n as i64)]).unwrap();
+        assert_eq!(r[0], Value::I64(expect as i64), "n={n}");
+    }
+}
+
+/// Recursive fibonacci: exercises the call stack.
+#[test]
+fn fibonacci_recursive() {
+    let mut b = twine_wasm::ModuleBuilder::new();
+    // fib(n) = n < 2 ? n : fib(n-1) + fib(n-2); function index 0
+    let body = vec![
+        Instr::LocalGet(0),
+        Instr::Const(Value::I32(2)),
+        Instr::IRelop(IntWidth::W32, IRelOp::LtS),
+        Instr::If(
+            BlockType::Value(ValType::I32),
+            vec![Instr::LocalGet(0)],
+            vec![
+                Instr::LocalGet(0),
+                Instr::Const(Value::I32(1)),
+                Instr::IBinop(IntWidth::W32, IBinOp::Sub),
+                Instr::Call(0),
+                Instr::LocalGet(0),
+                Instr::Const(Value::I32(2)),
+                Instr::IBinop(IntWidth::W32, IBinOp::Sub),
+                Instr::Call(0),
+                Instr::IBinop(IntWidth::W32, IBinOp::Add),
+            ],
+        ),
+    ];
+    let f = b.add_func(FuncType::new(vec![ValType::I32], vec![ValType::I32]), vec![], body);
+    b.export_func("fib", f);
+    let mut inst = instantiate(b);
+    let expect = [0, 1, 1, 2, 3, 5, 8, 13, 21, 34, 55];
+    for (n, e) in expect.iter().enumerate() {
+        let r = inst.invoke("fib", &[Value::I32(n as i32)]).unwrap();
+        assert_eq!(r[0], Value::I32(*e), "n={n}");
+    }
+}
+
+#[test]
+fn memory_store_load_roundtrip() {
+    let body = vec![
+        // mem[8] = param0; return mem[8]
+        Instr::Const(Value::I32(8)),
+        Instr::LocalGet(0),
+        Instr::Store(StoreKind::I64, MemArg::offset(0)),
+        Instr::Const(Value::I32(0)),
+        Instr::Load(LoadKind::I64, MemArg::offset(8)),
+    ];
+    let r = run1(body, vec![ValType::I64], ValType::I64, &[Value::I64(-123_456_789)]).unwrap();
+    assert_eq!(r, Value::I64(-123_456_789));
+}
+
+#[test]
+fn sub_width_loads_sign_extend() {
+    let body = vec![
+        Instr::Const(Value::I32(0)),
+        Instr::Const(Value::I32(0xFF)),
+        Instr::Store(StoreKind::I32_8, MemArg::offset(0)),
+        Instr::Const(Value::I32(0)),
+        Instr::Load(LoadKind::I32_8S, MemArg::offset(0)),
+    ];
+    let r = run1(body, vec![], ValType::I32, &[]).unwrap();
+    assert_eq!(r, Value::I32(-1));
+}
+
+#[test]
+fn div_by_zero_traps() {
+    let body = vec![
+        Instr::Const(Value::I32(1)),
+        Instr::Const(Value::I32(0)),
+        Instr::IBinop(IntWidth::W32, IBinOp::DivS),
+    ];
+    assert_eq!(run1(body, vec![], ValType::I32, &[]), Err(Trap::DivByZero));
+}
+
+#[test]
+fn div_overflow_traps() {
+    let body = vec![
+        Instr::Const(Value::I32(i32::MIN)),
+        Instr::Const(Value::I32(-1)),
+        Instr::IBinop(IntWidth::W32, IBinOp::DivS),
+    ];
+    assert_eq!(run1(body, vec![], ValType::I32, &[]), Err(Trap::IntOverflow));
+}
+
+#[test]
+fn rem_min_neg1_is_zero() {
+    let body = vec![
+        Instr::Const(Value::I32(i32::MIN)),
+        Instr::Const(Value::I32(-1)),
+        Instr::IBinop(IntWidth::W32, IBinOp::RemS),
+    ];
+    assert_eq!(run1(body, vec![], ValType::I32, &[]), Ok(Value::I32(0)));
+}
+
+#[test]
+fn oob_load_traps() {
+    let body = vec![
+        Instr::Const(Value::I32(65_533)),
+        Instr::Load(LoadKind::I32, MemArg::offset(0)),
+    ];
+    assert_eq!(run1(body, vec![], ValType::I32, &[]), Err(Trap::MemOutOfBounds));
+}
+
+#[test]
+fn unreachable_traps() {
+    let body = vec![Instr::Unreachable];
+    assert_eq!(run1(body, vec![], ValType::I32, &[]), Err(Trap::Unreachable));
+}
+
+#[test]
+fn infinite_recursion_exhausts_stack() {
+    let mut b = twine_wasm::ModuleBuilder::new();
+    let f = b.add_func(
+        FuncType::new(vec![], vec![]),
+        vec![],
+        vec![Instr::Call(0)],
+    );
+    b.export_func("loop", f);
+    let mut inst = instantiate(b);
+    assert_eq!(inst.invoke("loop", &[]), Err(Trap::StackExhausted));
+}
+
+#[test]
+fn fuel_limits_infinite_loop() {
+    let mut b = twine_wasm::ModuleBuilder::new();
+    let f = b.add_func(
+        FuncType::new(vec![], vec![]),
+        vec![],
+        vec![Instr::Loop(BlockType::Empty, vec![Instr::Br(0)])],
+    );
+    b.export_func("spin", f);
+    let mut inst = instantiate(b);
+    inst.fuel = Some(10_000);
+    assert_eq!(inst.invoke("spin", &[]), Err(Trap::OutOfFuel));
+}
+
+#[test]
+fn br_table_dispatch() {
+    // switch (x): 0 -> 10, 1 -> 20, default -> 30
+    let body = vec![Instr::Block(
+        BlockType::Value(ValType::I32),
+        vec![
+            Instr::Block(
+                BlockType::Empty,
+                vec![
+                    Instr::Block(
+                        BlockType::Empty,
+                        vec![Instr::LocalGet(0), Instr::BrTable(vec![0, 1], 2)],
+                    ),
+                    // case 0
+                    Instr::Const(Value::I32(10)),
+                    Instr::Br(1),
+                ],
+            ),
+            // case 1 falls here? No: br 1 from case 0 exits to outer; label 1
+            // (middle block) end is here — case 1 target.
+            Instr::Const(Value::I32(20)),
+            Instr::Br(0),
+        ],
+    )];
+    // default (br_table depth 2 = the value block) — carries i32? No: outer
+    // block expects a value when branched to... build differently: default
+    // jumps out past everything, so give the value block a fallback.
+    // Simpler scheme below.
+    let _ = body;
+    let body = vec![
+        Instr::Block(
+            BlockType::Empty,
+            vec![
+                Instr::Block(
+                    BlockType::Empty,
+                    vec![Instr::LocalGet(0), Instr::BrTable(vec![0, 1], 1)],
+                ),
+                // case 0:
+                Instr::Const(Value::I32(10)),
+                Instr::Return,
+            ],
+        ),
+        // case 1 and default:
+        Instr::LocalGet(0),
+        Instr::Const(Value::I32(1)),
+        Instr::IRelop(IntWidth::W32, IRelOp::Eq),
+        Instr::If(
+            BlockType::Value(ValType::I32),
+            vec![Instr::Const(Value::I32(20))],
+            vec![Instr::Const(Value::I32(30))],
+        ),
+    ];
+    for (x, expect) in [(0, 10), (1, 20), (2, 30), (100, 30), (-1, 30)] {
+        let r = run1(body.clone(), vec![ValType::I32], ValType::I32, &[Value::I32(x)]).unwrap();
+        assert_eq!(r, Value::I32(expect), "x={x}");
+    }
+}
+
+#[test]
+fn call_indirect_dispatch_and_traps() {
+    let mut b = twine_wasm::ModuleBuilder::new();
+    let ty = FuncType::new(vec![ValType::I32], vec![ValType::I32]);
+    let double = b.add_func(
+        ty.clone(),
+        vec![],
+        vec![
+            Instr::LocalGet(0),
+            Instr::Const(Value::I32(2)),
+            Instr::IBinop(IntWidth::W32, IBinOp::Mul),
+        ],
+    );
+    let square = b.add_func(
+        ty.clone(),
+        vec![],
+        vec![
+            Instr::LocalGet(0),
+            Instr::LocalGet(0),
+            Instr::IBinop(IntWidth::W32, IBinOp::Mul),
+        ],
+    );
+    // A function with a different signature for the type-mismatch case.
+    let wrong = b.add_func(
+        FuncType::new(vec![], vec![]),
+        vec![],
+        vec![],
+    );
+    b.table(Limits::at_least(4));
+    b.add_elem(0, vec![double, square, wrong]);
+    // dispatch(fn_idx, x) = table[fn_idx](x)
+    let type_idx = 0; // first interned type is `ty`
+    let dispatch = b.add_func(
+        FuncType::new(vec![ValType::I32, ValType::I32], vec![ValType::I32]),
+        vec![],
+        vec![
+            Instr::LocalGet(1),
+            Instr::LocalGet(0),
+            Instr::CallIndirect(type_idx),
+        ],
+    );
+    b.export_func("dispatch", dispatch);
+    let mut inst = instantiate(b);
+    assert_eq!(
+        inst.invoke("dispatch", &[Value::I32(0), Value::I32(21)]).unwrap()[0],
+        Value::I32(42)
+    );
+    assert_eq!(
+        inst.invoke("dispatch", &[Value::I32(1), Value::I32(7)]).unwrap()[0],
+        Value::I32(49)
+    );
+    assert_eq!(
+        inst.invoke("dispatch", &[Value::I32(2), Value::I32(7)]),
+        Err(Trap::IndirectTypeMismatch)
+    );
+    assert_eq!(
+        inst.invoke("dispatch", &[Value::I32(3), Value::I32(7)]),
+        Err(Trap::UndefinedElement)
+    );
+    assert_eq!(
+        inst.invoke("dispatch", &[Value::I32(99), Value::I32(7)]),
+        Err(Trap::UndefinedElement)
+    );
+}
+
+#[test]
+fn globals_mutate_across_calls() {
+    let mut b = twine_wasm::ModuleBuilder::new();
+    let g = b.add_global(ValType::I64, true, Value::I64(100));
+    let f = b.add_func(
+        FuncType::new(vec![], vec![ValType::I64]),
+        vec![],
+        vec![
+            Instr::GlobalGet(g),
+            Instr::Const(Value::I64(1)),
+            Instr::IBinop(IntWidth::W64, IBinOp::Add),
+            Instr::GlobalSet(g),
+            Instr::GlobalGet(g),
+        ],
+    );
+    b.export_func("bump", f);
+    let mut inst = instantiate(b);
+    assert_eq!(inst.invoke("bump", &[]).unwrap()[0], Value::I64(101));
+    assert_eq!(inst.invoke("bump", &[]).unwrap()[0], Value::I64(102));
+    assert_eq!(inst.global(g), Some(Value::I64(102)));
+}
+
+#[test]
+fn host_function_roundtrip() {
+    let mut b = twine_wasm::ModuleBuilder::new();
+    let host = b.import_func(
+        "env",
+        "add_ten",
+        FuncType::new(vec![ValType::I32], vec![ValType::I32]),
+    );
+    b.memory(Limits::at_least(1));
+    let f = b.add_func(
+        FuncType::new(vec![ValType::I32], vec![ValType::I32]),
+        vec![],
+        vec![Instr::LocalGet(0), Instr::Call(host)],
+    );
+    b.export_func("f", f);
+    let code = CompiledModule::compile(b.build()).unwrap();
+    let mut linker = Linker::new();
+    linker.func(
+        "env",
+        "add_ten",
+        FuncType::new(vec![ValType::I32], vec![ValType::I32]),
+        |_ctx, args| {
+            let x = args[0].as_i32().unwrap();
+            Ok(vec![Value::I32(x + 10)])
+        },
+    );
+    let mut inst = Instance::instantiate(Arc::new(code), linker, Box::new(())).unwrap();
+    assert_eq!(inst.invoke("f", &[Value::I32(32)]).unwrap()[0], Value::I32(42));
+}
+
+#[test]
+fn host_function_accesses_memory_and_state() {
+    #[derive(Default)]
+    struct Sink {
+        collected: Vec<u8>,
+    }
+    let mut b = twine_wasm::ModuleBuilder::new();
+    let host = b.import_func(
+        "env",
+        "emit",
+        FuncType::new(vec![ValType::I32, ValType::I32], vec![]),
+    );
+    b.memory(Limits::at_least(1));
+    b.add_data(16, b"hello twine".to_vec());
+    let f = b.add_func(
+        FuncType::new(vec![], vec![]),
+        vec![],
+        vec![
+            Instr::Const(Value::I32(16)),
+            Instr::Const(Value::I32(11)),
+            Instr::Call(host),
+        ],
+    );
+    b.export_func("f", f);
+    let code = CompiledModule::compile(b.build()).unwrap();
+    let mut linker = Linker::new();
+    linker.func(
+        "env",
+        "emit",
+        FuncType::new(vec![ValType::I32, ValType::I32], vec![]),
+        |ctx, args| {
+            let (ptr, len) = (args[0].as_i32().unwrap() as u32, args[1].as_i32().unwrap() as u32);
+            let bytes = ctx
+                .mem()?
+                .slice(ptr, len)
+                .ok_or(Trap::MemOutOfBounds)?
+                .to_vec();
+            ctx.state::<Sink>().collected.extend_from_slice(&bytes);
+            Ok(vec![])
+        },
+    );
+    let mut inst = Instance::instantiate(Arc::new(code), linker, Box::new(Sink::default())).unwrap();
+    inst.invoke("f", &[]).unwrap();
+    assert_eq!(inst.state::<Sink>().collected, b"hello twine");
+}
+
+#[test]
+fn missing_import_fails_instantiation() {
+    let mut b = twine_wasm::ModuleBuilder::new();
+    b.import_func("env", "missing", FuncType::new(vec![], vec![]));
+    let code = CompiledModule::compile(b.build()).unwrap();
+    let r = Instance::instantiate(Arc::new(code), Linker::new(), Box::new(()));
+    assert!(r.is_err());
+}
+
+#[test]
+fn import_type_mismatch_fails_instantiation() {
+    let mut b = twine_wasm::ModuleBuilder::new();
+    b.import_func("env", "f", FuncType::new(vec![ValType::I32], vec![]));
+    let code = CompiledModule::compile(b.build()).unwrap();
+    let mut linker = Linker::new();
+    linker.func("env", "f", FuncType::new(vec![ValType::I64], vec![]), |_, _| Ok(vec![]));
+    assert!(Instance::instantiate(Arc::new(code), linker, Box::new(())).is_err());
+}
+
+#[test]
+fn memory_grow_and_size() {
+    let mut b = twine_wasm::ModuleBuilder::new();
+    b.memory(Limits::bounded(1, 4));
+    let f = b.add_func(
+        FuncType::new(vec![ValType::I32], vec![ValType::I32]),
+        vec![],
+        vec![Instr::LocalGet(0), Instr::MemoryGrow],
+    );
+    let s = b.add_func(
+        FuncType::new(vec![], vec![ValType::I32]),
+        vec![],
+        vec![Instr::MemorySize],
+    );
+    b.export_func("grow", f);
+    b.export_func("size", s);
+    let mut inst = instantiate(b);
+    assert_eq!(inst.invoke("size", &[]).unwrap()[0], Value::I32(1));
+    assert_eq!(inst.invoke("grow", &[Value::I32(2)]).unwrap()[0], Value::I32(1));
+    assert_eq!(inst.invoke("size", &[]).unwrap()[0], Value::I32(3));
+    // Over the max: -1.
+    assert_eq!(inst.invoke("grow", &[Value::I32(5)]).unwrap()[0], Value::I32(-1));
+}
+
+#[test]
+fn bulk_memory_ops() {
+    let mut b = twine_wasm::ModuleBuilder::new();
+    b.memory(Limits::at_least(1));
+    b.add_data(0, b"abcdefgh".to_vec());
+    let f = b.add_func(
+        FuncType::new(vec![], vec![ValType::I32]),
+        vec![],
+        vec![
+            // copy [0..8) to [100..108)
+            Instr::Const(Value::I32(100)),
+            Instr::Const(Value::I32(0)),
+            Instr::Const(Value::I32(8)),
+            Instr::MemoryCopy,
+            // fill [104..108) with 'z'
+            Instr::Const(Value::I32(104)),
+            Instr::Const(Value::I32(b'z' as i32)),
+            Instr::Const(Value::I32(4)),
+            Instr::MemoryFill,
+            // return mem32[104]
+            Instr::Const(Value::I32(100)),
+            Instr::Load(LoadKind::I32, MemArg::offset(4)),
+        ],
+    );
+    b.export_func("f", f);
+    let mut inst = instantiate(b);
+    let r = inst.invoke("f", &[]).unwrap()[0];
+    assert_eq!(r, Value::I32(i32::from_le_bytes(*b"zzzz")));
+    assert_eq!(inst.memory().unwrap().slice(100, 4).unwrap(), b"abcd");
+}
+
+#[test]
+fn f64_arithmetic_and_conversion() {
+    let body = vec![
+        Instr::LocalGet(0),
+        Instr::Cvt(CvtOp::F64ConvertI32S),
+        Instr::Const(Value::F64(2.5)),
+        Instr::FBinop(FloatWidth::W64, FBinOp::Mul),
+        Instr::Cvt(CvtOp::I32TruncF64S),
+    ];
+    let r = run1(body, vec![ValType::I32], ValType::I32, &[Value::I32(5)]).unwrap();
+    assert_eq!(r, Value::I32(12)); // 5 * 2.5 = 12.5 → trunc 12
+}
+
+#[test]
+fn trunc_nan_and_overflow_trap() {
+    let nan = vec![
+        Instr::Const(Value::F64(f64::NAN)),
+        Instr::Cvt(CvtOp::I32TruncF64S),
+    ];
+    assert_eq!(run1(nan, vec![], ValType::I32, &[]), Err(Trap::InvalidConversion));
+    let over = vec![
+        Instr::Const(Value::F64(3e9)),
+        Instr::Cvt(CvtOp::I32TruncF64S),
+    ];
+    assert_eq!(run1(over, vec![], ValType::I32, &[]), Err(Trap::IntOverflow));
+    let ok = vec![
+        Instr::Const(Value::F64(2_147_483_647.0)),
+        Instr::Cvt(CvtOp::I32TruncF64S),
+    ];
+    assert_eq!(run1(ok, vec![], ValType::I32, &[]), Ok(Value::I32(i32::MAX)));
+}
+
+#[test]
+fn float_min_max_nan_semantics() {
+    let body = vec![
+        Instr::Const(Value::F64(1.0)),
+        Instr::Const(Value::F64(f64::NAN)),
+        Instr::FBinop(FloatWidth::W64, FBinOp::Min),
+    ];
+    let r = run1(body, vec![], ValType::F64, &[]).unwrap();
+    assert!(r.as_f64().unwrap().is_nan());
+    let body = vec![
+        Instr::Const(Value::F64(-0.0)),
+        Instr::Const(Value::F64(0.0)),
+        Instr::FBinop(FloatWidth::W64, FBinOp::Min),
+    ];
+    let r = run1(body, vec![], ValType::F64, &[]).unwrap();
+    assert!(r.as_f64().unwrap().is_sign_negative());
+}
+
+#[test]
+fn select_and_drop() {
+    let body = vec![
+        Instr::Const(Value::I32(111)),
+        Instr::Const(Value::I32(222)),
+        Instr::LocalGet(0),
+        Instr::Select,
+    ];
+    assert_eq!(
+        run1(body.clone(), vec![ValType::I32], ValType::I32, &[Value::I32(1)]).unwrap(),
+        Value::I32(111)
+    );
+    assert_eq!(
+        run1(body, vec![ValType::I32], ValType::I32, &[Value::I32(0)]).unwrap(),
+        Value::I32(222)
+    );
+}
+
+#[test]
+fn start_function_runs_at_instantiation() {
+    let mut b = twine_wasm::ModuleBuilder::new();
+    b.memory(Limits::at_least(1));
+    let init = b.add_func(
+        FuncType::new(vec![], vec![]),
+        vec![],
+        vec![
+            Instr::Const(Value::I32(0)),
+            Instr::Const(Value::I32(77)),
+            Instr::Store(StoreKind::I32, MemArg::offset(0)),
+        ],
+    );
+    b.start(init);
+    let read = b.add_func(
+        FuncType::new(vec![], vec![ValType::I32]),
+        vec![],
+        vec![Instr::Const(Value::I32(0)), Instr::Load(LoadKind::I32, MemArg::offset(0))],
+    );
+    b.export_func("read", read);
+    let mut inst = instantiate(b);
+    assert_eq!(inst.invoke("read", &[]).unwrap()[0], Value::I32(77));
+}
+
+#[test]
+fn meter_counts_instructions() {
+    let mut b = twine_wasm::ModuleBuilder::new();
+    let f = b.add_func(
+        FuncType::new(vec![], vec![ValType::I32]),
+        vec![],
+        vec![
+            Instr::Const(Value::I32(1)),
+            Instr::Const(Value::I32(2)),
+            Instr::IBinop(IntWidth::W32, IBinOp::Add),
+        ],
+    );
+    b.export_func("f", f);
+    let mut inst = instantiate(b);
+    inst.invoke("f", &[]).unwrap();
+    use twine_wasm::InstrClass;
+    assert_eq!(inst.meter.count(InstrClass::Simple), 2); // two consts
+    assert_eq!(inst.meter.count(InstrClass::IntArith), 1);
+    assert_eq!(inst.meter.count(InstrClass::Call), 1); // End
+    assert_eq!(inst.meter.total(), 4);
+}
+
+#[test]
+fn page_sink_observes_strided_access() {
+    struct Recorder(std::rc::Rc<std::cell::RefCell<Vec<u64>>>);
+    impl twine_wasm::PageSink for Recorder {
+        fn touch(&mut self, page: u64) {
+            self.0.borrow_mut().push(page);
+        }
+    }
+    let mut b = twine_wasm::ModuleBuilder::new();
+    b.memory(Limits::at_least(1));
+    // Store to addresses 0, 4096, 8192.
+    let f = b.add_func(
+        FuncType::new(vec![], vec![]),
+        vec![],
+        vec![
+            Instr::Const(Value::I32(0)),
+            Instr::Const(Value::I32(1)),
+            Instr::Store(StoreKind::I32, MemArg::offset(0)),
+            Instr::Const(Value::I32(4096)),
+            Instr::Const(Value::I32(1)),
+            Instr::Store(StoreKind::I32, MemArg::offset(0)),
+            Instr::Const(Value::I32(8192)),
+            Instr::Const(Value::I32(1)),
+            Instr::Store(StoreKind::I32, MemArg::offset(0)),
+        ],
+    );
+    b.export_func("f", f);
+    let mut inst = instantiate(b);
+    let pages = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+    inst.set_page_sink(Some(Box::new(Recorder(pages.clone()))));
+    inst.invoke("f", &[]).unwrap();
+    assert_eq!(&*pages.borrow(), &[0, 1, 2]);
+    assert_eq!(inst.meter.page_transitions, 3);
+}
+
+#[test]
+fn decode_compile_execute_from_bytes() {
+    // Full pipeline: builder → encode → bytes → CompiledModule::from_bytes.
+    let mut b = twine_wasm::ModuleBuilder::new();
+    let f = b.add_func(
+        FuncType::new(vec![ValType::I32], vec![ValType::I32]),
+        vec![],
+        vec![
+            Instr::LocalGet(0),
+            Instr::LocalGet(0),
+            Instr::IBinop(IntWidth::W32, IBinOp::Mul),
+        ],
+    );
+    b.export_func("square", f);
+    let bytes = twine_wasm::encode::encode(&b.build());
+    let code = CompiledModule::from_bytes(&bytes).unwrap();
+    let mut inst = Instance::instantiate(Arc::new(code), Linker::new(), Box::new(())).unwrap();
+    assert_eq!(inst.invoke("square", &[Value::I32(12)]).unwrap()[0], Value::I32(144));
+}
+
+#[test]
+fn invoke_errors() {
+    let mut b = twine_wasm::ModuleBuilder::new();
+    let f = b.add_func(FuncType::new(vec![ValType::I32], vec![]), vec![], vec![]);
+    b.export_func("f", f);
+    let mut inst = instantiate(b);
+    assert!(matches!(inst.invoke("nope", &[]), Err(Trap::BadInvoke(_))));
+    assert!(matches!(inst.invoke("f", &[]), Err(Trap::BadInvoke(_))));
+    assert!(matches!(
+        inst.invoke("f", &[Value::I64(1)]),
+        Err(Trap::BadInvoke(_))
+    ));
+    assert!(inst.invoke("f", &[Value::I32(1)]).is_ok());
+}

@@ -1,0 +1,62 @@
+//! Confidential code provisioning (paper Figure 1 and §IV-B): an
+//! application provider verifies the enclave's remote-attestation quote and
+//! only then delivers the (encrypted) Wasm application. The Wasm is
+//! decrypted inside the enclave — plain SGX guarantees only binary
+//! *integrity*; Twine adds application *confidentiality*.
+//!
+//! ```sh
+//! cargo run --release --example attested_provisioning
+//! ```
+
+use twine::core::{ApplicationProvider, TwineBuilder};
+use twine::sgx::AttestationService;
+use twine::wasm::Value;
+
+fn main() {
+    // Manufacturing time: the attestation service learns the processor.
+    let mut runtime = TwineBuilder::new().heap_bytes(1 << 20).build();
+    let mut service = AttestationService::new();
+    service.register_processor(runtime.processor());
+
+    // The provider ships proprietary code and trusts only genuine Twine
+    // runtimes (known measurement).
+    let secret_algorithm = r"
+        int proprietary_scoring(int base, int factor) {
+            int score = base;
+            for (int i = 0; i < factor; i += 1) {
+                score = (score * 31 + 17) % 1000003;
+            }
+            return score;
+        }";
+    let wasm = twine::minicc::compile_to_bytes(secret_algorithm).expect("compile");
+    let provider = ApplicationProvider::new(
+        wasm,
+        ApplicationProvider::reference_twine_measurement(1 << 20),
+    );
+
+    // 1. The runtime attests itself.
+    let quote = runtime.attest(b"session-nonce-0001");
+    println!("runtime produced a quote for processor {}", quote.processor_id);
+
+    // 2. The provider verifies the quote and encrypts the app for it.
+    let bundle = provider.deliver(&service, &quote).expect("quote accepted");
+    println!(
+        "provider delivered {} encrypted bytes (ciphertext never reveals the algorithm)",
+        bundle.ciphertext.len()
+    );
+
+    // 3. The enclave unwraps the session key and decrypts *inside*.
+    let app = runtime.receive_app(&bundle).expect("bundle accepted");
+    let out = runtime
+        .invoke(&app, "proprietary_scoring", &[Value::I32(42), Value::I32(1000)])
+        .expect("run");
+    println!("proprietary_scoring(42, 1000) = {:?}", out[0]);
+
+    // A runtime with the wrong measurement is refused by the provider.
+    let impostor = TwineBuilder::new().heap_bytes(2 << 20).build(); // different heap → different measurement
+    let bad_quote = impostor.attest(b"mallory");
+    match provider.deliver(&service, &bad_quote) {
+        Err(e) => println!("impostor enclave rejected: {e}"),
+        Ok(_) => unreachable!("must not deliver to unknown measurements"),
+    }
+}

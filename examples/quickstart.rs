@@ -1,0 +1,59 @@
+//! Quickstart: compile a C-like program to WebAssembly, run it inside a
+//! (simulated) SGX enclave under the Twine runtime, and inspect the costs.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use twine::core::{FsChoice, TwineBuilder};
+use twine::wasm::Value;
+
+fn main() {
+    // 1. Developer premises (paper Fig. 1, left): compile source → Wasm.
+    let source = r"
+        int collatz_steps(int n) {
+            int steps = 0;
+            while (n != 1) {
+                if (n % 2 == 0) { n = n / 2; } else { n = 3 * n + 1; }
+                steps += 1;
+            }
+            return steps;
+        }
+        double mean_of_squares(int n) {
+            double s = 0.0;
+            for (int i = 1; i <= n; i += 1) { s += (double)i * i; }
+            return s / n;
+        }";
+    let wasm = twine::minicc::compile_to_bytes(source).expect("minicc compile");
+    println!("compiled {} bytes of Wasm", wasm.len());
+
+    // 2. Host premises: build a Twine runtime inside an SGX enclave.
+    let mut twine = TwineBuilder::new()
+        .epc_limit_mib(93)
+        .fs(FsChoice::ProtectedInMemory)
+        .build();
+    println!(
+        "enclave launched: measurement {}..., launch cost {:?}",
+        &twine::crypto::to_hex(&twine.enclave().measurement())[..16],
+        twine.clock().elapsed()
+    );
+
+    // 3. Load the application (decode + validate + AoT compile + map into
+    //    reserved enclave memory) and invoke exports.
+    let app = twine.load_wasm(&wasm).expect("load");
+    let steps = twine
+        .invoke(&app, "collatz_steps", &[Value::I32(27)])
+        .expect("invoke");
+    println!("collatz_steps(27) = {:?}", steps[0]);
+
+    let (report, mean) = twine
+        .invoke_with_report(&app, "mean_of_squares", &[Value::I32(1000)])
+        .expect("invoke");
+    println!("mean_of_squares(1000) = {:?}", mean[0]);
+    println!(
+        "  guest retired {} instructions, {} ECALL-visible cycles, {} EPC faults",
+        report.meter.total(),
+        report.cycles,
+        report.epc.faults
+    );
+}

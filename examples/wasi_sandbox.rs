@@ -1,0 +1,74 @@
+//! The two-way sandbox (paper §IV): the WASI capability model confines the
+//! guest to its preopened directory with explicitly granted rights, while
+//! the enclave shields the guest from the host. This example runs a small
+//! Wasm app that talks to WASI, then shows a denied capability and a denied
+//! sandbox escape.
+//!
+//! ```sh
+//! cargo run --release --example wasi_sandbox
+//! ```
+
+use std::sync::Arc;
+
+use twine::wasi::ctx::MemBackend;
+use twine::wasi::{register_wasi, Rights, WasiCtx};
+use twine::wasm::compile::CompiledModule;
+use twine::wasm::instr::{Instr, MemArg, StoreKind};
+use twine::wasm::types::{FuncType, Limits, ValType, Value};
+use twine::wasm::{Instance, Linker};
+
+fn main() {
+    // A guest that writes a greeting to stdout via fd_write.
+    let mut b = twine::wasm::ModuleBuilder::new();
+    let fd_write = b.import_func(
+        twine::wasi::WASI_MODULE,
+        "fd_write",
+        FuncType::new(vec![ValType::I32; 4], vec![ValType::I32]),
+    );
+    b.memory(Limits::at_least(1));
+    b.add_data(64, b"hello from the sandbox!\n".to_vec());
+    let start = b.add_func(
+        FuncType::new(vec![], vec![]),
+        vec![],
+        vec![
+            // iovec { base = 64, len = 24 } at address 0
+            Instr::Const(Value::I32(0)),
+            Instr::Const(Value::I32(64)),
+            Instr::Store(StoreKind::I32, MemArg::offset(0)),
+            Instr::Const(Value::I32(4)),
+            Instr::Const(Value::I32(24)),
+            Instr::Store(StoreKind::I32, MemArg::offset(0)),
+            Instr::Const(Value::I32(1)),  // stdout
+            Instr::Const(Value::I32(0)),  // iovs
+            Instr::Const(Value::I32(1)),  // iovs_len
+            Instr::Const(Value::I32(32)), // nwritten out
+            Instr::Call(fd_write),
+            Instr::Drop,
+        ],
+    );
+    b.export_func("_start", start);
+    let code = CompiledModule::compile(b.build()).expect("compile");
+
+    // Read-only sandbox: the guest may look but not create or escape.
+    let mut linker = Linker::new();
+    register_wasi(&mut linker);
+    let mut ctx = WasiCtx::new(Box::new(MemBackend::new()), "/data", Rights::read_only());
+    ctx.args = vec!["sandboxed-app".into()];
+    let mut inst = Instance::instantiate(Arc::new(code), linker, Box::new(ctx)).expect("inst");
+    inst.invoke("_start", &[]).expect("run");
+
+    let wasi = inst.state::<WasiCtx>();
+    print!("guest stdout: {}", String::from_utf8_lossy(&wasi.stdout));
+
+    // Capability model in action:
+    let create_attempt = wasi.open_file(3, "new-file.txt", true, false, Rights::all());
+    println!(
+        "create in a read-only preopen → {:?} (the chroot-like restriction of §IV)",
+        create_attempt.err().expect("denied")
+    );
+    let escape_attempt = wasi.resolve_path(3, "../../etc/passwd");
+    println!(
+        "path escape via '../../etc/passwd' → {:?}",
+        escape_attempt.err().expect("denied")
+    );
+}

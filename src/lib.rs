@@ -1,0 +1,19 @@
+//! # twine — facade crate
+//!
+//! Reproduction of *"TWINE: An Embedded Trusted Runtime for WebAssembly"*
+//! (ICDE 2021). This crate re-exports the public API of every workspace
+//! member so examples and downstream users can depend on a single crate.
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! paper-versus-measured record of every table and figure.
+
+pub use twine_baselines as baselines;
+pub use twine_core as core;
+pub use twine_crypto as crypto;
+pub use twine_minicc as minicc;
+pub use twine_pfs as pfs;
+pub use twine_polybench as polybench;
+pub use twine_sgx as sgx;
+pub use twine_sqldb as sqldb;
+pub use twine_wasi as wasi;
+pub use twine_wasm as wasm;
