@@ -9,7 +9,7 @@ use std::rc::Rc;
 use twine_core::shared_store::SharedStorage;
 use twine_pfs::{PfsMode, PfsOptions, PfsProfiler, SgxFile};
 use twine_sgx::Enclave;
-use twine_sqldb::vfs::{Vfs, VfsFile};
+use twine_sqldb::vfs::{FileMap, Vfs, VfsFile};
 use twine_sqldb::{DbError, DbResult};
 
 fn pfs_err(e: &twine_pfs::PfsError) -> DbError {
@@ -139,7 +139,7 @@ impl Vfs for PfsVfs {
             .files
             .borrow_mut()
             .entry(name.to_string())
-            .or_insert_with(SharedStorage::new)
+            .or_default()
             .clone();
         let inner = if known {
             SgxFile::open(storage, key, self.options()).map_err(|e| pfs_err(&e))?
@@ -178,7 +178,7 @@ const LKL_BLOCKS_PER_EXIT: u64 = 8;
 /// enclave (so file reads mostly avoid exits but consume EPC).
 pub struct LklVfs {
     enclave: Rc<Enclave>,
-    files: Rc<RefCell<HashMap<String, Rc<RefCell<Vec<u8>>>>>>,
+    files: FileMap,
     blocks_since_exit: Rc<RefCell<u64>>,
     /// Base page id for EPC accounting of the in-enclave page cache.
     epc_base: u64,

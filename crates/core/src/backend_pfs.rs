@@ -137,7 +137,7 @@ impl FsBackend for PfsBackend {
         let storage = self
             .files
             .entry(path.to_string())
-            .or_insert_with(SharedStorage::new)
+            .or_default()
             .clone();
         let opts = self.options();
         let inner = if !known || truncate {

@@ -165,7 +165,7 @@ mod tests {
 
     #[test]
     fn wrong_measurement_rejected() {
-        let mut rt = TwineBuilder::new().heap_bytes(1 << 20).build();
+        let rt = TwineBuilder::new().heap_bytes(1 << 20).build();
         let service = service_with(&rt);
         let provider = ApplicationProvider::new(vec![1, 2, 3], [0xAA; 32]);
         let quote = rt.attest(b"");

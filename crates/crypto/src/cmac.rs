@@ -58,18 +58,18 @@ impl Cmac {
         let tail = &msg[(n_blocks - 1) * 16..];
         if complete {
             last.copy_from_slice(tail);
-            for j in 0..16 {
-                last[j] ^= self.k1[j];
+            for (l, k) in last.iter_mut().zip(&self.k1) {
+                *l ^= k;
             }
         } else {
             last[..tail.len()].copy_from_slice(tail);
             last[tail.len()] = 0x80;
-            for j in 0..16 {
-                last[j] ^= self.k2[j];
+            for (l, k) in last.iter_mut().zip(&self.k2) {
+                *l ^= k;
             }
         }
-        for j in 0..16 {
-            x[j] ^= last[j];
+        for (xb, l) in x.iter_mut().zip(&last) {
+            *xb ^= l;
         }
         self.aes.encrypt_block(&mut x);
         x

@@ -78,7 +78,7 @@ pub fn ct_eq(a: &[u8], b: &[u8]) -> bool {
 /// Panics on malformed input; intended for tests and fixtures only.
 #[must_use]
 pub fn hex(s: &str) -> Vec<u8> {
-    assert!(s.len() % 2 == 0, "hex string must have even length");
+    assert!(s.len().is_multiple_of(2), "hex string must have even length");
     (0..s.len())
         .step_by(2)
         .map(|i| u8::from_str_radix(&s[i..i + 2], 16).expect("invalid hex"))

@@ -810,6 +810,7 @@ fn expr_label(e: &Expr) -> String {
 }
 
 /// Enumerate joined rows, invoking `cb` for each complete binding.
+#[allow(clippy::too_many_arguments)] // recursive enumerator threads the full query state
 fn join_rows(
     pager: &mut Pager,
     schema: &Schema,
@@ -1230,8 +1231,7 @@ fn analyze(pager: &mut Pager, schema: &mut Schema) -> DbResult<ExecResult> {
         .cloned()
         .collect();
     let stats_root = schema.table("twine_stats")?.root;
-    let mut rowid = 1i64;
-    for t in tables {
+    for (rowid, t) in (1i64..).zip(tables) {
         let mut n = 0i64;
         let mut c = Cursor::first(pager, t.root)?;
         while c.valid() {
@@ -1240,7 +1240,6 @@ fn analyze(pager: &mut Pager, schema: &mut Schema) -> DbResult<ExecResult> {
         }
         let rec = encode_record(&[SqlValue::Text(t.name.clone()), SqlValue::Int(n)]);
         btree::table_insert(pager, stats_root, rowid, &rec)?;
-        rowid += 1;
     }
     Ok(ExecResult::default())
 }

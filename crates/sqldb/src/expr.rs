@@ -244,7 +244,7 @@ pub fn like_match(pattern: &str, text: &str) -> bool {
             b'_' => !t.is_empty() && inner(&p[1..], &t[1..]),
             c => {
                 !t.is_empty()
-                    && t[0].to_ascii_lowercase() == c.to_ascii_lowercase()
+                    && t[0].eq_ignore_ascii_case(&c)
                     && inner(&p[1..], &t[1..])
             }
         }

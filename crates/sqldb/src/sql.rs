@@ -91,7 +91,7 @@ fn lex(sql: &str) -> DbResult<Vec<Tok>> {
                 }
                 let hexs = &sql[start..i];
                 i += 1;
-                if hexs.len() % 2 != 0 {
+                if !hexs.len().is_multiple_of(2) {
                     return Err(DbError::Parse("odd-length blob literal".into()));
                 }
                 let bytes = (0..hexs.len())

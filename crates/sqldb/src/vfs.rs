@@ -36,10 +36,15 @@ pub trait Vfs {
     fn exists(&mut self, name: &str) -> bool;
 }
 
+/// Shared handle to one file's bytes (every open handle views the same buffer).
+pub type FileBytes = Rc<RefCell<Vec<u8>>>;
+/// The shared namespace: path → file bytes.
+pub type FileMap = Rc<RefCell<HashMap<String, FileBytes>>>;
+
 /// Plain in-memory VFS (the "native" storage of the benchmarks).
 #[derive(Default, Clone)]
 pub struct MemVfs {
-    files: Rc<RefCell<HashMap<String, Rc<RefCell<Vec<u8>>>>>>,
+    files: FileMap,
 }
 
 impl MemVfs {

@@ -310,7 +310,7 @@ pub fn register_wasi(linker: &mut Linker) {
             let (mem, wasi) = mem_state(ctx)?;
             wasi.call_count += 1;
             wasi_call(|| {
-                wasi.check_rights(fd, Rights::FD_WRITE)?;
+                wasi.check_access(fd, Rights::FD_WRITE)?;
                 let mut total = 0u32;
                 for i in 0..iovs_len {
                     let base = read_u32(mem, iovs + 8 * i)?;
@@ -341,7 +341,7 @@ pub fn register_wasi(linker: &mut Linker) {
             let (mem, wasi) = mem_state(ctx)?;
             wasi.call_count += 1;
             wasi_call(|| {
-                wasi.check_rights(fd, Rights::FD_READ)?;
+                wasi.check_access(fd, Rights::FD_READ)?;
                 let mut total = 0u32;
                 // WASI fd_read is vectored; PFS reads are not — iterate
                 // (exactly the adaptation the paper describes in §IV-E).

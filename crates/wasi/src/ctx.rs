@@ -176,14 +176,30 @@ impl WasiCtx {
         self.fds.get_mut(&fd).ok_or(Errno::Badf)
     }
 
-    /// Require `rights` on `fd`, returning `Notcapable` otherwise.
-    pub fn check_rights(&mut self, fd: u32, rights: Rights) -> WasiResult<()> {
+    fn require(&mut self, fd: u32, rights: Rights, missing: Errno) -> WasiResult<()> {
         let entry = self.fd(fd)?;
         if entry.rights.contains(rights) {
             Ok(())
         } else {
-            Err(Errno::Notcapable)
+            Err(missing)
         }
+    }
+
+    /// Require `rights` on `fd`, returning `Notcapable` otherwise.
+    pub fn check_rights(&mut self, fd: u32, rights: Rights) -> WasiResult<()> {
+        self.require(fd, rights, Errno::Notcapable)
+    }
+
+    /// Require a *data-access* right (`FD_READ`/`FD_WRITE`) on an open fd.
+    ///
+    /// Distinct from [`check_rights`](Self::check_rights): a capability the
+    /// descriptor never carried (path escapes, creating in a read-only
+    /// preopen) is `Notcapable`, while attempting a data direction the open
+    /// descriptor was not granted is an access-permission failure, `Acces`
+    /// (paper §IV: per-program sandboxing of what Wasm may do with a file).
+    /// A dead or never-allocated fd remains `Badf` in both.
+    pub fn check_access(&mut self, fd: u32, rights: Rights) -> WasiResult<()> {
+        self.require(fd, rights, Errno::Acces)
     }
 
     /// Normalise and sandbox-check a guest path relative to a preopen fd.

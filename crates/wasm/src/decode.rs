@@ -205,7 +205,7 @@ impl<'a> Decoder<'a> {
                             if locals.len() + count as usize > 100_000 {
                                 return err("too many locals");
                             }
-                            locals.extend(std::iter::repeat(ty).take(count as usize));
+                            locals.extend(std::iter::repeat_n(ty, count as usize));
                         }
                         let body = self.instr_seq_until_end()?;
                         if self.pos != body_end {

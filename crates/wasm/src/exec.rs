@@ -1077,7 +1077,7 @@ fn cvt(op: CvtOp, v: u64) -> Result<u64, Trap> {
             }
             let t = x.trunc();
             // 2^63 is exactly representable; i64::MIN too.
-            if t >= 9_223_372_036_854_775_808.0 || t < -9_223_372_036_854_775_808.0 {
+            if !(-9_223_372_036_854_775_808.0..9_223_372_036_854_775_808.0).contains(&t) {
                 return Err(Trap::IntOverflow);
             }
             (t as i64) as u64

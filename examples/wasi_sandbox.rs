@@ -64,11 +64,11 @@ fn main() {
     let create_attempt = wasi.open_file(3, "new-file.txt", true, false, Rights::all());
     println!(
         "create in a read-only preopen → {:?} (the chroot-like restriction of §IV)",
-        create_attempt.err().expect("denied")
+        create_attempt.expect_err("denied")
     );
     let escape_attempt = wasi.resolve_path(3, "../../etc/passwd");
     println!(
         "path escape via '../../etc/passwd' → {:?}",
-        escape_attempt.err().expect("denied")
+        escape_attempt.expect_err("denied")
     );
 }

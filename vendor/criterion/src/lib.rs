@@ -1,0 +1,97 @@
+//! Offline, API-compatible subset of the `criterion` crate.
+//!
+//! Supports the shape used by `crates/bench/benches/engine.rs`:
+//! `criterion_group!`/`criterion_main!`, [`Criterion::bench_function`] and
+//! [`Bencher::iter`]. Timing is a simple wall-clock mean over a fixed
+//! iteration count (no warm-up statistics, outlier analysis or plotting).
+//!
+//! Under `cargo test` (cargo passes `--test` to `harness = false` bench
+//! targets) each benchmark body runs exactly once as a smoke test.
+
+#![forbid(unsafe_code)]
+
+use std::time::Instant;
+
+/// Prevent the optimiser from discarding a value (best-effort, safe-code
+/// variant of `criterion::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    test_mode: bool,
+    iters: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench` invokes the (harness = false) binary with `--bench`;
+        // `cargo test` invokes it bare or with `--test`. Only measure in the
+        // former case — everything else is a single-iteration smoke run.
+        let bench_mode = std::env::args().any(|a| a == "--bench");
+        Criterion {
+            test_mode: !bench_mode,
+            iters: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Run one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            iters: if self.test_mode { 1 } else { self.iters },
+            elapsed_ns: 0,
+        };
+        f(&mut b);
+        if self.test_mode {
+            println!("test {name} ... ok");
+        } else {
+            let per_iter = b.elapsed_ns / b.iters.max(1) as u128;
+            println!("{name:<40} {per_iter:>12} ns/iter ({} iters)", b.iters);
+        }
+        self
+    }
+}
+
+/// Passed to each benchmark closure; times the body of [`Bencher::iter`].
+pub struct Bencher {
+    iters: u64,
+    elapsed_ns: u128,
+}
+
+impl Bencher {
+    /// Run `f` repeatedly, timing the total.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed_ns = start.elapsed().as_nanos();
+    }
+}
+
+/// Define a benchmark group: a function that runs each target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Define `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,67 @@
+//! Collection strategies: `vec` and `btree_map`.
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Strategy for `Vec<T>` with length drawn from `size`.
+pub struct VecStrategy<S> {
+    element: S,
+    size: std::ops::Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        let n = rng.gen_range(self.size.clone());
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// `Vec` of values from `element`, with a length in `size`.
+pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, size }
+}
+
+/// Strategy for `BTreeMap<K, V>` with entry count drawn from `size`.
+pub struct BTreeMapStrategy<KS, VS> {
+    keys: KS,
+    values: VS,
+    size: std::ops::Range<usize>,
+}
+
+impl<KS, VS> Strategy for BTreeMapStrategy<KS, VS>
+where
+    KS: Strategy,
+    KS::Value: Ord,
+    VS: Strategy,
+{
+    type Value = std::collections::BTreeMap<KS::Value, VS::Value>;
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        let target = rng.gen_range(self.size.clone());
+        let mut map = std::collections::BTreeMap::new();
+        // Duplicate keys collapse, exactly like real proptest's btree_map;
+        // bound the attempts so tiny key domains cannot loop forever.
+        for _ in 0..target.saturating_mul(4) {
+            if map.len() >= target {
+                break;
+            }
+            map.insert(self.keys.generate(rng), self.values.generate(rng));
+        }
+        map
+    }
+}
+
+/// `BTreeMap` with keys/values from the given strategies and size in `size`.
+pub fn btree_map<KS, VS>(
+    keys: KS,
+    values: VS,
+    size: std::ops::Range<usize>,
+) -> BTreeMapStrategy<KS, VS>
+where
+    KS: Strategy,
+    KS::Value: Ord,
+    VS: Strategy,
+{
+    BTreeMapStrategy { keys, values, size }
+}

@@ -1,0 +1,24 @@
+//! Test-runner configuration.
+
+/// Subset of `proptest::test_runner::ProptestConfig`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of cases to generate per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest defaults to 256; this subset keeps that so tests
+        // that omit a config get comparable coverage.
+        ProptestConfig { cases: 256 }
+    }
+}
