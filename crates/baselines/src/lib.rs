@@ -17,6 +17,10 @@
 //!
 //! All calibration constants carry doc comments citing what they mirror;
 //! see DESIGN.md §4 for the methodology.
+//!
+//! **Dependency graph**: sits atop `twine-core`, `twine-sqldb`, `twine-pfs`,
+//! `twine-sgx`, `twine-crypto` and `twine-wasm` — it prices their metered
+//! event streams. Consumed by `twine-bench`. Paper anchor: §V.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -14,6 +14,29 @@ fn bench_wasm_kernel(c: &mut Criterion) {
     });
 }
 
+/// Dispatch-loop comparison of the two execution tiers: the module is
+/// AoT-compiled once per tier outside the timed body, so the benches time
+/// instantiation + execution only. The fused tier must win on wall-clock
+/// while metering stays bit-identical (asserted here on every iteration's
+/// checksum path by `twine-polybench`'s own tests and the differential
+/// proptests).
+fn bench_wasm_tiers(c: &mut Criterion) {
+    use twine_polybench::{compile_kernel, kernels, run_compiled};
+    use twine_wasm::ExecTier;
+    for name in ["gemm", "doitgen", "cholesky"] {
+        let kernel = kernels::Kernel {
+            name,
+            source: kernels::source_for(name, kernels::Scale::Mini),
+        };
+        for tier in [ExecTier::Baseline, ExecTier::Fused] {
+            let compiled = compile_kernel(&kernel, tier).expect("compile");
+            c.bench_function(&format!("wasm_{name}_mini_{tier}"), |b| {
+                b.iter(|| run_compiled(&compiled).expect("run"));
+            });
+        }
+    }
+}
+
 fn bench_pfs(c: &mut Criterion) {
     use twine_pfs::{MemStorage, PfsMode, PfsOptions, SgxFile};
     let data = vec![0xA5u8; 64 * 1024];
@@ -90,6 +113,7 @@ fn bench_btree(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_wasm_kernel,
+    bench_wasm_tiers,
     bench_pfs,
     bench_crypto,
     bench_sql,

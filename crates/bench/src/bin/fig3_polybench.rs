@@ -5,7 +5,10 @@
 //! engine, and the same instruction stream is priced under the three cost
 //! models (DESIGN.md §4). `--mem-sweep` additionally reports the EPC
 //! behaviour of the memory-hungry kernels the paper singles out
-//! (deriche/lu/ludcmp, §V-B).
+//! (deriche/lu/ludcmp, §V-B). `--tiers` runs every kernel on both
+//! execution tiers (baseline dispatch vs fused superinstructions),
+//! verifies the metered virtual-time streams are bit-identical, and
+//! reports the wall-clock delta.
 
 use twine_baselines::model::{kernel_seconds, ExecMode};
 use twine_bench::{arg_value, has_flag, write_csv};
@@ -63,9 +66,100 @@ fn main() {
         &rows,
     );
 
+    if has_flag("--tiers") {
+        tier_comparison(scale);
+    }
+
     if has_flag("--mem-sweep") {
         mem_sweep();
     }
+}
+
+/// Execute every kernel on both tiers, check that the metered virtual-time
+/// inputs (per-class counts, bytes, page transitions) are bit-identical,
+/// and report the wall-clock speedup of the fused tier.
+fn tier_comparison(scale: Scale) {
+    use std::time::Instant;
+    use twine_polybench::{compile_kernel, run_compiled};
+    use twine_wasm::meter::InstrClass;
+    use twine_wasm::ExecTier;
+
+    println!("\nExecution tiers: baseline dispatch vs fused superinstructions");
+    println!(
+        "{:<16} {:>12} {:>12} {:>9}  {:>11} {:>11}",
+        "kernel", "base_ms", "fused_ms", "speedup", "base_ops", "fused_ops"
+    );
+    let mut rows = Vec::new();
+    let mut log_sum = 0.0f64;
+    let kernels = all_kernels(scale);
+    for k in &kernels {
+        let base = compile_kernel(k, ExecTier::Baseline).unwrap_or_else(|e| panic!("{e}"));
+        let fused = compile_kernel(k, ExecTier::Fused).unwrap_or_else(|e| panic!("{e}"));
+        // One untimed warm-up run per tier, then the minimum of three
+        // timed runs: both tiers face the same cache/allocator state and
+        // scheduler jitter on a single sample cannot skew the CSV.
+        run_compiled(&base).unwrap_or_else(|e| panic!("{e}"));
+        run_compiled(&fused).unwrap_or_else(|e| panic!("{e}"));
+        let time_min = |ck: &twine_polybench::CompiledKernel| {
+            let mut best = f64::INFINITY;
+            let mut last = None;
+            for _ in 0..3 {
+                let t = Instant::now();
+                last = Some(run_compiled(ck).unwrap_or_else(|e| panic!("{e}")));
+                best = best.min(t.elapsed().as_secs_f64());
+            }
+            (best, last.expect("three runs"))
+        };
+        let (base_s, rb) = time_min(&base);
+        let (fused_s, rf) = time_min(&fused);
+
+        // The whole point of the design: virtual time must be unchanged.
+        assert_eq!(
+            rb.checksum.to_bits(),
+            rf.checksum.to_bits(),
+            "{}: checksum diverged between tiers",
+            k.name
+        );
+        for c in InstrClass::all() {
+            assert_eq!(
+                rb.meter.count(c),
+                rf.meter.count(c),
+                "{}: metered class {c:?} diverged between tiers",
+                k.name
+            );
+        }
+        assert_eq!(rb.meter.bytes_accessed, rf.meter.bytes_accessed, "{}", k.name);
+        assert_eq!(rb.meter.page_transitions, rf.meter.page_transitions, "{}", k.name);
+
+        let speedup = base_s / fused_s;
+        log_sum += speedup.ln();
+        println!(
+            "{:<16} {:>12.2} {:>12.2} {:>8.2}x  {:>11} {:>11}",
+            k.name,
+            base_s * 1e3,
+            fused_s * 1e3,
+            speedup,
+            base.code.code_size_lowered_ops(),
+            fused.code.code_size_lowered_ops()
+        );
+        rows.push(format!(
+            "{},{:.6},{:.6},{:.4},{},{}",
+            k.name,
+            base_s,
+            fused_s,
+            speedup,
+            base.code.code_size_lowered_ops(),
+            fused.code.code_size_lowered_ops()
+        ));
+    }
+    let geomean = (log_sum / kernels.len() as f64).exp();
+    println!("\ngeomean wall-clock speedup (fused over baseline): {geomean:.2}x");
+    println!("virtual cycle streams: bit-identical across tiers (verified per kernel)");
+    write_csv(
+        "fig3_tier_wallclock.csv",
+        "kernel,baseline_seconds,fused_seconds,speedup,baseline_ops,fused_ops",
+        &rows,
+    );
 }
 
 /// §V-B memory study: attach an EPC model of shrinking size to the kernels

@@ -15,34 +15,59 @@
 //! | `table3_costs`    | Table IIIa/IIIb         |
 //!
 //! Run e.g. `cargo run -p twine-bench --release --bin fig3_polybench`.
+//!
+//! **Dependency graph**: top of the workspace — drives every other crate
+//! and writes the per-figure CSVs consumed by the evaluation write-up.
+//! Paper anchor: §V.
 
 #![forbid(unsafe_code)]
 
 use std::io::Write as _;
 use std::path::PathBuf;
 
-/// Where CSV outputs land (`results/` at the workspace root).
+/// Where CSV outputs land (`results/` at the workspace root). The
+/// directory is created if missing, so the binaries work on a fresh
+/// checkout and regardless of the invocation directory: an existing
+/// `results/` relative to the current directory wins, then the workspace
+/// root (anchored via this crate's manifest), then `./results` is created.
 #[must_use]
 pub fn results_dir() -> PathBuf {
-    let candidates = [PathBuf::from("results"), PathBuf::from("../../results")];
+    let workspace_root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("results");
+    let candidates = [PathBuf::from("results"), workspace_root.clone()];
     for c in &candidates {
         if c.is_dir() {
             return c.clone();
         }
     }
-    std::fs::create_dir_all("results").ok();
+    // Fresh checkout: create at the workspace root first, falling back to
+    // the current directory.
+    for c in [&workspace_root, &candidates[0]] {
+        if std::fs::create_dir_all(c).is_ok() {
+            return c.clone();
+        }
+    }
     PathBuf::from("results")
 }
 
-/// Write a CSV file under `results/`.
+/// Write a CSV file under `results/` and print the output path. I/O
+/// failures are reported on stderr without aborting the run — the table
+/// has already been printed to stdout at this point.
 pub fn write_csv(name: &str, header: &str, rows: &[String]) {
     let path = results_dir().join(name);
-    let mut f = std::fs::File::create(&path).expect("create csv");
-    writeln!(f, "{header}").expect("write header");
-    for r in rows {
-        writeln!(f, "{r}").expect("write row");
+    let write = |path: &std::path::Path| -> std::io::Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        writeln!(f, "{header}")?;
+        for r in rows {
+            writeln!(f, "{r}")?;
+        }
+        Ok(())
+    };
+    match write(&path) {
+        Ok(()) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
     }
-    println!("\nwrote {}", path.display());
 }
 
 /// Parse a `--flag value` style argument.

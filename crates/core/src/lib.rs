@@ -38,6 +38,11 @@
 //!
 //! The single ECALL design of §IV-C is preserved: one enclave call runs the
 //! whole guest application; all host interaction happens through WASI.
+//!
+//! **Dependency graph**: the integration crate — composes `twine-wasm`
+//! (engine + [`ExecTier`]), `twine-wasi` (ABI), `twine-pfs`/`twine-sgx`
+//! (trusted fs inside the simulated enclave) and `twine-minicc` (doctests).
+//! Consumed by `twine-baselines` and `twine-bench`. Paper anchor: §IV.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -52,3 +57,4 @@ pub use backend_host::HostBackend;
 pub use backend_pfs::PfsBackend;
 pub use provision::{ApplicationProvider, EncryptedApp};
 pub use runtime::{FsChoice, RunReport, TwineApp, TwineBuilder, TwineError, TwineRuntime};
+pub use twine_wasm::ExecTier;

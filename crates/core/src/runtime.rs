@@ -10,7 +10,7 @@ use twine_wasi::abi::PROC_EXIT_TRAP;
 use twine_wasi::{register_wasi, Errno, FsBackend, Rights, WasiCtx, WasiFile};
 use twine_wasm::compile::CompiledModule;
 use twine_wasm::types::{FuncType, ValType};
-use twine_wasm::{Instance, Linker, Meter, ModuleError, PageSink, Trap, Value};
+use twine_wasm::{ExecTier, Instance, Linker, Meter, ModuleError, PageSink, Trap, Value};
 
 use crate::backend_host::HostBackend;
 use crate::backend_pfs::PfsBackend;
@@ -81,6 +81,7 @@ pub struct TwineBuilder {
     env: Vec<(String, String)>,
     with_profiler: bool,
     fuel: Option<u64>,
+    exec_tier: ExecTier,
 }
 
 impl Default for TwineBuilder {
@@ -107,6 +108,7 @@ impl TwineBuilder {
             env: Vec::new(),
             with_profiler: false,
             fuel: None,
+            exec_tier: ExecTier::default(),
         }
     }
 
@@ -198,6 +200,16 @@ impl TwineBuilder {
         self
     }
 
+    /// Select the engine's execution tier: the baseline dispatch or the
+    /// fused-superinstruction IR (default). Both are semantically and
+    /// metering-identical; the fused tier is faster in wall-clock terms,
+    /// so virtual-time results are tier-independent.
+    #[must_use]
+    pub fn exec_tier(mut self, tier: ExecTier) -> Self {
+        self.exec_tier = tier;
+        self
+    }
+
     /// Create the enclave and runtime (charges launch cycles).
     #[must_use]
     pub fn build(self) -> TwineRuntime {
@@ -231,6 +243,7 @@ impl TwineBuilder {
             profiler,
             backend: Some(backend),
             fuel: self.fuel,
+            exec_tier: self.exec_tier,
         }
     }
 }
@@ -329,6 +342,7 @@ pub struct TwineRuntime {
     profiler: Option<PfsProfiler>,
     backend: Option<Box<dyn FsBackend>>,
     fuel: Option<u64>,
+    exec_tier: ExecTier,
 }
 
 impl TwineRuntime {
@@ -360,7 +374,7 @@ impl TwineRuntime {
     /// the already-delivered bytes) and map it into the enclave's reserved
     /// memory (§IV-B). One ECALL.
     pub fn load_wasm(&mut self, wasm: &[u8]) -> Result<TwineApp, TwineError> {
-        let compiled = CompiledModule::from_bytes(wasm)?;
+        let compiled = CompiledModule::from_bytes_with_tier(wasm, self.exec_tier)?;
         // Copy into reserved memory: charge the boundary copy.
         self.enclave.ecall(|| {
             self.enclave.clock().add_cycles(wasm.len() as u64 / 4);

@@ -23,6 +23,10 @@
 //!
 //! They are **not** hardened against timing side channels; the paper scopes
 //! side-channel attacks out of its threat model (§IV-A) and so do we.
+//!
+//! **Dependency graph**: leaf crate (no `twine-*` dependencies). Consumed
+//! by `twine-sgx` (sealing-key derivation), `twine-pfs` (per-node AEAD) and
+//! `twine-core` (application provisioning). Paper anchor: §IV-D/E.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -27,6 +27,10 @@
 //! assert!(bytes.starts_with(b"\0asm"));
 //! # let _ = module;
 //! ```
+//!
+//! **Dependency graph**: depends only on `twine-wasm` (emits modules via
+//! `ModuleBuilder`). Consumed by `twine-polybench` (kernel compilation)
+//! and `twine-core`'s examples/tests. Paper anchor: Figure 1, §V-B.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -48,6 +48,11 @@
 //! detected** — swapping the whole file for an older version passes
 //! verification (§IV-D lists this as a known limitation; a test documents
 //! it).
+//!
+//! **Dependency graph**: builds on `twine-crypto` (AES-GCM/CCM) and
+//! `twine-sgx` (boundary-cost accounting). Consumed by `twine-core`'s
+//! trusted fs backend and `twine-baselines`' SQLite VFS variants.
+//! Paper anchor: §IV-D/E, §V-F.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -78,12 +83,21 @@ pub const META_L1_ENTRIES: u64 = 100;
 /// Default node-cache capacity (the SDK default).
 pub const DEFAULT_CACHE_NODES: usize = 48;
 
-/// Cipher/layout mode.
+/// Cipher/layout mode of the protected file system.
+///
+/// The paper measures the stock Intel implementation (§IV-D/E), identifies
+/// its overheads, and proposes the §V-F variant; both are reproduced here
+/// behind one switch so every experiment can run either way.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PfsMode {
-    /// Stock Intel SDK behaviour (clears + boundary copy + AES-GCM).
+    /// Stock Intel SDK behaviour: nodes are cleared before reuse, node
+    /// contents cross the enclave boundary through an extra bounce-buffer
+    /// copy, and every 4 KiB node is sealed with AES-GCM.
     Intel,
-    /// Paper §V-F optimised behaviour (no clears, zero-copy, AES-CCM).
+    /// The paper's §V-F optimised behaviour: redundant clears removed,
+    /// zero-copy node access, and AES-CCM (MAC-then-encrypt over data that
+    /// is already enclave-resident), trading GCM's parallelism for fewer
+    /// passes over the plaintext.
     Optimised,
 }
 

@@ -12,6 +12,10 @@
 //! Problem sizes are scaled down from PolyBench's defaults so that metering
 //! runs finish in benchmark-friendly time; Figure 3 reports *normalised*
 //! run times, which are size-stable (see DESIGN.md §4).
+//!
+//! **Dependency graph**: builds on `twine-minicc` (MiniC → Wasm) and
+//! `twine-wasm` (metered execution, tier selection). Consumed by
+//! `twine-bench`'s Figure 3 harness. Paper anchor: §V-B.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -21,4 +25,5 @@ pub mod reference;
 pub mod runner;
 
 pub use kernels::{all_kernels, kernel_names, Kernel, Scale};
-pub use runner::{run_kernel, KernelRun};
+pub use runner::{compile_kernel, run_compiled, run_kernel, run_kernel_tier};
+pub use runner::{CompiledKernel, KernelRun};

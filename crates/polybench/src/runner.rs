@@ -1,13 +1,28 @@
 //! Compile + execute a kernel on the Wasm engine, collecting the metered
 //! instruction stream that the Figure 3 cost models consume.
+//!
+//! Compilation ([`compile_kernel`]) and execution ([`run_compiled`]) are
+//! exposed separately so benchmarks can amortise the MiniC → Wasm → AoT
+//! pipeline and time the dispatch loop alone, per execution tier.
 
 use std::sync::Arc;
 
 use twine_wasm::compile::CompiledModule;
+use twine_wasm::lower::ExecTier;
 use twine_wasm::types::{FuncType, ValType, Value};
 use twine_wasm::{Instance, Linker, Meter, Trap};
 
 use crate::kernels::Kernel;
+
+/// A kernel compiled end-to-end (MiniC → Wasm → AoT) for one tier.
+pub struct CompiledKernel {
+    /// Kernel name.
+    pub name: &'static str,
+    /// AoT-compiled module, ready to instantiate.
+    pub code: Arc<CompiledModule>,
+    /// Size of the encoded `.wasm` binary.
+    pub wasm_bytes: usize,
+}
 
 /// Result of one metered kernel run.
 pub struct KernelRun {
@@ -45,30 +60,50 @@ fn libm_linker() -> Linker {
     linker
 }
 
-/// Compile and execute one kernel end to end.
-pub fn run_kernel(kernel: &Kernel) -> Result<KernelRun, String> {
+/// Compile one kernel (MiniC → Wasm → AoT) for the given execution tier.
+pub fn compile_kernel(kernel: &Kernel, tier: ExecTier) -> Result<CompiledKernel, String> {
     let wasm = twine_minicc::compile_to_bytes(&kernel.source)
         .map_err(|e| format!("{}: minicc: {e}", kernel.name))?;
-    let code = CompiledModule::from_bytes(&wasm)
+    let code = CompiledModule::from_bytes_with_tier(&wasm, tier)
         .map_err(|e| format!("{}: wasm: {e}", kernel.name))?;
-    let mut inst = Instance::instantiate(Arc::new(code), libm_linker(), Box::new(()))
-        .map_err(|e| format!("{}: instantiate: {e}", kernel.name))?;
+    Ok(CompiledKernel {
+        name: kernel.name,
+        code: Arc::new(code),
+        wasm_bytes: wasm.len(),
+    })
+}
+
+/// Instantiate and execute an already-compiled kernel (`init` + `kernel` +
+/// `checksum`), collecting the metered run.
+pub fn run_compiled(ck: &CompiledKernel) -> Result<KernelRun, String> {
+    let mut inst = Instance::instantiate(Arc::clone(&ck.code), libm_linker(), Box::new(()))
+        .map_err(|e| format!("{}: instantiate: {e}", ck.name))?;
     inst.invoke("init", &[])
-        .map_err(|e| format!("{}: init: {e}", kernel.name))?;
+        .map_err(|e| format!("{}: init: {e}", ck.name))?;
     inst.invoke("kernel", &[])
-        .map_err(|e| format!("{}: kernel: {e}", kernel.name))?;
+        .map_err(|e| format!("{}: kernel: {e}", ck.name))?;
     let out = inst
         .invoke("checksum", &[])
-        .map_err(|e| format!("{}: checksum: {e}", kernel.name))?;
+        .map_err(|e| format!("{}: checksum: {e}", ck.name))?;
     let checksum = out[0].as_f64().ok_or("checksum not f64")?;
     Ok(KernelRun {
-        name: kernel.name,
+        name: ck.name,
         checksum,
         page_transitions: inst.meter.page_transitions,
         memory_bytes: inst.memory().map_or(0, twine_wasm::Memory::size_bytes),
         meter: inst.meter.clone(),
-        wasm_bytes: wasm.len(),
+        wasm_bytes: ck.wasm_bytes,
     })
+}
+
+/// Compile and execute one kernel end to end on the given tier.
+pub fn run_kernel_tier(kernel: &Kernel, tier: ExecTier) -> Result<KernelRun, String> {
+    run_compiled(&compile_kernel(kernel, tier)?)
+}
+
+/// Compile and execute one kernel end to end (default tier).
+pub fn run_kernel(kernel: &Kernel) -> Result<KernelRun, String> {
+    run_kernel_tier(kernel, ExecTier::default())
 }
 
 #[cfg(test)]
@@ -97,5 +132,38 @@ mod tests {
         let b = run_kernel(k).unwrap();
         assert_eq!(a.checksum.to_bits(), b.checksum.to_bits());
         assert_eq!(a.meter.total(), b.meter.total());
+    }
+
+    #[test]
+    fn tiers_agree_on_checksum_and_meter() {
+        use twine_wasm::meter::InstrClass;
+        // The Figure 3 methodology requires the fused tier's metered
+        // stream to be bit-identical to the baseline tier's.
+        for k in &all_kernels(Scale::Mini)[..4] {
+            let base = run_kernel_tier(k, ExecTier::Baseline).unwrap();
+            let fused = run_kernel_tier(k, ExecTier::Fused).unwrap();
+            assert_eq!(base.checksum.to_bits(), fused.checksum.to_bits(), "{}", k.name);
+            for c in InstrClass::all() {
+                assert_eq!(
+                    base.meter.count(c),
+                    fused.meter.count(c),
+                    "{}: class {c:?} diverged",
+                    k.name
+                );
+            }
+            assert_eq!(base.meter.bytes_accessed, fused.meter.bytes_accessed);
+            assert_eq!(base.meter.page_transitions, fused.meter.page_transitions);
+        }
+    }
+
+    #[test]
+    fn fused_tier_dispatches_fewer_ops() {
+        let k = &all_kernels(Scale::Mini)[0];
+        let base = compile_kernel(k, ExecTier::Baseline).unwrap();
+        let fused = compile_kernel(k, ExecTier::Fused).unwrap();
+        assert!(
+            fused.code.code_size_lowered_ops() < base.code.code_size_lowered_ops(),
+            "fusion should shrink the dispatched stream"
+        );
     }
 }

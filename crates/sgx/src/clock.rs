@@ -16,6 +16,14 @@ pub const CPU_HZ: u64 = 3_800_000_000;
 
 /// A shareable virtual-cycle counter (single-threaded interior mutability —
 /// the benchmark harness is single-threaded by design for determinism).
+///
+/// `SimClock` is the spine of the virtual-time methodology (DESIGN.md §4,
+/// paper §V-A): every simulated SGX event — enclave transitions, EPC
+/// paging, sealed I/O — charges cycles here, and every figure reports
+/// [`SimClock::elapsed`] rather than host wall-clock, which keeps runs
+/// deterministic and hardware-independent. Wall-clock optimisations (e.g.
+/// the fused execution tier in `twine-wasm::lower`) are required to leave
+/// these counts bit-identical.
 #[derive(Clone, Default)]
 pub struct SimClock {
     cycles: Rc<Cell<u64>>,

@@ -1,9 +1,9 @@
 //! Calibrated cycle costs of simulated SGX events.
 //!
 //! Sources: the paper (§III-A, §V-A) and Intel's performance guidance the
-//! paper cites ([23], [24], [54]). These constants are the *only* knobs of
-//! the SGX simulation; everything else emerges from the workload's real
-//! event stream.
+//! paper cites (its references \[23\], \[24\], \[54\]). These constants are
+//! the *only* knobs of the SGX simulation; everything else emerges from the
+//! workload's real event stream.
 
 /// Cycles to cross the enclave boundary in one direction. A full
 /// ECALL or OCALL round trip (enter + exit) therefore costs 13,100 cycles,

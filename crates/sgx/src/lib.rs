@@ -25,6 +25,10 @@
 //!
 //! Time is *virtual*: costs accumulate in a [`SimClock`] as cycles and are
 //! reported as durations at the paper's 3.8 GHz reference frequency.
+//!
+//! **Dependency graph**: depends only on `twine-crypto` (sealing). Consumed
+//! by `twine-pfs` (enclave-aware boundary costs), `twine-core` (the enclave
+//! hosting the runtime) and the harnesses. Paper anchor: §III-A, §V-A.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

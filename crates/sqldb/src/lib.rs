@@ -32,6 +32,10 @@
 //! let rows = db.query("SELECT v FROM kv WHERE k = 2").unwrap();
 //! assert_eq!(rows[0][0], SqlValue::Text("world".into()));
 //! ```
+//!
+//! **Dependency graph**: leaf crate (no `twine-*` dependencies); its VFS
+//! seam is where `twine-baselines` plugs in the protected-fs variants.
+//! Consumed by `twine-baselines` and `twine-bench`. Paper anchor: §V-C/D.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

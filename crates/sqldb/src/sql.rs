@@ -342,7 +342,7 @@ pub enum Stmt {
         /// IF NOT EXISTS.
         if_not_exists: bool,
     },
-    /// CREATE [UNIQUE] INDEX.
+    /// CREATE \[UNIQUE\] INDEX.
     CreateIndex {
         /// Index name.
         name: String,
@@ -390,7 +390,7 @@ pub enum Stmt {
         /// WHERE filter.
         where_: Option<Expr>,
     },
-    /// BEGIN [TRANSACTION].
+    /// BEGIN \[TRANSACTION\].
     Begin,
     /// COMMIT.
     Commit,

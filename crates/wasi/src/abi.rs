@@ -77,7 +77,8 @@ macro_rules! args_i32 {
 /// Register the WASI snapshot-preview-1 surface into `linker`.
 ///
 /// The instance's host state must be (or contain, at `Any` level) a
-/// [`WasiCtx`]; use [`state`] to fetch it.
+/// [`WasiCtx`]; use [`HostCtx::state`](twine_wasm::HostCtx::state) to
+/// fetch it.
 #[allow(clippy::too_many_lines)]
 pub fn register_wasi(linker: &mut Linker) {
     use ValType::{I32, I64};

@@ -28,6 +28,15 @@ pub trait WasiFile {
 }
 
 /// A file-system backend resolving sandboxed paths.
+///
+/// This is the paper's trusted/untrusted dispatch seam (§IV-C): the WASI
+/// layer is backend-agnostic, and the embedder decides per runtime whether
+/// fs calls are served by the *trusted* protected file system
+/// (`twine-core`'s `PfsBackend` over `twine-pfs`, ciphertext leaves the
+/// enclave), the *generic untrusted* POSIX layer (`HostBackend`, plaintext
+/// OCALLs to the host), or nothing at all (the §IV-C compile-out flag).
+/// Paths handed to a backend are already normalised and sandbox-checked by
+/// [`WasiCtx`].
 pub trait FsBackend {
     /// Open (optionally create/truncate) a file.
     fn open(
@@ -74,7 +83,7 @@ pub struct FdEntry {
 
 /// The per-instance WASI state.
 pub struct WasiCtx {
-    /// Program arguments (argv[0] = program name).
+    /// Program arguments (`argv[0]` = program name).
     pub args: Vec<String>,
     /// Environment variables.
     pub env: Vec<(String, String)>,

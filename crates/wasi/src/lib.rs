@@ -18,6 +18,11 @@
 //! clocks, fd_{read,write,seek,tell,close,sync,filestat*,fdstat*,prestat*},
 //! path_{open,filestat_get,unlink_file}, random_get, sched_yield and
 //! proc_exit.
+//!
+//! **Dependency graph**: depends only on `twine-wasm` (to register host
+//! functions against the engine's `Linker`). Consumed by `twine-core`,
+//! which supplies the fs backends behind [`FsBackend`]. Paper anchor:
+//! §III-B, §IV-C.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -8,6 +8,7 @@
 //! simple dispatch loop with no decoding or label searching at run time.
 
 use crate::instr::{Instr, LoadKind, StoreKind};
+use crate::lower::{lower_func, ExecTier, LowFunc};
 use crate::meter::InstrClass;
 use crate::module::Module;
 use crate::types::{FuncType, ValType};
@@ -150,12 +151,26 @@ pub struct CompiledModule {
     pub module: Module,
     /// Compiled local functions (indexed after imported functions).
     pub funcs: Vec<CompiledFunc>,
+    /// Which execution tier `lowered` was produced for.
+    pub tier: ExecTier,
+    /// Per-function lowered code the engine dispatches on (parallel to
+    /// `funcs`; see [`crate::lower`]).
+    pub lowered: Vec<LowFunc>,
 }
 
 impl CompiledModule {
-    /// Validate and compile a module. This is the only way to obtain
-    /// executable code, mirroring Twine's "AoT-only" design.
+    /// Validate and compile a module for the default (fused) execution
+    /// tier. This is the only way to obtain executable code, mirroring
+    /// Twine's "AoT-only" design.
     pub fn compile(module: Module) -> Result<Self, ModuleError> {
+        Self::compile_with_tier(module, ExecTier::default())
+    }
+
+    /// Validate and compile a module, selecting the execution tier: the
+    /// baseline one-op-per-instruction dispatch or the fused
+    /// superinstruction IR. Both tiers have identical semantics and
+    /// metering; the tier only changes wall-clock dispatch cost.
+    pub fn compile_with_tier(module: Module, tier: ExecTier) -> Result<Self, ModuleError> {
         crate::validate::validate(&module)?;
         let mut funcs = Vec::with_capacity(module.funcs.len());
         for f in &module.funcs {
@@ -164,19 +179,39 @@ impl CompiledModule {
             c.type_idx = f.type_idx;
             funcs.push(c);
         }
-        Ok(Self { module, funcs })
+        let lowered = funcs.iter().map(|f| lower_func(f, tier)).collect();
+        Ok(Self {
+            module,
+            funcs,
+            tier,
+            lowered,
+        })
     }
 
-    /// Decode, validate and compile in one step.
+    /// Decode, validate and compile in one step (default tier).
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, ModuleError> {
         Self::compile(crate::decode::decode(bytes)?)
     }
 
+    /// Decode, validate and compile in one step for a specific tier.
+    pub fn from_bytes_with_tier(bytes: &[u8], tier: ExecTier) -> Result<Self, ModuleError> {
+        Self::compile_with_tier(crate::decode::decode(bytes)?, tier)
+    }
+
     /// Total number of flattened ops across all functions (a code-size
-    /// proxy reported by the Table III harness).
+    /// proxy reported by the Table III harness). Tier-independent: this
+    /// counts the baseline form, not the fused IR.
     #[must_use]
     pub fn code_size_ops(&self) -> usize {
         self.funcs.iter().map(|f| f.ops.len()).sum()
+    }
+
+    /// Total number of lowered ops actually dispatched by the engine
+    /// (equals [`Self::code_size_ops`] on the baseline tier, smaller on
+    /// the fused tier).
+    #[must_use]
+    pub fn code_size_lowered_ops(&self) -> usize {
+        self.lowered.iter().map(|f| f.ops.len()).sum()
     }
 }
 
@@ -619,6 +654,25 @@ mod tests {
             vec![],
         );
         assert!(matches!(f.ops[1], Op::Load(LoadKind::I32, 64)));
+    }
+
+    #[test]
+    fn default_compile_selects_the_fused_tier() {
+        use crate::lower::ExecTier;
+        let mut b = ModuleBuilder::new();
+        b.memory(Limits::at_least(1));
+        b.add_func(
+            FuncType::new(vec![], vec![ValType::I32]),
+            vec![ValType::I32],
+            vec![
+                Instr::LocalGet(0),
+                Instr::Const(Value::I32(7)),
+                Instr::IBinop(IntWidth::W32, IBinOp::Add),
+            ],
+        );
+        let cm = b.build().into_compiled().unwrap();
+        assert_eq!(cm.tier, ExecTier::Fused);
+        assert!(cm.code_size_lowered_ops() < cm.code_size_ops());
     }
 
     #[test]

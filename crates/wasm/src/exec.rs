@@ -1,7 +1,7 @@
 //! The execution engine: instantiation, host-function linking, and the
 //! dispatch loop over pre-compiled (flattened) code.
 //!
-//! In the paper's architecture this is "the Wasm runtime [that] runs
+//! In the paper's architecture this is "the Wasm runtime \[that\] runs
 //! entirely inside the TEE" (§IV). Host functions registered through the
 //! [`Linker`] model the WASI boundary: inside Twine they are provided by the
 //! trusted WASI layer, which in turn may leave the enclave via OCALLs.
@@ -10,9 +10,10 @@ use std::any::Any;
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use crate::compile::{BranchTarget, CompiledModule, Op};
+use crate::compile::{BranchTarget, CompiledModule};
 use crate::instr::{FBinOp, FRelOp, FUnOp, FloatWidth, IBinOp, IRelOp, IUnOp, IntWidth};
 use crate::instr::{CvtOp, LoadKind, StoreKind};
+use crate::lower::LowOp;
 use crate::memory::Memory;
 use crate::meter::Meter;
 use crate::module::ImportDesc;
@@ -391,9 +392,34 @@ impl Instance {
     // ------------------------------------------------------------------
     // The dispatch loop
     // ------------------------------------------------------------------
+    //
+    // Executes the lowered IR of `crate::lower`. Both tiers flow through
+    // this one loop: the baseline tier's code is a 1:1 image of the
+    // flattened ops, the fused tier's code packs superinstructions. Each
+    // lowered op carries an `OpCost` — the ordered metering classes of its
+    // constituent baseline instructions — so fuel and the meter advance
+    // exactly as if every constituent had been dispatched individually.
+
+    fn run(&mut self, entry_func: usize, opds: &mut Vec<u64>) -> Result<(), Trap> {
+        // Hot-loop bookkeeping lives in locals (a counts array and a fuel
+        // copy) and is merged back once per invocation — including on the
+        // trap paths, which flow through this wrapper.
+        let mut counts = [0u64; crate::meter::NUM_CLASSES];
+        let mut fuel = self.fuel;
+        let result = self.run_inner(entry_func, opds, &mut counts, &mut fuel);
+        self.fuel = fuel;
+        self.meter.add_counts(&counts);
+        result
+    }
 
     #[allow(clippy::too_many_lines)]
-    fn run(&mut self, entry_func: usize, opds: &mut Vec<u64>) -> Result<(), Trap> {
+    fn run_inner(
+        &mut self,
+        entry_func: usize,
+        opds: &mut Vec<u64>,
+        counts: &mut [u64; crate::meter::NUM_CLASSES],
+        fuel_slot: &mut Option<u64>,
+    ) -> Result<(), Trap> {
         let code = Arc::clone(&self.code);
         let n_imports = code.module.num_imported_funcs() as usize;
         let mut locals: Vec<u64> = Vec::with_capacity(256);
@@ -405,8 +431,9 @@ impl Instance {
         'frames: loop {
             let frame = *frames.last().expect("active frame");
             let func = &code.funcs[frame.func];
-            let ops = &func.ops;
-            let classes = &func.classes;
+            let low = &code.lowered[frame.func];
+            let ops = &low.ops;
+            let costs = &low.costs;
             let mut pc = frame.pc;
             let lb = frame.locals_base;
             let ob = frame.opd_base;
@@ -433,49 +460,87 @@ impl Instance {
                     }
                 }};
             }
+            // Take a resolved branch: shuffle the operand stack and jump.
+            macro_rules! take_branch {
+                ($bt:expr) => {{
+                    let bt = $bt;
+                    do_branch(opds, ob, bt);
+                    pc = bt.target as usize;
+                    continue;
+                }};
+            }
+            // Load `$kind` from `$addr` (+static offset), push the value.
+            macro_rules! do_load {
+                ($kind:expr, $off:expr, $addr:expr) => {{
+                    let addr: u32 = $addr;
+                    let kind = $kind;
+                    touch_page!(addr, $off);
+                    let mem = self.memory.as_ref().expect("validated memory");
+                    let v = load_value(mem, kind, addr, $off).ok_or(Trap::MemOutOfBounds)?;
+                    self.meter.bytes_accessed += kind.width() as u64;
+                    opds.push(v);
+                }};
+            }
+            // Store `$v` as `$kind` at `$addr` (+static offset).
+            macro_rules! do_store {
+                ($kind:expr, $off:expr, $addr:expr, $v:expr) => {{
+                    let addr: u32 = $addr;
+                    let kind = $kind;
+                    touch_page!(addr, $off);
+                    let mem = self.memory.as_mut().expect("validated memory");
+                    store_value(mem, kind, addr, $off, $v).ok_or(Trap::MemOutOfBounds)?;
+                    self.meter.bytes_accessed += kind.width() as u64;
+                }};
+            }
 
             loop {
-                if let Some(fuel) = self.fuel.as_mut() {
-                    if *fuel == 0 {
+                let cost = &costs[pc];
+                let n_constituents = cost.len as usize;
+                if let Some(fuel) = fuel_slot.as_mut() {
+                    let need = u64::from(cost.len);
+                    if *fuel < need {
+                        // Replicate the baseline tier exactly: the first
+                        // `fuel` constituents retire (and are metered)
+                        // before the budget runs dry. None of them has
+                        // externally observable effects (fusion invariant).
+                        let have = *fuel as usize;
+                        for c in &cost.classes[..have] {
+                            counts[c.index()] += 1;
+                        }
+                        *fuel = 0;
                         return Err(Trap::OutOfFuel);
                     }
-                    *fuel -= 1;
+                    *fuel -= need;
                 }
-                self.meter.bump(classes[pc]);
+                for c in &cost.classes[..n_constituents] {
+                    counts[c.index()] += 1;
+                }
                 match &ops[pc] {
-                    Op::Unreachable => return Err(Trap::Unreachable),
-                    Op::Br(bt) => {
-                        do_branch(opds, ob, bt);
-                        pc = bt.target as usize;
-                        continue;
-                    }
-                    Op::BrIf(bt) => {
+                    LowOp::Unreachable => return Err(Trap::Unreachable),
+                    LowOp::Br(bt) => take_branch!(bt),
+                    LowOp::BrIf(bt) => {
                         let cond = pop!();
                         if cond as u32 != 0 {
-                            do_branch(opds, ob, bt);
-                            pc = bt.target as usize;
-                            continue;
+                            take_branch!(bt);
                         }
                     }
-                    Op::BrTable(table) => {
+                    LowOp::BrTable(table) => {
                         let idx = pop!() as u32 as usize;
                         let bt = table.get(idx).unwrap_or_else(|| table.last().expect("default"));
-                        do_branch(opds, ob, bt);
-                        pc = bt.target as usize;
-                        continue;
+                        take_branch!(bt);
                     }
-                    Op::Jump(t) => {
+                    LowOp::Jump(t) => {
                         pc = *t as usize;
                         continue;
                     }
-                    Op::JumpIfZero(t) => {
+                    LowOp::JumpIfZero(t) => {
                         let cond = pop!();
                         if cond as u32 == 0 {
                             pc = *t as usize;
                             continue;
                         }
                     }
-                    Op::Return | Op::End => {
+                    LowOp::Return | LowOp::End => {
                         let n_results = func.n_results;
                         let from = opds.len() - n_results;
                         for k in 0..n_results {
@@ -489,7 +554,7 @@ impl Instance {
                         }
                         continue 'frames;
                     }
-                    Op::Call(g) => {
+                    LowOp::Call(g) => {
                         let g = *g as usize;
                         if g < n_imports {
                             self.call_host(g, opds)?;
@@ -499,7 +564,7 @@ impl Instance {
                             continue 'frames;
                         }
                     }
-                    Op::CallIndirect(type_idx) => {
+                    LowOp::CallIndirect(type_idx) => {
                         let idx = pop!() as u32 as usize;
                         let g = self
                             .table
@@ -523,41 +588,34 @@ impl Instance {
                             continue 'frames;
                         }
                     }
-                    Op::Drop => {
+                    LowOp::Drop => {
                         pop!();
                     }
-                    Op::Select => {
+                    LowOp::Select => {
                         let c = pop!() as u32;
                         let v2 = pop!();
                         let v1 = pop!();
                         opds.push(if c != 0 { v1 } else { v2 });
                     }
-                    Op::LocalGet(i) => opds.push(locals[lb + *i as usize]),
-                    Op::LocalSet(i) => locals[lb + *i as usize] = pop!(),
-                    Op::LocalTee(i) => locals[lb + *i as usize] = top!(),
-                    Op::GlobalGet(i) => opds.push(self.globals[*i as usize]),
-                    Op::GlobalSet(i) => self.globals[*i as usize] = pop!(),
-                    Op::Load(kind, off) => {
+                    LowOp::LocalGet(i) => opds.push(locals[lb + *i as usize]),
+                    LowOp::LocalSet(i) => locals[lb + *i as usize] = pop!(),
+                    LowOp::LocalTee(i) => locals[lb + *i as usize] = top!(),
+                    LowOp::GlobalGet(i) => opds.push(self.globals[*i as usize]),
+                    LowOp::GlobalSet(i) => self.globals[*i as usize] = pop!(),
+                    LowOp::Load(kind, off) => {
                         let addr = pop!() as u32;
-                        touch_page!(addr, *off);
-                        let mem = self.memory.as_ref().expect("validated memory");
-                        let v = load_value(mem, *kind, addr, *off).ok_or(Trap::MemOutOfBounds)?;
-                        self.meter.bytes_accessed += kind.width() as u64;
-                        opds.push(v);
+                        do_load!(*kind, *off, addr);
                     }
-                    Op::Store(kind, off) => {
+                    LowOp::Store(kind, off) => {
                         let v = pop!();
                         let addr = pop!() as u32;
-                        touch_page!(addr, *off);
-                        let mem = self.memory.as_mut().expect("validated memory");
-                        store_value(mem, *kind, addr, *off, v).ok_or(Trap::MemOutOfBounds)?;
-                        self.meter.bytes_accessed += kind.width() as u64;
+                        do_store!(*kind, *off, addr, v);
                     }
-                    Op::MemorySize => {
+                    LowOp::MemorySize => {
                         let mem = self.memory.as_ref().expect("validated memory");
                         opds.push(u64::from(mem.size_pages()));
                     }
-                    Op::MemoryGrow => {
+                    LowOp::MemoryGrow => {
                         let delta = pop!() as u32;
                         let mem = self.memory.as_mut().expect("validated memory");
                         let r = match mem.grow(delta) {
@@ -566,7 +624,7 @@ impl Instance {
                         };
                         opds.push(r as u32 as u64);
                     }
-                    Op::MemoryCopy => {
+                    LowOp::MemoryCopy => {
                         let len = pop!() as u32;
                         let src = pop!() as u32;
                         let dst = pop!() as u32;
@@ -574,7 +632,7 @@ impl Instance {
                         mem.copy_within(dst, src, len).ok_or(Trap::MemOutOfBounds)?;
                         self.meter.bytes_accessed += u64::from(len) * 2;
                     }
-                    Op::MemoryFill => {
+                    LowOp::MemoryFill => {
                         let len = pop!() as u32;
                         let val = pop!() as u32 as u8;
                         let dst = pop!() as u32;
@@ -582,51 +640,349 @@ impl Instance {
                         mem.fill(dst, val, len).ok_or(Trap::MemOutOfBounds)?;
                         self.meter.bytes_accessed += u64::from(len);
                     }
-                    Op::Const(bits) => opds.push(*bits),
-                    Op::ITestEqz(w) => {
+                    LowOp::Const(bits) => opds.push(*bits),
+                    LowOp::ITestEqz(w) => {
                         let v = pop!();
-                        let z = match w {
-                            IntWidth::W32 => v as u32 == 0,
-                            IntWidth::W64 => v == 0,
-                        };
-                        opds.push(u64::from(z));
+                        opds.push(u64::from(is_zero(*w, v)));
                     }
-                    Op::IUnop(w, op) => {
+                    LowOp::IUnop(w, op) => {
                         let v = pop!();
                         opds.push(iunop(*w, *op, v));
                     }
-                    Op::IBinop(w, op) => {
+                    LowOp::IBinop(w, op) => {
                         let b = pop!();
                         let a = pop!();
                         opds.push(ibinop(*w, *op, a, b)?);
                     }
-                    Op::IRelop(w, op) => {
+                    LowOp::IRelop(w, op) => {
                         let b = pop!();
                         let a = pop!();
                         opds.push(u64::from(irelop(*w, *op, a, b)));
                     }
-                    Op::FUnop(w, op) => {
+                    LowOp::FUnop(w, op) => {
                         let v = pop!();
                         opds.push(funop(*w, *op, v));
                     }
-                    Op::FBinop(w, op) => {
+                    LowOp::FBinop(w, op) => {
                         let b = pop!();
                         let a = pop!();
                         opds.push(fbinop(*w, *op, a, b));
                     }
-                    Op::FRelop(w, op) => {
+                    LowOp::FRelop(w, op) => {
                         let b = pop!();
                         let a = pop!();
                         opds.push(u64::from(frelop(*w, *op, a, b)));
                     }
-                    Op::Cvt(op) => {
+                    LowOp::Cvt(op) => {
                         let v = pop!();
                         opds.push(cvt(*op, v)?);
+                    }
+
+                    // ---- fused ALU forms ---------------------------------
+                    LowOp::LocalsIBinop { w, op, a, b } => {
+                        let x = locals[lb + *a as usize];
+                        let y = locals[lb + *b as usize];
+                        opds.push(ibinop(*w, *op, x, y)?);
+                    }
+                    LowOp::LocalsFBinop { w, op, a, b } => {
+                        let x = locals[lb + *a as usize];
+                        let y = locals[lb + *b as usize];
+                        opds.push(fbinop(*w, *op, x, y));
+                    }
+                    LowOp::LocalConstIBinop { w, op, local, rhs } => {
+                        let x = locals[lb + *local as usize];
+                        opds.push(ibinop(*w, *op, x, *rhs)?);
+                    }
+                    LowOp::LocalConstFBinop { w, op, local, rhs } => {
+                        let x = locals[lb + *local as usize];
+                        opds.push(fbinop(*w, *op, x, *rhs));
+                    }
+                    LowOp::ConstIBinop { w, op, rhs } => {
+                        let a = pop!();
+                        opds.push(ibinop(*w, *op, a, *rhs)?);
+                    }
+                    LowOp::ConstFBinop { w, op, rhs } => {
+                        let a = pop!();
+                        opds.push(fbinop(*w, *op, a, *rhs));
+                    }
+                    LowOp::LocalIBinop { w, op, local } => {
+                        let a = pop!();
+                        opds.push(ibinop(*w, *op, a, locals[lb + *local as usize])?);
+                    }
+                    LowOp::LocalFBinop { w, op, local } => {
+                        let a = pop!();
+                        opds.push(fbinop(*w, *op, a, locals[lb + *local as usize]));
+                    }
+                    LowOp::LocalConstIBinopSet {
+                        w,
+                        op,
+                        src,
+                        rhs,
+                        dst,
+                    } => {
+                        let x = locals[lb + *src as usize];
+                        locals[lb + *dst as usize] = ibinop(*w, *op, x, *rhs)?;
+                    }
+                    LowOp::ConstLocalSet { bits, dst } => {
+                        locals[lb + *dst as usize] = *bits;
+                    }
+                    LowOp::LocalConstLocalIBinop2 {
+                        w,
+                        op1,
+                        op2,
+                        a,
+                        rhs,
+                        b,
+                    } => {
+                        let x = locals[lb + *a as usize];
+                        let y = locals[lb + *b as usize];
+                        let inner = ibinop(*w, *op1, x, *rhs)?;
+                        opds.push(ibinop(*w, *op2, inner, y)?);
+                    }
+                    LowOp::FBinop2 { w1, op1, w2, op2 } => {
+                        let b = pop!();
+                        let a = pop!();
+                        let inner = fbinop(*w1, *op1, a, b);
+                        let c = pop!();
+                        opds.push(fbinop(*w2, *op2, c, inner));
+                    }
+                    LowOp::IBinopLocalSet { w, op, dst } => {
+                        let b = pop!();
+                        let a = pop!();
+                        locals[lb + *dst as usize] = ibinop(*w, *op, a, b)?;
+                    }
+                    LowOp::FBinopLocalSet { w, op, dst } => {
+                        let b = pop!();
+                        let a = pop!();
+                        locals[lb + *dst as usize] = fbinop(*w, *op, a, b);
+                    }
+                    LowOp::LocalSetLocalGet { set, get } => {
+                        locals[lb + *set as usize] = pop!();
+                        opds.push(locals[lb + *get as usize]);
+                    }
+
+                    // ---- fused memory forms ------------------------------
+                    LowOp::ConstLoad { addr, kind, offset } => {
+                        do_load!(*kind, *offset, *addr as u32);
+                    }
+                    LowOp::LocalLoad {
+                        local,
+                        kind,
+                        offset,
+                    } => {
+                        let addr = locals[lb + *local as usize] as u32;
+                        do_load!(*kind, *offset, addr);
+                    }
+                    LowOp::TeeLoad {
+                        local,
+                        kind,
+                        offset,
+                    } => {
+                        let addr = pop!();
+                        locals[lb + *local as usize] = addr;
+                        do_load!(*kind, *offset, addr as u32);
+                    }
+                    LowOp::ConstIBinopLoad {
+                        w,
+                        op,
+                        rhs,
+                        kind,
+                        offset,
+                    } => {
+                        let a = pop!();
+                        let addr = ibinop(*w, *op, a, *rhs)? as u32;
+                        do_load!(*kind, *offset, addr);
+                    }
+                    LowOp::LocalIBinopLoad {
+                        w,
+                        op,
+                        local,
+                        kind,
+                        offset,
+                    } => {
+                        let a = pop!();
+                        let addr = ibinop(*w, *op, a, locals[lb + *local as usize])? as u32;
+                        do_load!(*kind, *offset, addr);
+                    }
+                    LowOp::IBinopLoad {
+                        w,
+                        op,
+                        kind,
+                        offset,
+                    } => {
+                        let b = pop!();
+                        let a = pop!();
+                        let addr = ibinop(*w, *op, a, b)? as u32;
+                        do_load!(*kind, *offset, addr);
+                    }
+                    LowOp::StoreConst { bits, kind, offset } => {
+                        let addr = pop!() as u32;
+                        do_store!(*kind, *offset, addr, *bits);
+                    }
+                    LowOp::StoreLocal {
+                        local,
+                        kind,
+                        offset,
+                    } => {
+                        let addr = pop!() as u32;
+                        do_store!(*kind, *offset, addr, locals[lb + *local as usize]);
+                    }
+                    LowOp::ConstFBinopStore {
+                        w,
+                        op,
+                        rhs,
+                        kind,
+                        offset,
+                    } => {
+                        let a = pop!();
+                        let v = fbinop(*w, *op, a, *rhs);
+                        let addr = pop!() as u32;
+                        do_store!(*kind, *offset, addr, v);
+                    }
+                    LowOp::LocalFBinopStore {
+                        w,
+                        op,
+                        local,
+                        kind,
+                        offset,
+                    } => {
+                        let a = pop!();
+                        let v = fbinop(*w, *op, a, locals[lb + *local as usize]);
+                        let addr = pop!() as u32;
+                        do_store!(*kind, *offset, addr, v);
+                    }
+                    LowOp::FBinopStore {
+                        w,
+                        op,
+                        kind,
+                        offset,
+                    } => {
+                        let b = pop!();
+                        let a = pop!();
+                        let v = fbinop(*w, *op, a, b);
+                        let addr = pop!() as u32;
+                        do_store!(*kind, *offset, addr, v);
+                    }
+                    LowOp::IBinopStore {
+                        w,
+                        op,
+                        kind,
+                        offset,
+                    } => {
+                        let b = pop!();
+                        let a = pop!();
+                        let v = ibinop(*w, *op, a, b)?;
+                        let addr = pop!() as u32;
+                        do_store!(*kind, *offset, addr, v);
+                    }
+
+                    // ---- fused compare-and-branch forms ------------------
+                    LowOp::CmpBrIf { w, op, bt } => {
+                        let b = pop!();
+                        let a = pop!();
+                        if irelop(*w, *op, a, b) {
+                            take_branch!(bt);
+                        }
+                    }
+                    LowOp::CmpEqzBrIf { w, op, bt } => {
+                        let b = pop!();
+                        let a = pop!();
+                        if !irelop(*w, *op, a, b) {
+                            take_branch!(bt);
+                        }
+                    }
+                    LowOp::EqzBrIf { w, bt } => {
+                        let v = pop!();
+                        if is_zero(*w, v) {
+                            take_branch!(bt);
+                        }
+                    }
+                    LowOp::CmpJumpIfNot { w, op, target } => {
+                        let b = pop!();
+                        let a = pop!();
+                        if !irelop(*w, *op, a, b) {
+                            pc = *target as usize;
+                            continue;
+                        }
+                    }
+                    LowOp::LocalConstCmpBrIf {
+                        w,
+                        op,
+                        local,
+                        rhs,
+                        bt,
+                    } => {
+                        let x = locals[lb + *local as usize];
+                        if irelop(*w, *op, x, *rhs) {
+                            take_branch!(bt);
+                        }
+                    }
+                    LowOp::LocalConstCmpEqzBrIf {
+                        w,
+                        op,
+                        local,
+                        rhs,
+                        bt,
+                    } => {
+                        let x = locals[lb + *local as usize];
+                        if !irelop(*w, *op, x, *rhs) {
+                            take_branch!(bt);
+                        }
+                    }
+                    LowOp::LocalsCmpBrIf { w, op, a, b, bt } => {
+                        let x = locals[lb + *a as usize];
+                        let y = locals[lb + *b as usize];
+                        if irelop(*w, *op, x, y) {
+                            take_branch!(bt);
+                        }
+                    }
+                    LowOp::LocalsCmpEqzBrIf { w, op, a, b, bt } => {
+                        let x = locals[lb + *a as usize];
+                        let y = locals[lb + *b as usize];
+                        if !irelop(*w, *op, x, y) {
+                            take_branch!(bt);
+                        }
+                    }
+                    LowOp::LocalConstCmpJumpIfNot {
+                        w,
+                        op,
+                        local,
+                        rhs,
+                        target,
+                    } => {
+                        let x = locals[lb + *local as usize];
+                        if !irelop(*w, *op, x, *rhs) {
+                            pc = *target as usize;
+                            continue;
+                        }
+                    }
+                    LowOp::LocalsCmpJumpIfNot {
+                        w,
+                        op,
+                        a,
+                        b,
+                        target,
+                    } => {
+                        let x = locals[lb + *a as usize];
+                        let y = locals[lb + *b as usize];
+                        if !irelop(*w, *op, x, y) {
+                            pc = *target as usize;
+                            continue;
+                        }
                     }
                 }
                 pc += 1;
             }
         }
+    }
+}
+
+/// Zero test at the given integer width (the `eqz` semantics).
+#[inline]
+fn is_zero(w: IntWidth, v: u64) -> bool {
+    match w {
+        IntWidth::W32 => v as u32 == 0,
+        IntWidth::W64 => v == 0,
     }
 }
 

@@ -9,9 +9,12 @@
 //! ```text
 //! .wasm bytes ──decode──▶ Module ──validate──▶ CompiledModule (flattened,
 //!      ▲                                        jump-resolved "AoT" code)
-//!      │ encode                                     │
+//!      │ encode                                     │ lower (per ExecTier)
 //! ModuleBuilder (used by twine-minicc,              ▼
-//! the Clang/LLVM stand-in)                    Instance::invoke
+//! the Clang/LLVM stand-in)               fused-superinstruction IR
+//!                                                   │
+//!                                                   ▼
+//!                                            Instance::invoke
 //! ```
 //!
 //! * [`module`] — structural representation of a module and a builder API.
@@ -22,6 +25,9 @@
 //!   functional analogue of WAMR's `wamrc` ahead-of-time compiler: it is run
 //!   *before* the module enters the enclave, and the enclave only executes
 //!   pre-compiled code (the paper's Twine contains no interpreter, §IV-B).
+//! * [`lower`] — the second AoT stage: rewrites the flattened stream into a
+//!   fused-superinstruction IR (selected by [`ExecTier`]) whose metering is
+//!   bit-identical to the baseline while dispatch overhead drops.
 //! * [`exec`] — the execution engine with per-class instruction metering and
 //!   a page-touch hook that drives the SGX EPC simulator.
 //! * [`memory`] — sandboxed linear memory.
@@ -30,7 +36,13 @@
 //! engine *executes* compiled code by dispatch, and execution **time** for
 //! benchmarking is derived from the metered instruction stream via the cost
 //! models in `twine-baselines` (see DESIGN.md §4). Functional semantics are
-//! real and extensively tested.
+//! real and extensively tested. The [`lower`] tier keeps that metering
+//! bit-identical while cutting real dispatch cost (DESIGN.md §6).
+//!
+//! **Dependency graph**: leaf crate (no `twine-*` dependencies). Consumed
+//! by `twine-minicc` (module emission), `twine-wasi` (host-function
+//! registration), `twine-core` (the embedded runtime), `twine-polybench`
+//! and the harnesses. Paper anchor: §III-B, §IV-B.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -40,6 +52,7 @@ pub mod decode;
 pub mod encode;
 pub mod exec;
 pub mod instr;
+pub mod lower;
 pub mod memory;
 pub mod meter;
 pub mod module;
@@ -48,6 +61,7 @@ pub mod validate;
 
 pub use compile::CompiledModule;
 pub use exec::{HostCtx, HostFn, Instance, Linker, PageSink, Trap};
+pub use lower::ExecTier;
 pub use memory::Memory;
 pub use meter::{InstrClass, Meter};
 pub use module::{Module, ModuleBuilder};

@@ -84,6 +84,16 @@ impl Meter {
         self.counts[class.index()] += n;
     }
 
+    /// Merge a dense counter array (indexed by [`InstrClass::index`]) — the
+    /// execution engine accumulates per-run counts locally and folds them
+    /// in once per invocation.
+    #[inline]
+    pub fn add_counts(&mut self, counts: &[u64; NUM_CLASSES]) {
+        for (c, n) in self.counts.iter_mut().zip(counts.iter()) {
+            *c += n;
+        }
+    }
+
     /// Count for one class.
     #[must_use]
     pub fn count(&self, class: InstrClass) -> u64 {

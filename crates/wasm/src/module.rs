@@ -188,6 +188,21 @@ impl Module {
             .iter()
             .any(|i| matches!(i.desc, ImportDesc::Memory(_)))
     }
+
+    /// Validate and compile this module for the default (fused) execution
+    /// tier — shorthand for [`crate::CompiledModule::compile`].
+    pub fn into_compiled(self) -> Result<crate::CompiledModule, crate::ModuleError> {
+        crate::CompiledModule::compile(self)
+    }
+
+    /// Validate and compile this module for a specific execution tier —
+    /// shorthand for [`crate::CompiledModule::compile_with_tier`].
+    pub fn into_compiled_tier(
+        self,
+        tier: crate::lower::ExecTier,
+    ) -> Result<crate::CompiledModule, crate::ModuleError> {
+        crate::CompiledModule::compile_with_tier(self, tier)
+    }
 }
 
 /// Fluent builder for [`Module`], the programmatic alternative to decoding.

@@ -4,8 +4,9 @@
 //! (ICDE 2021). This crate re-exports the public API of every workspace
 //! member so examples and downstream users can depend on a single crate.
 //!
-//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
-//! paper-versus-measured record of every table and figure.
+//! See `README.md` for the quickstart and crate map, and `DESIGN.md` for
+//! the system inventory, the virtual-time methodology and the execution
+//! tiers of the Wasm engine.
 
 pub use twine_baselines as baselines;
 pub use twine_core as core;
