@@ -37,6 +37,39 @@ fn bench_wasm_tiers(c: &mut Criterion) {
     }
 }
 
+/// Cold one-shot serving vs a warm persistent session (the `fig8_serving`
+/// harness's criterion twin): the cold path re-runs decode + validate +
+/// AoT-lower + instantiate per call on a long-lived runtime, the warm path
+/// reuses a session's instance and WASI context and must win on wall-clock
+/// while results and meters stay bit-identical (asserted by
+/// `crates/core/tests/session_semantics.rs`).
+fn bench_serving(c: &mut Criterion) {
+    use twine_core::TwineBuilder;
+    use twine_wasm::Value;
+    let wasm = twine_minicc::compile_to_bytes(
+        "int handle(int req) {
+            int acc = 7;
+            for (int i = 0; i < req % 64 + 64; i += 1) { acc = acc * 3 + i; }
+            return acc;
+        }",
+    )
+    .expect("guest compiles");
+
+    let mut twine = TwineBuilder::new().build();
+    c.bench_function("serving_cold_one_shot", |b| {
+        b.iter(|| {
+            let app = twine.load_wasm(&wasm).expect("load");
+            twine.invoke(&app, "handle", &[Value::I32(17)]).expect("run")
+        });
+    });
+
+    let mut svc = TwineBuilder::new().build_service();
+    svc.open_session("tenant", &wasm).expect("open");
+    c.bench_function("serving_warm_session", |b| {
+        b.iter(|| svc.invoke("tenant", "handle", &[Value::I32(17)]).expect("run"));
+    });
+}
+
 fn bench_pfs(c: &mut Criterion) {
     use twine_pfs::{MemStorage, PfsMode, PfsOptions, SgxFile};
     let data = vec![0xA5u8; 64 * 1024];
@@ -114,6 +147,7 @@ criterion_group!(
     benches,
     bench_wasm_kernel,
     bench_wasm_tiers,
+    bench_serving,
     bench_pfs,
     bench_crypto,
     bench_sql,

@@ -1,0 +1,154 @@
+//! Figure 8 (beyond the paper): serving economics of the session layer.
+//!
+//! The paper's embedding is one-shot — every call pays decode + validate +
+//! AoT-lower + instantiate. The `TwineService` session layer amortises all
+//! of that: N tenants share one content-addressed compiled module, and each
+//! tenant's instance + WASI context persist across calls, so a *warm*
+//! invocation runs the guest and nothing else.
+//!
+//! This harness opens N sessions over the same Wasm binary and drives M
+//! calls per session, reporting cold-start vs warm-invocation latency
+//! (wall-clock **and** modelled virtual cycles — metering semantics are
+//! bit-identical either way, so virtual time shows only the boundary-copy
+//! and extra-ECALL savings while wall-clock shows the compile/instantiate
+//! savings) plus aggregate warm throughput.
+//!
+//! ```sh
+//! cargo run -p twine-bench --release --bin fig8_serving [--sessions 8] [--calls 32]
+//! ```
+
+use std::time::Instant;
+
+use twine_bench::{arg_value, write_csv};
+use twine_core::TwineBuilder;
+use twine_wasm::Value;
+
+const GUEST_SRC: &str = r"
+    int handle(int req) {
+        int acc = 7;
+        for (int i = 0; i < req % 64 + 64; i += 1) {
+            if (i % 2 == 0) { acc = acc * 3 + i; } else { acc = acc - req; }
+        }
+        return acc;
+    }
+";
+
+struct Phase {
+    wall_us: Vec<f64>,
+    cycles: Vec<u64>,
+}
+
+impl Phase {
+    fn new() -> Self {
+        Self {
+            wall_us: Vec::new(),
+            cycles: Vec::new(),
+        }
+    }
+    fn mean_wall_us(&self) -> f64 {
+        self.wall_us.iter().sum::<f64>() / self.wall_us.len().max(1) as f64
+    }
+    fn mean_cycles(&self) -> f64 {
+        self.cycles.iter().sum::<u64>() as f64 / self.cycles.len().max(1) as f64
+    }
+}
+
+fn main() {
+    let sessions: usize = arg_value("--sessions")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8)
+        .max(1);
+    let calls: usize = arg_value("--calls")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(32)
+        .max(1);
+    println!("Figure 8 — session serving: {sessions} sessions x {calls} calls\n");
+
+    let wasm = twine_minicc::compile_to_bytes(GUEST_SRC).expect("guest compiles");
+    let mut svc = TwineBuilder::new().build_service();
+
+    // Cold starts: open_session (cache lookup/compile + boundary copy +
+    // instantiate) plus the first invocation.
+    let mut cold = Phase::new();
+    for s in 0..sessions {
+        let name = format!("tenant-{s}");
+        let c0 = svc.clock().cycles();
+        let t0 = Instant::now();
+        svc.open_session(&name, &wasm).expect("open");
+        let out = svc
+            .invoke(&name, "handle", &[Value::I32(s as i32)])
+            .expect("first call");
+        cold.wall_us.push(t0.elapsed().as_secs_f64() * 1e6);
+        cold.cycles.push(svc.clock().cycles() - c0);
+        assert!(matches!(out[0], Value::I32(_)));
+    }
+    assert_eq!(
+        svc.module_cache().len(),
+        1,
+        "all sessions share one compiled module"
+    );
+    assert_eq!(svc.module_cache().hits(), sessions as u64 - 1);
+
+    // Warm invocations: persistent instance + WasiCtx; no decode, validate
+    // or instantiate work at all.
+    let mut warm = Phase::new();
+    let warm_t0 = Instant::now();
+    for call in 0..calls {
+        for s in 0..sessions {
+            let name = format!("tenant-{s}");
+            let c0 = svc.clock().cycles();
+            let t0 = Instant::now();
+            svc.invoke(&name, "handle", &[Value::I32((s + call) as i32)])
+                .expect("warm call");
+            warm.wall_us.push(t0.elapsed().as_secs_f64() * 1e6);
+            warm.cycles.push(svc.clock().cycles() - c0);
+        }
+    }
+    let warm_wall_s = warm_t0.elapsed().as_secs_f64();
+    let warm_calls = (sessions * calls) as f64;
+
+    let throughput = warm_calls / warm_wall_s;
+    println!(
+        "{:<14} {:>14} {:>16} {:>18}",
+        "phase", "mean wall (us)", "mean cycles", "throughput (c/s)"
+    );
+    println!(
+        "{:<14} {:>14.2} {:>16.0} {:>18}",
+        "cold-start",
+        cold.mean_wall_us(),
+        cold.mean_cycles(),
+        "-"
+    );
+    println!(
+        "{:<14} {:>14.2} {:>16.0} {:>18.0}",
+        "warm", warm.mean_wall_us(), warm.mean_cycles(), throughput
+    );
+    println!(
+        "\nwarm-call savings: {:.1}x wall-clock, {:.2}x modelled cycles",
+        cold.mean_wall_us() / warm.mean_wall_us().max(1e-9),
+        cold.mean_cycles() / warm.mean_cycles().max(1e-9)
+    );
+    println!(
+        "module cache: {} modules, {} hits / {} misses",
+        svc.module_cache().len(),
+        svc.module_cache().hits(),
+        svc.module_cache().misses()
+    );
+
+    write_csv(
+        "fig8_serving.csv",
+        "phase,sessions,calls,mean_wall_us,mean_cycles,throughput_calls_per_s",
+        &[
+            format!(
+                "cold,{sessions},1,{:.3},{:.0},",
+                cold.mean_wall_us(),
+                cold.mean_cycles()
+            ),
+            format!(
+                "warm,{sessions},{calls},{:.3},{:.0},{throughput:.0}",
+                warm.mean_wall_us(),
+                warm.mean_cycles()
+            ),
+        ],
+    );
+}

@@ -13,6 +13,7 @@
 //! | `fig6_hw_sw`      | Figure 6                |
 //! | `fig7_breakdown`  | Figure 7                |
 //! | `table3_costs`    | Table IIIa/IIIb         |
+//! | `fig8_serving`    | beyond the paper: cold-start vs warm session serving (DESIGN.md §7) |
 //!
 //! Run e.g. `cargo run -p twine-bench --release --bin fig3_polybench`.
 //!

@@ -51,10 +51,12 @@ pub mod backend_host;
 pub mod backend_pfs;
 pub mod provision;
 pub mod runtime;
+pub mod service;
 pub mod shared_store;
 
 pub use backend_host::HostBackend;
 pub use backend_pfs::PfsBackend;
 pub use provision::{ApplicationProvider, EncryptedApp};
 pub use runtime::{FsChoice, RunReport, TwineApp, TwineBuilder, TwineError, TwineRuntime};
+pub use service::{ModuleCache, SessionStats, TwineService};
 pub use twine_wasm::ExecTier;

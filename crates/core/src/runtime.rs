@@ -39,6 +39,8 @@ pub enum TwineError {
     Sgx(SgxError),
     /// Code-provisioning failure.
     Provision(String),
+    /// Session-layer failure (unknown or duplicate session name).
+    Session(String),
 }
 
 impl core::fmt::Display for TwineError {
@@ -48,6 +50,7 @@ impl core::fmt::Display for TwineError {
             TwineError::Trap(t) => write!(f, "guest trap: {t}"),
             TwineError::Sgx(e) => write!(f, "sgx error: {e}"),
             TwineError::Provision(m) => write!(f, "provisioning error: {m}"),
+            TwineError::Session(m) => write!(f, "session error: {m}"),
         }
     }
 }
@@ -66,22 +69,24 @@ impl From<SgxError> for TwineError {
     }
 }
 
-/// Builder for [`TwineRuntime`].
+/// Builder for [`TwineRuntime`] (and, via
+/// [`build_service`](TwineBuilder::build_service), for the multi-tenant
+/// [`crate::TwineService`]).
 pub struct TwineBuilder {
-    sgx_mode: SgxMode,
-    epc_limit_pages: usize,
-    heap_bytes: u64,
-    pfs_mode: PfsMode,
-    pfs_cache_nodes: usize,
-    fs: FsChoice,
-    preopen: String,
-    rights: Rights,
-    processor: Processor,
-    args: Vec<String>,
-    env: Vec<(String, String)>,
-    with_profiler: bool,
-    fuel: Option<u64>,
-    exec_tier: ExecTier,
+    pub(crate) sgx_mode: SgxMode,
+    pub(crate) epc_limit_pages: usize,
+    pub(crate) heap_bytes: u64,
+    pub(crate) pfs_mode: PfsMode,
+    pub(crate) pfs_cache_nodes: usize,
+    pub(crate) fs: FsChoice,
+    pub(crate) preopen: String,
+    pub(crate) rights: Rights,
+    pub(crate) processor: Processor,
+    pub(crate) args: Vec<String>,
+    pub(crate) env: Vec<(String, String)>,
+    pub(crate) with_profiler: bool,
+    pub(crate) fuel: Option<u64>,
+    pub(crate) exec_tier: ExecTier,
 }
 
 impl Default for TwineBuilder {
@@ -211,15 +216,13 @@ impl TwineBuilder {
     }
 
     /// Create the enclave and runtime (charges launch cycles).
+    ///
+    /// The WASI + libm host-function table is built **once** here and shared
+    /// (`Rc`) by every subsequent guest run, instead of being re-registered
+    /// on each call.
     #[must_use]
     pub fn build(self) -> TwineRuntime {
-        let enclave = Rc::new(
-            EnclaveBuilder::new(TWINE_RUNTIME_IMAGE)
-                .heap_bytes(self.heap_bytes)
-                .mode(self.sgx_mode)
-                .epc_limit_pages(self.epc_limit_pages)
-                .build(&self.processor),
-        );
+        let enclave = self.launch_enclave();
         let profiler = self
             .with_profiler
             .then(|| PfsProfiler::new(enclave.clock().clone()));
@@ -232,6 +235,8 @@ impl TwineBuilder {
         );
         TwineRuntime {
             enclave,
+            linker: Rc::new(base_linker()),
+            clock_watermark: Rc::new(Cell::new(0)),
             processor: self.processor,
             fs: self.fs,
             pfs_mode: self.pfs_mode,
@@ -246,6 +251,34 @@ impl TwineBuilder {
             exec_tier: self.exec_tier,
         }
     }
+
+    /// Create the enclave and a multi-tenant [`crate::TwineService`] hosting
+    /// named, persistent sessions (see DESIGN.md §7).
+    #[must_use]
+    pub fn build_service(self) -> crate::TwineService {
+        crate::TwineService::from_builder(self)
+    }
+
+    /// Launch the simulated enclave described by this builder.
+    pub(crate) fn launch_enclave(&self) -> Rc<Enclave> {
+        Rc::new(
+            EnclaveBuilder::new(TWINE_RUNTIME_IMAGE)
+                .heap_bytes(self.heap_bytes)
+                .mode(self.sgx_mode)
+                .epc_limit_pages(self.epc_limit_pages)
+                .build(&self.processor),
+        )
+    }
+}
+
+/// Build the host-function table every Twine embedding exposes to guests:
+/// the WASI snapshot-preview-1 surface plus the `env` libm imports. Built
+/// once per runtime/service and shared immutably across all instances.
+pub(crate) fn base_linker() -> Linker {
+    let mut linker = Linker::new();
+    register_wasi(&mut linker);
+    register_libm(&mut linker);
+    linker
 }
 
 /// Bytes standing in for the measured Twine runtime enclave image. Real
@@ -253,7 +286,7 @@ impl TwineBuilder {
 /// launch costs are comparable.
 pub const TWINE_RUNTIME_IMAGE: &[u8] = &[0x54; 567 * 1024];
 
-fn make_backend(
+pub(crate) fn make_backend(
     fs: FsChoice,
     enclave: &Rc<Enclave>,
     pfs_mode: PfsMode,
@@ -316,10 +349,11 @@ pub struct RunReport {
 }
 
 /// Routes Wasm linear-memory page touches into the enclave's EPC model,
-/// offset so guest pages don't alias other enclave users.
-struct EpcSink {
-    epc: twine_sgx::EpcHandle,
-    base_page: u64,
+/// offset so guest pages don't alias other enclave users (each session in a
+/// service gets its own base).
+pub(crate) struct EpcSink {
+    pub(crate) epc: twine_sgx::EpcHandle,
+    pub(crate) base_page: u64,
 }
 
 impl PageSink for EpcSink {
@@ -331,6 +365,13 @@ impl PageSink for EpcSink {
 /// The Twine runtime instance (one simulated enclave).
 pub struct TwineRuntime {
     enclave: Rc<Enclave>,
+    /// Host-function table, built once at [`TwineBuilder::build`] and shared
+    /// immutably by every run.
+    linker: Rc<Linker>,
+    /// Trusted-clock monotonicity watermark (§IV-C). Lives on the runtime so
+    /// `clock_time_get` stays monotonic **across** guest runs instead of the
+    /// guard restarting at 0 on every call.
+    clock_watermark: Rc<Cell<u64>>,
     processor: Processor,
     fs: FsChoice,
     pfs_mode: PfsMode,
@@ -417,10 +458,9 @@ impl TwineRuntime {
         func: &str,
         args: &[Value],
     ) -> Result<(RunReport, Vec<Value>), TwineError> {
-        let mut linker = Linker::new();
-        register_wasi(&mut linker);
-        register_libm(&mut linker);
-
+        // A one-shot run is a transient session: fresh WasiCtx over the
+        // runtime's persistent backend, instantiated against the shared
+        // host-function table built at `build()` time.
         let backend = self.backend.take().unwrap_or_else(|| {
             make_backend(
                 self.fs,
@@ -430,46 +470,47 @@ impl TwineRuntime {
                 self.profiler.clone(),
             )
         });
-        let mut ctx = WasiCtx::new(backend, &self.preopen, self.rights);
-        ctx.args = self.args.clone();
-        ctx.env = self.env.clone();
-        // Trusted time: leave the enclave for the host clock, then enforce
-        // monotonicity inside (§IV-C).
-        {
-            let enclave = self.enclave.clone();
-            let last = Cell::new(0u64);
-            ctx.set_clock(Box::new(move || {
-                let host_time = enclave.ocall(8, || {
-                    // Host "clock": derived from virtual cycles so runs are
-                    // deterministic.
-                    enclave.clock().cycles().wrapping_mul(263) / 1_000
-                });
-                let t = host_time.max(last.get() + 1);
-                last.set(t);
-                t
-            }));
-        }
+        let ctx = build_wasi_ctx(
+            backend,
+            &self.preopen,
+            self.rights,
+            &self.args,
+            &self.env,
+            &self.enclave,
+            &self.clock_watermark,
+        );
 
-        let epc = self.enclave.epc();
-        let epc_stats_before = epc.stats();
-        let cycles_before = self.enclave.clock().cycles();
-
-        let mut instance =
-            Instance::instantiate(Arc::clone(&app.compiled), linker, Box::new(ctx))
-                .map_err(TwineError::Module)?;
+        let mut instance = match Instance::instantiate_shared(
+            Arc::clone(&app.compiled),
+            &self.linker,
+            Box::new(ctx),
+            self.fuel,
+        ) {
+            Ok(i) => i,
+            Err((e, host_data)) => {
+                // The WasiCtx owns the taken-out backend: reclaim it so
+                // protected files survive a failed instantiation instead of
+                // silently being replaced by an empty backend on the next run.
+                if let Ok(ctx) = host_data.downcast::<WasiCtx>() {
+                    self.backend = Some(wasi_backend_into_box(*ctx));
+                }
+                return Err(TwineError::Module(e));
+            }
+        };
         instance.fuel = self.fuel;
         instance.set_page_sink(Some(Box::new(EpcSink {
-            epc: epc.clone(),
+            epc: self.enclave.epc(),
             base_page: 1 << 32,
         })));
+        // Report the invocation only: instantiation work (a start function,
+        // if any) is not part of the run's meter — the same per-invocation
+        // contract the session layer keeps, so cold and warm reports stay
+        // bit-comparable.
+        instance.meter.reset();
 
-        // The single ECALL of §IV-C: the whole guest run happens inside.
-        let result = self.enclave.ecall(|| instance.invoke(func, args));
-
-        let meter = instance.meter.clone();
-        let values = match result {
+        let outcome = invoke_in_enclave(&self.enclave, &mut instance, func, args);
+        let values = match outcome.values {
             Ok(v) => v,
-            Err(Trap::Host(m)) if m == PROC_EXIT_TRAP => Vec::new(),
             Err(t) => {
                 // Preserve backend for subsequent runs even on trap.
                 if let Some(ctx) = instance.into_state::<WasiCtx>() {
@@ -482,10 +523,10 @@ impl TwineRuntime {
             exit_code: 0,
             stdout: Vec::new(),
             stderr: Vec::new(),
-            meter,
-            cycles: self.enclave.clock().cycles() - cycles_before,
+            meter: outcome.meter,
+            cycles: outcome.cycles,
             wasi_calls: 0,
-            epc: diff_epc(epc.stats(), epc_stats_before),
+            epc: outcome.epc,
         };
         if let Some(ctx) = instance.into_state::<WasiCtx>() {
             report.exit_code = ctx.exit_code.unwrap_or(0);
@@ -499,7 +540,94 @@ impl TwineRuntime {
 
 }
 
-fn diff_epc(now: EpcStats, before: EpcStats) -> EpcStats {
+/// Build the per-run/per-session WASI context from the embedding template:
+/// backend, preopen + rights, argv/env, and the §IV-C trusted clock. One
+/// construction path shared by the one-shot runtime and the session layer,
+/// so their guest-visible environments cannot drift apart (the warm-vs-cold
+/// differential contract of `tests/session_semantics.rs` depends on it).
+pub(crate) fn build_wasi_ctx(
+    backend: Box<dyn FsBackend>,
+    preopen: &str,
+    rights: Rights,
+    args: &[String],
+    env: &[(String, String)],
+    enclave: &Rc<Enclave>,
+    watermark: &Rc<Cell<u64>>,
+) -> WasiCtx {
+    let mut ctx = WasiCtx::new(backend, preopen, rights);
+    ctx.args = args.to_vec();
+    ctx.env = env.to_vec();
+    install_trusted_clock(&mut ctx, enclave, watermark);
+    ctx
+}
+
+/// Install the §IV-C trusted clock into a WASI context: leave the enclave
+/// for the host time (an OCALL), then enforce monotonicity inside using a
+/// watermark owned by the runtime/session — so the guard survives across
+/// invocations instead of restarting at 0 on every call.
+pub(crate) fn install_trusted_clock(
+    ctx: &mut WasiCtx,
+    enclave: &Rc<Enclave>,
+    watermark: &Rc<Cell<u64>>,
+) {
+    let enclave = enclave.clone();
+    let last = Rc::clone(watermark);
+    ctx.set_clock(Box::new(move || {
+        let host_time = enclave.ocall(8, || {
+            // Host "clock": derived from virtual cycles so runs are
+            // deterministic.
+            enclave.clock().cycles().wrapping_mul(263) / 1_000
+        });
+        let t = host_time.max(last.get() + 1);
+        last.set(t);
+        t
+    }));
+}
+
+/// What one in-enclave invocation produced, before the embedder extracts
+/// the WASI-visible pieces (stdout, exit code, ...) from the instance.
+pub(crate) struct InvocationOutcome {
+    /// Guest results; a `proc_exit` trap is already mapped to `Ok(vec![])`.
+    pub(crate) values: Result<Vec<Value>, Trap>,
+    /// Retired-instruction meter of the run.
+    pub(crate) meter: Meter,
+    /// Virtual cycles consumed by the ECALL.
+    pub(crate) cycles: u64,
+    /// EPC paging counters attributable to the run.
+    pub(crate) epc: EpcStats,
+}
+
+/// Run one exported function inside the single ECALL of §IV-C and account
+/// for cycles and EPC paging. Shared by the one-shot [`TwineRuntime`] path
+/// and the persistent-session [`crate::TwineService`] path, so warm and
+/// cold invocations flow through bit-identical metering code.
+pub(crate) fn invoke_in_enclave(
+    enclave: &Rc<Enclave>,
+    instance: &mut Instance,
+    func: &str,
+    args: &[Value],
+) -> InvocationOutcome {
+    let epc = enclave.epc();
+    let epc_stats_before = epc.stats();
+    let cycles_before = enclave.clock().cycles();
+
+    // The single ECALL of §IV-C: the whole guest run happens inside.
+    let result = enclave.ecall(|| instance.invoke(func, args));
+
+    let values = match result {
+        Ok(v) => Ok(v),
+        Err(Trap::Host(m)) if m == PROC_EXIT_TRAP => Ok(Vec::new()),
+        Err(t) => Err(t),
+    };
+    InvocationOutcome {
+        values,
+        meter: instance.meter.clone(),
+        cycles: enclave.clock().cycles() - cycles_before,
+        epc: diff_epc(epc.stats(), epc_stats_before),
+    }
+}
+
+pub(crate) fn diff_epc(now: EpcStats, before: EpcStats) -> EpcStats {
     EpcStats {
         hits: now.hits - before.hits,
         faults: now.faults - before.faults,
@@ -509,7 +637,7 @@ fn diff_epc(now: EpcStats, before: EpcStats) -> EpcStats {
 
 // WasiCtx owns its backend; this helper moves it back out after a run so
 // protected files persist for the lifetime of the runtime.
-fn wasi_backend_into_box(ctx: WasiCtx) -> Box<dyn FsBackend> {
+pub(crate) fn wasi_backend_into_box(ctx: WasiCtx) -> Box<dyn FsBackend> {
     ctx.into_backend()
 }
 

@@ -1,0 +1,529 @@
+//! The multi-tenant session layer: one simulated enclave hosting many named
+//! sessions, each with a persistent instance, plus a content-addressed
+//! module cache (DESIGN.md §7).
+//!
+//! The one-shot [`TwineRuntime`](crate::TwineRuntime) rebuilds everything per
+//! run; serving heavy traffic needs the standard compile-once /
+//! instantiate-many architecture (wasmtime's `Module`/`Store` split, and the
+//! long-lived enclave runtime of the 2023 Twine follow-up). This module
+//! supplies it in three tiers of reuse:
+//!
+//! 1. **Module cache** — identical Wasm bytes compile once; every session of
+//!    the same application shares one `Arc<CompiledModule>`, keyed by
+//!    SHA-256 of the delivered bytes (content-addressed, so the key doubles
+//!    as an integrity measurement of what the enclave runs).
+//! 2. **Shared linker** — the WASI + libm host-function table is built once
+//!    per service and borrowed by every instantiation.
+//! 3. **Persistent sessions** — each session owns an [`Instance`] and a
+//!    `WasiCtx` that survive across invocations: a *warm* call performs no
+//!    decode, validate or instantiate work at all, and a post-instantiation
+//!    [`snapshot`](Instance::snapshot) lets a session be recycled to a
+//!    fresh-equivalent state without re-running data segments.
+//!
+//! Isolation between tenants is preserved: every session gets its own EPC
+//! base page range (guest pages never alias across sessions), its own fuel
+//! budget, its own file-system backend, and its own trusted-clock
+//! monotonicity watermark that persists across invocations (§IV-C).
+
+use std::cell::Cell;
+use std::collections::HashMap;
+use std::rc::Rc;
+use std::sync::Arc;
+
+use twine_crypto::Sha256;
+use twine_pfs::{PfsMode, PfsProfiler};
+use twine_sgx::{Enclave, Processor, SimClock};
+use twine_wasi::{FsBackend, Rights, WasiCtx};
+use twine_wasm::compile::CompiledModule;
+use twine_wasm::{ExecTier, Instance, InstanceSnapshot, Linker, ModuleError, Trap, Value};
+
+use crate::runtime::{
+    base_linker, build_wasi_ctx, invoke_in_enclave, make_backend, wasi_backend_into_box, EpcSink,
+    FsChoice, RunReport, TwineBuilder, TwineError,
+};
+
+/// A content-addressed cache of compiled modules: identical Wasm bytes
+/// (under the same execution tier) compile once and share one
+/// `Arc<CompiledModule>` across all sessions of a service.
+pub struct ModuleCache {
+    tier: ExecTier,
+    entries: HashMap<[u8; 32], Arc<CompiledModule>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl ModuleCache {
+    /// Empty cache compiling for `tier`.
+    #[must_use]
+    pub fn new(tier: ExecTier) -> Self {
+        Self {
+            tier,
+            entries: HashMap::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The content address of `wasm` under `tier`: SHA-256 over a
+    /// tier-domain-separated encoding of the bytes. Two tiers never share an
+    /// entry (their lowered code differs even though semantics agree).
+    #[must_use]
+    pub fn content_key(wasm: &[u8], tier: ExecTier) -> [u8; 32] {
+        let mut h = Sha256::new();
+        h.update(&[match tier {
+            ExecTier::Baseline => 0u8,
+            ExecTier::Fused => 1u8,
+        }]);
+        h.update(wasm);
+        h.finalize()
+    }
+
+    /// Look up `wasm` by content, compiling (decode + validate + AoT lower)
+    /// only on a miss. Returns the shared module, its content key, and
+    /// whether this was a cache hit.
+    pub fn get_or_compile(
+        &mut self,
+        wasm: &[u8],
+    ) -> Result<(Arc<CompiledModule>, [u8; 32], bool), ModuleError> {
+        let key = Self::content_key(wasm, self.tier);
+        if let Some(m) = self.entries.get(&key) {
+            self.hits += 1;
+            return Ok((Arc::clone(m), key, true));
+        }
+        let compiled = Arc::new(CompiledModule::from_bytes_with_tier(wasm, self.tier)?);
+        self.entries.insert(key, Arc::clone(&compiled));
+        self.misses += 1;
+        Ok((compiled, key, false))
+    }
+
+    /// Number of distinct compiled modules held.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds no modules.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Lookups served without compiling.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that had to compile.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Drop every cached module no live session references (the cache's
+    /// `Arc` is the only one left). Returns how many entries were evicted.
+    /// Long-lived services that churn through tenants with distinct
+    /// binaries call this to keep the cache bounded by the *live* working
+    /// set instead of growing with every binary ever served.
+    pub fn evict_unreferenced(&mut self) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|_, m| Arc::strong_count(m) > 1);
+        before - self.entries.len()
+    }
+
+    /// Drop all entries (sessions already holding an `Arc` are unaffected;
+    /// future opens recompile).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Drop one entry if nothing outside the cache references it. Used to
+    /// roll back a compile whose session failed to materialise, so failed
+    /// opens cannot grow the cache.
+    fn evict_if_unreferenced(&mut self, key: &[u8; 32]) {
+        if self.entries.get(key).is_some_and(|m| Arc::strong_count(m) == 1) {
+            self.entries.remove(key);
+        }
+    }
+}
+
+/// Public per-session bookkeeping.
+#[derive(Debug, Clone)]
+pub struct SessionStats {
+    /// Content address (SHA-256) of the session's module in the cache.
+    pub module_key: [u8; 32],
+    /// Size of the delivered Wasm binary in bytes.
+    pub wasm_bytes: usize,
+    /// Whether opening this session reused an already-compiled module.
+    pub cache_hit: bool,
+    /// First EPC page of this session's private page range.
+    pub epc_base_page: u64,
+    /// Warm invocations served so far.
+    pub invocations: u64,
+}
+
+/// One tenant: a persistent instance + WASI context inside the service's
+/// enclave.
+struct Session {
+    instance: Instance,
+    /// Post-instantiation state (data segments applied, start function run)
+    /// for pool-recycling via [`TwineService::reset_session`].
+    snapshot: InstanceSnapshot,
+    /// Keeps the compiled module alive and shared; also handy for tests
+    /// asserting that sessions share one cache entry.
+    compiled: Arc<CompiledModule>,
+    /// Trusted-clock monotonicity watermark (§IV-C), persistent across
+    /// invocations and across [`TwineService::reset_session`].
+    watermark: Rc<Cell<u64>>,
+    fuel: Option<u64>,
+    stats: SessionStats,
+}
+
+/// A multi-tenant Twine service: many named sessions inside **one**
+/// simulated enclave, sharing a module cache and one host-function table.
+///
+/// ```
+/// use twine_core::{FsChoice, TwineBuilder};
+/// use twine_wasm::Value;
+///
+/// let wasm = twine_minicc::compile_to_bytes(
+///     "int double_it(int x) { return 2 * x; }").unwrap();
+/// let mut svc = TwineBuilder::new()
+///     .fs(FsChoice::ProtectedInMemory)
+///     .build_service();
+/// svc.open_session("tenant-a", &wasm).unwrap();
+/// svc.open_session("tenant-b", &wasm).unwrap(); // compiled once, shared
+/// assert_eq!(svc.module_cache().len(), 1);
+/// // Warm calls: no decode/validate/instantiate.
+/// let out = svc.invoke("tenant-a", "double_it", &[Value::I32(21)]).unwrap();
+/// assert_eq!(out[0], Value::I32(42));
+/// ```
+pub struct TwineService {
+    enclave: Rc<Enclave>,
+    processor: Processor,
+    linker: Rc<Linker>,
+    cache: ModuleCache,
+    sessions: HashMap<String, Session>,
+    /// Next private EPC slot; slot `n` covers pages `[(n+1) << 32, ...)`.
+    next_epc_slot: u64,
+    // Per-session construction template (from the builder).
+    fs: FsChoice,
+    pfs_mode: PfsMode,
+    pfs_cache_nodes: usize,
+    preopen: String,
+    rights: Rights,
+    args: Vec<String>,
+    env: Vec<(String, String)>,
+    profiler: Option<PfsProfiler>,
+    fuel: Option<u64>,
+}
+
+impl TwineService {
+    pub(crate) fn from_builder(b: TwineBuilder) -> Self {
+        let enclave = b.launch_enclave();
+        let profiler = b
+            .with_profiler
+            .then(|| PfsProfiler::new(enclave.clock().clone()));
+        Self {
+            enclave,
+            processor: b.processor,
+            linker: Rc::new(base_linker()),
+            cache: ModuleCache::new(b.exec_tier),
+            sessions: HashMap::new(),
+            next_epc_slot: 0,
+            fs: b.fs,
+            pfs_mode: b.pfs_mode,
+            pfs_cache_nodes: b.pfs_cache_nodes,
+            preopen: b.preopen,
+            rights: b.rights,
+            args: b.args,
+            env: b.env,
+            profiler,
+            fuel: b.fuel,
+        }
+    }
+
+    /// The enclave hosting every session.
+    #[must_use]
+    pub fn enclave(&self) -> &Rc<Enclave> {
+        &self.enclave
+    }
+
+    /// The simulated processor.
+    #[must_use]
+    pub fn processor(&self) -> &Processor {
+        &self.processor
+    }
+
+    /// The virtual clock (shared by all sessions; includes launch cost).
+    #[must_use]
+    pub fn clock(&self) -> &SimClock {
+        self.enclave.clock()
+    }
+
+    /// The content-addressed module cache.
+    #[must_use]
+    pub fn module_cache(&self) -> &ModuleCache {
+        &self.cache
+    }
+
+    /// Mutable access to the module cache (eviction policy belongs to the
+    /// embedder: e.g. [`ModuleCache::evict_unreferenced`] after a wave of
+    /// [`close_session`](Self::close_session)s).
+    pub fn module_cache_mut(&mut self) -> &mut ModuleCache {
+        &mut self.cache
+    }
+
+    /// Number of live sessions.
+    #[must_use]
+    pub fn session_count(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Names of the live sessions (unordered).
+    #[must_use]
+    pub fn session_names(&self) -> Vec<&str> {
+        self.sessions.keys().map(String::as_str).collect()
+    }
+
+    /// Bookkeeping for one session.
+    #[must_use]
+    pub fn session_stats(&self, name: &str) -> Option<&SessionStats> {
+        self.sessions.get(name).map(|s| &s.stats)
+    }
+
+    /// The compiled module backing a session (shared across sessions with
+    /// identical Wasm bytes).
+    #[must_use]
+    pub fn session_module(&self, name: &str) -> Option<&Arc<CompiledModule>> {
+        self.sessions.get(name).map(|s| &s.compiled)
+    }
+
+    /// Open a named session: resolve `wasm` through the module cache
+    /// (compiling only on a content miss), copy the bytes into reserved
+    /// enclave memory, instantiate against the shared linker, and record the
+    /// post-instantiation snapshot. This is the *cold* path — every
+    /// subsequent [`invoke`](Self::invoke) on the session is warm.
+    ///
+    /// # Errors
+    /// [`TwineError::Session`] if the name is taken;
+    /// [`TwineError::Module`] on decode/validate/instantiate failure.
+    pub fn open_session(&mut self, name: &str, wasm: &[u8]) -> Result<&SessionStats, TwineError> {
+        if self.sessions.contains_key(name) {
+            return Err(TwineError::Session(format!(
+                "session {name:?} already exists"
+            )));
+        }
+        let (compiled, module_key, cache_hit) =
+            self.cache.get_or_compile(wasm).map_err(TwineError::Module)?;
+        // Copy into reserved memory: charge the boundary copy (one ECALL,
+        // exactly like `TwineRuntime::load_wasm`).
+        self.enclave.ecall(|| {
+            self.enclave.clock().add_cycles(wasm.len() as u64 / 4);
+        });
+
+        let backend = make_backend(
+            self.fs,
+            &self.enclave,
+            self.pfs_mode,
+            self.pfs_cache_nodes,
+            self.profiler.clone(),
+        );
+        let watermark = Rc::new(Cell::new(0u64));
+        let ctx = build_wasi_ctx(
+            backend,
+            &self.preopen,
+            self.rights,
+            &self.args,
+            &self.env,
+            &self.enclave,
+            &watermark,
+        );
+
+        // The fuel budget applies to the start function too: tenant-supplied
+        // instantiation code cannot run unmetered.
+        let mut instance = match Instance::instantiate_shared(
+            Arc::clone(&compiled),
+            &self.linker,
+            Box::new(ctx),
+            self.fuel,
+        ) {
+            Ok(i) => i,
+            Err((e, _ctx)) => {
+                // Roll back the cache entry if this failed open was the only
+                // user, so repeated hostile opens (e.g. trapping start
+                // functions) cannot grow enclave memory session-lessly.
+                drop(compiled);
+                self.cache.evict_if_unreferenced(&module_key);
+                return Err(TwineError::Module(e));
+            }
+        };
+        let slot = self.next_epc_slot;
+        self.next_epc_slot += 1;
+        let epc_base_page = (slot + 1) << 32;
+        instance.set_page_sink(Some(Box::new(EpcSink {
+            epc: self.enclave.epc(),
+            base_page: epc_base_page,
+        })));
+        let snapshot = instance.snapshot();
+        // Instantiation metering (start function, if any) is not part of any
+        // invocation report: every invocation starts from a clean meter.
+        instance.meter.reset();
+
+        let session = Session {
+            instance,
+            snapshot,
+            compiled,
+            watermark,
+            fuel: self.fuel,
+            stats: SessionStats {
+                module_key,
+                wasm_bytes: wasm.len(),
+                cache_hit,
+                epc_base_page,
+                invocations: 0,
+            },
+        };
+        let prev = self.sessions.insert(name.to_string(), session);
+        debug_assert!(prev.is_none(), "session name was checked free above");
+        Ok(&self.sessions[name].stats)
+    }
+
+    /// Invoke an exported function on a session — the *warm* path: no
+    /// decode, validate or instantiate work happens here; per-run WASI state
+    /// is recycled in place and guest memory/globals persist from the
+    /// previous invocation (tenant state survives across calls).
+    pub fn invoke(
+        &mut self,
+        session: &str,
+        func: &str,
+        args: &[Value],
+    ) -> Result<Vec<Value>, TwineError> {
+        self.invoke_raw(session, func, args, false).map(|(_, v)| v)
+    }
+
+    /// Run a session's WASI `_start` export.
+    pub fn run(&mut self, session: &str) -> Result<RunReport, TwineError> {
+        self.invoke_with_report(session, "_start", &[])
+            .map(|(report, _)| report)
+    }
+
+    /// [`invoke`](Self::invoke), also returning the per-invocation
+    /// [`RunReport`] (meter, cycles and EPC counters cover this invocation
+    /// only).
+    ///
+    /// If the guest traps, the session is automatically recycled from its
+    /// post-instantiation snapshot — the tenant's next call sees a
+    /// fresh-equivalent instance while its protected files survive.
+    pub fn invoke_with_report(
+        &mut self,
+        session: &str,
+        func: &str,
+        args: &[Value],
+    ) -> Result<(RunReport, Vec<Value>), TwineError> {
+        self.invoke_raw(session, func, args, true)
+            .map(|(report, v)| (report.expect("report requested"), v))
+    }
+
+    /// The warm path proper. `build_report` gates the stdout/stderr/meter
+    /// clones so plain [`invoke`](Self::invoke) traffic doesn't pay for a
+    /// report it discards.
+    fn invoke_raw(
+        &mut self,
+        session: &str,
+        func: &str,
+        args: &[Value],
+        build_report: bool,
+    ) -> Result<(Option<RunReport>, Vec<Value>), TwineError> {
+        let sess = self
+            .sessions
+            .get_mut(session)
+            .ok_or_else(|| TwineError::Session(format!("no session named {session:?}")))?;
+
+        // Recycle per-run state; everything else is warm reuse.
+        sess.instance.meter.reset();
+        sess.instance.fuel = sess.fuel;
+        sess.instance.state::<WasiCtx>().reset_for_invocation();
+
+        let outcome = invoke_in_enclave(&self.enclave, &mut sess.instance, func, args);
+        match outcome.values {
+            Ok(values) => {
+                sess.stats.invocations += 1;
+                let report = build_report.then(|| {
+                    let ctx = sess.instance.state::<WasiCtx>();
+                    RunReport {
+                        exit_code: ctx.exit_code.unwrap_or(0),
+                        // Move, don't copy: the next invocation's reset
+                        // would discard these buffers anyway.
+                        stdout: std::mem::take(&mut ctx.stdout),
+                        stderr: std::mem::take(&mut ctx.stderr),
+                        wasi_calls: ctx.call_count,
+                        meter: outcome.meter,
+                        cycles: outcome.cycles,
+                        epc: outcome.epc,
+                    }
+                });
+                Ok((report, values))
+            }
+            Err(t) => {
+                if !matches!(t, Trap::BadInvoke(_)) {
+                    // Guest state is suspect after a trap: restore the
+                    // post-instantiation image so the session stays
+                    // servable. A BadInvoke (typo'd export, wrong arity or
+                    // argument types) is rejected *before* any guest code
+                    // runs, so the tenant's state is untouched — don't wipe
+                    // it, and don't count it as a served invocation.
+                    sess.stats.invocations += 1;
+                    sess.instance.reset_to(&sess.snapshot);
+                }
+                Err(TwineError::Trap(t))
+            }
+        }
+    }
+
+    /// Recycle a session to its post-instantiation state (pool reuse):
+    /// memory image, globals and table are restored from the snapshot and
+    /// the WASI per-run state is cleared — **without** re-running decode,
+    /// validate, instantiate or the data segments. The file-system backend
+    /// and the trusted-clock watermark persist (files survive; the clock
+    /// stays monotonic).
+    pub fn reset_session(&mut self, name: &str) -> Result<(), TwineError> {
+        let sess = self
+            .sessions
+            .get_mut(name)
+            .ok_or_else(|| TwineError::Session(format!("no session named {name:?}")))?;
+        sess.instance.reset_to(&sess.snapshot);
+        sess.instance.state::<WasiCtx>().reset_for_invocation();
+        Ok(())
+    }
+
+    /// Override the per-invocation fuel budget of one session (defaults to
+    /// the builder's fuel).
+    pub fn set_session_fuel(&mut self, name: &str, fuel: Option<u64>) -> Result<(), TwineError> {
+        let sess = self
+            .sessions
+            .get_mut(name)
+            .ok_or_else(|| TwineError::Session(format!("no session named {name:?}")))?;
+        sess.fuel = fuel;
+        Ok(())
+    }
+
+    /// The trusted-clock watermark of a session (last `clock_time_get`
+    /// value handed to the guest; 0 if the guest never read the clock).
+    #[must_use]
+    pub fn session_clock_watermark(&self, name: &str) -> Option<u64> {
+        self.sessions.get(name).map(|s| s.watermark.get())
+    }
+
+    /// Close a session, returning its file-system backend so the embedder
+    /// can persist or migrate the tenant's protected files. The cached
+    /// compiled module stays in the cache for future sessions — reclaim
+    /// orphaned entries with
+    /// [`module_cache_mut().evict_unreferenced()`](ModuleCache::evict_unreferenced).
+    pub fn close_session(&mut self, name: &str) -> Option<Box<dyn FsBackend>> {
+        let sess = self.sessions.remove(name)?;
+        sess.instance
+            .into_state::<WasiCtx>()
+            .map(wasi_backend_into_box)
+    }
+}

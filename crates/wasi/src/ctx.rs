@@ -81,6 +81,10 @@ pub struct FdEntry {
     pub rights: Rights,
 }
 
+/// Seed of the deterministic in-enclave RNG (fresh and reset contexts draw
+/// the same stream, keeping warm invocations bit-identical to cold ones).
+const RNG_SEED: u64 = 0x7717_e5a2;
+
 /// The per-instance WASI state.
 pub struct WasiCtx {
     /// Program arguments (`argv[0]` = program name).
@@ -151,7 +155,7 @@ impl WasiCtx {
                 t += 1_000_000; // 1 ms per observation, strictly monotonic
                 t
             }),
-            rng: rand::rngs::StdRng::seed_from_u64(0x7717_e5a2),
+            rng: rand::rngs::StdRng::seed_from_u64(RNG_SEED),
             exit_code: None,
             call_count: 0,
         }
@@ -161,6 +165,28 @@ impl WasiCtx {
     /// OCALL-backed clock with a monotonicity guard, §IV-C).
     pub fn set_clock(&mut self, clock: Box<dyn FnMut() -> u64>) {
         self.clock = clock;
+    }
+
+    /// Recycle this context for the next guest invocation of a persistent
+    /// session: clear the per-run observables (captured stdout/stderr, exit
+    /// code, call count), close every descriptor the previous run opened and
+    /// rewind fd allocation, and reseed the deterministic RNG — while
+    /// **preserving** the file-system backend (protected files survive), the
+    /// preopens with their capability rights, args/env, and the installed
+    /// clock source (so a trusted clock's monotonicity watermark carries
+    /// across invocations instead of restarting).
+    ///
+    /// After this call the context is indistinguishable from a freshly
+    /// constructed one except for the state that is *meant* to persist:
+    /// backend file contents and the clock watermark.
+    pub fn reset_for_invocation(&mut self) {
+        self.stdout.clear();
+        self.stderr.clear();
+        self.exit_code = None;
+        self.call_count = 0;
+        self.fds.retain(|&fd, _| fd <= 3);
+        self.next_fd = 4;
+        self.rng = rand::rngs::StdRng::seed_from_u64(RNG_SEED);
     }
 
     /// Consume the context and recover the backend (so the embedder can
@@ -478,6 +504,49 @@ mod tests {
         let mut c = ctx();
         assert!(c.close(0).is_err());
         assert!(c.close(3).is_err());
+    }
+
+    #[test]
+    fn reset_for_invocation_preserves_backend_and_clock() {
+        let mut backend = MemBackend::new();
+        backend
+            .open("/data/persisted.bin", true, false)
+            .unwrap()
+            .write(b"keep me")
+            .unwrap();
+        let mut c = WasiCtx::new(Box::new(backend), "/data", Rights::all());
+        c.stdout.extend_from_slice(b"run 1 output");
+        c.stderr.extend_from_slice(b"run 1 errors");
+        c.exit_code = Some(3);
+        c.call_count = 17;
+        let fd = c.open_file(3, "scratch.txt", true, false, Rights::all()).unwrap();
+        assert_eq!(fd, 4);
+        let t1 = c.now();
+
+        c.reset_for_invocation();
+
+        // Per-run state cleared; opened fds gone, fd allocation rewound.
+        assert!(c.stdout.is_empty() && c.stderr.is_empty());
+        assert_eq!(c.exit_code, None);
+        assert_eq!(c.call_count, 0);
+        assert_eq!(c.fd(4).err(), Some(Errno::Badf));
+        assert_eq!(
+            c.open_file(3, "scratch.txt", false, false, Rights::all()).unwrap(),
+            4,
+            "fd numbering restarts like a fresh context"
+        );
+        // Preopens and std streams survive with their rights.
+        assert!(c.fd(0).is_ok() && c.fd(3).is_ok());
+        // Backend contents survive.
+        assert_eq!(c.path_size(3, "persisted.bin").unwrap(), 7);
+        // Clock keeps advancing monotonically rather than restarting.
+        assert!(c.now() > t1);
+        // RNG stream restarts: identical to a fresh context's stream.
+        let mut fresh = WasiCtx::new(Box::new(MemBackend::new()), "/data", Rights::all());
+        let (mut a, mut b) = ([0u8; 16], [0u8; 16]);
+        c.random_fill(&mut a);
+        fresh.random_fill(&mut b);
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -101,9 +101,19 @@ impl HostCtx<'_> {
 }
 
 /// A host (import) function.
-pub type HostFn = Box<dyn FnMut(&mut HostCtx<'_>, &[Value]) -> Result<Vec<Value>, Trap>>;
+///
+/// Reference-counted so a [`Linker`] can be built **once** per embedding and
+/// shared across many instances ([`Instance::instantiate_shared`]): each
+/// instance clones the `Arc`s instead of consuming the table. Host functions
+/// are therefore `Fn`, not `FnMut` — per-call mutable state belongs in the
+/// instance's host data (see [`HostCtx::state`]).
+pub type HostFn = Arc<dyn Fn(&mut HostCtx<'_>, &[Value]) -> Result<Vec<Value>, Trap>>;
 
 /// Resolves module imports to host functions.
+///
+/// Immutable once populated: instantiation borrows the linker and clones the
+/// per-function [`Arc`]s, so one linker serves any number of instances (the
+/// session layer in `twine-core` builds it once per service).
 #[derive(Default)]
 pub struct Linker {
     funcs: HashMap<(String, String), (FuncType, HostFn)>,
@@ -122,15 +132,15 @@ impl Linker {
         module: &str,
         name: &str,
         ty: FuncType,
-        f: impl FnMut(&mut HostCtx<'_>, &[Value]) -> Result<Vec<Value>, Trap> + 'static,
+        f: impl Fn(&mut HostCtx<'_>, &[Value]) -> Result<Vec<Value>, Trap> + 'static,
     ) -> &mut Self {
         self.funcs
-            .insert((module.to_string(), name.to_string()), (ty, Box::new(f)));
+            .insert((module.to_string(), name.to_string()), (ty, Arc::new(f)));
         self
     }
 
-    fn take(&mut self, module: &str, name: &str) -> Option<(FuncType, HostFn)> {
-        self.funcs.remove(&(module.to_string(), name.to_string()))
+    fn get(&self, module: &str, name: &str) -> Option<&(FuncType, HostFn)> {
+        self.funcs.get(&(module.to_string(), name.to_string()))
     }
 }
 
@@ -167,15 +177,72 @@ pub struct Instance {
     page_sink: Option<Box<dyn PageSink>>,
 }
 
+/// The post-instantiation state of an [`Instance`]: the linear-memory image
+/// (data segments applied, start function already run), globals and table.
+///
+/// Recorded once via [`Instance::snapshot`] and replayed with
+/// [`Instance::reset_to`], this lets an embedder recycle an instance into a
+/// pool without re-running decode/validate/instantiate or the data-segment
+/// copies — the wasmtime-style compile-once/instantiate-many serving
+/// architecture, applied one level further down (instantiate-once/reset-many).
+#[derive(Clone)]
+pub struct InstanceSnapshot {
+    memory: Option<Memory>,
+    globals: Vec<u64>,
+    table: Vec<Option<u32>>,
+}
+
+impl InstanceSnapshot {
+    /// Bytes held by the recorded memory image.
+    #[must_use]
+    pub fn memory_bytes(&self) -> usize {
+        self.memory.as_ref().map_or(0, Memory::size_bytes)
+    }
+}
+
 impl Instance {
     /// Instantiate a compiled module, resolving imports from `linker` and
     /// attaching `host_data` (retrievable in host functions through
     /// [`HostCtx::state`]). Runs the start function if present.
+    ///
+    /// Convenience wrapper over [`Instance::instantiate_shared`] for
+    /// embeddings that build a fresh linker per instance; the host data is
+    /// dropped on failure.
     pub fn instantiate(
         code: Arc<CompiledModule>,
-        mut linker: Linker,
+        linker: Linker,
         host_data: Box<dyn Any>,
     ) -> Result<Self, ModuleError> {
+        Self::instantiate_shared(code, &linker, host_data, None).map_err(|(e, _)| e)
+    }
+
+    /// Instantiate a compiled module against a **shared** linker: the host
+    /// function table is only borrowed (each resolved import clones its
+    /// [`Arc`]), so one linker built once per embedding serves any number of
+    /// concurrent instances.
+    ///
+    /// `fuel` bounds the *start function* too (it runs here, before this
+    /// returns): untrusted modules cannot smuggle unmetered work into
+    /// instantiation. The remaining fuel stays on the returned instance;
+    /// embedders that refill per invocation overwrite it anyway.
+    ///
+    /// # Errors
+    /// On failure the untouched `host_data` is handed back alongside the
+    /// error, so an embedder that lent stateful resources to the instance
+    /// (e.g. a file-system backend inside a WASI context) can recover them
+    /// instead of losing them with the dropped box.
+    #[allow(clippy::type_complexity, clippy::missing_panics_doc)]
+    pub fn instantiate_shared(
+        code: Arc<CompiledModule>,
+        linker: &Linker,
+        host_data: Box<dyn Any>,
+        fuel: Option<u64>,
+    ) -> Result<Self, (ModuleError, Box<dyn Any>)> {
+        macro_rules! fail {
+            ($e:expr) => {
+                return Err(($e, host_data))
+            };
+        }
         let module = &code.module;
         // Resolve function imports, in order.
         let mut host_funcs = Vec::new();
@@ -183,24 +250,27 @@ impl Instance {
             match &imp.desc {
                 ImportDesc::Func(type_idx) => {
                     let want = &module.types[*type_idx as usize];
-                    let (ty, f) = linker.take(&imp.module, &imp.name).ok_or_else(|| {
-                        ModuleError::Instantiate(format!(
+                    let Some((ty, f)) = linker.get(&imp.module, &imp.name) else {
+                        fail!(ModuleError::Instantiate(format!(
                             "unresolved import {}.{}",
                             imp.module, imp.name
-                        ))
-                    })?;
-                    if &ty != want {
-                        return Err(ModuleError::Instantiate(format!(
+                        )));
+                    };
+                    if ty != want {
+                        fail!(ModuleError::Instantiate(format!(
                             "import {}.{}: type mismatch (module wants {want}, host provides {ty})",
                             imp.module, imp.name
                         )));
                     }
-                    host_funcs.push(HostSlot { ty, f });
+                    host_funcs.push(HostSlot {
+                        ty: ty.clone(),
+                        f: Arc::clone(f),
+                    });
                 }
                 ImportDesc::Memory(_) => {
-                    return Err(ModuleError::Instantiate(
+                    fail!(ModuleError::Instantiate(
                         "imported memories are not supported; define the memory in-module".into(),
-                    ))
+                    ));
                 }
                 _ => unreachable!("rejected by validation"),
             }
@@ -209,13 +279,17 @@ impl Instance {
         // Memory + data segments.
         let mut memory = module.memory.map(Memory::new);
         for (i, seg) in module.data.iter().enumerate() {
-            let mem = memory.as_mut().ok_or_else(|| {
-                ModuleError::Instantiate(format!("data segment {i} without memory"))
-            })?;
+            let Some(mem) = memory.as_mut() else {
+                fail!(ModuleError::Instantiate(format!(
+                    "data segment {i} without memory"
+                )));
+            };
             let offset = seg.offset.eval().as_i32().unwrap_or(0) as u32;
-            let dst = mem.slice_mut(offset, seg.bytes.len() as u32).ok_or_else(|| {
-                ModuleError::Instantiate(format!("data segment {i} out of bounds"))
-            })?;
+            let Some(dst) = mem.slice_mut(offset, seg.bytes.len() as u32) else {
+                fail!(ModuleError::Instantiate(format!(
+                    "data segment {i} out of bounds"
+                )));
+            };
             dst.copy_from_slice(&seg.bytes);
         }
 
@@ -230,7 +304,7 @@ impl Instance {
         for (i, seg) in module.elems.iter().enumerate() {
             let offset = seg.offset.eval().as_i32().unwrap_or(0) as usize;
             if offset + seg.funcs.len() > table.len() {
-                return Err(ModuleError::Instantiate(format!(
+                fail!(ModuleError::Instantiate(format!(
                     "element segment {i} out of bounds"
                 )));
             }
@@ -248,14 +322,48 @@ impl Instance {
             host_funcs,
             host_data,
             meter: Meter::new(),
-            fuel: None,
+            fuel,
             page_sink: None,
         };
         if let Some(s) = start {
-            inst.invoke_index(s, &[])
-                .map_err(|t| ModuleError::Instantiate(format!("start function trapped: {t}")))?;
+            if let Err(t) = inst.invoke_index(s, &[]) {
+                return Err((
+                    ModuleError::Instantiate(format!("start function trapped: {t}")),
+                    inst.host_data,
+                ));
+            }
         }
         Ok(inst)
+    }
+
+    /// Record the current memory image, globals and table so this instance
+    /// (or any instance of the same compiled module) can later be recycled
+    /// with [`Instance::reset_to`]. Usually taken right after instantiation,
+    /// capturing the post-data-segment, post-start-function state.
+    #[must_use]
+    pub fn snapshot(&self) -> InstanceSnapshot {
+        InstanceSnapshot {
+            memory: self.memory.clone(),
+            globals: self.globals.clone(),
+            table: self.table.clone(),
+        }
+    }
+
+    /// Restore the guest-visible mutable state (memory, globals, table) from
+    /// a snapshot and clear the meter, making the instance indistinguishable
+    /// from a freshly instantiated one — without re-running decode, validate,
+    /// instantiate or the data segments. Host data, fuel and the page sink
+    /// are left untouched (they belong to the embedder).
+    pub fn reset_to(&mut self, snap: &InstanceSnapshot) {
+        match (&mut self.memory, &snap.memory) {
+            (Some(mem), Some(img)) => mem.restore_from(img),
+            (mem, img) => *mem = img.clone(),
+        }
+        self.globals.clear();
+        self.globals.extend_from_slice(&snap.globals);
+        self.table.clear();
+        self.table.extend_from_slice(&snap.table);
+        self.meter.reset();
     }
 
     /// Attach (or clear) the EPC page sink.
@@ -357,7 +465,7 @@ impl Instance {
     // ------------------------------------------------------------------
 
     fn call_host(&mut self, import_idx: usize, opds: &mut Vec<u64>) -> Result<(), Trap> {
-        let slot = &mut self.host_funcs[import_idx];
+        let slot = &self.host_funcs[import_idx];
         let n = slot.ty.params.len();
         let base = opds.len() - n;
         let args: Vec<Value> = slot

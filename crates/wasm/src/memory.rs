@@ -101,6 +101,21 @@ impl Memory {
         Some(())
     }
 
+    /// Restore this memory to the exact state of `image` (size and bytes),
+    /// reusing the existing allocation when the sizes match. Used by the
+    /// instance-recycling path: replaying a post-instantiation snapshot is a
+    /// straight `memcpy` instead of a fresh zeroed allocation plus
+    /// data-segment copies.
+    pub fn restore_from(&mut self, image: &Memory) {
+        self.limits = image.limits;
+        if self.data.len() == image.data.len() {
+            self.data.copy_from_slice(&image.data);
+        } else {
+            self.data.clear();
+            self.data.extend_from_slice(&image.data);
+        }
+    }
+
     /// Read a NUL-terminated string (for host diagnostics).
     pub fn read_cstr(&self, addr: u32, max_len: u32) -> Option<String> {
         let slice = self.slice(addr, max_len.min((self.data.len() as u64).min(u64::from(u32::MAX)) as u32 - addr.min(self.data.len() as u32)))?;

@@ -705,3 +705,184 @@ fn invoke_errors() {
     ));
     assert!(inst.invoke("f", &[Value::I32(1)]).is_ok());
 }
+
+// ---------------------------------------------------------------------------
+// Shared-linker instantiation and snapshot/reset (the session-layer
+// primitives used by twine-core's TwineService).
+// ---------------------------------------------------------------------------
+
+#[test]
+fn shared_linker_serves_many_instances() {
+    let mut b = twine_wasm::ModuleBuilder::new();
+    let host = b.import_func(
+        "env",
+        "add_ten",
+        FuncType::new(vec![ValType::I32], vec![ValType::I32]),
+    );
+    let f = b.add_func(
+        FuncType::new(vec![ValType::I32], vec![ValType::I32]),
+        vec![],
+        vec![Instr::LocalGet(0), Instr::Call(host)],
+    );
+    b.export_func("f", f);
+    let code = Arc::new(CompiledModule::compile(b.build()).unwrap());
+    let mut linker = Linker::new();
+    linker.func(
+        "env",
+        "add_ten",
+        FuncType::new(vec![ValType::I32], vec![ValType::I32]),
+        |_ctx, args| Ok(vec![Value::I32(args[0].as_i32().unwrap() + 10)]),
+    );
+    // One linker, several live instances at once.
+    let mut instances: Vec<Instance> = (0..3)
+        .map(|_| {
+            Instance::instantiate_shared(Arc::clone(&code), &linker, Box::new(()), None)
+                .map_err(|(e, _)| e)
+                .expect("instantiate")
+        })
+        .collect();
+    for (i, inst) in instances.iter_mut().enumerate() {
+        let r = inst.invoke("f", &[Value::I32(i as i32)]).unwrap();
+        assert_eq!(r[0], Value::I32(i as i32 + 10));
+    }
+}
+
+#[test]
+fn instantiate_shared_returns_host_data_on_failure() {
+    // Unresolved import: host data must come back untouched.
+    let mut b = twine_wasm::ModuleBuilder::new();
+    b.import_func("env", "missing", FuncType::new(vec![], vec![]));
+    let code = Arc::new(CompiledModule::compile(b.build()).unwrap());
+    let r = Instance::instantiate_shared(code, &Linker::new(), Box::new(41i32), None);
+    let (err, data) = r.err().expect("must fail");
+    assert!(matches!(err, twine_wasm::ModuleError::Instantiate(_)));
+    assert_eq!(*data.downcast::<i32>().unwrap(), 41);
+
+    // Start function traps: host data must come back even after partial
+    // construction.
+    let mut b = twine_wasm::ModuleBuilder::new();
+    let s = b.add_func(FuncType::new(vec![], vec![]), vec![], vec![Instr::Unreachable]);
+    b.start(s);
+    let code = Arc::new(CompiledModule::compile(b.build()).unwrap());
+    let r = Instance::instantiate_shared(code, &Linker::new(), Box::new("backend".to_string()), None);
+    let (err, data) = r.err().expect("must fail");
+    assert!(matches!(err, twine_wasm::ModuleError::Instantiate(_)));
+    assert_eq!(*data.downcast::<String>().unwrap(), "backend");
+}
+
+/// Build a module with a mutable global, a memory data segment and a dirty-
+/// able memory cell, for snapshot/reset testing.
+fn stateful_module() -> Arc<CompiledModule> {
+    let mut b = twine_wasm::ModuleBuilder::new();
+    b.memory(Limits::at_least(1));
+    b.add_data(64, b"seed".to_vec());
+    let g = b.add_global(ValType::I32, true, Value::I32(7));
+    // bump() { g += 1; mem[0] += 1; return g }
+    let f = b.add_func(
+        FuncType::new(vec![], vec![ValType::I32]),
+        vec![],
+        vec![
+            Instr::GlobalGet(g),
+            Instr::Const(Value::I32(1)),
+            Instr::IBinop(IntWidth::W32, IBinOp::Add),
+            Instr::GlobalSet(g),
+            Instr::Const(Value::I32(0)),
+            Instr::Const(Value::I32(0)),
+            Instr::Load(LoadKind::I32, MemArg { offset: 0, align: 2 }),
+            Instr::Const(Value::I32(1)),
+            Instr::IBinop(IntWidth::W32, IBinOp::Add),
+            Instr::Store(StoreKind::I32, MemArg { offset: 0, align: 2 }),
+            Instr::GlobalGet(g),
+        ],
+    );
+    b.export_func("bump", f);
+    Arc::new(CompiledModule::compile(b.build()).unwrap())
+}
+
+#[test]
+fn snapshot_reset_restores_fresh_state() {
+    let code = stateful_module();
+    let mut inst =
+        Instance::instantiate(Arc::clone(&code), Linker::new(), Box::new(())).unwrap();
+    let snap = inst.snapshot();
+    assert_eq!(snap.memory_bytes(), 65_536);
+
+    // Dirty the instance: globals, memory, meter.
+    let first = inst.invoke("bump", &[]).unwrap()[0];
+    assert_eq!(first, Value::I32(8));
+    assert_eq!(inst.invoke("bump", &[]).unwrap()[0], Value::I32(9));
+    assert!(inst.meter.total() > 0);
+
+    // Reset: indistinguishable from a fresh instantiation.
+    inst.reset_to(&snap);
+    assert_eq!(inst.meter.total(), 0);
+    assert_eq!(inst.global(0), Some(Value::I32(7)));
+    assert_eq!(inst.memory().unwrap().slice(64, 4).unwrap(), b"seed");
+    let fresh = Instance::instantiate(code, Linker::new(), Box::new(())).unwrap();
+    assert_eq!(
+        inst.memory().unwrap().slice(0, 128).unwrap(),
+        fresh.memory().unwrap().slice(0, 128).unwrap()
+    );
+    assert_eq!(inst.invoke("bump", &[]).unwrap()[0], Value::I32(8));
+}
+
+#[test]
+fn reset_after_memory_grow_shrinks_back() {
+    let mut b = twine_wasm::ModuleBuilder::new();
+    b.memory(Limits::at_least(1));
+    let f = b.add_func(
+        FuncType::new(vec![], vec![ValType::I32]),
+        vec![],
+        vec![Instr::Const(Value::I32(2)), Instr::MemoryGrow],
+    );
+    b.export_func("grow2", f);
+    let code = Arc::new(CompiledModule::compile(b.build()).unwrap());
+    let mut inst = Instance::instantiate(code, Linker::new(), Box::new(())).unwrap();
+    let snap = inst.snapshot();
+    assert_eq!(inst.invoke("grow2", &[]).unwrap()[0], Value::I32(1));
+    assert_eq!(inst.memory().unwrap().size_pages(), 3);
+    inst.reset_to(&snap);
+    assert_eq!(inst.memory().unwrap().size_pages(), 1);
+    // Grow obeys the same limits again after reset.
+    assert_eq!(inst.invoke("grow2", &[]).unwrap()[0], Value::I32(1));
+}
+
+#[test]
+fn start_function_is_fuel_bounded() {
+    // An infinite-loop start function: without a fuel budget instantiation
+    // would never return; with one it fails cleanly and hands back the
+    // host data.
+    let mut b = twine_wasm::ModuleBuilder::new();
+    let s = b.add_func(
+        FuncType::new(vec![], vec![]),
+        vec![],
+        vec![Instr::Loop(
+            twine_wasm::instr::BlockType::Empty,
+            vec![Instr::Br(0)],
+        )],
+    );
+    b.start(s);
+    let code = Arc::new(CompiledModule::compile(b.build()).unwrap());
+    let r = Instance::instantiate_shared(code, &Linker::new(), Box::new(7u8), Some(1_000));
+    let (err, data) = r.err().expect("must run out of fuel");
+    match err {
+        twine_wasm::ModuleError::Instantiate(m) => assert!(m.contains("fuel"), "{m}"),
+        other => panic!("unexpected error {other:?}"),
+    }
+    assert_eq!(*data.downcast::<u8>().unwrap(), 7);
+}
+
+#[test]
+fn start_function_fuel_carries_onto_instance() {
+    // A finite start function consumes from the same budget; the remainder
+    // stays on the instance.
+    let mut b = twine_wasm::ModuleBuilder::new();
+    let s = b.add_func(FuncType::new(vec![], vec![]), vec![], vec![Instr::Nop]);
+    b.start(s);
+    let code = Arc::new(CompiledModule::compile(b.build()).unwrap());
+    let inst = Instance::instantiate_shared(code, &Linker::new(), Box::new(()), Some(100))
+        .map_err(|(e, _)| e)
+        .unwrap();
+    let left = inst.fuel.expect("budget still set");
+    assert!(left < 100, "start function consumed fuel");
+}
