@@ -14,12 +14,12 @@ fn bench_wasm_kernel(c: &mut Criterion) {
     });
 }
 
-/// Dispatch-loop comparison of the two execution tiers: the module is
+/// Dispatch-loop comparison of the three execution tiers: the module is
 /// AoT-compiled once per tier outside the timed body, so the benches time
-/// instantiation + execution only. The fused tier must win on wall-clock
-/// while metering stays bit-identical (asserted here on every iteration's
-/// checksum path by `twine-polybench`'s own tests and the differential
-/// proptests).
+/// instantiation + execution only. Fused must beat baseline and the
+/// register tier must beat fused on wall-clock, while metering stays
+/// bit-identical (asserted by `twine-polybench`'s own tests and the
+/// differential proptests in `crates/wasm/tests/tier_differential.rs`).
 fn bench_wasm_tiers(c: &mut Criterion) {
     use twine_polybench::{compile_kernel, kernels, run_compiled};
     use twine_wasm::ExecTier;
@@ -28,7 +28,7 @@ fn bench_wasm_tiers(c: &mut Criterion) {
             name,
             source: kernels::source_for(name, kernels::Scale::Mini),
         };
-        for tier in [ExecTier::Baseline, ExecTier::Fused] {
+        for tier in [ExecTier::Baseline, ExecTier::Fused, ExecTier::Reg] {
             let compiled = compile_kernel(&kernel, tier).expect("compile");
             c.bench_function(&format!("wasm_{name}_mini_{tier}"), |b| {
                 b.iter(|| run_compiled(&compiled).expect("run"));
@@ -68,6 +68,21 @@ fn bench_serving(c: &mut Criterion) {
     c.bench_function("serving_warm_session", |b| {
         b.iter(|| svc.invoke("tenant", "handle", &[Value::I32(17)]).expect("run"));
     });
+
+    // Warm-session pair pinned to explicit tiers: the register tier's
+    // frame arena + dispatch win on the per-call guest work, holding the
+    // rest of the warm path constant.
+    use twine_wasm::ExecTier;
+    for (name, tier) in [
+        ("serving_warm_session_fused", ExecTier::Fused),
+        ("serving_warm_session_reg", ExecTier::Reg),
+    ] {
+        let mut svc = TwineBuilder::new().exec_tier(tier).build_service();
+        svc.open_session("tenant", &wasm).expect("open");
+        c.bench_function(name, |b| {
+            b.iter(|| svc.invoke("tenant", "handle", &[Value::I32(17)]).expect("run"));
+        });
+    }
 }
 
 fn bench_pfs(c: &mut Criterion) {

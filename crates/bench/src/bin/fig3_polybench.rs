@@ -75,32 +75,42 @@ fn main() {
     }
 }
 
-/// Execute every kernel on both tiers, check that the metered virtual-time
-/// inputs (per-class counts, bytes, page transitions) are bit-identical,
-/// and report the wall-clock speedup of the fused tier.
+/// Execute every kernel on all three tiers, check that the metered
+/// virtual-time inputs (per-class counts, bytes, page transitions) are
+/// bit-identical, and report the wall-clock speedups. Writes both the
+/// human CSV (`results/fig3_tier_wallclock.csv`) and the machine-readable
+/// perf trajectory (`BENCH_fig3.json` at the workspace root, DESIGN.md §8).
+#[allow(clippy::too_many_lines)]
 fn tier_comparison(scale: Scale) {
     use std::time::Instant;
+    use twine_bench::write_bench_json;
     use twine_polybench::{compile_kernel, run_compiled};
     use twine_wasm::meter::InstrClass;
     use twine_wasm::ExecTier;
 
-    println!("\nExecution tiers: baseline dispatch vs fused superinstructions");
+    const TIERS: [ExecTier; 3] = [ExecTier::Baseline, ExecTier::Fused, ExecTier::Reg];
+
+    println!("\nExecution tiers: baseline dispatch vs fused vs register-allocated");
     println!(
-        "{:<16} {:>12} {:>12} {:>9}  {:>11} {:>11}",
-        "kernel", "base_ms", "fused_ms", "speedup", "base_ops", "fused_ops"
+        "{:<16} {:>10} {:>10} {:>10} {:>9} {:>9}  {:>10}",
+        "kernel", "base_ms", "fused_ms", "reg_ms", "fus/base", "reg/fus", "ops"
     );
     let mut rows = Vec::new();
-    let mut log_sum = 0.0f64;
+    let mut json_kernels = Vec::new();
+    // Geometric means of: fused over baseline, reg over baseline, reg over
+    // fused.
+    let mut log_sums = [0.0f64; 3];
     let kernels = all_kernels(scale);
     for k in &kernels {
-        let base = compile_kernel(k, ExecTier::Baseline).unwrap_or_else(|e| panic!("{e}"));
-        let fused = compile_kernel(k, ExecTier::Fused).unwrap_or_else(|e| panic!("{e}"));
+        let compiled: Vec<_> = TIERS
+            .iter()
+            .map(|t| compile_kernel(k, *t).unwrap_or_else(|e| panic!("{e}")))
+            .collect();
         // One untimed warm-up run per tier, then the minimum of three
-        // timed runs: both tiers face the same cache/allocator state and
+        // timed runs: all tiers face the same cache/allocator state and
         // scheduler jitter on a single sample cannot skew the CSV.
-        run_compiled(&base).unwrap_or_else(|e| panic!("{e}"));
-        run_compiled(&fused).unwrap_or_else(|e| panic!("{e}"));
         let time_min = |ck: &twine_polybench::CompiledKernel| {
+            run_compiled(ck).unwrap_or_else(|e| panic!("{e}"));
             let mut best = f64::INFINITY;
             let mut last = None;
             for _ in 0..3 {
@@ -110,55 +120,114 @@ fn tier_comparison(scale: Scale) {
             }
             (best, last.expect("three runs"))
         };
-        let (base_s, rb) = time_min(&base);
-        let (fused_s, rf) = time_min(&fused);
+        let timed: Vec<_> = compiled.iter().map(time_min).collect();
+        let (rb, secs) = (&timed[0].1, [timed[0].0, timed[1].0, timed[2].0]);
 
         // The whole point of the design: virtual time must be unchanged.
-        assert_eq!(
-            rb.checksum.to_bits(),
-            rf.checksum.to_bits(),
-            "{}: checksum diverged between tiers",
-            k.name
-        );
-        for c in InstrClass::all() {
+        for (tier, (_, run)) in TIERS.iter().zip(timed.iter()).skip(1) {
             assert_eq!(
-                rb.meter.count(c),
-                rf.meter.count(c),
-                "{}: metered class {c:?} diverged between tiers",
+                rb.checksum.to_bits(),
+                run.checksum.to_bits(),
+                "{} ({tier}): checksum diverged from baseline",
+                k.name
+            );
+            for c in InstrClass::all() {
+                assert_eq!(
+                    rb.meter.count(c),
+                    run.meter.count(c),
+                    "{} ({tier}): metered class {c:?} diverged from baseline",
+                    k.name
+                );
+            }
+            assert_eq!(
+                rb.meter.bytes_accessed,
+                run.meter.bytes_accessed,
+                "{} ({tier})",
+                k.name
+            );
+            assert_eq!(
+                rb.meter.page_transitions,
+                run.meter.page_transitions,
+                "{} ({tier})",
                 k.name
             );
         }
-        assert_eq!(rb.meter.bytes_accessed, rf.meter.bytes_accessed, "{}", k.name);
-        assert_eq!(rb.meter.page_transitions, rf.meter.page_transitions, "{}", k.name);
 
-        let speedup = base_s / fused_s;
-        log_sum += speedup.ln();
+        let fused_speedup = secs[0] / secs[1];
+        let reg_speedup = secs[0] / secs[2];
+        let reg_over_fused = secs[1] / secs[2];
+        for (sum, s) in log_sums
+            .iter_mut()
+            .zip([fused_speedup, reg_speedup, reg_over_fused])
+        {
+            *sum += s.ln();
+        }
         println!(
-            "{:<16} {:>12.2} {:>12.2} {:>8.2}x  {:>11} {:>11}",
+            "{:<16} {:>10.2} {:>10.2} {:>10.2} {:>8.2}x {:>8.2}x  {:>10}",
             k.name,
-            base_s * 1e3,
-            fused_s * 1e3,
-            speedup,
-            base.code.code_size_lowered_ops(),
-            fused.code.code_size_lowered_ops()
+            secs[0] * 1e3,
+            secs[1] * 1e3,
+            secs[2] * 1e3,
+            fused_speedup,
+            reg_over_fused,
+            compiled[1].code.code_size_lowered_ops()
         );
         rows.push(format!(
-            "{},{:.6},{:.6},{:.4},{},{}",
+            "{},{:.6},{:.6},{:.6},{:.4},{:.4},{},{}",
             k.name,
-            base_s,
-            fused_s,
-            speedup,
-            base.code.code_size_lowered_ops(),
-            fused.code.code_size_lowered_ops()
+            secs[0],
+            secs[1],
+            secs[2],
+            fused_speedup,
+            reg_over_fused,
+            compiled[0].code.code_size_lowered_ops(),
+            compiled[1].code.code_size_lowered_ops()
+        ));
+        json_kernels.push(format!(
+            concat!(
+                "    {{\"name\": \"{}\", \"wall_seconds\": {{\"baseline\": {:.6}, ",
+                "\"fused\": {:.6}, \"reg\": {:.6}}}, \"meter_total\": {}, ",
+                "\"page_transitions\": {}}}"
+            ),
+            k.name,
+            secs[0],
+            secs[1],
+            secs[2],
+            rb.meter.total(),
+            rb.meter.page_transitions
         ));
     }
-    let geomean = (log_sum / kernels.len() as f64).exp();
-    println!("\ngeomean wall-clock speedup (fused over baseline): {geomean:.2}x");
-    println!("virtual cycle streams: bit-identical across tiers (verified per kernel)");
+    let n = kernels.len() as f64;
+    let geo: Vec<f64> = log_sums.iter().map(|s| (s / n).exp()).collect();
+    println!(
+        "\ngeomean wall-clock speedups: fused/baseline {:.2}x, reg/baseline {:.2}x, reg/fused {:.2}x",
+        geo[0], geo[1], geo[2]
+    );
+    println!("virtual cycle streams: bit-identical across all three tiers (verified per kernel)");
     write_csv(
         "fig3_tier_wallclock.csv",
-        "kernel,baseline_seconds,fused_seconds,speedup,baseline_ops,fused_ops",
+        "kernel,baseline_seconds,fused_seconds,reg_seconds,fused_speedup,reg_over_fused_speedup,baseline_ops,fused_ops",
         &rows,
+    );
+    write_bench_json(
+        "BENCH_fig3.json",
+        &format!(
+            concat!(
+                "{{\n  \"bench\": \"fig3_polybench\",\n  \"scale\": \"{}\",\n",
+                "  \"tiers\": [\"baseline\", \"fused\", \"reg\"],\n",
+                "  \"meters_identical\": true,\n  \"kernels\": [\n{}\n  ],\n",
+                "  \"geomean_speedup\": {{\"fused_over_baseline\": {:.4}, ",
+                "\"reg_over_baseline\": {:.4}, \"reg_over_fused\": {:.4}}}\n}}\n"
+            ),
+            match scale {
+                Scale::Mini => "mini",
+                Scale::Small => "small",
+            },
+            json_kernels.join(",\n"),
+            geo[0],
+            geo[1],
+            geo[2]
+        ),
     );
 }
 

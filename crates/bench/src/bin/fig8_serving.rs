@@ -19,9 +19,9 @@
 
 use std::time::Instant;
 
-use twine_bench::{arg_value, write_csv};
+use twine_bench::{arg_value, write_bench_json, write_csv};
 use twine_core::TwineBuilder;
-use twine_wasm::Value;
+use twine_wasm::{ExecTier, Value};
 
 const GUEST_SRC: &str = r"
     int handle(int req) {
@@ -150,5 +150,28 @@ fn main() {
                 warm.mean_cycles()
             ),
         ],
+    );
+
+    // Machine-readable perf trajectory (DESIGN.md §8): future PRs diff
+    // cold/warm serving latency against this file.
+    write_bench_json(
+        "BENCH_fig8.json",
+        &format!(
+            concat!(
+                "{{\n  \"bench\": \"fig8_serving\",\n  \"exec_tier\": \"{}\",\n",
+                "  \"sessions\": {}, \n  \"calls\": {},\n",
+                "  \"cold\": {{\"mean_wall_us\": {:.3}, \"mean_cycles\": {:.0}}},\n",
+                "  \"warm\": {{\"mean_wall_us\": {:.3}, \"mean_cycles\": {:.0}}},\n",
+                "  \"warm_throughput_calls_per_s\": {:.0}\n}}\n"
+            ),
+            ExecTier::default(),
+            sessions,
+            calls,
+            cold.mean_wall_us(),
+            cold.mean_cycles(),
+            warm.mean_wall_us(),
+            warm.mean_cycles(),
+            throughput,
+        ),
     );
 }

@@ -71,6 +71,24 @@ pub fn write_csv(name: &str, header: &str, rows: &[String]) {
     }
 }
 
+/// Write a machine-readable benchmark artefact at the **workspace root**
+/// (not `results/`): `BENCH_*.json` files are the perf trajectory future
+/// changes diff against, so they live next to the sources under version
+/// control. The JSON is assembled by the caller; this helper only anchors
+/// the path and reports it. See DESIGN.md §8 for the schemas.
+pub fn write_bench_json(name: &str, json: &str) {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let path = if root.is_dir() {
+        root.join(name)
+    } else {
+        PathBuf::from(name)
+    };
+    match std::fs::write(&path, json) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+    }
+}
+
 /// Parse a `--flag value` style argument.
 #[must_use]
 pub fn arg_value(name: &str) -> Option<String> {

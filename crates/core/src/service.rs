@@ -73,6 +73,7 @@ impl ModuleCache {
         h.update(&[match tier {
             ExecTier::Baseline => 0u8,
             ExecTier::Fused => 1u8,
+            ExecTier::Reg => 2u8,
         }]);
         h.update(wasm);
         h.finalize()

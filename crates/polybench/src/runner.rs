@@ -137,22 +137,29 @@ mod tests {
     #[test]
     fn tiers_agree_on_checksum_and_meter() {
         use twine_wasm::meter::InstrClass;
-        // The Figure 3 methodology requires the fused tier's metered
-        // stream to be bit-identical to the baseline tier's.
+        // The Figure 3 methodology requires every tier's metered stream to
+        // be bit-identical to the baseline tier's.
         for k in &all_kernels(Scale::Mini)[..4] {
             let base = run_kernel_tier(k, ExecTier::Baseline).unwrap();
-            let fused = run_kernel_tier(k, ExecTier::Fused).unwrap();
-            assert_eq!(base.checksum.to_bits(), fused.checksum.to_bits(), "{}", k.name);
-            for c in InstrClass::all() {
+            for tier in [ExecTier::Fused, ExecTier::Reg] {
+                let other = run_kernel_tier(k, tier).unwrap();
                 assert_eq!(
-                    base.meter.count(c),
-                    fused.meter.count(c),
-                    "{}: class {c:?} diverged",
+                    base.checksum.to_bits(),
+                    other.checksum.to_bits(),
+                    "{} ({tier})",
                     k.name
                 );
+                for c in InstrClass::all() {
+                    assert_eq!(
+                        base.meter.count(c),
+                        other.meter.count(c),
+                        "{} ({tier}): class {c:?} diverged",
+                        k.name
+                    );
+                }
+                assert_eq!(base.meter.bytes_accessed, other.meter.bytes_accessed);
+                assert_eq!(base.meter.page_transitions, other.meter.page_transitions);
             }
-            assert_eq!(base.meter.bytes_accessed, fused.meter.bytes_accessed);
-            assert_eq!(base.meter.page_transitions, fused.meter.page_transitions);
         }
     }
 

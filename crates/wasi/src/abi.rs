@@ -52,6 +52,42 @@ fn errno_val(e: Errno) -> Vec<Value> {
     vec![Value::I32(i32::from(e.raw()))]
 }
 
+/// Body of `fd_write`'s vectored-read twin, split out so the per-context
+/// scratch buffer can be taken from (and always restored to) the WASI
+/// state around it. WASI `fd_read` is vectored; PFS reads are not —
+/// iterate (exactly the adaptation the paper describes in §IV-E).
+fn fd_read_impl(
+    mem: &mut Memory,
+    wasi: &mut WasiCtx,
+    scratch: &mut Vec<u8>,
+    fd: u32,
+    iovs: u32,
+    iovs_len: u32,
+    nread: u32,
+) -> WasiResult<()> {
+    wasi.check_access(fd, Rights::FD_READ)?;
+    let mut total = 0u32;
+    for i in 0..iovs_len {
+        let base = read_u32(mem, iovs + 8 * i)?;
+        let len = read_u32(mem, iovs + 8 * i + 4)?;
+        scratch.clear();
+        scratch.resize(len as usize, 0);
+        let n = match &mut wasi.fd(fd)?.kind {
+            FdKind::Stdin => 0,
+            FdKind::File { handle } => handle.read(scratch)?,
+            _ => return Err(Errno::Badf),
+        };
+        mem.slice_mut(base, n as u32)
+            .ok_or(Errno::Inval)?
+            .copy_from_slice(&scratch[..n]);
+        total += n as u32;
+        if n < len as usize {
+            break;
+        }
+    }
+    write_u32(mem, nread, total)
+}
+
 fn ok_val() -> Vec<Value> {
     errno_val(Errno::Success)
 }
@@ -211,12 +247,15 @@ pub fn register_wasi(linker: &mut Linker) {
             let (buf, len) = args_i32!(args, 0, 1);
             let (mem, wasi) = mem_state(ctx)?;
             wasi.call_count += 1;
-            let mut bytes = vec![0u8; len as usize];
-            wasi.random_fill(&mut bytes);
+            // Fill guest memory directly — the deterministic RNG and the
+            // guest pages are disjoint borrows, so no staging buffer (or
+            // per-call allocation) is needed. Deliberate semantic choice:
+            // the RNG no longer advances when the guest buffer is out of
+            // bounds (a failed call used to burn `len` bytes of the
+            // stream before the bounds check).
             wasi_call(|| {
-                mem.slice_mut(buf, len)
-                    .ok_or(Errno::Inval)?
-                    .copy_from_slice(&bytes);
+                let dst = mem.slice_mut(buf, len).ok_or(Errno::Inval)?;
+                wasi.random_fill(dst);
                 Ok(())
             })
         },
@@ -316,14 +355,18 @@ pub fn register_wasi(linker: &mut Linker) {
                 for i in 0..iovs_len {
                     let base = read_u32(mem, iovs + 8 * i)?;
                     let len = read_u32(mem, iovs + 8 * i + 4)?;
-                    let data = mem.slice(base, len).ok_or(Errno::Inval)?.to_vec();
-                    match &mut wasi.fd(fd)?.kind {
-                        FdKind::Stdout => wasi.stdout.extend_from_slice(&data),
-                        FdKind::Stderr => wasi.stderr.extend_from_slice(&data),
+                    // Guest memory and WASI state are disjoint borrows, so
+                    // the iovec contents are consumed in place — the warm
+                    // path performs no per-call heap allocation or copy.
+                    let data = mem.slice(base, len).ok_or(Errno::Inval)?;
+                    let entry = wasi.fds.get_mut(&fd).ok_or(Errno::Badf)?;
+                    match &mut entry.kind {
                         FdKind::File { handle } => {
-                            total += handle.write(&data)? as u32;
+                            total += handle.write(data)? as u32;
                             continue;
                         }
+                        FdKind::Stdout => wasi.stdout.extend_from_slice(data),
+                        FdKind::Stderr => wasi.stderr.extend_from_slice(data),
                         _ => return Err(Errno::Badf),
                     }
                     total += len;
@@ -341,30 +384,13 @@ pub fn register_wasi(linker: &mut Linker) {
             let (fd, iovs, iovs_len, nread) = args_i32!(args, 0, 1, 2, 3);
             let (mem, wasi) = mem_state(ctx)?;
             wasi.call_count += 1;
-            wasi_call(|| {
-                wasi.check_access(fd, Rights::FD_READ)?;
-                let mut total = 0u32;
-                // WASI fd_read is vectored; PFS reads are not — iterate
-                // (exactly the adaptation the paper describes in §IV-E).
-                for i in 0..iovs_len {
-                    let base = read_u32(mem, iovs + 8 * i)?;
-                    let len = read_u32(mem, iovs + 8 * i + 4)?;
-                    let mut buf = vec![0u8; len as usize];
-                    let n = match &mut wasi.fd(fd)?.kind {
-                        FdKind::Stdin => 0,
-                        FdKind::File { handle } => handle.read(&mut buf)?,
-                        _ => return Err(Errno::Badf),
-                    };
-                    mem.slice_mut(base, n as u32)
-                        .ok_or(Errno::Inval)?
-                        .copy_from_slice(&buf[..n]);
-                    total += n as u32;
-                    if n < len as usize {
-                        break;
-                    }
-                }
-                write_u32(mem, nread, total)
-            })
+            // Reuse the per-context scratch buffer across calls (grow-only
+            // capacity) instead of allocating one per iovec: file reads are
+            // the enclave hot path (§IV-E / the paper's SQLite analysis).
+            let mut scratch = wasi.take_scratch();
+            let r = fd_read_impl(mem, wasi, &mut scratch, fd, iovs, iovs_len, nread);
+            wasi.restore_scratch(scratch);
+            wasi_call(|| r)
         },
     );
 

@@ -85,13 +85,23 @@ pub struct FdEntry {
 /// the same stream, keeping warm invocations bit-identical to cold ones).
 const RNG_SEED: u64 = 0x7717_e5a2;
 
+/// Largest data-path scratch capacity retained across calls (see
+/// [`WasiCtx::restore_scratch`]). 256 KiB covers every sane I/O size —
+/// SQLite pages are 4 KiB — while bounding what a guest-chosen iovec
+/// length can pin per session.
+const SCRATCH_KEEP_MAX: usize = 256 * 1024;
+
 /// The per-instance WASI state.
 pub struct WasiCtx {
     /// Program arguments (`argv[0]` = program name).
     pub args: Vec<String>,
     /// Environment variables.
     pub env: Vec<(String, String)>,
-    fds: HashMap<u32, FdEntry>,
+    /// The fd table. `pub(crate)` so the ABI layer's data path can borrow
+    /// one entry and another context field (e.g. the captured stdout)
+    /// simultaneously — disjoint field borrows the [`fd`](Self::fd)
+    /// accessor, which borrows the whole context, cannot express.
+    pub(crate) fds: HashMap<u32, FdEntry>,
     next_fd: u32,
     backend: Box<dyn FsBackend>,
     /// Captured stdout bytes.
@@ -104,6 +114,13 @@ pub struct WasiCtx {
     pub exit_code: Option<u32>,
     /// Count of WASI calls served (per-function class), for the harness.
     pub call_count: u64,
+    /// Grow-only scratch buffer reused by the data-path ABI calls
+    /// (`fd_read`, `random_get`): the paper's SQLite analysis pins WASI
+    /// I/O as the enclave hot path, so warm invocations must not pay a
+    /// heap allocation per call. Borrow it with
+    /// [`take_scratch`](Self::take_scratch) / put it back with
+    /// [`restore_scratch`](Self::restore_scratch).
+    pub(crate) scratch: Vec<u8>,
 }
 
 impl WasiCtx {
@@ -158,7 +175,33 @@ impl WasiCtx {
             rng: rand::rngs::StdRng::seed_from_u64(RNG_SEED),
             exit_code: None,
             call_count: 0,
+            scratch: Vec::new(),
         }
+    }
+
+    /// Take the per-context scratch buffer out (cleared), so an ABI call
+    /// can use it alongside other mutable borrows of the context. Must be
+    /// paired with [`restore_scratch`](Self::restore_scratch) so the
+    /// grown capacity survives for the next call.
+    pub(crate) fn take_scratch(&mut self) -> Vec<u8> {
+        let mut s = std::mem::take(&mut self.scratch);
+        s.clear();
+        s
+    }
+
+    /// Return the scratch buffer taken by
+    /// [`take_scratch`](Self::take_scratch), keeping its capacity for the
+    /// next data-path call — up to [`SCRATCH_KEEP_MAX`]. A guest controls
+    /// the iovec lengths that size this buffer, so an unbounded keep
+    /// would let one hostile `fd_read` pin gigabytes of host memory for
+    /// the whole session lifetime; oversized buffers are shrunk back so a
+    /// spike costs only its own call (exactly like the old per-call
+    /// allocation), while ordinary I/O (≤ the cap) stays allocation-free.
+    pub(crate) fn restore_scratch(&mut self, mut scratch: Vec<u8>) {
+        if scratch.capacity() > SCRATCH_KEEP_MAX {
+            scratch = Vec::new();
+        }
+        self.scratch = scratch;
     }
 
     /// Replace the clock source (Twine's trusted layer installs an
@@ -180,8 +223,13 @@ impl WasiCtx {
     /// constructed one except for the state that is *meant* to persist:
     /// backend file contents and the clock watermark.
     pub fn reset_for_invocation(&mut self) {
+        // Every buffer here is recycled in place (`clear` keeps capacity):
+        // a warm invocation of a persistent session performs no heap
+        // allocation in this reset, and the data-path scratch buffer keeps
+        // the high-water capacity of previous runs.
         self.stdout.clear();
         self.stderr.clear();
+        self.scratch.clear();
         self.exit_code = None;
         self.call_count = 0;
         self.fds.retain(|&fd, _| fd <= 3);
@@ -547,6 +595,36 @@ mod tests {
         c.random_fill(&mut a);
         fresh.random_fill(&mut b);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn scratch_capacity_survives_reset_and_take_cycle() {
+        let mut c = ctx();
+        let mut s = c.take_scratch();
+        s.resize(8 * 1024, 0xAA);
+        c.restore_scratch(s);
+        c.reset_for_invocation();
+        // Reset clears contents but keeps the grown capacity (the warm
+        // path must not re-allocate), and a fresh take hands it back empty.
+        let s = c.take_scratch();
+        assert!(s.is_empty());
+        assert!(s.capacity() >= 8 * 1024, "capacity was dropped");
+        c.restore_scratch(s);
+    }
+
+    #[test]
+    fn oversized_scratch_is_not_pinned_for_the_session() {
+        // A guest-controlled iovec length sizes the scratch buffer; a
+        // hostile spike must cost only its own call, not stay resident.
+        let mut c = ctx();
+        let mut s = c.take_scratch();
+        s.resize(SCRATCH_KEEP_MAX + 1, 0);
+        c.restore_scratch(s);
+        assert!(
+            c.scratch.capacity() <= SCRATCH_KEEP_MAX,
+            "oversized scratch was retained ({} bytes)",
+            c.scratch.capacity()
+        );
     }
 
     #[test]

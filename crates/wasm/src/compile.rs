@@ -10,6 +10,7 @@
 use crate::instr::{Instr, LoadKind, StoreKind};
 use crate::lower::{lower_func, ExecTier, LowFunc};
 use crate::meter::InstrClass;
+use crate::regalloc::{regalloc_func, RegFunc};
 use crate::module::Module;
 use crate::types::{FuncType, ValType};
 use crate::ModuleError;
@@ -153,13 +154,18 @@ pub struct CompiledModule {
     pub funcs: Vec<CompiledFunc>,
     /// Which execution tier `lowered` was produced for.
     pub tier: ExecTier,
-    /// Per-function lowered code the engine dispatches on (parallel to
-    /// `funcs`; see [`crate::lower`]).
+    /// Per-function lowered code the stack tiers dispatch on (parallel to
+    /// `funcs`; see [`crate::lower`]). Empty on the register tier: the
+    /// fused IR only feeds [`crate::regalloc`] during compilation and is
+    /// dropped afterwards — the engine dispatches on `reg`.
     pub lowered: Vec<LowFunc>,
+    /// Per-function register code (parallel to `funcs`; empty unless the
+    /// tier is [`ExecTier::Reg`] — see [`crate::regalloc`]).
+    pub reg: Vec<RegFunc>,
 }
 
 impl CompiledModule {
-    /// Validate and compile a module for the default (fused) execution
+    /// Validate and compile a module for the default (register) execution
     /// tier. This is the only way to obtain executable code, mirroring
     /// Twine's "AoT-only" design.
     pub fn compile(module: Module) -> Result<Self, ModuleError> {
@@ -167,9 +173,10 @@ impl CompiledModule {
     }
 
     /// Validate and compile a module, selecting the execution tier: the
-    /// baseline one-op-per-instruction dispatch or the fused
-    /// superinstruction IR. Both tiers have identical semantics and
-    /// metering; the tier only changes wall-clock dispatch cost.
+    /// baseline one-op-per-instruction dispatch, the fused
+    /// superinstruction IR, or the register-allocated three-address code.
+    /// All tiers have identical semantics and metering; the tier only
+    /// changes wall-clock dispatch cost.
     pub fn compile_with_tier(module: Module, tier: ExecTier) -> Result<Self, ModuleError> {
         crate::validate::validate(&module)?;
         let mut funcs = Vec::with_capacity(module.funcs.len());
@@ -179,12 +186,35 @@ impl CompiledModule {
             c.type_idx = f.type_idx;
             funcs.push(c);
         }
-        let lowered = funcs.iter().map(|f| lower_func(f, tier)).collect();
+        let mut lowered: Vec<LowFunc> = funcs.iter().map(|f| lower_func(f, tier)).collect();
+        let reg = if tier == ExecTier::Reg {
+            let mut reg: Vec<RegFunc> = funcs
+                .iter()
+                .zip(lowered.iter())
+                .map(|(f, low)| regalloc_func(&module, f, low))
+                .collect();
+            // Lay the per-function charge regions out in one module-wide
+            // index space for the engine's region-hit counters.
+            let mut base = 0u32;
+            for rf in &mut reg {
+                rf.region_base = base;
+                base += rf.blocks.len() as u32;
+            }
+            // The fused IR was only the register allocator's input; the
+            // engine dispatches on `reg`. Dropping it halves the code-side
+            // memory every cached `Arc<CompiledModule>` holds for the
+            // lifetime of a serving cache.
+            lowered = Vec::new();
+            reg
+        } else {
+            Vec::new()
+        };
         Ok(Self {
             module,
             funcs,
             tier,
             lowered,
+            reg,
         })
     }
 
@@ -208,10 +238,14 @@ impl CompiledModule {
 
     /// Total number of lowered ops actually dispatched by the engine
     /// (equals [`Self::code_size_ops`] on the baseline tier, smaller on
-    /// the fused tier).
+    /// the fused and register tiers).
     #[must_use]
     pub fn code_size_lowered_ops(&self) -> usize {
-        self.lowered.iter().map(|f| f.ops.len()).sum()
+        if self.tier == ExecTier::Reg {
+            self.reg.iter().map(|f| f.ops.len()).sum()
+        } else {
+            self.lowered.iter().map(|f| f.ops.len()).sum()
+        }
     }
 }
 
@@ -657,7 +691,7 @@ mod tests {
     }
 
     #[test]
-    fn default_compile_selects_the_fused_tier() {
+    fn default_compile_selects_the_reg_tier() {
         use crate::lower::ExecTier;
         let mut b = ModuleBuilder::new();
         b.memory(Limits::at_least(1));
@@ -671,8 +705,23 @@ mod tests {
             ],
         );
         let cm = b.build().into_compiled().unwrap();
-        assert_eq!(cm.tier, ExecTier::Fused);
+        assert_eq!(cm.tier, ExecTier::Reg);
         assert!(cm.code_size_lowered_ops() < cm.code_size_ops());
+        assert_eq!(cm.reg.len(), cm.funcs.len());
+        // The fused IR is consumed by the register allocator, not kept.
+        assert!(cm.lowered.is_empty());
+    }
+
+    #[test]
+    fn stack_tiers_carry_no_reg_code() {
+        use crate::lower::ExecTier;
+        let mut b = ModuleBuilder::new();
+        b.add_func(FuncType::new(vec![], vec![]), vec![], vec![Instr::Nop]);
+        let m = b.build();
+        for tier in [ExecTier::Baseline, ExecTier::Fused] {
+            let cm = CompiledModule::compile_with_tier(m.clone(), tier).unwrap();
+            assert!(cm.reg.is_empty());
+        }
     }
 
     #[test]

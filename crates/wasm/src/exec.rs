@@ -13,10 +13,11 @@ use std::sync::Arc;
 use crate::compile::{BranchTarget, CompiledModule};
 use crate::instr::{FBinOp, FRelOp, FUnOp, FloatWidth, IBinOp, IRelOp, IUnOp, IntWidth};
 use crate::instr::{CvtOp, LoadKind, StoreKind};
-use crate::lower::LowOp;
+use crate::lower::{ExecTier, LowOp};
 use crate::memory::Memory;
 use crate::meter::Meter;
 use crate::module::ImportDesc;
+use crate::regalloc::RegOp;
 use crate::types::{ExternKind, FuncType, Value};
 use crate::ModuleError;
 
@@ -162,6 +163,79 @@ struct Frame {
     locals_base: usize,
 }
 
+/// One activation record of the register tier: the frame is a window of
+/// the shared register slab starting at `base` (its first `n_params` slots
+/// are the caller's argument slots — zero-copy calls).
+#[derive(Clone, Copy)]
+struct RegFrame {
+    /// Local function index (unified index − imports).
+    func: usize,
+    /// Resume point.
+    pc: usize,
+    /// First slab slot of this frame.
+    base: usize,
+}
+
+/// Per-instance grow-only scratch memory reused across invocations, so a
+/// warm call performs no frame/locals/operand allocation at all (the
+/// serving layer's hot path). `clear()` keeps capacity; the slabs only
+/// ever grow to the high-water mark of the instance's workload.
+#[derive(Default)]
+struct FrameArena {
+    /// Operand stack of the stack tiers (also carries args/results).
+    opds: Vec<u64>,
+    /// Locals slab of the stack tiers.
+    locals: Vec<u64>,
+    /// Call frames of the stack tiers.
+    frames: Vec<Frame>,
+    /// The register slab (all frames of one invocation, overlapped).
+    regs: Vec<u64>,
+    /// Call frames of the register tier.
+    reg_frames: Vec<RegFrame>,
+    /// Module-wide region-entry counters (one per charge region): the
+    /// register loop bumps one counter per control transfer and the
+    /// per-invocation wrapper folds `hits × region classes` into the
+    /// meter once at the end — metering a whole region costs a single
+    /// increment on the hot path. Kept all-zero *between* invocations
+    /// (the fold re-zeroes as it reads), so a warm call never pays a
+    /// memset proportional to module size.
+    region_hits: Vec<u64>,
+}
+
+/// Largest guest-driven slab capacity (in `u64` slots, 512 KiB) the arena
+/// retains across invocations. The frame vectors are bounded by
+/// [`MAX_CALL_DEPTH`] and the hit counters by module size, but the
+/// operand/locals/register slabs grow with guest behaviour (deep
+/// recursion × wide frames): without a cap, one pathological invocation
+/// would pin hundreds of megabytes per session for the serving lifetime.
+/// A spike above the cap costs only its own call, like the WASI layer's
+/// scratch cap.
+const ARENA_KEEP_MAX_SLOTS: usize = 64 * 1024;
+
+impl FrameArena {
+    /// Drop any slab whose grown capacity exceeds [`ARENA_KEEP_MAX_SLOTS`]
+    /// (ordinary workloads stay far below it and keep their warm,
+    /// allocation-free path).
+    fn shrink_to_cap(&mut self) {
+        for slab in [&mut self.opds, &mut self.locals, &mut self.regs] {
+            if slab.capacity() > ARENA_KEEP_MAX_SLOTS {
+                *slab = Vec::new();
+            }
+        }
+    }
+}
+
+/// Locally accumulated memory-metering counters of one register-tier
+/// invocation, merged into the instance [`Meter`] once per run so the hot
+/// loop never read-modify-writes the meter through `self`.
+#[derive(Default)]
+struct MemStats {
+    /// Bytes moved by loads/stores/bulk ops.
+    bytes: u64,
+    /// 4 KiB page transitions observed.
+    pages: u64,
+}
+
 /// An instantiated module ready for invocation.
 pub struct Instance {
     code: Arc<CompiledModule>,
@@ -175,6 +249,8 @@ pub struct Instance {
     /// Optional instruction budget; `None` = unlimited.
     pub fuel: Option<u64>,
     page_sink: Option<Box<dyn PageSink>>,
+    /// Reusable frame/operand arena (see [`FrameArena`]).
+    arena: FrameArena,
 }
 
 /// The post-instantiation state of an [`Instance`]: the linear-memory image
@@ -324,6 +400,7 @@ impl Instance {
             meter: Meter::new(),
             fuel,
             page_sink: None,
+            arena: FrameArena::default(),
         };
         if let Some(s) = start {
             if let Err(t) = inst.invoke_index(s, &[]) {
@@ -452,12 +529,21 @@ impl Instance {
             let results = ty.results.clone();
             return Ok(collect_results(&opds, &results));
         }
-        let mut opds: Vec<u64> = Vec::with_capacity(256);
+        // Reuse the arena's operand vector (grow-only; warm invocations
+        // allocate nothing here).
+        let mut opds = std::mem::take(&mut self.arena.opds);
+        opds.clear();
         for a in args {
             opds.push(a.to_bits());
         }
-        self.run(func_idx as usize - n_imports, &mut opds)?;
-        Ok(collect_results(&opds, &ty.results))
+        let run = self.run(func_idx as usize - n_imports, &mut opds);
+        let out = run.map(|()| collect_results(&opds, &ty.results));
+        // The operand vector is the stack tiers' full operand stack and
+        // grows with guest behaviour — put it back and let the arena's
+        // one retention policy decide what to keep.
+        self.arena.opds = opds;
+        self.arena.shrink_to_cap();
+        out
     }
 
     // ------------------------------------------------------------------
@@ -511,10 +597,67 @@ impl Instance {
     fn run(&mut self, entry_func: usize, opds: &mut Vec<u64>) -> Result<(), Trap> {
         // Hot-loop bookkeeping lives in locals (a counts array and a fuel
         // copy) and is merged back once per invocation — including on the
-        // trap paths, which flow through this wrapper.
+        // trap paths, which flow through this wrapper. The frame arena is
+        // taken out of the instance for the duration of the run (so the
+        // dispatch loop can borrow it and the instance independently) and
+        // put back afterwards, preserving its grown capacity.
         let mut counts = [0u64; crate::meter::NUM_CLASSES];
         let mut fuel = self.fuel;
-        let result = self.run_inner(entry_func, opds, &mut counts, &mut fuel);
+        let mut arena = std::mem::take(&mut self.arena);
+        arena.locals.clear();
+        arena.frames.clear();
+        arena.regs.clear();
+        arena.reg_frames.clear();
+        let result = if self.code.tier == ExecTier::Reg {
+            let n_regions = self
+                .code
+                .reg
+                .last()
+                .map_or(0, |rf| rf.region_base as usize + rf.blocks.len());
+            // The counter array is all-zero between invocations (the fold
+            // below re-zeroes what it visits), so sizing it is a one-time
+            // cost per instance, not a per-call memset.
+            if arena.region_hits.len() != n_regions {
+                arena.region_hits.clear();
+                arena.region_hits.resize(n_regions, 0);
+            }
+            let mut mem_stats = MemStats::default();
+            let result = self.run_reg(
+                entry_func,
+                opds,
+                &mut arena,
+                &mut counts,
+                &mut fuel,
+                &mut mem_stats,
+            );
+            self.meter.bytes_accessed += mem_stats.bytes;
+            self.meter.page_transitions += mem_stats.pages;
+            // Fold the region-entry counters into the per-class counts —
+            // on the trap paths too: everything retired before the trap
+            // was counted — re-zeroing each counter for the next call.
+            // This is a sequential 8-bytes-per-region scan; `BlockMeter`
+            // data is only dereferenced for regions that actually ran.
+            // Deliberate tradeoff: tracking touched regions/functions
+            // inside the dispatch loop to shrink this scan was measured
+            // at a 5–12% hit on reg-tier throughput, which dwarfs the
+            // scan's microseconds for any realistic module.
+            for rf in &self.code.reg {
+                let hits = &mut arena.region_hits[rf.region_base as usize..];
+                for (b, h) in rf.blocks.iter().zip(hits.iter_mut()) {
+                    let h = std::mem::take(h);
+                    if h > 0 {
+                        for &(ci, n) in b.classes.iter() {
+                            counts[ci as usize] += h * u64::from(n);
+                        }
+                    }
+                }
+            }
+            result
+        } else {
+            self.run_inner(entry_func, opds, &mut arena, &mut counts, &mut fuel)
+        };
+        arena.shrink_to_cap();
+        self.arena = arena;
         self.fuel = fuel;
         self.meter.add_counts(&counts);
         result
@@ -525,16 +668,16 @@ impl Instance {
         &mut self,
         entry_func: usize,
         opds: &mut Vec<u64>,
+        arena: &mut FrameArena,
         counts: &mut [u64; crate::meter::NUM_CLASSES],
         fuel_slot: &mut Option<u64>,
     ) -> Result<(), Trap> {
         let code = Arc::clone(&self.code);
         let n_imports = code.module.num_imported_funcs() as usize;
-        let mut locals: Vec<u64> = Vec::with_capacity(256);
-        let mut frames: Vec<Frame> = Vec::with_capacity(64);
+        let FrameArena { locals, frames, .. } = arena;
         let mut last_page: u64 = u64::MAX;
 
-        push_frame(&code, entry_func, opds, &mut locals, &mut frames)?;
+        push_frame(&code, entry_func, opds, locals, frames)?;
 
         'frames: loop {
             let frame = *frames.last().expect("active frame");
@@ -668,7 +811,7 @@ impl Instance {
                             self.call_host(g, opds)?;
                         } else {
                             frames.last_mut().expect("frame").pc = pc + 1;
-                            push_frame(&code, g - n_imports, opds, &mut locals, &mut frames)?;
+                            push_frame(&code, g - n_imports, opds, locals, frames)?;
                             continue 'frames;
                         }
                     }
@@ -692,7 +835,7 @@ impl Instance {
                             self.call_host(g, opds)?;
                         } else {
                             frames.last_mut().expect("frame").pc = pc + 1;
-                            push_frame(&code, g - n_imports, opds, &mut locals, &mut frames)?;
+                            push_frame(&code, g - n_imports, opds, locals, frames)?;
                             continue 'frames;
                         }
                     }
@@ -1083,6 +1226,624 @@ impl Instance {
             }
         }
     }
+
+    // ------------------------------------------------------------------
+    // The register-tier dispatch loop
+    // ------------------------------------------------------------------
+    //
+    // Executes the three-address code of `crate::regalloc` against a flat
+    // register slab: no operand-stack pushes/pops, zero-copy calls (a
+    // callee's frame base is placed on the caller's argument slots), and
+    // fuel + metering charged per charge region (`BlockMeter`) at control
+    // transfers instead of per op. Every way into a region — frame entry,
+    // taken branch, fall-through past a branch, return from a call — goes
+    // through `charge!`, which pre-charges the whole region's fuel and
+    // sparse class counts; straight-line execution then runs with zero
+    // accounting. Two cold paths restore bit-exact baseline accounting: a
+    // region that no longer fits the remaining fuel falls back to per-op
+    // charging (so the out-of-fuel trap point and partial metering match
+    // the baseline exactly), and a trap inside a pre-charged region rolls
+    // back the fuel and class counts of the ops after the trap point (see
+    // `throw!`).
+
+    fn run_reg(
+        &mut self,
+        entry_func: usize,
+        opds: &mut Vec<u64>,
+        arena: &mut FrameArena,
+        counts: &mut [u64; crate::meter::NUM_CLASSES],
+        fuel_slot: &mut Option<u64>,
+        mem_stats: &mut MemStats,
+    ) -> Result<(), Trap> {
+        // Monomorphize the dispatch loop on whether a fuel budget exists:
+        // the unfuelled loop (the common serving configuration) compiles
+        // with no per-op accounting at all — region charging is a single
+        // counter increment per control transfer.
+        if fuel_slot.is_some() {
+            self.run_reg_impl::<true>(entry_func, opds, arena, counts, fuel_slot, mem_stats)
+        } else {
+            self.run_reg_impl::<false>(entry_func, opds, arena, counts, fuel_slot, mem_stats)
+        }
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn run_reg_impl<const FUELLED: bool>(
+        &mut self,
+        entry_func: usize,
+        opds: &mut Vec<u64>,
+        arena: &mut FrameArena,
+        counts: &mut [u64; crate::meter::NUM_CLASSES],
+        fuel_slot: &mut Option<u64>,
+        mem_stats: &mut MemStats,
+    ) -> Result<(), Trap> {
+        let code = Arc::clone(&self.code);
+        let n_imports = code.module.num_imported_funcs() as usize;
+        let FrameArena {
+            regs,
+            reg_frames: frames,
+            region_hits: hits,
+            ..
+        } = arena;
+        let mut last_page: u64 = u64::MAX;
+
+        push_reg_frame(&code, entry_func, 0, regs, frames)?;
+        regs[..opds.len()].copy_from_slice(opds);
+        opds.clear();
+
+        'frames: loop {
+            let frame = *frames.last().expect("active frame");
+            let rf = &code.reg[frame.func];
+            let ops = &rf.ops;
+            let costs = &rf.costs;
+            let block_of = &rf.block_of;
+            let blocks = &rf.blocks;
+            let region_base = rf.region_base as usize;
+            let fb = frame.base;
+            let mut pc = frame.pc;
+            // Charge-region state. In charged mode `charged_until` is
+            // `usize::MAX` (the region's whole cost is accounted; its end
+            // needs no per-op test because only a control transfer can
+            // leave it, and every transfer re-charges); in the
+            // fuel-starved fallback it is the entry pc, making the per-op
+            // check below fire for the rest of the region. `charged_from`
+            // and `charged_li` remember the entry point and local region
+            // index for exact trap rollback.
+            let mut charged_until: usize = 0;
+            let mut charged_from: usize = 0;
+            let mut charged_li: usize = 0;
+
+            // Frame-relative slot access.
+            macro_rules! r {
+                ($s:expr) => {
+                    regs[fb + $s as usize]
+                };
+            }
+            // Charge the region entered at `pc` (always a leader): deduct
+            // its whole fuel up front and count one region entry (folded
+            // into per-class counts at the end of the invocation), or fall
+            // back to per-op charging if the remaining fuel cannot cover
+            // the whole region.
+            macro_rules! charge {
+                () => {{
+                    let li = block_of[pc] as usize - 1;
+                    let batched = if !FUELLED {
+                        true
+                    } else {
+                        match fuel_slot.as_mut() {
+                            None => true,
+                            Some(fuel) => {
+                                let need = blocks[li].fuel;
+                                if *fuel < need {
+                                    false
+                                } else {
+                                    *fuel -= need;
+                                    true
+                                }
+                            }
+                        }
+                    };
+                    if batched {
+                        hits[region_base + li] += 1;
+                        charged_from = pc;
+                        charged_li = li;
+                        if FUELLED {
+                            charged_until = usize::MAX;
+                        }
+                    } else {
+                        charged_until = pc;
+                    }
+                }};
+            }
+            // Transfer control to `pc` and charge the region it enters.
+            macro_rules! enter {
+                ($new_pc:expr) => {{
+                    pc = $new_pc;
+                    charge!();
+                    continue;
+                }};
+            }
+            // Abort the invocation with a trap. If the current region was
+            // pre-charged, un-count it and re-meter the executed prefix
+            // (entry..=trap op) per op, refunding the fuel of the ops
+            // after the trap point — bit-exact baseline accounting.
+            macro_rules! throw {
+                ($t:expr) => {{
+                    let t = $t;
+                    if !FUELLED || charged_until == usize::MAX {
+                        hits[region_base + charged_li] -= 1;
+                        let mut spent = 0u64;
+                        for cost in &costs[charged_from..=pc] {
+                            spent += u64::from(cost.len);
+                            for c in &cost.classes[..cost.len as usize] {
+                                counts[c.index()] += 1;
+                            }
+                        }
+                        if FUELLED {
+                            if let Some(fuel) = fuel_slot.as_mut() {
+                                *fuel += blocks[charged_li].fuel - spent;
+                            }
+                        }
+                    }
+                    return Err(t);
+                }};
+            }
+            macro_rules! tr {
+                ($e:expr) => {
+                    match $e {
+                        Ok(v) => v,
+                        Err(t) => throw!(t),
+                    }
+                };
+            }
+            macro_rules! touch_page {
+                ($addr:expr, $off:expr) => {{
+                    let page = (u64::from($addr) + u64::from($off)) >> 12;
+                    if page != last_page {
+                        last_page = page;
+                        mem_stats.pages += 1;
+                        if let Some(sink) = self.page_sink.as_deref_mut() {
+                            sink.touch(page);
+                        }
+                    }
+                }};
+            }
+            // Load `$kind` from `$addr` (+static offset) into slot `$dst`.
+            macro_rules! do_load {
+                ($kind:expr, $off:expr, $addr:expr, $dst:expr) => {{
+                    let addr: u32 = $addr;
+                    let kind = $kind;
+                    touch_page!(addr, $off);
+                    let mem = self.memory.as_ref().expect("validated memory");
+                    let v = match load_value(mem, kind, addr, $off) {
+                        Some(v) => v,
+                        None => throw!(Trap::MemOutOfBounds),
+                    };
+                    mem_stats.bytes += kind.width() as u64;
+                    regs[fb + $dst as usize] = v;
+                }};
+            }
+            // Store `$v` as `$kind` at `$addr` (+static offset).
+            macro_rules! do_store {
+                ($kind:expr, $off:expr, $addr:expr, $v:expr) => {{
+                    let addr: u32 = $addr;
+                    let kind = $kind;
+                    let v: u64 = $v;
+                    touch_page!(addr, $off);
+                    let mem = self.memory.as_mut().expect("validated memory");
+                    if store_value(mem, kind, addr, $off, v).is_none() {
+                        throw!(Trap::MemOutOfBounds);
+                    }
+                    mem_stats.bytes += kind.width() as u64;
+                }};
+            }
+            // Take a resolved branch: copy the carried values, jump, and
+            // charge the region the branch enters.
+            macro_rules! take_branch {
+                ($br:expr) => {{
+                    let br = $br;
+                    let from = fb + br.from as usize;
+                    let to = fb + br.to as usize;
+                    for k in 0..br.arity as usize {
+                        regs[to + k] = regs[from + k];
+                    }
+                    enter!(br.target as usize);
+                }};
+            }
+
+            // Frame (re-)entry is a control transfer: charge the region at
+            // the entry/resume pc (function start, or the op after a call).
+            charge!();
+
+            loop {
+                if FUELLED && pc >= charged_until {
+                    // Per-op fallback: the region charge found too little
+                    // fuel for the whole region — replicate the baseline
+                    // tier op by op, including the partially-metered
+                    // out-of-fuel stop. (On the fully-charged fast path
+                    // this is one always-false compare; without a fuel
+                    // budget the whole block compiles away.)
+                    let cost = &costs[pc];
+                    let need = u64::from(cost.len);
+                    if let Some(fuel) = fuel_slot.as_mut() {
+                        if *fuel < need {
+                            for c in &cost.classes[..*fuel as usize] {
+                                counts[c.index()] += 1;
+                            }
+                            *fuel = 0;
+                            return Err(Trap::OutOfFuel);
+                        }
+                        *fuel -= need;
+                    }
+                    for c in &cost.classes[..cost.len as usize] {
+                        counts[c.index()] += 1;
+                    }
+                }
+
+                match &ops[pc] {
+                    RegOp::Nop => {}
+                    RegOp::Unreachable => throw!(Trap::Unreachable),
+                    RegOp::Br(br) => take_branch!(*br),
+                    RegOp::BrIf { cond, br } => {
+                        if r!(*cond) as u32 != 0 {
+                            take_branch!(*br);
+                        }
+                        enter!(pc + 1);
+                    }
+                    RegOp::BrTable { idx, table } => {
+                        let i = r!(*idx) as u32 as usize;
+                        let br = table.get(i).unwrap_or_else(|| table.last().expect("default"));
+                        take_branch!(*br);
+                    }
+                    RegOp::Jump(t) => enter!(*t as usize),
+                    RegOp::JumpIfZero { cond, target } => {
+                        if r!(*cond) as u32 == 0 {
+                            enter!(*target as usize);
+                        }
+                        enter!(pc + 1);
+                    }
+                    RegOp::Ret { from, n } => {
+                        let n = *n as usize;
+                        let from = fb + *from as usize;
+                        for k in 0..n {
+                            regs[fb + k] = regs[from + k];
+                        }
+                        frames.pop();
+                        if frames.is_empty() {
+                            opds.extend_from_slice(&regs[fb..fb + n]);
+                            return Ok(());
+                        }
+                        continue 'frames;
+                    }
+                    RegOp::Call { func, base } => {
+                        let g = *func as usize;
+                        let abs = fb + *base as usize;
+                        if g < n_imports {
+                            tr!(self.call_host_reg(g, regs, abs));
+                            enter!(pc + 1);
+                        } else {
+                            frames.last_mut().expect("frame").pc = pc + 1;
+                            tr!(push_reg_frame(&code, g - n_imports, abs, regs, frames));
+                            continue 'frames;
+                        }
+                    }
+                    RegOp::CallIndirect {
+                        type_idx,
+                        idx,
+                        base,
+                    } => {
+                        let i = r!(*idx) as u32 as usize;
+                        let g = match self.table.get(i).copied().flatten() {
+                            Some(g) => g as usize,
+                            None => throw!(Trap::UndefinedElement),
+                        };
+                        let want = &code.module.types[*type_idx as usize];
+                        let got = match code.module.func_type(g as u32) {
+                            Some(t) => t,
+                            None => throw!(Trap::UndefinedElement),
+                        };
+                        if want != got {
+                            throw!(Trap::IndirectTypeMismatch);
+                        }
+                        let abs = fb + *base as usize;
+                        if g < n_imports {
+                            tr!(self.call_host_reg(g, regs, abs));
+                            enter!(pc + 1);
+                        } else {
+                            frames.last_mut().expect("frame").pc = pc + 1;
+                            tr!(push_reg_frame(&code, g - n_imports, abs, regs, frames));
+                            continue 'frames;
+                        }
+                    }
+                    RegOp::Select { dst, a, b, cond } => {
+                        let v = if r!(*cond) as u32 != 0 { r!(*a) } else { r!(*b) };
+                        r!(*dst) = v;
+                    }
+                    RegOp::Copy { dst, src } => r!(*dst) = r!(*src),
+                    RegOp::CopyPair { d1, s1, d2, s2 } => {
+                        r!(*d1) = r!(*s1);
+                        r!(*d2) = r!(*s2);
+                    }
+                    RegOp::GlobalGet { dst, idx } => r!(*dst) = self.globals[*idx as usize],
+                    RegOp::GlobalSet { src, idx } => self.globals[*idx as usize] = r!(*src),
+                    RegOp::Const { dst, bits } => r!(*dst) = *bits,
+                    RegOp::MemorySize { dst } => {
+                        let mem = self.memory.as_ref().expect("validated memory");
+                        r!(*dst) = u64::from(mem.size_pages());
+                    }
+                    RegOp::MemoryGrow { dst, delta } => {
+                        let delta = r!(*delta) as u32;
+                        let mem = self.memory.as_mut().expect("validated memory");
+                        let v = match mem.grow(delta) {
+                            Some(old) => old as i32,
+                            None => -1,
+                        };
+                        r!(*dst) = v as u32 as u64;
+                    }
+                    RegOp::MemoryCopy { dst, src, len } => {
+                        let len = r!(*len) as u32;
+                        let src = r!(*src) as u32;
+                        let dst = r!(*dst) as u32;
+                        let mem = self.memory.as_mut().expect("validated memory");
+                        if mem.copy_within(dst, src, len).is_none() {
+                            throw!(Trap::MemOutOfBounds);
+                        }
+                        mem_stats.bytes += u64::from(len) * 2;
+                    }
+                    RegOp::MemoryFill { dst, val, len } => {
+                        let len = r!(*len) as u32;
+                        let val = r!(*val) as u32 as u8;
+                        let dst = r!(*dst) as u32;
+                        let mem = self.memory.as_mut().expect("validated memory");
+                        if mem.fill(dst, val, len).is_none() {
+                            throw!(Trap::MemOutOfBounds);
+                        }
+                        mem_stats.bytes += u64::from(len);
+                    }
+                    RegOp::Eqz { w, dst, src } => {
+                        r!(*dst) = u64::from(is_zero(*w, r!(*src)));
+                    }
+                    RegOp::IUnop { w, op, dst, src } => r!(*dst) = iunop(*w, *op, r!(*src)),
+                    RegOp::IBinop { w, op, dst, a, b } => {
+                        r!(*dst) = tr!(ibinop(*w, *op, r!(*a), r!(*b)));
+                    }
+                    RegOp::IBinopImm { w, op, dst, a, rhs } => {
+                        r!(*dst) = tr!(ibinop(*w, *op, r!(*a), *rhs));
+                    }
+                    RegOp::IBinop2Imm {
+                        w,
+                        op1,
+                        op2,
+                        dst,
+                        a,
+                        rhs,
+                        b,
+                    } => {
+                        let inner = tr!(ibinop(*w, *op1, r!(*a), *rhs));
+                        r!(*dst) = tr!(ibinop(*w, *op2, inner, r!(*b)));
+                    }
+                    RegOp::IRelop { w, op, dst, a, b } => {
+                        r!(*dst) = u64::from(irelop(*w, *op, r!(*a), r!(*b)));
+                    }
+                    RegOp::FUnop { w, op, dst, src } => r!(*dst) = funop(*w, *op, r!(*src)),
+                    RegOp::FBinop { w, op, dst, a, b } => {
+                        r!(*dst) = fbinop(*w, *op, r!(*a), r!(*b));
+                    }
+                    RegOp::FBinopImm { w, op, dst, a, rhs } => {
+                        r!(*dst) = fbinop(*w, *op, r!(*a), *rhs);
+                    }
+                    RegOp::FBinop2 {
+                        w1,
+                        op1,
+                        w2,
+                        op2,
+                        dst,
+                        c,
+                        a,
+                        b,
+                    } => {
+                        let inner = fbinop(*w1, *op1, r!(*a), r!(*b));
+                        r!(*dst) = fbinop(*w2, *op2, r!(*c), inner);
+                    }
+                    RegOp::FRelop { w, op, dst, a, b } => {
+                        r!(*dst) = u64::from(frelop(*w, *op, r!(*a), r!(*b)));
+                    }
+                    RegOp::Cvt { op, dst, src } => r!(*dst) = tr!(cvt(*op, r!(*src))),
+                    RegOp::Load {
+                        kind,
+                        offset,
+                        dst,
+                        addr,
+                    } => {
+                        do_load!(*kind, *offset, r!(*addr) as u32, *dst);
+                    }
+                    RegOp::LoadConstAddr {
+                        kind,
+                        offset,
+                        dst,
+                        addr,
+                    } => {
+                        do_load!(*kind, *offset, *addr as u32, *dst);
+                    }
+                    RegOp::LoadTee {
+                        kind,
+                        offset,
+                        dst,
+                        addr,
+                        tee,
+                    } => {
+                        let a = r!(*addr);
+                        r!(*tee) = a;
+                        do_load!(*kind, *offset, a as u32, *dst);
+                    }
+                    RegOp::LoadIdx {
+                        w,
+                        op,
+                        kind,
+                        offset,
+                        dst,
+                        a,
+                        b,
+                    } => {
+                        let addr = tr!(ibinop(*w, *op, r!(*a), r!(*b)));
+                        do_load!(*kind, *offset, addr as u32, *dst);
+                    }
+                    RegOp::LoadIdxImm {
+                        w,
+                        op,
+                        kind,
+                        offset,
+                        dst,
+                        a,
+                        rhs,
+                    } => {
+                        let addr = tr!(ibinop(*w, *op, r!(*a), *rhs));
+                        do_load!(*kind, *offset, addr as u32, *dst);
+                    }
+                    RegOp::Store {
+                        kind,
+                        offset,
+                        addr,
+                        val,
+                    } => {
+                        do_store!(*kind, *offset, r!(*addr) as u32, r!(*val));
+                    }
+                    RegOp::StoreConst {
+                        kind,
+                        offset,
+                        addr,
+                        bits,
+                    } => {
+                        do_store!(*kind, *offset, r!(*addr) as u32, *bits);
+                    }
+                    RegOp::StoreI {
+                        w,
+                        op,
+                        kind,
+                        offset,
+                        addr,
+                        a,
+                        b,
+                    } => {
+                        let v = tr!(ibinop(*w, *op, r!(*a), r!(*b)));
+                        do_store!(*kind, *offset, r!(*addr) as u32, v);
+                    }
+                    RegOp::StoreF {
+                        w,
+                        op,
+                        kind,
+                        offset,
+                        addr,
+                        a,
+                        b,
+                    } => {
+                        let v = fbinop(*w, *op, r!(*a), r!(*b));
+                        do_store!(*kind, *offset, r!(*addr) as u32, v);
+                    }
+                    RegOp::StoreFImm {
+                        w,
+                        op,
+                        kind,
+                        offset,
+                        addr,
+                        a,
+                        rhs,
+                    } => {
+                        let v = fbinop(*w, *op, r!(*a), *rhs);
+                        do_store!(*kind, *offset, r!(*addr) as u32, v);
+                    }
+                    RegOp::CmpBr {
+                        w,
+                        op,
+                        a,
+                        b,
+                        invert,
+                        br,
+                    } => {
+                        if irelop(*w, *op, r!(*a), r!(*b)) != *invert {
+                            take_branch!(*br);
+                        }
+                        enter!(pc + 1);
+                    }
+                    RegOp::CmpImmBr {
+                        w,
+                        op,
+                        a,
+                        rhs,
+                        invert,
+                        br,
+                    } => {
+                        if irelop(*w, *op, r!(*a), *rhs) != *invert {
+                            take_branch!(*br);
+                        }
+                        enter!(pc + 1);
+                    }
+                    RegOp::EqzBr { w, v, br } => {
+                        if is_zero(*w, r!(*v)) {
+                            take_branch!(*br);
+                        }
+                        enter!(pc + 1);
+                    }
+                    RegOp::CmpJumpIfNot { w, op, a, b, target } => {
+                        if !irelop(*w, *op, r!(*a), r!(*b)) {
+                            enter!(*target as usize);
+                        }
+                        enter!(pc + 1);
+                    }
+                    RegOp::CmpImmJumpIfNot {
+                        w,
+                        op,
+                        a,
+                        rhs,
+                        target,
+                    } => {
+                        if !irelop(*w, *op, r!(*a), *rhs) {
+                            enter!(*target as usize);
+                        }
+                        enter!(pc + 1);
+                    }
+                }
+                pc += 1;
+            }
+        }
+    }
+
+    /// Host call on the register tier: arguments are read from (and
+    /// results written back to) the caller's frame slots at `base` — the
+    /// same zero-copy convention guest calls use.
+    fn call_host_reg(
+        &mut self,
+        import_idx: usize,
+        regs: &mut [u64],
+        base: usize,
+    ) -> Result<(), Trap> {
+        let slot = &self.host_funcs[import_idx];
+        let args: Vec<Value> = slot
+            .ty
+            .params
+            .iter()
+            .enumerate()
+            .map(|(i, t)| Value::from_bits(*t, regs[base + i]))
+            .collect();
+        let mut ctx = HostCtx {
+            memory: self.memory.as_mut(),
+            data: self.host_data.as_mut(),
+        };
+        let results = (slot.f)(&mut ctx, &args)?;
+        if results.len() != slot.ty.results.len() {
+            return Err(Trap::Host(format!(
+                "host function returned {} values, expected {}",
+                results.len(),
+                slot.ty.results.len()
+            )));
+        }
+        for (i, (r, t)) in results.iter().zip(slot.ty.results.iter()).enumerate() {
+            if r.ty() != *t {
+                return Err(Trap::Host("host function result type mismatch".into()));
+            }
+            regs[base + i] = r.to_bits();
+        }
+        Ok(())
+    }
 }
 
 /// Zero test at the given integer width (the `eqz` semantics).
@@ -1123,6 +1884,38 @@ fn push_frame(
         pc: 0,
         opd_base: opds.len(),
         locals_base,
+    });
+    Ok(())
+}
+
+/// Activate a register-tier frame whose base overlaps the caller's
+/// argument slots (zero-copy calls): the slab is grown to cover the new
+/// frame and the callee's non-parameter locals are zeroed (the slab is
+/// reused across calls and invocations, so stale values must not leak
+/// into fresh locals).
+fn push_reg_frame(
+    code: &CompiledModule,
+    local_func: usize,
+    base: usize,
+    regs: &mut Vec<u64>,
+    frames: &mut Vec<RegFrame>,
+) -> Result<(), Trap> {
+    if frames.len() >= MAX_CALL_DEPTH {
+        return Err(Trap::StackExhausted);
+    }
+    let rf = &code.reg[local_func];
+    let f = &code.funcs[local_func];
+    let top = base + rf.n_slots as usize;
+    if regs.len() < top {
+        regs.resize(top, 0);
+    }
+    for slot in &mut regs[base + f.n_params..base + f.n_locals] {
+        *slot = 0;
+    }
+    frames.push(RegFrame {
+        func: local_func,
+        pc: 0,
+        base,
     });
     Ok(())
 }

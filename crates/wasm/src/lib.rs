@@ -28,6 +28,10 @@
 //! * [`lower`] — the second AoT stage: rewrites the flattened stream into a
 //!   fused-superinstruction IR (selected by [`ExecTier`]) whose metering is
 //!   bit-identical to the baseline while dispatch overhead drops.
+//! * [`regalloc`] — the third AoT stage (default tier): maps the fused
+//!   IR's operand-stack traffic onto a flat virtual-register frame of
+//!   three-address superinstructions, with per-basic-block fuel/metering
+//!   batching — still bit-identical virtual time (DESIGN.md §8).
 //! * [`exec`] — the execution engine with per-class instruction metering and
 //!   a page-touch hook that drives the SGX EPC simulator.
 //! * [`memory`] — sandboxed linear memory.
@@ -56,6 +60,7 @@ pub mod lower;
 pub mod memory;
 pub mod meter;
 pub mod module;
+pub mod regalloc;
 pub mod types;
 pub mod validate;
 

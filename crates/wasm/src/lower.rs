@@ -53,10 +53,16 @@ use crate::meter::InstrClass;
 pub enum ExecTier {
     /// One lowered op per baseline [`Op`] — the reference tier.
     Baseline,
-    /// Fused superinstructions (default): identical semantics and metering,
-    /// fewer dispatch iterations.
-    #[default]
+    /// Fused superinstructions: identical semantics and metering, fewer
+    /// dispatch iterations.
     Fused,
+    /// Register-allocated three-address code (default): the fused IR's
+    /// operand-stack traffic is mapped onto a flat virtual-register frame
+    /// by [`crate::regalloc`], and fuel/metering are charged per basic
+    /// block instead of per op. Semantics and virtual-time metering stay
+    /// bit-identical to both other tiers.
+    #[default]
+    Reg,
 }
 
 impl core::fmt::Display for ExecTier {
@@ -64,6 +70,7 @@ impl core::fmt::Display for ExecTier {
         match self {
             ExecTier::Baseline => write!(f, "baseline"),
             ExecTier::Fused => write!(f, "fused"),
+            ExecTier::Reg => write!(f, "reg"),
         }
     }
 }
@@ -579,12 +586,15 @@ pub fn ibinop_traps(op: IBinOp) -> bool {
     )
 }
 
-/// Lower one compiled function for the given tier.
+/// Lower one compiled function for the given tier. The register tier
+/// shares the fused lowering: [`crate::regalloc`] consumes the fused IR and
+/// rewrites its operand-stack traffic into frame slots, one
+/// [`crate::regalloc::RegOp`] per fused op.
 #[must_use]
 pub fn lower_func(f: &CompiledFunc, tier: ExecTier) -> LowFunc {
     match tier {
         ExecTier::Baseline => passthrough(f),
-        ExecTier::Fused => fuse(f),
+        ExecTier::Fused | ExecTier::Reg => fuse(f),
     }
 }
 
