@@ -8,7 +8,7 @@
 //! is then scaled by the variant's Wasm factor. Virtual time =
 //! `compute_real × factor + clock_cycles / CPU_HZ`.
 
-use std::rc::Rc;
+use std::sync::Arc;
 use std::time::Instant;
 
 use twine_pfs::{PfsCategory, PfsMode, PfsProfiler};
@@ -88,7 +88,7 @@ pub struct VariantDb {
     pub conn: Connection,
     variant: DbVariant,
     clock: SimClock,
-    enclave: Option<Rc<Enclave>>,
+    enclave: Option<Arc<Enclave>>,
     profiler: Option<PfsProfiler>,
     compute_factor: f64,
 }
@@ -128,7 +128,7 @@ impl VariantDb {
                 if let Some(p) = epc_limit_pages {
                     b = b.epc_limit_pages(p);
                 }
-                let e = Rc::new(b.build(&processor));
+                let e = Arc::new(b.build(&processor));
                 let c = e.clock().clone();
                 c.reset(); // launch cost reported separately (Table III)
                 (Some(e), c)
@@ -142,7 +142,7 @@ impl VariantDb {
                 if let Some(p) = epc_limit_pages {
                     b = b.epc_limit_pages(p);
                 }
-                let e = Rc::new(b.build(&processor));
+                let e = Arc::new(b.build(&processor));
                 let c = e.clock().clone();
                 c.reset();
                 // The libOS working set occupies part of the EPC before the

@@ -5,6 +5,7 @@
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
+use std::sync::Arc;
 
 use twine_core::shared_store::SharedStorage;
 use twine_pfs::{PfsMode, PfsOptions, PfsProfiler, SgxFile};
@@ -19,7 +20,7 @@ fn pfs_err(e: &twine_pfs::PfsError) -> DbError {
 /// VFS whose files are Intel-Protected-FS files (Twine's database path:
 /// SQLite VFS → WASI fd ops → IPFS, collapsed into one adapter).
 pub struct PfsVfs {
-    enclave: Option<Rc<Enclave>>,
+    enclave: Option<Arc<Enclave>>,
     mode: PfsMode,
     cache_nodes: usize,
     profiler: Option<PfsProfiler>,
@@ -30,7 +31,7 @@ impl PfsVfs {
     /// New protected VFS.
     #[must_use]
     pub fn new(
-        enclave: Option<Rc<Enclave>>,
+        enclave: Option<Arc<Enclave>>,
         mode: PfsMode,
         cache_nodes: usize,
         profiler: Option<PfsProfiler>,
@@ -177,7 +178,7 @@ const LKL_BLOCKS_PER_EXIT: u64 = 8;
 /// encrypted at the device layer; the guest page cache lives *inside* the
 /// enclave (so file reads mostly avoid exits but consume EPC).
 pub struct LklVfs {
-    enclave: Rc<Enclave>,
+    enclave: Arc<Enclave>,
     files: FileMap,
     blocks_since_exit: Rc<RefCell<u64>>,
     /// Base page id for EPC accounting of the in-enclave page cache.
@@ -187,7 +188,7 @@ pub struct LklVfs {
 impl LklVfs {
     /// New disk-image VFS on `enclave`.
     #[must_use]
-    pub fn new(enclave: Rc<Enclave>) -> Self {
+    pub fn new(enclave: Arc<Enclave>) -> Self {
         Self {
             enclave,
             files: Rc::new(RefCell::new(HashMap::new())),
@@ -198,7 +199,7 @@ impl LklVfs {
 }
 
 struct LklFile {
-    enclave: Rc<Enclave>,
+    enclave: Arc<Enclave>,
     data: Rc<RefCell<Vec<u8>>>,
     blocks_since_exit: Rc<RefCell<u64>>,
     epc_base: u64,
@@ -350,7 +351,7 @@ mod tests {
     #[test]
     fn lkl_vfs_charges_enclave() {
         use twine_sgx::{EnclaveBuilder, Processor};
-        let enclave = Rc::new(EnclaveBuilder::new(b"lkl").build(&Processor::new(1)));
+        let enclave = Arc::new(EnclaveBuilder::new(b"lkl").build(&Processor::new(1)));
         let clock = enclave.clock().clone();
         let before = clock.cycles();
         let mut vfs = LklVfs::new(enclave);

@@ -256,17 +256,17 @@ fn mem_sweep() {
                 Box::new(()),
             )
             .expect("instantiate");
-            struct Sink(std::rc::Rc<std::cell::RefCell<Epc>>);
+            struct Sink(std::sync::Arc<std::sync::Mutex<Epc>>);
             impl twine_wasm::PageSink for Sink {
                 fn touch(&mut self, page: u64) {
-                    self.0.borrow_mut().touch(page);
+                    self.0.lock().unwrap().touch(page);
                 }
             }
-            let epc = std::rc::Rc::new(std::cell::RefCell::new(Epc::new(pages, SimClock::new())));
+            let epc = std::sync::Arc::new(std::sync::Mutex::new(Epc::new(pages, SimClock::new())));
             inst.set_page_sink(Some(Box::new(Sink(epc.clone()))));
             inst.invoke("init", &[]).expect("init");
             inst.invoke("kernel", &[]).expect("kernel");
-            let stats = epc.borrow().stats();
+            let stats = epc.lock().unwrap().stats();
             println!(
                 "{:<16} {:>10} {:>12} {:>12}",
                 name, pages, stats.faults, stats.evictions

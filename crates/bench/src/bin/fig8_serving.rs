@@ -1,4 +1,5 @@
-//! Figure 8 (beyond the paper): serving economics of the session layer.
+//! Figure 8 (beyond the paper): serving economics of the session layer,
+//! now with a multi-threaded scaling axis.
 //!
 //! The paper's embedding is one-shot — every call pays decode + validate +
 //! AoT-lower + instantiate. The `TwineService` session layer amortises all
@@ -6,21 +7,40 @@
 //! tenant's instance + WASI context persist across calls, so a *warm*
 //! invocation runs the guest and nothing else.
 //!
-//! This harness opens N sessions over the same Wasm binary and drives M
-//! calls per session, reporting cold-start vs warm-invocation latency
-//! (wall-clock **and** modelled virtual cycles — metering semantics are
-//! bit-identical either way, so virtual time shows only the boundary-copy
-//! and extra-ECALL savings while wall-clock shows the compile/instantiate
-//! savings) plus aggregate warm throughput.
+//! **Phase 1 (cold vs warm)** opens N sessions over the same Wasm binary and
+//! drives M calls per session on a single-threaded service, reporting
+//! cold-start vs warm-invocation latency (wall-clock **and** modelled
+//! virtual cycles).
+//!
+//! **Phase 2 (`--threads T`)** sweeps shard counts 1, 2, 4, … up to `T` on
+//! the [`ShardedService`]: the same number of sessions and warm calls each
+//! time, driven by one client thread per shard. Each configuration reports
+//!
+//! * real wall-clock throughput (depends on how many host cores this
+//!   machine actually has), and
+//! * **modelled scaling** — per-shard *busy* nanoseconds are measured on
+//!   the worker threads themselves; `max(busy)` across shards is the
+//!   parallel makespan on a machine with one core per shard, and
+//!   `makespan(1 shard) / makespan(T shards)` is the machine-independent
+//!   warm-throughput scaling figure recorded in `BENCH_fig8.json`
+//!   (DESIGN.md §9; same philosophy as the virtual-time methodology of
+//!   DESIGN.md §4 — report the model, not the host's scheduler).
+//!
+//! The sweep also *verifies* serving semantics: per-session results,
+//! per-class meters and fuel of the sharded run are asserted bit-identical
+//! to a single-threaded replay — the binary panics (and CI fails) on any
+//! cross-thread divergence.
 //!
 //! ```sh
-//! cargo run -p twine-bench --release --bin fig8_serving [--sessions 8] [--calls 32]
+//! cargo run -p twine-bench --release --bin fig8_serving \
+//!     [--sessions 8] [--calls 32] [--threads 8]
 //! ```
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use twine_bench::{arg_value, write_bench_json, write_csv};
-use twine_core::TwineBuilder;
+use twine_core::{ShardedService, TwineBuilder};
 use twine_wasm::{ExecTier, Value};
 
 const GUEST_SRC: &str = r"
@@ -53,6 +73,156 @@ impl Phase {
     }
 }
 
+/// One `--threads` sweep point.
+struct ScalePoint {
+    threads: usize,
+    wall_s: f64,
+    /// Modelled parallel makespan: max per-shard busy nanoseconds.
+    makespan_ns: u64,
+    calls: usize,
+}
+
+/// Session names balanced across `threads` shards: at most
+/// `ceil(sessions / threads)` per shard (exact when `threads` divides
+/// `sessions`, as in the sweep), so the modelled makespan measures
+/// scaling, not hash-placement luck. The ceiling keeps the admission
+/// loop terminating for any (sessions, threads) pair.
+fn balanced_names(svc: &ShardedService, sessions: usize, threads: usize) -> Vec<String> {
+    let per_shard = sessions.div_ceil(threads);
+    let mut counts = vec![0usize; threads];
+    let mut names = Vec::with_capacity(sessions);
+    let mut i = 0usize;
+    while names.len() < sessions {
+        let name = format!("tenant-{i}");
+        let s = svc.shard_of(&name);
+        if counts[s] < per_shard {
+            counts[s] += 1;
+            names.push(name);
+        }
+        i += 1;
+    }
+    names
+}
+
+/// Warm calls per pipelined batch: amortises the cross-thread hand-off
+/// (and, on boxes with fewer cores than shards, scheduler noise inside
+/// the measured busy windows) without giving up inter-session
+/// interleaving on each shard.
+const BATCH: usize = 8;
+
+/// Drive `calls` warm calls per session from one client thread per shard
+/// (pipelined in batches of [`BATCH`]); returns (wall seconds, modelled
+/// makespan ns).
+fn drive_warm(
+    svc: &Arc<ShardedService>,
+    names: &[String],
+    calls: usize,
+) -> (f64, u64) {
+    let busy0: Vec<u64> = svc.shard_stats().iter().map(|s| s.busy_ns).collect();
+    let t0 = Instant::now();
+    let handles: Vec<_> = (0..svc.shard_count())
+        .map(|shard| {
+            let svc = Arc::clone(svc);
+            let mine: Vec<String> = names
+                .iter()
+                .filter(|n| svc.shard_of(n) == shard)
+                .cloned()
+                .collect();
+            std::thread::spawn(move || {
+                let mut done = 0;
+                while done < calls {
+                    let n = BATCH.min(calls - done);
+                    for (k, name) in mine.iter().enumerate() {
+                        let reqs: Vec<Vec<Value>> = (0..n)
+                            .map(|c| vec![Value::I32(((done + c) * 7 + k) as i32)])
+                            .collect();
+                        let out = svc.invoke_batch(name, "handle", reqs).expect("warm batch");
+                        assert_eq!(out.len(), n);
+                    }
+                    done += n;
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("client thread");
+    }
+    let wall_s = t0.elapsed().as_secs_f64();
+    let makespan_ns = svc
+        .shard_stats()
+        .iter()
+        .zip(&busy0)
+        .map(|(s, b0)| s.busy_ns - b0)
+        .max()
+        .unwrap_or(0);
+    (wall_s, makespan_ns)
+}
+
+/// Assert per-session serving semantics are thread-count-independent:
+/// every (values, meter, fuel) triple of the sharded run must equal the
+/// single-threaded service's replay of the same per-session sequence.
+fn verify_bit_identity(wasm: &[u8], threads: usize, sessions: usize, calls: usize) {
+    let svc = Arc::new(TwineBuilder::new().build_sharded(threads));
+    let names = balanced_names(&svc, sessions, threads);
+    for name in &names {
+        svc.open_session(name, wasm).expect("open");
+    }
+    let handles: Vec<_> = (0..svc.shard_count())
+        .map(|shard| {
+            let svc = Arc::clone(&svc);
+            let mine: Vec<(usize, String)> = names
+                .iter()
+                .enumerate()
+                .filter(|(_, n)| svc.shard_of(n) == shard)
+                .map(|(i, n)| (i, n.clone()))
+                .collect();
+            std::thread::spawn(move || {
+                let mut out = Vec::new();
+                for (i, name) in &mine {
+                    let mut seq = Vec::new();
+                    for call in 0..calls {
+                        let req = (i * 13 + call * 5) as i32;
+                        let (report, values) = svc
+                            .invoke_with_report(name, "handle", &[Value::I32(req)])
+                            .expect("verified call");
+                        seq.push((values, report.meter, report.fuel_remaining));
+                    }
+                    out.push((*i, seq));
+                }
+                out
+            })
+        })
+        .collect();
+    let mut sharded: Vec<_> = handles
+        .into_iter()
+        .flat_map(|h| h.join().expect("verify thread"))
+        .collect();
+    sharded.sort_by_key(|(i, _)| *i);
+
+    let mut single = TwineBuilder::new().build_service();
+    for name in &names {
+        single.open_session(name, wasm).expect("open");
+    }
+    for (i, name) in names.iter().enumerate() {
+        for call in 0..calls {
+            let req = (i * 13 + call * 5) as i32;
+            let (report, values) = single
+                .invoke_with_report(name, "handle", &[Value::I32(req)])
+                .expect("replay call");
+            let (values_t, meter_t, fuel_t) = &sharded[i].1[call];
+            assert_eq!(&values, values_t, "results diverged: session {name} call {call}");
+            assert_eq!(
+                &report.meter, meter_t,
+                "cross-thread meter divergence: session {name} call {call}"
+            );
+            assert_eq!(
+                &report.fuel_remaining, fuel_t,
+                "fuel diverged: session {name} call {call}"
+            );
+        }
+    }
+}
+
 fn main() {
     let sessions: usize = arg_value("--sessions")
         .and_then(|s| s.parse().ok())
@@ -61,6 +231,10 @@ fn main() {
     let calls: usize = arg_value("--calls")
         .and_then(|s| s.parse().ok())
         .unwrap_or(32)
+        .max(1);
+    let max_threads: usize = arg_value("--threads")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8)
         .max(1);
     println!("Figure 8 — session serving: {sessions} sessions x {calls} calls\n");
 
@@ -135,34 +309,140 @@ fn main() {
         svc.module_cache().misses()
     );
 
+    // -----------------------------------------------------------------
+    // Threads axis: warm-throughput scaling of the sharded service.
+    // -----------------------------------------------------------------
+    let mut sweep: Vec<usize> = Vec::new();
+    let mut t = 1;
+    while t < max_threads {
+        sweep.push(t);
+        t *= 2;
+    }
+    sweep.push(max_threads);
+    // The same total work at every point: sessions divisible by every
+    // swept shard count, and at least two per shard at the widest point so
+    // the makespan is not a single session's tail.
+    let lcm = sweep.iter().fold(1usize, |a, &b| a * b / gcd(a, b));
+    let scale_sessions = lcm * sessions.div_ceil(lcm).max(2);
+    let scale_calls = calls.max(96);
+
+    println!(
+        "\nthreads axis: {scale_sessions} sessions x {scale_calls} warm calls per point"
+    );
+    println!(
+        "{:<9} {:>12} {:>18} {:>20} {:>16}",
+        "threads", "wall (ms)", "makespan (ms)", "throughput (c/s)", "modelled scaling"
+    );
+    let mut points: Vec<ScalePoint> = Vec::new();
+    for &threads in &sweep {
+        let sharded = Arc::new(TwineBuilder::new().build_sharded(threads));
+        let names = balanced_names(&sharded, scale_sessions, threads);
+        for name in &names {
+            sharded.open_session(name, &wasm).expect("open");
+        }
+        // One warm-up pass so every instance's frame arena has grown.
+        let _ = drive_warm(&sharded, &names, 1);
+        let (wall_s, makespan_ns) = drive_warm(&sharded, &names, scale_calls);
+        points.push(ScalePoint {
+            threads,
+            wall_s,
+            makespan_ns,
+            calls: scale_sessions * scale_calls,
+        });
+    }
+    let base_makespan = points[0].makespan_ns.max(1);
+    for p in &points {
+        let scaling = base_makespan as f64 / p.makespan_ns.max(1) as f64;
+        println!(
+            "{:<9} {:>12.2} {:>18.2} {:>20.0} {:>15.2}x",
+            p.threads,
+            p.wall_s * 1e3,
+            p.makespan_ns as f64 / 1e6,
+            p.calls as f64 / p.wall_s.max(1e-12),
+            scaling
+        );
+    }
+
+    // Differential verification (small, with reports): the binary fails on
+    // any cross-thread meter/result/fuel divergence.
+    verify_bit_identity(&wasm, *sweep.last().unwrap(), scale_sessions.min(16), 6);
+    println!("\nbit-identity vs single-threaded service: verified");
+
+    let max_point = points.last().expect("sweep non-empty");
+    let max_scaling = base_makespan as f64 / max_point.makespan_ns.max(1) as f64;
+    // The scaling floor is only meaningful where busy_ns is real per-thread
+    // CPU time (Linux); the wall-clock fallback absorbs scheduler
+    // preemption once shards outnumber cores, which would fail the floor
+    // on a small non-Linux box even though serving is correct.
+    let cpu_time_accounting = std::path::Path::new("/proc/thread-self/schedstat").exists();
+    if max_point.threads >= 8 && cpu_time_accounting {
+        assert!(
+            max_scaling >= 3.0,
+            "modelled warm-throughput scaling at {} threads is {max_scaling:.2}x (< 3x)",
+            max_point.threads
+        );
+    } else if !cpu_time_accounting {
+        println!("(no per-thread CPU-time accounting on this platform; scaling floor not asserted)");
+    }
+
+    let mut rows = vec![
+        format!(
+            "cold,1,{sessions},1,{:.3},{:.0},",
+            cold.mean_wall_us(),
+            cold.mean_cycles()
+        ),
+        format!(
+            "warm,1,{sessions},{calls},{:.3},{:.0},{throughput:.0}",
+            warm.mean_wall_us(),
+            warm.mean_cycles()
+        ),
+    ];
+    for p in &points {
+        rows.push(format!(
+            "sharded-warm,{},{scale_sessions},{scale_calls},,,{:.0}",
+            p.threads,
+            p.calls as f64 / p.wall_s.max(1e-12)
+        ));
+    }
     write_csv(
         "fig8_serving.csv",
-        "phase,sessions,calls,mean_wall_us,mean_cycles,throughput_calls_per_s",
-        &[
-            format!(
-                "cold,{sessions},1,{:.3},{:.0},",
-                cold.mean_wall_us(),
-                cold.mean_cycles()
-            ),
-            format!(
-                "warm,{sessions},{calls},{:.3},{:.0},{throughput:.0}",
-                warm.mean_wall_us(),
-                warm.mean_cycles()
-            ),
-        ],
+        "phase,threads,sessions,calls,mean_wall_us,mean_cycles,throughput_calls_per_s",
+        &rows,
     );
 
-    // Machine-readable perf trajectory (DESIGN.md §8): future PRs diff
-    // cold/warm serving latency against this file.
+    // Machine-readable perf trajectory (DESIGN.md §8/§9): future PRs diff
+    // serving latency and thread scaling against this file.
+    let threads_json: Vec<String> = points
+        .iter()
+        .map(|p| {
+            format!(
+                concat!(
+                    "    {{\"threads\": {}, \"wall_ms\": {:.3}, ",
+                    "\"modelled_makespan_ms\": {:.3}, ",
+                    "\"wall_throughput_calls_per_s\": {:.0}, ",
+                    "\"modelled_scaling_x\": {:.3}}}"
+                ),
+                p.threads,
+                p.wall_s * 1e3,
+                p.makespan_ns as f64 / 1e6,
+                p.calls as f64 / p.wall_s.max(1e-12),
+                base_makespan as f64 / p.makespan_ns.max(1) as f64,
+            )
+        })
+        .collect();
     write_bench_json(
         "BENCH_fig8.json",
         &format!(
             concat!(
                 "{{\n  \"bench\": \"fig8_serving\",\n  \"exec_tier\": \"{}\",\n",
-                "  \"sessions\": {}, \n  \"calls\": {},\n",
+                "  \"sessions\": {},\n  \"calls\": {},\n",
                 "  \"cold\": {{\"mean_wall_us\": {:.3}, \"mean_cycles\": {:.0}}},\n",
                 "  \"warm\": {{\"mean_wall_us\": {:.3}, \"mean_cycles\": {:.0}}},\n",
-                "  \"warm_throughput_calls_per_s\": {:.0}\n}}\n"
+                "  \"warm_throughput_calls_per_s\": {:.0},\n",
+                "  \"threads_axis\": {{\n",
+                "    \"sessions\": {}, \"calls_per_session\": {},\n",
+                "    \"max_modelled_scaling_x\": {:.3},\n",
+                "    \"points\": [\n{}\n    ]\n  }}\n}}\n"
             ),
             ExecTier::default(),
             sessions,
@@ -172,6 +452,17 @@ fn main() {
             warm.mean_wall_us(),
             warm.mean_cycles(),
             throughput,
+            scale_sessions,
+            scale_calls,
+            max_scaling,
+            threads_json.join(",\n"),
         ),
     );
+}
+
+fn gcd(mut a: usize, mut b: usize) -> usize {
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a.max(1)
 }

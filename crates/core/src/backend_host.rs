@@ -7,35 +7,34 @@
 //! "strict and restricted environment"); [`crate::TwineBuilder`] exposes the
 //! same switch.
 
-use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use twine_sgx::Enclave;
 use twine_wasi::{Errno, FsBackend, WasiFile};
 
-type HostFileMap = Rc<RefCell<HashMap<String, Rc<RefCell<Vec<u8>>>>>>;
+type HostFileMap = Arc<Mutex<HashMap<String, Arc<Mutex<Vec<u8>>>>>>;
 
 /// Untrusted host file system reached through OCALLs.
 pub struct HostBackend {
-    enclave: Option<Rc<Enclave>>,
+    enclave: Option<Arc<Enclave>>,
     files: HostFileMap,
 }
 
 impl HostBackend {
     /// New backend; I/O crosses `enclave`'s boundary when given.
     #[must_use]
-    pub fn new(enclave: Option<Rc<Enclave>>) -> Self {
+    pub fn new(enclave: Option<Arc<Enclave>>) -> Self {
         Self {
             enclave,
-            files: Rc::new(RefCell::new(HashMap::new())),
+            files: Arc::new(Mutex::new(HashMap::new())),
         }
     }
 
     /// Host-side view of a file — plaintext, unlike the PFS backend.
     #[must_use]
     pub fn plaintext_of(&self, path: &str) -> Option<Vec<u8>> {
-        self.files.borrow().get(path).map(|f| f.borrow().clone())
+        self.files.lock().unwrap().get(path).map(|f| f.lock().unwrap().clone())
     }
 
     fn ocall<R>(&self, bytes: u64, f: impl FnOnce() -> R) -> R {
@@ -47,8 +46,8 @@ impl HostBackend {
 }
 
 struct HostFile {
-    enclave: Option<Rc<Enclave>>,
-    data: Rc<RefCell<Vec<u8>>>,
+    enclave: Option<Arc<Enclave>>,
+    data: Arc<Mutex<Vec<u8>>>,
     pos: u64,
 }
 
@@ -66,7 +65,7 @@ impl WasiFile for HostFile {
         let data = self.data.clone();
         let pos = self.pos;
         let n = self.ocall(buf.len() as u64, || {
-            let data = data.borrow();
+            let data = data.lock().unwrap();
             let start = (pos as usize).min(data.len());
             let n = buf.len().min(data.len() - start);
             buf[..n].copy_from_slice(&data[start..start + n]);
@@ -80,7 +79,7 @@ impl WasiFile for HostFile {
         let data = self.data.clone();
         let pos = self.pos as usize;
         self.ocall(buf.len() as u64, || {
-            let mut data = data.borrow_mut();
+            let mut data = data.lock().unwrap();
             let end = pos + buf.len();
             if data.len() < end {
                 data.resize(end, 0);
@@ -101,12 +100,12 @@ impl WasiFile for HostFile {
     }
 
     fn size(&self) -> Result<u64, Errno> {
-        Ok(self.data.borrow().len() as u64)
+        Ok(self.data.lock().unwrap().len() as u64)
     }
 
     fn set_size(&mut self, size: u64) -> Result<(), Errno> {
         let data = self.data.clone();
-        self.ocall(8, || data.borrow_mut().resize(size as usize, 0));
+        self.ocall(8, || data.lock().unwrap().resize(size as usize, 0));
         Ok(())
     }
 
@@ -125,18 +124,18 @@ impl FsBackend for HostBackend {
         truncate: bool,
     ) -> Result<Box<dyn WasiFile>, Errno> {
         let files = self.files.clone();
-        let exists = self.ocall(path.len() as u64, || files.borrow().contains_key(path));
+        let exists = self.ocall(path.len() as u64, || files.lock().unwrap().contains_key(path));
         if !exists && !create {
             return Err(Errno::Noent);
         }
         let data = {
-            let mut files = self.files.borrow_mut();
+            let mut files = self.files.lock().unwrap();
             let entry = files
                 .entry(path.to_string())
-                .or_insert_with(|| Rc::new(RefCell::new(Vec::new())))
+                .or_insert_with(|| Arc::new(Mutex::new(Vec::new())))
                 .clone();
             if truncate {
-                entry.borrow_mut().clear();
+                entry.lock().unwrap().clear();
             }
             entry
         };
@@ -149,16 +148,17 @@ impl FsBackend for HostBackend {
 
     fn exists(&mut self, path: &str) -> bool {
         let files = self.files.clone();
-        self.ocall(path.len() as u64, || files.borrow().contains_key(path))
+        self.ocall(path.len() as u64, || files.lock().unwrap().contains_key(path))
     }
 
     fn filesize(&mut self, path: &str) -> Result<u64, Errno> {
         let files = self.files.clone();
         self.ocall(8, || {
             files
-                .borrow()
+                .lock()
+                .unwrap()
                 .get(path)
-                .map(|f| f.borrow().len() as u64)
+                .map(|f| f.lock().unwrap().len() as u64)
                 .ok_or(Errno::Noent)
         })
     }
@@ -167,7 +167,8 @@ impl FsBackend for HostBackend {
         let files = self.files.clone();
         self.ocall(path.len() as u64, || {
             files
-                .borrow_mut()
+                .lock()
+                .unwrap()
                 .remove(path)
                 .map(|_| ())
                 .ok_or(Errno::Noent)
@@ -178,7 +179,6 @@ impl FsBackend for HostBackend {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::rc::Rc;
     use twine_sgx::{EnclaveBuilder, Processor};
 
     #[test]
@@ -192,7 +192,7 @@ mod tests {
 
     #[test]
     fn ops_charge_ocalls() {
-        let enclave = Rc::new(EnclaveBuilder::new(b"host-backend").build(&Processor::new(1)));
+        let enclave = Arc::new(EnclaveBuilder::new(b"host-backend").build(&Processor::new(1)));
         let mut b = HostBackend::new(Some(enclave.clone()));
         let before = enclave.stats().ocalls;
         let mut f = b.open("/h/x", true, false).unwrap();

@@ -3,7 +3,7 @@
 //! ciphertext; integrity is verified on every read.
 
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use twine_pfs::{PfsError, PfsMode, PfsOptions, PfsProfiler, SgxFile};
 use twine_sgx::Enclave;
@@ -21,7 +21,7 @@ fn map_err(e: &PfsError) -> Errno {
 
 /// Trusted backend over `twine-pfs` with one storage array per path.
 pub struct PfsBackend {
-    enclave: Option<Rc<Enclave>>,
+    enclave: Option<Arc<Enclave>>,
     mode: PfsMode,
     cache_nodes: usize,
     profiler: Option<PfsProfiler>,
@@ -34,7 +34,7 @@ impl PfsBackend {
     /// charged as OCALLs.
     #[must_use]
     pub fn new(
-        enclave: Option<Rc<Enclave>>,
+        enclave: Option<Arc<Enclave>>,
         mode: PfsMode,
         cache_nodes: usize,
         profiler: Option<PfsProfiler>,

@@ -52,6 +52,7 @@ pub mod backend_pfs;
 pub mod provision;
 pub mod runtime;
 pub mod service;
+pub mod sharded;
 pub mod shared_store;
 
 pub use backend_host::HostBackend;
@@ -59,4 +60,5 @@ pub use backend_pfs::PfsBackend;
 pub use provision::{ApplicationProvider, EncryptedApp};
 pub use runtime::{FsChoice, RunReport, TwineApp, TwineBuilder, TwineError, TwineRuntime};
 pub use service::{ModuleCache, SessionStats, TwineService};
+pub use sharded::{ShardStats, ShardedService};
 pub use twine_wasm::ExecTier;

@@ -1,7 +1,6 @@
 //! The Twine runtime: configuration, enclave setup, and guest execution.
 
-use std::cell::Cell;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use twine_pfs::{PfsMode, PfsProfiler};
@@ -218,7 +217,7 @@ impl TwineBuilder {
     /// Create the enclave and runtime (charges launch cycles).
     ///
     /// The WASI + libm host-function table is built **once** here and shared
-    /// (`Rc`) by every subsequent guest run, instead of being re-registered
+    /// (`Arc`) by every subsequent guest run, instead of being re-registered
     /// on each call.
     #[must_use]
     pub fn build(self) -> TwineRuntime {
@@ -235,8 +234,8 @@ impl TwineBuilder {
         );
         TwineRuntime {
             enclave,
-            linker: Rc::new(base_linker()),
-            clock_watermark: Rc::new(Cell::new(0)),
+            linker: Arc::new(base_linker()),
+            clock_watermark: Arc::new(AtomicU64::new(0)),
             processor: self.processor,
             fs: self.fs,
             pfs_mode: self.pfs_mode,
@@ -259,9 +258,18 @@ impl TwineBuilder {
         crate::TwineService::from_builder(self)
     }
 
+    /// Create the enclave and a multi-threaded [`crate::ShardedService`]:
+    /// `threads` worker shards partitioning the session namespace while
+    /// sharing this one enclave, one host-function table and one module
+    /// cache (see DESIGN.md §9).
+    #[must_use]
+    pub fn build_sharded(self, threads: usize) -> crate::ShardedService {
+        crate::ShardedService::from_builder(self, threads)
+    }
+
     /// Launch the simulated enclave described by this builder.
-    pub(crate) fn launch_enclave(&self) -> Rc<Enclave> {
-        Rc::new(
+    pub(crate) fn launch_enclave(&self) -> Arc<Enclave> {
+        Arc::new(
             EnclaveBuilder::new(TWINE_RUNTIME_IMAGE)
                 .heap_bytes(self.heap_bytes)
                 .mode(self.sgx_mode)
@@ -288,7 +296,7 @@ pub const TWINE_RUNTIME_IMAGE: &[u8] = &[0x54; 567 * 1024];
 
 pub(crate) fn make_backend(
     fs: FsChoice,
-    enclave: &Rc<Enclave>,
+    enclave: &Arc<Enclave>,
     pfs_mode: PfsMode,
     cache_nodes: usize,
     profiler: Option<PfsProfiler>,
@@ -346,6 +354,10 @@ pub struct RunReport {
     pub wasi_calls: u64,
     /// EPC paging counters for the run.
     pub epc: EpcStats,
+    /// Fuel left after the run (`None` = unlimited budget). Deterministic
+    /// per session — the concurrency differential suite asserts it is
+    /// bit-identical between sharded and single-threaded serving.
+    pub fuel_remaining: Option<u64>,
 }
 
 /// Routes Wasm linear-memory page touches into the enclave's EPC model,
@@ -364,14 +376,16 @@ impl PageSink for EpcSink {
 
 /// The Twine runtime instance (one simulated enclave).
 pub struct TwineRuntime {
-    enclave: Rc<Enclave>,
+    enclave: Arc<Enclave>,
     /// Host-function table, built once at [`TwineBuilder::build`] and shared
     /// immutably by every run.
-    linker: Rc<Linker>,
+    linker: Arc<Linker>,
     /// Trusted-clock monotonicity watermark (§IV-C). Lives on the runtime so
     /// `clock_time_get` stays monotonic **across** guest runs instead of the
-    /// guard restarting at 0 on every call.
-    clock_watermark: Rc<Cell<u64>>,
+    /// guard restarting at 0 on every call. An [`AtomicU64`] advanced by a
+    /// CAS loop, so the guarantee survives sharing across threads (the old
+    /// `Cell` silently allowed non-monotonic reads once shared).
+    clock_watermark: Arc<AtomicU64>,
     processor: Processor,
     fs: FsChoice,
     pfs_mode: PfsMode,
@@ -389,7 +403,7 @@ pub struct TwineRuntime {
 impl TwineRuntime {
     /// The enclave hosting this runtime.
     #[must_use]
-    pub fn enclave(&self) -> &Rc<Enclave> {
+    pub fn enclave(&self) -> &Arc<Enclave> {
         &self.enclave
     }
 
@@ -527,6 +541,7 @@ impl TwineRuntime {
             cycles: outcome.cycles,
             wasi_calls: 0,
             epc: outcome.epc,
+            fuel_remaining: instance.fuel,
         };
         if let Some(ctx) = instance.into_state::<WasiCtx>() {
             report.exit_code = ctx.exit_code.unwrap_or(0);
@@ -551,8 +566,8 @@ pub(crate) fn build_wasi_ctx(
     rights: Rights,
     args: &[String],
     env: &[(String, String)],
-    enclave: &Rc<Enclave>,
-    watermark: &Rc<Cell<u64>>,
+    enclave: &Arc<Enclave>,
+    watermark: &Arc<AtomicU64>,
 ) -> WasiCtx {
     let mut ctx = WasiCtx::new(backend, preopen, rights);
     ctx.args = args.to_vec();
@@ -567,21 +582,38 @@ pub(crate) fn build_wasi_ctx(
 /// invocations instead of restarting at 0 on every call.
 pub(crate) fn install_trusted_clock(
     ctx: &mut WasiCtx,
-    enclave: &Rc<Enclave>,
-    watermark: &Rc<Cell<u64>>,
+    enclave: &Arc<Enclave>,
+    watermark: &Arc<AtomicU64>,
 ) {
     let enclave = enclave.clone();
-    let last = Rc::clone(watermark);
+    let last = Arc::clone(watermark);
     ctx.set_clock(Box::new(move || {
         let host_time = enclave.ocall(8, || {
             // Host "clock": derived from virtual cycles so runs are
             // deterministic.
             enclave.clock().cycles().wrapping_mul(263) / 1_000
         });
-        let t = host_time.max(last.get() + 1);
-        last.set(t);
-        t
+        advance_watermark(&last, host_time)
     }));
+}
+
+/// Advance a trusted-clock watermark past `host_time`, returning the value
+/// to hand to the guest. A compare-and-swap loop (not load-then-store, the
+/// old `Cell` behaviour) so that even when one watermark is read from many
+/// threads at once every observer sees strictly increasing time: each
+/// successful CAS moves the watermark strictly upward, and a loser retries
+/// against the fresher value (§IV-C monotonicity, now under concurrency).
+///
+/// Public so the concurrency suite can proptest the guarantee directly.
+pub fn advance_watermark(last: &AtomicU64, host_time: u64) -> u64 {
+    let mut prev = last.load(Ordering::Relaxed);
+    loop {
+        let t = host_time.max(prev + 1);
+        match last.compare_exchange_weak(prev, t, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return t,
+            Err(newer) => prev = newer,
+        }
+    }
 }
 
 /// What one in-enclave invocation produced, before the embedder extracts
@@ -602,7 +634,7 @@ pub(crate) struct InvocationOutcome {
 /// and the persistent-session [`crate::TwineService`] path, so warm and
 /// cold invocations flow through bit-identical metering code.
 pub(crate) fn invoke_in_enclave(
-    enclave: &Rc<Enclave>,
+    enclave: &Arc<Enclave>,
     instance: &mut Instance,
     func: &str,
     args: &[Value],

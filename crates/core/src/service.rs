@@ -25,10 +25,9 @@
 //! budget, its own file-system backend, and its own trusted-clock
 //! monotonicity watermark that persists across invocations (§IV-C).
 
-use std::cell::Cell;
 use std::collections::HashMap;
-use std::rc::Rc;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
 use twine_crypto::Sha256;
 use twine_pfs::{PfsMode, PfsProfiler};
@@ -42,14 +41,29 @@ use crate::runtime::{
     FsChoice, RunReport, TwineBuilder, TwineError,
 };
 
+/// One cache slot: a [`OnceLock`] so that when many threads race to open
+/// sessions over identical bytes, exactly one performs the compile while
+/// the others block on the slot and then share the same
+/// `Arc<CompiledModule>` (pointer-identical). A failed compile is recorded
+/// in the slot (every concurrent waiter of that attempt sees the error)
+/// and the slot is then removed so a later open may retry.
+type CacheSlot = Arc<OnceLock<Result<Arc<CompiledModule>, ModuleError>>>;
+
 /// A content-addressed cache of compiled modules: identical Wasm bytes
 /// (under the same execution tier) compile once and share one
 /// `Arc<CompiledModule>` across all sessions of a service.
+///
+/// Thread-safe with interior mutability (`&self` everywhere): the sharded
+/// service hands one `Arc<ModuleCache>` to every worker. The map lock is
+/// held only for slot bookkeeping — compilation itself runs *outside* it,
+/// so two shards compiling **different** modules proceed in parallel,
+/// while racers on the **same** key serialise on the per-key [`OnceLock`]
+/// and compile exactly once.
 pub struct ModuleCache {
     tier: ExecTier,
-    entries: HashMap<[u8; 32], Arc<CompiledModule>>,
-    hits: u64,
-    misses: u64,
+    entries: Mutex<HashMap<[u8; 32], CacheSlot>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
 }
 
 impl ModuleCache {
@@ -58,9 +72,9 @@ impl ModuleCache {
     pub fn new(tier: ExecTier) -> Self {
         Self {
             tier,
-            entries: HashMap::new(),
-            hits: 0,
-            misses: 0,
+            entries: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
         }
     }
 
@@ -82,43 +96,80 @@ impl ModuleCache {
     /// Look up `wasm` by content, compiling (decode + validate + AoT lower)
     /// only on a miss. Returns the shared module, its content key, and
     /// whether this was a cache hit.
+    ///
+    /// Concurrent callers with the same bytes compile **once**: the loser
+    /// of the slot race blocks until the winner's compile finishes and
+    /// receives the identical `Arc` (a hit). Compilation of *distinct*
+    /// modules never serialises — the map lock is not held across compiles.
     pub fn get_or_compile(
-        &mut self,
+        &self,
         wasm: &[u8],
     ) -> Result<(Arc<CompiledModule>, [u8; 32], bool), ModuleError> {
         let key = Self::content_key(wasm, self.tier);
-        if let Some(m) = self.entries.get(&key) {
-            self.hits += 1;
-            return Ok((Arc::clone(m), key, true));
+        let slot = {
+            let mut map = self.entries.lock().unwrap();
+            Arc::clone(map.entry(key).or_default())
+        };
+        let mut compiled_here = false;
+        let outcome = slot
+            .get_or_init(|| {
+                compiled_here = true;
+                CompiledModule::from_bytes_with_tier(wasm, self.tier).map(Arc::new)
+            })
+            .clone();
+        match outcome {
+            Ok(m) => {
+                // Counted only when a module was actually served — a failed
+                // compile counts as neither hit nor miss, the same
+                // early-return accounting the single-threaded cache had
+                // (waiters on a failed attempt were never "served without
+                // compiling").
+                if compiled_here {
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                }
+                Ok((m, key, !compiled_here))
+            }
+            Err(e) => {
+                // Failed compiles are not cached: retire this slot (only if
+                // it is still *this* attempt's slot) so a later open retries.
+                let mut map = self.entries.lock().unwrap();
+                if map.get(&key).is_some_and(|s| Arc::ptr_eq(s, &slot)) {
+                    map.remove(&key);
+                }
+                Err(e)
+            }
         }
-        let compiled = Arc::new(CompiledModule::from_bytes_with_tier(wasm, self.tier)?);
-        self.entries.insert(key, Arc::clone(&compiled));
-        self.misses += 1;
-        Ok((compiled, key, false))
+    }
+
+    /// The compiled module readily held in a slot, if any.
+    fn slot_module(slot: &CacheSlot) -> Option<&Arc<CompiledModule>> {
+        slot.get().and_then(|r| r.as_ref().ok())
     }
 
     /// Number of distinct compiled modules held.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.entries.lock().unwrap().len()
     }
 
     /// Whether the cache holds no modules.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.entries.lock().unwrap().is_empty()
     }
 
     /// Lookups served without compiling.
     #[must_use]
     pub fn hits(&self) -> u64 {
-        self.hits
+        self.hits.load(Ordering::Relaxed)
     }
 
     /// Lookups that had to compile.
     #[must_use]
     pub fn misses(&self) -> u64 {
-        self.misses
+        self.misses.load(Ordering::Relaxed)
     }
 
     /// Drop every cached module no live session references (the cache's
@@ -126,24 +177,41 @@ impl ModuleCache {
     /// Long-lived services that churn through tenants with distinct
     /// binaries call this to keep the cache bounded by the *live* working
     /// set instead of growing with every binary ever served.
-    pub fn evict_unreferenced(&mut self) -> usize {
-        let before = self.entries.len();
-        self.entries.retain(|_, m| Arc::strong_count(m) > 1);
-        before - self.entries.len()
+    pub fn evict_unreferenced(&self) -> usize {
+        let mut map = self.entries.lock().unwrap();
+        let before = map.len();
+        map.retain(|_, slot| {
+            // A racer that looked the slot up but has not yet cloned the
+            // inner module Arc holds a clone of the *slot* Arc (taken
+            // under this same map lock), so `strong_count(slot) > 1`
+            // keeps the entry alive and preserves pointer identity for
+            // that in-flight open. In-flight compiles (no module yet) are
+            // kept for the same reason.
+            Arc::strong_count(slot) > 1
+                || Self::slot_module(slot).is_none_or(|m| Arc::strong_count(m) > 1)
+        });
+        before - map.len()
     }
 
     /// Drop all entries (sessions already holding an `Arc` are unaffected;
     /// future opens recompile).
-    pub fn clear(&mut self) {
-        self.entries.clear();
+    pub fn clear(&self) {
+        self.entries.lock().unwrap().clear();
     }
 
     /// Drop one entry if nothing outside the cache references it. Used to
     /// roll back a compile whose session failed to materialise, so failed
-    /// opens cannot grow the cache.
-    fn evict_if_unreferenced(&mut self, key: &[u8; 32]) {
-        if self.entries.get(key).is_some_and(|m| Arc::strong_count(m) == 1) {
-            self.entries.remove(key);
+    /// opens cannot grow the cache. The slot-count guard (see
+    /// [`evict_unreferenced`](Self::evict_unreferenced)) makes this safe
+    /// against a concurrent `get_or_compile` that has taken the slot but
+    /// not yet the module: such a racer keeps the entry alive.
+    fn evict_if_unreferenced(&self, key: &[u8; 32]) {
+        let mut map = self.entries.lock().unwrap();
+        if map.get(key).is_some_and(|slot| {
+            Arc::strong_count(slot) == 1
+                && Self::slot_module(slot).is_some_and(|m| Arc::strong_count(m) == 1)
+        }) {
+            map.remove(key);
         }
     }
 }
@@ -175,9 +243,39 @@ struct Session {
     compiled: Arc<CompiledModule>,
     /// Trusted-clock monotonicity watermark (§IV-C), persistent across
     /// invocations and across [`TwineService::reset_session`].
-    watermark: Rc<Cell<u64>>,
+    watermark: Arc<AtomicU64>,
     fuel: Option<u64>,
     stats: SessionStats,
+}
+
+/// The per-session construction template a builder configures once and a
+/// service (or every shard of a [`crate::ShardedService`]) applies to each
+/// new session. Plain data, `Clone + Send`.
+#[derive(Clone)]
+pub(crate) struct SessionTemplate {
+    pub(crate) fs: FsChoice,
+    pub(crate) pfs_mode: PfsMode,
+    pub(crate) pfs_cache_nodes: usize,
+    pub(crate) preopen: String,
+    pub(crate) rights: Rights,
+    pub(crate) args: Vec<String>,
+    pub(crate) env: Vec<(String, String)>,
+    pub(crate) fuel: Option<u64>,
+}
+
+impl SessionTemplate {
+    pub(crate) fn from_builder(b: &TwineBuilder) -> Self {
+        Self {
+            fs: b.fs,
+            pfs_mode: b.pfs_mode,
+            pfs_cache_nodes: b.pfs_cache_nodes,
+            preopen: b.preopen.clone(),
+            rights: b.rights,
+            args: b.args.clone(),
+            env: b.env.clone(),
+            fuel: b.fuel,
+        }
+    }
 }
 
 /// A multi-tenant Twine service: many named sessions inside **one**
@@ -200,23 +298,18 @@ struct Session {
 /// assert_eq!(out[0], Value::I32(42));
 /// ```
 pub struct TwineService {
-    enclave: Rc<Enclave>,
+    enclave: Arc<Enclave>,
     processor: Processor,
-    linker: Rc<Linker>,
-    cache: ModuleCache,
+    linker: Arc<Linker>,
+    cache: Arc<ModuleCache>,
     sessions: HashMap<String, Session>,
-    /// Next private EPC slot; slot `n` covers pages `[(n+1) << 32, ...)`.
-    next_epc_slot: u64,
-    // Per-session construction template (from the builder).
-    fs: FsChoice,
-    pfs_mode: PfsMode,
-    pfs_cache_nodes: usize,
-    preopen: String,
-    rights: Rights,
-    args: Vec<String>,
-    env: Vec<(String, String)>,
+    /// Shared allocator of private EPC slots; slot `n` covers pages
+    /// `[(n+1) << 32, ...)`. Shared (`Arc`) so the shards of a
+    /// [`crate::ShardedService`] never hand two sessions aliasing ranges.
+    epc_slots: Arc<AtomicU64>,
+    /// Per-session construction template (from the builder).
+    tpl: SessionTemplate,
     profiler: Option<PfsProfiler>,
-    fuel: Option<u64>,
 }
 
 impl TwineService {
@@ -225,28 +318,47 @@ impl TwineService {
         let profiler = b
             .with_profiler
             .then(|| PfsProfiler::new(enclave.clock().clone()));
+        let tpl = SessionTemplate::from_builder(&b);
         Self {
             enclave,
             processor: b.processor,
-            linker: Rc::new(base_linker()),
-            cache: ModuleCache::new(b.exec_tier),
+            linker: Arc::new(base_linker()),
+            cache: Arc::new(ModuleCache::new(b.exec_tier)),
             sessions: HashMap::new(),
-            next_epc_slot: 0,
-            fs: b.fs,
-            pfs_mode: b.pfs_mode,
-            pfs_cache_nodes: b.pfs_cache_nodes,
-            preopen: b.preopen,
-            rights: b.rights,
-            args: b.args,
-            env: b.env,
+            epc_slots: Arc::new(AtomicU64::new(0)),
+            tpl,
             profiler,
-            fuel: b.fuel,
+        }
+    }
+
+    /// One shard of a [`crate::ShardedService`]: a full `TwineService` over
+    /// **shared** immutable artifacts — the one enclave, the one
+    /// host-function table, the one module cache and the one EPC-slot
+    /// allocator — with its own (shard-local, single-owner) session map.
+    pub(crate) fn shard(
+        enclave: Arc<Enclave>,
+        processor: Processor,
+        linker: Arc<Linker>,
+        cache: Arc<ModuleCache>,
+        epc_slots: Arc<AtomicU64>,
+        tpl: SessionTemplate,
+        profiler: Option<PfsProfiler>,
+    ) -> Self {
+        Self {
+            enclave,
+            processor,
+            linker,
+            cache,
+            sessions: HashMap::new(),
+            epc_slots,
+            tpl,
+            profiler,
         }
     }
 
     /// The enclave hosting every session.
     #[must_use]
-    pub fn enclave(&self) -> &Rc<Enclave> {
+    pub fn enclave(&self) -> &Arc<Enclave> {
         &self.enclave
     }
 
@@ -262,17 +374,12 @@ impl TwineService {
         self.enclave.clock()
     }
 
-    /// The content-addressed module cache.
+    /// The content-addressed module cache (thread-safe: eviction policy
+    /// belongs to the embedder, e.g. [`ModuleCache::evict_unreferenced`]
+    /// after a wave of [`close_session`](Self::close_session)s).
     #[must_use]
     pub fn module_cache(&self) -> &ModuleCache {
         &self.cache
-    }
-
-    /// Mutable access to the module cache (eviction policy belongs to the
-    /// embedder: e.g. [`ModuleCache::evict_unreferenced`] after a wave of
-    /// [`close_session`](Self::close_session)s).
-    pub fn module_cache_mut(&mut self) -> &mut ModuleCache {
-        &mut self.cache
     }
 
     /// Number of live sessions.
@@ -324,19 +431,19 @@ impl TwineService {
         });
 
         let backend = make_backend(
-            self.fs,
+            self.tpl.fs,
             &self.enclave,
-            self.pfs_mode,
-            self.pfs_cache_nodes,
+            self.tpl.pfs_mode,
+            self.tpl.pfs_cache_nodes,
             self.profiler.clone(),
         );
-        let watermark = Rc::new(Cell::new(0u64));
+        let watermark = Arc::new(AtomicU64::new(0));
         let ctx = build_wasi_ctx(
             backend,
-            &self.preopen,
-            self.rights,
-            &self.args,
-            &self.env,
+            &self.tpl.preopen,
+            self.tpl.rights,
+            &self.tpl.args,
+            &self.tpl.env,
             &self.enclave,
             &watermark,
         );
@@ -347,7 +454,7 @@ impl TwineService {
             Arc::clone(&compiled),
             &self.linker,
             Box::new(ctx),
-            self.fuel,
+            self.tpl.fuel,
         ) {
             Ok(i) => i,
             Err((e, _ctx)) => {
@@ -359,8 +466,7 @@ impl TwineService {
                 return Err(TwineError::Module(e));
             }
         };
-        let slot = self.next_epc_slot;
-        self.next_epc_slot += 1;
+        let slot = self.epc_slots.fetch_add(1, Ordering::Relaxed);
         let epc_base_page = (slot + 1) << 32;
         instance.set_page_sink(Some(Box::new(EpcSink {
             epc: self.enclave.epc(),
@@ -376,7 +482,7 @@ impl TwineService {
             snapshot,
             compiled,
             watermark,
-            fuel: self.fuel,
+            fuel: self.tpl.fuel,
             stats: SessionStats {
                 module_key,
                 wasm_bytes: wasm.len(),
@@ -451,6 +557,7 @@ impl TwineService {
             Ok(values) => {
                 sess.stats.invocations += 1;
                 let report = build_report.then(|| {
+                    let fuel_remaining = sess.instance.fuel;
                     let ctx = sess.instance.state::<WasiCtx>();
                     RunReport {
                         exit_code: ctx.exit_code.unwrap_or(0),
@@ -462,6 +569,7 @@ impl TwineService {
                         meter: outcome.meter,
                         cycles: outcome.cycles,
                         epc: outcome.epc,
+                        fuel_remaining,
                     }
                 });
                 Ok((report, values))
@@ -513,14 +621,16 @@ impl TwineService {
     /// value handed to the guest; 0 if the guest never read the clock).
     #[must_use]
     pub fn session_clock_watermark(&self, name: &str) -> Option<u64> {
-        self.sessions.get(name).map(|s| s.watermark.get())
+        self.sessions
+            .get(name)
+            .map(|s| s.watermark.load(Ordering::Relaxed))
     }
 
     /// Close a session, returning its file-system backend so the embedder
     /// can persist or migrate the tenant's protected files. The cached
     /// compiled module stays in the cache for future sessions — reclaim
     /// orphaned entries with
-    /// [`module_cache_mut().evict_unreferenced()`](ModuleCache::evict_unreferenced).
+    /// [`module_cache().evict_unreferenced()`](ModuleCache::evict_unreferenced).
     pub fn close_session(&mut self, name: &str) -> Option<Box<dyn FsBackend>> {
         let sess = self.sessions.remove(name)?;
         sess.instance

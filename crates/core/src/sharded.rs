@@ -1,0 +1,589 @@
+//! The sharded, multi-threaded service: N worker threads, each owning a
+//! [`TwineService`] shard, all inside **one** simulated enclave
+//! (DESIGN.md §9).
+//!
+//! The Twine follow-up runtime serves many tenants from one long-lived
+//! enclave; a single-threaded service caps that at one core. This module
+//! partitions the *session namespace* across worker threads by stable
+//! session-key hash, while every expensive immutable artifact stays
+//! shared: the enclave (clock, EPC pool, boundary counters), the
+//! host-function [`Linker`](twine_wasm::Linker), the content-addressed
+//! [`ModuleCache`], and the EPC-slot allocator. Per-session mutable state
+//! (the `Instance`, its `WasiCtx`, the frame arena) is **single-owner**:
+//! it lives on exactly one shard thread and is never locked.
+//!
+//! # Determinism
+//!
+//! Commands for one session always route to the same shard and are
+//! processed in channel FIFO order, so a client that issues its calls for
+//! a given session sequentially observes exactly the per-session ordering
+//! of a single-threaded service. Everything a session computes depends
+//! only on its own state: results, traps, per-class meters and fuel are
+//! **bit-identical** to a single-threaded replay of the same per-session
+//! call sequence (the `concurrent_serving` differential suite enforces
+//! this). Only *globally shared counters* — virtual-clock cycles, EPC
+//! fault counts, boundary stats — depend on cross-shard interleaving.
+
+use std::sync::atomic::AtomicU64;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use twine_sgx::{Enclave, SimClock};
+use twine_wasi::FsBackend;
+use twine_wasm::Value;
+
+use crate::runtime::{RunReport, TwineBuilder, TwineError};
+
+/// Reply payload of an invoke command (report present iff requested).
+type InvokeReply = Result<(Option<RunReport>, Vec<Value>), TwineError>;
+use crate::service::{ModuleCache, SessionStats, SessionTemplate, TwineService};
+
+/// Per-shard serving counters, for load inspection and the `fig8_serving
+/// --threads` harness.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ShardStats {
+    /// Live sessions on this shard.
+    pub sessions: usize,
+    /// Invocations (including `run`s) served by this shard.
+    pub invocations: u64,
+    /// Nanoseconds this shard spent *processing* commands (excludes idle
+    /// waiting on its queue). On Linux this is the worker thread's actual
+    /// CPU time (`/proc/thread-self/schedstat`), so it stays accurate even
+    /// when the host has fewer cores than shards and the scheduler
+    /// time-slices them; elsewhere it falls back to wall-clock spent
+    /// inside command processing. On a machine with one core per shard,
+    /// `max(busy_ns)` across shards models the parallel makespan of the
+    /// served work — the modelled-scaling figure of `fig8_serving
+    /// --threads` (DESIGN.md §9).
+    pub busy_ns: u64,
+}
+
+/// This thread's cumulative on-CPU nanoseconds (Linux:
+/// `/proc/thread-self/schedstat`, first field; computed precisely at read
+/// time by the kernel). `None` where unavailable.
+fn thread_cpu_ns() -> Option<u64> {
+    let s = std::fs::read_to_string("/proc/thread-self/schedstat").ok()?;
+    s.split_whitespace().next()?.parse().ok()
+}
+
+/// One request to a shard worker. Every variant carries a reply channel:
+/// the public API is synchronous per caller, concurrency comes from many
+/// caller threads addressing disjoint shards.
+enum Cmd {
+    Open {
+        name: String,
+        wasm: Vec<u8>,
+        reply: Sender<Result<SessionStats, TwineError>>,
+    },
+    Invoke {
+        name: String,
+        func: String,
+        args: Vec<Value>,
+        want_report: bool,
+        reply: Sender<InvokeReply>,
+    },
+    InvokeBatch {
+        name: String,
+        func: String,
+        args_list: Vec<Vec<Value>>,
+        reply: Sender<Result<Vec<Vec<Value>>, TwineError>>,
+    },
+    Reset {
+        name: String,
+        reply: Sender<Result<(), TwineError>>,
+    },
+    SetFuel {
+        name: String,
+        fuel: Option<u64>,
+        reply: Sender<Result<(), TwineError>>,
+    },
+    Watermark {
+        name: String,
+        reply: Sender<Option<u64>>,
+    },
+    Close {
+        name: String,
+        reply: Sender<Option<Box<dyn FsBackend>>>,
+    },
+    Stats {
+        name: String,
+        reply: Sender<Option<SessionStats>>,
+    },
+    Module {
+        name: String,
+        reply: Sender<Option<Arc<twine_wasm::compile::CompiledModule>>>,
+    },
+    ShardStats {
+        reply: Sender<ShardStats>,
+    },
+}
+
+/// A multi-threaded, sharded Twine service: named sessions partitioned
+/// across worker threads by session-key hash, sharing one enclave, one
+/// linker and one module cache.
+///
+/// The handle is `Send + Sync`: any number of client threads may call it
+/// concurrently. Calls for the *same* session issued sequentially by one
+/// client keep single-threaded semantics exactly (see the module docs).
+///
+/// ```
+/// use twine_core::TwineBuilder;
+/// use twine_wasm::Value;
+///
+/// let wasm = twine_minicc::compile_to_bytes(
+///     "int double_it(int x) { return 2 * x; }").unwrap();
+/// let svc = TwineBuilder::new().build_sharded(4);
+/// svc.open_session("tenant-a", &wasm).unwrap();
+/// svc.open_session("tenant-b", &wasm).unwrap(); // compiled once, shared
+/// assert_eq!(svc.module_cache().len(), 1);
+/// let out = svc.invoke("tenant-a", "double_it", &[Value::I32(21)]).unwrap();
+/// assert_eq!(out[0], Value::I32(42));
+/// ```
+pub struct ShardedService {
+    shards: Vec<Sender<Cmd>>,
+    workers: Vec<JoinHandle<()>>,
+    enclave: Arc<Enclave>,
+    cache: Arc<ModuleCache>,
+}
+
+impl ShardedService {
+    pub(crate) fn from_builder(b: TwineBuilder, threads: usize) -> Self {
+        let threads = threads.max(1);
+        let enclave = b.launch_enclave();
+        let profiler = b
+            .with_profiler
+            .then(|| twine_pfs::PfsProfiler::new(enclave.clock().clone()));
+        let linker = Arc::new(crate::runtime::base_linker());
+        let cache = Arc::new(ModuleCache::new(b.exec_tier));
+        let epc_slots = Arc::new(AtomicU64::new(0));
+        let tpl = SessionTemplate::from_builder(&b);
+
+        let mut shards = Vec::with_capacity(threads);
+        let mut workers = Vec::with_capacity(threads);
+        for i in 0..threads {
+            let (tx, rx) = channel();
+            let shard = TwineService::shard(
+                Arc::clone(&enclave),
+                b.processor.clone(),
+                Arc::clone(&linker),
+                Arc::clone(&cache),
+                Arc::clone(&epc_slots),
+                tpl.clone(),
+                profiler.clone(),
+            );
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("twine-shard-{i}"))
+                    .spawn(move || shard_main(shard, &rx))
+                    .expect("spawn shard worker"),
+            );
+            shards.push(tx);
+        }
+        Self {
+            shards,
+            workers,
+            enclave,
+            cache,
+        }
+    }
+
+    /// Number of shards (worker threads).
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard a session name routes to: a stable FNV-1a 64 hash of the
+    /// name, mod the shard count — independent of process, platform and
+    /// `HashMap` seeding, so placement (and thus per-shard load) is
+    /// reproducible.
+    #[must_use]
+    pub fn shard_of(&self, name: &str) -> usize {
+        (fnv1a(name.as_bytes()) % self.shards.len() as u64) as usize
+    }
+
+    /// The enclave hosting every shard's sessions.
+    #[must_use]
+    pub fn enclave(&self) -> &Arc<Enclave> {
+        &self.enclave
+    }
+
+    /// The shared virtual clock (all shards charge it).
+    #[must_use]
+    pub fn clock(&self) -> &SimClock {
+        self.enclave.clock()
+    }
+
+    /// The content-addressed module cache shared by all shards.
+    #[must_use]
+    pub fn module_cache(&self) -> &ModuleCache {
+        &self.cache
+    }
+
+    fn send<R>(&self, shard: usize, cmd: Cmd, rx: &Receiver<R>) -> Result<R, TwineError> {
+        self.shards[shard]
+            .send(cmd)
+            .map_err(|_| TwineError::Session("shard worker terminated".into()))?;
+        rx.recv()
+            .map_err(|_| TwineError::Session("shard worker terminated".into()))
+    }
+
+    /// Open a named session on the shard owning `name` (cold path). See
+    /// [`TwineService::open_session`].
+    pub fn open_session(&self, name: &str, wasm: &[u8]) -> Result<SessionStats, TwineError> {
+        let (reply, rx) = channel();
+        self.send(
+            self.shard_of(name),
+            Cmd::Open {
+                name: name.to_string(),
+                wasm: wasm.to_vec(),
+                reply,
+            },
+            &rx,
+        )?
+    }
+
+    /// Invoke an exported function on a session (warm path). See
+    /// [`TwineService::invoke`].
+    pub fn invoke(
+        &self,
+        session: &str,
+        func: &str,
+        args: &[Value],
+    ) -> Result<Vec<Value>, TwineError> {
+        self.invoke_inner(session, func, args, false)
+            .map(|(_, values)| values)
+    }
+
+    /// [`invoke`](Self::invoke), also returning the per-invocation
+    /// [`RunReport`].
+    pub fn invoke_with_report(
+        &self,
+        session: &str,
+        func: &str,
+        args: &[Value],
+    ) -> Result<(RunReport, Vec<Value>), TwineError> {
+        self.invoke_inner(session, func, args, true)
+            .map(|(report, values)| (report.expect("report requested"), values))
+    }
+
+    /// Invoke the same export several times in one shard round trip — the
+    /// pipelined warm path. A batch is processed in order on the session's
+    /// shard (semantically identical to that many sequential
+    /// [`invoke`](Self::invoke)s), but pays the cross-thread hand-off once
+    /// per batch instead of once per call; high-throughput clients use this
+    /// to amortise queueing exactly as Twine's single-ECALL design
+    /// amortises the enclave boundary. Returns each call's results, in
+    /// order; the first trap aborts the remainder of the batch.
+    pub fn invoke_batch(
+        &self,
+        session: &str,
+        func: &str,
+        args_list: Vec<Vec<Value>>,
+    ) -> Result<Vec<Vec<Value>>, TwineError> {
+        let (reply, rx) = channel();
+        self.send(
+            self.shard_of(session),
+            Cmd::InvokeBatch {
+                name: session.to_string(),
+                func: func.to_string(),
+                args_list,
+                reply,
+            },
+            &rx,
+        )?
+    }
+
+    /// Run a session's WASI `_start` export.
+    pub fn run(&self, session: &str) -> Result<RunReport, TwineError> {
+        self.invoke_inner(session, "_start", &[], true)
+            .map(|(report, _)| report.expect("report requested"))
+    }
+
+    fn invoke_inner(
+        &self,
+        session: &str,
+        func: &str,
+        args: &[Value],
+        want_report: bool,
+    ) -> InvokeReply {
+        let (reply, rx) = channel();
+        self.send(
+            self.shard_of(session),
+            Cmd::Invoke {
+                name: session.to_string(),
+                func: func.to_string(),
+                args: args.to_vec(),
+                want_report,
+                reply,
+            },
+            &rx,
+        )?
+    }
+
+    /// Recycle a session to its post-instantiation state. See
+    /// [`TwineService::reset_session`].
+    pub fn reset_session(&self, name: &str) -> Result<(), TwineError> {
+        let (reply, rx) = channel();
+        self.send(
+            self.shard_of(name),
+            Cmd::Reset {
+                name: name.to_string(),
+                reply,
+            },
+            &rx,
+        )?
+    }
+
+    /// Override one session's per-invocation fuel budget.
+    pub fn set_session_fuel(&self, name: &str, fuel: Option<u64>) -> Result<(), TwineError> {
+        let (reply, rx) = channel();
+        self.send(
+            self.shard_of(name),
+            Cmd::SetFuel {
+                name: name.to_string(),
+                fuel,
+                reply,
+            },
+            &rx,
+        )?
+    }
+
+    /// The trusted-clock watermark of a session.
+    #[must_use]
+    pub fn session_clock_watermark(&self, name: &str) -> Option<u64> {
+        let (reply, rx) = channel();
+        self.send(
+            self.shard_of(name),
+            Cmd::Watermark {
+                name: name.to_string(),
+                reply,
+            },
+            &rx,
+        )
+        .ok()
+        .flatten()
+    }
+
+    /// The compiled module backing a session. Pointer-identical across
+    /// every session (on every shard) opened over the same Wasm bytes —
+    /// the compile-once contract the `compile_race` suite asserts.
+    #[must_use]
+    pub fn session_module(
+        &self,
+        name: &str,
+    ) -> Option<Arc<twine_wasm::compile::CompiledModule>> {
+        let (reply, rx) = channel();
+        self.send(
+            self.shard_of(name),
+            Cmd::Module {
+                name: name.to_string(),
+                reply,
+            },
+            &rx,
+        )
+        .ok()
+        .flatten()
+    }
+
+    /// Bookkeeping for one session.
+    #[must_use]
+    pub fn session_stats(&self, name: &str) -> Option<SessionStats> {
+        let (reply, rx) = channel();
+        self.send(
+            self.shard_of(name),
+            Cmd::Stats {
+                name: name.to_string(),
+                reply,
+            },
+            &rx,
+        )
+        .ok()
+        .flatten()
+    }
+
+    /// Close a session, returning its file-system backend (the per-session
+    /// state is `Send`, so it crosses back from the worker thread).
+    ///
+    /// `Ok(None)` means no session of that name exists; `Err` means the
+    /// owning shard worker has terminated — distinguished so an embedder
+    /// persisting a tenant's protected files on close cannot mistake a
+    /// dead shard for "nothing to save" and silently drop file state.
+    ///
+    /// # Errors
+    /// [`TwineError::Session`] if the shard worker is gone.
+    pub fn close_session(
+        &self,
+        name: &str,
+    ) -> Result<Option<Box<dyn FsBackend>>, TwineError> {
+        let (reply, rx) = channel();
+        self.send(
+            self.shard_of(name),
+            Cmd::Close {
+                name: name.to_string(),
+                reply,
+            },
+            &rx,
+        )
+    }
+
+    /// Live sessions across all shards.
+    #[must_use]
+    pub fn session_count(&self) -> usize {
+        self.shard_stats().iter().map(|s| s.sessions).sum()
+    }
+
+    /// Per-shard serving counters (indexed by shard).
+    #[must_use]
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        self.shards
+            .iter()
+            .map(|tx| {
+                let (reply, rx) = channel();
+                if tx.send(Cmd::ShardStats { reply }).is_err() {
+                    return ShardStats::default();
+                }
+                rx.recv().unwrap_or_default()
+            })
+            .collect()
+    }
+}
+
+impl Drop for ShardedService {
+    fn drop(&mut self) {
+        // Closing the command channels ends each worker's recv loop; join
+        // so sessions (and their protected files) are dropped before the
+        // enclave handle goes away.
+        self.shards.clear();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Stable 64-bit FNV-1a.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The worker loop: single owner of this shard's sessions. Processes its
+/// queue in FIFO order until every handle to the service is dropped.
+fn shard_main(mut shard: TwineService, rx: &Receiver<Cmd>) {
+    let mut invocations = 0u64;
+    // Wall-clock fallback accumulator; superseded by thread CPU time when
+    // the platform provides it (see `ShardStats::busy_ns`).
+    let mut wall_busy_ns = 0u64;
+    let cpu0 = thread_cpu_ns();
+    while let Ok(cmd) = rx.recv() {
+        let t0 = Instant::now();
+        match cmd {
+            Cmd::Open { name, wasm, reply } => {
+                let r = shard.open_session(&name, &wasm).cloned();
+                let _ = reply.send(r);
+            }
+            Cmd::Invoke {
+                name,
+                func,
+                args,
+                want_report,
+                reply,
+            } => {
+                invocations += 1;
+                let r = if want_report {
+                    shard
+                        .invoke_with_report(&name, &func, &args)
+                        .map(|(report, values)| (Some(report), values))
+                } else {
+                    shard.invoke(&name, &func, &args).map(|values| (None, values))
+                };
+                let _ = reply.send(r);
+            }
+            Cmd::InvokeBatch {
+                name,
+                func,
+                args_list,
+                reply,
+            } => {
+                let mut run = || -> Result<Vec<Vec<Value>>, TwineError> {
+                    let mut out = Vec::with_capacity(args_list.len());
+                    for args in &args_list {
+                        invocations += 1;
+                        out.push(shard.invoke(&name, &func, args)?);
+                    }
+                    Ok(out)
+                };
+                let _ = reply.send(run());
+            }
+            Cmd::Reset { name, reply } => {
+                let _ = reply.send(shard.reset_session(&name));
+            }
+            Cmd::SetFuel { name, fuel, reply } => {
+                let _ = reply.send(shard.set_session_fuel(&name, fuel));
+            }
+            Cmd::Watermark { name, reply } => {
+                let _ = reply.send(shard.session_clock_watermark(&name));
+            }
+            Cmd::Close { name, reply } => {
+                let _ = reply.send(shard.close_session(&name));
+            }
+            Cmd::Stats { name, reply } => {
+                let _ = reply.send(shard.session_stats(&name).cloned());
+            }
+            Cmd::Module { name, reply } => {
+                let _ = reply.send(shard.session_module(&name).map(Arc::clone));
+            }
+            Cmd::ShardStats { reply } => {
+                let busy_ns = cpu0
+                    .and_then(|c0| Some(thread_cpu_ns()? - c0))
+                    .unwrap_or(wall_busy_ns);
+                let _ = reply.send(ShardStats {
+                    sessions: shard.session_count(),
+                    invocations,
+                    busy_ns,
+                });
+            }
+        }
+        wall_busy_ns += t0.elapsed().as_nanos() as u64;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_is_stable() {
+        // Pinned values: shard placement must never change across builds.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"tenant-0"), fnv1a(b"tenant-0"));
+        assert_ne!(fnv1a(b"tenant-0"), fnv1a(b"tenant-1"));
+    }
+
+    #[test]
+    fn routing_is_deterministic_and_total() {
+        let svc = TwineBuilder::new().build_sharded(4);
+        for name in ["a", "b", "session-42", "zzz"] {
+            let s = svc.shard_of(name);
+            assert!(s < 4);
+            assert_eq!(s, svc.shard_of(name));
+        }
+    }
+
+    #[test]
+    fn unknown_session_errors() {
+        let svc = TwineBuilder::new().build_sharded(2);
+        assert!(matches!(
+            svc.invoke("ghost", "f", &[]),
+            Err(TwineError::Session(_))
+        ));
+        assert!(svc.session_stats("ghost").is_none());
+        assert!(svc.close_session("ghost").expect("shard alive").is_none());
+    }
+}

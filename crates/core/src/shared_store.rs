@@ -1,14 +1,15 @@
 //! Shared, reference-counted untrusted storage so protected files persist
 //! across open/close cycles within one runtime.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use twine_pfs::{MemStorage, PfsError, UntrustedStorage, NODE_SIZE};
 
-/// A clonable handle to one file's untrusted node array.
+/// A clonable handle to one file's untrusted node array. `Arc<Mutex<…>>`
+/// so a session's protected files are `Send` — the sharded service moves
+/// per-session backends onto worker threads and hands them back on close.
 #[derive(Clone, Default)]
-pub struct SharedStorage(Rc<RefCell<MemStorage>>);
+pub struct SharedStorage(Arc<Mutex<MemStorage>>);
 
 impl SharedStorage {
     /// Fresh empty storage.
@@ -20,30 +21,30 @@ impl SharedStorage {
     /// Ciphertext bytes currently held (Table IIIb disk-footprint metric).
     #[must_use]
     pub fn stored_bytes(&self) -> u64 {
-        self.0.borrow().stored_bytes()
+        self.0.lock().unwrap().stored_bytes()
     }
 
     /// Borrow the inner storage (tamper tests).
     pub fn with_inner<R>(&self, f: impl FnOnce(&mut MemStorage) -> R) -> R {
-        f(&mut self.0.borrow_mut())
+        f(&mut self.0.lock().unwrap())
     }
 }
 
 impl UntrustedStorage for SharedStorage {
     fn read_node(&mut self, idx: u64, buf: &mut [u8; NODE_SIZE]) -> Result<bool, PfsError> {
-        self.0.borrow_mut().read_node(idx, buf)
+        self.0.lock().unwrap().read_node(idx, buf)
     }
 
     fn write_node(&mut self, idx: u64, buf: &[u8; NODE_SIZE]) -> Result<(), PfsError> {
-        self.0.borrow_mut().write_node(idx, buf)
+        self.0.lock().unwrap().write_node(idx, buf)
     }
 
     fn node_count(&self) -> u64 {
-        self.0.borrow().node_count()
+        self.0.lock().unwrap().node_count()
     }
 
     fn truncate(&mut self, nodes: u64) -> Result<(), PfsError> {
-        self.0.borrow_mut().truncate(nodes)
+        self.0.lock().unwrap().truncate(nodes)
     }
 }
 

@@ -1,0 +1,185 @@
+//! Compile-once under contention (ISSUE 5 satellite): many threads
+//! concurrently opening sessions over identical Wasm bytes must compile
+//! exactly once per (content hash, tier), and every session must share the
+//! **same** `Arc<CompiledModule>` (pointer equality) — including when the
+//! racers arrive mid-compile.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier};
+
+use twine_core::{ModuleCache, TwineBuilder};
+use twine_wasm::{ExecTier, Value};
+
+fn guest(src: &str) -> Vec<u8> {
+    twine_minicc::compile_to_bytes(src).expect("guest compiles")
+}
+
+/// All threads released by a barrier onto one cache: one compile, shared
+/// pointer. The barrier maximises the window in which late arrivals find
+/// the slot mid-compile and must block on it rather than compile again.
+#[test]
+fn barrier_race_compiles_once_per_key() {
+    let wasm = Arc::new(guest("int f(int x) { return x * x + 1; }"));
+    let cache = Arc::new(ModuleCache::new(ExecTier::default()));
+    let threads = 8;
+    let rounds = 8;
+    for round in 0..rounds {
+        let barrier = Arc::new(Barrier::new(threads));
+        let compiles = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let (wasm, cache, barrier, compiles) = (
+                    Arc::clone(&wasm),
+                    Arc::clone(&cache),
+                    Arc::clone(&barrier),
+                    Arc::clone(&compiles),
+                );
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    let (m, key, hit) = cache.get_or_compile(&wasm).expect("compiles");
+                    if !hit {
+                        compiles.fetch_add(1, Ordering::SeqCst);
+                    }
+                    (Arc::as_ptr(&m) as usize, key)
+                })
+            })
+            .collect();
+        let results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        let (first_ptr, first_key) = results[0];
+        for (ptr, key) in &results {
+            assert_eq!(*ptr, first_ptr, "all racers share one module pointer");
+            assert_eq!(*key, first_key, "content key is deterministic");
+        }
+        // Exactly one miss ever (round 0's winner); later rounds are all hits.
+        let expected_compiles = usize::from(round == 0);
+        assert_eq!(compiles.load(Ordering::SeqCst), expected_compiles);
+        assert_eq!(cache.len(), 1);
+    }
+    assert_eq!(cache.misses(), 1, "one compile across all rounds/threads");
+    assert_eq!(cache.hits(), (threads * rounds - 1) as u64);
+}
+
+/// Distinct modules racing concurrently: one compile each, no
+/// cross-contamination, and the map lock never serialises them into a
+/// wrong count.
+#[test]
+fn distinct_modules_compile_once_each() {
+    let cache = Arc::new(ModuleCache::new(ExecTier::default()));
+    let sources: Vec<Arc<Vec<u8>>> = (0..4)
+        .map(|i| Arc::new(guest(&format!("int f(int x) {{ return x + {i}; }}"))))
+        .collect();
+    let barrier = Arc::new(Barrier::new(4 * 4));
+    let handles: Vec<_> = (0..16)
+        .map(|i| {
+            let wasm = Arc::clone(&sources[i % 4]);
+            let cache = Arc::clone(&cache);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                let (m, key, _) = cache.get_or_compile(&wasm).expect("compiles");
+                (i % 4, Arc::as_ptr(&m) as usize, key)
+            })
+        })
+        .collect();
+    let results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    for want in 0..4usize {
+        let group: Vec<_> = results.iter().filter(|(g, _, _)| *g == want).collect();
+        assert_eq!(group.len(), 4);
+        assert!(
+            group.iter().all(|(_, p, k)| *p == group[0].1 && *k == group[0].2),
+            "group {want} shares one pointer"
+        );
+    }
+    assert_eq!(cache.len(), 4);
+    assert_eq!(cache.misses(), 4, "one compile per distinct module");
+    assert_eq!(cache.hits(), 12);
+}
+
+/// Tier domain separation survives concurrency: the same bytes under two
+/// tiers are two cache keys and two compiles.
+#[test]
+fn tiers_never_share_entries() {
+    let wasm = guest("int g(int x) { return 3 * x; }");
+    for tier in [ExecTier::Baseline, ExecTier::Fused, ExecTier::Reg] {
+        let cache = ModuleCache::new(tier);
+        let (_, key, _) = cache.get_or_compile(&wasm).unwrap();
+        assert_eq!(key, ModuleCache::content_key(&wasm, tier));
+    }
+    assert_ne!(
+        ModuleCache::content_key(&wasm, ExecTier::Baseline),
+        ModuleCache::content_key(&wasm, ExecTier::Reg)
+    );
+}
+
+/// A compile failure is observed by every racer of that attempt but is
+/// *not* cached: the bytes can be fixed (here: retried as a valid module
+/// under the same cache) and a later open compiles fresh.
+#[test]
+fn failed_compiles_are_not_cached() {
+    let cache = Arc::new(ModuleCache::new(ExecTier::default()));
+    let junk = Arc::new(vec![0xde, 0xad, 0xbe, 0xef, 0x00, 0x01]);
+    let barrier = Arc::new(Barrier::new(4));
+    let handles: Vec<_> = (0..4)
+        .map(|_| {
+            let (junk, cache, barrier) =
+                (Arc::clone(&junk), Arc::clone(&cache), Arc::clone(&barrier));
+            std::thread::spawn(move || {
+                barrier.wait();
+                cache.get_or_compile(&junk).is_err()
+            })
+        })
+        .collect();
+    assert!(handles.into_iter().all(|h| h.join().unwrap()));
+    assert!(cache.is_empty(), "failures leave no entry behind");
+    // A failed compile is neither a hit nor a miss — waiters on the failed
+    // attempt were not "served without compiling".
+    assert_eq!(cache.hits(), 0);
+    assert_eq!(cache.misses(), 0);
+    // The same cache still compiles valid bytes afterwards.
+    let ok = guest("int h(int x) { return x - 1; }");
+    assert!(cache.get_or_compile(&ok).is_ok());
+    assert_eq!(cache.len(), 1);
+    assert_eq!(cache.misses(), 1);
+}
+
+/// End-to-end through the sharded service: sessions opened from many
+/// client threads across many shards all share one pointer-identical
+/// compiled module, with exactly one compile.
+#[test]
+fn sharded_sessions_share_one_module() {
+    let wasm = Arc::new(guest("int serve(int x) { return x + 41; }"));
+    let svc = Arc::new(TwineBuilder::new().build_sharded(4));
+    let barrier = Arc::new(Barrier::new(8));
+    let handles: Vec<_> = (0..8)
+        .map(|t| {
+            let (wasm, svc, barrier) =
+                (Arc::clone(&wasm), Arc::clone(&svc), Arc::clone(&barrier));
+            std::thread::spawn(move || {
+                barrier.wait();
+                for s in 0..4 {
+                    let name = format!("tenant-{t}-{s}");
+                    svc.open_session(&name, &wasm).expect("open");
+                    let out = svc.invoke(&name, "serve", &[Value::I32(1)]).expect("call");
+                    assert_eq!(out[0], Value::I32(42));
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(svc.session_count(), 32);
+    assert_eq!(svc.module_cache().len(), 1, "one compiled module");
+    assert_eq!(svc.module_cache().misses(), 1, "compiled exactly once");
+    assert_eq!(svc.module_cache().hits(), 31);
+    let first = svc.session_module("tenant-0-0").expect("module");
+    for t in 0..8 {
+        for s in 0..4 {
+            let m = svc.session_module(&format!("tenant-{t}-{s}")).unwrap();
+            assert!(
+                Arc::ptr_eq(&first, &m),
+                "every session shares the cache's Arc"
+            );
+        }
+    }
+}

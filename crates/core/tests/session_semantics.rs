@@ -269,11 +269,11 @@ fn cache_eviction_reclaims_orphaned_modules() {
     assert_eq!(svc.module_cache().len(), 2);
 
     // While sessions are alive, nothing is evictable.
-    assert_eq!(svc.module_cache_mut().evict_unreferenced(), 0);
+    assert_eq!(svc.module_cache().evict_unreferenced(), 0);
 
     svc.close_session("b");
     assert_eq!(svc.module_cache().len(), 2, "close keeps the cache warm");
-    assert_eq!(svc.module_cache_mut().evict_unreferenced(), 1);
+    assert_eq!(svc.module_cache().evict_unreferenced(), 1);
     assert_eq!(svc.module_cache().len(), 1, "orphaned module reclaimed");
 
     // The survivor still serves new sessions from cache.

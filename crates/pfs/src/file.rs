@@ -1,6 +1,6 @@
 //! `SgxFile`: the protected-file handle (the `sgx_fopen` family analogue).
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use twine_crypto::gcm::AesGcm;
 use twine_sgx::Enclave;
@@ -30,8 +30,10 @@ pub struct PfsOptions {
     pub mode: PfsMode,
     /// Node-cache capacity.
     pub cache_nodes: usize,
-    /// Enclave whose boundary (and clock) the file I/O crosses.
-    pub enclave: Option<Rc<Enclave>>,
+    /// Enclave whose boundary (and clock) the file I/O crosses. `Arc` so a
+    /// protected file — session state — can live on any worker thread of a
+    /// multi-threaded service while sharing the one enclave.
+    pub enclave: Option<Arc<Enclave>>,
     /// Optional §V-F profiler.
     pub profiler: Option<PfsProfiler>,
 }
@@ -777,7 +779,7 @@ mod tests {
     #[test]
     fn ocall_costs_charged_with_enclave() {
         use twine_sgx::{EnclaveBuilder, Processor};
-        let enclave = Rc::new(EnclaveBuilder::new(b"pfs test").build(&Processor::new(1)));
+        let enclave = Arc::new(EnclaveBuilder::new(b"pfs test").build(&Processor::new(1)));
         let clock = enclave.clock().clone();
         let before = clock.cycles();
         let o = PfsOptions {

@@ -5,8 +5,7 @@
 //! operations, cryptography) and each is timed. The Figure 7 harness reads
 //! the per-category totals from here.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use twine_sgx::SimClock;
@@ -76,9 +75,12 @@ struct Inner {
 /// AES-NI, while `memset` of enclave pages is *more* expensive on real SGX
 /// (every write goes through the memory-encryption engine). The raw
 /// (unweighted) measurements stay available through [`Self::raw_snapshot`].
+/// Thread-safe (`Arc<Mutex<…>>`): one profiler can be shared by every shard
+/// of a multi-threaded service; per-category totals are exact under
+/// concurrent attribution.
 #[derive(Clone)]
 pub struct PfsProfiler {
-    inner: Rc<RefCell<Inner>>,
+    inner: Arc<Mutex<Inner>>,
 }
 
 impl PfsProfiler {
@@ -93,7 +95,7 @@ impl PfsProfiler {
     #[must_use]
     pub fn with_weights(clock: SimClock, weights: [f64; NUM_CATEGORIES]) -> Self {
         Self {
-            inner: Rc::new(RefCell::new(Inner {
+            inner: Arc::new(Mutex::new(Inner {
                 snapshot: ProfSnapshot::default(),
                 raw: ProfSnapshot::default(),
                 clock,
@@ -120,7 +122,7 @@ impl PfsProfiler {
         let r = f();
         let d = start.elapsed();
         let raw = (d.as_secs_f64() * twine_sgx::clock::CPU_HZ as f64) as u64;
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = self.inner.lock().unwrap();
         let weighted = (raw as f64 * inner.weights[cat as usize]) as u64;
         inner.raw.cycles[cat as usize] += raw;
         inner.snapshot.cycles[cat as usize] += weighted;
@@ -131,24 +133,24 @@ impl PfsProfiler {
     /// Attribute externally-known cycles (e.g. modelled OCALL costs) to a
     /// category without charging the clock again.
     pub fn attribute_cycles(&self, cat: PfsCategory, cycles: u64) {
-        self.inner.borrow_mut().snapshot.cycles[cat as usize] += cycles;
+        self.inner.lock().unwrap().snapshot.cycles[cat as usize] += cycles;
     }
 
     /// Current totals (weighted cycles — what timing uses).
     #[must_use]
     pub fn snapshot(&self) -> ProfSnapshot {
-        self.inner.borrow().snapshot
+        self.inner.lock().unwrap().snapshot
     }
 
     /// Current raw (unweighted) real-time-derived cycles.
     #[must_use]
     pub fn raw_snapshot(&self) -> ProfSnapshot {
-        self.inner.borrow().raw
+        self.inner.lock().unwrap().raw
     }
 
     /// Reset counters.
     pub fn reset(&self) {
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = self.inner.lock().unwrap();
         inner.snapshot = ProfSnapshot::default();
         inner.raw = ProfSnapshot::default();
     }
@@ -156,7 +158,7 @@ impl PfsProfiler {
     /// The clock this profiler charges.
     #[must_use]
     pub fn clock(&self) -> SimClock {
-        self.inner.borrow().clock.clone()
+        self.inner.lock().unwrap().clock.clone()
     }
 }
 

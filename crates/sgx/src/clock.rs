@@ -6,16 +6,20 @@
 //! paper's testbed CPU (Xeon E3-1275 v6 @ 3.8 GHz, §V-A). Real measured
 //! compute can be folded in with [`SimClock::add_duration`].
 
-use std::cell::Cell;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Reference CPU frequency (cycles per second) used to convert cycles into
 /// virtual wall-clock time. Matches the paper's 3.8 GHz Xeon E3-1275 v6.
 pub const CPU_HZ: u64 = 3_800_000_000;
 
-/// A shareable virtual-cycle counter (single-threaded interior mutability —
-/// the benchmark harness is single-threaded by design for determinism).
+/// A shareable virtual-cycle counter. The counter is a relaxed
+/// [`AtomicU64`], so clones may be charged from any thread (the sharded
+/// service's workers all feed one enclave clock); single-threaded runs stay
+/// exactly as deterministic as the old `Cell` implementation, while
+/// multi-threaded totals are exact (charges never lost) even though the
+/// *interleaving* of charges is scheduling-dependent.
 ///
 /// `SimClock` is the spine of the virtual-time methodology (DESIGN.md §4,
 /// paper §V-A): every simulated SGX event — enclave transitions, EPC
@@ -26,7 +30,7 @@ pub const CPU_HZ: u64 = 3_800_000_000;
 /// these counts bit-identical.
 #[derive(Clone, Default)]
 pub struct SimClock {
-    cycles: Rc<Cell<u64>>,
+    cycles: Arc<AtomicU64>,
 }
 
 impl SimClock {
@@ -39,7 +43,7 @@ impl SimClock {
     /// Charge `n` cycles.
     #[inline]
     pub fn add_cycles(&self, n: u64) {
-        self.cycles.set(self.cycles.get().wrapping_add(n));
+        self.cycles.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Fold a real measured duration into the virtual clock (converted at
@@ -58,24 +62,24 @@ impl SimClock {
     /// Total cycles charged.
     #[must_use]
     pub fn cycles(&self) -> u64 {
-        self.cycles.get()
+        self.cycles.load(Ordering::Relaxed)
     }
 
     /// Virtual elapsed time.
     #[must_use]
     pub fn elapsed(&self) -> Duration {
-        Duration::from_secs_f64(self.cycles.get() as f64 / CPU_HZ as f64)
+        Duration::from_secs_f64(self.cycles() as f64 / CPU_HZ as f64)
     }
 
     /// Reset to zero.
     pub fn reset(&self) {
-        self.cycles.set(0);
+        self.cycles.store(0, Ordering::Relaxed);
     }
 
     /// Cycles elapsed since a previous reading.
     #[must_use]
     pub fn cycles_since(&self, mark: u64) -> u64 {
-        self.cycles.get().wrapping_sub(mark)
+        self.cycles().wrapping_sub(mark)
     }
 }
 

@@ -1,7 +1,7 @@
 //! Enclave lifecycle, boundary crossings, and the per-enclave key facade.
 
-use std::cell::{Cell, RefCell};
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use twine_crypto::kdf::KeyName;
 use twine_crypto::sha256::Sha256;
@@ -33,6 +33,16 @@ pub struct EnclaveStats {
     pub ocalls: u64,
     /// Bytes copied across the boundary by edge routines.
     pub boundary_bytes: u64,
+}
+
+/// Shared interior of the boundary counters: plain relaxed atomics so any
+/// thread (any shard of a multi-threaded service) can cross the boundary
+/// without locking — counts are exact, interleaving is not observable.
+#[derive(Default)]
+struct BoundaryCounters {
+    ecalls: AtomicU64,
+    ocalls: AtomicU64,
+    boundary_bytes: AtomicU64,
 }
 
 /// Builder for [`Enclave`].
@@ -114,22 +124,27 @@ impl EnclaveBuilder {
             size_bytes: total_bytes,
             clock: self.clock,
             epc: EpcHandle::new(epc),
-            stats: Rc::new(RefCell::new(EnclaveStats::default())),
-            seal_counter: Rc::new(Cell::new(0)),
+            stats: Arc::new(BoundaryCounters::default()),
+            seal_counter: Arc::new(AtomicU64::new(0)),
             processor: processor.clone(),
         }
     }
 }
 
 /// A simulated enclave instance.
+///
+/// `Send + Sync`: every piece of shared mutable state (the virtual clock,
+/// EPC residency, boundary counters, seal counter) is atomic or
+/// lock-protected, so one enclave can host sessions served from many
+/// threads — the foundation of `twine-core`'s sharded service.
 pub struct Enclave {
     measurement: [u8; 32],
     mode: SgxMode,
     size_bytes: u64,
     clock: SimClock,
     epc: EpcHandle,
-    stats: Rc<RefCell<EnclaveStats>>,
-    seal_counter: Rc<Cell<u64>>,
+    stats: Arc<BoundaryCounters>,
+    seal_counter: Arc<AtomicU64>,
     processor: Processor,
 }
 
@@ -167,7 +182,11 @@ impl Enclave {
     /// Boundary statistics.
     #[must_use]
     pub fn stats(&self) -> EnclaveStats {
-        *self.stats.borrow()
+        EnclaveStats {
+            ecalls: self.stats.ecalls.load(Ordering::Relaxed),
+            ocalls: self.stats.ocalls.load(Ordering::Relaxed),
+            boundary_bytes: self.stats.boundary_bytes.load(Ordering::Relaxed),
+        }
     }
 
     /// The processor hosting this enclave.
@@ -186,7 +205,7 @@ impl Enclave {
     /// Enter the enclave, run `f`, and leave (one ECALL round trip).
     pub fn ecall<R>(&self, f: impl FnOnce() -> R) -> R {
         self.clock.add_cycles(self.transition_cycles());
-        self.stats.borrow_mut().ecalls += 1;
+        self.stats.ecalls.fetch_add(1, Ordering::Relaxed);
         let r = f();
         self.clock.add_cycles(self.transition_cycles());
         r
@@ -209,11 +228,10 @@ impl Enclave {
     /// the paper profiles in §V-F (75.9% of read time before optimisation).
     pub fn ocall<R>(&self, copied_bytes: u64, f: impl FnOnce() -> R) -> R {
         self.clock.add_cycles(self.transition_cycles());
-        {
-            let mut s = self.stats.borrow_mut();
-            s.ocalls += 1;
-            s.boundary_bytes += copied_bytes;
-        }
+        self.stats.ocalls.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .boundary_bytes
+            .fetch_add(copied_bytes, Ordering::Relaxed);
         // Edge routine copy: ~0.12 cycles/byte amortised (rep movsb-ish) plus
         // the checking the edger8r code performs.
         if self.mode == SgxMode::Hardware {
@@ -235,8 +253,10 @@ impl Enclave {
     #[must_use]
     pub fn seal(&self, plaintext: &[u8]) -> Vec<u8> {
         let key = self.get_key(KeyName::Seal, b"seal-v1");
-        let n = self.seal_counter.get();
-        self.seal_counter.set(n + 1);
+        // fetch_add hands every concurrent sealer a unique, never-reused
+        // nonce counter — the property the old `Cell` only gave a single
+        // thread.
+        let n = self.seal_counter.fetch_add(1, Ordering::Relaxed);
         seal::seal(&key, n, &self.measurement, plaintext)
     }
 

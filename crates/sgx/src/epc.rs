@@ -10,9 +10,8 @@
 //! cache touches, allocator growth), and charges swap cycle costs to the
 //! enclave's [`SimClock`].
 
-use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use crate::clock::SimClock;
 use crate::costs;
@@ -199,53 +198,62 @@ impl Epc {
     }
 }
 
-/// Shared handle to an EPC simulation (single-threaded).
+/// Shared handle to an EPC simulation. The LRU state sits behind a
+/// [`Mutex`] so every shard of a multi-threaded service can feed page
+/// touches into the **one** physical EPC pool (residency is a global
+/// resource, exactly as on real hardware where all enclave threads contend
+/// for the same 93 MiB). The lock is only taken on page *transitions*, not
+/// on every guest memory access, so it is off the execution hot path.
 #[derive(Clone)]
-pub struct EpcHandle(Rc<RefCell<Epc>>);
+pub struct EpcHandle(Arc<Mutex<Epc>>);
 
 impl EpcHandle {
     /// Wrap an EPC.
     #[must_use]
     pub fn new(epc: Epc) -> Self {
-        Self(Rc::new(RefCell::new(epc)))
+        Self(Arc::new(Mutex::new(epc)))
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Epc> {
+        self.0.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     /// Record a page access.
     pub fn touch(&self, page: u64) {
-        self.0.borrow_mut().touch(page);
+        self.lock().touch(page);
     }
 
     /// Record a range access.
     pub fn touch_range(&self, first_page: u64, n_pages: u64) {
-        self.0.borrow_mut().touch_range(first_page, n_pages);
+        self.lock().touch_range(first_page, n_pages);
     }
 
     /// Counters snapshot.
     #[must_use]
     pub fn stats(&self) -> EpcStats {
-        self.0.borrow().stats()
+        self.lock().stats()
     }
 
     /// Reset counters.
     pub fn reset_stats(&self) {
-        self.0.borrow_mut().reset_stats();
+        self.lock().reset_stats();
     }
 
     /// Enable or disable charging (disabled in SGX simulation mode).
     pub fn set_enabled(&self, enabled: bool) {
-        self.0.borrow_mut().enabled = enabled;
+        self.lock().enabled = enabled;
     }
 
     /// Page budget.
     #[must_use]
     pub fn limit_pages(&self) -> usize {
-        self.0.borrow().limit_pages()
+        self.lock().limit_pages()
     }
 
     /// Resident pages.
     #[must_use]
     pub fn resident_pages(&self) -> usize {
-        self.0.borrow().resident_pages()
+        self.lock().resident_pages()
     }
 }
 

@@ -10,7 +10,11 @@ use crate::rights::Rights;
 
 /// An open file as seen by WASI (implemented over the protected FS in
 /// Twine's trusted layer, or over the host FS in the untrusted layer).
-pub trait WasiFile {
+///
+/// `Send` (like [`FsBackend`]) so a whole [`WasiCtx`] — and with it a
+/// persistent session — is `Send`: sessions of the sharded service live on
+/// worker threads and can be handed back to the embedder on close.
+pub trait WasiFile: Send {
     /// Read at the current position.
     fn read(&mut self, buf: &mut [u8]) -> WasiResult<usize>;
     /// Write at the current position (extending the file as needed).
@@ -37,7 +41,11 @@ pub trait WasiFile {
 /// OCALLs to the host), or nothing at all (the §IV-C compile-out flag).
 /// Paths handed to a backend are already normalised and sandbox-checked by
 /// [`WasiCtx`].
-pub trait FsBackend {
+///
+/// `Send` so per-session file state can move to (and between) the worker
+/// threads of a multi-threaded service; backends needing shared interior
+/// state use `Arc<Mutex<…>>` rather than `Rc<RefCell<…>>`.
+pub trait FsBackend: Send {
     /// Open (optionally create/truncate) a file.
     fn open(
         &mut self,
@@ -108,7 +116,7 @@ pub struct WasiCtx {
     pub stdout: Vec<u8>,
     /// Captured stderr bytes.
     pub stderr: Vec<u8>,
-    clock: Box<dyn FnMut() -> u64>,
+    clock: Box<dyn FnMut() -> u64 + Send>,
     rng: rand::rngs::StdRng,
     /// Set by `proc_exit`.
     pub exit_code: Option<u32>,
@@ -205,8 +213,9 @@ impl WasiCtx {
     }
 
     /// Replace the clock source (Twine's trusted layer installs an
-    /// OCALL-backed clock with a monotonicity guard, §IV-C).
-    pub fn set_clock(&mut self, clock: Box<dyn FnMut() -> u64>) {
+    /// OCALL-backed clock with a monotonicity guard, §IV-C). `Send` so the
+    /// context — session state — can live on a service worker thread.
+    pub fn set_clock(&mut self, clock: Box<dyn FnMut() -> u64 + Send>) {
         self.clock = clock;
     }
 
@@ -358,10 +367,12 @@ impl WasiCtx {
     }
 }
 
-/// A trivial in-memory backend (testing and examples).
+/// A trivial in-memory backend (testing and examples). File bodies are
+/// `Arc<Mutex<…>>` so open handles stay valid while the backend (and the
+/// session owning it) moves between threads.
 #[derive(Default)]
 pub struct MemBackend {
-    files: HashMap<String, std::rc::Rc<std::cell::RefCell<Vec<u8>>>>,
+    files: HashMap<String, std::sync::Arc<std::sync::Mutex<Vec<u8>>>>,
 }
 
 impl MemBackend {
@@ -374,18 +385,18 @@ impl MemBackend {
     /// Inspect a file's bytes (host side).
     #[must_use]
     pub fn contents(&self, path: &str) -> Option<Vec<u8>> {
-        self.files.get(path).map(|f| f.borrow().clone())
+        self.files.get(path).map(|f| f.lock().unwrap().clone())
     }
 }
 
 struct MemFile {
-    data: std::rc::Rc<std::cell::RefCell<Vec<u8>>>,
+    data: std::sync::Arc<std::sync::Mutex<Vec<u8>>>,
     pos: u64,
 }
 
 impl WasiFile for MemFile {
     fn read(&mut self, buf: &mut [u8]) -> WasiResult<usize> {
-        let data = self.data.borrow();
+        let data = self.data.lock().unwrap();
         let start = (self.pos as usize).min(data.len());
         let n = buf.len().min(data.len() - start);
         buf[..n].copy_from_slice(&data[start..start + n]);
@@ -394,7 +405,7 @@ impl WasiFile for MemFile {
     }
 
     fn write(&mut self, buf: &[u8]) -> WasiResult<usize> {
-        let mut data = self.data.borrow_mut();
+        let mut data = self.data.lock().unwrap();
         let end = self.pos as usize + buf.len();
         if data.len() < end {
             data.resize(end, 0);
@@ -414,11 +425,11 @@ impl WasiFile for MemFile {
     }
 
     fn size(&self) -> WasiResult<u64> {
-        Ok(self.data.borrow().len() as u64)
+        Ok(self.data.lock().unwrap().len() as u64)
     }
 
     fn set_size(&mut self, size: u64) -> WasiResult<()> {
-        self.data.borrow_mut().resize(size as usize, 0);
+        self.data.lock().unwrap().resize(size as usize, 0);
         Ok(())
     }
 
@@ -434,7 +445,7 @@ impl FsBackend for MemBackend {
             std::collections::hash_map::Entry::Occupied(e) => {
                 let d = e.get().clone();
                 if truncate {
-                    d.borrow_mut().clear();
+                    d.lock().unwrap().clear();
                 }
                 d
             }
@@ -442,7 +453,7 @@ impl FsBackend for MemBackend {
                 if !create {
                     return Err(Errno::Noent);
                 }
-                v.insert(std::rc::Rc::new(std::cell::RefCell::new(Vec::new())))
+                v.insert(std::sync::Arc::new(std::sync::Mutex::new(Vec::new())))
                     .clone()
             }
         };
@@ -456,7 +467,7 @@ impl FsBackend for MemBackend {
     fn filesize(&mut self, path: &str) -> WasiResult<u64> {
         self.files
             .get(path)
-            .map(|f| f.borrow().len() as u64)
+            .map(|f| f.lock().unwrap().len() as u64)
             .ok_or(Errno::Noent)
     }
 

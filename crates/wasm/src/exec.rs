@@ -73,7 +73,10 @@ impl std::error::Error for Trap {}
 
 /// Receives the stream of 4 KiB-page indices touched by guest memory
 /// accesses. The SGX simulator implements this to model EPC paging.
-pub trait PageSink {
+///
+/// `Send` so an [`Instance`] carrying a sink stays `Send` — sessions of a
+/// sharded service live on (and may migrate between) worker threads.
+pub trait PageSink: Send {
     /// Called when execution touches a page different from the previous one.
     fn touch(&mut self, page: u64);
 }
@@ -107,8 +110,13 @@ impl HostCtx<'_> {
 /// shared across many instances ([`Instance::instantiate_shared`]): each
 /// instance clones the `Arc`s instead of consuming the table. Host functions
 /// are therefore `Fn`, not `FnMut` — per-call mutable state belongs in the
-/// instance's host data (see [`HostCtx::state`]).
-pub type HostFn = Arc<dyn Fn(&mut HostCtx<'_>, &[Value]) -> Result<Vec<Value>, Trap>>;
+/// instance's host data (see [`HostCtx::state`]). They are additionally
+/// `Send + Sync`, so one linker can serve instances on **many threads**
+/// concurrently (the sharded service shares a single host-function table
+/// across all its workers); captured state must be immutable or
+/// thread-safe.
+pub type HostFn =
+    Arc<dyn Fn(&mut HostCtx<'_>, &[Value]) -> Result<Vec<Value>, Trap> + Send + Sync>;
 
 /// Resolves module imports to host functions.
 ///
@@ -133,7 +141,7 @@ impl Linker {
         module: &str,
         name: &str,
         ty: FuncType,
-        f: impl Fn(&mut HostCtx<'_>, &[Value]) -> Result<Vec<Value>, Trap> + 'static,
+        f: impl Fn(&mut HostCtx<'_>, &[Value]) -> Result<Vec<Value>, Trap> + Send + Sync + 'static,
     ) -> &mut Self {
         self.funcs
             .insert((module.to_string(), name.to_string()), (ty, Arc::new(f)));
@@ -243,7 +251,7 @@ pub struct Instance {
     globals: Vec<u64>,
     table: Vec<Option<u32>>,
     host_funcs: Vec<HostSlot>,
-    host_data: Box<dyn Any>,
+    host_data: Box<dyn Any + Send>,
     /// Retired-instruction meter (reset/read by the embedder).
     pub meter: Meter,
     /// Optional instruction budget; `None` = unlimited.
@@ -287,7 +295,7 @@ impl Instance {
     pub fn instantiate(
         code: Arc<CompiledModule>,
         linker: Linker,
-        host_data: Box<dyn Any>,
+        host_data: Box<dyn Any + Send>,
     ) -> Result<Self, ModuleError> {
         Self::instantiate_shared(code, &linker, host_data, None).map_err(|(e, _)| e)
     }
@@ -311,9 +319,9 @@ impl Instance {
     pub fn instantiate_shared(
         code: Arc<CompiledModule>,
         linker: &Linker,
-        host_data: Box<dyn Any>,
+        host_data: Box<dyn Any + Send>,
         fuel: Option<u64>,
-    ) -> Result<Self, (ModuleError, Box<dyn Any>)> {
+    ) -> Result<Self, (ModuleError, Box<dyn Any + Send>)> {
         macro_rules! fail {
             ($e:expr) => {
                 return Err(($e, host_data))

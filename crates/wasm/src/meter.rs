@@ -56,7 +56,11 @@ impl InstrClass {
 }
 
 /// Retired-instruction counters, one per class.
-#[derive(Debug, Clone, Default)]
+///
+/// `PartialEq`/`Eq` so differential suites can assert whole-meter
+/// bit-identity across execution tiers and across threaded vs
+/// single-threaded serving.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Meter {
     counts: [u64; NUM_CLASSES],
     /// Bytes moved by loads/stores/bulk ops (feeds memory-bandwidth models).

@@ -638,10 +638,10 @@ fn meter_counts_instructions() {
 
 #[test]
 fn page_sink_observes_strided_access() {
-    struct Recorder(std::rc::Rc<std::cell::RefCell<Vec<u64>>>);
+    struct Recorder(std::sync::Arc<std::sync::Mutex<Vec<u64>>>);
     impl twine_wasm::PageSink for Recorder {
         fn touch(&mut self, page: u64) {
-            self.0.borrow_mut().push(page);
+            self.0.lock().unwrap().push(page);
         }
     }
     let mut b = twine_wasm::ModuleBuilder::new();
@@ -664,10 +664,10 @@ fn page_sink_observes_strided_access() {
     );
     b.export_func("f", f);
     let mut inst = instantiate(b);
-    let pages = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+    let pages = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
     inst.set_page_sink(Some(Box::new(Recorder(pages.clone()))));
     inst.invoke("f", &[]).unwrap();
-    assert_eq!(&*pages.borrow(), &[0, 1, 2]);
+    assert_eq!(&*pages.lock().unwrap(), &[0, 1, 2]);
     assert_eq!(inst.meter.page_transitions, 3);
 }
 
