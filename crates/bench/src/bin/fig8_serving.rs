@@ -36,7 +36,7 @@
 //!     [--sessions 8] [--calls 32] [--threads 8]
 //! ```
 
-use std::sync::Arc;
+use std::sync::{Arc, Barrier};
 use std::time::Instant;
 
 use twine_bench::{arg_value, write_bench_json, write_csv};
@@ -82,6 +82,12 @@ struct ScalePoint {
     calls: usize,
 }
 
+impl ScalePoint {
+    fn throughput(&self) -> f64 {
+        self.calls as f64 / self.wall_s.max(1e-12)
+    }
+}
+
 /// Session names balanced across `threads` shards: at most
 /// `ceil(sessions / threads)` per shard (exact when `threads` divides
 /// `sessions`, as in the sweep), so the modelled makespan measures
@@ -110,44 +116,76 @@ fn balanced_names(svc: &ShardedService, sessions: usize, threads: usize) -> Vec<
 /// interleaving on each shard.
 const BATCH: usize = 8;
 
-/// Drive `calls` warm calls per session from one client thread per shard
-/// (pipelined in batches of [`BATCH`]); returns (wall seconds, modelled
-/// makespan ns).
+/// `calls` warm calls per session owned by one client (pipelined in
+/// batches of [`BATCH`]).
+fn client_calls(svc: &ShardedService, mine: &[String], calls: usize) {
+    let mut done = 0;
+    while done < calls {
+        let n = BATCH.min(calls - done);
+        for (k, name) in mine.iter().enumerate() {
+            let reqs: Vec<Vec<Value>> = (0..n)
+                .map(|c| vec![Value::I32(((done + c) * 7 + k) as i32)])
+                .collect();
+            let out = svc.invoke_batch(name, "handle", reqs).expect("warm batch");
+            assert_eq!(out.len(), n);
+        }
+        done += n;
+    }
+}
+
+/// Drive `calls` warm calls per session from one **persistent** client
+/// thread per shard; returns (wall seconds, modelled makespan ns).
+///
+/// The measured window is gated by barriers: clients are spawned and do
+/// their `warmup` calls per session *before* the window opens, then park
+/// on a start barrier; the clock runs from the barrier release until the
+/// last client reaches the finish barrier. PR 5's driver spawned and
+/// joined the client threads *inside* the timed window, so at high shard
+/// counts the wall figure measured thread setup and teardown as much as
+/// serving — one of the compounding causes of the flat wall-clock curve
+/// this sweep used to report (ROADMAP open item 1).
 fn drive_warm(
     svc: &Arc<ShardedService>,
     names: &[String],
+    warmup: usize,
     calls: usize,
 ) -> (f64, u64) {
-    let busy0: Vec<u64> = svc.shard_stats().iter().map(|s| s.busy_ns).collect();
-    let t0 = Instant::now();
-    let handles: Vec<_> = (0..svc.shard_count())
+    let threads = svc.shard_count();
+    let ready = Arc::new(Barrier::new(threads + 1));
+    let start = Arc::new(Barrier::new(threads + 1));
+    let finish = Arc::new(Barrier::new(threads + 1));
+    let handles: Vec<_> = (0..threads)
         .map(|shard| {
             let svc = Arc::clone(svc);
+            let (ready, start, finish) =
+                (Arc::clone(&ready), Arc::clone(&start), Arc::clone(&finish));
             let mine: Vec<String> = names
                 .iter()
                 .filter(|n| svc.shard_of(n) == shard)
                 .cloned()
                 .collect();
             std::thread::spawn(move || {
-                let mut done = 0;
-                while done < calls {
-                    let n = BATCH.min(calls - done);
-                    for (k, name) in mine.iter().enumerate() {
-                        let reqs: Vec<Vec<Value>> = (0..n)
-                            .map(|c| vec![Value::I32(((done + c) * 7 + k) as i32)])
-                            .collect();
-                        let out = svc.invoke_batch(name, "handle", reqs).expect("warm batch");
-                        assert_eq!(out.len(), n);
-                    }
-                    done += n;
-                }
+                client_calls(&svc, &mine, warmup);
+                ready.wait();
+                // Shards are idle here while the driver snapshots busy_ns.
+                start.wait();
+                client_calls(&svc, &mine, calls);
+                finish.wait();
             })
         })
         .collect();
+    ready.wait();
+    let busy0: Vec<u64> = svc.shard_stats().iter().map(|s| s.busy_ns).collect();
+    // The driver is the (threads + 1)-th barrier participant: the clock
+    // starts just before the release that unparks every client at once,
+    // and stops when the last client reaches the finish barrier.
+    let t0 = Instant::now();
+    start.wait();
+    finish.wait();
+    let wall_s = t0.elapsed().as_secs_f64();
     for h in handles {
         h.join().expect("client thread");
     }
-    let wall_s = t0.elapsed().as_secs_f64();
     let makespan_ns = svc
         .shard_stats()
         .iter()
@@ -330,8 +368,8 @@ fn main() {
         "\nthreads axis: {scale_sessions} sessions x {scale_calls} warm calls per point"
     );
     println!(
-        "{:<9} {:>12} {:>18} {:>20} {:>16}",
-        "threads", "wall (ms)", "makespan (ms)", "throughput (c/s)", "modelled scaling"
+        "{:<9} {:>12} {:>18} {:>20} {:>14} {:>16}",
+        "threads", "wall (ms)", "makespan (ms)", "throughput (c/s)", "wall scaling", "modelled scaling"
     );
     let mut points: Vec<ScalePoint> = Vec::new();
     for &threads in &sweep {
@@ -340,9 +378,9 @@ fn main() {
         for name in &names {
             sharded.open_session(name, &wasm).expect("open");
         }
-        // One warm-up pass so every instance's frame arena has grown.
-        let _ = drive_warm(&sharded, &names, 1);
-        let (wall_s, makespan_ns) = drive_warm(&sharded, &names, scale_calls);
+        // Two warm-up calls per session (before the timed window opens) so
+        // every instance's frame arena has grown and caches are hot.
+        let (wall_s, makespan_ns) = drive_warm(&sharded, &names, 2, scale_calls);
         points.push(ScalePoint {
             threads,
             wall_s,
@@ -351,15 +389,16 @@ fn main() {
         });
     }
     let base_makespan = points[0].makespan_ns.max(1);
+    let base_throughput = points[0].throughput().max(1e-12);
     for p in &points {
-        let scaling = base_makespan as f64 / p.makespan_ns.max(1) as f64;
         println!(
-            "{:<9} {:>12.2} {:>18.2} {:>20.0} {:>15.2}x",
+            "{:<9} {:>12.2} {:>18.2} {:>20.0} {:>13.2}x {:>15.2}x",
             p.threads,
             p.wall_s * 1e3,
             p.makespan_ns as f64 / 1e6,
-            p.calls as f64 / p.wall_s.max(1e-12),
-            scaling
+            p.throughput(),
+            p.throughput() / base_throughput,
+            base_makespan as f64 / p.makespan_ns.max(1) as f64,
         );
     }
 
@@ -370,19 +409,53 @@ fn main() {
 
     let max_point = points.last().expect("sweep non-empty");
     let max_scaling = base_makespan as f64 / max_point.makespan_ns.max(1) as f64;
-    // The scaling floor is only meaningful where busy_ns is real per-thread
-    // CPU time (Linux); the wall-clock fallback absorbs scheduler
-    // preemption once shards outnumber cores, which would fail the floor
-    // on a small non-Linux box even though serving is correct.
+    let max_wall_scaling = max_point.throughput() / base_throughput;
+    let host_cores = std::thread::available_parallelism().map_or(1, usize::from);
+
+    // Modelled-scaling floor: only meaningful where busy_ns is real
+    // per-thread CPU time (Linux); the wall-clock fallback absorbs
+    // scheduler preemption once shards outnumber cores, which would fail
+    // the floor on a small non-Linux box even though serving is correct.
     let cpu_time_accounting = std::path::Path::new("/proc/thread-self/schedstat").exists();
-    if max_point.threads >= 8 && cpu_time_accounting {
+    if !cpu_time_accounting {
+        println!(
+            "warning: no per-thread CPU-time accounting on this platform \
+             (/proc/thread-self/schedstat missing); busy_ns fell back to \
+             wall clock and the modelled-scaling floor was NOT asserted"
+        );
+    } else if max_point.threads >= 8 {
         assert!(
             max_scaling >= 3.0,
             "modelled warm-throughput scaling at {} threads is {max_scaling:.2}x (< 3x)",
             max_point.threads
         );
-    } else if !cpu_time_accounting {
-        println!("(no per-thread CPU-time accounting on this platform; scaling floor not asserted)");
+    }
+
+    // Measured wall-clock floor: only asserted when the host actually has
+    // a core per shard — on smaller machines the shards time-slice and
+    // wall throughput physically cannot scale, which is exactly the
+    // modelled-vs-measured distinction recorded in BENCH_fig8.json
+    // (DESIGN.md §9). `TWINE_WALL_SCALING_FLOOR` overrides the default
+    // floor of 4.0 (CI uses a conservative 2.5 to absorb runner noise).
+    let wall_floor: f64 = std::env::var("TWINE_WALL_SCALING_FLOOR")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4.0);
+    let wall_scaling_asserted = max_point.threads >= 8 && host_cores >= max_point.threads;
+    if wall_scaling_asserted {
+        assert!(
+            max_wall_scaling >= wall_floor,
+            "measured wall-clock scaling at {} threads is {max_wall_scaling:.2}x \
+             (< {wall_floor}x) on a {host_cores}-core host",
+            max_point.threads
+        );
+    } else if max_point.threads >= 8 {
+        println!(
+            "warning: host has {host_cores} core(s) for {} shards; measured \
+             wall-clock scaling ({max_wall_scaling:.2}x) NOT asserted — see \
+             modelled scaling ({max_scaling:.2}x) for the per-core figure",
+            max_point.threads
+        );
     }
 
     let mut rows = vec![
@@ -420,12 +493,14 @@ fn main() {
                     "    {{\"threads\": {}, \"wall_ms\": {:.3}, ",
                     "\"modelled_makespan_ms\": {:.3}, ",
                     "\"wall_throughput_calls_per_s\": {:.0}, ",
+                    "\"measured_wall_scaling_x\": {:.3}, ",
                     "\"modelled_scaling_x\": {:.3}}}"
                 ),
                 p.threads,
                 p.wall_s * 1e3,
                 p.makespan_ns as f64 / 1e6,
-                p.calls as f64 / p.wall_s.max(1e-12),
+                p.throughput(),
+                p.throughput() / base_throughput,
                 base_makespan as f64 / p.makespan_ns.max(1) as f64,
             )
         })
@@ -436,17 +511,23 @@ fn main() {
             concat!(
                 "{{\n  \"bench\": \"fig8_serving\",\n  \"exec_tier\": \"{}\",\n",
                 "  \"sessions\": {},\n  \"calls\": {},\n",
+                "  \"host_cores\": {},\n",
+                "  \"cpu_time_accounting\": {},\n",
                 "  \"cold\": {{\"mean_wall_us\": {:.3}, \"mean_cycles\": {:.0}}},\n",
                 "  \"warm\": {{\"mean_wall_us\": {:.3}, \"mean_cycles\": {:.0}}},\n",
                 "  \"warm_throughput_calls_per_s\": {:.0},\n",
                 "  \"threads_axis\": {{\n",
                 "    \"sessions\": {}, \"calls_per_session\": {},\n",
                 "    \"max_modelled_scaling_x\": {:.3},\n",
+                "    \"max_measured_wall_scaling_x\": {:.3},\n",
+                "    \"wall_scaling_asserted\": {},\n",
                 "    \"points\": [\n{}\n    ]\n  }}\n}}\n"
             ),
             ExecTier::default(),
             sessions,
             calls,
+            host_cores,
+            cpu_time_accounting,
             cold.mean_wall_us(),
             cold.mean_cycles(),
             warm.mean_wall_us(),
@@ -455,6 +536,8 @@ fn main() {
             scale_sessions,
             scale_calls,
             max_scaling,
+            max_wall_scaling,
+            wall_scaling_asserted,
             threads_json.join(",\n"),
         ),
     );

@@ -468,10 +468,10 @@ impl TwineService {
         };
         let slot = self.epc_slots.fetch_add(1, Ordering::Relaxed);
         let epc_base_page = (slot + 1) << 32;
-        instance.set_page_sink(Some(Box::new(EpcSink {
-            epc: self.enclave.epc(),
-            base_page: epc_base_page,
-        })));
+        instance.set_page_sink(Some(Box::new(EpcSink::new(
+            self.enclave.epc(),
+            epc_base_page,
+        ))));
         let snapshot = instance.snapshot();
         // Instantiation metering (start function, if any) is not part of any
         // invocation report: every invocation starts from a clean meter.

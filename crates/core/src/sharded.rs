@@ -68,56 +68,94 @@ fn thread_cpu_ns() -> Option<u64> {
     s.split_whitespace().next()?.parse().ok()
 }
 
-/// One request to a shard worker. Every variant carries a reply channel:
-/// the public API is synchronous per caller, concurrency comes from many
-/// caller threads addressing disjoint shards.
+/// One request to a shard worker. Every variant carries a reply sender of
+/// the **unified** [`Reply`] type: the public API is synchronous per
+/// caller, concurrency comes from many caller threads addressing disjoint
+/// shards.
+///
+/// Replies travel over a per-client-thread channel that is **reused
+/// across calls** (see [`with_reply_channel`]). PR 5 allocated a fresh
+/// mpsc channel pair per request; at serving rates that was two shared
+/// allocations and two atomics of channel setup per call, paid on every
+/// warm invocation from every client — measurable allocator and cache
+/// traffic once many shards ran hot (ROADMAP open item 1). A batch
+/// ([`Cmd::InvokeBatch`]) crosses the queue once in each direction for
+/// its whole run of calls.
 enum Cmd {
     Open {
         name: String,
         wasm: Vec<u8>,
-        reply: Sender<Result<SessionStats, TwineError>>,
+        reply: Sender<Reply>,
     },
     Invoke {
         name: String,
         func: String,
         args: Vec<Value>,
         want_report: bool,
-        reply: Sender<InvokeReply>,
+        reply: Sender<Reply>,
     },
     InvokeBatch {
         name: String,
         func: String,
         args_list: Vec<Vec<Value>>,
-        reply: Sender<Result<Vec<Vec<Value>>, TwineError>>,
+        reply: Sender<Reply>,
     },
     Reset {
         name: String,
-        reply: Sender<Result<(), TwineError>>,
+        reply: Sender<Reply>,
     },
     SetFuel {
         name: String,
         fuel: Option<u64>,
-        reply: Sender<Result<(), TwineError>>,
+        reply: Sender<Reply>,
     },
     Watermark {
         name: String,
-        reply: Sender<Option<u64>>,
+        reply: Sender<Reply>,
     },
     Close {
         name: String,
-        reply: Sender<Option<Box<dyn FsBackend>>>,
+        reply: Sender<Reply>,
     },
     Stats {
         name: String,
-        reply: Sender<Option<SessionStats>>,
+        reply: Sender<Reply>,
     },
     Module {
         name: String,
-        reply: Sender<Option<Arc<twine_wasm::compile::CompiledModule>>>,
+        reply: Sender<Reply>,
     },
     ShardStats {
-        reply: Sender<ShardStats>,
+        reply: Sender<Reply>,
     },
+}
+
+/// A shard worker's answer to one [`Cmd`] (variants mirror the commands).
+enum Reply {
+    Open(Result<SessionStats, TwineError>),
+    Invoke(InvokeReply),
+    InvokeBatch(Result<Vec<Vec<Value>>, TwineError>),
+    Unit(Result<(), TwineError>),
+    Watermark(Option<u64>),
+    Close(Option<Box<dyn FsBackend>>),
+    Stats(Option<SessionStats>),
+    Module(Option<Arc<twine_wasm::compile::CompiledModule>>),
+    ShardStats(ShardStats),
+}
+
+/// Run `f` with this thread's reusable reply channel. One channel pair per
+/// client thread for its lifetime, instead of one per call: requests are
+/// strictly sequential per thread (send → block on recv), so the channel
+/// is empty between calls. Stale replies can only exist if a previous call
+/// panicked between send and recv — drained defensively before reuse.
+fn with_reply_channel<R>(f: impl FnOnce(&Sender<Reply>, &Receiver<Reply>) -> R) -> R {
+    thread_local! {
+        static REPLY: (Sender<Reply>, Receiver<Reply>) = channel();
+    }
+    REPLY.with(|(tx, rx)| {
+        while rx.try_recv().is_ok() {}
+        f(tx, rx)
+    })
 }
 
 /// A multi-threaded, sharded Twine service: named sessions partitioned
@@ -222,27 +260,33 @@ impl ShardedService {
         &self.cache
     }
 
-    fn send<R>(&self, shard: usize, cmd: Cmd, rx: &Receiver<R>) -> Result<R, TwineError> {
-        self.shards[shard]
-            .send(cmd)
-            .map_err(|_| TwineError::Session("shard worker terminated".into()))?;
-        rx.recv()
-            .map_err(|_| TwineError::Session("shard worker terminated".into()))
+    /// Send one command to `shard` over this client thread's reusable
+    /// reply channel and wait for the worker's answer.
+    fn send(
+        &self,
+        shard: usize,
+        make: impl FnOnce(Sender<Reply>) -> Cmd,
+    ) -> Result<Reply, TwineError> {
+        with_reply_channel(|tx, rx| {
+            self.shards[shard]
+                .send(make(tx.clone()))
+                .map_err(|_| TwineError::Session("shard worker terminated".into()))?;
+            rx.recv()
+                .map_err(|_| TwineError::Session("shard worker terminated".into()))
+        })
     }
 
     /// Open a named session on the shard owning `name` (cold path). See
     /// [`TwineService::open_session`].
     pub fn open_session(&self, name: &str, wasm: &[u8]) -> Result<SessionStats, TwineError> {
-        let (reply, rx) = channel();
-        self.send(
-            self.shard_of(name),
-            Cmd::Open {
-                name: name.to_string(),
-                wasm: wasm.to_vec(),
-                reply,
-            },
-            &rx,
-        )?
+        match self.send(self.shard_of(name), |reply| Cmd::Open {
+            name: name.to_string(),
+            wasm: wasm.to_vec(),
+            reply,
+        })? {
+            Reply::Open(r) => r,
+            _ => unreachable!("shard protocol mismatch"),
+        }
     }
 
     /// Invoke an exported function on a session (warm path). See
@@ -283,17 +327,15 @@ impl ShardedService {
         func: &str,
         args_list: Vec<Vec<Value>>,
     ) -> Result<Vec<Vec<Value>>, TwineError> {
-        let (reply, rx) = channel();
-        self.send(
-            self.shard_of(session),
-            Cmd::InvokeBatch {
-                name: session.to_string(),
-                func: func.to_string(),
-                args_list,
-                reply,
-            },
-            &rx,
-        )?
+        match self.send(self.shard_of(session), |reply| Cmd::InvokeBatch {
+            name: session.to_string(),
+            func: func.to_string(),
+            args_list,
+            reply,
+        })? {
+            Reply::InvokeBatch(r) => r,
+            _ => unreachable!("shard protocol mismatch"),
+        }
     }
 
     /// Run a session's WASI `_start` export.
@@ -309,62 +351,53 @@ impl ShardedService {
         args: &[Value],
         want_report: bool,
     ) -> InvokeReply {
-        let (reply, rx) = channel();
-        self.send(
-            self.shard_of(session),
-            Cmd::Invoke {
-                name: session.to_string(),
-                func: func.to_string(),
-                args: args.to_vec(),
-                want_report,
-                reply,
-            },
-            &rx,
-        )?
+        match self.send(self.shard_of(session), |reply| Cmd::Invoke {
+            name: session.to_string(),
+            func: func.to_string(),
+            args: args.to_vec(),
+            want_report,
+            reply,
+        })? {
+            Reply::Invoke(r) => r,
+            _ => unreachable!("shard protocol mismatch"),
+        }
     }
 
     /// Recycle a session to its post-instantiation state. See
     /// [`TwineService::reset_session`].
     pub fn reset_session(&self, name: &str) -> Result<(), TwineError> {
-        let (reply, rx) = channel();
-        self.send(
-            self.shard_of(name),
-            Cmd::Reset {
-                name: name.to_string(),
-                reply,
-            },
-            &rx,
-        )?
+        match self.send(self.shard_of(name), |reply| Cmd::Reset {
+            name: name.to_string(),
+            reply,
+        })? {
+            Reply::Unit(r) => r,
+            _ => unreachable!("shard protocol mismatch"),
+        }
     }
 
     /// Override one session's per-invocation fuel budget.
     pub fn set_session_fuel(&self, name: &str, fuel: Option<u64>) -> Result<(), TwineError> {
-        let (reply, rx) = channel();
-        self.send(
-            self.shard_of(name),
-            Cmd::SetFuel {
-                name: name.to_string(),
-                fuel,
-                reply,
-            },
-            &rx,
-        )?
+        match self.send(self.shard_of(name), |reply| Cmd::SetFuel {
+            name: name.to_string(),
+            fuel,
+            reply,
+        })? {
+            Reply::Unit(r) => r,
+            _ => unreachable!("shard protocol mismatch"),
+        }
     }
 
     /// The trusted-clock watermark of a session.
     #[must_use]
     pub fn session_clock_watermark(&self, name: &str) -> Option<u64> {
-        let (reply, rx) = channel();
-        self.send(
-            self.shard_of(name),
-            Cmd::Watermark {
-                name: name.to_string(),
-                reply,
-            },
-            &rx,
-        )
-        .ok()
-        .flatten()
+        match self.send(self.shard_of(name), |reply| Cmd::Watermark {
+            name: name.to_string(),
+            reply,
+        }) {
+            Ok(Reply::Watermark(r)) => r,
+            Ok(_) => unreachable!("shard protocol mismatch"),
+            Err(_) => None,
+        }
     }
 
     /// The compiled module backing a session. Pointer-identical across
@@ -375,33 +408,27 @@ impl ShardedService {
         &self,
         name: &str,
     ) -> Option<Arc<twine_wasm::compile::CompiledModule>> {
-        let (reply, rx) = channel();
-        self.send(
-            self.shard_of(name),
-            Cmd::Module {
-                name: name.to_string(),
-                reply,
-            },
-            &rx,
-        )
-        .ok()
-        .flatten()
+        match self.send(self.shard_of(name), |reply| Cmd::Module {
+            name: name.to_string(),
+            reply,
+        }) {
+            Ok(Reply::Module(r)) => r,
+            Ok(_) => unreachable!("shard protocol mismatch"),
+            Err(_) => None,
+        }
     }
 
     /// Bookkeeping for one session.
     #[must_use]
     pub fn session_stats(&self, name: &str) -> Option<SessionStats> {
-        let (reply, rx) = channel();
-        self.send(
-            self.shard_of(name),
-            Cmd::Stats {
-                name: name.to_string(),
-                reply,
-            },
-            &rx,
-        )
-        .ok()
-        .flatten()
+        match self.send(self.shard_of(name), |reply| Cmd::Stats {
+            name: name.to_string(),
+            reply,
+        }) {
+            Ok(Reply::Stats(r)) => r,
+            Ok(_) => unreachable!("shard protocol mismatch"),
+            Err(_) => None,
+        }
     }
 
     /// Close a session, returning its file-system backend (the per-session
@@ -418,15 +445,13 @@ impl ShardedService {
         &self,
         name: &str,
     ) -> Result<Option<Box<dyn FsBackend>>, TwineError> {
-        let (reply, rx) = channel();
-        self.send(
-            self.shard_of(name),
-            Cmd::Close {
-                name: name.to_string(),
-                reply,
-            },
-            &rx,
-        )
+        match self.send(self.shard_of(name), |reply| Cmd::Close {
+            name: name.to_string(),
+            reply,
+        })? {
+            Reply::Close(r) => Ok(r),
+            _ => unreachable!("shard protocol mismatch"),
+        }
     }
 
     /// Live sessions across all shards.
@@ -438,15 +463,14 @@ impl ShardedService {
     /// Per-shard serving counters (indexed by shard).
     #[must_use]
     pub fn shard_stats(&self) -> Vec<ShardStats> {
-        self.shards
-            .iter()
-            .map(|tx| {
-                let (reply, rx) = channel();
-                if tx.send(Cmd::ShardStats { reply }).is_err() {
-                    return ShardStats::default();
-                }
-                rx.recv().unwrap_or_default()
-            })
+        (0..self.shards.len())
+            .map(
+                |i| match self.send(i, |reply| Cmd::ShardStats { reply }) {
+                    Ok(Reply::ShardStats(s)) => s,
+                    Ok(_) => unreachable!("shard protocol mismatch"),
+                    Err(_) => ShardStats::default(),
+                },
+            )
             .collect()
     }
 }
@@ -486,7 +510,7 @@ fn shard_main(mut shard: TwineService, rx: &Receiver<Cmd>) {
         match cmd {
             Cmd::Open { name, wasm, reply } => {
                 let r = shard.open_session(&name, &wasm).cloned();
-                let _ = reply.send(r);
+                let _ = reply.send(Reply::Open(r));
             }
             Cmd::Invoke {
                 name,
@@ -503,7 +527,7 @@ fn shard_main(mut shard: TwineService, rx: &Receiver<Cmd>) {
                 } else {
                     shard.invoke(&name, &func, &args).map(|values| (None, values))
                 };
-                let _ = reply.send(r);
+                let _ = reply.send(Reply::Invoke(r));
             }
             Cmd::InvokeBatch {
                 name,
@@ -519,35 +543,35 @@ fn shard_main(mut shard: TwineService, rx: &Receiver<Cmd>) {
                     }
                     Ok(out)
                 };
-                let _ = reply.send(run());
+                let _ = reply.send(Reply::InvokeBatch(run()));
             }
             Cmd::Reset { name, reply } => {
-                let _ = reply.send(shard.reset_session(&name));
+                let _ = reply.send(Reply::Unit(shard.reset_session(&name)));
             }
             Cmd::SetFuel { name, fuel, reply } => {
-                let _ = reply.send(shard.set_session_fuel(&name, fuel));
+                let _ = reply.send(Reply::Unit(shard.set_session_fuel(&name, fuel)));
             }
             Cmd::Watermark { name, reply } => {
-                let _ = reply.send(shard.session_clock_watermark(&name));
+                let _ = reply.send(Reply::Watermark(shard.session_clock_watermark(&name)));
             }
             Cmd::Close { name, reply } => {
-                let _ = reply.send(shard.close_session(&name));
+                let _ = reply.send(Reply::Close(shard.close_session(&name)));
             }
             Cmd::Stats { name, reply } => {
-                let _ = reply.send(shard.session_stats(&name).cloned());
+                let _ = reply.send(Reply::Stats(shard.session_stats(&name).cloned()));
             }
             Cmd::Module { name, reply } => {
-                let _ = reply.send(shard.session_module(&name).map(Arc::clone));
+                let _ = reply.send(Reply::Module(shard.session_module(&name).map(Arc::clone)));
             }
             Cmd::ShardStats { reply } => {
                 let busy_ns = cpu0
                     .and_then(|c0| Some(thread_cpu_ns()? - c0))
                     .unwrap_or(wall_busy_ns);
-                let _ = reply.send(ShardStats {
+                let _ = reply.send(Reply::ShardStats(ShardStats {
                     sessions: shard.session_count(),
                     invocations,
                     busy_ns,
-                });
+                }));
             }
         }
         wall_busy_ns += t0.elapsed().as_nanos() as u64;

@@ -1,0 +1,161 @@
+//! Contention regressions for ROADMAP open item 1 (the shard-scaling
+//! serialisation bug): the hot warm-invocation path must not serialise on
+//! the global EPC mutex or on a single clock cache line.
+//!
+//! The instrumented assertions here pin the *shape* of the fix, not a
+//! timing: a warm invocation folds its whole buffered page-transition
+//! stream under **O(1)** global-mutex acquisitions (PR 5 took the mutex
+//! once per page transition), stats/configure reads take none at all, and
+//! the striped clock stays exact and watermark-unique under concurrent
+//! folds.
+
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use twine_core::runtime::advance_watermark;
+use twine_core::TwineBuilder;
+use twine_sgx::SimClock;
+use twine_wasm::Value;
+
+/// PolyBench-flavoured guest with deliberately poor locality: the
+/// transposed read walks a column per element, so successive accesses sit
+/// on different 4 KiB pages and the interpreter's page sink sees
+/// thousands of transitions per call.
+const CHURN_SRC: &str = "
+    double A[96][96];
+    int churn(int seed) {
+        for (int i = 0; i < 96; i += 1) {
+            for (int j = 0; j < 96; j += 1) {
+                A[i][j] = (double)((i * 31 + j * 7 + seed) % 97);
+            }
+        }
+        double acc = 0.0;
+        for (int i = 0; i < 96; i += 1) {
+            for (int j = 0; j < 96; j += 1) {
+                acc += A[i][j] * A[j][i];
+            }
+        }
+        int out = (int)acc;
+        return out % 65536;
+    }
+";
+
+/// A warm invocation's EPC accounting must cost O(1) global-mutex
+/// acquisitions — one fold of the buffered transition stream — however
+/// many page transitions the guest performed. PR 5 locked the pool once
+/// per transition, which serialised every shard on one mutex.
+#[test]
+fn warm_invocation_folds_epc_in_o1_lock_acquisitions() {
+    let mut svc = TwineBuilder::new().build_service();
+    let wasm = twine_minicc::compile_to_bytes(CHURN_SRC).expect("guest compiles");
+    svc.open_session("tenant", &wasm).expect("open");
+    let epc = svc.enclave().epc();
+    assert!(epc.is_enabled(), "EPC live in the default (Hardware) mode");
+
+    // Warm-up, then measure two invocations independently: the acquisition
+    // cost must be a small constant per call, not proportional to the
+    // guest's page traffic.
+    svc.invoke("tenant", "churn", &[Value::I32(1)]).expect("warm-up");
+    for seed in 2..4 {
+        let acq0 = epc.mutex_acquisitions();
+        let (report, _) = svc
+            .invoke_with_report("tenant", "churn", &[Value::I32(seed)])
+            .expect("warm call");
+        let acq = epc.mutex_acquisitions() - acq0;
+        assert!(
+            report.meter.page_transitions > 1_000,
+            "guest must actually churn pages (saw {})",
+            report.meter.page_transitions
+        );
+        assert!(
+            acq <= 8,
+            "warm invocation took {acq} EPC mutex acquisitions for {} page \
+             transitions — accounting has regressed to per-transition locking",
+            report.meter.page_transitions
+        );
+        assert!(
+            report.epc.hits + report.epc.faults > 0,
+            "paging was really accounted"
+        );
+    }
+}
+
+/// Snapshot and configuration paths never touch the global EPC mutex:
+/// `stats`, `reset_stats`, `set_enabled` and `resident_pages` are served
+/// by the lock-free mirrors.
+#[test]
+fn epc_stats_and_config_paths_are_lock_free() {
+    let svc = TwineBuilder::new().build_sharded(2);
+    let epc = svc.enclave().epc();
+    let acq0 = epc.mutex_acquisitions();
+    for _ in 0..100 {
+        let _ = epc.stats();
+        let _ = epc.resident_pages();
+        let _ = epc.is_enabled();
+    }
+    epc.set_enabled(false);
+    epc.set_enabled(true);
+    epc.reset_stats();
+    assert_eq!(
+        epc.mutex_acquisitions() - acq0,
+        0,
+        "stats/configure took the global EPC mutex"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The striped clock and the watermark CAS compose: threads that
+    /// interleave clock charges (landing on per-thread stripes) with
+    /// `advance_watermark` reads of the folded total still observe
+    /// strictly increasing, globally unique trusted time, and no charge
+    /// is ever lost (the folded total is the exact sum).
+    #[test]
+    fn watermarks_stay_unique_over_striped_clock(
+        charges in proptest::collection::vec(1u64..1_000, 8..48),
+        threads in 2usize..6,
+    ) {
+        let clock = SimClock::new();
+        let watermark = Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let clock = clock.clone();
+                let watermark = Arc::clone(&watermark);
+                let charges = charges.clone();
+                std::thread::spawn(move || {
+                    let mut seen = Vec::with_capacity(charges.len());
+                    for (k, &c) in charges.iter().enumerate() {
+                        // Skew per thread so host samples disagree.
+                        clock.add_cycles(c + (t as u64) * (k as u64 % 3));
+                        seen.push(advance_watermark(&watermark, clock.cycles()));
+                    }
+                    seen
+                })
+            })
+            .collect();
+        let mut all = Vec::new();
+        let mut expected_total = 0u64;
+        for (t, h) in handles.into_iter().enumerate() {
+            let seen = h.join().expect("thread");
+            prop_assert!(
+                seen.windows(2).all(|w| w[0] < w[1]),
+                "per-thread watermarks must be strictly increasing: {seen:?}"
+            );
+            all.extend(seen);
+            expected_total += charges
+                .iter()
+                .enumerate()
+                .map(|(k, &c)| c + (t as u64) * (k as u64 % 3))
+                .sum::<u64>();
+        }
+        // Exactness: no stripe lost a charge.
+        prop_assert_eq!(clock.cycles(), expected_total);
+        // Uniqueness: each CAS win moves the watermark strictly up.
+        all.sort_unstable();
+        let len_before = all.len();
+        all.dedup();
+        prop_assert_eq!(all.len(), len_before, "no two observers share a tick");
+    }
+}

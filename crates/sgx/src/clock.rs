@@ -6,20 +6,26 @@
 //! paper's testbed CPU (Xeon E3-1275 v6 @ 3.8 GHz, §V-A). Real measured
 //! compute can be folded in with [`SimClock::add_duration`].
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
+
+use crate::stripe::StripedU64;
 
 /// Reference CPU frequency (cycles per second) used to convert cycles into
 /// virtual wall-clock time. Matches the paper's 3.8 GHz Xeon E3-1275 v6.
 pub const CPU_HZ: u64 = 3_800_000_000;
 
-/// A shareable virtual-cycle counter. The counter is a relaxed
-/// [`AtomicU64`], so clones may be charged from any thread (the sharded
-/// service's workers all feed one enclave clock); single-threaded runs stay
-/// exactly as deterministic as the old `Cell` implementation, while
-/// multi-threaded totals are exact (charges never lost) even though the
-/// *interleaving* of charges is scheduling-dependent.
+/// A shareable virtual-cycle counter. The counter is a
+/// [`StripedU64`] — one padded atomic stripe per writer thread — so clones
+/// may be charged from any thread (the sharded service's workers all feed
+/// one enclave clock) **without contending on a single cache line**: the
+/// PR 5 single-`AtomicU64` implementation was one hot line hammered from
+/// every shard on each ecall/ocall/paging charge, and profiled as a main
+/// serialiser of wall-clock shard scaling (ROADMAP open item 1).
+/// Single-threaded runs stay exactly as deterministic as before, and
+/// multi-threaded totals are exact (addition commutes; charges are never
+/// lost) even though the *interleaving* of charges is
+/// scheduling-dependent.
 ///
 /// `SimClock` is the spine of the virtual-time methodology (DESIGN.md §4,
 /// paper §V-A): every simulated SGX event — enclave transitions, EPC
@@ -30,7 +36,7 @@ pub const CPU_HZ: u64 = 3_800_000_000;
 /// these counts bit-identical.
 #[derive(Clone, Default)]
 pub struct SimClock {
-    cycles: Arc<AtomicU64>,
+    cycles: Arc<StripedU64>,
 }
 
 impl SimClock {
@@ -40,10 +46,10 @@ impl SimClock {
         Self::default()
     }
 
-    /// Charge `n` cycles.
+    /// Charge `n` cycles (on the calling thread's stripe).
     #[inline]
     pub fn add_cycles(&self, n: u64) {
-        self.cycles.fetch_add(n, Ordering::Relaxed);
+        self.cycles.add(n);
     }
 
     /// Fold a real measured duration into the virtual clock (converted at
@@ -59,10 +65,10 @@ impl SimClock {
         self.add_duration_scaled(d, 1.0);
     }
 
-    /// Total cycles charged.
+    /// Total cycles charged (sum over all writer stripes — exact).
     #[must_use]
     pub fn cycles(&self) -> u64 {
-        self.cycles.load(Ordering::Relaxed)
+        self.cycles.get()
     }
 
     /// Virtual elapsed time.
@@ -73,7 +79,7 @@ impl SimClock {
 
     /// Reset to zero.
     pub fn reset(&self) {
-        self.cycles.store(0, Ordering::Relaxed);
+        self.cycles.reset();
     }
 
     /// Cycles elapsed since a previous reading.
@@ -132,5 +138,30 @@ mod tests {
         let mark = c.cycles();
         c.add_cycles(42);
         assert_eq!(c.cycles_since(mark), 42);
+    }
+
+    #[test]
+    fn concurrent_charges_are_exact() {
+        // The striped clock must lose no charge and over-count nothing
+        // when hammered from many threads — the meter-exactness contract
+        // the sharded service relies on.
+        let c = SimClock::new();
+        let threads = 8;
+        let per = 5_000u64;
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let c = c.clone();
+                std::thread::spawn(move || {
+                    for k in 0..per {
+                        c.add_cycles(k % 7 + 1);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let per_thread: u64 = (0..per).map(|k| k % 7 + 1).sum();
+        assert_eq!(c.cycles(), per_thread * threads);
     }
 }

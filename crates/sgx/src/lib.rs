@@ -40,12 +40,14 @@ pub mod enclave;
 pub mod epc;
 pub mod processor;
 pub mod seal;
+pub mod stripe;
 
 pub use attest::{AttestationService, Quote, Report};
 pub use clock::SimClock;
 pub use enclave::{Enclave, EnclaveBuilder, EnclaveStats, SgxMode};
 pub use epc::{Epc, EpcHandle, EpcStats};
 pub use processor::Processor;
+pub use stripe::StripedU64;
 
 /// Errors raised by the simulator.
 #[derive(Debug, Clone, PartialEq, Eq)]

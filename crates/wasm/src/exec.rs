@@ -79,6 +79,13 @@ impl std::error::Error for Trap {}
 pub trait PageSink: Send {
     /// Called when execution touches a page different from the previous one.
     fn touch(&mut self, page: u64);
+
+    /// Flush any accounting the sink has buffered. Sinks that batch their
+    /// page-transition stream (e.g. `twine-core`'s `EpcSink`, which folds
+    /// into the shared EPC pool once per invocation instead of locking per
+    /// transition) publish here; the embedder calls it at invocation end
+    /// via [`Instance::flush_page_sink`]. Default: nothing buffered.
+    fn flush(&mut self) {}
 }
 
 /// Context passed to host functions.
@@ -459,6 +466,15 @@ impl Instance {
     /// Take back the page sink (e.g. to inspect a recording sink).
     pub fn take_page_sink(&mut self) -> Option<Box<dyn PageSink>> {
         self.page_sink.take()
+    }
+
+    /// Flush the attached page sink's buffered accounting (no-op without a
+    /// sink, or for sinks that don't buffer). Embedders that batch shared
+    /// EPC accounting call this at the end of each invocation.
+    pub fn flush_page_sink(&mut self) {
+        if let Some(sink) = self.page_sink.as_deref_mut() {
+            sink.flush();
+        }
     }
 
     /// Borrow the guest memory.
