@@ -31,16 +31,26 @@
 //! to a single-threaded replay — the binary panics (and CI fails) on any
 //! cross-thread divergence.
 //!
+//! **Phase 3 (`--churn`)** is the control-plane economics axis
+//! (DESIGN.md §10): thousands of sessions arriving, invoking, being
+//! revisited and expiring against a sharded service with a *tiny*
+//! eviction budget (`max_live_sessions` per shard), so the service is
+//! continuously parking LRU sessions (sealed out of the enclave) and
+//! restoring them warm. Reports p50/p99 invoke latency plus the
+//! park/restore/seal-traffic counters into `BENCH_fig8.json`
+//! (`churn_axis`; `null` when the phase is skipped).
+//!
 //! ```sh
 //! cargo run -p twine-bench --release --bin fig8_serving \
-//!     [--sessions 8] [--calls 32] [--threads 8]
+//!     [--sessions 8] [--calls 32] [--threads 8] \
+//!     [--churn] [--churn-sessions 2000] [--churn-budget 16]
 //! ```
 
 use std::sync::{Arc, Barrier};
 use std::time::Instant;
 
-use twine_bench::{arg_value, write_bench_json, write_csv};
-use twine_core::{ShardedService, TwineBuilder};
+use twine_bench::{arg_value, has_flag, write_bench_json, write_csv};
+use twine_core::{ControlPlane, ControlStats, ShardedService, TwineBuilder};
 use twine_wasm::{ExecTier, Value};
 
 const GUEST_SRC: &str = r"
@@ -261,6 +271,130 @@ fn verify_bit_identity(wasm: &[u8], threads: usize, sessions: usize, calls: usiz
     }
 }
 
+/// Deterministic per-client stream (Knuth MMIX constants) so the churn
+/// workload is reproducible across runs and machines.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+}
+
+/// Outcome of one churn run (phase 3).
+struct ChurnOutcome {
+    shards: usize,
+    sessions: usize,
+    budget: usize,
+    invokes: usize,
+    wall_s: f64,
+    p50_us: f64,
+    p99_us: f64,
+    stats: ControlStats,
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 * p).ceil() as usize).clamp(1, sorted.len()) - 1;
+    sorted[idx]
+}
+
+/// Phase 3 driver: `total` sessions stream through `shards` shards whose
+/// eviction budget (`max_live_sessions`) is far below the number of
+/// concurrently open sessions, so the control plane parks and restores
+/// continuously. Each of the `shards` client threads owns a disjoint
+/// tenant subset: a tenant arrives, serves a couple of calls, gets
+/// revisited later (usually after eviction parked it — the revisit pays
+/// the warm-restore path), and expires once it falls out of its client's
+/// keep-alive window. Returns invoke-latency percentiles and the control
+/// counters; panics on any failed call, so the bench doubles as a smoke
+/// test of the eviction machinery under concurrency.
+fn run_churn(wasm: &[u8], shards: usize, total: usize, budget: usize) -> ChurnOutcome {
+    /// Sessions each client keeps open: enough above the per-shard budget
+    /// that parking never stops.
+    const WINDOW: usize = 48;
+    /// Warm calls served on arrival, and revisits of older tenants per
+    /// arrival (revisits are the restore path).
+    const ARRIVAL_CALLS: usize = 2;
+    const REVISITS: usize = 2;
+
+    let control = ControlPlane {
+        max_live_sessions: Some(budget),
+        ..ControlPlane::default()
+    };
+    let svc = Arc::new(
+        TwineBuilder::new()
+            .control_plane(control)
+            .build_sharded(shards),
+    );
+    let t0 = Instant::now();
+    let handles: Vec<_> = (0..shards)
+        .map(|c| {
+            let svc = Arc::clone(&svc);
+            let wasm = wasm.to_vec();
+            std::thread::spawn(move || {
+                let mut lcg = Lcg(0x9e3779b97f4a7c15 ^ c as u64);
+                let mut lat_us: Vec<f64> = Vec::new();
+                let mut open: Vec<usize> = Vec::new();
+                let invoke = |svc: &ShardedService, i: usize, req: i32, lat: &mut Vec<f64>| {
+                    let t = Instant::now();
+                    svc.invoke(&format!("churn-{i}"), "handle", &[Value::I32(req)])
+                        .expect("churn invoke");
+                    lat.push(t.elapsed().as_secs_f64() * 1e6);
+                };
+                for i in (c..total).step_by(shards) {
+                    // Arrive.
+                    svc.open_session(&format!("churn-{i}"), &wasm).expect("open");
+                    for k in 0..ARRIVAL_CALLS {
+                        invoke(&svc, i, (i + k) as i32, &mut lat_us);
+                    }
+                    open.push(i);
+                    // Revisit older tenants (restore path for parked ones).
+                    for _ in 0..REVISITS {
+                        let j = open[(lcg.next() as usize) % open.len()];
+                        invoke(&svc, j, j as i32, &mut lat_us);
+                    }
+                    // Expire the oldest tenant past the keep-alive window.
+                    if open.len() > WINDOW {
+                        let gone = open.remove(0);
+                        svc.close_session(&format!("churn-{gone}")).expect("close");
+                    }
+                }
+                for gone in open {
+                    svc.close_session(&format!("churn-{gone}")).expect("close");
+                }
+                lat_us
+            })
+        })
+        .collect();
+    let mut lat_us: Vec<f64> = handles
+        .into_iter()
+        .flat_map(|h| h.join().expect("churn client"))
+        .collect();
+    let wall_s = t0.elapsed().as_secs_f64();
+    lat_us.sort_by(f64::total_cmp);
+    let stats = svc.control_stats();
+    assert!(stats.parks > 0, "churn under a tiny budget must park");
+    assert!(stats.restores > 0, "revisits must restore parked sessions");
+    assert_eq!(svc.session_count(), 0, "every churned session expired");
+    ChurnOutcome {
+        shards,
+        sessions: total,
+        budget,
+        invokes: lat_us.len(),
+        wall_s,
+        p50_us: percentile(&lat_us, 0.50),
+        p99_us: percentile(&lat_us, 0.99),
+        stats,
+    }
+}
+
 fn main() {
     let sessions: usize = arg_value("--sessions")
         .and_then(|s| s.parse().ok())
@@ -407,6 +541,42 @@ fn main() {
     verify_bit_identity(&wasm, *sweep.last().unwrap(), scale_sessions.min(16), 6);
     println!("\nbit-identity vs single-threaded service: verified");
 
+    // -----------------------------------------------------------------
+    // Churn axis (--churn): eviction economics under arrival/expiry.
+    // -----------------------------------------------------------------
+    let churn = has_flag("--churn").then(|| {
+        let churn_sessions: usize = arg_value("--churn-sessions")
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(2000)
+            .max(64);
+        let churn_budget: usize = arg_value("--churn-budget")
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(16)
+            .max(1);
+        let churn_shards = max_threads.clamp(1, 4);
+        println!(
+            "\nchurn axis: {churn_sessions} sessions through {churn_shards} shard(s), \
+             eviction budget {churn_budget} live sessions/shard"
+        );
+        let o = run_churn(&wasm, churn_shards, churn_sessions, churn_budget);
+        println!(
+            "  {} invokes in {:.2}s ({:.0} calls/s): p50 {:.1} us, p99 {:.1} us",
+            o.invokes,
+            o.wall_s,
+            o.invokes as f64 / o.wall_s.max(1e-12),
+            o.p50_us,
+            o.p99_us
+        );
+        println!(
+            "  evictions: {} parks, {} restores; seal traffic {:.1} MiB out, {:.1} MiB in",
+            o.stats.parks,
+            o.stats.restores,
+            o.stats.sealed_bytes as f64 / (1 << 20) as f64,
+            o.stats.unsealed_bytes as f64 / (1 << 20) as f64
+        );
+        o
+    });
+
     let max_point = points.last().expect("sweep non-empty");
     let max_scaling = base_makespan as f64 / max_point.makespan_ns.max(1) as f64;
     let max_wall_scaling = max_point.throughput() / base_throughput;
@@ -505,6 +675,35 @@ fn main() {
             )
         })
         .collect();
+    // Control-plane churn axis: `null` when `--churn` was not requested,
+    // so the file's shape is stable either way.
+    let churn_json = churn.as_ref().map_or_else(
+        || "null".to_string(),
+        |o| {
+            format!(
+                concat!(
+                    "{{\n",
+                    "    \"sessions\": {}, \"shards\": {}, \"eviction_budget_per_shard\": {},\n",
+                    "    \"invokes\": {}, \"wall_s\": {:.3}, \"throughput_calls_per_s\": {:.0},\n",
+                    "    \"p50_us\": {:.3}, \"p99_us\": {:.3},\n",
+                    "    \"parks\": {}, \"restores\": {},\n",
+                    "    \"sealed_bytes\": {}, \"unsealed_bytes\": {}\n  }}"
+                ),
+                o.sessions,
+                o.shards,
+                o.budget,
+                o.invokes,
+                o.wall_s,
+                o.invokes as f64 / o.wall_s.max(1e-12),
+                o.p50_us,
+                o.p99_us,
+                o.stats.parks,
+                o.stats.restores,
+                o.stats.sealed_bytes,
+                o.stats.unsealed_bytes,
+            )
+        },
+    );
     write_bench_json(
         "BENCH_fig8.json",
         &format!(
@@ -521,7 +720,8 @@ fn main() {
                 "    \"max_modelled_scaling_x\": {:.3},\n",
                 "    \"max_measured_wall_scaling_x\": {:.3},\n",
                 "    \"wall_scaling_asserted\": {},\n",
-                "    \"points\": [\n{}\n    ]\n  }}\n}}\n"
+                "    \"points\": [\n{}\n    ]\n  }},\n",
+                "  \"churn_axis\": {}\n}}\n"
             ),
             ExecTier::default(),
             sessions,
@@ -539,6 +739,7 @@ fn main() {
             max_wall_scaling,
             wall_scaling_asserted,
             threads_json.join(",\n"),
+            churn_json,
         ),
     );
 }

@@ -49,6 +49,7 @@
 
 pub mod backend_host;
 pub mod backend_pfs;
+pub mod control;
 pub mod provision;
 pub mod runtime;
 pub mod service;
@@ -57,6 +58,7 @@ pub mod shared_store;
 
 pub use backend_host::HostBackend;
 pub use backend_pfs::PfsBackend;
+pub use control::{ControlPlane, ControlStats, FuelRate};
 pub use provision::{ApplicationProvider, EncryptedApp};
 pub use runtime::{FsChoice, RunReport, TwineApp, TwineBuilder, TwineError, TwineRuntime};
 pub use service::{ModuleCache, SessionStats, TwineService};

@@ -40,6 +40,10 @@ pub enum TwineError {
     Provision(String),
     /// Session-layer failure (unknown or duplicate session name).
     Session(String),
+    /// Admission control rejected the call: a bounded shard queue was
+    /// full, or a per-tenant in-flight or fuel-rate cap was exceeded.
+    /// Backpressure, not failure — the caller may retry later.
+    Overloaded(String),
 }
 
 impl core::fmt::Display for TwineError {
@@ -50,6 +54,7 @@ impl core::fmt::Display for TwineError {
             TwineError::Sgx(e) => write!(f, "sgx error: {e}"),
             TwineError::Provision(m) => write!(f, "provisioning error: {m}"),
             TwineError::Session(m) => write!(f, "session error: {m}"),
+            TwineError::Overloaded(m) => write!(f, "overloaded: {m}"),
         }
     }
 }
@@ -86,6 +91,7 @@ pub struct TwineBuilder {
     pub(crate) with_profiler: bool,
     pub(crate) fuel: Option<u64>,
     pub(crate) exec_tier: ExecTier,
+    pub(crate) control: crate::ControlPlane,
 }
 
 impl Default for TwineBuilder {
@@ -113,6 +119,7 @@ impl TwineBuilder {
             with_profiler: false,
             fuel: None,
             exec_tier: ExecTier::default(),
+            control: crate::ControlPlane::default(),
         }
     }
 
@@ -201,6 +208,31 @@ impl TwineBuilder {
     #[must_use]
     pub fn fuel(mut self, fuel: u64) -> Self {
         self.fuel = Some(fuel);
+        self
+    }
+
+    /// Install a full control-plane policy (eviction, preemption,
+    /// admission control) for the built service. See
+    /// [`ControlPlane`](crate::ControlPlane); everything defaults to off.
+    #[must_use]
+    pub fn control_plane(mut self, control: crate::ControlPlane) -> Self {
+        self.control = control;
+        self
+    }
+
+    /// Convenience: set the default per-invocation preemption deadline (in
+    /// fuel units) without building a whole [`crate::ControlPlane`].
+    #[must_use]
+    pub fn deadline(mut self, deadline: u64) -> Self {
+        self.control.deadline = Some(deadline);
+        self
+    }
+
+    /// Convenience: park least-recently-used sessions beyond `n` live ones
+    /// per service/shard (the eviction budget).
+    #[must_use]
+    pub fn max_live_sessions(mut self, n: usize) -> Self {
+        self.control.max_live_sessions = Some(n);
         self
     }
 

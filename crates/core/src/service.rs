@@ -26,7 +26,7 @@
 //! monotonicity watermark that persists across invocations (§IV-C).
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 use twine_crypto::Sha256;
@@ -36,6 +36,7 @@ use twine_wasi::{FsBackend, Rights, WasiCtx};
 use twine_wasm::compile::CompiledModule;
 use twine_wasm::{ExecTier, Instance, InstanceSnapshot, Linker, ModuleError, Trap, Value};
 
+use crate::control::{ControlPlane, ControlStats, RateState};
 use crate::runtime::{
     base_linker, build_wasi_ctx, invoke_in_enclave, make_backend, wasi_backend_into_box, EpcSink,
     FsChoice, RunReport, TwineBuilder, TwineError,
@@ -64,6 +65,12 @@ pub struct ModuleCache {
     entries: Mutex<HashMap<[u8; 32], CacheSlot>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    /// Soft capacity: whenever an insert grows the map past this,
+    /// unreferenced entries are evicted *inline* (demand-driven, not
+    /// merely on embedder request). `0` = unbounded.
+    capacity: AtomicUsize,
+    /// Entries dropped by capacity/pressure eviction.
+    capacity_evictions: AtomicU64,
 }
 
 impl ModuleCache {
@@ -75,7 +82,24 @@ impl ModuleCache {
             entries: Mutex::new(HashMap::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            capacity: AtomicUsize::new(0),
+            capacity_evictions: AtomicU64::new(0),
         }
+    }
+
+    /// Bound the cache: once more than `cap` distinct modules are held,
+    /// every insert first evicts all unreferenced entries (entries still
+    /// referenced by live sessions are never dropped — pointer sharing is
+    /// preserved — so the cache is bounded by `max(cap, live working
+    /// set)`). `None` restores the unbounded default.
+    pub fn set_capacity(&self, cap: Option<usize>) {
+        self.capacity.store(cap.unwrap_or(0), Ordering::Relaxed);
+    }
+
+    /// Entries dropped by capacity/pressure eviction so far.
+    #[must_use]
+    pub fn capacity_evictions(&self) -> u64 {
+        self.capacity_evictions.load(Ordering::Relaxed)
     }
 
     /// The content address of `wasm` under `tier`: SHA-256 over a
@@ -108,7 +132,20 @@ impl ModuleCache {
         let key = Self::content_key(wasm, self.tier);
         let slot = {
             let mut map = self.entries.lock().unwrap();
-            Arc::clone(map.entry(key).or_default())
+            let slot = Arc::clone(map.entry(key).or_default());
+            // Demand-driven capacity enforcement (ROADMAP item 5): a full
+            // cache under churn evicts its unreferenced entries as part of
+            // the very insert that would grow it, instead of waiting for
+            // the embedder to call `evict_unreferenced`. The entry just
+            // taken holds a second slot-`Arc` (cloned above), so it always
+            // survives its own insert's eviction pass.
+            let cap = self.capacity.load(Ordering::Relaxed);
+            if cap != 0 && map.len() > cap {
+                let evicted = Self::evict_unreferenced_locked(&mut map);
+                self.capacity_evictions
+                    .fetch_add(evicted as u64, Ordering::Relaxed);
+            }
+            slot
         };
         let mut compiled_here = false;
         let outcome = slot
@@ -179,6 +216,10 @@ impl ModuleCache {
     /// set instead of growing with every binary ever served.
     pub fn evict_unreferenced(&self) -> usize {
         let mut map = self.entries.lock().unwrap();
+        Self::evict_unreferenced_locked(&mut map)
+    }
+
+    fn evict_unreferenced_locked(map: &mut HashMap<[u8; 32], CacheSlot>) -> usize {
         let before = map.len();
         map.retain(|_, slot| {
             // A racer that looked the slot up but has not yet cloned the
@@ -231,21 +272,72 @@ pub struct SessionStats {
     pub invocations: u64,
 }
 
-/// One tenant: a persistent instance + WASI context inside the service's
-/// enclave.
-struct Session {
-    instance: Instance,
-    /// Post-instantiation state (data segments applied, start function run)
-    /// for pool-recycling via [`TwineService::reset_session`].
-    snapshot: InstanceSnapshot,
+/// Session state that survives parking: everything except the live
+/// [`Instance`] (whose guest-visible state travels through the sealed
+/// snapshot) and the `WasiCtx` (which moves between the instance's host
+/// data and the parked slot).
+struct SessionCommon {
     /// Keeps the compiled module alive and shared; also handy for tests
     /// asserting that sessions share one cache entry.
     compiled: Arc<CompiledModule>,
+    /// Post-instantiation state (data segments applied, start function run)
+    /// for pool-recycling via [`TwineService::reset_session`] and
+    /// post-trap recovery.
+    base_snapshot: InstanceSnapshot,
     /// Trusted-clock monotonicity watermark (§IV-C), persistent across
-    /// invocations and across [`TwineService::reset_session`].
+    /// invocations, [`TwineService::reset_session`] and park/restore.
     watermark: Arc<AtomicU64>,
     fuel: Option<u64>,
+    /// Per-invocation preemption deadline (defaults to the control
+    /// plane's; overridable per session).
+    deadline: Option<u64>,
     stats: SessionStats,
+    /// LRU use sequence (bumped on open/invoke/reset): the eviction policy
+    /// parks the live session with the smallest value.
+    last_use: u64,
+    /// Fuel-rate token-bucket state (persists across parking, so a tenant
+    /// cannot launder its debt through an eviction cycle).
+    rate: RateState,
+}
+
+/// One live tenant: a persistent instance + WASI context inside the
+/// service's enclave.
+struct Session {
+    instance: Instance,
+    common: SessionCommon,
+}
+
+/// One parked tenant: guest state sealed out of the enclave, EPC pages
+/// released. The WASI context (with the tenant's protected files) stays
+/// with the service — files are independently protected by the PFS layer;
+/// what the seal protects is the *guest memory image*.
+struct ParkedSession {
+    /// `seal(InstanceSnapshot::to_bytes)` of the state at park time.
+    sealed: Vec<u8>,
+    ctx: WasiCtx,
+    common: SessionCommon,
+}
+
+/// A session-table slot: live or parked.
+enum SessionSlot {
+    Live(Session),
+    Parked(ParkedSession),
+}
+
+impl SessionSlot {
+    fn common(&self) -> &SessionCommon {
+        match self {
+            SessionSlot::Live(s) => &s.common,
+            SessionSlot::Parked(p) => &p.common,
+        }
+    }
+
+    fn common_mut(&mut self) -> &mut SessionCommon {
+        match self {
+            SessionSlot::Live(s) => &mut s.common,
+            SessionSlot::Parked(p) => &mut p.common,
+        }
+    }
 }
 
 /// The per-session construction template a builder configures once and a
@@ -302,7 +394,7 @@ pub struct TwineService {
     processor: Processor,
     linker: Arc<Linker>,
     cache: Arc<ModuleCache>,
-    sessions: HashMap<String, Session>,
+    sessions: HashMap<String, SessionSlot>,
     /// Shared allocator of private EPC slots; slot `n` covers pages
     /// `[(n+1) << 32, ...)`. Shared (`Arc`) so the shards of a
     /// [`crate::ShardedService`] never hand two sessions aliasing ranges.
@@ -310,6 +402,16 @@ pub struct TwineService {
     /// Per-session construction template (from the builder).
     tpl: SessionTemplate,
     profiler: Option<PfsProfiler>,
+    /// Control-plane policy (eviction, preemption, admission). Defaults
+    /// are all-off: a default service behaves exactly like before the
+    /// control plane existed.
+    control: ControlPlane,
+    /// Shared epoch counter for asynchronous preemption; one counter is
+    /// shared by every shard of a [`crate::ShardedService`].
+    epoch: Arc<AtomicU64>,
+    /// Monotonic use sequence feeding the LRU eviction policy.
+    use_seq: u64,
+    control_stats: ControlStats,
 }
 
 impl TwineService {
@@ -319,22 +421,30 @@ impl TwineService {
             .with_profiler
             .then(|| PfsProfiler::new(enclave.clock().clone()));
         let tpl = SessionTemplate::from_builder(&b);
+        let cache = Arc::new(ModuleCache::new(b.exec_tier));
+        cache.set_capacity(b.control.module_cache_capacity);
         Self {
             enclave,
             processor: b.processor,
             linker: Arc::new(base_linker()),
-            cache: Arc::new(ModuleCache::new(b.exec_tier)),
+            cache,
             sessions: HashMap::new(),
             epc_slots: Arc::new(AtomicU64::new(0)),
             tpl,
             profiler,
+            control: b.control,
+            epoch: Arc::new(AtomicU64::new(0)),
+            use_seq: 0,
+            control_stats: ControlStats::default(),
         }
     }
 
     /// One shard of a [`crate::ShardedService`]: a full `TwineService` over
     /// **shared** immutable artifacts — the one enclave, the one
-    /// host-function table, the one module cache and the one EPC-slot
-    /// allocator — with its own (shard-local, single-owner) session map.
+    /// host-function table, the one module cache, the one EPC-slot
+    /// allocator and the one epoch counter — with its own (shard-local,
+    /// single-owner) session map.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn shard(
         enclave: Arc<Enclave>,
         processor: Processor,
@@ -343,6 +453,8 @@ impl TwineService {
         epc_slots: Arc<AtomicU64>,
         tpl: SessionTemplate,
         profiler: Option<PfsProfiler>,
+        control: ControlPlane,
+        epoch: Arc<AtomicU64>,
     ) -> Self {
         Self {
             enclave,
@@ -353,6 +465,10 @@ impl TwineService {
             epc_slots,
             tpl,
             profiler,
+            control,
+            epoch,
+            use_seq: 0,
+            control_stats: ControlStats::default(),
         }
     }
 
@@ -382,13 +498,58 @@ impl TwineService {
         &self.cache
     }
 
-    /// Number of live sessions.
+    /// Number of open sessions (live + parked).
     #[must_use]
     pub fn session_count(&self) -> usize {
         self.sessions.len()
     }
 
-    /// Names of the live sessions (unordered).
+    /// Number of live (unparked) sessions.
+    #[must_use]
+    pub fn live_session_count(&self) -> usize {
+        self.sessions
+            .values()
+            .filter(|s| matches!(s, SessionSlot::Live(_)))
+            .count()
+    }
+
+    /// Number of parked (sealed-out) sessions.
+    #[must_use]
+    pub fn parked_session_count(&self) -> usize {
+        self.sessions
+            .values()
+            .filter(|s| matches!(s, SessionSlot::Parked(_)))
+            .count()
+    }
+
+    /// Whether a session is currently parked.
+    #[must_use]
+    pub fn session_parked(&self, name: &str) -> Option<bool> {
+        self.sessions
+            .get(name)
+            .map(|s| matches!(s, SessionSlot::Parked(_)))
+    }
+
+    /// Control-plane counters, with the live/parked gauges filled in at
+    /// read time.
+    #[must_use]
+    pub fn control_stats(&self) -> ControlStats {
+        ControlStats {
+            live_sessions: self.live_session_count() as u64,
+            parked_sessions: self.parked_session_count() as u64,
+            ..self.control_stats
+        }
+    }
+
+    /// Bump the shared preemption epoch (see
+    /// [`ControlPlane::epoch_slack`]): every in-flight invocation armed
+    /// with a smaller slack than the bumps it has survived yields with
+    /// [`Trap::DeadlineExceeded`] at its next control transfer.
+    pub fn bump_epoch(&self) {
+        self.epoch.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Names of the open sessions (unordered; includes parked).
     #[must_use]
     pub fn session_names(&self) -> Vec<&str> {
         self.sessions.keys().map(String::as_str).collect()
@@ -397,14 +558,14 @@ impl TwineService {
     /// Bookkeeping for one session.
     #[must_use]
     pub fn session_stats(&self, name: &str) -> Option<&SessionStats> {
-        self.sessions.get(name).map(|s| &s.stats)
+        self.sessions.get(name).map(|s| &s.common().stats)
     }
 
     /// The compiled module backing a session (shared across sessions with
     /// identical Wasm bytes).
     #[must_use]
     pub fn session_module(&self, name: &str) -> Option<&Arc<CompiledModule>> {
-        self.sessions.get(name).map(|s| &s.compiled)
+        self.sessions.get(name).map(|s| &s.common().compiled)
     }
 
     /// Open a named session: resolve `wasm` through the module cache
@@ -472,28 +633,42 @@ impl TwineService {
             self.enclave.epc(),
             epc_base_page,
         ))));
+        if self.control.epoch_slack.is_some() {
+            instance.set_epoch(Some(Arc::clone(&self.epoch)));
+        }
         let snapshot = instance.snapshot();
         // Instantiation metering (start function, if any) is not part of any
         // invocation report: every invocation starts from a clean meter.
         instance.meter.reset();
 
+        self.use_seq += 1;
         let session = Session {
             instance,
-            snapshot,
-            compiled,
-            watermark,
-            fuel: self.tpl.fuel,
-            stats: SessionStats {
-                module_key,
-                wasm_bytes: wasm.len(),
-                cache_hit,
-                epc_base_page,
-                invocations: 0,
+            common: SessionCommon {
+                compiled,
+                base_snapshot: snapshot,
+                watermark,
+                fuel: self.tpl.fuel,
+                deadline: self.control.deadline,
+                stats: SessionStats {
+                    module_key,
+                    wasm_bytes: wasm.len(),
+                    cache_hit,
+                    epc_base_page,
+                    invocations: 0,
+                },
+                last_use: self.use_seq,
+                rate: RateState::default(),
             },
         };
-        let prev = self.sessions.insert(name.to_string(), session);
+        let prev = self
+            .sessions
+            .insert(name.to_string(), SessionSlot::Live(session));
         debug_assert!(prev.is_none(), "session name was checked free above");
-        Ok(&self.sessions[name].stats)
+        // A fresh session counts against the eviction budget: park LRU
+        // peers (never the newcomer) if this open pushed past it.
+        self.enforce_pressure(Some(name));
+        Ok(&self.sessions[name].common().stats)
     }
 
     /// Invoke an exported function on a session — the *warm* path: no
@@ -542,20 +717,56 @@ impl TwineService {
         args: &[Value],
         build_report: bool,
     ) -> Result<(Option<RunReport>, Vec<Value>), TwineError> {
-        let sess = self
-            .sessions
-            .get_mut(session)
-            .ok_or_else(|| TwineError::Session(format!("no session named {session:?}")))?;
+        // Admission first — a rate-capped tenant is rejected *before* any
+        // restore work, so it cannot force seal traffic while throttled.
+        let now_cycles = self.enclave.clock().cycles();
+        self.use_seq += 1;
+        let use_seq = self.use_seq;
+        {
+            let common = self
+                .sessions
+                .get_mut(session)
+                .ok_or_else(|| TwineError::Session(format!("no session named {session:?}")))?
+                .common_mut();
+            common.last_use = use_seq;
+            if let Some(rate) = self.control.fuel_rate {
+                if !common.rate.admit(rate, now_cycles) {
+                    self.control_stats.rate_rejections += 1;
+                    return Err(TwineError::Overloaded(format!(
+                        "tenant {session:?} fuel-rate debt exceeds burst"
+                    )));
+                }
+            }
+        }
+        // Restore a parked session warm. Done before `invoke_in_enclave`
+        // captures its cycle baseline, so the invocation report covers the
+        // invocation only (restore cost lands on the shared clock).
+        self.ensure_live(session)?;
+        let epoch_deadline = self
+            .control
+            .epoch_slack
+            .map(|s| self.epoch.load(Ordering::Relaxed).saturating_add(s));
 
+        let sess = match self.sessions.get_mut(session) {
+            Some(SessionSlot::Live(s)) => s,
+            _ => unreachable!("ensure_live leaves the session live"),
+        };
         // Recycle per-run state; everything else is warm reuse.
         sess.instance.meter.reset();
-        sess.instance.fuel = sess.fuel;
+        sess.instance.fuel = sess.common.fuel;
+        sess.instance.deadline = sess.common.deadline;
+        if let Some(d) = epoch_deadline {
+            sess.instance.epoch_deadline = d;
+        }
         sess.instance.state::<WasiCtx>().reset_for_invocation();
 
         let outcome = invoke_in_enclave(&self.enclave, &mut sess.instance, func, args);
-        match outcome.values {
+        if self.control.fuel_rate.is_some() {
+            sess.common.rate.charge(outcome.meter.total());
+        }
+        let result = match outcome.values {
             Ok(values) => {
-                sess.stats.invocations += 1;
+                sess.common.stats.invocations += 1;
                 let report = build_report.then(|| {
                     let fuel_remaining = sess.instance.fuel;
                     let ctx = sess.instance.state::<WasiCtx>();
@@ -575,17 +786,201 @@ impl TwineService {
                 Ok((report, values))
             }
             Err(t) => {
-                if !matches!(t, Trap::BadInvoke(_)) {
-                    // Guest state is suspect after a trap: restore the
-                    // post-instantiation image so the session stays
-                    // servable. A BadInvoke (typo'd export, wrong arity or
-                    // argument types) is rejected *before* any guest code
-                    // runs, so the tenant's state is untouched — don't wipe
-                    // it, and don't count it as a served invocation.
-                    sess.stats.invocations += 1;
-                    sess.instance.reset_to(&sess.snapshot);
+                match t {
+                    // A BadInvoke (typo'd export, wrong arity or argument
+                    // types) is rejected *before* any guest code runs, so
+                    // the tenant's state is untouched — don't wipe it, and
+                    // don't count it as a served invocation.
+                    Trap::BadInvoke(_) => {}
+                    // Preemption is scheduler policy, not a guest fault:
+                    // metering was rolled back exactly and guest state is a
+                    // deterministic prefix of the full run, so keep it —
+                    // the tenant resumes where it left off on its next
+                    // admitted call.
+                    Trap::DeadlineExceeded => {
+                        sess.common.stats.invocations += 1;
+                        self.control_stats.deadline_preemptions += 1;
+                    }
+                    // Guest state is suspect after a genuine trap: restore
+                    // the post-instantiation image so the session stays
+                    // servable.
+                    _ => {
+                        sess.common.stats.invocations += 1;
+                        sess.instance.reset_to(&sess.common.base_snapshot);
+                    }
                 }
                 Err(TwineError::Trap(t))
+            }
+        };
+        // The invocation may have grown guest memory / EPC residency.
+        self.enforce_pressure(Some(session));
+        result
+    }
+
+    /// Park a live session: flush its page sink, snapshot its guest state,
+    /// **seal** the image (it leaves the enclave, so it leaves encrypted
+    /// and integrity-bound — accounted as boundary traffic like a
+    /// protected-file write) and release its EPC pages. Idempotent on an
+    /// already-parked session. The next invoke restores it warm,
+    /// bit-identical to never having been parked.
+    pub fn park_session(&mut self, name: &str) -> Result<(), TwineError> {
+        match self.sessions.get(name) {
+            None => {
+                return Err(TwineError::Session(format!("no session named {name:?}")));
+            }
+            Some(SessionSlot::Parked(_)) => return Ok(()),
+            Some(SessionSlot::Live(_)) => {}
+        }
+        let Some(SessionSlot::Live(sess)) = self.sessions.remove(name) else {
+            unreachable!("matched Live above");
+        };
+        let Session {
+            mut instance,
+            common,
+        } = sess;
+        instance.flush_page_sink();
+        let snap = instance.snapshot();
+        let bytes = snap.to_bytes();
+        let sealed = self.enclave.ecall(|| self.enclave.seal(&bytes));
+        // The sealed image crosses the boundary outward.
+        self.enclave.ocall(sealed.len() as u64, || ());
+        // Release the session's resident EPC pages (4 KiB granularity, the
+        // same the page sink touches in).
+        self.enclave.epc().discard_range(
+            common.stats.epc_base_page,
+            (snap.memory_bytes() as u64).div_ceil(4096),
+        );
+        self.control_stats.parks += 1;
+        self.control_stats.sealed_bytes += sealed.len() as u64;
+        let ctx = instance
+            .into_state::<WasiCtx>()
+            .expect("service sessions hold a WasiCtx");
+        self.sessions.insert(
+            name.to_string(),
+            SessionSlot::Parked(ParkedSession {
+                sealed,
+                ctx,
+                common,
+            }),
+        );
+        Ok(())
+    }
+
+    /// Restore a parked session to live (no-op when already live): the
+    /// sealed image crosses back into the enclave, is unsealed and
+    /// rehydrated into a fresh instance at the same EPC base range. On any
+    /// failure the parked slot is reinstated untouched.
+    fn ensure_live(&mut self, name: &str) -> Result<(), TwineError> {
+        match self.sessions.get(name) {
+            None => {
+                return Err(TwineError::Session(format!("no session named {name:?}")));
+            }
+            Some(SessionSlot::Live(_)) => return Ok(()),
+            Some(SessionSlot::Parked(_)) => {}
+        }
+        let Some(SessionSlot::Parked(parked)) = self.sessions.remove(name) else {
+            unreachable!("matched Parked above");
+        };
+        let ParkedSession {
+            sealed,
+            ctx,
+            common,
+        } = parked;
+        // The sealed image crosses the boundary inward.
+        self.enclave.ocall(sealed.len() as u64, || ());
+        let reinstate = |svc: &mut Self, ctx: WasiCtx, common: SessionCommon, sealed: Vec<u8>| {
+            svc.sessions.insert(
+                name.to_string(),
+                SessionSlot::Parked(ParkedSession {
+                    sealed,
+                    ctx,
+                    common,
+                }),
+            );
+        };
+        let bytes = match self.enclave.ecall(|| self.enclave.unseal(&sealed)) {
+            Ok(b) => b,
+            Err(e) => {
+                reinstate(self, ctx, common, sealed);
+                return Err(TwineError::Sgx(e));
+            }
+        };
+        let Some(snap) = InstanceSnapshot::from_bytes(&bytes) else {
+            reinstate(self, ctx, common, sealed);
+            return Err(TwineError::Session(format!(
+                "session {name:?}: corrupt parked image"
+            )));
+        };
+        let mut instance = match Instance::from_snapshot(
+            Arc::clone(&common.compiled),
+            &self.linker,
+            &snap,
+            Box::new(ctx),
+        ) {
+            Ok(i) => i,
+            Err((e, host_data)) => {
+                let ctx = *host_data.downcast::<WasiCtx>().expect("wasi ctx");
+                reinstate(self, ctx, common, sealed);
+                return Err(TwineError::Module(e));
+            }
+        };
+        instance.set_page_sink(Some(Box::new(EpcSink::new(
+            self.enclave.epc(),
+            common.stats.epc_base_page,
+        ))));
+        if self.control.epoch_slack.is_some() {
+            instance.set_epoch(Some(Arc::clone(&self.epoch)));
+        }
+        self.control_stats.restores += 1;
+        self.control_stats.unsealed_bytes += sealed.len() as u64;
+        self.sessions
+            .insert(name.to_string(), SessionSlot::Live(Session { instance, common }));
+        Ok(())
+    }
+
+    /// Whether the eviction policy wants fewer live sessions right now.
+    fn over_pressure(&self, live: usize) -> bool {
+        if self.control.max_live_sessions.is_some_and(|max| live > max) {
+            return true;
+        }
+        if let Some(frac) = self.control.epc_park_watermark {
+            let epc = self.enclave.epc();
+            let limit = epc.limit_pages();
+            if limit > 0 {
+                #[allow(clippy::cast_precision_loss)]
+                let threshold = (limit as f64 * frac).max(0.0) as usize;
+                if epc.resident_pages() > threshold {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Park least-recently-used live sessions while the eviction policy
+    /// reports pressure (live count over budget, or EPC residency over the
+    /// watermark). `exclude` protects the session currently being served —
+    /// eviction never races the in-flight invoke.
+    fn enforce_pressure(&mut self, exclude: Option<&str>) {
+        loop {
+            let live = self.live_session_count();
+            if live == 0 || !self.over_pressure(live) {
+                return;
+            }
+            let victim = self
+                .sessions
+                .iter()
+                .filter(|(n, s)| {
+                    matches!(s, SessionSlot::Live(_)) && exclude != Some(n.as_str())
+                })
+                .min_by_key(|(_, s)| s.common().last_use)
+                .map(|(n, _)| n.clone());
+            let Some(victim) = victim else {
+                // Only the excluded session is live: nothing to park.
+                return;
+            };
+            if self.park_session(&victim).is_err() {
+                return;
             }
         }
     }
@@ -597,11 +992,14 @@ impl TwineService {
     /// and the trusted-clock watermark persist (files survive; the clock
     /// stays monotonic).
     pub fn reset_session(&mut self, name: &str) -> Result<(), TwineError> {
-        let sess = self
-            .sessions
-            .get_mut(name)
-            .ok_or_else(|| TwineError::Session(format!("no session named {name:?}")))?;
-        sess.instance.reset_to(&sess.snapshot);
+        self.ensure_live(name)?;
+        self.use_seq += 1;
+        let use_seq = self.use_seq;
+        let Some(SessionSlot::Live(sess)) = self.sessions.get_mut(name) else {
+            unreachable!("ensure_live leaves the session live");
+        };
+        sess.common.last_use = use_seq;
+        sess.instance.reset_to(&sess.common.base_snapshot);
         sess.instance.state::<WasiCtx>().reset_for_invocation();
         Ok(())
     }
@@ -609,11 +1007,29 @@ impl TwineService {
     /// Override the per-invocation fuel budget of one session (defaults to
     /// the builder's fuel).
     pub fn set_session_fuel(&mut self, name: &str, fuel: Option<u64>) -> Result<(), TwineError> {
-        let sess = self
+        let slot = self
             .sessions
             .get_mut(name)
             .ok_or_else(|| TwineError::Session(format!("no session named {name:?}")))?;
-        sess.fuel = fuel;
+        slot.common_mut().fuel = fuel;
+        Ok(())
+    }
+
+    /// Override the per-invocation preemption deadline of one session
+    /// (defaults to [`ControlPlane::deadline`]). Like fuel, the deadline
+    /// is denominated in baseline-constituent instructions; unlike fuel,
+    /// exceeding it is a scheduler yield, not a tenant fault — guest state
+    /// is kept, not wiped.
+    pub fn set_session_deadline(
+        &mut self,
+        name: &str,
+        deadline: Option<u64>,
+    ) -> Result<(), TwineError> {
+        let slot = self
+            .sessions
+            .get_mut(name)
+            .ok_or_else(|| TwineError::Session(format!("no session named {name:?}")))?;
+        slot.common_mut().deadline = deadline;
         Ok(())
     }
 
@@ -623,18 +1039,33 @@ impl TwineService {
     pub fn session_clock_watermark(&self, name: &str) -> Option<u64> {
         self.sessions
             .get(name)
-            .map(|s| s.watermark.load(Ordering::Relaxed))
+            .map(|s| s.common().watermark.load(Ordering::Relaxed))
     }
 
-    /// Close a session, returning its file-system backend so the embedder
-    /// can persist or migrate the tenant's protected files. The cached
-    /// compiled module stays in the cache for future sessions — reclaim
-    /// orphaned entries with
+    /// Close a session (live or parked), returning its file-system backend
+    /// so the embedder can persist or migrate the tenant's protected
+    /// files. The cached compiled module stays in the cache for future
+    /// sessions — reclaim orphaned entries with
     /// [`module_cache().evict_unreferenced()`](ModuleCache::evict_unreferenced).
     pub fn close_session(&mut self, name: &str) -> Option<Box<dyn FsBackend>> {
-        let sess = self.sessions.remove(name)?;
-        sess.instance
-            .into_state::<WasiCtx>()
-            .map(wasi_backend_into_box)
+        match self.sessions.remove(name)? {
+            SessionSlot::Live(mut sess) => {
+                // Release the session's EPC pages: a closed tenant must not
+                // keep pinning residency. Flush first so buffered page
+                // transitions fold before the discard, not after.
+                sess.instance.flush_page_sink();
+                let mem_bytes = sess.instance.memory().map_or(0, |m| m.size_bytes() as u64);
+                self.enclave.epc().discard_range(
+                    sess.common.stats.epc_base_page,
+                    mem_bytes.div_ceil(4096),
+                );
+                sess.instance
+                    .into_state::<WasiCtx>()
+                    .map(wasi_backend_into_box)
+            }
+            // A parked session's pages were already discarded at park time;
+            // its WASI context is right here.
+            SessionSlot::Parked(parked) => Some(wasi_backend_into_box(parked.ctx)),
+        }
     }
 }

@@ -24,16 +24,20 @@
 //! this). Only *globally shared counters* — virtual-clock cycles, EPC
 //! fault counts, boundary stats — depend on cross-shard interleaving.
 
-use std::sync::atomic::AtomicU64;
-use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::Arc;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{
+    channel, sync_channel, Receiver, RecvTimeoutError, Sender, SyncSender, TrySendError,
+};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use twine_sgx::{Enclave, SimClock};
 use twine_wasi::FsBackend;
 use twine_wasm::Value;
 
+use crate::control::{ControlPlane, ControlStats};
 use crate::runtime::{RunReport, TwineBuilder, TwineError};
 
 /// Reply payload of an invoke command (report present iff requested).
@@ -109,6 +113,18 @@ enum Cmd {
         fuel: Option<u64>,
         reply: Sender<Reply>,
     },
+    SetDeadline {
+        name: String,
+        deadline: Option<u64>,
+        reply: Sender<Reply>,
+    },
+    Park {
+        name: String,
+        reply: Sender<Reply>,
+    },
+    ControlStats {
+        reply: Sender<Reply>,
+    },
     Watermark {
         name: String,
         reply: Sender<Reply>,
@@ -141,6 +157,66 @@ enum Reply {
     Stats(Option<SessionStats>),
     Module(Option<Arc<twine_wasm::compile::CompiledModule>>),
     ShardStats(ShardStats),
+    Control(ControlStats),
+}
+
+/// A shard's command queue sender: unbounded by default, bounded when the
+/// control plane sets [`ControlPlane::queue_depth`].
+enum ShardTx {
+    Unbounded(Sender<Cmd>),
+    Bounded(SyncSender<Cmd>),
+}
+
+/// Why a non-blocking send did not enqueue.
+enum SendAttempt {
+    Full,
+    Disconnected,
+}
+
+impl ShardTx {
+    /// Blocking send — for control/introspection commands, which are never
+    /// load-shed. Workers always drain their queue, so on a full bounded
+    /// queue this waits briefly instead of deadlocking.
+    fn send(&self, cmd: Cmd) -> Result<(), ()> {
+        match self {
+            ShardTx::Unbounded(tx) => tx.send(cmd).map_err(|_| ()),
+            ShardTx::Bounded(tx) => tx.send(cmd).map_err(|_| ()),
+        }
+    }
+
+    /// Non-blocking send — for load-bearing commands (open/invoke/batch):
+    /// a full bounded queue rejects (backpressure) instead of queueing
+    /// unboundedly.
+    fn try_send(&self, cmd: Cmd) -> Result<(), SendAttempt> {
+        match self {
+            ShardTx::Unbounded(tx) => tx.send(cmd).map_err(|_| SendAttempt::Disconnected),
+            ShardTx::Bounded(tx) => tx.try_send(cmd).map_err(|e| match e {
+                TrySendError::Full(_) => SendAttempt::Full,
+                TrySendError::Disconnected(_) => SendAttempt::Disconnected,
+            }),
+        }
+    }
+}
+
+/// RAII decrement of a tenant's in-flight count (see
+/// [`ControlPlane::max_in_flight`]). Held by the caller across the
+/// send → recv round trip, so the count covers queued *and* executing
+/// commands.
+struct InFlightGuard<'a> {
+    map: &'a Mutex<HashMap<String, u64>>,
+    name: String,
+}
+
+impl Drop for InFlightGuard<'_> {
+    fn drop(&mut self) {
+        let mut m = self.map.lock().unwrap();
+        if let Some(n) = m.get_mut(&self.name) {
+            *n -= 1;
+            if *n == 0 {
+                m.remove(&self.name);
+            }
+        }
+    }
 }
 
 /// Run `f` with this thread's reusable reply channel. One channel pair per
@@ -180,10 +256,21 @@ fn with_reply_channel<R>(f: impl FnOnce(&Sender<Reply>, &Receiver<Reply>) -> R) 
 /// assert_eq!(out[0], Value::I32(42));
 /// ```
 pub struct ShardedService {
-    shards: Vec<Sender<Cmd>>,
+    shards: Vec<ShardTx>,
     workers: Vec<JoinHandle<()>>,
     enclave: Arc<Enclave>,
     cache: Arc<ModuleCache>,
+    control: ControlPlane,
+    /// Shared preemption epoch (one counter across all shards; see
+    /// [`ControlPlane::epoch_slack`]).
+    epoch: Arc<AtomicU64>,
+    /// Per-tenant in-flight command counts (only consulted when
+    /// [`ControlPlane::max_in_flight`] is set).
+    in_flight: Mutex<HashMap<String, u64>>,
+    queue_rejections: AtomicU64,
+    inflight_rejections: AtomicU64,
+    /// Wall-clock epoch ticker: dropping the sender wakes and ends it.
+    ticker: Option<(Sender<()>, JoinHandle<()>)>,
 }
 
 impl ShardedService {
@@ -195,13 +282,25 @@ impl ShardedService {
             .then(|| twine_pfs::PfsProfiler::new(enclave.clock().clone()));
         let linker = Arc::new(crate::runtime::base_linker());
         let cache = Arc::new(ModuleCache::new(b.exec_tier));
+        let control = b.control.clone();
+        cache.set_capacity(control.module_cache_capacity);
         let epc_slots = Arc::new(AtomicU64::new(0));
+        let epoch = Arc::new(AtomicU64::new(0));
         let tpl = SessionTemplate::from_builder(&b);
 
         let mut shards = Vec::with_capacity(threads);
         let mut workers = Vec::with_capacity(threads);
         for i in 0..threads {
-            let (tx, rx) = channel();
+            let (tx, rx) = match control.queue_depth {
+                Some(d) => {
+                    let (t, r) = sync_channel(d.max(1));
+                    (ShardTx::Bounded(t), r)
+                }
+                None => {
+                    let (t, r) = channel();
+                    (ShardTx::Unbounded(t), r)
+                }
+            };
             let shard = TwineService::shard(
                 Arc::clone(&enclave),
                 b.processor.clone(),
@@ -210,20 +309,52 @@ impl ShardedService {
                 Arc::clone(&epc_slots),
                 tpl.clone(),
                 profiler.clone(),
+                control.clone(),
+                Arc::clone(&epoch),
             );
+            // Workers advance the shared epoch once per processed command
+            // (only when epoch preemption is armed): a busy fleet of shards
+            // preempts long invocations without any wall-clock dependence.
+            let epoch_bump = control.epoch_slack.is_some().then(|| Arc::clone(&epoch));
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("twine-shard-{i}"))
-                    .spawn(move || shard_main(shard, &rx))
+                    .spawn(move || shard_main(shard, &rx, epoch_bump))
                     .expect("spawn shard worker"),
             );
             shards.push(tx);
         }
+        // Optional wall-clock ticker: protects even a single busy shard
+        // from a runaway guest (worker bumps only land *between* commands).
+        let ticker = match (control.epoch_slack, control.epoch_interval_ms) {
+            (Some(_), Some(ms)) => {
+                let (stop_tx, stop_rx) = channel::<()>();
+                let ep = Arc::clone(&epoch);
+                let h = std::thread::Builder::new()
+                    .name("twine-epoch-ticker".into())
+                    .spawn(move || {
+                        while let Err(RecvTimeoutError::Timeout) =
+                            stop_rx.recv_timeout(Duration::from_millis(ms.max(1)))
+                        {
+                            ep.fetch_add(1, Ordering::Relaxed);
+                        }
+                    })
+                    .expect("spawn epoch ticker");
+                Some((stop_tx, h))
+            }
+            _ => None,
+        };
         Self {
             shards,
             workers,
             enclave,
             cache,
+            control,
+            epoch,
+            in_flight: Mutex::new(HashMap::new()),
+            queue_rejections: AtomicU64::new(0),
+            inflight_rejections: AtomicU64::new(0),
+            ticker,
         }
     }
 
@@ -261,7 +392,8 @@ impl ShardedService {
     }
 
     /// Send one command to `shard` over this client thread's reusable
-    /// reply channel and wait for the worker's answer.
+    /// reply channel and wait for the worker's answer. Blocking enqueue —
+    /// control/introspection commands are never load-shed.
     fn send(
         &self,
         shard: usize,
@@ -270,16 +402,66 @@ impl ShardedService {
         with_reply_channel(|tx, rx| {
             self.shards[shard]
                 .send(make(tx.clone()))
-                .map_err(|_| TwineError::Session("shard worker terminated".into()))?;
+                .map_err(|()| TwineError::Session("shard worker terminated".into()))?;
             rx.recv()
                 .map_err(|_| TwineError::Session("shard worker terminated".into()))
         })
     }
 
+    /// [`send`](Self::send) for load-bearing commands (open/invoke/batch):
+    /// when the shard queue is bounded and full, reject with
+    /// [`TwineError::Overloaded`] instead of blocking — typed
+    /// backpressure the caller may retry on.
+    fn send_load(
+        &self,
+        shard: usize,
+        make: impl FnOnce(Sender<Reply>) -> Cmd,
+    ) -> Result<Reply, TwineError> {
+        with_reply_channel(|tx, rx| {
+            match self.shards[shard].try_send(make(tx.clone())) {
+                Ok(()) => {}
+                Err(SendAttempt::Full) => {
+                    self.queue_rejections.fetch_add(1, Ordering::Relaxed);
+                    return Err(TwineError::Overloaded(format!("shard {shard} queue full")));
+                }
+                Err(SendAttempt::Disconnected) => {
+                    return Err(TwineError::Session("shard worker terminated".into()));
+                }
+            }
+            rx.recv()
+                .map_err(|_| TwineError::Session("shard worker terminated".into()))
+        })
+    }
+
+    /// Count `name` against its tenant in-flight cap, if one is
+    /// configured. The returned guard releases the slot when the caller's
+    /// round trip completes (any exit path).
+    fn acquire_in_flight(&self, name: &str) -> Result<Option<InFlightGuard<'_>>, TwineError> {
+        let Some(max) = self.control.max_in_flight else {
+            return Ok(None);
+        };
+        let mut m = self.in_flight.lock().unwrap();
+        let n = m.entry(name.to_string()).or_insert(0);
+        if *n >= max {
+            if *n == 0 {
+                m.remove(name);
+            }
+            self.inflight_rejections.fetch_add(1, Ordering::Relaxed);
+            return Err(TwineError::Overloaded(format!(
+                "tenant {name:?} at in-flight cap ({max})"
+            )));
+        }
+        *n += 1;
+        Ok(Some(InFlightGuard {
+            map: &self.in_flight,
+            name: name.to_string(),
+        }))
+    }
+
     /// Open a named session on the shard owning `name` (cold path). See
     /// [`TwineService::open_session`].
     pub fn open_session(&self, name: &str, wasm: &[u8]) -> Result<SessionStats, TwineError> {
-        match self.send(self.shard_of(name), |reply| Cmd::Open {
+        match self.send_load(self.shard_of(name), |reply| Cmd::Open {
             name: name.to_string(),
             wasm: wasm.to_vec(),
             reply,
@@ -327,7 +509,8 @@ impl ShardedService {
         func: &str,
         args_list: Vec<Vec<Value>>,
     ) -> Result<Vec<Vec<Value>>, TwineError> {
-        match self.send(self.shard_of(session), |reply| Cmd::InvokeBatch {
+        let _guard = self.acquire_in_flight(session)?;
+        match self.send_load(self.shard_of(session), |reply| Cmd::InvokeBatch {
             name: session.to_string(),
             func: func.to_string(),
             args_list,
@@ -351,7 +534,8 @@ impl ShardedService {
         args: &[Value],
         want_report: bool,
     ) -> InvokeReply {
-        match self.send(self.shard_of(session), |reply| Cmd::Invoke {
+        let _guard = self.acquire_in_flight(session)?;
+        match self.send_load(self.shard_of(session), |reply| Cmd::Invoke {
             name: session.to_string(),
             func: func.to_string(),
             args: args.to_vec(),
@@ -385,6 +569,57 @@ impl ShardedService {
             Reply::Unit(r) => r,
             _ => unreachable!("shard protocol mismatch"),
         }
+    }
+
+    /// Override one session's per-invocation preemption deadline. See
+    /// [`TwineService::set_session_deadline`].
+    pub fn set_session_deadline(
+        &self,
+        name: &str,
+        deadline: Option<u64>,
+    ) -> Result<(), TwineError> {
+        match self.send(self.shard_of(name), |reply| Cmd::SetDeadline {
+            name: name.to_string(),
+            deadline,
+            reply,
+        })? {
+            Reply::Unit(r) => r,
+            _ => unreachable!("shard protocol mismatch"),
+        }
+    }
+
+    /// Park a session (seal its state out of the enclave and release its
+    /// EPC pages). See [`TwineService::park_session`].
+    pub fn park_session(&self, name: &str) -> Result<(), TwineError> {
+        match self.send(self.shard_of(name), |reply| Cmd::Park {
+            name: name.to_string(),
+            reply,
+        })? {
+            Reply::Unit(r) => r,
+            _ => unreachable!("shard protocol mismatch"),
+        }
+    }
+
+    /// Bump the shared preemption epoch by hand (see
+    /// [`ControlPlane::epoch_slack`]); shard workers and the optional
+    /// wall-clock ticker bump it automatically.
+    pub fn bump_epoch(&self) {
+        self.epoch.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Control-plane counters summed across every shard, plus the
+    /// handle-level admission counters (queue / in-flight rejections).
+    #[must_use]
+    pub fn control_stats(&self) -> ControlStats {
+        let mut total = ControlStats::default();
+        for i in 0..self.shards.len() {
+            if let Ok(Reply::Control(s)) = self.send(i, |reply| Cmd::ControlStats { reply }) {
+                total.merge(&s);
+            }
+        }
+        total.queue_rejections += self.queue_rejections.load(Ordering::Relaxed);
+        total.inflight_rejections += self.inflight_rejections.load(Ordering::Relaxed);
+        total
     }
 
     /// The trusted-clock watermark of a session.
@@ -454,7 +689,7 @@ impl ShardedService {
         }
     }
 
-    /// Live sessions across all shards.
+    /// Open sessions (live + parked) across all shards.
     #[must_use]
     pub fn session_count(&self) -> usize {
         self.shard_stats().iter().map(|s| s.sessions).sum()
@@ -477,6 +712,13 @@ impl ShardedService {
 
 impl Drop for ShardedService {
     fn drop(&mut self) {
+        // Dropping the stop sender wakes the epoch ticker's recv_timeout
+        // immediately; join it before the epoch Arc's last strong owner
+        // could matter.
+        if let Some((stop_tx, h)) = self.ticker.take() {
+            drop(stop_tx);
+            let _ = h.join();
+        }
         // Closing the command channels ends each worker's recv loop; join
         // so sessions (and their protected files) are dropped before the
         // enclave handle goes away.
@@ -499,13 +741,20 @@ fn fnv1a(bytes: &[u8]) -> u64 {
 
 /// The worker loop: single owner of this shard's sessions. Processes its
 /// queue in FIFO order until every handle to the service is dropped.
-fn shard_main(mut shard: TwineService, rx: &Receiver<Cmd>) {
+fn shard_main(mut shard: TwineService, rx: &Receiver<Cmd>, epoch_bump: Option<Arc<AtomicU64>>) {
     let mut invocations = 0u64;
     // Wall-clock fallback accumulator; superseded by thread CPU time when
     // the platform provides it (see `ShardStats::busy_ns`).
     let mut wall_busy_ns = 0u64;
     let cpu0 = thread_cpu_ns();
     while let Ok(cmd) = rx.recv() {
+        // With epoch preemption armed, every processed command advances
+        // the shared epoch: cross-shard traffic preempts a long invocation
+        // without any wall-clock dependence (deterministic tests bump by
+        // hand instead).
+        if let Some(ep) = &epoch_bump {
+            ep.fetch_add(1, Ordering::Relaxed);
+        }
         let t0 = Instant::now();
         match cmd {
             Cmd::Open { name, wasm, reply } => {
@@ -550,6 +799,19 @@ fn shard_main(mut shard: TwineService, rx: &Receiver<Cmd>) {
             }
             Cmd::SetFuel { name, fuel, reply } => {
                 let _ = reply.send(Reply::Unit(shard.set_session_fuel(&name, fuel)));
+            }
+            Cmd::SetDeadline {
+                name,
+                deadline,
+                reply,
+            } => {
+                let _ = reply.send(Reply::Unit(shard.set_session_deadline(&name, deadline)));
+            }
+            Cmd::Park { name, reply } => {
+                let _ = reply.send(Reply::Unit(shard.park_session(&name)));
+            }
+            Cmd::ControlStats { reply } => {
+                let _ = reply.send(Reply::Control(shard.control_stats()));
             }
             Cmd::Watermark { name, reply } => {
                 let _ = reply.send(Reply::Watermark(shard.session_clock_watermark(&name)));

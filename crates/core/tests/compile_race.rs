@@ -183,3 +183,114 @@ fn sharded_sessions_share_one_module() {
         }
     }
 }
+
+/// ROADMAP item 5 regression: with a capacity set, a cache churned with a
+/// stream of distinct binaries (none referenced after use) stays bounded
+/// — every insert past capacity sweeps the unreferenced entries as part
+/// of the insert itself, no embedder `evict_unreferenced` call needed.
+#[test]
+fn capacity_bounds_cache_under_churn() {
+    const CAP: usize = 4;
+    const CHURN: usize = 40;
+    let cache = ModuleCache::new(ExecTier::default());
+    cache.set_capacity(Some(CAP));
+    for i in 0..CHURN {
+        let wasm = guest(&format!("int f(int x) {{ return x * {} + 1; }}", i + 2));
+        let (_m, _, hit) = cache.get_or_compile(&wasm).expect("compiles");
+        assert!(!hit, "every binary is distinct");
+        // `_m` drops here: nothing references the entry any more.
+        assert!(
+            cache.len() <= CAP,
+            "cache grew to {} > capacity {CAP} after churn insert {i}",
+            cache.len()
+        );
+    }
+    assert!(
+        cache.capacity_evictions() >= (CHURN - CAP) as u64,
+        "inserted {CHURN} into capacity {CAP}, only {} evictions",
+        cache.capacity_evictions()
+    );
+    assert_eq!(cache.misses(), CHURN as u64);
+}
+
+/// Capacity eviction must never break pointer sharing: entries whose
+/// module some session still holds survive any number of over-capacity
+/// sweeps (the cache is bounded by `max(capacity, live working set)`),
+/// and re-opens keep returning the identical `Arc` as hits.
+#[test]
+fn referenced_modules_survive_capacity_pressure() {
+    const HELD: usize = 5;
+    let cache = ModuleCache::new(ExecTier::default());
+    cache.set_capacity(Some(2));
+    let sources: Vec<Vec<u8>> = (0..HELD)
+        .map(|i| guest(&format!("int keep(int x) {{ return x + {i}; }}")))
+        .collect();
+    let held: Vec<_> = sources
+        .iter()
+        .map(|w| cache.get_or_compile(w).expect("compiles").0)
+        .collect();
+    assert_eq!(cache.len(), HELD, "live working set exceeds capacity");
+
+    // Churn unreferenced binaries through the over-capacity cache: each
+    // sweep may keep at most the held set, the entry just inserted, and
+    // the previous round's not-yet-swept entry.
+    for i in 0..10 {
+        let wasm = guest(&format!("int churn(int x) {{ return x - {i}; }}"));
+        cache.get_or_compile(&wasm).expect("compiles");
+        assert!(cache.len() <= HELD + 2, "held working set was evicted");
+    }
+    let misses_before = cache.misses();
+    for (w, m) in sources.iter().zip(&held) {
+        let (again, _, hit) = cache.get_or_compile(w).expect("still cached");
+        assert!(hit, "held module must not recompile under pressure");
+        assert!(Arc::ptr_eq(m, &again), "pointer identity preserved");
+    }
+    assert_eq!(cache.misses(), misses_before);
+
+    // Once the sessions let go, the next insert sweeps the backlog.
+    drop(held);
+    cache.get_or_compile(&guest("int last(int x) { return x; }")).unwrap();
+    assert!(cache.len() <= 2, "unreferenced backlog survived the sweep");
+}
+
+/// End-to-end: a service configured with `module_cache_capacity` serving
+/// a churn of tenants with distinct binaries keeps its cache bounded,
+/// while concurrently-open sessions over the same bytes still share one
+/// pointer-identical module.
+#[test]
+fn service_cache_stays_bounded_under_tenant_churn() {
+    let control = twine_core::ControlPlane {
+        module_cache_capacity: Some(2),
+        ..twine_core::ControlPlane::default()
+    };
+    let mut svc = TwineBuilder::new().control_plane(control).build_service();
+    let shared = guest("int s(int x) { return x * 7; }");
+    svc.open_session("pinned-a", &shared).expect("open");
+    svc.open_session("pinned-b", &shared).expect("open");
+    assert!(Arc::ptr_eq(
+        svc.session_module("pinned-a").unwrap(),
+        svc.session_module("pinned-b").unwrap()
+    ));
+
+    for i in 0..12 {
+        let wasm = guest(&format!("int t(int x) {{ return x + {}; }}", 100 + i));
+        let name = format!("drive-by-{i}");
+        svc.open_session(&name, &wasm).expect("open");
+        let out = svc.invoke(&name, "t", &[Value::I32(1)]).expect("call");
+        assert_eq!(out[0], Value::I32(101 + i));
+        svc.close_session(&name);
+        assert!(
+            svc.module_cache().len() <= 4,
+            "service cache unbounded under churn: {}",
+            svc.module_cache().len()
+        );
+    }
+    assert!(svc.module_cache().capacity_evictions() > 0);
+    // The pinned tenants' shared module survived every sweep.
+    let out = svc.invoke("pinned-a", "s", &[Value::I32(6)]).expect("call");
+    assert_eq!(out[0], Value::I32(42));
+    assert!(Arc::ptr_eq(
+        svc.session_module("pinned-a").unwrap(),
+        svc.session_module("pinned-b").unwrap()
+    ));
+}

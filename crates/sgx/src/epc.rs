@@ -317,6 +317,24 @@ impl EpcHandle {
         self.with_epc(|epc| epc.touch_range(first_page, n_pages));
     }
 
+    /// Drop a contiguous page range from residency without charging, under
+    /// **one** lock acquisition. This is the park path of the session
+    /// control plane: when a session's state is sealed out of the enclave,
+    /// its EPC pages stop being resident — that is the whole point of the
+    /// eviction, the pressure signal (`resident_pages`) must drop. The
+    /// pages fault back in (with the usual swap charges) as the restored
+    /// session touches them again.
+    pub fn discard_range(&self, first_page: u64, n_pages: u64) {
+        if n_pages == 0 || !self.is_enabled() {
+            return;
+        }
+        self.with_epc(|epc| {
+            for p in first_page..first_page.saturating_add(n_pages) {
+                epc.discard(p);
+            }
+        });
+    }
+
     /// Replay a buffered page-transition stream in order under **one**
     /// lock acquisition — the batched accounting path of the sharded
     /// service. Exactly equivalent to calling [`touch`](Self::touch) per

@@ -8,6 +8,7 @@
 
 use std::any::Any;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crate::compile::{BranchTarget, CompiledModule};
@@ -45,6 +46,12 @@ pub enum Trap {
     IndirectTypeMismatch,
     /// The configured fuel budget ran out.
     OutOfFuel,
+    /// The per-invocation deadline expired (instruction deadline or an
+    /// epoch bump by the embedder). Distinct from [`Trap::OutOfFuel`] so a
+    /// control plane can tell "tenant exhausted its paid budget" from
+    /// "scheduler preempted the invocation": the former is the guest's
+    /// fault, the latter is service policy.
+    DeadlineExceeded,
     /// A host function reported an error.
     Host(String),
     /// The invoked export does not exist or has the wrong arguments.
@@ -63,6 +70,7 @@ impl core::fmt::Display for Trap {
             Trap::UndefinedElement => write!(f, "undefined table element"),
             Trap::IndirectTypeMismatch => write!(f, "indirect call type mismatch"),
             Trap::OutOfFuel => write!(f, "out of fuel"),
+            Trap::DeadlineExceeded => write!(f, "invocation deadline exceeded"),
             Trap::Host(m) => write!(f, "host error: {m}"),
             Trap::BadInvoke(m) => write!(f, "bad invoke: {m}"),
         }
@@ -263,6 +271,24 @@ pub struct Instance {
     pub meter: Meter,
     /// Optional instruction budget; `None` = unlimited.
     pub fuel: Option<u64>,
+    /// Optional per-invocation preemption deadline, in the same unit as
+    /// fuel (baseline-constituent instructions). Orthogonal to `fuel`:
+    /// fuel is the tenant's paid budget, the deadline is the scheduler's
+    /// time-slice. Execution runs against `min(fuel, deadline)`, so both
+    /// decrement in lockstep and the partial-metering/rollback machinery
+    /// of the fuel path applies verbatim; when the deadline is the binding
+    /// budget the resulting stop surfaces as [`Trap::DeadlineExceeded`]
+    /// (ties go to [`Trap::OutOfFuel`]: the tenant was out of budget
+    /// regardless of scheduling). Embedders typically re-arm this before
+    /// every invocation; like fuel, it is decremented by retired work.
+    pub deadline: Option<u64>,
+    /// Shared epoch counter for asynchronous preemption (wasmtime-style).
+    /// Checked at control-transfer boundaries; `None` = never checked.
+    epoch: Option<Arc<AtomicU64>>,
+    /// Absolute epoch value at which execution yields with
+    /// [`Trap::DeadlineExceeded`]. Re-armed by the embedder per
+    /// invocation (`current epoch + slack`).
+    pub epoch_deadline: u64,
     page_sink: Option<Box<dyn PageSink>>,
     /// Reusable frame/operand arena (see [`FrameArena`]).
     arena: FrameArena,
@@ -289,6 +315,154 @@ impl InstanceSnapshot {
     pub fn memory_bytes(&self) -> usize {
         self.memory.as_ref().map_or(0, Memory::size_bytes)
     }
+
+    /// Serialize the snapshot to a self-contained byte image (memory
+    /// limits + contents, globals, table). This is what a control plane
+    /// seals when parking an idle session outside the enclave: the bytes
+    /// round-trip exactly through [`InstanceSnapshot::from_bytes`], so a
+    /// parked-and-restored instance is bit-identical to one that never
+    /// left memory.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.memory_bytes() + 64);
+        out.push(1u8); // format version
+        match &self.memory {
+            None => out.push(0),
+            Some(mem) => {
+                out.push(1);
+                let limits = mem.limits();
+                out.extend_from_slice(&limits.min.to_le_bytes());
+                match limits.max {
+                    None => out.push(0),
+                    Some(m) => {
+                        out.push(1);
+                        out.extend_from_slice(&m.to_le_bytes());
+                    }
+                }
+                let data = mem.raw_data();
+                out.extend_from_slice(&(data.len() as u64).to_le_bytes());
+                out.extend_from_slice(data);
+            }
+        }
+        out.extend_from_slice(&(self.globals.len() as u64).to_le_bytes());
+        for g in &self.globals {
+            out.extend_from_slice(&g.to_le_bytes());
+        }
+        out.extend_from_slice(&(self.table.len() as u64).to_le_bytes());
+        for t in &self.table {
+            // u32::MAX is not a valid function index (far above the
+            // validation limits), so it encodes an uninitialized slot.
+            out.extend_from_slice(&t.unwrap_or(u32::MAX).to_le_bytes());
+        }
+        out
+    }
+
+    /// Reconstruct a snapshot serialized by [`InstanceSnapshot::to_bytes`].
+    /// Returns `None` on any structural corruption (truncation, bad
+    /// version, memory length that is not a whole number of pages).
+    #[must_use]
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        struct Rd<'a>(&'a [u8]);
+        impl Rd<'_> {
+            fn u8(&mut self) -> Option<u8> {
+                let (&b, rest) = self.0.split_first()?;
+                self.0 = rest;
+                Some(b)
+            }
+            fn u32(&mut self) -> Option<u32> {
+                let (head, rest) = self.0.split_at_checked(4)?;
+                self.0 = rest;
+                Some(u32::from_le_bytes(head.try_into().ok()?))
+            }
+            fn u64(&mut self) -> Option<u64> {
+                let (head, rest) = self.0.split_at_checked(8)?;
+                self.0 = rest;
+                Some(u64::from_le_bytes(head.try_into().ok()?))
+            }
+            fn take(&mut self, n: usize) -> Option<&[u8]> {
+                let (head, rest) = self.0.split_at_checked(n)?;
+                self.0 = rest;
+                Some(head)
+            }
+        }
+        let mut rd = Rd(bytes);
+        if rd.u8()? != 1 {
+            return None;
+        }
+        let memory = match rd.u8()? {
+            0 => None,
+            1 => {
+                let min = rd.u32()?;
+                let max = match rd.u8()? {
+                    0 => None,
+                    1 => Some(rd.u32()?),
+                    _ => return None,
+                };
+                let len = usize::try_from(rd.u64()?).ok()?;
+                if len % crate::memory::PAGE_SIZE != 0 {
+                    return None;
+                }
+                let data = rd.take(len)?.to_vec();
+                Some(Memory::from_raw(crate::types::Limits { min, max }, data))
+            }
+            _ => return None,
+        };
+        let n_globals = usize::try_from(rd.u64()?).ok()?;
+        let mut globals = Vec::with_capacity(n_globals.min(1 << 16));
+        for _ in 0..n_globals {
+            globals.push(rd.u64()?);
+        }
+        let n_table = usize::try_from(rd.u64()?).ok()?;
+        let mut table = Vec::with_capacity(n_table.min(1 << 16));
+        for _ in 0..n_table {
+            let v = rd.u32()?;
+            table.push(if v == u32::MAX { None } else { Some(v) });
+        }
+        if !rd.0.is_empty() {
+            return None;
+        }
+        Some(Self {
+            memory,
+            globals,
+            table,
+        })
+    }
+}
+
+/// Resolve a module's function imports against a linker, in import order.
+fn resolve_imports(code: &CompiledModule, linker: &Linker) -> Result<Vec<HostSlot>, ModuleError> {
+    let module = &code.module;
+    let mut host_funcs = Vec::new();
+    for imp in &module.imports {
+        match &imp.desc {
+            ImportDesc::Func(type_idx) => {
+                let want = &module.types[*type_idx as usize];
+                let Some((ty, f)) = linker.get(&imp.module, &imp.name) else {
+                    return Err(ModuleError::Instantiate(format!(
+                        "unresolved import {}.{}",
+                        imp.module, imp.name
+                    )));
+                };
+                if ty != want {
+                    return Err(ModuleError::Instantiate(format!(
+                        "import {}.{}: type mismatch (module wants {want}, host provides {ty})",
+                        imp.module, imp.name
+                    )));
+                }
+                host_funcs.push(HostSlot {
+                    ty: ty.clone(),
+                    f: Arc::clone(f),
+                });
+            }
+            ImportDesc::Memory(_) => {
+                return Err(ModuleError::Instantiate(
+                    "imported memories are not supported; define the memory in-module".into(),
+                ));
+            }
+            _ => unreachable!("rejected by validation"),
+        }
+    }
+    Ok(host_funcs)
 }
 
 impl Instance {
@@ -336,36 +510,10 @@ impl Instance {
         }
         let module = &code.module;
         // Resolve function imports, in order.
-        let mut host_funcs = Vec::new();
-        for imp in &module.imports {
-            match &imp.desc {
-                ImportDesc::Func(type_idx) => {
-                    let want = &module.types[*type_idx as usize];
-                    let Some((ty, f)) = linker.get(&imp.module, &imp.name) else {
-                        fail!(ModuleError::Instantiate(format!(
-                            "unresolved import {}.{}",
-                            imp.module, imp.name
-                        )));
-                    };
-                    if ty != want {
-                        fail!(ModuleError::Instantiate(format!(
-                            "import {}.{}: type mismatch (module wants {want}, host provides {ty})",
-                            imp.module, imp.name
-                        )));
-                    }
-                    host_funcs.push(HostSlot {
-                        ty: ty.clone(),
-                        f: Arc::clone(f),
-                    });
-                }
-                ImportDesc::Memory(_) => {
-                    fail!(ModuleError::Instantiate(
-                        "imported memories are not supported; define the memory in-module".into(),
-                    ));
-                }
-                _ => unreachable!("rejected by validation"),
-            }
-        }
+        let host_funcs = match resolve_imports(&code, linker) {
+            Ok(h) => h,
+            Err(e) => fail!(e),
+        };
 
         // Memory + data segments.
         let mut memory = module.memory.map(Memory::new);
@@ -414,6 +562,9 @@ impl Instance {
             host_data,
             meter: Meter::new(),
             fuel,
+            deadline: None,
+            epoch: None,
+            epoch_deadline: 0,
             page_sink: None,
             arena: FrameArena::default(),
         };
@@ -426,6 +577,61 @@ impl Instance {
             }
         }
         Ok(inst)
+    }
+
+    /// Rehydrate an instance directly from a snapshot: imports are resolved
+    /// against the linker, then memory/globals/table are installed from the
+    /// snapshot **without** re-applying data segments or re-running the
+    /// start function — no guest instruction retires and the meter stays
+    /// zero. This is the warm-restore path of a session control plane: a
+    /// parked session's unsealed [`InstanceSnapshot`] comes back exactly as
+    /// it was parked, bit-identical to an instance that was never evicted.
+    ///
+    /// Fuel, deadline, epoch and page sink start unset; the embedder
+    /// re-attaches its own (they are service state, not guest state).
+    ///
+    /// # Errors
+    /// Returns the untouched `host_data` alongside the error if an import
+    /// cannot be resolved (same contract as [`Instance::instantiate_shared`]).
+    #[allow(clippy::type_complexity)]
+    pub fn from_snapshot(
+        code: Arc<CompiledModule>,
+        linker: &Linker,
+        snap: &InstanceSnapshot,
+        host_data: Box<dyn Any + Send>,
+    ) -> Result<Self, (ModuleError, Box<dyn Any + Send>)> {
+        let host_funcs = match resolve_imports(&code, linker) {
+            Ok(h) => h,
+            Err(e) => return Err((e, host_data)),
+        };
+        Ok(Self {
+            code,
+            memory: snap.memory.clone(),
+            globals: snap.globals.clone(),
+            table: snap.table.clone(),
+            host_funcs,
+            host_data,
+            meter: Meter::new(),
+            fuel: None,
+            deadline: None,
+            epoch: None,
+            epoch_deadline: 0,
+            page_sink: None,
+            arena: FrameArena::default(),
+        })
+    }
+
+    /// Attach (or clear) the shared epoch counter used for asynchronous
+    /// preemption. While attached, the dispatch loops compare it against
+    /// [`Instance::epoch_deadline`] at control-transfer boundaries (branch
+    /// back-edges, region entries) and yield with
+    /// [`Trap::DeadlineExceeded`] once `epoch >= epoch_deadline`. All work
+    /// retired before the yield is metered exactly; unlike the instruction
+    /// deadline, *where* the yield lands depends on when another thread
+    /// bumps the counter, so epoch preemption is deliberately not part of
+    /// the bit-identical differential contract.
+    pub fn set_epoch(&mut self, epoch: Option<Arc<AtomicU64>>) {
+        self.epoch = epoch;
     }
 
     /// Record the current memory image, globals and table so this instance
@@ -625,8 +831,23 @@ impl Instance {
         // taken out of the instance for the duration of the run (so the
         // dispatch loop can borrow it and the instance independently) and
         // put back afterwards, preserving its grown capacity.
+        //
+        // The preemption deadline rides on the fuel machinery instead of
+        // adding a second budget check to three dispatch loops: execution
+        // runs against min(fuel, deadline), the one budget the loops
+        // already decrement with exact partial metering and reg-tier
+        // rollback. Afterwards the retired amount is subtracted from both
+        // budgets separately, and a budget-exhaustion stop is attributed
+        // to whichever budget was binding. Every tier therefore inherits
+        // deadline bit-identity from the fuel differential for free.
+        let fuel0 = self.fuel;
+        let deadline0 = self.deadline;
+        let combined0 = match (fuel0, deadline0) {
+            (Some(f), Some(d)) => Some(f.min(d)),
+            (f, d) => f.or(d),
+        };
         let mut counts = [0u64; crate::meter::NUM_CLASSES];
-        let mut fuel = self.fuel;
+        let mut fuel = combined0;
         let mut arena = std::mem::take(&mut self.arena);
         arena.locals.clear();
         arena.frames.clear();
@@ -682,9 +903,22 @@ impl Instance {
         };
         arena.shrink_to_cap();
         self.arena = arena;
-        self.fuel = fuel;
+        if let Some(b0) = combined0 {
+            let spent = b0 - fuel.unwrap_or(0);
+            self.fuel = fuel0.map(|f| f - spent);
+            self.deadline = deadline0.map(|d| d - spent);
+        }
         self.meter.add_counts(&counts);
-        result
+        match result {
+            // The combined budget ran dry: the stop belongs to the deadline
+            // exactly when the deadline was strictly the smaller budget
+            // (ties go to OutOfFuel — the tenant was out of budget no
+            // matter how the scheduler sliced it).
+            Err(Trap::OutOfFuel) if deadline0.is_some_and(|d| fuel0.is_none_or(|f| d < f)) => {
+                Err(Trap::DeadlineExceeded)
+            }
+            r => r,
+        }
     }
 
     #[allow(clippy::too_many_lines)]
@@ -698,6 +932,8 @@ impl Instance {
     ) -> Result<(), Trap> {
         let code = Arc::clone(&self.code);
         let n_imports = code.module.num_imported_funcs() as usize;
+        let epoch = self.epoch.clone();
+        let epoch_deadline = self.epoch_deadline;
         let FrameArena { locals, frames, .. } = arena;
         let mut last_page: u64 = u64::MAX;
 
@@ -735,10 +971,26 @@ impl Instance {
                     }
                 }};
             }
+            // Asynchronous preemption: at control-transfer boundaries (the
+            // only places a loop can sustain itself) compare the shared
+            // epoch against the invocation's deadline. The transfer op
+            // itself has already retired and been metered, so the stop
+            // leaves exact accounting; a never-attached epoch costs one
+            // predictable never-taken test per transfer.
+            macro_rules! epoch_check {
+                () => {
+                    if let Some(ep) = epoch.as_ref() {
+                        if ep.load(Ordering::Relaxed) >= epoch_deadline {
+                            return Err(Trap::DeadlineExceeded);
+                        }
+                    }
+                };
+            }
             // Take a resolved branch: shuffle the operand stack and jump.
             macro_rules! take_branch {
                 ($bt:expr) => {{
                     let bt = $bt;
+                    epoch_check!();
                     do_branch(opds, ob, bt);
                     pc = bt.target as usize;
                     continue;
@@ -805,12 +1057,14 @@ impl Instance {
                         take_branch!(bt);
                     }
                     LowOp::Jump(t) => {
+                        epoch_check!();
                         pc = *t as usize;
                         continue;
                     }
                     LowOp::JumpIfZero(t) => {
                         let cond = pop!();
                         if cond as u32 == 0 {
+                            epoch_check!();
                             pc = *t as usize;
                             continue;
                         }
@@ -1302,6 +1556,8 @@ impl Instance {
     ) -> Result<(), Trap> {
         let code = Arc::clone(&self.code);
         let n_imports = code.module.num_imported_funcs() as usize;
+        let epoch = self.epoch.clone();
+        let epoch_deadline = self.epoch_deadline;
         let FrameArena {
             regs,
             reg_frames: frames,
@@ -1349,6 +1605,16 @@ impl Instance {
             // the whole region.
             macro_rules! charge {
                 () => {{
+                    // Asynchronous preemption check: region entry is the
+                    // reg tier's control-transfer boundary. The previous
+                    // region retired in full (its last op is the transfer
+                    // that brought us here) and the new region has not been
+                    // charged yet, so yielding here leaves exact accounting.
+                    if let Some(ep) = epoch.as_ref() {
+                        if ep.load(Ordering::Relaxed) >= epoch_deadline {
+                            return Err(Trap::DeadlineExceeded);
+                        }
+                    }
                     let li = block_of[pc] as usize - 1;
                     let batched = if !FUELLED {
                         true

@@ -32,6 +32,25 @@ impl Memory {
         }
     }
 
+    /// The declared limits (used when serializing a snapshot).
+    #[must_use]
+    pub fn limits(&self) -> Limits {
+        self.limits
+    }
+
+    /// Borrow the full backing store (snapshot serialization).
+    #[must_use]
+    pub(crate) fn raw_data(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Rebuild a memory from serialized parts. The caller guarantees
+    /// `data.len()` is a whole number of pages (snapshot deserialization
+    /// validates this before calling).
+    pub(crate) fn from_raw(limits: Limits, data: Vec<u8>) -> Self {
+        Self { data, limits }
+    }
+
     /// Current size in pages.
     #[must_use]
     pub fn size_pages(&self) -> u32 {
