@@ -1,0 +1,51 @@
+//! Criterion pair for the memory-image fast path (DESIGN.md §11): one
+//! park → invoke(restore) cycle per iteration, with pooling off
+//! (`park_restore_full`: the whole linear memory is sealed and a fresh
+//! instance is rebuilt from module bytes on restore) and with pooling on
+//! (`park_restore_delta`: only dirty pages are sealed, restore patches a
+//! pre-instantiated pooled slot). The delta path must win on wall-clock;
+//! the churn differential suite proves the two are observably identical.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use twine_core::TwineBuilder;
+use twine_wasm::Value;
+
+/// Stateful guest with a multi-page working set of which each call
+/// touches a small slice — the shape pooling is built for: the full image
+/// is 64 KiB+ while the dirty set is a handful of 4 KiB pages.
+const GUEST_SRC: &str = "
+    int acc;
+    int hot[256];
+    int step(int x) {
+        acc = acc * 31 + x;
+        hot[x % 256] = acc;
+        return acc;
+    }
+";
+
+fn bench_cycle(c: &mut Criterion, name: &str, pool_slots: Option<usize>) {
+    let wasm = twine_minicc::compile_to_bytes(GUEST_SRC).expect("guest compiles");
+    let mut b = TwineBuilder::new();
+    if let Some(n) = pool_slots {
+        b = b.pool_slots_per_module(n);
+    }
+    let mut svc = b.build_service();
+    svc.open_session("s", &wasm).expect("open");
+    svc.invoke("s", "step", &[Value::I32(1)]).expect("warmup");
+    let mut x = 0i32;
+    c.bench_function(name, |bench| {
+        bench.iter(|| {
+            svc.park_session("s").expect("park");
+            x = x.wrapping_add(1);
+            svc.invoke("s", "step", &[Value::I32(x)]).expect("restore+invoke")
+        });
+    });
+}
+
+fn bench_park_restore(c: &mut Criterion) {
+    bench_cycle(c, "park_restore_full", None);
+    bench_cycle(c, "park_restore_delta", Some(2));
+}
+
+criterion_group!(benches, bench_park_restore);
+criterion_main!(benches);

@@ -82,6 +82,17 @@ pub struct ControlPlane {
     /// every this many milliseconds (only meaningful with `epoch_slack`;
     /// protects even a single busy shard from a runaway guest).
     pub epoch_interval_ms: Option<u64>,
+    /// Keep up to this many pre-instantiated instance slots per (module,
+    /// tier) in an instance pool shared by every shard of the service.
+    /// With a pool, opening a session over known bytes (and
+    /// restoring a parked one) becomes a slot checkout plus an
+    /// O(dirty-pages) patch, and parking seals only the delta against the
+    /// module's shared base image instead of the full memory image. Slots
+    /// are drained whenever EPC residency crosses `epc_park_watermark` —
+    /// idle pre-instantiated capacity is the first casualty of pressure.
+    /// `None` (the default) disables pooling entirely: every park seals
+    /// the full image, byte-compatible with the pre-pool control plane.
+    pub pool_slots_per_module: Option<usize>,
 }
 
 /// Control-plane counters. Per-[`TwineService`](crate::TwineService)
@@ -115,6 +126,16 @@ pub struct ControlStats {
     pub live_sessions: u64,
     /// Parked sessions at read time.
     pub parked_sessions: u64,
+    /// Pool-eligible opens/restores served from a pre-instantiated slot.
+    pub pool_hits: u64,
+    /// Pool-eligible opens/restores that had to instantiate fresh (pool
+    /// empty, drained by pressure, or slot not yet returned).
+    pub pool_misses: u64,
+    /// 4 KiB pages patched onto base-state instances by delta restores.
+    pub dirty_pages_restored: u64,
+    /// Bytes of sealed **delta** images written out (also counted in
+    /// `sealed_bytes`; the gap between the two is full-image traffic).
+    pub delta_sealed_bytes: u64,
 }
 
 impl ControlStats {
@@ -131,6 +152,10 @@ impl ControlStats {
         self.inflight_rejections += other.inflight_rejections;
         self.live_sessions += other.live_sessions;
         self.parked_sessions += other.parked_sessions;
+        self.pool_hits += other.pool_hits;
+        self.pool_misses += other.pool_misses;
+        self.dirty_pages_restored += other.dirty_pages_restored;
+        self.delta_sealed_bytes += other.delta_sealed_bytes;
     }
 }
 

@@ -50,6 +50,7 @@
 pub mod backend_host;
 pub mod backend_pfs;
 pub mod control;
+pub(crate) mod pool;
 pub mod provision;
 pub mod runtime;
 pub mod service;

@@ -236,6 +236,17 @@ impl TwineBuilder {
         self
     }
 
+    /// Convenience: enable instance pooling with up to `n` pre-instantiated
+    /// slots per (module, tier). Session opens and post-evict restores of
+    /// poolable modules become slot checkout + O(dirty pages) patching, and
+    /// parks seal only the delta against the module's shared base image.
+    /// See [`ControlPlane::pool_slots_per_module`](crate::ControlPlane).
+    #[must_use]
+    pub fn pool_slots_per_module(mut self, n: usize) -> Self {
+        self.control.pool_slots_per_module = Some(n);
+        self
+    }
+
     /// Select the engine's execution tier: the baseline dispatch or the
     /// fused-superinstruction IR (default). Both are semantically and
     /// metering-identical; the fused tier is faster in wall-clock terms,

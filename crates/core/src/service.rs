@@ -34,9 +34,12 @@ use twine_pfs::{PfsMode, PfsProfiler};
 use twine_sgx::{Enclave, Processor, SimClock};
 use twine_wasi::{FsBackend, Rights, WasiCtx};
 use twine_wasm::compile::CompiledModule;
-use twine_wasm::{ExecTier, Instance, InstanceSnapshot, Linker, ModuleError, Trap, Value};
+use twine_wasm::{
+    ExecTier, Instance, InstanceSnapshot, Linker, ModuleError, SnapshotDelta, Trap, Value,
+};
 
 use crate::control::{ControlPlane, ControlStats, RateState};
+use crate::pool::InstancePool;
 use crate::runtime::{
     base_linker, build_wasi_ctx, invoke_in_enclave, make_backend, wasi_backend_into_box, EpcSink,
     FsChoice, RunReport, TwineBuilder, TwineError,
@@ -282,8 +285,16 @@ struct SessionCommon {
     compiled: Arc<CompiledModule>,
     /// Post-instantiation state (data segments applied, start function run)
     /// for pool-recycling via [`TwineService::reset_session`] and
-    /// post-trap recovery.
-    base_snapshot: InstanceSnapshot,
+    /// post-trap recovery. For pooled sessions this is the module's
+    /// **shared** base image (one `Arc` per (module, tier), not one clone
+    /// per session); the session's dirty bitmap is re-based against it at
+    /// open, so resets and park deltas touch only dirty pages.
+    base_snapshot: Arc<InstanceSnapshot>,
+    /// Whether this session rides the pooling/memory-image fast path:
+    /// `base_snapshot` is the module's shared base image, parks seal
+    /// O(dirty pages) deltas against it, and the instance recycles through
+    /// the pool. Decided once at open (pooling enabled ∧ module poolable).
+    pooled: bool,
     /// Trusted-clock monotonicity watermark (§IV-C), persistent across
     /// invocations, [`TwineService::reset_session`] and park/restore.
     watermark: Arc<AtomicU64>,
@@ -319,6 +330,10 @@ struct ParkedSession {
 }
 
 /// A session-table slot: live or parked.
+// Variant sizes differ by design: a live slot keeps the whole `Session`
+// inline and hot (one invoke = one map lookup, no extra chase), and a
+// shard holds at most `max_live_sessions` of them.
+#[allow(clippy::large_enum_variant)]
 enum SessionSlot {
     Live(Session),
     Parked(ParkedSession),
@@ -412,6 +427,10 @@ pub struct TwineService {
     /// Monotonic use sequence feeding the LRU eviction policy.
     use_seq: u64,
     control_stats: ControlStats,
+    /// Pre-instantiated base-state slots (DESIGN.md §11); shared across
+    /// the shards of a [`crate::ShardedService`]. Capacity 0 when pooling
+    /// is off — every `put` then drops the instance.
+    pool: Arc<InstancePool>,
 }
 
 impl TwineService {
@@ -423,6 +442,9 @@ impl TwineService {
         let tpl = SessionTemplate::from_builder(&b);
         let cache = Arc::new(ModuleCache::new(b.exec_tier));
         cache.set_capacity(b.control.module_cache_capacity);
+        let pool = Arc::new(InstancePool::new(
+            b.control.pool_slots_per_module.unwrap_or(0),
+        ));
         Self {
             enclave,
             processor: b.processor,
@@ -436,6 +458,7 @@ impl TwineService {
             epoch: Arc::new(AtomicU64::new(0)),
             use_seq: 0,
             control_stats: ControlStats::default(),
+            pool,
         }
     }
 
@@ -455,6 +478,7 @@ impl TwineService {
         profiler: Option<PfsProfiler>,
         control: ControlPlane,
         epoch: Arc<AtomicU64>,
+        pool: Arc<InstancePool>,
     ) -> Self {
         Self {
             enclave,
@@ -469,6 +493,7 @@ impl TwineService {
             epoch,
             use_seq: 0,
             control_stats: ControlStats::default(),
+            pool,
         }
     }
 
@@ -541,6 +566,13 @@ impl TwineService {
         }
     }
 
+    /// Number of pre-instantiated base-state slots currently parked in the
+    /// instance pool (across all modules; shared across shards).
+    #[must_use]
+    pub fn pooled_slot_count(&self) -> usize {
+        self.pool.len()
+    }
+
     /// Bump the shared preemption epoch (see
     /// [`ControlPlane::epoch_slack`]): every in-flight invocation armed
     /// with a smaller slack than the bumps it has survived yields with
@@ -609,22 +641,43 @@ impl TwineService {
             &watermark,
         );
 
-        // The fuel budget applies to the start function too: tenant-supplied
-        // instantiation code cannot run unmetered.
-        let mut instance = match Instance::instantiate_shared(
-            Arc::clone(&compiled),
-            &self.linker,
-            Box::new(ctx),
-            self.tpl.fuel,
-        ) {
-            Ok(i) => i,
-            Err((e, _ctx)) => {
-                // Roll back the cache entry if this failed open was the only
-                // user, so repeated hostile opens (e.g. trapping start
-                // functions) cannot grow enclave memory session-lessly.
-                drop(compiled);
-                self.cache.evict_if_unreferenced(&module_key);
-                return Err(TwineError::Module(e));
+        // The pooling fast path (DESIGN.md §11): a poolable module's open
+        // checks a pre-instantiated base-state slot out of the pool instead
+        // of instantiating, when one is available.
+        let pooled = self.control.pool_slots_per_module.is_some() && compiled.poolable();
+        let mut instance = match pooled.then(|| self.pool.take(&module_key)).flatten() {
+            Some(mut slot) => {
+                self.control_stats.pool_hits += 1;
+                // The slot parks with a placeholder `Box<()>`; hand it the
+                // tenant's context. It is already at the base image with a
+                // clean dirty bitmap and meter (reset on its way in).
+                drop(slot.replace_host_data(Box::new(ctx)));
+                slot.fuel = self.tpl.fuel;
+                slot
+            }
+            None => {
+                if pooled {
+                    self.control_stats.pool_misses += 1;
+                }
+                // The fuel budget applies to the start function too:
+                // tenant-supplied instantiation code cannot run unmetered.
+                match Instance::instantiate_shared(
+                    Arc::clone(&compiled),
+                    &self.linker,
+                    Box::new(ctx),
+                    self.tpl.fuel,
+                ) {
+                    Ok(i) => i,
+                    Err((e, _ctx)) => {
+                        // Roll back the cache entry if this failed open was
+                        // the only user, so repeated hostile opens (e.g.
+                        // trapping start functions) cannot grow enclave
+                        // memory session-lessly.
+                        drop(compiled);
+                        self.cache.evict_if_unreferenced(&module_key);
+                        return Err(TwineError::Module(e));
+                    }
+                }
             }
         };
         let slot = self.epc_slots.fetch_add(1, Ordering::Relaxed);
@@ -636,7 +689,19 @@ impl TwineService {
         if self.control.epoch_slack.is_some() {
             instance.set_epoch(Some(Arc::clone(&self.epoch)));
         }
-        let snapshot = instance.snapshot();
+        // Pooled sessions share one base image per (module, tier) — captured
+        // by whichever open got there first (any racer would capture
+        // identical bytes: poolable modules instantiate deterministically).
+        // Unpooled sessions keep a private copy, exactly as before pooling.
+        let snapshot = if pooled {
+            Arc::clone(compiled.base_image_or_init(|| instance.snapshot()))
+        } else {
+            Arc::new(instance.snapshot())
+        };
+        // Re-base the dirty bitmap: from here on it over-approximates the
+        // pages differing from `snapshot`, which is what makes
+        // O(dirty-pages) resets and park deltas sound.
+        instance.clear_dirty();
         // Instantiation metering (start function, if any) is not part of any
         // invocation report: every invocation starts from a clean meter.
         instance.meter.reset();
@@ -647,6 +712,7 @@ impl TwineService {
             common: SessionCommon {
                 compiled,
                 base_snapshot: snapshot,
+                pooled,
                 watermark,
                 fuel: self.tpl.fuel,
                 deadline: self.control.deadline,
@@ -803,10 +869,11 @@ impl TwineService {
                     }
                     // Guest state is suspect after a genuine trap: restore
                     // the post-instantiation image so the session stays
-                    // servable.
+                    // servable. O(dirty pages) — the bitmap was re-based
+                    // against this snapshot at open.
                     _ => {
                         sess.common.stats.invocations += 1;
-                        sess.instance.reset_to(&sess.common.base_snapshot);
+                        sess.instance.reset_to_image(&sess.common.base_snapshot);
                     }
                 }
                 Err(TwineError::Trap(t))
@@ -839,22 +906,48 @@ impl TwineService {
             common,
         } = sess;
         instance.flush_page_sink();
-        let snap = instance.snapshot();
-        let bytes = snap.to_bytes();
+        let mem_bytes = instance.memory().map_or(0, |m| m.size_bytes() as u64);
+        // Pooled sessions seal an O(dirty pages) delta against the module's
+        // shared base image (format version 2); everything else seals the
+        // full snapshot exactly as before pooling existed (version 1). The
+        // restore path dispatches on the version byte after unsealing.
+        let bytes = if common.pooled {
+            instance.snapshot_delta(&common.base_snapshot).to_bytes()
+        } else {
+            instance.snapshot().to_bytes()
+        };
         let sealed = self.enclave.ecall(|| self.enclave.seal(&bytes));
         // The sealed image crosses the boundary outward.
         self.enclave.ocall(sealed.len() as u64, || ());
         // Release the session's resident EPC pages (4 KiB granularity, the
         // same the page sink touches in).
-        self.enclave.epc().discard_range(
-            common.stats.epc_base_page,
-            (snap.memory_bytes() as u64).div_ceil(4096),
-        );
+        self.enclave
+            .epc()
+            .discard_range(common.stats.epc_base_page, mem_bytes.div_ceil(4096));
         self.control_stats.parks += 1;
         self.control_stats.sealed_bytes += sealed.len() as u64;
-        let ctx = instance
-            .into_state::<WasiCtx>()
-            .expect("service sessions hold a WasiCtx");
+        let ctx = if common.pooled {
+            // Recycle the instance itself: O(dirty pages) reset back to the
+            // base image, then into the pool, where the next open (or delta
+            // restore) of the same module checks it out — no allocation, no
+            // data-segment replay.
+            instance.reset_to_image(&common.base_snapshot);
+            instance.set_page_sink(None);
+            instance.set_epoch(None);
+            let ctx = *instance
+                .replace_host_data(Box::new(()))
+                .downcast::<WasiCtx>()
+                .expect("service sessions hold a WasiCtx");
+            self.pool.put(common.stats.module_key, instance);
+            ctx
+        } else {
+            instance
+                .into_state::<WasiCtx>()
+                .expect("service sessions hold a WasiCtx")
+        };
+        if common.pooled {
+            self.control_stats.delta_sealed_bytes += sealed.len() as u64;
+        }
         self.sessions.insert(
             name.to_string(),
             SessionSlot::Parked(ParkedSession {
@@ -905,23 +998,77 @@ impl TwineService {
                 return Err(TwineError::Sgx(e));
             }
         };
-        let Some(snap) = InstanceSnapshot::from_bytes(&bytes) else {
-            reinstate(self, ctx, common, sealed);
-            return Err(TwineError::Session(format!(
-                "session {name:?}: corrupt parked image"
-            )));
-        };
-        let mut instance = match Instance::from_snapshot(
-            Arc::clone(&common.compiled),
-            &self.linker,
-            &snap,
-            Box::new(ctx),
-        ) {
-            Ok(i) => i,
-            Err((e, host_data)) => {
-                let ctx = *host_data.downcast::<WasiCtx>().expect("wasi ctx");
+        // Dispatch on the image format version: 2 = delta against the
+        // module's shared base image (pooled park), 1 = full snapshot.
+        let mut instance = if bytes.first() == Some(&2) {
+            let Some(delta) = SnapshotDelta::from_bytes(&bytes) else {
                 reinstate(self, ctx, common, sealed);
-                return Err(TwineError::Module(e));
+                return Err(TwineError::Session(format!(
+                    "session {name:?}: corrupt parked image"
+                )));
+            };
+            // Obtain an instance at the base state: a pool slot if one is
+            // parked (likely the very slot this session recycled), else a
+            // fresh instantiation (deterministic — poolable modules have no
+            // start function).
+            let mut instance = match self.pool.take(&common.stats.module_key) {
+                Some(mut slot) => {
+                    self.control_stats.pool_hits += 1;
+                    drop(slot.replace_host_data(Box::new(ctx)));
+                    slot
+                }
+                None => {
+                    self.control_stats.pool_misses += 1;
+                    match Instance::instantiate_shared(
+                        Arc::clone(&common.compiled),
+                        &self.linker,
+                        Box::new(ctx),
+                        None,
+                    ) {
+                        Ok(mut i) => {
+                            i.clear_dirty();
+                            i.meter.reset();
+                            i
+                        }
+                        Err((e, host_data)) => {
+                            let ctx = *host_data.downcast::<WasiCtx>().expect("wasi ctx");
+                            reinstate(self, ctx, common, sealed);
+                            return Err(TwineError::Module(e));
+                        }
+                    }
+                }
+            };
+            self.control_stats.dirty_pages_restored += delta.page_count() as u64;
+            if !instance.apply_delta(&delta) {
+                let ctx = *instance
+                    .replace_host_data(Box::new(()))
+                    .downcast::<WasiCtx>()
+                    .expect("wasi ctx");
+                reinstate(self, ctx, common, sealed);
+                return Err(TwineError::Session(format!(
+                    "session {name:?}: parked delta does not fit its module"
+                )));
+            }
+            instance
+        } else {
+            let Some(snap) = InstanceSnapshot::from_bytes(&bytes) else {
+                reinstate(self, ctx, common, sealed);
+                return Err(TwineError::Session(format!(
+                    "session {name:?}: corrupt parked image"
+                )));
+            };
+            match Instance::from_snapshot(
+                Arc::clone(&common.compiled),
+                &self.linker,
+                &snap,
+                Box::new(ctx),
+            ) {
+                Ok(i) => i,
+                Err((e, host_data)) => {
+                    let ctx = *host_data.downcast::<WasiCtx>().expect("wasi ctx");
+                    reinstate(self, ctx, common, sealed);
+                    return Err(TwineError::Module(e));
+                }
             }
         };
         instance.set_page_sink(Some(Box::new(EpcSink::new(
@@ -938,23 +1085,25 @@ impl TwineService {
         Ok(())
     }
 
+    /// Whether EPC residency exceeds the configured park watermark.
+    fn epc_over_watermark(&self) -> bool {
+        let Some(frac) = self.control.epc_park_watermark else {
+            return false;
+        };
+        let epc = self.enclave.epc();
+        let limit = epc.limit_pages();
+        if limit == 0 {
+            return false;
+        }
+        #[allow(clippy::cast_precision_loss)]
+        let threshold = (limit as f64 * frac).max(0.0) as usize;
+        epc.resident_pages() > threshold
+    }
+
     /// Whether the eviction policy wants fewer live sessions right now.
     fn over_pressure(&self, live: usize) -> bool {
-        if self.control.max_live_sessions.is_some_and(|max| live > max) {
-            return true;
-        }
-        if let Some(frac) = self.control.epc_park_watermark {
-            let epc = self.enclave.epc();
-            let limit = epc.limit_pages();
-            if limit > 0 {
-                #[allow(clippy::cast_precision_loss)]
-                let threshold = (limit as f64 * frac).max(0.0) as usize;
-                if epc.resident_pages() > threshold {
-                    return true;
-                }
-            }
-        }
-        false
+        self.control.max_live_sessions.is_some_and(|max| live > max)
+            || self.epc_over_watermark()
     }
 
     /// Park least-recently-used live sessions while the eviction policy
@@ -962,6 +1111,13 @@ impl TwineService {
     /// watermark). `exclude` protects the session currently being served —
     /// eviction never races the in-flight invoke.
     fn enforce_pressure(&mut self, exclude: Option<&str>) {
+        // Pool capacity rides the same pressure signal the eviction policy
+        // uses: when EPC residency crosses the watermark, idle
+        // pre-instantiated slots are freed *before* any live tenant is
+        // parked — spare warm capacity is the cheapest memory to give back.
+        if self.epc_over_watermark() {
+            self.pool.drain();
+        }
         loop {
             let live = self.live_session_count();
             if live == 0 || !self.over_pressure(live) {
@@ -999,7 +1155,7 @@ impl TwineService {
             unreachable!("ensure_live leaves the session live");
         };
         sess.common.last_use = use_seq;
-        sess.instance.reset_to(&sess.common.base_snapshot);
+        sess.instance.reset_to_image(&sess.common.base_snapshot);
         sess.instance.state::<WasiCtx>().reset_for_invocation();
         Ok(())
     }
@@ -1059,6 +1215,20 @@ impl TwineService {
                     sess.common.stats.epc_base_page,
                     mem_bytes.div_ceil(4096),
                 );
+                if sess.common.pooled {
+                    // Recycle the instance into the pool: the next open of
+                    // this module skips instantiation entirely.
+                    let mut instance = sess.instance;
+                    instance.reset_to_image(&sess.common.base_snapshot);
+                    instance.set_page_sink(None);
+                    instance.set_epoch(None);
+                    let ctx = *instance
+                        .replace_host_data(Box::new(()))
+                        .downcast::<WasiCtx>()
+                        .expect("service sessions hold a WasiCtx");
+                    self.pool.put(sess.common.stats.module_key, instance);
+                    return Some(wasi_backend_into_box(ctx));
+                }
                 sess.instance
                     .into_state::<WasiCtx>()
                     .map(wasi_backend_into_box)

@@ -137,6 +137,10 @@ enum Cmd {
         name: String,
         reply: Sender<Reply>,
     },
+    Parked {
+        name: String,
+        reply: Sender<Reply>,
+    },
     Module {
         name: String,
         reply: Sender<Reply>,
@@ -155,6 +159,7 @@ enum Reply {
     Watermark(Option<u64>),
     Close(Option<Box<dyn FsBackend>>),
     Stats(Option<SessionStats>),
+    Parked(Option<bool>),
     Module(Option<Arc<twine_wasm::compile::CompiledModule>>),
     ShardStats(ShardStats),
     Control(ControlStats),
@@ -287,6 +292,11 @@ impl ShardedService {
         let epc_slots = Arc::new(AtomicU64::new(0));
         let epoch = Arc::new(AtomicU64::new(0));
         let tpl = SessionTemplate::from_builder(&b);
+        // One pool for the whole fleet: a slot parked by one shard warms
+        // another shard's cold open (instances carry no shard-local state).
+        let pool = Arc::new(crate::pool::InstancePool::new(
+            control.pool_slots_per_module.unwrap_or(0),
+        ));
 
         let mut shards = Vec::with_capacity(threads);
         let mut workers = Vec::with_capacity(threads);
@@ -311,6 +321,7 @@ impl ShardedService {
                 profiler.clone(),
                 control.clone(),
                 Arc::clone(&epoch),
+                Arc::clone(&pool),
             );
             // Workers advance the shared epoch once per processed command
             // (only when epoch preemption is armed): a busy fleet of shards
@@ -653,6 +664,21 @@ impl ShardedService {
         }
     }
 
+    /// Whether a session is currently parked (sealed out of the enclave).
+    /// `None` when no session of that name exists or its shard is gone.
+    /// See [`TwineService::session_parked`].
+    #[must_use]
+    pub fn session_parked(&self, name: &str) -> Option<bool> {
+        match self.send(self.shard_of(name), |reply| Cmd::Parked {
+            name: name.to_string(),
+            reply,
+        }) {
+            Ok(Reply::Parked(r)) => r,
+            Ok(_) => unreachable!("shard protocol mismatch"),
+            Err(_) => None,
+        }
+    }
+
     /// Bookkeeping for one session.
     #[must_use]
     pub fn session_stats(&self, name: &str) -> Option<SessionStats> {
@@ -821,6 +847,9 @@ fn shard_main(mut shard: TwineService, rx: &Receiver<Cmd>, epoch_bump: Option<Ar
             }
             Cmd::Stats { name, reply } => {
                 let _ = reply.send(Reply::Stats(shard.session_stats(&name).cloned()));
+            }
+            Cmd::Parked { name, reply } => {
+                let _ = reply.send(Reply::Parked(shard.session_parked(&name)));
             }
             Cmd::Module { name, reply } => {
                 let _ = reply.send(Reply::Module(shard.session_module(&name).map(Arc::clone)));

@@ -422,12 +422,53 @@ fn run_churn_single(plan: &Plan) -> Vec<Vec<Event>> {
 }
 
 fn assert_churn_matches(shards: usize, clients: usize, seed: u64) -> twine_core::ControlStats {
+    assert_churn_matches_with(shards, clients, seed, None)
+}
+
+/// The same differential with instance pooling enabled: parks seal only
+/// the delta against the shared base image and restores patch a pooled
+/// slot — none of which may be observable in any tenant's event stream.
+fn assert_churn_matches_pooled(
+    shards: usize,
+    clients: usize,
+    seed: u64,
+) -> twine_core::ControlStats {
+    let stats = assert_churn_matches_with(shards, clients, seed, Some(4));
+    assert!(
+        stats.pool_hits > 0,
+        "budget-1 churn must recycle pooled slots: {stats:?}"
+    );
+    assert!(
+        stats.delta_sealed_bytes > 0 && stats.delta_sealed_bytes <= stats.sealed_bytes,
+        "pooled parks seal deltas, counted inside sealed_bytes: {stats:?}"
+    );
+    // Every guest here is poolable (minicc emits no start function), so
+    // every park crossed the boundary as a delta, and deltas of these
+    // small working sets are far below the 64 KiB+ full images.
+    assert_eq!(
+        stats.delta_sealed_bytes, stats.sealed_bytes,
+        "all tenants are poolable, so all seal traffic is delta traffic"
+    );
+    assert!(
+        stats.parks == 0 || stats.sealed_bytes / stats.parks < 64 * 1024,
+        "mean sealed park must be smaller than one full memory image: {stats:?}"
+    );
+    stats
+}
+
+fn assert_churn_matches_with(
+    shards: usize,
+    clients: usize,
+    seed: u64,
+    pool: Option<usize>,
+) -> twine_core::ControlStats {
     let plan = build_plan(9, 120, seed);
     let control = ControlPlane {
         // Tiny eviction budget: at most one live session per shard, so
         // almost every warm invoke restores a parked session and parks
         // another — maximal churn through the seal path.
         max_live_sessions: Some(1),
+        pool_slots_per_module: pool,
         ..ControlPlane::default()
     };
     let (sharded, stats) = run_churn_sharded(&plan, shards, clients, &control);
@@ -486,6 +527,58 @@ fn churn_8_shards_bit_identical_to_unbounded_replay() {
     assert_churn_matches(8, 4, 0x5eed_0008);
 }
 
+#[test]
+fn pooled_churn_1_shard_bit_identical_to_unbounded_replay() {
+    let stats = assert_churn_matches_pooled(1, 1, 0x5eed_1001);
+    assert!(stats.parks > 0 && stats.restores > 0, "{stats:?}");
+    assert!(stats.dirty_pages_restored > 0, "delta restores patch pages: {stats:?}");
+}
+
+#[test]
+fn pooled_churn_4_shards_bit_identical_to_unbounded_replay() {
+    assert_churn_matches_pooled(4, 3, 0x5eed_1004);
+}
+
+#[test]
+fn pooled_churn_8_shards_bit_identical_to_unbounded_replay() {
+    assert_churn_matches_pooled(8, 4, 0x5eed_1008);
+}
+
+/// Pooled and unpooled runs of the same plan must produce the same
+/// per-tenant event streams as each other (both are already checked
+/// against the unbounded oracle; this pins the seal-traffic relation
+/// between the two modes on identical work).
+#[test]
+fn pooled_seal_traffic_is_a_fraction_of_full_image_traffic() {
+    let plan = build_plan(9, 120, 0x5eed_2002);
+    let control_full = ControlPlane {
+        max_live_sessions: Some(1),
+        ..ControlPlane::default()
+    };
+    let control_pooled = ControlPlane {
+        pool_slots_per_module: Some(4),
+        ..control_full.clone()
+    };
+    let (seq_full, full) = run_churn_sharded(&plan, 4, 3, &control_full);
+    let (seq_pooled, pooled) = run_churn_sharded(&plan, 4, 3, &control_pooled);
+    for (i, (name, _, _)) in plan.sessions.iter().enumerate() {
+        assert_eq!(seq_full[i], seq_pooled[i], "pooling changed {name}'s events");
+    }
+    assert!(full.parks > 0 && pooled.parks > 0);
+    // ISSUE acceptance: delta seal traffic ≤ 10% of full-image traffic
+    // per park (these guests dirty a handful of pages out of 16+).
+    assert!(
+        pooled.sealed_bytes / pooled.parks <= (full.sealed_bytes / full.parks) / 10,
+        "mean delta park not <=10% of mean full-image park: \
+         pooled {}/{} vs full {}/{}",
+        pooled.sealed_bytes,
+        pooled.parks,
+        full.sealed_bytes,
+        full.parks
+    );
+    assert!(pooled.pool_misses + pooled.pool_hits > 0);
+}
+
 /// Explicit park → invoke (auto-restore) → park cycles: guest state
 /// (the order-sensitive accumulator) survives every crossing of the seal
 /// boundary, and the control counters account each crossing.
@@ -514,6 +607,59 @@ fn park_restore_park_cycles_preserve_state() {
     // The boundary accounting is real: seal traffic landed on the
     // enclave's OCALL byte counters.
     assert!(svc.enclave().stats().boundary_bytes >= stats.sealed_bytes);
+}
+
+/// The pooled counterpart of the cycle test above: state still survives
+/// every crossing, but each sealed park is a delta (the stateful guest
+/// dirties a few pages at most), the recycled instance comes back through
+/// the pool, and cold opens after the first hit pre-instantiated slots.
+#[test]
+fn pooled_park_restore_cycles_preserve_state_with_delta_seals() {
+    let wasm = twine_minicc::compile_to_bytes(STATEFUL_SRC).unwrap();
+    let mut svc = TwineBuilder::new().pool_slots_per_module(2).build_service();
+    svc.open_session("s", &wasm).unwrap();
+    let mut expect = 0i32;
+    for (k, x) in [5i32, -2, 11, 7, 0, 3, 42, -9].into_iter().enumerate() {
+        svc.park_session("s").expect("park");
+        assert_eq!(svc.session_parked("s"), Some(true));
+        expect = expect.wrapping_mul(31).wrapping_add(x);
+        let out = svc.invoke("s", "step", &[Value::I32(x)]).expect("invoke restores");
+        assert_eq!(out[0], Value::I32(expect), "state lost at pooled cycle {k}");
+    }
+    let stats = svc.control_stats();
+    assert_eq!(stats.parks, 8);
+    assert_eq!(stats.restores, 8);
+    // Every park sealed a delta, and every delta is tiny next to the
+    // 64 KiB+ full image the unpooled path would seal.
+    assert_eq!(stats.delta_sealed_bytes, stats.sealed_bytes);
+    assert!(
+        stats.sealed_bytes < stats.parks * 8 * 1024,
+        "deltas must stay well under the full image: {stats:?}"
+    );
+    assert!(stats.dirty_pages_restored > 0);
+    // Park recycles the instance into the pool; the following restore
+    // checks it back out: 8 restores = 8 pool hits, and the very first
+    // open was the only instantiation this session ever needed.
+    assert_eq!(stats.pool_hits, 8);
+    assert_eq!(stats.pool_misses, 1);
+}
+
+/// Opening a second session of the same module after the first closed
+/// reuses the pooled slot — the cold open becomes a checkout.
+#[test]
+fn close_recycles_instance_for_next_open() {
+    let wasm = twine_minicc::compile_to_bytes(STATEFUL_SRC).unwrap();
+    let mut svc = TwineBuilder::new().pool_slots_per_module(2).build_service();
+    svc.open_session("a", &wasm).unwrap();
+    assert_eq!(svc.invoke("a", "step", &[Value::I32(3)]).unwrap()[0], Value::I32(3));
+    svc.close_session("a");
+    assert_eq!(svc.pooled_slot_count(), 1, "close parks the slot");
+    svc.open_session("b", &wasm).unwrap();
+    // "b" starts from the pristine base image, not "a"'s accumulator.
+    assert_eq!(svc.invoke("b", "step", &[Value::I32(7)]).unwrap()[0], Value::I32(7));
+    let stats = svc.control_stats();
+    assert_eq!(stats.pool_hits, 1);
+    assert_eq!(stats.pool_misses, 1);
 }
 
 /// Eviction racing the in-flight invoke: with an eviction budget of one,

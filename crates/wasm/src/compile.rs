@@ -14,6 +14,7 @@ use crate::regalloc::{regalloc_func, RegFunc};
 use crate::module::Module;
 use crate::types::{FuncType, ValType};
 use crate::ModuleError;
+use std::sync::{Arc, OnceLock};
 
 /// Branch descriptor: where to jump and how to fix the operand stack.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -162,6 +163,13 @@ pub struct CompiledModule {
     /// Per-function register code (parallel to `funcs`; empty unless the
     /// tier is [`ExecTier::Reg`] — see [`crate::regalloc`]).
     pub reg: Vec<RegFunc>,
+    /// Shared post-instantiation base image, captured at most once per
+    /// (module, tier) by the first instantiation that wants one (see
+    /// [`CompiledModule::base_image_or_init`]). Only meaningful for
+    /// [poolable](CompiledModule::poolable) modules, where the
+    /// post-instantiation state is a pure function of the module bytes and
+    /// therefore safe to share across tenants.
+    base_image: OnceLock<Arc<crate::exec::InstanceSnapshot>>,
 }
 
 impl CompiledModule {
@@ -215,7 +223,39 @@ impl CompiledModule {
             tier,
             lowered,
             reg,
+            base_image: OnceLock::new(),
         })
+    }
+
+    /// Whether this module's post-instantiation state may be shared across
+    /// instances: true iff it has **no start function**. Without a start
+    /// function, instantiation applies only data segments, global
+    /// initializers and element segments — all pure functions of the
+    /// module — so every instance begins bit-identical and one captured
+    /// image can seed them all (wasmtime's memory-image condition). A
+    /// start function may call host imports (clock, randomness, I/O),
+    /// making its effects ambient; such modules instantiate per-session.
+    #[must_use]
+    pub fn poolable(&self) -> bool {
+        self.module.start.is_none()
+    }
+
+    /// The shared base image, if one has been captured.
+    #[must_use]
+    pub fn base_image(&self) -> Option<&Arc<crate::exec::InstanceSnapshot>> {
+        self.base_image.get()
+    }
+
+    /// Get the shared base image, capturing it from `f` exactly once under
+    /// concurrent callers. Callers only invoke this for
+    /// [poolable](CompiledModule::poolable) modules with `f` snapshotting a
+    /// freshly instantiated instance, so every racer would capture the
+    /// same bytes.
+    pub fn base_image_or_init(
+        &self,
+        f: impl FnOnce() -> crate::exec::InstanceSnapshot,
+    ) -> &Arc<crate::exec::InstanceSnapshot> {
+        self.base_image.get_or_init(|| Arc::new(f()))
     }
 
     /// Decode, validate and compile in one step (default tier).

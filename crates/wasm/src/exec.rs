@@ -302,7 +302,7 @@ pub struct Instance {
 /// pool without re-running decode/validate/instantiate or the data-segment
 /// copies — the wasmtime-style compile-once/instantiate-many serving
 /// architecture, applied one level further down (instantiate-once/reset-many).
-#[derive(Clone)]
+#[derive(Clone, Debug)]
 pub struct InstanceSnapshot {
     memory: Option<Memory>,
     globals: Vec<u64>,
@@ -423,6 +423,153 @@ impl InstanceSnapshot {
         }
         Some(Self {
             memory,
+            globals,
+            table,
+        })
+    }
+}
+
+/// The page-granular difference between an instance's current state and a
+/// base [`InstanceSnapshot`]: only the 4 KiB pages whose contents actually
+/// changed, plus the (small) globals and table in full and the memory
+/// length at capture time.
+///
+/// Captured with [`Instance::snapshot_delta`] and replayed with
+/// [`Instance::apply_delta`] onto an instance sitting at the base state.
+/// This is what a control plane seals when parking a session whose module
+/// has a shared base image: instead of the whole linear memory, only the
+/// dirty working set crosses the enclave boundary — typically a 10–100×
+/// reduction in seal traffic (see `BENCH_fig8.json`'s churn axis).
+#[derive(Clone, Debug)]
+pub struct SnapshotDelta {
+    /// Memory length in bytes at capture (`None` = module has no memory).
+    /// Records growth past the base image; applying the delta resizes
+    /// first, so never-written grown pages come back zeroed, exactly as
+    /// `memory.grow` produced them.
+    mem_len: Option<u64>,
+    /// Ascending 4 KiB page indices that differ from the base.
+    pages: Vec<u64>,
+    /// Concatenated page contents, `pages.len() * 4096` bytes.
+    bytes: Vec<u8>,
+    globals: Vec<u64>,
+    table: Vec<Option<u32>>,
+}
+
+impl SnapshotDelta {
+    /// Number of 4 KiB pages carried by the delta.
+    #[must_use]
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Serialize to a self-contained byte image (format version 2 — the
+    /// first byte distinguishes a delta from a full
+    /// [`InstanceSnapshot::to_bytes`] image, which starts with 1).
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.bytes.len() + 64);
+        out.push(2u8); // format version: delta image
+        match self.mem_len {
+            None => out.push(0),
+            Some(len) => {
+                out.push(1);
+                out.extend_from_slice(&len.to_le_bytes());
+            }
+        }
+        out.extend_from_slice(&(self.pages.len() as u64).to_le_bytes());
+        for p in &self.pages {
+            out.extend_from_slice(&p.to_le_bytes());
+        }
+        out.extend_from_slice(&self.bytes);
+        out.extend_from_slice(&(self.globals.len() as u64).to_le_bytes());
+        for g in &self.globals {
+            out.extend_from_slice(&g.to_le_bytes());
+        }
+        out.extend_from_slice(&(self.table.len() as u64).to_le_bytes());
+        for t in &self.table {
+            out.extend_from_slice(&t.unwrap_or(u32::MAX).to_le_bytes());
+        }
+        out
+    }
+
+    /// Reconstruct a delta serialized by [`SnapshotDelta::to_bytes`].
+    /// Returns `None` on any structural corruption: bad version, a memory
+    /// length that is not a whole number of Wasm pages, page indices that
+    /// are not strictly ascending or point past the recorded length, or
+    /// truncation.
+    #[must_use]
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        struct Rd<'a>(&'a [u8]);
+        impl Rd<'_> {
+            fn u8(&mut self) -> Option<u8> {
+                let (&b, rest) = self.0.split_first()?;
+                self.0 = rest;
+                Some(b)
+            }
+            fn u32(&mut self) -> Option<u32> {
+                let (head, rest) = self.0.split_at_checked(4)?;
+                self.0 = rest;
+                Some(u32::from_le_bytes(head.try_into().ok()?))
+            }
+            fn u64(&mut self) -> Option<u64> {
+                let (head, rest) = self.0.split_at_checked(8)?;
+                self.0 = rest;
+                Some(u64::from_le_bytes(head.try_into().ok()?))
+            }
+            fn take(&mut self, n: usize) -> Option<&[u8]> {
+                let (head, rest) = self.0.split_at_checked(n)?;
+                self.0 = rest;
+                Some(head)
+            }
+        }
+        let mut rd = Rd(bytes);
+        if rd.u8()? != 2 {
+            return None;
+        }
+        let mem_len = match rd.u8()? {
+            0 => None,
+            1 => {
+                let len = rd.u64()?;
+                if len % crate::memory::PAGE_SIZE as u64 != 0 {
+                    return None;
+                }
+                Some(len)
+            }
+            _ => return None,
+        };
+        let n_pages = usize::try_from(rd.u64()?).ok()?;
+        let page_budget =
+            mem_len.unwrap_or(0) / crate::memory::DIRTY_PAGE_SIZE as u64;
+        if n_pages as u64 > page_budget {
+            return None;
+        }
+        let mut pages = Vec::with_capacity(n_pages);
+        for _ in 0..n_pages {
+            let p = rd.u64()?;
+            if p >= page_budget || pages.last().is_some_and(|&last| p <= last) {
+                return None;
+            }
+            pages.push(p);
+        }
+        let data = rd.take(n_pages * crate::memory::DIRTY_PAGE_SIZE)?.to_vec();
+        let n_globals = usize::try_from(rd.u64()?).ok()?;
+        let mut globals = Vec::with_capacity(n_globals.min(1 << 16));
+        for _ in 0..n_globals {
+            globals.push(rd.u64()?);
+        }
+        let n_table = usize::try_from(rd.u64()?).ok()?;
+        let mut table = Vec::with_capacity(n_table.min(1 << 16));
+        for _ in 0..n_table {
+            let v = rd.u32()?;
+            table.push(if v == u32::MAX { None } else { Some(v) });
+        }
+        if !rd.0.is_empty() {
+            return None;
+        }
+        Some(Self {
+            mem_len,
+            pages,
+            bytes: data,
             globals,
             table,
         })
@@ -655,13 +802,140 @@ impl Instance {
     pub fn reset_to(&mut self, snap: &InstanceSnapshot) {
         match (&mut self.memory, &snap.memory) {
             (Some(mem), Some(img)) => mem.restore_from(img),
-            (mem, img) => *mem = img.clone(),
+            (mem, img) => {
+                *mem = img.clone();
+                if let Some(m) = mem.as_mut() {
+                    // The clone inherited the snapshot's bitmap; the memory
+                    // now *is* the snapshot, so nothing is dirty against it.
+                    m.clear_dirty();
+                }
+            }
         }
         self.globals.clear();
         self.globals.extend_from_slice(&snap.globals);
         self.table.clear();
         self.table.extend_from_slice(&snap.table);
         self.meter.reset();
+    }
+
+    /// O(dirty pages) counterpart of [`Instance::reset_to`]: restore
+    /// memory, globals and table from `snap` touching only the pages the
+    /// dirty bitmap says may differ, and clear the meter. Valid whenever
+    /// [`Instance::clear_dirty`] was last called while the instance's
+    /// memory matched `snap` (the service layer maintains exactly this
+    /// invariant for each session's base snapshot) — the result is
+    /// bit-identical to a full `reset_to`, which the differential
+    /// proptests in `tests/` assert across all execution tiers.
+    pub fn reset_to_image(&mut self, snap: &InstanceSnapshot) {
+        match (&mut self.memory, &snap.memory) {
+            (Some(mem), Some(img)) => mem.restore_from_dirty(img),
+            (mem, img) => {
+                *mem = img.clone();
+                if let Some(m) = mem.as_mut() {
+                    m.clear_dirty();
+                }
+            }
+        }
+        self.globals.clear();
+        self.globals.extend_from_slice(&snap.globals);
+        self.table.clear();
+        self.table.extend_from_slice(&snap.table);
+        self.meter.reset();
+    }
+
+    /// Re-base the dirty-page bitmap: the current memory contents become
+    /// the reference that [`Instance::snapshot_delta`] and
+    /// [`Instance::reset_to_image`] measure against. Embedders call this
+    /// right after capturing a base snapshot of the same state.
+    pub fn clear_dirty(&mut self) {
+        if let Some(mem) = self.memory.as_mut() {
+            mem.clear_dirty();
+        }
+    }
+
+    /// Number of 4 KiB memory pages currently marked dirty.
+    #[must_use]
+    pub fn dirty_page_count(&self) -> u64 {
+        self.memory.as_ref().map_or(0, Memory::dirty_page_count)
+    }
+
+    /// Capture the difference between the current state and `base` as a
+    /// [`SnapshotDelta`], touching only dirty pages. Pages the bitmap
+    /// over-approximates (marked but byte-identical to the base) are
+    /// compared and skipped, so the delta is minimal even after churny
+    /// write patterns. `base` must be the snapshot the bitmap was last
+    /// re-based against ([`Instance::clear_dirty`]).
+    #[must_use]
+    pub fn snapshot_delta(&self, base: &InstanceSnapshot) -> SnapshotDelta {
+        let mut pages = Vec::new();
+        let mut bytes = Vec::new();
+        if let Some(mem) = self.memory.as_ref() {
+            for p in mem.dirty_pages() {
+                let cur = mem
+                    .dirty_page_bytes(p)
+                    .expect("dirty bitmap only covers in-bounds pages");
+                let unchanged = base
+                    .memory
+                    .as_ref()
+                    .and_then(|img| img.dirty_page_bytes(p))
+                    .is_some_and(|img_page| img_page == cur);
+                if !unchanged {
+                    pages.push(p);
+                    bytes.extend_from_slice(cur);
+                }
+            }
+        }
+        SnapshotDelta {
+            mem_len: self.memory.as_ref().map(|m| m.size_bytes() as u64),
+            pages,
+            bytes,
+            globals: self.globals.clone(),
+            table: self.table.clone(),
+        }
+    }
+
+    /// Replay a [`SnapshotDelta`] onto an instance sitting at the delta's
+    /// base state: resize memory to the recorded length, overwrite the
+    /// carried pages (marking them dirty — they differ from the base
+    /// again), and install globals and table. Clears the meter, like the
+    /// reset paths. Returns `false` without touching anything if the delta
+    /// carries memory but the instance has none (a delta for a different
+    /// module shape — impossible through the sealed-park path, which keys
+    /// deltas to their module).
+    #[must_use]
+    pub fn apply_delta(&mut self, delta: &SnapshotDelta) -> bool {
+        match (self.memory.as_mut(), delta.mem_len) {
+            (None, None) => {}
+            (Some(mem), Some(len)) => {
+                mem.resize_raw(len as usize);
+                let mut off = 0;
+                for &p in &delta.pages {
+                    let page = &delta.bytes[off..off + crate::memory::DIRTY_PAGE_SIZE];
+                    if mem.write_dirty_page(p, page).is_none() {
+                        return false;
+                    }
+                    off += crate::memory::DIRTY_PAGE_SIZE;
+                }
+            }
+            _ => return false,
+        }
+        self.globals.clear();
+        self.globals.extend_from_slice(&delta.globals);
+        self.table.clear();
+        self.table.extend_from_slice(&delta.table);
+        self.meter.reset();
+        true
+    }
+
+    /// Swap the host state attached to this instance, returning the
+    /// previous one. This is how an instance pool hands a recycled slot to
+    /// a new tenant: the slot parks with a placeholder `Box<()>` and
+    /// checkout installs the tenant's own context.
+    pub fn replace_host_data(
+        &mut self,
+        host_data: Box<dyn Any + Send>,
+    ) -> Box<dyn Any + Send> {
+        std::mem::replace(&mut self.host_data, host_data)
     }
 
     /// Attach (or clear) the EPC page sink.

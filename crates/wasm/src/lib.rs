@@ -65,7 +65,7 @@ pub mod types;
 pub mod validate;
 
 pub use compile::CompiledModule;
-pub use exec::{HostCtx, HostFn, Instance, InstanceSnapshot, Linker, PageSink, Trap};
+pub use exec::{HostCtx, HostFn, Instance, InstanceSnapshot, Linker, PageSink, SnapshotDelta, Trap};
 pub use lower::ExecTier;
 pub use memory::Memory;
 pub use meter::{InstrClass, Meter};

@@ -1,0 +1,357 @@
+//! Differential property tests for the memory-image fast path (DESIGN.md
+//! §11): on random modules with random write patterns, across all three
+//! execution tiers,
+//!
+//! 1. `reset_to_image` (O(dirty pages)) must leave the instance
+//!    bit-identical to a full `reset_to` — memory bytes, globals, table —
+//!    and replaying the program afterwards must reproduce the original
+//!    run exactly (results, traps, meter classes, fuel).
+//! 2. `snapshot_delta` → serialize → `from_bytes` → `apply_delta` onto a
+//!    fresh base-state instance must reproduce the full post-run
+//!    `snapshot()` byte-for-byte, including after mid-run out-of-fuel
+//!    traps (the preemption-park case) and after `memory.grow`.
+//!
+//! The generator family follows `tier_differential.rs` but adds mutable
+//! globals, a function table and a two-page memory so deltas carry every
+//! state component, plus a `memory.grow` arm so the resize path of
+//! `apply_delta` is exercised.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use twine_wasm::instr::{IBinOp, Instr, IntWidth, LoadKind, MemArg, StoreKind};
+use twine_wasm::lower::ExecTier;
+use twine_wasm::meter::InstrClass;
+use twine_wasm::types::{FuncType, Limits, ValType, Value};
+use twine_wasm::{Instance, InstanceSnapshot, Linker, ModuleBuilder, SnapshotDelta, Trap};
+
+const N_LOCALS: u32 = 4;
+const N_GLOBALS: u32 = 2;
+const ALL_TIERS: [ExecTier; 3] = [ExecTier::Baseline, ExecTier::Fused, ExecTier::Reg];
+
+/// Stack-safe straight-line body over locals, globals and a two-page
+/// memory. Loads and stores are masked to the initial 128 KiB so they
+/// stay in bounds whether or not the grow arm fired.
+fn straightline_from(choices: &[(u8, i32)]) -> Vec<Instr> {
+    let mut body = Vec::new();
+    let mut depth = 0usize;
+    for &(sel, v) in choices {
+        match sel % 16 {
+            0 | 1 => {
+                body.push(Instr::Const(Value::I32(v)));
+                depth += 1;
+            }
+            2 => {
+                body.push(Instr::LocalGet(v as u32 % N_LOCALS));
+                depth += 1;
+            }
+            3 if depth >= 1 => {
+                body.push(Instr::LocalSet(v as u32 % N_LOCALS));
+                depth -= 1;
+            }
+            4 => {
+                body.push(Instr::GlobalGet(v as u32 % N_GLOBALS));
+                depth += 1;
+            }
+            5 if depth >= 1 => {
+                body.push(Instr::GlobalSet(v as u32 % N_GLOBALS));
+                depth -= 1;
+            }
+            6..=9 if depth >= 2 => {
+                let ops = [
+                    IBinOp::Add,
+                    IBinOp::Sub,
+                    IBinOp::Mul,
+                    IBinOp::And,
+                    IBinOp::Or,
+                    IBinOp::Xor,
+                ];
+                body.push(Instr::IBinop(
+                    IntWidth::W32,
+                    ops[v as u32 as usize % ops.len()],
+                ));
+                depth -= 1;
+            }
+            10 if depth >= 1 => {
+                // Masked in-bounds load from the initial two pages.
+                body.push(Instr::Const(Value::I32(0x1FFF0)));
+                body.push(Instr::IBinop(IntWidth::W32, IBinOp::And));
+                body.push(Instr::Load(LoadKind::I32, MemArg::offset(v as u32 % 8)));
+            }
+            11 | 12 if depth >= 1 => {
+                // Store the top of stack at a masked address — the write
+                // pattern the dirty bitmap must capture exactly.
+                body.push(Instr::LocalSet(3));
+                body.push(Instr::Const(Value::I32(v & 0x1FFF0)));
+                body.push(Instr::LocalGet(3));
+                body.push(Instr::Store(StoreKind::I32, MemArg::offset(0)));
+                depth -= 1;
+            }
+            13 if depth >= 1 => {
+                body.push(Instr::ITestEqz(IntWidth::W32));
+            }
+            14 if depth >= 3 => {
+                body.push(Instr::Select);
+                depth -= 2;
+            }
+            15 => {
+                // Grow by one Wasm page; the old size lands on the stack.
+                body.push(Instr::Const(Value::I32(1)));
+                body.push(Instr::MemoryGrow);
+                depth += 1;
+            }
+            _ => {}
+        }
+    }
+    for _ in 0..depth {
+        body.push(Instr::Drop);
+    }
+    body
+}
+
+/// Two-page memory, two mutable globals, a table with one live element —
+/// every component a `SnapshotDelta` carries is present and non-trivial.
+fn build_module(body: Vec<Instr>) -> twine_wasm::Module {
+    let mut b = ModuleBuilder::new();
+    b.memory(Limits::at_least(2));
+    b.table(Limits::at_least(2));
+    b.add_global(ValType::I32, true, Value::I32(7));
+    b.add_global(ValType::I32, true, Value::I32(-3));
+    let mut full = body;
+    full.push(Instr::LocalGet(1));
+    let f = b.add_func(
+        FuncType::new(vec![], vec![ValType::I32]),
+        vec![ValType::I32; N_LOCALS as usize],
+        full,
+    );
+    b.add_elem(0, vec![f]);
+    b.export_func("f", f);
+    b.build()
+}
+
+struct Run {
+    result: Result<Vec<Value>, Trap>,
+    counts: Vec<u64>,
+    bytes_accessed: u64,
+    page_transitions: u64,
+    fuel_left: Option<u64>,
+}
+
+/// Invoke `f` and collect everything the virtual-time methodology can see.
+fn observe(inst: &mut Instance, fuel: Option<u64>) -> Run {
+    inst.meter.reset();
+    inst.fuel = fuel;
+    let result = inst.invoke("f", &[]);
+    Run {
+        result,
+        counts: InstrClass::all().iter().map(|&c| inst.meter.count(c)).collect(),
+        bytes_accessed: inst.meter.bytes_accessed,
+        page_transitions: inst.meter.page_transitions,
+        fuel_left: inst.fuel,
+    }
+}
+
+fn assert_runs_identical(a: &Run, b: &Run, what: &str) {
+    assert_eq!(a.result, b.result, "{what}: results/traps diverged");
+    assert_eq!(a.counts, b.counts, "{what}: meter class counts diverged");
+    assert_eq!(a.bytes_accessed, b.bytes_accessed, "{what}: bytes_accessed");
+    assert_eq!(
+        a.page_transitions, b.page_transitions,
+        "{what}: page_transitions"
+    );
+    assert_eq!(a.fuel_left, b.fuel_left, "{what}: fuel accounting");
+}
+
+/// Instantiate, capture the base image and re-base the dirty bitmap —
+/// exactly what the service layer does when pooling a session.
+fn fresh_based(code: &Arc<twine_wasm::CompiledModule>) -> (Instance, InstanceSnapshot) {
+    let mut inst = Instance::instantiate(Arc::clone(code), Linker::new(), Box::new(()))
+        .expect("instantiate");
+    let base = inst.snapshot();
+    inst.clear_dirty();
+    inst.meter.reset();
+    (inst, base)
+}
+
+/// The core differential, for one module × tier × fuel budget.
+fn check_image_paths(module: &twine_wasm::Module, tier: ExecTier, fuel: Option<u64>) {
+    let code = Arc::new(
+        module
+            .clone()
+            .into_compiled_tier(tier)
+            .expect("validated module"),
+    );
+
+    // Instantiation is deterministic for start-less modules — the
+    // poolability condition that lets one base image serve every session.
+    assert!(code.poolable(), "generated modules have no start function");
+    let (mut live, base) = fresh_based(&code);
+    let (fresh, base2) = fresh_based(&code);
+    assert_eq!(
+        base.to_bytes(),
+        base2.to_bytes(),
+        "base image must be a pure function of the module"
+    );
+    drop(fresh);
+
+    let first = observe(&mut live, fuel);
+
+    // --- Delta capture, serialization round-trip, apply onto a fresh base.
+    let full = live.snapshot();
+    let delta = live.snapshot_delta(&base);
+    assert!(
+        delta.page_count() as u64 <= live.dirty_page_count(),
+        "false-positive dirty pages must be compared away, never added"
+    );
+    let rt = SnapshotDelta::from_bytes(&delta.to_bytes()).expect("serialization round-trip");
+    assert_eq!(rt.page_count(), delta.page_count());
+
+    let (mut restored, _) = fresh_based(&code);
+    assert!(restored.apply_delta(&rt), "delta fits its own module");
+    assert_eq!(
+        restored.snapshot().to_bytes(),
+        full.to_bytes(),
+        "delta restore must reproduce the full post-run snapshot byte-for-byte"
+    );
+
+    // Observational equivalence: replaying from the delta-restored state
+    // matches replaying on the instance that never parked.
+    let replay_live = observe(&mut live, fuel);
+    let replay_restored = observe(&mut restored, fuel);
+    assert_runs_identical(&replay_live, &replay_restored, "delta-restored replay");
+
+    // A second park/restore from the replayed state (the bitmap now holds
+    // re-marked pages from apply_delta plus the replay's writes).
+    let full2 = restored.snapshot();
+    let delta2 = restored.snapshot_delta(&base);
+    let (mut restored2, _) = fresh_based(&code);
+    assert!(restored2.apply_delta(&delta2));
+    assert_eq!(
+        restored2.snapshot().to_bytes(),
+        full2.to_bytes(),
+        "second-generation delta restore diverged"
+    );
+
+    // --- O(dirty) reset vs full reset vs pristine base.
+    live.reset_to_image(&base);
+    restored.reset_to(&base);
+    assert_eq!(
+        live.snapshot().to_bytes(),
+        base.to_bytes(),
+        "reset_to_image must land exactly on the base image"
+    );
+    assert_eq!(live.snapshot().to_bytes(), restored.snapshot().to_bytes());
+    assert_eq!(live.dirty_page_count(), 0, "reset re-bases the bitmap");
+
+    // Replaying after the O(dirty) reset reproduces the original run.
+    let after_reset = observe(&mut live, fuel);
+    assert_runs_identical(&first, &after_reset, "post-reset_to_image replay");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random write patterns, no fuel: delta restore ≡ full restore ≡
+    /// fresh instantiation, bit-identically, on every tier.
+    #[test]
+    fn image_paths_agree(
+        choices in proptest::collection::vec((any::<u8>(), any::<i32>()), 0..60)
+    ) {
+        let module = build_module(straightline_from(&choices));
+        for tier in ALL_TIERS {
+            check_image_paths(&module, tier, None);
+        }
+    }
+
+    /// The same programs preempted by a tight fuel budget: the delta of a
+    /// half-finished run (the eviction-park case) must restore exactly,
+    /// and the replay must hit the identical out-of-fuel point.
+    #[test]
+    fn image_paths_agree_under_fuel(
+        choices in proptest::collection::vec((any::<u8>(), any::<i32>()), 0..60),
+        fuel in 0u64..150
+    ) {
+        let module = build_module(straightline_from(&choices));
+        for tier in ALL_TIERS {
+            check_image_paths(&module, tier, Some(fuel));
+        }
+    }
+}
+
+/// Deterministic regression: grow two pages past the base image, write
+/// into the grown region and park. The delta must carry the grown length,
+/// restore must resize first, and never-written grown pages must come
+/// back zeroed.
+#[test]
+fn grown_memory_delta_restores_exactly() {
+    let body = vec![
+        // grow by 2 pages (old size -> local 2, unused)
+        Instr::Const(Value::I32(2)),
+        Instr::MemoryGrow,
+        Instr::LocalSet(2),
+        // write a marker into the second grown page (offset 3*64Ki + 16)
+        Instr::Const(Value::I32(3 * 65536 + 16)),
+        Instr::Const(Value::I32(0x5eed_cafe_u32 as i32)),
+        Instr::Store(StoreKind::I32, MemArg::offset(0)),
+        // and one into the base region
+        Instr::Const(Value::I32(64)),
+        Instr::Const(Value::I32(41)),
+        Instr::Store(StoreKind::I32, MemArg::offset(0)),
+        Instr::Const(Value::I32(1)),
+        Instr::LocalSet(1),
+    ];
+    let module = build_module(body);
+    for tier in ALL_TIERS {
+        let code = Arc::new(module.clone().into_compiled_tier(tier).expect("compiles"));
+        let (mut live, base) = fresh_based(&code);
+        observe(&mut live, None).result.expect("runs clean");
+
+        let full = live.snapshot();
+        assert_eq!(full.memory_bytes(), 4 * 65536, "{tier}: grew to 4 pages");
+        let delta = live.snapshot_delta(&base);
+        // Two 4 KiB pages were written; the clean grown pages travel as a
+        // length, not as bytes — that is the whole point of the format.
+        assert_eq!(delta.page_count(), 2, "{tier}");
+
+        let (mut restored, _) = fresh_based(&code);
+        assert!(restored.apply_delta(&delta), "{tier}");
+        assert_eq!(
+            restored.snapshot().to_bytes(),
+            full.to_bytes(),
+            "{tier}: grown-memory delta restore diverged"
+        );
+    }
+}
+
+/// Corrupt delta images must be rejected structurally, never applied.
+#[test]
+fn corrupt_delta_images_are_rejected() {
+    let module = build_module(vec![
+        Instr::Const(Value::I32(16)),
+        Instr::Const(Value::I32(99)),
+        Instr::Store(StoreKind::I32, MemArg::offset(0)),
+    ]);
+    let code = Arc::new(
+        module
+            .into_compiled_tier(ExecTier::Baseline)
+            .expect("compiles"),
+    );
+    let (mut live, base) = fresh_based(&code);
+    observe(&mut live, None).result.expect("runs clean");
+    let good = live.snapshot_delta(&base).to_bytes();
+    assert!(SnapshotDelta::from_bytes(&good).is_some());
+
+    // Wrong version byte (a full-image snapshot is not a delta).
+    let mut bad = good.clone();
+    bad[0] = 1;
+    assert!(SnapshotDelta::from_bytes(&bad).is_none());
+    // Truncation anywhere must fail, not mis-parse.
+    for cut in 1..good.len() {
+        assert!(SnapshotDelta::from_bytes(&good[..cut]).is_none());
+    }
+    // Trailing garbage is corruption too.
+    let mut padded = good.clone();
+    padded.push(0);
+    assert!(SnapshotDelta::from_bytes(&padded).is_none());
+}
