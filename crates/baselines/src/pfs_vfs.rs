@@ -61,6 +61,7 @@ impl PfsVfs {
             cache_nodes: self.cache_nodes,
             enclave: self.enclave.clone(),
             profiler: self.profiler.clone(),
+            journal: false,
         }
     }
 

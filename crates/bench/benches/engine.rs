@@ -100,6 +100,7 @@ fn bench_pfs(c: &mut Criterion) {
                     cache_nodes: 16,
                     enclave: None,
                     profiler: None,
+                    journal: false,
                 };
                 let mut f = SgxFile::create(MemStorage::new(), [1u8; 16], opts).expect("create");
                 f.write(&data).expect("write");

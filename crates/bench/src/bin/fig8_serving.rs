@@ -53,8 +53,19 @@
 //! cargo run -p twine-bench --release --bin fig8_serving \
 //!     [--sessions 8] [--calls 32] [--threads 8] \
 //!     [--churn] [--churn-sessions 2000] [--churn-budget 16] \
-//!     [--pool] [--pool-slots 32]
+//!     [--pool] [--pool-slots 32] [--faults <seed>]
 //! ```
+//!
+//! **`--faults <seed>`** arms a seeded chaos [`FaultPlan`] on the churn
+//! axis (DESIGN.md §12): seal/unseal failures, transient ECALL/OCALL
+//! aborts, EPC spikes and corrupt pool slots are injected at
+//! trust-boundary crossings while the churn workload runs. Every call must
+//! still succeed (the chaos differential suite proves guest-visible
+//! semantics are untouched); the fault/retry/fallback tallies land in the
+//! `churn_axis` of `BENCH_fig8.json` and the throughput floor relaxes to
+//! `TWINE_CHAOS_CHURN_FLOOR`.
+//!
+//! [`FaultPlan`]: twine_sgx::FaultPlan
 
 use std::sync::{Arc, Barrier};
 use std::time::Instant;
@@ -311,6 +322,9 @@ struct ChurnOutcome {
     restore_p50_us: f64,
     restore_p99_us: f64,
     pool: Option<usize>,
+    /// Chaos fault seed (`--faults`): the churn run doubles as a fault
+    /// drill when set.
+    faults: Option<u64>,
     stats: ControlStats,
 }
 
@@ -352,6 +366,7 @@ fn run_churn(
     total: usize,
     budget: usize,
     pool: Option<usize>,
+    faults: Option<u64>,
 ) -> ChurnOutcome {
     /// Sessions each client keeps open: enough above the per-shard budget
     /// that parking never stops.
@@ -366,11 +381,13 @@ fn run_churn(
         pool_slots_per_module: pool,
         ..ControlPlane::default()
     };
-    let svc = Arc::new(
-        TwineBuilder::new()
-            .control_plane(control)
-            .build_sharded(shards),
-    );
+    let mut builder = TwineBuilder::new().control_plane(control);
+    if let Some(seed) = faults {
+        builder = builder.faults(Arc::new(twine_sgx::FaultPlan::new(
+            twine_sgx::FaultConfig::chaos(seed),
+        )));
+    }
+    let svc = Arc::new(builder.build_sharded(shards));
     let t0 = Instant::now();
     let handles: Vec<_> = (0..shards)
         .map(|c| {
@@ -436,10 +453,26 @@ fn run_churn(
     assert_eq!(svc.session_count(), 0, "every churned session expired");
     if pool.is_some() {
         assert!(stats.pool_hits > 0, "pooled churn must recycle slots: {stats:?}");
+        if faults.is_none() {
+            assert!(
+                stats.delta_sealed_bytes == stats.sealed_bytes,
+                "poolable guest: every park seals a delta: {stats:?}"
+            );
+        } else {
+            // Under faults a seal failure mid-delta degrades that park to
+            // a full image by design, so delta traffic is only a subset.
+            assert!(
+                stats.delta_sealed_bytes <= stats.sealed_bytes,
+                "delta traffic cannot exceed total seal traffic: {stats:?}"
+            );
+        }
+    }
+    if faults.is_some() {
         assert!(
-            stats.delta_sealed_bytes == stats.sealed_bytes,
-            "poolable guest: every park seals a delta: {stats:?}"
+            stats.faults_injected > 0,
+            "a seeded chaos churn run must actually inject faults: {stats:?}"
         );
+        assert_eq!(stats.quarantines, 0, "injected faults are transient: {stats:?}");
     }
     ChurnOutcome {
         shards,
@@ -452,6 +485,7 @@ fn run_churn(
         restore_p50_us: percentile(&restore_us, 0.50),
         restore_p99_us: percentile(&restore_us, 0.99),
         pool,
+        faults,
         stats,
     }
 }
@@ -475,9 +509,14 @@ fn main() {
             .unwrap_or(32)
             .max(1)
     });
+    // Seeded chaos fault injection for the churn axis (DESIGN.md §12):
+    // the run doubles as a fault drill — every counter still lands in
+    // BENCH_fig8.json, plus the fault/retry/fallback tallies.
+    let fault_seed: Option<u64> = arg_value("--faults").and_then(|s| s.parse().ok());
     println!(
-        "Figure 8 — session serving: {sessions} sessions x {calls} calls (pooling {})\n",
-        if pool.is_some() { "on" } else { "off" }
+        "Figure 8 — session serving: {sessions} sessions x {calls} calls (pooling {}{})\n",
+        if pool.is_some() { "on" } else { "off" },
+        fault_seed.map_or_else(String::new, |s| format!(", chaos faults seed {s}"))
     );
 
     let wasm = twine_minicc::compile_to_bytes(GUEST_SRC).expect("guest compiles");
@@ -675,10 +714,11 @@ fn main() {
         let churn_shards = max_threads.clamp(1, 4);
         println!(
             "\nchurn axis: {churn_sessions} sessions through {churn_shards} shard(s), \
-             eviction budget {churn_budget} live sessions/shard, pooling {}",
-            if pool.is_some() { "on" } else { "off" }
+             eviction budget {churn_budget} live sessions/shard, pooling {}{}",
+            if pool.is_some() { "on" } else { "off" },
+            fault_seed.map_or_else(String::new, |s| format!(", chaos faults seed {s}"))
         );
-        let o = run_churn(&wasm, churn_shards, churn_sessions, churn_budget, pool);
+        let o = run_churn(&wasm, churn_shards, churn_sessions, churn_budget, pool, fault_seed);
         println!(
             "  {} invokes in {:.2}s ({:.0} calls/s): p50 {:.1} us, p99 {:.1} us \
              (restore p50 {:.1} us, p99 {:.1} us)",
@@ -707,6 +747,19 @@ fn main() {
                 o.stats.dirty_pages_restored,
                 o.stats.delta_sealed_bytes as f64 / (1 << 20) as f64
             );
+        }
+        if o.faults.is_some() {
+            println!(
+                "  chaos: {} faults injected, {} retries, {} fallback parks, \
+                 {} pool discards, {} quarantines",
+                o.stats.faults_injected,
+                o.stats.retries,
+                o.stats.fallback_parks,
+                o.stats.pool_discards,
+                o.stats.quarantines
+            );
+        }
+        if o.pool.is_some() && o.faults.is_none() {
             // Soft pooled-churn floor (ISSUE: ≥10x the PR 7 full-image
             // baseline of 470 calls/s on the reference configuration).
             let floor: f64 = std::env::var("TWINE_POOL_CHURN_FLOOR")
@@ -717,6 +770,20 @@ fn main() {
                 o.throughput() >= floor,
                 "pooled churn throughput {:.0} calls/s is below the floor of \
                  {floor:.0} (override with TWINE_POOL_CHURN_FLOOR)",
+                o.throughput()
+            );
+        } else if o.pool.is_some() {
+            // Under injected faults the retry backoffs and fallback parks
+            // cost real work; hold a separate, softer floor so a chaos
+            // regression (e.g. an accidental retry storm) still trips CI.
+            let floor: f64 = std::env::var("TWINE_CHAOS_CHURN_FLOOR")
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(2_000.0);
+            assert!(
+                o.throughput() >= floor,
+                "chaos churn throughput {:.0} calls/s is below the floor of \
+                 {floor:.0} (override with TWINE_CHAOS_CHURN_FLOOR)",
                 o.throughput()
             );
         }
@@ -837,7 +904,10 @@ fn main() {
                     "    \"sealed_bytes\": {}, \"unsealed_bytes\": {},\n",
                     "    \"pool_enabled\": {}, \"pool_slots_per_module\": {},\n",
                     "    \"pool_hits\": {}, \"pool_misses\": {}, \"pool_hit_rate\": {:.4},\n",
-                    "    \"dirty_pages_restored\": {}, \"delta_sealed_bytes\": {}\n  }}"
+                    "    \"dirty_pages_restored\": {}, \"delta_sealed_bytes\": {},\n",
+                    "    \"faults_enabled\": {}, \"fault_seed\": {},\n",
+                    "    \"faults_injected\": {}, \"retries\": {}, \"fallback_parks\": {},\n",
+                    "    \"pool_discards\": {}, \"quarantines\": {}\n  }}"
                 ),
                 o.sessions,
                 o.shards,
@@ -860,6 +930,13 @@ fn main() {
                 o.pool_hit_rate(),
                 o.stats.dirty_pages_restored,
                 o.stats.delta_sealed_bytes,
+                o.faults.is_some(),
+                o.faults.map_or_else(|| "null".to_string(), |s| s.to_string()),
+                o.stats.faults_injected,
+                o.stats.retries,
+                o.stats.fallback_parks,
+                o.stats.pool_discards,
+                o.stats.quarantines,
             )
         },
     );

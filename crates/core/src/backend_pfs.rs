@@ -65,6 +65,7 @@ impl PfsBackend {
             cache_nodes: self.cache_nodes,
             enclave: self.enclave.clone(),
             profiler: self.profiler.clone(),
+            journal: false,
         }
     }
 

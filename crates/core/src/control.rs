@@ -93,6 +93,16 @@ pub struct ControlPlane {
     /// `None` (the default) disables pooling entirely: every park seals
     /// the full image, byte-compatible with the pre-pool control plane.
     pub pool_slots_per_module: Option<usize>,
+    /// Durable park store: when set, every park additionally writes the
+    /// sealed image through to rollback-protected untrusted storage (a
+    /// journalled record file per session, tagged with a processor
+    /// monotonic counter), and [`TwineService::recover`] can rebuild the
+    /// session table from it after a simulated enclave crash/restart.
+    /// Stale (replayed) images are rejected with
+    /// [`crate::TwineError::Rollback`].
+    ///
+    /// [`TwineService::recover`]: crate::TwineService::recover
+    pub durable_parks: Option<crate::DurableParkStore>,
 }
 
 /// Control-plane counters. Per-[`TwineService`](crate::TwineService)
@@ -136,6 +146,35 @@ pub struct ControlStats {
     /// Bytes of sealed **delta** images written out (also counted in
     /// `sealed_bytes`; the gap between the two is full-image traffic).
     pub delta_sealed_bytes: u64,
+    /// Faults fired by an installed [`FaultPlan`](twine_sgx::FaultPlan)
+    /// across the whole enclave (gauge, read from the plan; a sharded
+    /// aggregate fills it once at the handle, not per shard).
+    pub faults_injected: u64,
+    /// Boundary crossings retried after a transient injected fault
+    /// (ECALL/OCALL/seal/unseal attempts beyond the first).
+    pub retries: u64,
+    /// Pooled parks that fell back to sealing the full image because the
+    /// delta seal kept faulting (graceful degradation, never data loss).
+    pub fallback_parks: u64,
+    /// Sessions quarantined because their parked image could not be
+    /// restored (unseal kept failing): state preserved, invocations
+    /// rejected typed instead of crashing the service.
+    pub quarantines: u64,
+    /// Pooled instance slots discarded at checkout because validation
+    /// flagged them (injected corruption or residual dirty pages); the
+    /// open falls back to a fresh instantiation.
+    pub pool_discards: u64,
+    /// Sessions rebuilt from durable parks by [`recover`]
+    /// (restart recovery, not warm restores).
+    ///
+    /// [`recover`]: crate::TwineService::recover
+    pub recovered_sessions: u64,
+    /// Durable park images rejected during [`recover`] because their
+    /// freshness tag was older than the processor monotonic counter (a
+    /// rollback/replay attempt).
+    ///
+    /// [`recover`]: crate::TwineService::recover
+    pub rollback_rejected: u64,
 }
 
 impl ControlStats {
@@ -156,6 +195,13 @@ impl ControlStats {
         self.pool_misses += other.pool_misses;
         self.dirty_pages_restored += other.dirty_pages_restored;
         self.delta_sealed_bytes += other.delta_sealed_bytes;
+        self.faults_injected += other.faults_injected;
+        self.retries += other.retries;
+        self.fallback_parks += other.fallback_parks;
+        self.quarantines += other.quarantines;
+        self.pool_discards += other.pool_discards;
+        self.recovered_sessions += other.recovered_sessions;
+        self.rollback_rejected += other.rollback_rejected;
     }
 }
 

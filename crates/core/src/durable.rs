@@ -1,0 +1,248 @@
+//! Durable, rollback-protected park records (DESIGN.md §12).
+//!
+//! Sealing a parked session protects its confidentiality and integrity,
+//! but a sealed blob held only in host memory dies with the process, and
+//! a blob held on disk can be *replayed*: the host can crash the enclave,
+//! then hand back last week's perfectly-valid sealed image. This module
+//! closes both gaps:
+//!
+//! * **Durability** — each session's `(module wasm, sealed image)` record
+//!   is written through a journalled [`SgxFile`] (`PfsOptions.journal`),
+//!   so a crash mid-park recovers to either the previous record or the
+//!   new one, never a torn hybrid (the same atomicity the PFS
+//!   crash-recovery battery proves).
+//! * **Freshness** — every parked image embeds a tag from a processor
+//!   [`MonotonicCounters`] bank before sealing. Park writes the record
+//!   with tag `peek + 1` and only *then* bumps the counter; recovery
+//!   accepts `tag >= peek` (covering the write-then-crash-before-bump
+//!   window, where at most one record can carry `peek + 1`) and
+//!   fast-forwards the counter. A replayed older image has `tag < peek`
+//!   and is rejected typed ([`TwineError::Rollback`]).
+//!
+//! The counter bank and the record map are shared (`Arc`) so they survive
+//! a simulated enclave restart — exactly the real-hardware trust split:
+//! monotonic counters live in the processor/CSME, records on untrusted
+//! disk, and the restarted enclave re-derives its keys from the same
+//! processor + measurement.
+//!
+//! [`TwineError::Rollback`]: crate::TwineError::Rollback
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use twine_crypto::Sha256;
+use twine_pfs::{MemStorage, PfsError, PfsMode, PfsOptions, SgxFile, UntrustedStorage};
+use twine_sgx::MonotonicCounters;
+
+/// Journalled options for park-record files: crash atomicity is the whole
+/// point, so the journal is always on. Optimised mode — the record path is
+/// plumbing, not a Figure 7 measurement target.
+fn record_opts() -> PfsOptions {
+    PfsOptions {
+        mode: PfsMode::Optimised,
+        cache_nodes: 8,
+        enclave: None,
+        profiler: None,
+        journal: true,
+    }
+}
+
+/// Rollback-protected durable storage for parked session images.
+///
+/// Cloning shares the underlying counter bank and record map — a clone
+/// handed to a freshly-built [`TwineService`](crate::TwineService) models
+/// an enclave restart on the *same machine* (same processor counters,
+/// same untrusted disk).
+#[derive(Clone, Default)]
+pub struct DurableParkStore {
+    counters: MonotonicCounters,
+    files: Arc<Mutex<HashMap<String, MemStorage>>>,
+}
+
+impl std::fmt::Debug for DurableParkStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let files = self.files.lock().unwrap();
+        f.debug_struct("DurableParkStore")
+            .field("records", &files.len())
+            .finish()
+    }
+}
+
+impl DurableParkStore {
+    /// Fresh store: empty counter bank, no records.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The monotonic-counter id for a session: its name, hashed to the
+    /// bank's fixed-width id space.
+    pub(crate) fn counter_id(session: &str) -> [u8; 32] {
+        Sha256::digest(session.as_bytes())
+    }
+
+    /// Current freshness floor for a session (next accepted tag).
+    pub(crate) fn peek(&self, session: &str) -> u64 {
+        self.counters.peek(&Self::counter_id(session))
+    }
+
+    /// Bump the session's counter (after a record write, or on close so a
+    /// replay of the removed record is rejected).
+    pub(crate) fn bump(&self, session: &str) -> u64 {
+        self.counters.bump(&Self::counter_id(session))
+    }
+
+    /// Fast-forward the session's counter to at least `tag` (recovery
+    /// accepted a record written after the last completed bump).
+    pub(crate) fn fast_forward(&self, session: &str, tag: u64) {
+        let id = Self::counter_id(session);
+        while self.counters.peek(&id) < tag {
+            self.counters.bump(&id);
+        }
+    }
+
+    /// Session names with a durable record, in deterministic order.
+    pub(crate) fn session_names(&self) -> Vec<String> {
+        let files = self.files.lock().unwrap();
+        let mut names: Vec<String> = files.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Number of durable records currently held.
+    #[must_use]
+    pub fn record_count(&self) -> usize {
+        self.files.lock().unwrap().len()
+    }
+
+    /// Overwrite (or create) the session's record file **in place** with
+    /// `[wasm_len u32][wasm][sealed_len u32][sealed]`, through the
+    /// journalled file so the transition is crash-atomic.
+    pub(crate) fn write_record(
+        &self,
+        session: &str,
+        key: [u8; 16],
+        wasm: &[u8],
+        sealed: &[u8],
+    ) -> Result<(), PfsError> {
+        let store = {
+            let mut files = self.files.lock().unwrap();
+            files.remove(session).unwrap_or_default()
+        };
+        let mut f = if store.node_count() == 0 {
+            SgxFile::create(store, key, record_opts())?
+        } else {
+            SgxFile::open(store, key, record_opts())?
+        };
+        let mut record = Vec::with_capacity(wasm.len() + sealed.len() + 8);
+        record.extend_from_slice(&(wasm.len() as u32).to_le_bytes());
+        record.extend_from_slice(wasm);
+        record.extend_from_slice(&(sealed.len() as u32).to_le_bytes());
+        record.extend_from_slice(sealed);
+        f.seek(0)?;
+        f.write(&record)?;
+        f.set_size(record.len() as u64)?;
+        f.flush()?;
+        let store = f.into_storage()?;
+        self.files.lock().unwrap().insert(session.to_string(), store);
+        Ok(())
+    }
+
+    /// Read a session's record back, running journal recovery if the last
+    /// write was cut short. Returns `(wasm, sealed)`.
+    pub(crate) fn read_record(
+        &self,
+        session: &str,
+        key: [u8; 16],
+    ) -> Result<(Vec<u8>, Vec<u8>), PfsError> {
+        let store = {
+            let mut files = self.files.lock().unwrap();
+            files
+                .remove(session)
+                .ok_or_else(|| PfsError::Io(format!("no durable record for {session:?}")))?
+        };
+        let mut f = SgxFile::open(store, key, record_opts())?;
+        f.seek(0)?;
+        let mut record = vec![0u8; f.size() as usize];
+        f.read(&mut record)?;
+        let store = f.into_storage()?;
+        self.files.lock().unwrap().insert(session.to_string(), store);
+        let bad = || PfsError::Io(format!("malformed durable record for {session:?}"));
+        let wasm_len = u32::from_le_bytes(record.get(..4).ok_or_else(bad)?.try_into().unwrap());
+        let rest = record.get(4..).ok_or_else(bad)?;
+        let wasm = rest.get(..wasm_len as usize).ok_or_else(bad)?.to_vec();
+        let rest = &rest[wasm_len as usize..];
+        let sealed_len = u32::from_le_bytes(rest.get(..4).ok_or_else(bad)?.try_into().unwrap());
+        let sealed = rest
+            .get(4..4 + sealed_len as usize)
+            .ok_or_else(bad)?
+            .to_vec();
+        Ok((wasm, sealed))
+    }
+
+    /// Drop a session's record (close path). The caller bumps the counter
+    /// so a replay of the removed record is rejected as stale.
+    pub(crate) fn remove_record(&self, session: &str) {
+        self.files.lock().unwrap().remove(session);
+    }
+
+    /// Test/attack hook: snapshot a session's raw record storage (the
+    /// untrusted host can always copy the ciphertext).
+    #[must_use]
+    pub fn snapshot_record(&self, session: &str) -> Option<Vec<Option<Box<[u8; 4096]>>>> {
+        self.files.lock().unwrap().get(session).map(MemStorage::snapshot)
+    }
+
+    /// Test/attack hook: replace a session's record storage with a prior
+    /// snapshot — the rollback attack [`recover`] must reject.
+    ///
+    /// [`recover`]: crate::TwineService::recover
+    pub fn replay_record(&self, session: &str, snap: Vec<Option<Box<[u8; 4096]>>>) {
+        let mut store = MemStorage::new();
+        store.restore(snap);
+        self.files.lock().unwrap().insert(session.to_string(), store);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_roundtrip_and_overwrite() {
+        let store = DurableParkStore::new();
+        let key = [7u8; 16];
+        store.write_record("s1", key, b"wasm-bytes", b"sealed-1").unwrap();
+        let (w, s) = store.read_record("s1", key).unwrap();
+        assert_eq!(w, b"wasm-bytes");
+        assert_eq!(s, b"sealed-1");
+        // Overwrite in place: same file, new content.
+        store.write_record("s1", key, b"wasm-bytes", b"sealed-2-longer").unwrap();
+        let (_, s) = store.read_record("s1", key).unwrap();
+        assert_eq!(s, b"sealed-2-longer");
+        assert_eq!(store.record_count(), 1);
+    }
+
+    #[test]
+    fn counters_shared_across_clones() {
+        let store = DurableParkStore::new();
+        let clone = store.clone();
+        assert_eq!(store.peek("a"), 0);
+        store.bump("a");
+        assert_eq!(clone.peek("a"), 1);
+        clone.fast_forward("a", 5);
+        assert_eq!(store.peek("a"), 5);
+    }
+
+    #[test]
+    fn replayed_snapshot_restores_old_ciphertext() {
+        let store = DurableParkStore::new();
+        let key = [9u8; 16];
+        store.write_record("s", key, b"m", b"old").unwrap();
+        let snap = store.snapshot_record("s").unwrap();
+        store.write_record("s", key, b"m", b"new").unwrap();
+        store.replay_record("s", snap);
+        let (_, sealed) = store.read_record("s", key).unwrap();
+        assert_eq!(sealed, b"old", "the attack itself works at the storage layer");
+    }
+}

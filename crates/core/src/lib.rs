@@ -50,6 +50,7 @@
 pub mod backend_host;
 pub mod backend_pfs;
 pub mod control;
+pub mod durable;
 pub(crate) mod pool;
 pub mod provision;
 pub mod runtime;
@@ -60,8 +61,9 @@ pub mod shared_store;
 pub use backend_host::HostBackend;
 pub use backend_pfs::PfsBackend;
 pub use control::{ControlPlane, ControlStats, FuelRate};
+pub use durable::DurableParkStore;
 pub use provision::{ApplicationProvider, EncryptedApp};
-pub use runtime::{FsChoice, RunReport, TwineApp, TwineBuilder, TwineError, TwineRuntime};
+pub use runtime::{FsChoice, Overload, RunReport, TwineApp, TwineBuilder, TwineError, TwineRuntime};
 pub use service::{ModuleCache, SessionStats, TwineService};
 pub use sharded::{ShardStats, ShardedService};
 pub use twine_wasm::ExecTier;

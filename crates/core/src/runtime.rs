@@ -27,6 +27,50 @@ pub enum FsChoice {
     Disabled,
 }
 
+/// Why admission control rejected a call — the structured payload of
+/// [`TwineError::Overloaded`]. Every variant is backpressure (the caller
+/// may retry later), but they name different resources, so a client can
+/// react differently to a full shard queue (spread load) than to its own
+/// rate bucket (slow down).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Overload {
+    /// A bounded shard command queue was full.
+    QueueFull {
+        /// Index of the rejecting shard.
+        shard: usize,
+        /// The configured queue depth it was full at.
+        depth: usize,
+    },
+    /// The tenant is at its cross-shard in-flight command cap.
+    InFlight {
+        /// Session/tenant name.
+        tenant: String,
+        /// The configured cap.
+        max: u64,
+    },
+    /// The tenant's fuel-rate token bucket is over its burst allowance.
+    RateLimited {
+        /// Session/tenant name.
+        tenant: String,
+    },
+}
+
+impl core::fmt::Display for Overload {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Overload::QueueFull { shard, depth } => {
+                write!(f, "shard {shard} queue full (depth {depth})")
+            }
+            Overload::InFlight { tenant, max } => {
+                write!(f, "tenant {tenant:?} at in-flight cap ({max})")
+            }
+            Overload::RateLimited { tenant } => {
+                write!(f, "tenant {tenant:?} over fuel-rate burst")
+            }
+        }
+    }
+}
+
 /// Errors from the Twine runtime.
 #[derive(Debug)]
 pub enum TwineError {
@@ -34,7 +78,8 @@ pub enum TwineError {
     Module(ModuleError),
     /// The guest trapped.
     Trap(Trap),
-    /// SGX-level failure (attestation, unsealing).
+    /// SGX-level failure (attestation, unsealing, injected boundary
+    /// faults that outlasted the bounded retry policy).
     Sgx(SgxError),
     /// Code-provisioning failure.
     Provision(String),
@@ -42,8 +87,44 @@ pub enum TwineError {
     Session(String),
     /// Admission control rejected the call: a bounded shard queue was
     /// full, or a per-tenant in-flight or fuel-rate cap was exceeded.
-    /// Backpressure, not failure — the caller may retry later.
-    Overloaded(String),
+    /// Backpressure, not failure — the caller may retry later (see
+    /// [`Overload`] for which resource pushed back).
+    Overloaded(Overload),
+    /// The session's parked image could not be restored (unsealing kept
+    /// failing beyond the retry budget): the sealed state is preserved
+    /// and the session quarantined, but it cannot serve invocations.
+    Quarantined {
+        /// Session name.
+        session: String,
+        /// Human-readable cause (the final unseal error).
+        reason: String,
+    },
+    /// A durable park image failed freshness validation during
+    /// [`recover`](crate::TwineService::recover): its monotonic-counter
+    /// tag is older than the processor's counter — a rollback/replay.
+    Rollback {
+        /// Session name.
+        session: String,
+        /// The stale tag carried by the replayed image.
+        have: u64,
+        /// The minimum tag the processor counter accepts.
+        want: u64,
+    },
+}
+
+impl TwineError {
+    /// Is this error worth retrying? `true` for admission-control
+    /// backpressure ([`TwineError::Overloaded`]) and for transient SGX
+    /// boundary faults; `false` for everything permanent (bad modules,
+    /// traps, tampered blobs, quarantines, rollback rejections).
+    #[must_use]
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            TwineError::Overloaded(_) => true,
+            TwineError::Sgx(e) => e.is_transient(),
+            _ => false,
+        }
+    }
 }
 
 impl core::fmt::Display for TwineError {
@@ -54,7 +135,16 @@ impl core::fmt::Display for TwineError {
             TwineError::Sgx(e) => write!(f, "sgx error: {e}"),
             TwineError::Provision(m) => write!(f, "provisioning error: {m}"),
             TwineError::Session(m) => write!(f, "session error: {m}"),
-            TwineError::Overloaded(m) => write!(f, "overloaded: {m}"),
+            TwineError::Overloaded(o) => write!(f, "overloaded: {o}"),
+            TwineError::Quarantined { session, reason } => {
+                write!(f, "session {session:?} quarantined: {reason}")
+            }
+            TwineError::Rollback { session, have, want } => {
+                write!(
+                    f,
+                    "rollback rejected for session {session:?}: image tag {have} < counter {want}"
+                )
+            }
         }
     }
 }
@@ -92,6 +182,7 @@ pub struct TwineBuilder {
     pub(crate) fuel: Option<u64>,
     pub(crate) exec_tier: ExecTier,
     pub(crate) control: crate::ControlPlane,
+    pub(crate) faults: Option<Arc<twine_sgx::FaultPlan>>,
 }
 
 impl Default for TwineBuilder {
@@ -120,6 +211,7 @@ impl TwineBuilder {
             fuel: None,
             exec_tier: ExecTier::default(),
             control: crate::ControlPlane::default(),
+            faults: None,
         }
     }
 
@@ -247,6 +339,19 @@ impl TwineBuilder {
         self
     }
 
+    /// Install a deterministic fault-injection plan on the enclave (chaos
+    /// testing, DESIGN.md §12). Every trust-boundary crossing — ECALL and
+    /// OCALL transitions, seal and unseal — consults the plan's seeded
+    /// schedule and may fail typed; the runtime's bounded-retry and
+    /// graceful-degradation policies absorb the faults without changing
+    /// guest-visible semantics. [`crate::ControlStats::faults_injected`]
+    /// reports how many fired.
+    #[must_use]
+    pub fn faults(mut self, plan: Arc<twine_sgx::FaultPlan>) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
     /// Select the engine's execution tier: the baseline dispatch or the
     /// fused-superinstruction IR (default). Both are semantically and
     /// metering-identical; the fused tier is faster in wall-clock terms,
@@ -312,13 +417,14 @@ impl TwineBuilder {
 
     /// Launch the simulated enclave described by this builder.
     pub(crate) fn launch_enclave(&self) -> Arc<Enclave> {
-        Arc::new(
-            EnclaveBuilder::new(TWINE_RUNTIME_IMAGE)
-                .heap_bytes(self.heap_bytes)
-                .mode(self.sgx_mode)
-                .epc_limit_pages(self.epc_limit_pages)
-                .build(&self.processor),
-        )
+        let mut builder = EnclaveBuilder::new(TWINE_RUNTIME_IMAGE)
+            .heap_bytes(self.heap_bytes)
+            .mode(self.sgx_mode)
+            .epc_limit_pages(self.epc_limit_pages);
+        if let Some(plan) = &self.faults {
+            builder = builder.faults(Arc::clone(plan));
+        }
+        Arc::new(builder.build(&self.processor))
     }
 }
 
@@ -691,6 +797,39 @@ pub fn advance_watermark(last: &AtomicU64, host_time: u64) -> u64 {
     }
 }
 
+/// Bounded-retry budget for transient boundary faults: at most this many
+/// attempts per crossing. The fault schedule's `max_consecutive` bound
+/// (default 2) guarantees convergence well inside it.
+pub(crate) const RETRY_MAX: u32 = 4;
+
+/// Base virtual-time backoff charged before re-attempting a faulted
+/// crossing; doubles per attempt (`base << attempt`). Virtual cycles, so
+/// the penalty is modelled and deterministic, not wall-clock sleep.
+pub(crate) const RETRY_BACKOFF_CYCLES: u64 = 1_000;
+
+/// Run a fallible boundary crossing under the bounded-retry policy:
+/// transient errors are retried up to [`RETRY_MAX`] attempts with
+/// exponential virtual-time backoff (each retry counted into `retries`);
+/// permanent errors and exhaustion surface to the caller.
+pub(crate) fn with_retries<T>(
+    enclave: &Arc<Enclave>,
+    retries: &mut u64,
+    mut f: impl FnMut(u32) -> Result<T, SgxError>,
+) -> Result<T, SgxError> {
+    let mut attempt = 0u32;
+    loop {
+        match f(attempt) {
+            Ok(v) => return Ok(v),
+            Err(e) if e.is_transient() && attempt + 1 < RETRY_MAX => {
+                attempt += 1;
+                *retries += 1;
+                enclave.clock().add_cycles(RETRY_BACKOFF_CYCLES << attempt);
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
 /// What one in-enclave invocation produced, before the embedder extracts
 /// the WASI-visible pieces (stdout, exit code, ...) from the instance.
 pub(crate) struct InvocationOutcome {
@@ -702,6 +841,9 @@ pub(crate) struct InvocationOutcome {
     pub(crate) cycles: u64,
     /// EPC paging counters attributable to the run.
     pub(crate) epc: EpcStats,
+    /// Boundary retries absorbed by this invocation (injected transient
+    /// ECALL faults; 0 without a fault plan).
+    pub(crate) retries: u64,
 }
 
 /// Run one exported function inside the single ECALL of §IV-C and account
@@ -723,11 +865,31 @@ pub(crate) fn invoke_in_enclave(
     // before leaving the ECALL publishes this invocation's EPC accounting
     // (faults, evictions, swap cycle charges) in one lock acquisition, so
     // the counters read below see it.
-    let result = enclave.ecall(|| {
+    //
+    // Injected ECALL faults fire at the *entry* transition — the body
+    // never runs — so retrying the whole ECALL is always safe. Exhaustion
+    // falls through to an unfaultable entry for totality: an invocation
+    // is delayed by chaos, never lost to it.
+    let mut retries = 0u64;
+    let body = |instance: &mut Instance| {
         let r = instance.invoke(func, args);
         instance.flush_page_sink();
         r
-    });
+    };
+    let result = {
+        let mut attempt = 0u32;
+        loop {
+            match enclave.try_ecall(attempt, || body(instance)) {
+                Ok(r) => break r,
+                Err(_) if attempt + 1 < RETRY_MAX => {
+                    attempt += 1;
+                    retries += 1;
+                    enclave.clock().add_cycles(RETRY_BACKOFF_CYCLES << attempt);
+                }
+                Err(_) => break enclave.ecall(|| body(instance)),
+            }
+        }
+    };
 
     let values = match result {
         Ok(v) => Ok(v),
@@ -739,6 +901,7 @@ pub(crate) fn invoke_in_enclave(
         meter: instance.meter.clone(),
         cycles: enclave.clock().cycles() - cycles_before,
         epc: diff_epc(epc.stats(), epc_stats_before),
+        retries,
     }
 }
 

@@ -29,9 +29,10 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
+use twine_crypto::kdf::KeyName;
 use twine_crypto::Sha256;
 use twine_pfs::{PfsMode, PfsProfiler};
-use twine_sgx::{Enclave, Processor, SimClock};
+use twine_sgx::{Enclave, FaultKind, Processor, SimClock};
 use twine_wasi::{FsBackend, Rights, WasiCtx};
 use twine_wasm::compile::CompiledModule;
 use twine_wasm::{
@@ -41,8 +42,8 @@ use twine_wasm::{
 use crate::control::{ControlPlane, ControlStats, RateState};
 use crate::pool::InstancePool;
 use crate::runtime::{
-    base_linker, build_wasi_ctx, invoke_in_enclave, make_backend, wasi_backend_into_box, EpcSink,
-    FsChoice, RunReport, TwineBuilder, TwineError,
+    base_linker, build_wasi_ctx, invoke_in_enclave, make_backend, wasi_backend_into_box, with_retries,
+    EpcSink, FsChoice, Overload, RunReport, TwineBuilder, TwineError, RETRY_BACKOFF_CYCLES, RETRY_MAX,
 };
 
 /// One cache slot: a [`OnceLock`] so that when many threads race to open
@@ -309,6 +310,10 @@ struct SessionCommon {
     /// Fuel-rate token-bucket state (persists across parking, so a tenant
     /// cannot launder its debt through an eviction cycle).
     rate: RateState,
+    /// The delivered Wasm bytes, kept only when a durable park store is
+    /// configured: the durable record embeds them so
+    /// [`TwineService::recover`] can recompile after a restart.
+    wasm: Option<Arc<Vec<u8>>>,
 }
 
 /// One live tenant: a persistent instance + WASI context inside the
@@ -337,6 +342,13 @@ struct ParkedSession {
 enum SessionSlot {
     Live(Session),
     Parked(ParkedSession),
+    /// A parked session whose image could not be restored (unsealing kept
+    /// failing beyond the retry budget). The sealed state and WASI context
+    /// are preserved — nothing is lost, and a fixed blob could in
+    /// principle be re-adopted — but invocations are rejected typed
+    /// ([`TwineError::Quarantined`]) instead of crashing the service or
+    /// serving corrupt state.
+    Quarantined(ParkedSession, String),
 }
 
 impl SessionSlot {
@@ -344,6 +356,7 @@ impl SessionSlot {
         match self {
             SessionSlot::Live(s) => &s.common,
             SessionSlot::Parked(p) => &p.common,
+            SessionSlot::Quarantined(p, _) => &p.common,
         }
     }
 
@@ -351,6 +364,7 @@ impl SessionSlot {
         match self {
             SessionSlot::Live(s) => &mut s.common,
             SessionSlot::Parked(p) => &mut p.common,
+            SessionSlot::Quarantined(p, _) => &mut p.common,
         }
     }
 }
@@ -431,6 +445,12 @@ pub struct TwineService {
     /// the shards of a [`crate::ShardedService`]. Capacity 0 when pooling
     /// is off — every `put` then drops the instance.
     pool: Arc<InstancePool>,
+    /// Whether `control_stats` fills the enclave-global `faults_injected`
+    /// gauge. True for a standalone service; false for the shards of a
+    /// [`crate::ShardedService`] (the handle fills it exactly once after
+    /// merging, so the shared plan's count is not multiplied by the shard
+    /// count).
+    fill_faults: bool,
 }
 
 impl TwineService {
@@ -459,6 +479,7 @@ impl TwineService {
             use_seq: 0,
             control_stats: ControlStats::default(),
             pool,
+            fill_faults: true,
         }
     }
 
@@ -494,6 +515,7 @@ impl TwineService {
             use_seq: 0,
             control_stats: ControlStats::default(),
             pool,
+            fill_faults: false,
         }
     }
 
@@ -556,14 +578,30 @@ impl TwineService {
     }
 
     /// Control-plane counters, with the live/parked gauges filled in at
-    /// read time.
+    /// read time (and, for a standalone service, the enclave-global
+    /// fault-injection gauge).
     #[must_use]
     pub fn control_stats(&self) -> ControlStats {
-        ControlStats {
+        let mut stats = ControlStats {
             live_sessions: self.live_session_count() as u64,
             parked_sessions: self.parked_session_count() as u64,
             ..self.control_stats
+        };
+        if self.fill_faults {
+            if let Some(plan) = self.enclave.fault_plan() {
+                stats.faults_injected = plan.total_injected();
+            }
         }
+        stats
+    }
+
+    /// Whether a session is quarantined (its parked image failed to
+    /// restore; see [`TwineError::Quarantined`]).
+    #[must_use]
+    pub fn session_quarantined(&self, name: &str) -> Option<bool> {
+        self.sessions
+            .get(name)
+            .map(|s| matches!(s, SessionSlot::Quarantined(..)))
     }
 
     /// Number of pre-instantiated base-state slots currently parked in the
@@ -598,6 +636,66 @@ impl TwineService {
     #[must_use]
     pub fn session_module(&self, name: &str) -> Option<&Arc<CompiledModule>> {
         self.sessions.get(name).map(|s| &s.common().compiled)
+    }
+
+    /// Check a pre-instantiated slot out of the pool, validating it first:
+    /// a slot flagged by the fault plan's pool-corruption schedule, or one
+    /// genuinely carrying residual dirty pages, is discarded (counted and
+    /// logged) instead of being handed to a tenant — the caller falls back
+    /// to a fresh instantiation, which is semantically identical.
+    fn pool_checkout(&mut self, module_key: &[u8; 32]) -> Option<Instance> {
+        let mut attempt = 0u32;
+        while let Some(slot) = self.pool.take(module_key) {
+            let injected = self
+                .enclave
+                .fault_plan()
+                .is_some_and(|p| p.should_fire(FaultKind::PoolCorrupt, attempt));
+            if injected || slot.dirty_page_count() != 0 {
+                self.control_stats.pool_discards += 1;
+                eprintln!(
+                    "twine-core: discarding corrupt pool slot for module {:02x}{:02x}{:02x}{:02x}…",
+                    module_key[0], module_key[1], module_key[2], module_key[3]
+                );
+                attempt += 1;
+                continue;
+            }
+            return Some(slot);
+        }
+        None
+    }
+
+    /// The key protecting durable park-record files: derived from the
+    /// processor + measurement (like sealing), so a restarted enclave of
+    /// the same identity re-derives it and a different enclave cannot.
+    fn record_key(&self) -> [u8; 16] {
+        self.enclave.get_key(KeyName::Seal, b"park-records")
+    }
+
+    /// Prefix `inner` with the durable freshness wrapper (format byte 3 +
+    /// monotonic tag); identity when no durable store is configured.
+    fn wrap_freshness(tag: Option<u64>, inner: Vec<u8>) -> Vec<u8> {
+        match tag {
+            None => inner,
+            Some(tag) => {
+                let mut out = Vec::with_capacity(inner.len() + 9);
+                out.push(3u8);
+                out.extend_from_slice(&tag.to_le_bytes());
+                out.extend_from_slice(&inner);
+                out
+            }
+        }
+    }
+
+    /// Split a parked image into its freshness tag (if wrapped) and inner
+    /// snapshot/delta payload.
+    fn unwrap_freshness(bytes: &[u8]) -> (Option<u64>, &[u8]) {
+        match bytes.split_first() {
+            Some((3, rest)) if rest.len() >= 8 => {
+                let (tag, inner) = rest.split_at(8);
+                (Some(u64::from_le_bytes(tag.try_into().unwrap())), inner)
+            }
+            _ => (None, bytes),
+        }
     }
 
     /// Open a named session: resolve `wasm` through the module cache
@@ -645,7 +743,7 @@ impl TwineService {
         // checks a pre-instantiated base-state slot out of the pool instead
         // of instantiating, when one is available.
         let pooled = self.control.pool_slots_per_module.is_some() && compiled.poolable();
-        let mut instance = match pooled.then(|| self.pool.take(&module_key)).flatten() {
+        let mut instance = match pooled.then(|| self.pool_checkout(&module_key)).flatten() {
             Some(mut slot) => {
                 self.control_stats.pool_hits += 1;
                 // The slot parks with a placeholder `Box<()>`; hand it the
@@ -725,6 +823,11 @@ impl TwineService {
                 },
                 last_use: self.use_seq,
                 rate: RateState::default(),
+                wasm: self
+                    .control
+                    .durable_parks
+                    .is_some()
+                    .then(|| Arc::new(wasm.to_vec())),
             },
         };
         let prev = self
@@ -798,9 +901,9 @@ impl TwineService {
             if let Some(rate) = self.control.fuel_rate {
                 if !common.rate.admit(rate, now_cycles) {
                     self.control_stats.rate_rejections += 1;
-                    return Err(TwineError::Overloaded(format!(
-                        "tenant {session:?} fuel-rate debt exceeds burst"
-                    )));
+                    return Err(TwineError::Overloaded(Overload::RateLimited {
+                        tenant: session.to_string(),
+                    }));
                 }
             }
         }
@@ -827,6 +930,7 @@ impl TwineService {
         sess.instance.state::<WasiCtx>().reset_for_invocation();
 
         let outcome = invoke_in_enclave(&self.enclave, &mut sess.instance, func, args);
+        self.control_stats.retries += outcome.retries;
         if self.control.fuel_rate.is_some() {
             sess.common.rate.charge(outcome.meter.total());
         }
@@ -895,7 +999,9 @@ impl TwineService {
             None => {
                 return Err(TwineError::Session(format!("no session named {name:?}")));
             }
-            Some(SessionSlot::Parked(_)) => return Ok(()),
+            // A quarantined session is already sealed out of the enclave;
+            // parking it again is a no-op, like an ordinary parked one.
+            Some(SessionSlot::Parked(_) | SessionSlot::Quarantined(..)) => return Ok(()),
             Some(SessionSlot::Live(_)) => {}
         }
         let Some(SessionSlot::Live(sess)) = self.sessions.remove(name) else {
@@ -911,14 +1017,78 @@ impl TwineService {
         // shared base image (format version 2); everything else seals the
         // full snapshot exactly as before pooling existed (version 1). The
         // restore path dispatches on the version byte after unsealing.
-        let bytes = if common.pooled {
-            instance.snapshot_delta(&common.base_snapshot).to_bytes()
-        } else {
-            instance.snapshot().to_bytes()
+        // With a durable store, the image is additionally wrapped with a
+        // monotonic freshness tag (format byte 3) before sealing.
+        let durable = self.control.durable_parks.clone();
+        let tag = durable.as_ref().map(|d| d.peek(name) + 1);
+        let mut used_fallback = false;
+        let mut bytes = Self::wrap_freshness(
+            tag,
+            if common.pooled {
+                instance.snapshot_delta(&common.base_snapshot).to_bytes()
+            } else {
+                instance.snapshot().to_bytes()
+            },
+        );
+        // Seal under the bounded-retry policy. A pooled park whose delta
+        // seal faults degrades gracefully: the first retry switches to the
+        // full image — more boundary traffic, never data loss. A hard
+        // failure reinstates the live session untouched.
+        let mut retries = 0u64;
+        let sealed = {
+            let mut attempt = 0u32;
+            loop {
+                match self.enclave.ecall(|| self.enclave.try_seal(attempt, &bytes)) {
+                    Ok(s) => break Ok(s),
+                    Err(e) if e.is_transient() && attempt + 1 < RETRY_MAX => {
+                        if common.pooled && !used_fallback {
+                            used_fallback = true;
+                            self.control_stats.fallback_parks += 1;
+                            bytes = Self::wrap_freshness(tag, instance.snapshot().to_bytes());
+                        }
+                        attempt += 1;
+                        retries += 1;
+                        self.enclave.clock().add_cycles(RETRY_BACKOFF_CYCLES << attempt);
+                    }
+                    Err(e) => break Err(e),
+                }
+            }
         };
-        let sealed = self.enclave.ecall(|| self.enclave.seal(&bytes));
-        // The sealed image crosses the boundary outward.
-        self.enclave.ocall(sealed.len() as u64, || ());
+        self.control_stats.retries += retries;
+        let reinstate_live = |svc: &mut Self, instance: Instance, common: SessionCommon| {
+            svc.sessions
+                .insert(name.to_string(), SessionSlot::Live(Session { instance, common }));
+        };
+        let sealed = match sealed {
+            Ok(s) => s,
+            Err(e) => {
+                reinstate_live(self, instance, common);
+                return Err(TwineError::Sgx(e));
+            }
+        };
+        // The sealed image crosses the boundary outward (an idempotent
+        // transfer: a faulted OCALL is simply re-issued).
+        let mut retries = 0u64;
+        let transfer = with_retries(&self.enclave, &mut retries, |attempt| {
+            self.enclave.try_ocall(attempt, sealed.len() as u64, || ())
+        });
+        self.control_stats.retries += retries;
+        if let Err(e) = transfer {
+            reinstate_live(self, instance, common);
+            return Err(TwineError::Sgx(e));
+        }
+        // Durable write-through: journalled record first, counter bump
+        // second — recovery accepts `tag >= counter`, so a crash between
+        // the two still recovers the record just written.
+        if let (Some(store), Some(wasm)) = (&durable, &common.wasm) {
+            if let Err(e) = store.write_record(name, self.record_key(), wasm, &sealed) {
+                reinstate_live(self, instance, common);
+                return Err(TwineError::Session(format!(
+                    "durable park of {name:?} failed: {e}"
+                )));
+            }
+            store.bump(name);
+        }
         // Release the session's resident EPC pages (4 KiB granularity, the
         // same the page sink touches in).
         self.enclave
@@ -945,7 +1115,7 @@ impl TwineService {
                 .into_state::<WasiCtx>()
                 .expect("service sessions hold a WasiCtx")
         };
-        if common.pooled {
+        if common.pooled && !used_fallback {
             self.control_stats.delta_sealed_bytes += sealed.len() as u64;
         }
         self.sessions.insert(
@@ -969,6 +1139,12 @@ impl TwineService {
                 return Err(TwineError::Session(format!("no session named {name:?}")));
             }
             Some(SessionSlot::Live(_)) => return Ok(()),
+            Some(SessionSlot::Quarantined(_, reason)) => {
+                return Err(TwineError::Quarantined {
+                    session: name.to_string(),
+                    reason: reason.clone(),
+                });
+            }
             Some(SessionSlot::Parked(_)) => {}
         }
         let Some(SessionSlot::Parked(parked)) = self.sessions.remove(name) else {
@@ -979,8 +1155,12 @@ impl TwineService {
             ctx,
             common,
         } = parked;
-        // The sealed image crosses the boundary inward.
-        self.enclave.ocall(sealed.len() as u64, || ());
+        // The sealed image crosses the boundary inward (idempotent
+        // transfer, retried on injected faults).
+        let mut retries = 0u64;
+        let transfer = with_retries(&self.enclave, &mut retries, |attempt| {
+            self.enclave.try_ocall(attempt, sealed.len() as u64, || ())
+        });
         let reinstate = |svc: &mut Self, ctx: WasiCtx, common: SessionCommon, sealed: Vec<u8>| {
             svc.sessions.insert(
                 name.to_string(),
@@ -991,17 +1171,61 @@ impl TwineService {
                 }),
             );
         };
-        let bytes = match self.enclave.ecall(|| self.enclave.unseal(&sealed)) {
-            Ok(b) => b,
-            Err(e) => {
-                reinstate(self, ctx, common, sealed);
-                return Err(TwineError::Sgx(e));
+        if let Err(e) = transfer {
+            self.control_stats.retries += retries;
+            reinstate(self, ctx, common, sealed);
+            return Err(TwineError::Sgx(e));
+        }
+        // Unseal under the bounded-retry policy: an injected corruption of
+        // the inward copy heals on a re-read. If unsealing still fails —
+        // retries exhausted, or a genuinely tampered blob — the session is
+        // *quarantined*: its sealed state and files are preserved, but it
+        // is typed out of service instead of crashing it.
+        let unsealed = {
+            let mut attempt = 0u32;
+            loop {
+                match self.enclave.ecall(|| self.enclave.try_unseal(attempt, &sealed)) {
+                    Ok(b) => break Ok(b),
+                    Err(e) if e.is_transient() && attempt + 1 < RETRY_MAX => {
+                        attempt += 1;
+                        retries += 1;
+                        self.enclave.clock().add_cycles(RETRY_BACKOFF_CYCLES << attempt);
+                    }
+                    Err(e) => break Err(e),
+                }
             }
         };
-        // Dispatch on the image format version: 2 = delta against the
+        self.control_stats.retries += retries;
+        let bytes = match unsealed {
+            Ok(b) => b,
+            Err(e) => {
+                let reason = format!("parked image failed to unseal: {e}");
+                self.control_stats.quarantines += 1;
+                self.sessions.insert(
+                    name.to_string(),
+                    SessionSlot::Quarantined(
+                        ParkedSession {
+                            sealed,
+                            ctx,
+                            common,
+                        },
+                        reason.clone(),
+                    ),
+                );
+                return Err(TwineError::Quarantined {
+                    session: name.to_string(),
+                    reason,
+                });
+            }
+        };
+        // Strip the durable freshness wrapper if present (warm restores
+        // never leave the service's custody, so the tag is not re-checked
+        // here — recover() is where freshness gates admission), then
+        // dispatch on the image format version: 2 = delta against the
         // module's shared base image (pooled park), 1 = full snapshot.
-        let mut instance = if bytes.first() == Some(&2) {
-            let Some(delta) = SnapshotDelta::from_bytes(&bytes) else {
+        let (_tag, payload) = Self::unwrap_freshness(&bytes);
+        let mut instance = if payload.first() == Some(&2) {
+            let Some(delta) = SnapshotDelta::from_bytes(payload) else {
                 reinstate(self, ctx, common, sealed);
                 return Err(TwineError::Session(format!(
                     "session {name:?}: corrupt parked image"
@@ -1011,7 +1235,7 @@ impl TwineService {
             // parked (likely the very slot this session recycled), else a
             // fresh instantiation (deterministic — poolable modules have no
             // start function).
-            let mut instance = match self.pool.take(&common.stats.module_key) {
+            let mut instance = match self.pool_checkout(&common.stats.module_key) {
                 Some(mut slot) => {
                     self.control_stats.pool_hits += 1;
                     drop(slot.replace_host_data(Box::new(ctx)));
@@ -1051,7 +1275,7 @@ impl TwineService {
             }
             instance
         } else {
-            let Some(snap) = InstanceSnapshot::from_bytes(&bytes) else {
+            let Some(snap) = InstanceSnapshot::from_bytes(payload) else {
                 reinstate(self, ctx, common, sealed);
                 return Err(TwineError::Session(format!(
                     "session {name:?}: corrupt parked image"
@@ -1204,7 +1428,15 @@ impl TwineService {
     /// sessions — reclaim orphaned entries with
     /// [`module_cache().evict_unreferenced()`](ModuleCache::evict_unreferenced).
     pub fn close_session(&mut self, name: &str) -> Option<Box<dyn FsBackend>> {
-        match self.sessions.remove(name)? {
+        let slot = self.sessions.remove(name)?;
+        // Retire the durable record and bump the session's monotonic
+        // counter: a replay of the removed record now carries a stale tag
+        // and recover() rejects it.
+        if let Some(store) = &self.control.durable_parks {
+            store.remove_record(name);
+            store.bump(name);
+        }
+        match slot {
             SessionSlot::Live(mut sess) => {
                 // Release the session's EPC pages: a closed tenant must not
                 // keep pinning residency. Flush first so buffered page
@@ -1234,8 +1466,154 @@ impl TwineService {
                     .map(wasi_backend_into_box)
             }
             // A parked session's pages were already discarded at park time;
-            // its WASI context is right here.
-            SessionSlot::Parked(parked) => Some(wasi_backend_into_box(parked.ctx)),
+            // its WASI context is right here. Closing a quarantined session
+            // likewise returns its backend — the tenant's protected files
+            // were never part of the damaged sealed image.
+            SessionSlot::Parked(parked) | SessionSlot::Quarantined(parked, _) => {
+                Some(wasi_backend_into_box(parked.ctx))
+            }
         }
+    }
+
+    /// Rebuild the session table from the durable park store after a
+    /// (simulated) enclave crash/restart: for every durable record, verify
+    /// journal integrity, unseal the image, check its freshness tag
+    /// against the processor monotonic counter, recompile the module and
+    /// re-admit the session **parked** — its first invoke restores it
+    /// bit-identical to the state it durably parked with.
+    ///
+    /// Freshness: a record whose tag is `>= counter` is accepted (a crash
+    /// between record write and counter bump leaves exactly one record one
+    /// ahead) and the counter fast-forwards; a *stale* tag is a
+    /// rollback/replay and fails typed with [`TwineError::Rollback`].
+    ///
+    /// Protected files are **not** recovered — they live in per-session
+    /// backend storage outside the park image; a recovered session starts
+    /// with a fresh backend, exactly like a new open.
+    ///
+    /// Returns the recovered session names (sorted — recovery order is
+    /// deterministic).
+    pub fn recover(&mut self) -> Result<Vec<String>, TwineError> {
+        let Some(store) = self.control.durable_parks.clone() else {
+            return Err(TwineError::Session(
+                "recover() requires ControlPlane::durable_parks".to_string(),
+            ));
+        };
+        let key = self.record_key();
+        let mut recovered = Vec::new();
+        for name in store.session_names() {
+            if self.sessions.contains_key(&name) {
+                continue;
+            }
+            let (wasm, sealed) = store.read_record(&name, key).map_err(|e| {
+                TwineError::Session(format!("durable record for {name:?}: {e}"))
+            })?;
+            // The sealed image crosses back into the enclave; unseal it to
+            // validate integrity and read the freshness tag. Transient
+            // (injected) faults are retried like any warm restore.
+            let mut retries = 0u64;
+            with_retries(&self.enclave, &mut retries, |attempt| {
+                self.enclave.try_ocall(attempt, sealed.len() as u64, || ())
+            })
+            .map_err(TwineError::Sgx)?;
+            let bytes = with_retries(&self.enclave, &mut retries, |attempt| {
+                self.enclave.ecall(|| self.enclave.try_unseal(attempt, &sealed))
+            })
+            .map_err(TwineError::Sgx)?;
+            self.control_stats.retries += retries;
+            let (tag, payload) = Self::unwrap_freshness(&bytes);
+            let Some(tag) = tag else {
+                return Err(TwineError::Session(format!(
+                    "durable record for {name:?} lacks a freshness tag"
+                )));
+            };
+            let want = store.peek(&name);
+            if tag < want {
+                self.control_stats.rollback_rejected += 1;
+                return Err(TwineError::Rollback {
+                    session: name,
+                    have: tag,
+                    want,
+                });
+            }
+            store.fast_forward(&name, tag);
+            let pooled = payload.first() == Some(&2);
+
+            let (compiled, module_key, cache_hit) =
+                self.cache.get_or_compile(&wasm).map_err(TwineError::Module)?;
+            let backend = make_backend(
+                self.tpl.fs,
+                &self.enclave,
+                self.tpl.pfs_mode,
+                self.tpl.pfs_cache_nodes,
+                self.profiler.clone(),
+            );
+            let watermark = Arc::new(AtomicU64::new(0));
+            let ctx = build_wasi_ctx(
+                backend,
+                &self.tpl.preopen,
+                self.tpl.rights,
+                &self.tpl.args,
+                &self.tpl.env,
+                &self.enclave,
+                &watermark,
+            );
+            // A throwaway instantiation re-derives the base snapshot the
+            // restore path patches against (deterministic: same module,
+            // same data segments — and for pooled modules the shared base
+            // image is captured once per (module, tier) anyway).
+            let fresh = match Instance::instantiate_shared(
+                Arc::clone(&compiled),
+                &self.linker,
+                Box::new(ctx),
+                self.tpl.fuel,
+            ) {
+                Ok(i) => i,
+                Err((e, _ctx)) => {
+                    self.cache.evict_if_unreferenced(&module_key);
+                    return Err(TwineError::Module(e));
+                }
+            };
+            let base_snapshot = if pooled {
+                Arc::clone(compiled.base_image_or_init(|| fresh.snapshot()))
+            } else {
+                Arc::new(fresh.snapshot())
+            };
+            let ctx = fresh
+                .into_state::<WasiCtx>()
+                .expect("recover instantiates with a WasiCtx");
+            let slot = self.epc_slots.fetch_add(1, Ordering::Relaxed);
+            let epc_base_page = (slot + 1) << 32;
+            self.use_seq += 1;
+            let common = SessionCommon {
+                compiled,
+                base_snapshot,
+                pooled,
+                watermark,
+                fuel: self.tpl.fuel,
+                deadline: self.control.deadline,
+                stats: SessionStats {
+                    module_key,
+                    wasm_bytes: wasm.len(),
+                    cache_hit,
+                    epc_base_page,
+                    invocations: 0,
+                },
+                last_use: self.use_seq,
+                rate: RateState::default(),
+                wasm: Some(Arc::new(wasm)),
+            };
+            self.sessions.insert(
+                name.clone(),
+                SessionSlot::Parked(ParkedSession {
+                    sealed,
+                    ctx,
+                    common,
+                }),
+            );
+            self.control_stats.recovered_sessions += 1;
+            recovered.push(name);
+        }
+        Ok(recovered)
     }
 }

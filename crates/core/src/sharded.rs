@@ -38,7 +38,7 @@ use twine_wasi::FsBackend;
 use twine_wasm::Value;
 
 use crate::control::{ControlPlane, ControlStats};
-use crate::runtime::{RunReport, TwineBuilder, TwineError};
+use crate::runtime::{Overload, RunReport, TwineBuilder, TwineError};
 
 /// Reply payload of an invoke command (report present iff requested).
 type InvokeReply = Result<(Option<RunReport>, Vec<Value>), TwineError>;
@@ -433,7 +433,10 @@ impl ShardedService {
                 Ok(()) => {}
                 Err(SendAttempt::Full) => {
                     self.queue_rejections.fetch_add(1, Ordering::Relaxed);
-                    return Err(TwineError::Overloaded(format!("shard {shard} queue full")));
+                    return Err(TwineError::Overloaded(Overload::QueueFull {
+                        shard,
+                        depth: self.control.queue_depth.unwrap_or(0),
+                    }));
                 }
                 Err(SendAttempt::Disconnected) => {
                     return Err(TwineError::Session("shard worker terminated".into()));
@@ -458,9 +461,10 @@ impl ShardedService {
                 m.remove(name);
             }
             self.inflight_rejections.fetch_add(1, Ordering::Relaxed);
-            return Err(TwineError::Overloaded(format!(
-                "tenant {name:?} at in-flight cap ({max})"
-            )));
+            return Err(TwineError::Overloaded(Overload::InFlight {
+                tenant: name.to_string(),
+                max,
+            }));
         }
         *n += 1;
         Ok(Some(InFlightGuard {
@@ -630,6 +634,12 @@ impl ShardedService {
         }
         total.queue_rejections += self.queue_rejections.load(Ordering::Relaxed);
         total.inflight_rejections += self.inflight_rejections.load(Ordering::Relaxed);
+        // The fault-injection gauge is enclave-global (the plan is shared
+        // by every shard); fill it exactly once at the handle instead of
+        // summing one full copy per shard.
+        if let Some(plan) = self.enclave.fault_plan() {
+            total.faults_injected = plan.total_injected();
+        }
         total
     }
 

@@ -453,6 +453,10 @@ fn assert_churn_matches_pooled(
         stats.parks == 0 || stats.sealed_bytes / stats.parks < 64 * 1024,
         "mean sealed park must be smaller than one full memory image: {stats:?}"
     );
+    assert_eq!(
+        stats.pool_discards, 0,
+        "without fault injection no pooled slot is ever corrupt: {stats:?}"
+    );
     stats
 }
 
@@ -642,6 +646,11 @@ fn pooled_park_restore_cycles_preserve_state_with_delta_seals() {
     // open was the only instantiation this session ever needed.
     assert_eq!(stats.pool_hits, 8);
     assert_eq!(stats.pool_misses, 1);
+    // No fault plan installed: nothing injected, nothing discarded,
+    // nothing retried behind the scenes.
+    assert_eq!(stats.pool_discards, 0);
+    assert_eq!(stats.faults_injected, 0);
+    assert_eq!(stats.retries, 0);
 }
 
 /// Opening a second session of the same module after the first closed

@@ -21,7 +21,7 @@
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
-use twine_core::{ControlPlane, ShardedService, TwineBuilder, TwineError};
+use twine_core::{ControlPlane, Overload, ShardedService, TwineBuilder, TwineError};
 use twine_wasm::types::Value;
 
 /// Order-sensitive stateful guest (same as the churn suite): cheap calls,
@@ -144,7 +144,17 @@ fn full_queue_rejects_typed_overloaded_never_deadlocks() {
                 for i in 0..CALLS {
                     match svc.invoke(&name, "run", &[Value::I32(i as i32)]) {
                         Ok(_) => ok.fetch_add(1, Ordering::Relaxed),
-                        Err(TwineError::Overloaded(_)) => rejected.fetch_add(1, Ordering::Relaxed),
+                        Err(e @ TwineError::Overloaded(_)) => {
+                            assert!(e.is_retryable(), "Overloaded is retryable by contract");
+                            match e {
+                                TwineError::Overloaded(Overload::QueueFull { shard, depth }) => {
+                                    assert_eq!(shard, 0, "single-shard service");
+                                    assert_eq!(depth, 1, "configured queue depth surfaces");
+                                }
+                                other => panic!("queue storm must reject as QueueFull: {other}"),
+                            }
+                            rejected.fetch_add(1, Ordering::Relaxed)
+                        }
                         Err(e) => panic!("full queue must surface Overloaded, got: {e}"),
                     };
                 }
@@ -229,7 +239,16 @@ fn inflight_cap_rejects_same_tenant_releases_after() {
     let mut victim_calls = 0u64;
     while !done.load(Ordering::SeqCst) {
         match svc.invoke(&noisy, "run", &[Value::I32(0)]) {
-            Err(TwineError::Overloaded(_)) => overloaded += 1,
+            Err(TwineError::Overloaded(o)) => {
+                match &o {
+                    Overload::InFlight { tenant, max } => {
+                        assert_eq!(tenant, &noisy, "rejection names the capped tenant");
+                        assert_eq!(*max, 1, "rejection carries the configured cap");
+                    }
+                    other => panic!("capped tenant must reject as InFlight: {other}"),
+                }
+                overloaded += 1;
+            }
             Ok(_) => {}
             Err(e) => panic!("unexpected error on capped tenant: {e}"),
         }
@@ -383,6 +402,10 @@ fn invoke_batch_matches_sequential_under_admission_control() {
         .invoke("beta", "run", &beta_args[0])
         .expect_err("fuel trap on first sequential call");
     assert_eq!(batch_err.to_string(), seq_err.to_string());
+    assert!(
+        !batch_err.is_retryable(),
+        "a guest trap is deterministic — retrying it is useless"
+    );
 
     // Post-trap convergence: alpha's state (it was parked while beta ran)
     // continues identically on both services.

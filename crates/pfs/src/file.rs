@@ -19,6 +19,37 @@ const META_MAGIC: &[u8; 8] = b"TWPFSv1\0";
 /// Serialised meta payload: size(8) + counter(8) + 100 entries × 32.
 const META_PAYLOAD: usize = 16 + (META_L1_ENTRIES as usize) * 32;
 
+/// Write-ahead journal record magics (see [`SgxFile::flush`] in journal
+/// mode): header, per-entry index, commit.
+const JOURNAL_HEADER_MAGIC: &[u8; 8] = b"TWPFSJH\0";
+const JOURNAL_ENTRY_MAGIC: &[u8; 8] = b"TWPFSJE\0";
+const JOURNAL_COMMIT_MAGIC: &[u8; 8] = b"TWPFSJC\0";
+
+/// FNV-1a over the journal entries (fault detection, not authentication —
+/// the per-node MACs are what authenticate content after replay).
+fn fnv1a_64(seed: u64, bytes: &[u8]) -> u64 {
+    let mut h = seed;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Highest physical node index + 1 a file of `file_size` bytes can have
+/// legitimately written (all MHT ancestors sit below their last data
+/// child). Anything past this span is journal residue.
+fn natural_span(file_size: u64) -> u64 {
+    let d_max = file_size.div_ceil(NODE_SIZE as u64);
+    if d_max == 0 {
+        1
+    } else {
+        data_phys(d_max - 1) + 1
+    }
+}
+
 /// Maximum representable file size under the two-level MHT.
 pub const MAX_FILE_SIZE: u64 =
     META_L1_ENTRIES * crate::ENTRIES_PER_L1 * ENTRIES_PER_L2 * NODE_SIZE as u64;
@@ -36,6 +67,11 @@ pub struct PfsOptions {
     pub enclave: Option<Arc<Enclave>>,
     /// Optional §V-F profiler.
     pub profiler: Option<PfsProfiler>,
+    /// Write-through journaling: every flush becomes an atomic redo
+    /// transaction (staged writes + commit record), so a crash mid-flush
+    /// recovers to the pre-flush or post-flush state — never a hybrid.
+    /// Off by default: it roughly doubles write traffic.
+    pub journal: bool,
 }
 
 impl Default for PfsOptions {
@@ -45,6 +81,7 @@ impl Default for PfsOptions {
             cache_nodes: crate::DEFAULT_CACHE_NODES,
             enclave: None,
             profiler: None,
+            journal: false,
         }
     }
 }
@@ -104,6 +141,12 @@ pub struct SgxFile<S: UntrustedStorage> {
     meta: Meta,
     meta_dirty: bool,
     pos: u64,
+    /// Active journal transaction: writes are staged here instead of
+    /// hitting the store (see [`Self::flush`] in journal mode).
+    staging: Option<Vec<(u64, Box<[u8; NODE_SIZE]>)>>,
+    /// File size of the last state durably on the store — the journal must
+    /// be placed above the spans of both the old and the new state.
+    disk_file_size: u64,
 }
 
 impl<S: UntrustedStorage> SgxFile<S> {
@@ -118,13 +161,39 @@ impl<S: UntrustedStorage> SgxFile<S> {
             meta: Meta::fresh(),
             meta_dirty: true,
             pos: 0,
+            staging: None,
+            disk_file_size: 0,
         };
         f.flush_meta()?;
         Ok(f)
     }
 
-    /// Open an existing protected file, verifying the meta node.
+    /// Open an existing protected file, verifying the meta node. In
+    /// journal mode this first completes or discards any transaction a
+    /// crash left behind (see [`Self::flush`]).
     pub fn open(mut store: S, file_key: [u8; 16], opts: PfsOptions) -> Result<Self, PfsError> {
+        let meta = Self::read_meta(&mut store, &file_key, &opts)?;
+        let mut f = Self {
+            store,
+            cache: NodeCache::new(opts.cache_nodes),
+            opts,
+            file_key,
+            meta,
+            meta_dirty: false,
+            pos: 0,
+            staging: None,
+            disk_file_size: 0,
+        };
+        f.disk_file_size = f.meta.file_size;
+        if f.opts.journal && f.recover_journal()? {
+            // The replay rewrote the meta node: re-read the real state.
+            f.meta = Self::read_meta(&mut f.store, &f.file_key, &f.opts)?;
+            f.disk_file_size = f.meta.file_size;
+        }
+        Ok(f)
+    }
+
+    fn read_meta(store: &mut S, file_key: &[u8; 16], opts: &PfsOptions) -> Result<Meta, PfsError> {
         let mut raw = [0u8; NODE_SIZE];
         let present = match &opts.enclave {
             Some(e) => e.ocall(NODE_SIZE as u64, || store.read_node(0, &mut raw))?,
@@ -141,20 +210,11 @@ impl<S: UntrustedStorage> SgxFile<S> {
         let mut nonce = [0u8; 12];
         nonce[..8].copy_from_slice(&counter.to_le_bytes());
         let ct = &raw[32..32 + META_PAYLOAD];
-        let gcm = AesGcm::new_128(&file_key);
+        let gcm = AesGcm::new_128(file_key);
         let payload = gcm
             .decrypt(&nonce, b"meta", ct, &tag)
             .map_err(|_| PfsError::Tampered("meta authentication failed".into()))?;
-        let meta = Meta::deserialize(&payload)?;
-        Ok(Self {
-            store,
-            cache: NodeCache::new(opts.cache_nodes),
-            opts,
-            file_key,
-            meta,
-            meta_dirty: false,
-            pos: 0,
-        })
+        Meta::deserialize(&payload)
     }
 
     /// Current file size in bytes.
@@ -257,7 +317,25 @@ impl<S: UntrustedStorage> SgxFile<S> {
     }
 
     /// Flush all dirty nodes and the meta node to untrusted storage.
+    ///
+    /// With [`PfsOptions::journal`] set, the whole flush is one atomic
+    /// redo transaction: every store write (data, MHT, meta) is first
+    /// staged into a journal appended past the end of the node space —
+    /// header, `(index, payload)` pairs, then a commit record carrying an
+    /// entry checksum — and only after the commit record is durable are
+    /// the home locations updated and the journal truncated away. A crash
+    /// at *any* write boundary therefore recovers (on the next `open`) to
+    /// the pre-flush state (no commit record → journal discarded) or the
+    /// post-flush state (commit record present → entries replayed,
+    /// idempotently) — never a half-written hybrid.
     pub fn flush(&mut self) -> Result<(), PfsError> {
+        if self.opts.journal && self.staging.is_none() {
+            return self.flush_journaled();
+        }
+        self.flush_plain()
+    }
+
+    fn flush_plain(&mut self) -> Result<(), PfsError> {
         // Deepest first: data nodes, then L2, then L1 — parents absorb the
         // children's fresh (key, tag) entries before being flushed.
         loop {
@@ -282,7 +360,155 @@ impl<S: UntrustedStorage> SgxFile<S> {
         if self.meta_dirty {
             self.flush_meta()?;
         }
+        if self.staging.is_none() {
+            self.disk_file_size = self.meta.file_size;
+        }
         Ok(())
+    }
+
+    fn flush_journaled(&mut self) -> Result<(), PfsError> {
+        self.staging = Some(Vec::new());
+        let r = self.flush_plain();
+        let staged = self.staging.take().expect("staging active");
+        if let Err(e) = r {
+            // Nothing reached the store; re-mark the staged nodes dirty so
+            // a later flush retries them (the store is still pre-state).
+            for (phys, _) in &staged {
+                if let Some(n) = self.cache.get(*phys) {
+                    n.dirty = true;
+                }
+            }
+            self.meta_dirty = true;
+            return Err(e);
+        }
+        if staged.is_empty() {
+            return Ok(());
+        }
+        self.journal_commit(&staged)
+    }
+
+    /// Write the staged transaction as a journal past the end of the node
+    /// space, commit it, apply the home writes, and discard the journal.
+    fn journal_commit(
+        &mut self,
+        staged: &[(u64, Box<[u8; NODE_SIZE]>)],
+    ) -> Result<(), PfsError> {
+        let max_phys = staged.iter().map(|&(p, _)| p).max().expect("non-empty");
+        // The journal must sit above everything the pre- and post-state
+        // can legitimately reference, so recovery's last-node probe can
+        // never mistake live data for (or miss) a journal.
+        let jstart = self
+            .store
+            .node_count()
+            .max(max_phys + 1)
+            .max(natural_span(self.disk_file_size))
+            .max(natural_span(self.meta.file_size));
+        let count = staged.len() as u64;
+        let mut checksum = FNV_OFFSET;
+        for (phys, payload) in staged {
+            checksum = fnv1a_64(checksum, &phys.to_le_bytes());
+            checksum = fnv1a_64(checksum, &payload[..]);
+        }
+        let mut rec = [0u8; NODE_SIZE];
+        rec[..8].copy_from_slice(JOURNAL_HEADER_MAGIC);
+        rec[8..16].copy_from_slice(&count.to_le_bytes());
+        rec[16..24].copy_from_slice(&checksum.to_le_bytes());
+        self.store_write(jstart, &rec)?;
+        for (k, (phys, payload)) in staged.iter().enumerate() {
+            let mut idx = [0u8; NODE_SIZE];
+            idx[..8].copy_from_slice(JOURNAL_ENTRY_MAGIC);
+            idx[8..16].copy_from_slice(&phys.to_le_bytes());
+            self.store_write(jstart + 1 + 2 * k as u64, &idx)?;
+            self.store_write(jstart + 2 + 2 * k as u64, payload)?;
+        }
+        rec[..8].copy_from_slice(JOURNAL_COMMIT_MAGIC);
+        self.store_write(jstart + 1 + 2 * count, &rec)?;
+        // The transaction is durable; apply the home writes and retire it.
+        for (phys, payload) in staged {
+            self.store_write(*phys, payload)?;
+        }
+        self.raw_truncate(jstart)?;
+        self.disk_file_size = self.meta.file_size;
+        Ok(())
+    }
+
+    /// Open-time journal recovery: replay a committed transaction left by
+    /// a crash mid-apply, or discard an uncommitted one. Returns whether a
+    /// replay happened (the meta node must then be re-read).
+    fn recover_journal(&mut self) -> Result<bool, PfsError> {
+        let n = self.store.node_count();
+        let span = natural_span(self.meta.file_size);
+        if n <= span {
+            return Ok(false);
+        }
+        let mut last = [0u8; NODE_SIZE];
+        let present = self.raw_read(n - 1, &mut last)?;
+        if present && &last[..8] == JOURNAL_COMMIT_MAGIC {
+            let count = u64::from_le_bytes(last[8..16].try_into().expect("len"));
+            let checksum = u64::from_le_bytes(last[16..24].try_into().expect("len"));
+            let jstart = (n - 1)
+                .checked_sub(1 + 2 * count)
+                .filter(|&j| j >= 1)
+                .ok_or_else(|| PfsError::Tampered("malformed journal commit record".into()))?;
+            let mut header = [0u8; NODE_SIZE];
+            if !self.raw_read(jstart, &mut header)?
+                || &header[..8] != JOURNAL_HEADER_MAGIC
+                || header[8..24] != last[8..24]
+            {
+                return Err(PfsError::Tampered(
+                    "journal commit without matching header".into(),
+                ));
+            }
+            let mut entries = Vec::with_capacity(count as usize);
+            let mut h = FNV_OFFSET;
+            for k in 0..count {
+                let mut idx = [0u8; NODE_SIZE];
+                if !self.raw_read(jstart + 1 + 2 * k, &mut idx)?
+                    || &idx[..8] != JOURNAL_ENTRY_MAGIC
+                {
+                    return Err(PfsError::Tampered("journal entry index damaged".into()));
+                }
+                let phys = u64::from_le_bytes(idx[8..16].try_into().expect("len"));
+                if phys >= jstart {
+                    return Err(PfsError::Tampered("journal entry out of range".into()));
+                }
+                let mut payload = Box::new([0u8; NODE_SIZE]);
+                if !self.raw_read(jstart + 2 + 2 * k, &mut payload)? {
+                    return Err(PfsError::Tampered("journal payload missing".into()));
+                }
+                h = fnv1a_64(h, &phys.to_le_bytes());
+                h = fnv1a_64(h, &payload[..]);
+                entries.push((phys, payload));
+            }
+            if h != checksum {
+                return Err(PfsError::Tampered("journal checksum mismatch".into()));
+            }
+            for (phys, payload) in &entries {
+                self.store_write(*phys, payload)?;
+            }
+            self.raw_truncate(jstart)?;
+            return Ok(true);
+        }
+        // Residue past the natural span with no commit record: an
+        // uncommitted transaction died here. Roll it back by discarding.
+        self.raw_truncate(span)?;
+        Ok(false)
+    }
+
+    fn raw_read(&mut self, phys: u64, buf: &mut [u8; NODE_SIZE]) -> Result<bool, PfsError> {
+        let Self { store, opts, .. } = self;
+        match &opts.enclave {
+            Some(e) => e.ocall(NODE_SIZE as u64, || store.read_node(phys, buf)),
+            None => store.read_node(phys, buf),
+        }
+    }
+
+    fn raw_truncate(&mut self, nodes: u64) -> Result<(), PfsError> {
+        let Self { store, opts, .. } = self;
+        match &opts.enclave {
+            Some(e) => e.ocall(0, || store.truncate(nodes)),
+            None => store.truncate(nodes),
+        }
     }
 
     /// Flush and return the underlying storage (for inspection/tamper tests).
@@ -409,7 +635,22 @@ impl<S: UntrustedStorage> SgxFile<S> {
         Ok(())
     }
 
+    /// All store writes funnel through here. During a journal transaction
+    /// the write is staged (the store is only touched by
+    /// [`Self::journal_commit`]); otherwise it goes straight out.
     fn write_node_ciphertext(&mut self, phys: u64, ct: &[u8; NODE_SIZE]) -> Result<(), PfsError> {
+        if let Some(staged) = &mut self.staging {
+            match staged.iter_mut().find(|(p, _)| *p == phys) {
+                Some((_, existing)) => **existing = *ct,
+                None => staged.push((phys, Box::new(*ct))),
+            }
+            return Ok(());
+        }
+        self.store_write(phys, ct)
+    }
+
+    /// A real store write through the OCALL boundary.
+    fn store_write(&mut self, phys: u64, ct: &[u8; NODE_SIZE]) -> Result<(), PfsError> {
         let Self { store, opts, .. } = self;
         match &opts.enclave {
             Some(e) => {
@@ -424,6 +665,13 @@ impl<S: UntrustedStorage> SgxFile<S> {
 
     /// Evict the LRU node, writing it back first if dirty.
     fn evict_one(&mut self) -> Result<(), PfsError> {
+        if self.opts.journal && self.staging.is_none() && !self.cache.dirty_nodes().is_empty() {
+            // A dirty eviction outside a transaction would leak a
+            // mid-sequence home write the journal cannot roll back. Flush
+            // the whole dirty set as one journalled transaction first;
+            // the LRU victim below is then clean and simply disposed.
+            self.flush()?;
+        }
         let Some((phys, mut node)) = self.cache.pop_lru() else {
             return Ok(());
         };
@@ -549,6 +797,14 @@ mod tests {
             cache_nodes: 8,
             enclave: None,
             profiler: None,
+            journal: false,
+        }
+    }
+
+    fn jopts(mode: PfsMode) -> PfsOptions {
+        PfsOptions {
+            journal: true,
+            ..opts(mode)
         }
     }
 
@@ -777,6 +1033,81 @@ mod tests {
     }
 
     #[test]
+    fn journal_mode_roundtrip_and_cleanup() {
+        both_modes(|mode| {
+            let data: Vec<u8> = (0..100_000u32).map(|i| (i % 241) as u8).collect();
+            let mut f = SgxFile::create(MemStorage::new(), [11u8; 16], jopts(mode)).unwrap();
+            f.write(&data).unwrap();
+            f.flush().unwrap();
+            let store = f.into_storage().unwrap();
+            // No journal residue after a clean flush.
+            assert!(store.node_count() <= natural_span(data.len() as u64));
+            let mut f = SgxFile::open(store, [11u8; 16], jopts(mode)).unwrap();
+            let mut back = vec![0u8; data.len()];
+            f.read(&mut back).unwrap();
+            assert_eq!(back, data, "{mode:?}");
+        });
+    }
+
+    #[test]
+    fn journal_small_cache_consistent() {
+        // Cache pressure inside and outside flushes must not leak
+        // unjournalled home writes (the evict_one guard).
+        let mut o = jopts(PfsMode::Intel);
+        o.cache_nodes = 4;
+        let data: Vec<u8> = (0..300_000u32).map(|i| (i * 13 % 251) as u8).collect();
+        let mut f = SgxFile::create(MemStorage::new(), [12u8; 16], o.clone()).unwrap();
+        f.write(&data).unwrap();
+        f.flush().unwrap();
+        let store = f.into_storage().unwrap();
+        let mut f = SgxFile::open(store, [12u8; 16], o).unwrap();
+        let mut back = vec![0u8; data.len()];
+        f.read(&mut back).unwrap();
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn committed_journal_replayed_on_open() {
+        // Crash after the commit record but before the home writes: the
+        // next open must replay to the post-state.
+        let mut f = SgxFile::create(MemStorage::new(), [13u8; 16], jopts(PfsMode::Intel)).unwrap();
+        f.write(b"state A").unwrap();
+        f.flush().unwrap();
+        let pre = f.into_storage().unwrap();
+        // Record the write stream of the next transaction.
+        let mut f = SgxFile::open(pre, [13u8; 16], jopts(PfsMode::Intel)).unwrap();
+        f.seek(0).unwrap();
+        f.write(b"state B").unwrap();
+        f.flush().unwrap();
+        let post = f.into_storage().unwrap();
+        let mut b = [0u8; 7];
+        let mut f = SgxFile::open(post, [13u8; 16], jopts(PfsMode::Intel)).unwrap();
+        f.read(&mut b).unwrap();
+        assert_eq!(&b, b"state B");
+    }
+
+    #[test]
+    fn uncommitted_journal_discarded_on_open() {
+        // Simulate a crash mid-journal: hand-append journal-shaped junk
+        // (header, no commit) past the natural span and reopen.
+        let mut f = SgxFile::create(MemStorage::new(), [14u8; 16], jopts(PfsMode::Intel)).unwrap();
+        f.write(b"stable state").unwrap();
+        f.flush().unwrap();
+        let mut store = f.into_storage().unwrap();
+        let jstart = store.node_count().max(natural_span(12));
+        let mut junk = [0u8; NODE_SIZE];
+        junk[..8].copy_from_slice(JOURNAL_HEADER_MAGIC);
+        junk[8..16].copy_from_slice(&3u64.to_le_bytes());
+        store.write_node(jstart, &junk).unwrap();
+        store.write_node(jstart + 1, &[0xEE; NODE_SIZE]).unwrap();
+        let mut f = SgxFile::open(store, [14u8; 16], jopts(PfsMode::Intel)).unwrap();
+        let mut b = [0u8; 12];
+        f.read(&mut b).unwrap();
+        assert_eq!(&b, b"stable state", "pre-state intact, junk discarded");
+        assert!(f.storage_nodes() <= natural_span(12));
+    }
+
+    #[test]
     fn ocall_costs_charged_with_enclave() {
         use twine_sgx::{EnclaveBuilder, Processor};
         let enclave = Arc::new(EnclaveBuilder::new(b"pfs test").build(&Processor::new(1)));
@@ -787,6 +1118,7 @@ mod tests {
             cache_nodes: 4,
             enclave: Some(enclave.clone()),
             profiler: None,
+            journal: false,
         };
         let mut f = SgxFile::create(MemStorage::new(), [1u8; 16], o).unwrap();
         f.write(&vec![1u8; 50_000]).unwrap();

@@ -65,7 +65,7 @@ pub mod storage;
 
 pub use file::{PfsOptions, SgxFile};
 pub use profile::{PfsCategory, PfsProfiler, ProfSnapshot};
-pub use storage::{FileStorage, MemStorage, UntrustedStorage};
+pub use storage::{FaultyStorage, FileStorage, MemStorage, UntrustedStorage};
 
 /// Node size in bytes (SGX EPC page size; also the IPFS node size).
 pub const NODE_SIZE: usize = 4096;

@@ -6,6 +6,9 @@
 
 use crate::{PfsError, NODE_SIZE};
 use std::io::{Read, Seek, SeekFrom, Write};
+use std::sync::Arc;
+
+use twine_sgx::{FaultKind, FaultPlan};
 
 /// A flat array of 4 KiB ciphertext nodes on the untrusted side.
 pub trait UntrustedStorage {
@@ -89,6 +92,74 @@ impl UntrustedStorage for MemStorage {
     fn truncate(&mut self, nodes: u64) -> Result<(), PfsError> {
         self.nodes.truncate(nodes as usize);
         Ok(())
+    }
+}
+
+/// A storage wrapper that injects write faults from an installed
+/// [`FaultPlan`] (see `twine_sgx::fault`): torn writes (only the first
+/// half of the node lands), single-bit flips, and lost writes
+/// (acknowledged but never durable). Reads pass through untouched — the
+/// Merkle tree's node MACs are what detect the damage later, which is
+/// exactly the property the crash-recovery battery exercises.
+pub struct FaultyStorage<S> {
+    inner: S,
+    plan: Arc<FaultPlan>,
+}
+
+impl<S: UntrustedStorage> FaultyStorage<S> {
+    /// Wrap `inner`, consulting `plan` on every write operation.
+    pub fn new(inner: S, plan: Arc<FaultPlan>) -> Self {
+        Self { inner, plan }
+    }
+
+    /// The wrapped storage (e.g. to inspect ciphertext after faults).
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+
+    /// Mutable access to the wrapped storage.
+    pub fn inner_mut(&mut self) -> &mut S {
+        &mut self.inner
+    }
+}
+
+impl<S: UntrustedStorage> UntrustedStorage for FaultyStorage<S> {
+    fn read_node(&mut self, idx: u64, buf: &mut [u8; NODE_SIZE]) -> Result<bool, PfsError> {
+        self.inner.read_node(idx, buf)
+    }
+
+    fn write_node(&mut self, idx: u64, buf: &[u8; NODE_SIZE]) -> Result<(), PfsError> {
+        match self.plan.storage_fault() {
+            None => self.inner.write_node(idx, buf),
+            Some(FaultKind::StorageLost) => Ok(()),
+            Some(FaultKind::StorageTorn) => {
+                // Only the first half of the sector lands; the tail keeps
+                // whatever was there before (zeros for a fresh node).
+                let mut old = [0u8; NODE_SIZE];
+                let had = self.inner.read_node(idx, &mut old)?;
+                let mut merged = *buf;
+                if had {
+                    merged[NODE_SIZE / 2..].copy_from_slice(&old[NODE_SIZE / 2..]);
+                } else {
+                    merged[NODE_SIZE / 2..].fill(0);
+                }
+                self.inner.write_node(idx, &merged)
+            }
+            Some(_bit_flip) => {
+                let mut damaged = *buf;
+                let at = (self.plan.param() as usize) % (NODE_SIZE * 8);
+                damaged[at / 8] ^= 1 << (at % 8);
+                self.inner.write_node(idx, &damaged)
+            }
+        }
+    }
+
+    fn node_count(&self) -> u64 {
+        self.inner.node_count()
+    }
+
+    fn truncate(&mut self, nodes: u64) -> Result<(), PfsError> {
+        self.inner.truncate(nodes)
     }
 }
 

@@ -17,6 +17,7 @@ fn opts(mode: PfsMode) -> PfsOptions {
         cache_nodes: 8,
         enclave: None,
         profiler: None,
+        journal: false,
     }
 }
 

@@ -10,6 +10,7 @@ use crate::attest::Report;
 use crate::clock::SimClock;
 use crate::costs;
 use crate::epc::{Epc, EpcHandle};
+use crate::fault::{FaultKind, FaultPlan};
 use crate::processor::Processor;
 use crate::seal;
 use crate::stripe::StripedU64;
@@ -57,6 +58,7 @@ pub struct EnclaveBuilder {
     mode: SgxMode,
     epc_limit_pages: usize,
     clock: SimClock,
+    faults: Option<Arc<FaultPlan>>,
 }
 
 impl EnclaveBuilder {
@@ -71,6 +73,7 @@ impl EnclaveBuilder {
             mode: SgxMode::Hardware,
             epc_limit_pages: costs::epc_usable_pages() as usize,
             clock: SimClock::new(),
+            faults: None,
         }
     }
 
@@ -102,6 +105,14 @@ impl EnclaveBuilder {
         self
     }
 
+    /// Install a fault-injection plan on the enclave's boundary crossings
+    /// and its EPC pool (chaos testing; see [`crate::fault`]).
+    #[must_use]
+    pub fn faults(mut self, plan: Arc<FaultPlan>) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
     /// Build (ECREATE + EADD/EEXTEND per page + EINIT), charging launch
     /// cycles proportional to the enclave size.
     #[must_use]
@@ -123,15 +134,20 @@ impl EnclaveBuilder {
 
         let mut epc = Epc::new(self.epc_limit_pages, self.clock.clone());
         epc.enabled = self.mode == SgxMode::Hardware;
+        let epc = EpcHandle::new(epc);
+        if let Some(plan) = &self.faults {
+            epc.install_faults(plan.clone());
+        }
         Enclave {
             measurement,
             mode: self.mode,
             size_bytes: total_bytes,
             clock: self.clock,
-            epc: EpcHandle::new(epc),
+            epc,
             stats: Arc::new(BoundaryCounters::default()),
             seal_counter: Arc::new(AtomicU64::new(0)),
             processor: processor.clone(),
+            faults: self.faults,
         }
     }
 }
@@ -151,6 +167,7 @@ pub struct Enclave {
     stats: Arc<BoundaryCounters>,
     seal_counter: Arc<AtomicU64>,
     processor: Processor,
+    faults: Option<Arc<FaultPlan>>,
 }
 
 impl Enclave {
@@ -214,6 +231,67 @@ impl Enclave {
         let r = f();
         self.clock.add_cycles(self.transition_cycles());
         r
+    }
+
+    /// The installed fault plan, if any.
+    #[must_use]
+    pub fn fault_plan(&self) -> Option<&Arc<FaultPlan>> {
+        self.faults.as_ref()
+    }
+
+    fn fire(&self, kind: FaultKind, attempt: u32) -> bool {
+        self.faults
+            .as_ref()
+            .is_some_and(|plan| plan.should_fire(kind, attempt))
+    }
+
+    /// Like [`ecall`](Self::ecall), but subject to an injected transient
+    /// `EENTER` failure: the entry is charged (the processor got as far as
+    /// the failed transition) and the trusted body **never runs**, so
+    /// retrying the whole ECALL is always safe. `attempt` is the caller's
+    /// retry index; see [`FaultPlan::should_fire`] for the bound.
+    pub fn try_ecall<R>(&self, attempt: u32, f: impl FnOnce() -> R) -> Result<R, SgxError> {
+        if self.fire(FaultKind::EcallTransient, attempt) {
+            self.clock.add_cycles(2 * self.transition_cycles());
+            return Err(SgxError::Fault(FaultKind::EcallTransient));
+        }
+        Ok(self.ecall(f))
+    }
+
+    /// Like [`ocall`](Self::ocall), but subject to an injected transient
+    /// transfer failure before the untrusted body runs. Only use for
+    /// idempotent transfers (the park/restore write-through paths) — never
+    /// for guest-servicing OCALLs, whose results are guest-visible.
+    pub fn try_ocall<R>(
+        &self,
+        attempt: u32,
+        copied_bytes: u64,
+        f: impl FnOnce() -> R,
+    ) -> Result<R, SgxError> {
+        if self.fire(FaultKind::OcallTransient, attempt) {
+            self.clock.add_cycles(2 * self.transition_cycles());
+            return Err(SgxError::Fault(FaultKind::OcallTransient));
+        }
+        Ok(self.ocall(copied_bytes, f))
+    }
+
+    /// Like [`seal`](Self::seal), but subject to an injected transient
+    /// seal failure (no nonce is consumed on the failed attempt).
+    pub fn try_seal(&self, attempt: u32, plaintext: &[u8]) -> Result<Vec<u8>, SgxError> {
+        if self.fire(FaultKind::SealFail, attempt) {
+            return Err(SgxError::Fault(FaultKind::SealFail));
+        }
+        Ok(self.seal(plaintext))
+    }
+
+    /// Like [`unseal`](Self::unseal), but subject to an injected transient
+    /// read corruption: the blob fetched from untrusted memory arrives
+    /// damaged and the MAC check fails. A retry re-reads the intact blob.
+    pub fn try_unseal(&self, attempt: u32, blob: &[u8]) -> Result<Vec<u8>, SgxError> {
+        if self.fire(FaultKind::UnsealCorrupt, attempt) {
+            return Err(SgxError::Fault(FaultKind::UnsealCorrupt));
+        }
+        self.unseal(blob)
     }
 
     /// Total cycles an OCALL with `copied_bytes` of edge-routine copying
@@ -389,6 +467,57 @@ mod tests {
         // A report addressed to someone else fails verification.
         let other = EnclaveBuilder::new(b"other").build(&p);
         assert!(other.verify_report(&report).is_err());
+    }
+
+    #[test]
+    fn try_paths_without_plan_never_fault() {
+        let e = enclave();
+        assert_eq!(e.try_ecall(0, || 7).unwrap(), 7);
+        let blob = e.try_seal(0, b"x").unwrap();
+        assert_eq!(e.try_unseal(0, &blob).unwrap(), b"x");
+        assert_eq!(e.try_ocall(0, 16, || 9).unwrap(), 9);
+        assert!(e.fault_plan().is_none());
+    }
+
+    #[test]
+    fn injected_faults_fire_and_bound() {
+        use crate::fault::{FaultConfig, FaultKind, FaultPlan};
+        let plan = Arc::new(FaultPlan::new(
+            FaultConfig::new(11)
+                .rate(FaultKind::EcallTransient, 1024)
+                .rate(FaultKind::SealFail, 1024)
+                .rate(FaultKind::UnsealCorrupt, 1024),
+        ));
+        let e = EnclaveBuilder::new(b"chaos")
+            .faults(plan.clone())
+            .build(&Processor::new(1));
+        // Attempts below the bound fault; the body never runs.
+        let mut ran = false;
+        let err = e.try_ecall(0, || ran = true).unwrap_err();
+        assert_eq!(err, SgxError::Fault(FaultKind::EcallTransient));
+        assert!(err.is_transient());
+        assert!(!ran);
+        // At the bound the call goes through.
+        assert_eq!(e.try_ecall(2, || 42).unwrap(), 42);
+        assert!(e.try_seal(0, b"s").is_err());
+        let blob = e.try_seal(2, b"s").unwrap();
+        assert!(e.try_unseal(0, &blob).is_err());
+        assert_eq!(e.try_unseal(2, &blob).unwrap(), b"s");
+        assert!(plan.total_injected() >= 3);
+    }
+
+    #[test]
+    fn failed_ecall_charges_round_trip() {
+        use crate::fault::{FaultConfig, FaultKind, FaultPlan};
+        let plan = Arc::new(FaultPlan::new(
+            FaultConfig::new(1).rate(FaultKind::EcallTransient, 1024),
+        ));
+        let e = EnclaveBuilder::new(b"chaos")
+            .faults(plan)
+            .build(&Processor::new(1));
+        let before = e.clock().cycles();
+        assert!(e.try_ecall(0, || ()).is_err());
+        assert_eq!(e.clock().cycles() - before, 13_100);
     }
 
     #[test]

@@ -12,10 +12,11 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 
 use crate::clock::SimClock;
 use crate::costs;
+use crate::fault::{FaultKind, FaultPlan};
 
 /// Counters exposed for tests and reporting.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -124,6 +125,22 @@ impl Epc {
         }
     }
 
+    /// An EPC allocation spike: the untrusted driver steals up to `n`
+    /// resident pages, forcing EWB evictions (with the usual charges). The
+    /// evicted pages fault back in as their owners touch them again —
+    /// global-counter and cycle effects only, never guest-visible state.
+    pub fn pressure_evict(&mut self, n: usize) {
+        if !self.enabled {
+            return;
+        }
+        for _ in 0..n {
+            if self.map.is_empty() {
+                return;
+            }
+            self.evict_lru();
+        }
+    }
+
     /// Drop a page from residency without charging (e.g. freed memory).
     pub fn discard(&mut self, page: u64) {
         if let Some(idx) = self.map.remove(&page) {
@@ -225,6 +242,9 @@ struct EpcShared {
     /// The contention regression test asserts this is O(1) per warm
     /// invocation — batched, not O(page transitions).
     lock_acquisitions: AtomicU64,
+    /// Installed fault plan (chaos testing): folds consult it for EPC
+    /// allocation spikes. Set once at deployment build time.
+    fault_plan: OnceLock<Arc<FaultPlan>>,
 }
 
 /// Shared handle to an EPC simulation.
@@ -268,8 +288,15 @@ impl EpcHandle {
             faults: AtomicU64::new(epc.stats().faults),
             evictions: AtomicU64::new(epc.stats().evictions),
             lock_acquisitions: AtomicU64::new(0),
+            fault_plan: OnceLock::new(),
             epc: Mutex::new(epc),
         }))
+    }
+
+    /// Install a fault plan (first install wins): folds will consult it
+    /// for EPC allocation spikes.
+    pub fn install_faults(&self, plan: Arc<FaultPlan>) {
+        let _ = self.0.fault_plan.set(plan);
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, Epc> {
@@ -343,9 +370,18 @@ impl EpcHandle {
         if pages.is_empty() || !self.is_enabled() {
             return;
         }
+        // Decide the allocation spike before taking the lock (the plan's
+        // LCG is atomic) so the fold still acquires the mutex exactly once.
+        let spike = self.0.fault_plan.get().and_then(|plan| {
+            plan.should_fire(FaultKind::EpcSpike, 0)
+                .then(|| plan.spike_pages())
+        });
         self.with_epc(|epc| {
             for &page in pages {
                 epc.touch(page);
+            }
+            if let Some(n) = spike {
+                epc.pressure_evict(n);
             }
         });
     }
@@ -579,6 +615,38 @@ mod tests {
         h.set_enabled(true);
         h.touch(1);
         assert_eq!(h.stats().faults, 1);
+    }
+
+    #[test]
+    fn pressure_evict_forces_refaults() {
+        let (mut e, _clock) = epc(10);
+        for p in 0..5 {
+            e.touch(p);
+        }
+        assert_eq!(e.stats().evictions, 0);
+        e.pressure_evict(3);
+        assert_eq!(e.stats().evictions, 3);
+        assert_eq!(e.resident_pages(), 2);
+        // Evicting more than resident stops at empty, no panic.
+        e.pressure_evict(100);
+        assert_eq!(e.resident_pages(), 0);
+        assert_eq!(e.stats().evictions, 5);
+    }
+
+    #[test]
+    fn epc_spike_fires_in_fold_under_one_lock() {
+        use crate::fault::{FaultConfig, FaultKind, FaultPlan};
+        let h = EpcHandle::new(Epc::new(64, SimClock::new()));
+        h.install_faults(Arc::new(FaultPlan::new(
+            FaultConfig::new(5).rate(FaultKind::EpcSpike, 1024),
+        )));
+        let before = h.mutex_acquisitions();
+        h.fold(&[1, 2, 3, 4, 5]);
+        assert_eq!(h.mutex_acquisitions() - before, 1, "spike shares the fold's lock");
+        assert!(
+            h.stats().evictions > 0,
+            "a guaranteed spike evicts resident pages even under the limit"
+        );
     }
 
     #[test]

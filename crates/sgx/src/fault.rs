@@ -1,0 +1,358 @@
+//! Seeded, deterministic fault injection at the trust-boundary crossings.
+//!
+//! Twine's threat model assumes the untrusted world misbehaves: the host
+//! can fail or replay boundary crossings, tear writes to the protected
+//! file system, and evict EPC pages at will (§III-A). A [`FaultPlan`] is a
+//! seeded schedule of such misbehaviour, installable on an
+//! [`Enclave`](crate::Enclave), an [`EpcHandle`](crate::EpcHandle) and the
+//! PFS storage backends, so the recovery machinery in `twine-core` can be
+//! driven through every failure path *deterministically* — same seed, same
+//! faults — and differentially tested against the unfaulted replay.
+//!
+//! Two properties make injected faults compatible with the repo's
+//! bit-identity batteries:
+//!
+//! * **Typed and counted** — every injection is a [`FaultKind`] recorded in
+//!   [`FaultStats`], so tests assert exactly what fired (`faults_injected
+//!   > 0`, never a silent no-op chaos run).
+//! * **Bounded per call site** — [`FaultPlan::should_fire`] takes the
+//!   caller's retry `attempt` and refuses to fire once `attempt >=
+//!   max_consecutive` (default 2). A bounded retry loop of more than
+//!   `max_consecutive` attempts therefore *always* converges, regardless
+//!   of thread interleaving, which is what keeps guest-visible results
+//!   bit-identical under chaos.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The kinds of fault the plan can inject, one per trust-boundary
+/// crossing. Discriminants index the rate/stat arrays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum FaultKind {
+    /// `EGETKEY`/seal fails transiently (power event mid-seal).
+    SealFail = 0,
+    /// A sealed blob read back from untrusted memory arrives corrupted;
+    /// the MAC check fails. Transient: a re-read sees the intact blob.
+    UnsealCorrupt = 1,
+    /// `EENTER` fails transiently before the trusted body runs.
+    EcallTransient = 2,
+    /// An OCALL transfer to the untrusted side fails transiently.
+    OcallTransient = 3,
+    /// EPC allocation spike: the driver steals pages, forcing extra
+    /// evictions (and later re-load charges) on the shared pool.
+    EpcSpike = 4,
+    /// A storage write is torn: only the first half of the node lands.
+    StorageTorn = 5,
+    /// A storage write lands with a flipped bit.
+    StorageBitFlip = 6,
+    /// A storage write is lost entirely (acknowledged but never durable).
+    StorageLost = 7,
+    /// A pooled instance slot is corrupted while parked in the pool.
+    PoolCorrupt = 8,
+}
+
+impl FaultKind {
+    /// Number of fault kinds (size of the rate/stat arrays).
+    pub const COUNT: usize = 9;
+
+    /// All kinds, in discriminant order.
+    pub const ALL: [FaultKind; Self::COUNT] = [
+        FaultKind::SealFail,
+        FaultKind::UnsealCorrupt,
+        FaultKind::EcallTransient,
+        FaultKind::OcallTransient,
+        FaultKind::EpcSpike,
+        FaultKind::StorageTorn,
+        FaultKind::StorageBitFlip,
+        FaultKind::StorageLost,
+        FaultKind::PoolCorrupt,
+    ];
+
+    /// The storage-write kinds, in the order a single schedule draw
+    /// considers them.
+    pub const STORAGE: [FaultKind; 3] = [
+        FaultKind::StorageTorn,
+        FaultKind::StorageBitFlip,
+        FaultKind::StorageLost,
+    ];
+}
+
+/// Configuration of a [`FaultPlan`]: the seed, per-kind firing rates, the
+/// per-call-site consecutive-fire bound, and an explicit "fail the Nth
+/// store operation" schedule for crash tests.
+#[derive(Debug, Clone)]
+pub struct FaultConfig {
+    /// Seed of the LCG driving the schedule. Same seed, same draws.
+    pub seed: u64,
+    /// Per-kind firing rate out of 1024 draws (0 = never).
+    pub rate_per_1k: [u16; FaultKind::COUNT],
+    /// A call site retrying with `attempt >= max_consecutive` is never
+    /// faulted again, so retry loops longer than this always converge.
+    pub max_consecutive: u32,
+    /// Explicit storage-fault schedule: `(op_index, kind)` pairs firing at
+    /// exactly the Nth store write (0-based), independent of the rates.
+    pub storage_at: Vec<(u64, FaultKind)>,
+}
+
+impl FaultConfig {
+    /// A plan seeded with `seed` and all rates zero.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            rate_per_1k: [0; FaultKind::COUNT],
+            max_consecutive: 2,
+            storage_at: Vec::new(),
+        }
+    }
+
+    /// Set the firing rate of `kind` to `per_1k` out of 1024 draws.
+    #[must_use]
+    pub fn rate(mut self, kind: FaultKind, per_1k: u16) -> Self {
+        self.rate_per_1k[kind as usize] = per_1k.min(1024);
+        self
+    }
+
+    /// Fire `kind` at exactly the `op`-th storage write (0-based).
+    #[must_use]
+    pub fn storage_fault_at(mut self, op: u64, kind: FaultKind) -> Self {
+        self.storage_at.push((op, kind));
+        self
+    }
+
+    /// Override the per-call-site consecutive-fire bound.
+    #[must_use]
+    pub fn max_consecutive(mut self, n: u32) -> Self {
+        self.max_consecutive = n;
+        self
+    }
+
+    /// The chaos preset used by the differential batteries and the fig8
+    /// `--faults` smoke: transient boundary faults only (seal/unseal,
+    /// ECALL/OCALL, EPC spikes) — the kinds the service recovers from
+    /// without guest-visible effect. Storage faults are scheduled
+    /// explicitly by the crash tests instead.
+    #[must_use]
+    pub fn chaos(seed: u64) -> Self {
+        Self::new(seed)
+            .rate(FaultKind::SealFail, 80)
+            .rate(FaultKind::UnsealCorrupt, 80)
+            .rate(FaultKind::EcallTransient, 60)
+            .rate(FaultKind::OcallTransient, 60)
+            .rate(FaultKind::EpcSpike, 40)
+            .rate(FaultKind::PoolCorrupt, 48)
+    }
+}
+
+/// Per-kind injection counters (atomics; shared by all plan users).
+#[derive(Debug, Default)]
+pub struct FaultStats {
+    counts: [AtomicU64; FaultKind::COUNT],
+}
+
+impl FaultStats {
+    fn record(&self, kind: FaultKind) {
+        self.counts[kind as usize].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Injections of `kind` so far.
+    #[must_use]
+    pub fn count(&self, kind: FaultKind) -> u64 {
+        self.counts[kind as usize].load(Ordering::Relaxed)
+    }
+
+    /// Total injections across all kinds.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.counts.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+}
+
+/// A seeded, shareable fault schedule.
+///
+/// Draws come from one atomic MMIX LCG, so concurrent users (shards,
+/// storage backends, the pool) consume a single global schedule; the
+/// per-kind rates make each draw an independent Bernoulli trial. Clone the
+/// `Arc` and install the same plan everywhere — [`FaultStats`] then counts
+/// every injection across the whole deployment.
+#[derive(Debug)]
+pub struct FaultPlan {
+    cfg: FaultConfig,
+    state: AtomicU64,
+    storage_ops: AtomicU64,
+    stats: FaultStats,
+}
+
+impl FaultPlan {
+    /// Build a plan from `cfg`.
+    #[must_use]
+    pub fn new(cfg: FaultConfig) -> Self {
+        Self {
+            state: AtomicU64::new(cfg.seed),
+            storage_ops: AtomicU64::new(0),
+            stats: FaultStats::default(),
+            cfg,
+        }
+    }
+
+    /// The configuration the plan was built from.
+    #[must_use]
+    pub fn config(&self) -> &FaultConfig {
+        &self.cfg
+    }
+
+    /// Injection counters.
+    #[must_use]
+    pub fn stats(&self) -> &FaultStats {
+        &self.stats
+    }
+
+    /// Total injections across all kinds (the `faults_injected` gauge).
+    #[must_use]
+    pub fn total_injected(&self) -> u64 {
+        self.stats.total()
+    }
+
+    /// One LCG draw (Knuth MMIX; high bits).
+    fn next(&self) -> u64 {
+        let mut out = 0;
+        let _ = self
+            .state
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |s| {
+                let n = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                out = n >> 33;
+                Some(n)
+            });
+        out
+    }
+
+    /// Should `kind` fire at a call site currently on retry `attempt`
+    /// (0 = first try)? Never fires once `attempt >= max_consecutive`,
+    /// which is what bounds fault bursts per call site. Records the
+    /// injection when it fires.
+    #[must_use]
+    pub fn should_fire(&self, kind: FaultKind, attempt: u32) -> bool {
+        if attempt >= self.cfg.max_consecutive {
+            return false;
+        }
+        let rate = self.cfg.rate_per_1k[kind as usize];
+        if rate == 0 {
+            return false;
+        }
+        let fired = self.next() % 1024 < u64::from(rate);
+        if fired {
+            self.stats.record(kind);
+        }
+        fired
+    }
+
+    /// Consult the schedule for the next storage write operation. Counts
+    /// the op, checks the explicit `storage_at` schedule first, then the
+    /// probabilistic rates of the three storage kinds.
+    #[must_use]
+    pub fn storage_fault(&self) -> Option<FaultKind> {
+        let op = self.storage_ops.fetch_add(1, Ordering::Relaxed);
+        if let Some(&(_, kind)) = self.cfg.storage_at.iter().find(|&&(at, _)| at == op) {
+            self.stats.record(kind);
+            return Some(kind);
+        }
+        FaultKind::STORAGE
+            .into_iter()
+            .find(|&kind| self.cfg.rate_per_1k[kind as usize] != 0 && self.should_fire(kind, 0))
+    }
+
+    /// How many storage write operations the plan has seen.
+    #[must_use]
+    pub fn storage_ops(&self) -> u64 {
+        self.storage_ops.load(Ordering::Relaxed)
+    }
+
+    /// Size of an EPC allocation spike, in pages (1..=4).
+    #[must_use]
+    pub fn spike_pages(&self) -> usize {
+        1 + (self.next() % 4) as usize
+    }
+
+    /// A raw schedule draw for parameterising a fired fault (which bit to
+    /// flip, which offset to tear at).
+    #[must_use]
+    pub fn param(&self) -> u64 {
+        self.next()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_rates_never_fire() {
+        let plan = FaultPlan::new(FaultConfig::new(42));
+        for _ in 0..1000 {
+            assert!(!plan.should_fire(FaultKind::SealFail, 0));
+        }
+        assert_eq!(plan.total_injected(), 0);
+    }
+
+    #[test]
+    fn rates_fire_and_are_counted() {
+        let plan = FaultPlan::new(FaultConfig::new(7).rate(FaultKind::SealFail, 512));
+        let mut fired = 0;
+        for _ in 0..1000 {
+            if plan.should_fire(FaultKind::SealFail, 0) {
+                fired += 1;
+            }
+        }
+        assert!(fired > 300 && fired < 700, "≈half fire: {fired}");
+        assert_eq!(plan.stats().count(FaultKind::SealFail), fired);
+        assert_eq!(plan.total_injected(), fired);
+    }
+
+    #[test]
+    fn attempt_bound_forces_convergence() {
+        // Even at rate 1024 (always fire), attempt >= max_consecutive is
+        // clean — a retry loop of 3+ attempts always converges.
+        let plan = FaultPlan::new(FaultConfig::new(1).rate(FaultKind::EcallTransient, 1024));
+        assert!(plan.should_fire(FaultKind::EcallTransient, 0));
+        assert!(plan.should_fire(FaultKind::EcallTransient, 1));
+        assert!(!plan.should_fire(FaultKind::EcallTransient, 2));
+        assert!(!plan.should_fire(FaultKind::EcallTransient, 99));
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let a = FaultPlan::new(FaultConfig::chaos(0x5eed));
+        let b = FaultPlan::new(FaultConfig::chaos(0x5eed));
+        for _ in 0..500 {
+            assert_eq!(
+                a.should_fire(FaultKind::SealFail, 0),
+                b.should_fire(FaultKind::SealFail, 0)
+            );
+        }
+    }
+
+    #[test]
+    fn storage_schedule_fires_at_exact_op() {
+        let plan = FaultPlan::new(
+            FaultConfig::new(3)
+                .storage_fault_at(2, FaultKind::StorageTorn)
+                .storage_fault_at(5, FaultKind::StorageLost),
+        );
+        let fired: Vec<Option<FaultKind>> = (0..8).map(|_| plan.storage_fault()).collect();
+        assert_eq!(fired[2], Some(FaultKind::StorageTorn));
+        assert_eq!(fired[5], Some(FaultKind::StorageLost));
+        assert_eq!(fired.iter().flatten().count(), 2);
+        assert_eq!(plan.storage_ops(), 8);
+    }
+
+    #[test]
+    fn spike_pages_bounded() {
+        let plan = FaultPlan::new(FaultConfig::new(9));
+        for _ in 0..100 {
+            let n = plan.spike_pages();
+            assert!((1..=4).contains(&n));
+        }
+    }
+}

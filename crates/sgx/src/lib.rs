@@ -38,6 +38,7 @@ pub mod clock;
 pub mod costs;
 pub mod enclave;
 pub mod epc;
+pub mod fault;
 pub mod processor;
 pub mod seal;
 pub mod stripe;
@@ -46,7 +47,8 @@ pub use attest::{AttestationService, Quote, Report};
 pub use clock::SimClock;
 pub use enclave::{Enclave, EnclaveBuilder, EnclaveStats, SgxMode};
 pub use epc::{Epc, EpcHandle, EpcStats};
-pub use processor::Processor;
+pub use fault::{FaultConfig, FaultKind, FaultPlan, FaultStats};
+pub use processor::{MonotonicCounters, Processor};
 pub use stripe::StripedU64;
 
 /// Errors raised by the simulator.
@@ -58,6 +60,20 @@ pub enum SgxError {
     UnsealFailed,
     /// Invalid configuration.
     Config(String),
+    /// An injected fault from an installed [`FaultPlan`] fired at this
+    /// boundary crossing.
+    Fault(FaultKind),
+}
+
+impl SgxError {
+    /// Is this error transient — i.e. worth a bounded retry? Injected
+    /// boundary faults model transient host misbehaviour (a re-read sees
+    /// the intact blob, a re-entry succeeds); everything else (tampered
+    /// blobs, wrong identity, bad configuration) is permanent.
+    #[must_use]
+    pub fn is_transient(&self) -> bool {
+        matches!(self, SgxError::Fault(_))
+    }
 }
 
 impl core::fmt::Display for SgxError {
@@ -66,6 +82,7 @@ impl core::fmt::Display for SgxError {
             SgxError::AttestationFailed(m) => write!(f, "attestation failed: {m}"),
             SgxError::UnsealFailed => write!(f, "unsealing failed"),
             SgxError::Config(m) => write!(f, "configuration error: {m}"),
+            SgxError::Fault(k) => write!(f, "injected fault: {k:?}"),
         }
     }
 }

@@ -89,7 +89,7 @@ proptest! {
         (0u8..3, 0u32..200_000, proptest::collection::vec(any::<u8>(), 1..600)), 1..25
     )) {
         use twine::pfs::{MemStorage, PfsMode, PfsOptions, SgxFile};
-        let opts = PfsOptions { mode: PfsMode::Intel, cache_nodes: 6, enclave: None, profiler: None };
+        let opts = PfsOptions { mode: PfsMode::Intel, cache_nodes: 6, enclave: None, profiler: None, journal: false };
         let mut f = SgxFile::create(MemStorage::new(), [1u8; 16], opts.clone()).unwrap();
         let mut model: Vec<u8> = Vec::new();
         for (kind, pos, data) in &ops {
