@@ -2,10 +2,8 @@
 //! protected file system (Twine's trusted path) or (b) an SGX-LKL-style
 //! encrypted disk image with an in-enclave file cache.
 
-use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use twine_core::shared_store::SharedStorage;
 use twine_pfs::{PfsMode, PfsOptions, PfsProfiler, SgxFile};
@@ -24,7 +22,7 @@ pub struct PfsVfs {
     mode: PfsMode,
     cache_nodes: usize,
     profiler: Option<PfsProfiler>,
-    files: Rc<RefCell<HashMap<String, SharedStorage>>>,
+    files: Arc<Mutex<HashMap<String, SharedStorage>>>,
 }
 
 impl PfsVfs {
@@ -41,7 +39,7 @@ impl PfsVfs {
             mode,
             cache_nodes,
             profiler,
-            files: Rc::new(RefCell::new(HashMap::new())),
+            files: Arc::new(Mutex::new(HashMap::new())),
         }
     }
 
@@ -69,7 +67,7 @@ impl PfsVfs {
     #[must_use]
     pub fn stored_bytes(&self) -> u64 {
         self.files
-            .borrow()
+            .lock().unwrap()
             .values()
             .map(SharedStorage::stored_bytes)
             .sum()
@@ -136,10 +134,10 @@ impl Drop for PfsVfsFile {
 impl Vfs for PfsVfs {
     fn open(&mut self, name: &str) -> DbResult<Box<dyn VfsFile>> {
         let key = self.key_for(name);
-        let known = self.files.borrow().contains_key(name);
+        let known = self.files.lock().unwrap().contains_key(name);
         let storage = self
             .files
-            .borrow_mut()
+            .lock().unwrap()
             .entry(name.to_string())
             .or_default()
             .clone();
@@ -153,14 +151,14 @@ impl Vfs for PfsVfs {
 
     fn delete(&mut self, name: &str) -> DbResult<()> {
         self.files
-            .borrow_mut()
+            .lock().unwrap()
             .remove(name)
             .map(|_| ())
             .ok_or_else(|| DbError::Storage(format!("delete: no such file {name}")))
     }
 
     fn exists(&mut self, name: &str) -> bool {
-        self.files.borrow().contains_key(name)
+        self.files.lock().unwrap().contains_key(name)
     }
 }
 
@@ -181,7 +179,7 @@ const LKL_BLOCKS_PER_EXIT: u64 = 8;
 pub struct LklVfs {
     enclave: Arc<Enclave>,
     files: FileMap,
-    blocks_since_exit: Rc<RefCell<u64>>,
+    blocks_since_exit: Arc<Mutex<u64>>,
     /// Base page id for EPC accounting of the in-enclave page cache.
     epc_base: u64,
 }
@@ -192,8 +190,8 @@ impl LklVfs {
     pub fn new(enclave: Arc<Enclave>) -> Self {
         Self {
             enclave,
-            files: Rc::new(RefCell::new(HashMap::new())),
-            blocks_since_exit: Rc::new(RefCell::new(0)),
+            files: Arc::new(Mutex::new(HashMap::new())),
+            blocks_since_exit: Arc::new(Mutex::new(0)),
             epc_base: 1 << 40,
         }
     }
@@ -201,8 +199,8 @@ impl LklVfs {
 
 struct LklFile {
     enclave: Arc<Enclave>,
-    data: Rc<RefCell<Vec<u8>>>,
-    blocks_since_exit: Rc<RefCell<u64>>,
+    data: twine_sqldb::vfs::FileBytes,
+    blocks_since_exit: Arc<Mutex<u64>>,
     epc_base: u64,
 }
 
@@ -221,7 +219,7 @@ impl LklFile {
             epc.touch(self.epc_base + b);
         }
         // Batched exits to the host block device.
-        let mut counter = self.blocks_since_exit.borrow_mut();
+        let mut counter = self.blocks_since_exit.lock().unwrap();
         *counter += n_blocks;
         if *counter >= LKL_BLOCKS_PER_EXIT {
             *counter = 0;
@@ -234,7 +232,7 @@ impl LklFile {
 impl VfsFile for LklFile {
     fn read_at(&mut self, offset: u64, buf: &mut [u8]) -> DbResult<()> {
         self.charge_blocks(offset, buf.len());
-        let data = self.data.borrow();
+        let data = self.data.lock().unwrap();
         let off = offset as usize;
         buf.fill(0);
         if off < data.len() {
@@ -246,7 +244,7 @@ impl VfsFile for LklFile {
 
     fn write_at(&mut self, offset: u64, src: &[u8]) -> DbResult<()> {
         self.charge_blocks(offset, src.len());
-        let mut data = self.data.borrow_mut();
+        let mut data = self.data.lock().unwrap();
         let end = offset as usize + src.len();
         if data.len() < end {
             data.resize(end, 0);
@@ -256,7 +254,7 @@ impl VfsFile for LklFile {
     }
 
     fn truncate(&mut self, size: u64) -> DbResult<()> {
-        self.data.borrow_mut().truncate(size as usize);
+        self.data.lock().unwrap().truncate(size as usize);
         Ok(())
     }
 
@@ -266,7 +264,7 @@ impl VfsFile for LklFile {
     }
 
     fn size(&mut self) -> DbResult<u64> {
-        Ok(self.data.borrow().len() as u64)
+        Ok(self.data.lock().unwrap().len() as u64)
     }
 }
 
@@ -274,7 +272,7 @@ impl Vfs for LklVfs {
     fn open(&mut self, name: &str) -> DbResult<Box<dyn VfsFile>> {
         let data = self
             .files
-            .borrow_mut()
+            .lock().unwrap()
             .entry(name.to_string())
             .or_default()
             .clone();
@@ -288,14 +286,14 @@ impl Vfs for LklVfs {
 
     fn delete(&mut self, name: &str) -> DbResult<()> {
         self.files
-            .borrow_mut()
+            .lock().unwrap()
             .remove(name)
             .map(|_| ())
             .ok_or_else(|| DbError::Storage(format!("delete: no such file {name}")))
     }
 
     fn exists(&mut self, name: &str) -> bool {
-        self.files.borrow().contains_key(name)
+        self.files.lock().unwrap().contains_key(name)
     }
 }
 

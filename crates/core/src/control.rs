@@ -175,6 +175,14 @@ pub struct ControlStats {
     ///
     /// [`recover`]: crate::TwineService::recover
     pub rollback_rejected: u64,
+    /// SQL statements executed across every DB session (each statement of
+    /// a batch counts once).
+    pub db_statements: u64,
+    /// DB-session statements served from a per-session prepared-statement
+    /// cache — zero parser work (the warm path of the plan-cache fix).
+    pub stmt_cache_hits: u64,
+    /// DB-session statements that had to be parsed and planned.
+    pub stmt_cache_misses: u64,
 }
 
 impl ControlStats {
@@ -202,6 +210,9 @@ impl ControlStats {
         self.pool_discards += other.pool_discards;
         self.recovered_sessions += other.recovered_sessions;
         self.rollback_rejected += other.rollback_rejected;
+        self.db_statements += other.db_statements;
+        self.stmt_cache_hits += other.stmt_cache_hits;
+        self.stmt_cache_misses += other.stmt_cache_misses;
     }
 }
 

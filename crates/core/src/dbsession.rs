@@ -1,0 +1,677 @@
+//! Tenant database sessions: secure DB-as-a-service on the serving plane
+//! (DESIGN.md §13).
+//!
+//! The paper's flagship workload is SQLite over the protected file system
+//! (§V-C/D); this module lifts it from a one-shot benchmark body onto the
+//! session layer. Each DB session owns a **private protected backend**
+//! (the same `make_backend` product a Wasm session gets — for the default
+//! [`FsChoice::ProtectedInMemory`](crate::FsChoice) every database byte is
+//! sealed by `twine-pfs` before it leaves the enclave), and the database
+//! opened through [`BackendVfs`] stores its pages *and its rollback
+//! journal* in that backend. Because the database is backend state, the
+//! session lifecycle carries it for free:
+//!
+//! * **Warm statements** reuse a live [`Connection`] with its per-session
+//!   prepared-statement cache — repeated SQL text does zero parser work
+//!   (the replanning fix; counters surface in
+//!   [`ControlStats::stmt_cache_hits`](crate::ControlStats)).
+//! * **Park/evict** closes the connection (flushing every page into the
+//!   backend), seals a *manifest* of the backend's database files (format
+//!   byte 4, freshness-wrapped when a durable store is configured) and
+//!   releases the session's EPC pages. DB sessions ride the same LRU
+//!   pressure policy as Wasm sessions.
+//! * **Restore** re-runs the inward transfer + unseal (with the bounded
+//!   retry policy; a hard unseal failure quarantines the session) and
+//!   reopens the connection over the retained backend — bit-identical to
+//!   never having been parked, including crash recovery through the
+//!   database's own journal if a park was cut short.
+//! * **Durable parks / recover** write the sealed manifest through the
+//!   rollback-protected [`DurableParkStore`](crate::DurableParkStore);
+//!   after a simulated enclave restart, [`TwineService::recover`]
+//!   rebuilds the backend from the manifest's file images and re-admits
+//!   the session parked.
+
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex};
+
+use twine_sgx::Enclave;
+use twine_sqldb::backend_vfs::BackendVfs;
+use twine_sqldb::db::StmtCacheStats;
+use twine_sqldb::value::Row;
+use twine_sqldb::{Connection, SharedBackend};
+use twine_wasi::Errno;
+
+use crate::runtime::{
+    make_backend, with_retries, TwineError, RETRY_BACKOFF_CYCLES, RETRY_MAX,
+};
+use crate::service::TwineService;
+
+/// Park-image format byte for a DB-session manifest (1 = full snapshot,
+/// 2 = pooled delta, 3 = freshness wrapper — all owned by `service.rs`).
+pub(crate) const DB_MANIFEST_FORMAT: u8 = 4;
+
+/// File name of the tenant database inside its private backend namespace.
+const DB_FILE: &str = "tenant.db";
+
+/// `(path, bytes)` image of every file in a parked session's backend.
+type ManifestFiles = Vec<(String, Vec<u8>)>;
+
+/// One tenant database session: a private protected backend holding the
+/// database, plus the live connection (absent while parked).
+pub(crate) struct DbSession {
+    /// The session's private backend; the database and its journal live
+    /// here, protected by the PFS layer like any session file.
+    pub(crate) backend: SharedBackend,
+    /// Live connection with its prepared-statement cache; `None` parked.
+    pub(crate) conn: Option<Connection>,
+    /// Path of the database file inside the backend namespace.
+    pub(crate) db_path: String,
+    /// First EPC page of this session's private page range (the pager's
+    /// page hook touches `epc_base_page + db_page`).
+    pub(crate) epc_base_page: u64,
+    /// LRU use sequence, shared with Wasm sessions' eviction policy.
+    pub(crate) last_use: u64,
+    /// Sealed park manifest retained while parked; verified (inward
+    /// transfer + unseal) on restore.
+    pub(crate) sealed: Option<Vec<u8>>,
+    /// Plan-cache counters folded from connections closed by earlier
+    /// parks (each park closes the connection; its counters fold here so
+    /// per-session totals survive eviction cycles).
+    pub(crate) folded_stmt: StmtCacheStats,
+    /// Statements prepared on behalf of this session.
+    pub(crate) statements: u64,
+    /// Quarantine reason, when the park manifest failed to unseal beyond
+    /// the retry budget.
+    pub(crate) quarantined: Option<String>,
+}
+
+impl DbSession {
+    /// Whether this session currently holds a live connection.
+    pub(crate) fn is_live(&self) -> bool {
+        self.conn.is_some() && self.quarantined.is_none()
+    }
+}
+
+fn db_err(op: &str, path: &str, e: Errno) -> TwineError {
+    TwineError::Db(format!("{op} {path}: {e:?}"))
+}
+
+/// Sum two plan-cache counter snapshots fieldwise.
+fn add_stmt(a: StmtCacheStats, b: StmtCacheStats) -> StmtCacheStats {
+    StmtCacheStats {
+        hits: a.hits + b.hits,
+        misses: a.misses + b.misses,
+        parses: a.parses + b.parses,
+        evictions: a.evictions + b.evictions,
+    }
+}
+
+impl TwineService {
+    /// Open a named database session: a private protected backend is
+    /// created from the service's file-system template, a database file
+    /// is initialised inside it, and a connection (with its
+    /// prepared-statement cache) is kept live for warm statements.
+    ///
+    /// DB sessions share the Wasm sessions' name space, EPC-slot
+    /// allocator and LRU eviction policy.
+    ///
+    /// # Errors
+    /// [`TwineError::Session`] if the name is taken;
+    /// [`TwineError::Db`] if the database cannot be initialised.
+    pub fn db_open_session(&mut self, name: &str) -> Result<(), TwineError> {
+        if self.sessions.contains_key(name) || self.db_sessions.contains_key(name) {
+            return Err(TwineError::Session(format!(
+                "session {name:?} already exists"
+            )));
+        }
+        let backend: SharedBackend = Arc::new(Mutex::new(make_backend(
+            self.tpl.fs,
+            &self.enclave,
+            self.tpl.pfs_mode,
+            self.tpl.pfs_cache_nodes,
+            self.profiler.clone(),
+        )));
+        let db_path = format!("{}/{}", self.tpl.preopen, DB_FILE);
+        let slot = self.epc_slots.fetch_add(1, Ordering::Relaxed);
+        let epc_base_page = (slot + 1) << 32;
+        let conn = Self::db_connect(&self.enclave, &backend, &db_path, epc_base_page)?;
+        self.use_seq += 1;
+        self.db_sessions.insert(
+            name.to_string(),
+            DbSession {
+                backend,
+                conn: Some(conn),
+                db_path,
+                epc_base_page,
+                last_use: self.use_seq,
+                sealed: None,
+                folded_stmt: StmtCacheStats::default(),
+                statements: 0,
+                quarantined: None,
+            },
+        );
+        // A fresh DB session counts against the same eviction budget.
+        self.enforce_pressure(Some(name));
+        Ok(())
+    }
+
+    /// Open a connection over a session backend and wire its pager page
+    /// hook into the session's private EPC range (a database page cached
+    /// inside the enclave is EPC residency, exactly like guest memory).
+    fn db_connect(
+        enclave: &Arc<Enclave>,
+        backend: &SharedBackend,
+        db_path: &str,
+        epc_base_page: u64,
+    ) -> Result<Connection, TwineError> {
+        let vfs = BackendVfs::from_shared(backend.clone());
+        let mut conn = Connection::open(Box::new(vfs), db_path)
+            .map_err(|e| TwineError::Db(e.to_string()))?;
+        let epc = enclave.epc();
+        conn.set_page_hook(Some(Box::new(move |page, _write| {
+            epc.touch(epc_base_page + u64::from(page));
+        })));
+        Ok(conn)
+    }
+
+    /// Execute one SQL statement on a session's database (warm path:
+    /// repeated SQL text is served from the session's plan cache with
+    /// zero parser work). Returns the number of affected rows.
+    ///
+    /// # Errors
+    /// [`TwineError::Session`] for an unknown name,
+    /// [`TwineError::Quarantined`] for a damaged parked session,
+    /// [`TwineError::Db`] for a statement the database rejects.
+    pub fn db_execute(&mut self, name: &str, sql: &str) -> Result<u64, TwineError> {
+        self.db_ensure_live(name)?;
+        self.db_run(name, |conn| {
+            conn.execute(sql).map(|r| r.affected)
+        })
+    }
+
+    /// Execute one SQL statement and return its result rows.
+    ///
+    /// # Errors
+    /// As [`db_execute`](Self::db_execute).
+    pub fn db_query(&mut self, name: &str, sql: &str) -> Result<Vec<Row>, TwineError> {
+        self.db_ensure_live(name)?;
+        self.db_run(name, |conn| conn.execute(sql).map(|r| r.rows))
+    }
+
+    /// Execute a batch of statements in order on a session's database,
+    /// returning the total affected-row count. The first failing
+    /// statement aborts the remainder (statements already executed keep
+    /// their effects — batch entries are individually autocommitted, or
+    /// grouped by explicit BEGIN/COMMIT entries inside the batch).
+    ///
+    /// # Errors
+    /// As [`db_execute`](Self::db_execute).
+    pub fn db_execute_batch(
+        &mut self,
+        name: &str,
+        stmts: &[String],
+    ) -> Result<u64, TwineError> {
+        self.db_ensure_live(name)?;
+        self.db_run(name, |conn| {
+            let mut affected = 0u64;
+            for sql in stmts {
+                affected += conn.execute(sql)?.affected;
+            }
+            Ok(affected)
+        })
+    }
+
+    /// Names of the tables in a session's database schema (sorted — the
+    /// serving-plane analogue of reading `sqlite_master`).
+    ///
+    /// # Errors
+    /// As [`db_execute`](Self::db_execute).
+    pub fn db_table_names(&mut self, name: &str) -> Result<Vec<String>, TwineError> {
+        self.db_ensure_live(name)?;
+        self.db_run(name, |conn| {
+            let mut tables: Vec<String> = conn.schema().tables.keys().cloned().collect();
+            tables.sort();
+            Ok(tables)
+        })
+    }
+
+    /// Run `f` on the session's live connection, folding the plan-cache
+    /// counter deltas into the control-plane stats.
+    fn db_run<T>(
+        &mut self,
+        name: &str,
+        f: impl FnOnce(&mut Connection) -> twine_sqldb::DbResult<T>,
+    ) -> Result<T, TwineError> {
+        let sess = self
+            .db_sessions
+            .get_mut(name)
+            .expect("db_ensure_live leaves the session present");
+        let conn = sess
+            .conn
+            .as_mut()
+            .expect("db_ensure_live leaves the session live");
+        let before = conn.stmt_cache_stats();
+        let out = f(conn);
+        let after = conn.stmt_cache_stats();
+        let prepared = (after.hits + after.misses) - (before.hits + before.misses);
+        sess.statements += prepared;
+        self.control_stats.stmt_cache_hits += after.hits - before.hits;
+        self.control_stats.stmt_cache_misses += after.misses - before.misses;
+        self.control_stats.db_statements += prepared;
+        out.map_err(|e| TwineError::Db(e.to_string()))
+    }
+
+    /// Restore a parked DB session to live (bumps LRU; no-op when
+    /// already live): the sealed manifest crosses back into the enclave
+    /// and is unsealed (integrity check under the bounded retry policy —
+    /// a hard failure quarantines the session), then the connection is
+    /// reopened over the retained backend.
+    fn db_ensure_live(&mut self, name: &str) -> Result<(), TwineError> {
+        self.use_seq += 1;
+        let use_seq = self.use_seq;
+        let (sealed, backend, db_path, epc_base_page, live, quarantined) = {
+            let sess = self
+                .db_sessions
+                .get_mut(name)
+                .ok_or_else(|| TwineError::Session(format!("no session named {name:?}")))?;
+            sess.last_use = use_seq;
+            (
+                sess.sealed.clone(),
+                sess.backend.clone(),
+                sess.db_path.clone(),
+                sess.epc_base_page,
+                sess.conn.is_some(),
+                sess.quarantined.clone(),
+            )
+        };
+        if let Some(reason) = quarantined {
+            return Err(TwineError::Quarantined {
+                session: name.to_string(),
+                reason,
+            });
+        }
+        if live {
+            return Ok(());
+        }
+        if let Some(sealed) = &sealed {
+            // Inward transfer of the manifest (idempotent; retried on
+            // injected faults).
+            let mut retries = 0u64;
+            let transfer = with_retries(&self.enclave, &mut retries, |attempt| {
+                self.enclave.try_ocall(attempt, sealed.len() as u64, || ())
+            });
+            self.control_stats.retries += retries;
+            transfer.map_err(TwineError::Sgx)?;
+            // Unseal to validate integrity. The backend is authoritative
+            // for the data; what the unseal proves is that the park-time
+            // manifest (and thus the durable record, when one exists) is
+            // intact. A hard failure quarantines the session.
+            let mut retries = 0u64;
+            let unsealed = {
+                let mut attempt = 0u32;
+                loop {
+                    match self
+                        .enclave
+                        .ecall(|| self.enclave.try_unseal(attempt, sealed))
+                    {
+                        Ok(b) => break Ok(b),
+                        Err(e) if e.is_transient() && attempt + 1 < RETRY_MAX => {
+                            attempt += 1;
+                            retries += 1;
+                            self.enclave
+                                .clock()
+                                .add_cycles(RETRY_BACKOFF_CYCLES << attempt);
+                        }
+                        Err(e) => break Err(e),
+                    }
+                }
+            };
+            self.control_stats.retries += retries;
+            match unsealed {
+                Ok(bytes) => {
+                    let (_tag, payload) = Self::unwrap_freshness(&bytes);
+                    if Self::decode_db_manifest(payload).is_none() {
+                        let reason = "parked DB manifest is corrupt".to_string();
+                        self.db_quarantine(name, &reason);
+                        return Err(TwineError::Quarantined {
+                            session: name.to_string(),
+                            reason,
+                        });
+                    }
+                }
+                Err(e) => {
+                    let reason = format!("parked DB manifest failed to unseal: {e}");
+                    self.db_quarantine(name, &reason);
+                    return Err(TwineError::Quarantined {
+                        session: name.to_string(),
+                        reason,
+                    });
+                }
+            }
+            self.control_stats.unsealed_bytes += sealed.len() as u64;
+        }
+        let conn = Self::db_connect(&self.enclave, &backend, &db_path, epc_base_page)?;
+        self.control_stats.restores += 1;
+        let sess = self
+            .db_sessions
+            .get_mut(name)
+            .expect("session checked present above");
+        sess.conn = Some(conn);
+        // The restore re-admitted a live session (and its page cache):
+        // under a live-session budget someone else may have to park.
+        self.enforce_pressure(Some(name));
+        Ok(())
+    }
+
+    fn db_quarantine(&mut self, name: &str, reason: &str) {
+        self.control_stats.quarantines += 1;
+        if let Some(sess) = self.db_sessions.get_mut(name) {
+            sess.quarantined = Some(reason.to_string());
+        }
+    }
+
+    /// Park a DB session: close the connection (every dirty page flushes
+    /// into the protected backend), seal a manifest of the database files
+    /// (freshness-wrapped when a durable store is configured, then
+    /// written through the rollback-protected record file), and release
+    /// the session's EPC pages. Idempotent on an already-parked session.
+    ///
+    /// # Errors
+    /// [`TwineError::Session`] for an unknown name; [`TwineError::Sgx`]
+    /// if sealing/transfer faults outlast the retry budget (the database
+    /// itself is already safe in the backend — only the manifest, and
+    /// with it the durable record, is missing).
+    pub fn db_park_session(&mut self, name: &str) -> Result<(), TwineError> {
+        let (conn, backend, db_path, epc_base_page) = {
+            let sess = match self.db_sessions.get_mut(name) {
+                None => {
+                    return Err(TwineError::Session(format!("no session named {name:?}")));
+                }
+                Some(s) => s,
+            };
+            let Some(conn) = sess.conn.take() else {
+                // Already parked (or quarantined, i.e. sealed out too).
+                return Ok(());
+            };
+            // The close below drops the connection's counters; fold them
+            // into the session so per-tenant totals survive eviction.
+            sess.folded_stmt = add_stmt(sess.folded_stmt, conn.stmt_cache_stats());
+            (
+                conn,
+                sess.backend.clone(),
+                sess.db_path.clone(),
+                sess.epc_base_page,
+            )
+        };
+        let db_pages = u64::from(conn.page_count());
+        // Close flushes every cached page through the VFS into the
+        // backend; from here the backend alone is the database. If the
+        // close itself fails the session stays parked — the database's
+        // rollback journal makes the next reopen recover consistently.
+        conn.close().map_err(|e| TwineError::Db(e.to_string()))?;
+        let manifest = Self::encode_db_manifest(&backend, &db_path)?;
+        let durable = self.control.durable_parks.clone();
+        let tag = durable.as_ref().map(|d| d.peek(name) + 1);
+        let bytes = Self::wrap_freshness(tag, manifest);
+        // Seal under the bounded-retry policy, like a Wasm-session park.
+        let mut retries = 0u64;
+        let sealed = with_retries(&self.enclave, &mut retries, |attempt| {
+            self.enclave.ecall(|| self.enclave.try_seal(attempt, &bytes))
+        });
+        self.control_stats.retries += retries;
+        let sealed = sealed.map_err(TwineError::Sgx)?;
+        // The sealed manifest crosses the boundary outward.
+        let mut retries = 0u64;
+        let transfer = with_retries(&self.enclave, &mut retries, |attempt| {
+            self.enclave.try_ocall(attempt, sealed.len() as u64, || ())
+        });
+        self.control_stats.retries += retries;
+        transfer.map_err(TwineError::Sgx)?;
+        // Durable write-through: record first, counter bump second (the
+        // same crash window the Wasm park path tolerates).
+        if let Some(store) = &durable {
+            store
+                .write_record(name, self.record_key(), &[], &sealed)
+                .map_err(|e| {
+                    TwineError::Session(format!("durable park of {name:?} failed: {e}"))
+                })?;
+            store.bump(name);
+        }
+        // Release the pages the pager's cache had resident (+1 for the
+        // header page the hook also touches via page id offsets).
+        self.enclave
+            .epc()
+            .discard_range(epc_base_page, db_pages + 1);
+        self.control_stats.parks += 1;
+        self.control_stats.sealed_bytes += sealed.len() as u64;
+        if let Some(sess) = self.db_sessions.get_mut(name) {
+            sess.sealed = Some(sealed);
+        }
+        Ok(())
+    }
+
+    /// Close a DB session (live or parked), returning its backend so the
+    /// embedder can persist or migrate the tenant's protected database.
+    /// Retires any durable record (a replay is then rejected as stale).
+    pub fn db_close_session(&mut self, name: &str) -> Option<SharedBackend> {
+        let sess = self.db_sessions.remove(name)?;
+        if let Some(store) = &self.control.durable_parks {
+            store.remove_record(name);
+            store.bump(name);
+        }
+        if let Some(conn) = sess.conn {
+            let db_pages = u64::from(conn.page_count());
+            let _ = conn.close();
+            self.enclave
+                .epc()
+                .discard_range(sess.epc_base_page, db_pages + 1);
+        }
+        Some(sess.backend)
+    }
+
+    /// Number of open DB sessions (live + parked).
+    #[must_use]
+    pub fn db_session_count(&self) -> usize {
+        self.db_sessions.len()
+    }
+
+    /// Number of live (unparked) DB sessions.
+    #[must_use]
+    pub fn live_db_session_count(&self) -> usize {
+        self.db_sessions.values().filter(|s| s.is_live()).count()
+    }
+
+    /// Number of parked (connection closed, manifest sealed) DB sessions.
+    #[must_use]
+    pub fn parked_db_session_count(&self) -> usize {
+        self.db_sessions
+            .values()
+            .filter(|s| s.conn.is_none() && s.quarantined.is_none())
+            .count()
+    }
+
+    /// Whether a DB session is currently parked.
+    #[must_use]
+    pub fn db_session_parked(&self, name: &str) -> Option<bool> {
+        self.db_sessions.get(name).map(|s| s.conn.is_none())
+    }
+
+    /// Whether a DB session is quarantined (its park manifest failed to
+    /// restore).
+    #[must_use]
+    pub fn db_session_quarantined(&self, name: &str) -> Option<bool> {
+        self.db_sessions.get(name).map(|s| s.quarantined.is_some())
+    }
+
+    /// Names of the open DB sessions (unordered; includes parked).
+    #[must_use]
+    pub fn db_session_names(&self) -> Vec<&str> {
+        self.db_sessions.keys().map(String::as_str).collect()
+    }
+
+    /// Cumulative plan-cache counters for one DB session, surviving
+    /// park/restore cycles (counters of closed connections fold in).
+    #[must_use]
+    pub fn db_stmt_cache_stats(&self, name: &str) -> Option<StmtCacheStats> {
+        self.db_sessions.get(name).map(|s| {
+            s.conn
+                .as_ref()
+                .map_or(s.folded_stmt, |c| add_stmt(s.folded_stmt, c.stmt_cache_stats()))
+        })
+    }
+
+    /// Encode the park manifest: format byte 4, the database path, then
+    /// every database file (the database itself and, if a park interrupted
+    /// a transaction, its rollback journal) with its full contents read
+    /// back through the backend.
+    fn encode_db_manifest(
+        backend: &SharedBackend,
+        db_path: &str,
+    ) -> Result<Vec<u8>, TwineError> {
+        let mut out = vec![DB_MANIFEST_FORMAT];
+        out.extend_from_slice(&(db_path.len() as u32).to_le_bytes());
+        out.extend_from_slice(db_path.as_bytes());
+        let paths = [db_path.to_string(), format!("{db_path}-journal")];
+        let mut files: Vec<(String, Vec<u8>)> = Vec::new();
+        {
+            let mut b = backend.lock().unwrap();
+            for path in &paths {
+                if !b.exists(path) {
+                    continue;
+                }
+                let mut f = b
+                    .open(path, false, false)
+                    .map_err(|e| db_err("open", path, e))?;
+                let size = f.size().map_err(|e| db_err("size", path, e))?;
+                f.seek(0).map_err(|e| db_err("seek", path, e))?;
+                let mut data = vec![0u8; size as usize];
+                let mut done = 0;
+                while done < data.len() {
+                    let n = f
+                        .read(&mut data[done..])
+                        .map_err(|e| db_err("read", path, e))?;
+                    if n == 0 {
+                        break;
+                    }
+                    done += n;
+                }
+                files.push((path.clone(), data));
+            }
+        }
+        out.extend_from_slice(&(files.len() as u32).to_le_bytes());
+        for (path, data) in files {
+            out.extend_from_slice(&(path.len() as u32).to_le_bytes());
+            out.extend_from_slice(path.as_bytes());
+            out.extend_from_slice(&(data.len() as u64).to_le_bytes());
+            out.extend_from_slice(&data);
+        }
+        Ok(out)
+    }
+
+    /// Decode a park manifest into `(db_path, files)`. `None` on any
+    /// structural corruption.
+    fn decode_db_manifest(payload: &[u8]) -> Option<(String, ManifestFiles)> {
+        let rest = payload.strip_prefix(&[DB_MANIFEST_FORMAT])?;
+        let (path_len, rest) = read_u32(rest)?;
+        let (db_path, mut rest) = read_str(rest, path_len as usize)?;
+        let (count, r) = read_u32(rest)?;
+        rest = r;
+        let mut files = Vec::new();
+        for _ in 0..count {
+            let (plen, r) = read_u32(rest)?;
+            let (path, r) = read_str(r, plen as usize)?;
+            let (dlen, r) = read_u64(r)?;
+            if r.len() < dlen as usize {
+                return None;
+            }
+            let (data, r) = r.split_at(dlen as usize);
+            files.push((path, data.to_vec()));
+            rest = r;
+        }
+        Some((db_path, files))
+    }
+
+    /// Rebuild a DB session from a durable park record (dispatched by
+    /// [`TwineService::recover`] on format byte 4): write the manifest's
+    /// file images into a fresh protected backend and re-admit the
+    /// session **parked** — its first statement reopens the database
+    /// bit-identical to the durably parked state.
+    pub(crate) fn db_recover_record(
+        &mut self,
+        name: &str,
+        payload: &[u8],
+        sealed: Vec<u8>,
+    ) -> Result<(), TwineError> {
+        let (db_path, files) = Self::decode_db_manifest(payload).ok_or_else(|| {
+            TwineError::Session(format!("durable DB record for {name:?} is corrupt"))
+        })?;
+        let backend: SharedBackend = Arc::new(Mutex::new(make_backend(
+            self.tpl.fs,
+            &self.enclave,
+            self.tpl.pfs_mode,
+            self.tpl.pfs_cache_nodes,
+            self.profiler.clone(),
+        )));
+        {
+            let mut b = backend.lock().unwrap();
+            for (path, data) in &files {
+                let mut f = b
+                    .open(path, true, true)
+                    .map_err(|e| db_err("create", path, e))?;
+                let mut done = 0;
+                while done < data.len() {
+                    let n = f
+                        .write(&data[done..])
+                        .map_err(|e| db_err("write", path, e))?;
+                    if n == 0 {
+                        return Err(TwineError::Db(format!("short write on {path}")));
+                    }
+                    done += n;
+                }
+                f.sync().map_err(|e| db_err("sync", path, e))?;
+            }
+        }
+        let slot = self.epc_slots.fetch_add(1, Ordering::Relaxed);
+        let epc_base_page = (slot + 1) << 32;
+        self.use_seq += 1;
+        self.db_sessions.insert(
+            name.to_string(),
+            DbSession {
+                backend,
+                conn: None,
+                db_path,
+                epc_base_page,
+                last_use: self.use_seq,
+                sealed: Some(sealed),
+                folded_stmt: StmtCacheStats::default(),
+                statements: 0,
+                quarantined: None,
+            },
+        );
+        Ok(())
+    }
+}
+
+fn read_u32(b: &[u8]) -> Option<(u32, &[u8])> {
+    if b.len() < 4 {
+        return None;
+    }
+    let (n, rest) = b.split_at(4);
+    Some((u32::from_le_bytes(n.try_into().unwrap()), rest))
+}
+
+fn read_u64(b: &[u8]) -> Option<(u64, &[u8])> {
+    if b.len() < 8 {
+        return None;
+    }
+    let (n, rest) = b.split_at(8);
+    Some((u64::from_le_bytes(n.try_into().unwrap()), rest))
+}
+
+fn read_str(b: &[u8], len: usize) -> Option<(String, &[u8])> {
+    if b.len() < len {
+        return None;
+    }
+    let (s, rest) = b.split_at(len);
+    Some((String::from_utf8(s.to_vec()).ok()?, rest))
+}

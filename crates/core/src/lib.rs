@@ -50,6 +50,7 @@
 pub mod backend_host;
 pub mod backend_pfs;
 pub mod control;
+mod dbsession;
 pub mod durable;
 pub(crate) mod pool;
 pub mod provision;
@@ -66,4 +67,5 @@ pub use provision::{ApplicationProvider, EncryptedApp};
 pub use runtime::{FsChoice, Overload, RunReport, TwineApp, TwineBuilder, TwineError, TwineRuntime};
 pub use service::{ModuleCache, SessionStats, TwineService};
 pub use sharded::{ShardStats, ShardedService};
+pub use twine_sqldb::db::StmtCacheStats;
 pub use twine_wasm::ExecTier;

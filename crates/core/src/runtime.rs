@@ -85,6 +85,10 @@ pub enum TwineError {
     Provision(String),
     /// Session-layer failure (unknown or duplicate session name).
     Session(String),
+    /// Database-session failure: the tenant's protected database rejected
+    /// a statement (syntax, constraint, storage). The session itself stays
+    /// servable — DB errors are per-statement, not fatal.
+    Db(String),
     /// Admission control rejected the call: a bounded shard queue was
     /// full, or a per-tenant in-flight or fuel-rate cap was exceeded.
     /// Backpressure, not failure — the caller may retry later (see
@@ -135,6 +139,7 @@ impl core::fmt::Display for TwineError {
             TwineError::Sgx(e) => write!(f, "sgx error: {e}"),
             TwineError::Provision(m) => write!(f, "provisioning error: {m}"),
             TwineError::Session(m) => write!(f, "session error: {m}"),
+            TwineError::Db(m) => write!(f, "database error: {m}"),
             TwineError::Overloaded(o) => write!(f, "overloaded: {o}"),
             TwineError::Quarantined { session, reason } => {
                 write!(f, "session {session:?} quarantined: {reason}")

@@ -318,7 +318,7 @@ struct SessionCommon {
 
 /// One live tenant: a persistent instance + WASI context inside the
 /// service's enclave.
-struct Session {
+pub(crate) struct Session {
     instance: Instance,
     common: SessionCommon,
 }
@@ -327,7 +327,7 @@ struct Session {
 /// released. The WASI context (with the tenant's protected files) stays
 /// with the service — files are independently protected by the PFS layer;
 /// what the seal protects is the *guest memory image*.
-struct ParkedSession {
+pub(crate) struct ParkedSession {
     /// `seal(InstanceSnapshot::to_bytes)` of the state at park time.
     sealed: Vec<u8>,
     ctx: WasiCtx,
@@ -339,7 +339,7 @@ struct ParkedSession {
 // inline and hot (one invoke = one map lookup, no extra chase), and a
 // shard holds at most `max_live_sessions` of them.
 #[allow(clippy::large_enum_variant)]
-enum SessionSlot {
+pub(crate) enum SessionSlot {
     Live(Session),
     Parked(ParkedSession),
     /// A parked session whose image could not be restored (unsealing kept
@@ -419,28 +419,33 @@ impl SessionTemplate {
 /// assert_eq!(out[0], Value::I32(42));
 /// ```
 pub struct TwineService {
-    enclave: Arc<Enclave>,
+    pub(crate) enclave: Arc<Enclave>,
     processor: Processor,
     linker: Arc<Linker>,
     cache: Arc<ModuleCache>,
-    sessions: HashMap<String, SessionSlot>,
+    pub(crate) sessions: HashMap<String, SessionSlot>,
+    /// Tenant database sessions (DESIGN.md §13): each owns a private
+    /// protected backend holding its database, served through the same
+    /// park/evict/restore lifecycle as Wasm sessions. Disjoint namespace
+    /// check with `sessions` at open.
+    pub(crate) db_sessions: HashMap<String, crate::dbsession::DbSession>,
     /// Shared allocator of private EPC slots; slot `n` covers pages
     /// `[(n+1) << 32, ...)`. Shared (`Arc`) so the shards of a
     /// [`crate::ShardedService`] never hand two sessions aliasing ranges.
-    epc_slots: Arc<AtomicU64>,
+    pub(crate) epc_slots: Arc<AtomicU64>,
     /// Per-session construction template (from the builder).
-    tpl: SessionTemplate,
-    profiler: Option<PfsProfiler>,
+    pub(crate) tpl: SessionTemplate,
+    pub(crate) profiler: Option<PfsProfiler>,
     /// Control-plane policy (eviction, preemption, admission). Defaults
     /// are all-off: a default service behaves exactly like before the
     /// control plane existed.
-    control: ControlPlane,
+    pub(crate) control: ControlPlane,
     /// Shared epoch counter for asynchronous preemption; one counter is
     /// shared by every shard of a [`crate::ShardedService`].
     epoch: Arc<AtomicU64>,
     /// Monotonic use sequence feeding the LRU eviction policy.
-    use_seq: u64,
-    control_stats: ControlStats,
+    pub(crate) use_seq: u64,
+    pub(crate) control_stats: ControlStats,
     /// Pre-instantiated base-state slots (DESIGN.md §11); shared across
     /// the shards of a [`crate::ShardedService`]. Capacity 0 when pooling
     /// is off — every `put` then drops the instance.
@@ -471,6 +476,7 @@ impl TwineService {
             linker: Arc::new(base_linker()),
             cache,
             sessions: HashMap::new(),
+            db_sessions: HashMap::new(),
             epc_slots: Arc::new(AtomicU64::new(0)),
             tpl,
             profiler,
@@ -507,6 +513,7 @@ impl TwineService {
             linker,
             cache,
             sessions: HashMap::new(),
+            db_sessions: HashMap::new(),
             epc_slots,
             tpl,
             profiler,
@@ -583,8 +590,9 @@ impl TwineService {
     #[must_use]
     pub fn control_stats(&self) -> ControlStats {
         let mut stats = ControlStats {
-            live_sessions: self.live_session_count() as u64,
-            parked_sessions: self.parked_session_count() as u64,
+            live_sessions: (self.live_session_count() + self.live_db_session_count()) as u64,
+            parked_sessions: (self.parked_session_count() + self.parked_db_session_count())
+                as u64,
             ..self.control_stats
         };
         if self.fill_faults {
@@ -667,13 +675,13 @@ impl TwineService {
     /// The key protecting durable park-record files: derived from the
     /// processor + measurement (like sealing), so a restarted enclave of
     /// the same identity re-derives it and a different enclave cannot.
-    fn record_key(&self) -> [u8; 16] {
+    pub(crate) fn record_key(&self) -> [u8; 16] {
         self.enclave.get_key(KeyName::Seal, b"park-records")
     }
 
     /// Prefix `inner` with the durable freshness wrapper (format byte 3 +
     /// monotonic tag); identity when no durable store is configured.
-    fn wrap_freshness(tag: Option<u64>, inner: Vec<u8>) -> Vec<u8> {
+    pub(crate) fn wrap_freshness(tag: Option<u64>, inner: Vec<u8>) -> Vec<u8> {
         match tag {
             None => inner,
             Some(tag) => {
@@ -688,7 +696,7 @@ impl TwineService {
 
     /// Split a parked image into its freshness tag (if wrapped) and inner
     /// snapshot/delta payload.
-    fn unwrap_freshness(bytes: &[u8]) -> (Option<u64>, &[u8]) {
+    pub(crate) fn unwrap_freshness(bytes: &[u8]) -> (Option<u64>, &[u8]) {
         match bytes.split_first() {
             Some((3, rest)) if rest.len() >= 8 => {
                 let (tag, inner) = rest.split_at(8);
@@ -708,7 +716,7 @@ impl TwineService {
     /// [`TwineError::Session`] if the name is taken;
     /// [`TwineError::Module`] on decode/validate/instantiate failure.
     pub fn open_session(&mut self, name: &str, wasm: &[u8]) -> Result<&SessionStats, TwineError> {
-        if self.sessions.contains_key(name) {
+        if self.sessions.contains_key(name) || self.db_sessions.contains_key(name) {
             return Err(TwineError::Session(format!(
                 "session {name:?} already exists"
             )));
@@ -1334,7 +1342,7 @@ impl TwineService {
     /// reports pressure (live count over budget, or EPC residency over the
     /// watermark). `exclude` protects the session currently being served —
     /// eviction never races the in-flight invoke.
-    fn enforce_pressure(&mut self, exclude: Option<&str>) {
+    pub(crate) fn enforce_pressure(&mut self, exclude: Option<&str>) {
         // Pool capacity rides the same pressure signal the eviction policy
         // uses: when EPC residency crosses the watermark, idle
         // pre-instantiated slots are freed *before* any live tenant is
@@ -1343,23 +1351,34 @@ impl TwineService {
             self.pool.drain();
         }
         loop {
-            let live = self.live_session_count();
+            let live = self.live_session_count() + self.live_db_session_count();
             if live == 0 || !self.over_pressure(live) {
                 return;
             }
-            let victim = self
+            // One LRU policy across both session kinds: the victim is the
+            // least-recently-used live session, Wasm or database.
+            let wasm_victim = self
                 .sessions
                 .iter()
                 .filter(|(n, s)| {
                     matches!(s, SessionSlot::Live(_)) && exclude != Some(n.as_str())
                 })
                 .min_by_key(|(_, s)| s.common().last_use)
-                .map(|(n, _)| n.clone());
-            let Some(victim) = victim else {
+                .map(|(n, s)| (n.clone(), s.common().last_use));
+            let db_victim = self
+                .db_sessions
+                .iter()
+                .filter(|(n, d)| d.is_live() && exclude != Some(n.as_str()))
+                .min_by_key(|(_, d)| d.last_use)
+                .map(|(n, d)| (n.clone(), d.last_use));
+            let parked = match (wasm_victim, db_victim) {
+                (Some((w, wu)), Some((_, du))) if wu <= du => self.park_session(&w).is_ok(),
+                (_, Some((d, _))) => self.db_park_session(&d).is_ok(),
+                (Some((w, _)), None) => self.park_session(&w).is_ok(),
                 // Only the excluded session is live: nothing to park.
-                return;
+                (None, None) => return,
             };
-            if self.park_session(&victim).is_err() {
+            if !parked {
                 return;
             }
         }
@@ -1502,7 +1521,7 @@ impl TwineService {
         let key = self.record_key();
         let mut recovered = Vec::new();
         for name in store.session_names() {
-            if self.sessions.contains_key(&name) {
+            if self.sessions.contains_key(&name) || self.db_sessions.contains_key(&name) {
                 continue;
             }
             let (wasm, sealed) = store.read_record(&name, key).map_err(|e| {
@@ -1537,6 +1556,16 @@ impl TwineService {
                 });
             }
             store.fast_forward(&name, tag);
+            // Format byte 4: a database-session manifest. Rebuild the
+            // tenant's protected backend from the manifest's file images
+            // and re-admit the DB session parked — its first statement
+            // reopens the database bit-identical to the parked state.
+            if payload.first() == Some(&crate::dbsession::DB_MANIFEST_FORMAT) {
+                self.db_recover_record(&name, payload, sealed)?;
+                self.control_stats.recovered_sessions += 1;
+                recovered.push(name);
+                continue;
+            }
             let pooled = payload.first() == Some(&2);
 
             let (compiled, module_key, cache_hit) =

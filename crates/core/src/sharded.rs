@@ -148,6 +148,45 @@ enum Cmd {
     ShardStats {
         reply: Sender<Reply>,
     },
+    DbOpen {
+        name: String,
+        reply: Sender<Reply>,
+    },
+    DbExec {
+        name: String,
+        sql: String,
+        reply: Sender<Reply>,
+    },
+    DbQuery {
+        name: String,
+        sql: String,
+        reply: Sender<Reply>,
+    },
+    DbBatch {
+        name: String,
+        stmts: Vec<String>,
+        reply: Sender<Reply>,
+    },
+    DbPark {
+        name: String,
+        reply: Sender<Reply>,
+    },
+    DbClose {
+        name: String,
+        reply: Sender<Reply>,
+    },
+    DbParked {
+        name: String,
+        reply: Sender<Reply>,
+    },
+    DbStmtStats {
+        name: String,
+        reply: Sender<Reply>,
+    },
+    DbTables {
+        name: String,
+        reply: Sender<Reply>,
+    },
 }
 
 /// A shard worker's answer to one [`Cmd`] (variants mirror the commands).
@@ -163,6 +202,12 @@ enum Reply {
     Module(Option<Arc<twine_wasm::compile::CompiledModule>>),
     ShardStats(ShardStats),
     Control(ControlStats),
+    DbAffected(Result<u64, TwineError>),
+    DbRows(Result<Vec<twine_sqldb::value::Row>, TwineError>),
+    DbClose(Option<twine_sqldb::SharedBackend>),
+    DbParked(Option<bool>),
+    DbStmtStats(Option<twine_sqldb::db::StmtCacheStats>),
+    DbTables(Result<Vec<String>, TwineError>),
 }
 
 /// A shard's command queue sender: unbounded by default, bounded when the
@@ -725,6 +770,147 @@ impl ShardedService {
         }
     }
 
+    /// Open a named database session on the shard owning `name` (cold
+    /// path). See [`TwineService::db_open_session`].
+    pub fn db_open_session(&self, name: &str) -> Result<(), TwineError> {
+        match self.send_load(self.shard_of(name), |reply| Cmd::DbOpen {
+            name: name.to_string(),
+            reply,
+        })? {
+            Reply::Unit(r) => r,
+            _ => unreachable!("shard protocol mismatch"),
+        }
+    }
+
+    /// Execute one SQL statement on a session's database (warm path).
+    /// See [`TwineService::db_execute`].
+    pub fn db_execute(&self, name: &str, sql: &str) -> Result<u64, TwineError> {
+        let _guard = self.acquire_in_flight(name)?;
+        match self.send_load(self.shard_of(name), |reply| Cmd::DbExec {
+            name: name.to_string(),
+            sql: sql.to_string(),
+            reply,
+        })? {
+            Reply::DbAffected(r) => r,
+            _ => unreachable!("shard protocol mismatch"),
+        }
+    }
+
+    /// Execute one SQL statement and return its result rows. See
+    /// [`TwineService::db_query`].
+    pub fn db_query(
+        &self,
+        name: &str,
+        sql: &str,
+    ) -> Result<Vec<twine_sqldb::value::Row>, TwineError> {
+        let _guard = self.acquire_in_flight(name)?;
+        match self.send_load(self.shard_of(name), |reply| Cmd::DbQuery {
+            name: name.to_string(),
+            sql: sql.to_string(),
+            reply,
+        })? {
+            Reply::DbRows(r) => r,
+            _ => unreachable!("shard protocol mismatch"),
+        }
+    }
+
+    /// Execute a batch of statements in one shard round trip (the
+    /// transactional warm path: wrap the batch in BEGIN/COMMIT entries to
+    /// run it as one database transaction). Counts as one in-flight
+    /// command, like [`invoke_batch`](Self::invoke_batch). See
+    /// [`TwineService::db_execute_batch`].
+    pub fn db_execute_batch(
+        &self,
+        name: &str,
+        stmts: Vec<String>,
+    ) -> Result<u64, TwineError> {
+        let _guard = self.acquire_in_flight(name)?;
+        match self.send_load(self.shard_of(name), |reply| Cmd::DbBatch {
+            name: name.to_string(),
+            stmts,
+            reply,
+        })? {
+            Reply::DbAffected(r) => r,
+            _ => unreachable!("shard protocol mismatch"),
+        }
+    }
+
+    /// Names of the tables in a session's database schema. See
+    /// [`TwineService::db_table_names`].
+    pub fn db_table_names(&self, name: &str) -> Result<Vec<String>, TwineError> {
+        let _guard = self.acquire_in_flight(name)?;
+        match self.send_load(self.shard_of(name), |reply| Cmd::DbTables {
+            name: name.to_string(),
+            reply,
+        })? {
+            Reply::DbTables(r) => r,
+            _ => unreachable!("shard protocol mismatch"),
+        }
+    }
+
+    /// Park a database session (close its connection, seal its manifest,
+    /// release its EPC pages). See [`TwineService::db_park_session`].
+    pub fn db_park_session(&self, name: &str) -> Result<(), TwineError> {
+        match self.send(self.shard_of(name), |reply| Cmd::DbPark {
+            name: name.to_string(),
+            reply,
+        })? {
+            Reply::Unit(r) => r,
+            _ => unreachable!("shard protocol mismatch"),
+        }
+    }
+
+    /// Whether a database session is currently parked. See
+    /// [`TwineService::db_session_parked`].
+    #[must_use]
+    pub fn db_session_parked(&self, name: &str) -> Option<bool> {
+        match self.send(self.shard_of(name), |reply| Cmd::DbParked {
+            name: name.to_string(),
+            reply,
+        }) {
+            Ok(Reply::DbParked(r)) => r,
+            Ok(_) => unreachable!("shard protocol mismatch"),
+            Err(_) => None,
+        }
+    }
+
+    /// Cumulative plan-cache counters for one database session. See
+    /// [`TwineService::db_stmt_cache_stats`].
+    #[must_use]
+    pub fn db_stmt_cache_stats(
+        &self,
+        name: &str,
+    ) -> Option<twine_sqldb::db::StmtCacheStats> {
+        match self.send(self.shard_of(name), |reply| Cmd::DbStmtStats {
+            name: name.to_string(),
+            reply,
+        }) {
+            Ok(Reply::DbStmtStats(r)) => r,
+            Ok(_) => unreachable!("shard protocol mismatch"),
+            Err(_) => None,
+        }
+    }
+
+    /// Close a database session, returning its protected backend (the
+    /// tenant's database survives the session). Semantics mirror
+    /// [`close_session`](Self::close_session): `Ok(None)` = no such
+    /// session, `Err` = dead shard worker.
+    ///
+    /// # Errors
+    /// [`TwineError::Session`] if the shard worker is gone.
+    pub fn db_close_session(
+        &self,
+        name: &str,
+    ) -> Result<Option<twine_sqldb::SharedBackend>, TwineError> {
+        match self.send(self.shard_of(name), |reply| Cmd::DbClose {
+            name: name.to_string(),
+            reply,
+        })? {
+            Reply::DbClose(r) => Ok(r),
+            _ => unreachable!("shard protocol mismatch"),
+        }
+    }
+
     /// Open sessions (live + parked) across all shards.
     #[must_use]
     pub fn session_count(&self) -> usize {
@@ -869,10 +1055,40 @@ fn shard_main(mut shard: TwineService, rx: &Receiver<Cmd>, epoch_bump: Option<Ar
                     .and_then(|c0| Some(thread_cpu_ns()? - c0))
                     .unwrap_or(wall_busy_ns);
                 let _ = reply.send(Reply::ShardStats(ShardStats {
-                    sessions: shard.session_count(),
+                    sessions: shard.session_count() + shard.db_session_count(),
                     invocations,
                     busy_ns,
                 }));
+            }
+            Cmd::DbOpen { name, reply } => {
+                let _ = reply.send(Reply::Unit(shard.db_open_session(&name)));
+            }
+            Cmd::DbExec { name, sql, reply } => {
+                invocations += 1;
+                let _ = reply.send(Reply::DbAffected(shard.db_execute(&name, &sql)));
+            }
+            Cmd::DbQuery { name, sql, reply } => {
+                invocations += 1;
+                let _ = reply.send(Reply::DbRows(shard.db_query(&name, &sql)));
+            }
+            Cmd::DbBatch { name, stmts, reply } => {
+                invocations += stmts.len() as u64;
+                let _ = reply.send(Reply::DbAffected(shard.db_execute_batch(&name, &stmts)));
+            }
+            Cmd::DbPark { name, reply } => {
+                let _ = reply.send(Reply::Unit(shard.db_park_session(&name)));
+            }
+            Cmd::DbClose { name, reply } => {
+                let _ = reply.send(Reply::DbClose(shard.db_close_session(&name)));
+            }
+            Cmd::DbParked { name, reply } => {
+                let _ = reply.send(Reply::DbParked(shard.db_session_parked(&name)));
+            }
+            Cmd::DbStmtStats { name, reply } => {
+                let _ = reply.send(Reply::DbStmtStats(shard.db_stmt_cache_stats(&name)));
+            }
+            Cmd::DbTables { name, reply } => {
+                let _ = reply.send(Reply::DbTables(shard.db_table_names(&name)));
             }
         }
         wall_busy_ns += t0.elapsed().as_nanos() as u64;

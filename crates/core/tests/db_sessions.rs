@@ -1,0 +1,426 @@
+//! DB-as-a-service battery (DESIGN.md §13): multi-tenant isolation and
+//! the churn differential for tenant database sessions.
+//!
+//! Two properties, mirroring what `churn.rs`/`chaos.rs` prove for Wasm
+//! sessions:
+//!
+//! * **Isolation** — a tenant's session can never observe another
+//!   tenant's rows or files: every session owns a private protected
+//!   backend, and the database file inside it is invisible to every
+//!   other session (checked at the SQL surface *and* at the backend
+//!   file level).
+//! * **Churn differential** — a deterministic multi-tenant SQL workload
+//!   driven through [`ShardedService`] under a live-session budget of 1
+//!   (so every statement may evict someone, and parked sessions restore
+//!   transparently mid-workload) replays **bit-identically** to an
+//!   unbounded single-threaded oracle, at 1/4/8 shards, with and
+//!   without the chaos fault plan armed at every trust-boundary
+//!   crossing.
+//!
+//! Plus crash recovery: a durably-parked DB session survives a simulated
+//! enclave restart through [`TwineService::recover`] with its rows
+//! intact.
+
+use std::sync::Arc;
+
+use twine_core::{
+    ControlPlane, ControlStats, DurableParkStore, ShardedService, TwineBuilder, TwineService,
+};
+use twine_sgx::{FaultConfig, FaultPlan, Processor};
+use twine_sqldb::backend_vfs::BackendVfs;
+use twine_sqldb::value::{Row, SqlValue};
+use twine_sqldb::Connection;
+
+/// The chaos battery's seeded fault plan (the fig8 CI seed).
+const FAULT_SEED: u64 = 20_260_808;
+
+// ---------------------------------------------------------------------
+// Deterministic multi-tenant workload plan
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum Op {
+    Exec(String),
+    Batch(Vec<String>),
+    Query(String),
+    Park,
+}
+
+/// One guest-visible outcome; the differential compares these streams.
+#[derive(Debug, Clone, PartialEq)]
+enum Event {
+    Affected(u64),
+    Rows(Vec<Row>),
+    Parked,
+}
+
+struct Plan {
+    tenants: Vec<String>,
+    /// `(tenant index, op)` in oracle order; per-tenant order is what the
+    /// sharded clients preserve.
+    ops: Vec<(usize, Op)>,
+}
+
+/// A mixed deterministic workload: autocommitted inserts, explicit
+/// BEGIN/COMMIT transaction batches, range and aggregate queries, and
+/// explicit parks — interleaved round-robin across tenants.
+fn build_plan(tenants: usize, rounds: usize) -> Plan {
+    let names: Vec<String> = (0..tenants).map(|i| format!("db-{i}")).collect();
+    let mut ops = Vec::new();
+    for i in 0..tenants {
+        ops.push((
+            i,
+            Op::Exec("CREATE TABLE kv(a INTEGER, b INTEGER, c TEXT)".into()),
+        ));
+    }
+    for j in 0..rounds {
+        for i in 0..tenants {
+            let op = match (i * 7 + j * 3) % 8 {
+                0..=2 => Op::Exec(format!(
+                    "INSERT INTO kv VALUES({j}, {}, 'v{i}_{j}')",
+                    i as i64 * 1000 + j as i64
+                )),
+                3 => Op::Batch(vec![
+                    "BEGIN".into(),
+                    format!("INSERT INTO kv VALUES({}, {i}, 'tx{i}_{j}')", 100_000 + j),
+                    format!("UPDATE kv SET b = b + 1 WHERE a = {j}"),
+                    "COMMIT".into(),
+                ]),
+                4..=5 => Op::Query(format!("SELECT a, b, c FROM kv WHERE a <= {j}")),
+                6 => Op::Query("SELECT count(*) FROM kv".into()),
+                _ => Op::Park,
+            };
+            ops.push((i, op));
+        }
+    }
+    Plan {
+        tenants: names,
+        ops,
+    }
+}
+
+fn apply_single(svc: &mut TwineService, name: &str, op: &Op) -> Event {
+    match op {
+        Op::Exec(sql) => Event::Affected(svc.db_execute(name, sql).expect("oracle exec")),
+        Op::Batch(stmts) => {
+            Event::Affected(svc.db_execute_batch(name, stmts).expect("oracle batch"))
+        }
+        Op::Query(sql) => Event::Rows(svc.db_query(name, sql).expect("oracle query")),
+        Op::Park => {
+            svc.db_park_session(name).expect("oracle park");
+            Event::Parked
+        }
+    }
+}
+
+fn apply_sharded(svc: &ShardedService, name: &str, op: &Op) -> Event {
+    match op {
+        Op::Exec(sql) => Event::Affected(svc.db_execute(name, sql).expect("sharded exec")),
+        Op::Batch(stmts) => Event::Affected(
+            svc.db_execute_batch(name, stmts.clone())
+                .expect("sharded batch"),
+        ),
+        Op::Query(sql) => Event::Rows(svc.db_query(name, sql).expect("sharded query")),
+        Op::Park => {
+            svc.db_park_session(name).expect("sharded park");
+            Event::Parked
+        }
+    }
+}
+
+/// The unbounded, unfaulted, single-threaded oracle.
+fn run_oracle(plan: &Plan) -> Vec<Vec<Event>> {
+    let mut svc = TwineBuilder::new().build_service();
+    let mut seqs: Vec<Vec<Event>> = vec![Vec::new(); plan.tenants.len()];
+    for name in &plan.tenants {
+        svc.db_open_session(name).expect("oracle open");
+    }
+    for (i, op) in &plan.ops {
+        seqs[*i].push(apply_single(&mut svc, &plan.tenants[*i], op));
+    }
+    seqs
+}
+
+/// Drive the plan through a sharded fleet under a live-session budget of
+/// 1 (maximal eviction churn), from `clients` threads owning disjoint
+/// tenant subsets, optionally with the chaos fault plan armed.
+fn run_sharded_churn(
+    plan: &Plan,
+    shards: usize,
+    clients: usize,
+    fault_seed: Option<u64>,
+) -> (Vec<Vec<Event>>, ControlStats) {
+    let control = ControlPlane {
+        max_live_sessions: Some(1),
+        ..ControlPlane::default()
+    };
+    let mut builder = TwineBuilder::new().control_plane(control);
+    if let Some(seed) = fault_seed {
+        builder = builder.faults(Arc::new(FaultPlan::new(FaultConfig::chaos(seed))));
+    }
+    let svc = Arc::new(builder.build_sharded(shards));
+    for name in &plan.tenants {
+        svc.db_open_session(name).expect("sharded open");
+    }
+    let mut handles = Vec::new();
+    for c in 0..clients {
+        let svc = Arc::clone(&svc);
+        let mine: Vec<usize> = (0..plan.tenants.len()).filter(|i| i % clients == c).collect();
+        let ops: Vec<(usize, Op)> = plan
+            .ops
+            .iter()
+            .filter(|(i, _)| mine.contains(i))
+            .cloned()
+            .collect();
+        let tenants = plan.tenants.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut seqs: Vec<(usize, Vec<Event>)> =
+                mine.iter().map(|&i| (i, Vec::new())).collect();
+            let at = |i: usize| mine.iter().position(|&m| m == i).expect("own tenant");
+            for (i, op) in &ops {
+                let ev = apply_sharded(&svc, &tenants[*i], op);
+                seqs[at(*i)].1.push(ev);
+            }
+            seqs
+        }));
+    }
+    let mut seqs: Vec<Vec<Event>> = vec![Vec::new(); plan.tenants.len()];
+    for h in handles {
+        for (i, seq) in h.join().expect("client thread") {
+            seqs[i] = seq;
+        }
+    }
+    let stats = svc.control_stats();
+    (seqs, stats)
+}
+
+fn assert_churn_matches(shards: usize, clients: usize, fault_seed: Option<u64>) -> ControlStats {
+    // Enough tenants that every shard holds several DB sessions — the
+    // eviction budget of 1 then forces continuous park/restore churn.
+    let tenants = (2 * shards).max(6);
+    let plan = build_plan(tenants, 12);
+    let (churned, stats) = run_sharded_churn(&plan, shards, clients, fault_seed);
+    let oracle = run_oracle(&plan);
+    for (i, name) in plan.tenants.iter().enumerate() {
+        assert_eq!(
+            churned[i], oracle[i],
+            "per-tenant SQL stream diverged for {name} \
+             ({shards} shards, eviction budget 1, faults {fault_seed:?})"
+        );
+    }
+    assert!(
+        stats.parks > tenants as u64,
+        "budget-1 churn must evict beyond the explicit parks: {stats:?}"
+    );
+    assert!(stats.restores > 0, "parked sessions must restore: {stats:?}");
+    // Note: under an eviction budget of 1 nearly every statement follows
+    // a park that closed the connection — and with it its plan cache — so
+    // cache hits are *not* asserted here (the cache's warm-path behaviour
+    // is covered by `stmt_cache_stats_survive_park_and_restore`).
+    assert_eq!(stats.quarantines, 0, "no session may be damaged: {stats:?}");
+    stats
+}
+
+// ---------------------------------------------------------------------
+// Churn differentials (1 / 4 / 8 shards, then under the fault seed)
+// ---------------------------------------------------------------------
+
+#[test]
+fn db_churn_single_shard_is_bit_identical() {
+    assert_churn_matches(1, 1, None);
+}
+
+#[test]
+fn db_churn_four_shards_is_bit_identical() {
+    assert_churn_matches(4, 3, None);
+}
+
+#[test]
+fn db_churn_eight_shards_is_bit_identical() {
+    assert_churn_matches(8, 4, None);
+}
+
+#[test]
+fn db_churn_under_chaos_faults_is_bit_identical() {
+    let stats = assert_churn_matches(4, 3, Some(FAULT_SEED));
+    assert!(
+        stats.faults_injected > 0,
+        "the seeded chaos schedule must actually fire: {stats:?}"
+    );
+    assert!(
+        stats.retries > 0,
+        "transient faults must be absorbed by retries: {stats:?}"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Multi-tenant isolation
+// ---------------------------------------------------------------------
+
+/// Tenant A's statements can never observe tenant B's rows — at the SQL
+/// surface (B's tables don't exist for A) and at the file level (each
+/// session's database lives in its own private backend).
+#[test]
+fn tenants_never_observe_each_other() {
+    let mut svc = TwineBuilder::new().build_service();
+    svc.db_open_session("alice").expect("open alice");
+    svc.db_open_session("bob").expect("open bob");
+
+    svc.db_execute("alice", "CREATE TABLE secret(x INTEGER)").expect("ddl");
+    svc.db_execute_batch(
+        "alice",
+        &[
+            "BEGIN".into(),
+            "INSERT INTO secret VALUES(1)".into(),
+            "INSERT INTO secret VALUES(2)".into(),
+            "COMMIT".into(),
+        ],
+    )
+    .expect("alice insert");
+
+    // Bob's namespace has no `secret` table at all — Alice's schema is
+    // invisible, not merely empty.
+    assert!(
+        svc.db_query("bob", "SELECT x FROM secret").is_err(),
+        "bob must not see alice's table"
+    );
+
+    // Same-named tables are fully independent.
+    svc.db_execute("bob", "CREATE TABLE secret(x INTEGER)").expect("ddl");
+    svc.db_execute("bob", "INSERT INTO secret VALUES(99)").expect("bob insert");
+    let bob = svc.db_query("bob", "SELECT x FROM secret").expect("bob query");
+    assert_eq!(bob, vec![vec![SqlValue::Int(99)]]);
+    let alice = svc.db_query("alice", "SELECT x FROM secret").expect("alice query");
+    assert_eq!(alice, vec![vec![SqlValue::Int(1)], vec![SqlValue::Int(2)]]);
+
+    // Parking Alice (sealing her database out of the enclave) leaves Bob
+    // untouched, and Alice restores to exactly her own rows.
+    svc.db_park_session("alice").expect("park alice");
+    assert_eq!(svc.db_session_parked("alice"), Some(true));
+    let bob = svc.db_query("bob", "SELECT x FROM secret").expect("bob query");
+    assert_eq!(bob, vec![vec![SqlValue::Int(99)]]);
+    let alice = svc.db_query("alice", "SELECT x FROM secret").expect("alice restore");
+    assert_eq!(alice, vec![vec![SqlValue::Int(1)], vec![SqlValue::Int(2)]]);
+
+    // File level: each tenant's database is a different file in a
+    // different private backend — reopening each returned backend shows
+    // only that tenant's rows.
+    let alice_backend = svc.db_close_session("alice").expect("close alice");
+    let bob_backend = svc.db_close_session("bob").expect("close bob");
+    for (backend, want) in [
+        (alice_backend, vec![vec![SqlValue::Int(1)], vec![SqlValue::Int(2)]]),
+        (bob_backend, vec![vec![SqlValue::Int(99)]]),
+    ] {
+        let vfs = BackendVfs::from_shared(backend);
+        let mut conn =
+            Connection::open(Box::new(vfs), "/data/tenant.db").expect("reopen backend");
+        let rows = conn.execute("SELECT x FROM secret").expect("reopen query").rows;
+        assert_eq!(rows, want, "backend carries exactly its own tenant's rows");
+    }
+}
+
+/// DB sessions share the Wasm sessions' name space: a name collision is
+/// rejected in both directions.
+#[test]
+fn db_and_wasm_sessions_share_a_namespace() {
+    let wasm = twine_minicc::compile_to_bytes("int f(int x) { return x + 1; }").unwrap();
+    let mut svc = TwineBuilder::new().build_service();
+    svc.open_session("t", &wasm).expect("wasm open");
+    assert!(svc.db_open_session("t").is_err(), "db open must collide");
+    svc.db_open_session("u").expect("db open");
+    assert!(svc.open_session("u", &wasm).is_err(), "wasm open must collide");
+}
+
+// ---------------------------------------------------------------------
+// Plan-cache counters across the session lifecycle
+// ---------------------------------------------------------------------
+
+/// Per-session plan-cache counters accumulate across park/restore cycles
+/// (the park folds the closed connection's counters into the session).
+#[test]
+fn stmt_cache_stats_survive_park_and_restore() {
+    let mut svc = TwineBuilder::new().build_service();
+    svc.db_open_session("t").expect("open");
+    svc.db_execute("t", "CREATE TABLE kv(a INTEGER)").expect("ddl");
+    for _ in 0..5 {
+        svc.db_query("t", "SELECT count(*) FROM kv").expect("query");
+    }
+    let before = svc.db_stmt_cache_stats("t").expect("stats");
+    assert!(before.hits >= 4, "repeated text must hit: {before:?}");
+
+    svc.db_park_session("t").expect("park");
+    let parked = svc.db_stmt_cache_stats("t").expect("stats while parked");
+    assert_eq!(parked.hits, before.hits, "folded counters survive the park");
+
+    svc.db_query("t", "SELECT count(*) FROM kv").expect("restore query");
+    let after = svc.db_stmt_cache_stats("t").expect("stats after restore");
+    assert!(
+        after.hits + after.misses > parked.hits + parked.misses,
+        "post-restore statements keep accumulating: {after:?}"
+    );
+    let control = svc.control_stats();
+    assert!(control.db_statements > 0);
+    assert!(control.stmt_cache_hits >= before.hits);
+}
+
+// ---------------------------------------------------------------------
+// Crash recovery for durably-parked DB sessions
+// ---------------------------------------------------------------------
+
+/// A durably-parked DB session survives a simulated enclave crash: the
+/// revived service rebuilds the tenant's protected backend from the
+/// sealed manifest and its first statement serves exactly the parked
+/// rows.
+#[test]
+fn durable_db_park_recovers_after_crash() {
+    let store = DurableParkStore::new();
+    let processor = Processor::new(21);
+    let control = ControlPlane {
+        durable_parks: Some(store.clone()),
+        ..ControlPlane::default()
+    };
+
+    let mut svc = TwineBuilder::new()
+        .processor(processor.clone())
+        .control_plane(control.clone())
+        .build_service();
+    svc.db_open_session("t").expect("open");
+    svc.db_execute("t", "CREATE TABLE kv(a INTEGER, c TEXT)").expect("ddl");
+    svc.db_execute_batch(
+        "t",
+        &[
+            "BEGIN".into(),
+            "INSERT INTO kv VALUES(1, 'one')".into(),
+            "INSERT INTO kv VALUES(2, 'two')".into(),
+            "COMMIT".into(),
+        ],
+    )
+    .expect("insert");
+    svc.db_park_session("t").expect("park");
+    assert_eq!(store.record_count(), 1, "the park wrote a durable record");
+
+    // Crash: only the processor and the untrusted record store survive.
+    drop(svc);
+
+    let mut revived = TwineBuilder::new()
+        .processor(processor)
+        .control_plane(control)
+        .build_service();
+    let recovered = revived.recover().expect("recovery succeeds");
+    assert_eq!(recovered, vec!["t".to_string()]);
+    assert_eq!(revived.control_stats().recovered_sessions, 1);
+    assert_eq!(revived.db_session_parked("t"), Some(true));
+    let rows = revived.db_query("t", "SELECT a, c FROM kv").expect("query after recover");
+    assert_eq!(
+        rows,
+        vec![
+            vec![SqlValue::Int(1), SqlValue::Text("one".into())],
+            vec![SqlValue::Int(2), SqlValue::Text("two".into())],
+        ]
+    );
+    // The recovered session is a full citizen: it parks durably again.
+    revived.db_park_session("t").expect("re-park");
+    assert_eq!(store.record_count(), 1);
+    // recover() is idempotent for sessions that are already admitted.
+    assert_eq!(revived.recover().expect("second recovery"), Vec::<String>::new());
+}

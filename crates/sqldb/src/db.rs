@@ -1,4 +1,8 @@
-//! The connection: statement dispatch, autocommit, and configuration.
+//! The connection: statement dispatch, autocommit, plan caching, and
+//! configuration.
+
+use std::collections::HashMap;
+use std::sync::Arc;
 
 use crate::exec::{execute, ExecResult};
 use crate::pager::{PageHook, Pager, PagerStats};
@@ -8,11 +12,35 @@ use crate::value::Row;
 use crate::vfs::Vfs;
 use crate::{DbError, DbResult};
 
+/// Default bound on cached prepared statements per connection.
+pub const DEFAULT_PLAN_CACHE: usize = 64;
+
+/// Plan-cache counters (the warm-path replanning gauge).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StmtCacheStats {
+    /// Executions served from the plan cache (no parser work).
+    pub hits: u64,
+    /// Executions whose SQL text was not cached.
+    pub misses: u64,
+    /// Actual parser invocations — tests pin "zero parser work on warm
+    /// statements" on this counter.
+    pub parses: u64,
+    /// Cached plans dropped by the capacity bound.
+    pub evictions: u64,
+}
+
 /// A database connection (single-threaded, like an SQLite handle).
 pub struct Connection {
     pager: Pager,
     schema: Schema,
     explicit_txn: bool,
+    /// Prepared-statement cache: SQL text → (plan, last-use tick). Plans
+    /// are schema-independent ASTs (name binding happens at execution),
+    /// so no invalidation is needed on DDL.
+    plans: HashMap<String, (Arc<Stmt>, u64)>,
+    plan_tick: u64,
+    plan_cache_cap: usize,
+    stmt_stats: StmtCacheStats,
 }
 
 impl Connection {
@@ -27,6 +55,10 @@ impl Connection {
             pager,
             schema: Schema::default(),
             explicit_txn: false,
+            plans: HashMap::new(),
+            plan_tick: 0,
+            plan_cache_cap: DEFAULT_PLAN_CACHE,
+            stmt_stats: StmtCacheStats::default(),
         }
     }
 
@@ -43,6 +75,10 @@ impl Connection {
             pager,
             schema,
             explicit_txn: false,
+            plans: HashMap::new(),
+            plan_tick: 0,
+            plan_cache_cap: DEFAULT_PLAN_CACHE,
+            stmt_stats: StmtCacheStats::default(),
         })
     }
 
@@ -74,9 +110,73 @@ impl Connection {
         &self.schema
     }
 
+    /// Plan-cache counters.
+    #[must_use]
+    pub fn stmt_cache_stats(&self) -> StmtCacheStats {
+        self.stmt_stats
+    }
+
+    /// Number of plans currently cached.
+    #[must_use]
+    pub fn cached_plans(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// Bound the plan cache (0 disables caching entirely).
+    pub fn set_plan_cache_capacity(&mut self, cap: usize) {
+        self.plan_cache_cap = cap;
+        while self.plans.len() > cap {
+            if let Some(victim) = self
+                .plans
+                .iter()
+                .min_by_key(|(_, (_, t))| *t)
+                .map(|(k, _)| k.clone())
+            {
+                self.plans.remove(&victim);
+                self.stmt_stats.evictions += 1;
+            }
+        }
+    }
+
+    /// Prepare one statement, fetching from the plan cache when the SQL
+    /// text was seen before — warm executions skip the lexer and parser
+    /// entirely.
+    pub fn prepare(&mut self, sql: &str) -> DbResult<Arc<Stmt>> {
+        self.plan_tick += 1;
+        let tick = self.plan_tick;
+        if let Some((stmt, last)) = self.plans.get_mut(sql) {
+            *last = tick;
+            self.stmt_stats.hits += 1;
+            return Ok(stmt.clone());
+        }
+        self.stmt_stats.misses += 1;
+        self.stmt_stats.parses += 1;
+        let stmt = Arc::new(parse(sql)?);
+        if self.plan_cache_cap > 0 {
+            if self.plans.len() >= self.plan_cache_cap {
+                if let Some(victim) = self
+                    .plans
+                    .iter()
+                    .min_by_key(|(_, (_, t))| *t)
+                    .map(|(k, _)| k.clone())
+                {
+                    self.plans.remove(&victim);
+                    self.stmt_stats.evictions += 1;
+                }
+            }
+            self.plans.insert(sql.to_string(), (stmt.clone(), tick));
+        }
+        Ok(stmt)
+    }
+
     /// Execute one statement, returning the full result.
     pub fn execute(&mut self, sql: &str) -> DbResult<ExecResult> {
-        let stmt = parse(sql)?;
+        let stmt = self.prepare(sql)?;
+        self.execute_stmt(&stmt)
+    }
+
+    /// Execute a prepared statement (see [`Connection::prepare`]).
+    pub fn execute_stmt(&mut self, stmt: &Stmt) -> DbResult<ExecResult> {
         match stmt {
             Stmt::Begin => {
                 if self.explicit_txn {
@@ -104,15 +204,19 @@ impl Connection {
                 self.schema = schema::load_schema(&mut self.pager)?;
                 Ok(ExecResult::default())
             }
-            Stmt::Pragma { ref name, ref value } => {
+            Stmt::Pragma { name, value } => {
                 if name.eq_ignore_ascii_case("cache_size") {
                     if let Some(v) = value.as_ref().and_then(|v| v.parse::<i64>().ok()) {
                         self.set_cache_pages(v.unsigned_abs() as usize);
                     }
+                } else if name.eq_ignore_ascii_case("plan_cache_size") {
+                    if let Some(v) = value.as_ref().and_then(|v| v.parse::<i64>().ok()) {
+                        self.set_plan_cache_capacity(v.unsigned_abs() as usize);
+                    }
                 }
                 Ok(ExecResult::default())
             }
-            other => self.run_dml(&other),
+            other => self.run_dml(other),
         }
     }
 
@@ -156,5 +260,53 @@ impl Connection {
             self.pager.commit()?;
         }
         self.pager.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::SqlValue;
+
+    #[test]
+    fn warm_execution_skips_parser() {
+        let mut db = Connection::open_memory();
+        db.execute("CREATE TABLE t (a INTEGER)").unwrap();
+        let before = db.stmt_cache_stats().parses;
+        db.execute("INSERT INTO t VALUES(1)").unwrap();
+        assert_eq!(db.stmt_cache_stats().parses, before + 1);
+        db.execute("INSERT INTO t VALUES(1)").unwrap();
+        assert_eq!(
+            db.stmt_cache_stats().parses,
+            before + 1,
+            "second execution of identical SQL must do zero parser work"
+        );
+        assert!(db.stmt_cache_stats().hits >= 1);
+    }
+
+    #[test]
+    fn plan_cache_is_bounded() {
+        let mut db = Connection::open_memory();
+        db.set_plan_cache_capacity(4);
+        db.execute("CREATE TABLE t (a INTEGER)").unwrap();
+        for i in 0..40 {
+            db.execute(&format!("INSERT INTO t VALUES({i})")).unwrap();
+        }
+        assert!(db.cached_plans() <= 4);
+        assert!(db.stmt_cache_stats().evictions > 0);
+    }
+
+    #[test]
+    fn prepared_statement_reuse() {
+        let mut db = Connection::open_memory();
+        db.execute("CREATE TABLE t (a INTEGER)").unwrap();
+        let ins = db.prepare("INSERT INTO t VALUES(7)").unwrap();
+        for _ in 0..3 {
+            db.execute_stmt(&ins).unwrap();
+        }
+        assert_eq!(
+            db.query_scalar("SELECT COUNT(*) FROM t").unwrap(),
+            SqlValue::Int(3)
+        );
     }
 }

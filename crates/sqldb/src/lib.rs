@@ -33,13 +33,15 @@
 //! assert_eq!(rows[0][0], SqlValue::Text("world".into()));
 //! ```
 //!
-//! **Dependency graph**: leaf crate (no `twine-*` dependencies); its VFS
-//! seam is where `twine-baselines` plugs in the protected-fs variants.
-//! Consumed by `twine-baselines` and `twine-bench`. Paper anchor: §V-C/D.
+//! **Dependency graph**: depends only on `twine-wasi` (for the
+//! [`backend_vfs`] adapter that lets a database live inside a session's
+//! file-system backend) and `rand`. Consumed by `twine-core`,
+//! `twine-baselines` and `twine-bench`. Paper anchor: §V-C/D.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend_vfs;
 pub mod btree;
 pub mod db;
 pub mod exec;
@@ -52,7 +54,9 @@ pub mod sql;
 pub mod value;
 pub mod vfs;
 
-pub use db::Connection;
+pub use backend_vfs::{BackendVfs, SharedBackend};
+pub use db::{Connection, StmtCacheStats};
+pub use speedtest::SqlExecutor;
 pub use value::SqlValue;
 pub use vfs::{MemVfs, Vfs, VfsFile};
 

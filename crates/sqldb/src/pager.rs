@@ -22,6 +22,13 @@ const JOURNAL_MAGIC: &[u8; 8] = b"twjrnl1\0";
 /// Maximum freelist entries storable in the header page.
 const MAX_FREELIST: usize = (PAGE_SIZE - 64) / 4;
 
+/// Magic tag of a freelist trunk page (overflow freelist storage).
+const TRUNK_MAGIC: &[u8; 4] = b"FLT1";
+
+/// Freelist ids per trunk page: 4-byte magic + 4-byte next pointer +
+/// 4-byte count, then packed ids.
+const TRUNK_CAP: usize = (PAGE_SIZE - 12) / 4;
+
 type PageBuf = Box<[u8; PAGE_SIZE]>;
 
 fn new_page() -> PageBuf {
@@ -29,8 +36,9 @@ fn new_page() -> PageBuf {
 }
 
 /// Observation hook: `(page_id, is_write)` for every cache miss/flush —
-/// the seam the EPC simulator and I/O accounting attach to.
-pub type PageHook = Box<dyn FnMut(PageId, bool)>;
+/// the seam the EPC simulator and I/O accounting attach to. `Send` so a
+/// connection (hook included) can live on a service worker thread.
+pub type PageHook = Box<dyn FnMut(PageId, bool) + Send>;
 
 struct CacheSlot {
     id: PageId,
@@ -53,6 +61,10 @@ pub struct PagerStats {
     pub syncs: u64,
     /// Journal page writes.
     pub journal_writes: u64,
+    /// Page ids dropped from freelist tracking. The overflow trunk chain
+    /// makes the freelist unbounded, so this must stay 0 — it exists as a
+    /// regression gauge for the historical `MAX_FREELIST` drop bug.
+    pub leaked_pages: u64,
 }
 
 /// The pager.
@@ -74,9 +86,14 @@ pub struct Pager {
     mem_undo: HashMap<PageId, Option<PageBuf>>,
     n_pages: u32,
     freelist: Vec<PageId>,
+    /// Pages currently holding overflow freelist storage (the on-disk
+    /// trunk chain); disjoint from `freelist` and never handed out by
+    /// `allocate` until `plan_spill` returns them.
+    freelist_trunks: Vec<PageId>,
     in_txn: bool,
     journaled: HashSet<PageId>,
     txn_start_n_pages: u32,
+    txn_start_freelist: Vec<PageId>,
     /// Statistics.
     pub stats: PagerStats,
     hook: Option<PageHook>,
@@ -127,9 +144,11 @@ impl Pager {
             mem_undo: HashMap::new(),
             n_pages: 0,
             freelist: Vec::new(),
+            freelist_trunks: Vec::new(),
             in_txn: false,
             journaled: HashSet::new(),
             txn_start_n_pages: 0,
+            txn_start_freelist: Vec::new(),
             stats: PagerStats::default(),
             hook: None,
         }
@@ -138,6 +157,7 @@ impl Pager {
     fn init_fresh(&mut self) {
         self.n_pages = 1; // header page
         self.freelist.clear();
+        self.freelist_trunks.clear();
     }
 
     /// Whether this is an in-memory database.
@@ -172,21 +192,72 @@ impl Pager {
     // Header
     // ------------------------------------------------------------------
 
+    /// Rebalance the freelist between header storage and overflow trunk
+    /// pages so no id is ever dropped. Trunk pages are drawn from (and
+    /// returned to) the freelist itself, so the file never grows just to
+    /// record free pages. Idempotent: re-running on a balanced state is a
+    /// no-op, which keeps the post-commit in-memory state bit-identical
+    /// to what `read_header` reconstructs after a reopen.
+    fn plan_spill(&mut self) {
+        if self.is_memory() {
+            return;
+        }
+        while self.freelist.len() > MAX_FREELIST + self.freelist_trunks.len() * TRUNK_CAP {
+            let t = self.freelist.pop().expect("overflowing freelist is non-empty");
+            self.freelist_trunks.push(t);
+        }
+        while let Some(&last) = self.freelist_trunks.last() {
+            if self.freelist.len() < MAX_FREELIST + (self.freelist_trunks.len() - 1) * TRUNK_CAP {
+                self.freelist_trunks.pop();
+                self.freelist.push(last);
+            } else {
+                break;
+            }
+        }
+    }
+
     fn write_header(&mut self) -> DbResult<()> {
+        self.plan_spill();
         let mut buf = new_page();
         buf[..16].copy_from_slice(HEADER_MAGIC);
         buf[16..20].copy_from_slice(&self.n_pages.to_le_bytes());
-        let n_free = self.freelist.len().min(MAX_FREELIST);
-        buf[20..24].copy_from_slice(&(n_free as u32).to_le_bytes());
-        for (i, id) in self.freelist.iter().take(MAX_FREELIST).enumerate() {
+        let in_header = self.freelist.len().min(MAX_FREELIST);
+        buf[20..24].copy_from_slice(&(in_header as u32).to_le_bytes());
+        let trunk_head = self.freelist_trunks.first().copied().unwrap_or(0);
+        buf[24..28].copy_from_slice(&trunk_head.to_le_bytes());
+        for (i, id) in self.freelist.iter().take(in_header).enumerate() {
             buf[64 + i * 4..64 + i * 4 + 4].copy_from_slice(&id.to_le_bytes());
         }
-        if let Some(f) = self.file.as_mut() {
-            f.write_at(0, &buf[..])?;
-            self.stats.page_writes += 1;
-        } else {
+        if self.file.is_none() {
             self.mem_pages[0] = Some(buf);
+            return Ok(());
         }
+        // Spill freelist[MAX_FREELIST..] across the trunk chain, in order,
+        // so reopen reconstructs the exact allocation order.
+        let trunks = self.freelist_trunks.clone();
+        for (i, &t) in trunks.iter().enumerate() {
+            let lo = (MAX_FREELIST + i * TRUNK_CAP).min(self.freelist.len());
+            let hi = (MAX_FREELIST + (i + 1) * TRUNK_CAP).min(self.freelist.len());
+            let mut tb = new_page();
+            tb[..4].copy_from_slice(TRUNK_MAGIC);
+            let next = trunks.get(i + 1).copied().unwrap_or(0);
+            tb[4..8].copy_from_slice(&next.to_le_bytes());
+            tb[8..12].copy_from_slice(&((hi - lo) as u32).to_le_bytes());
+            for (k, id) in self.freelist[lo..hi].iter().enumerate() {
+                tb[12 + k * 4..12 + k * 4 + 4].copy_from_slice(&id.to_le_bytes());
+            }
+            // A stale cached copy of this page must not shadow the write.
+            if let Some(slot) = self.map.remove(&t) {
+                self.slots[slot].occupied = false;
+                self.slots[slot].dirty = false;
+            }
+            let f = self.file.as_mut().expect("file");
+            f.write_at(u64::from(t - 1) * PAGE_SIZE as u64, &tb[..])?;
+            self.stats.page_writes += 1;
+        }
+        let f = self.file.as_mut().expect("file");
+        f.write_at(0, &buf[..])?;
+        self.stats.page_writes += 1;
         Ok(())
     }
 
@@ -206,6 +277,34 @@ impl Pager {
         self.freelist = (0..n_free)
             .map(|i| u32::from_le_bytes(buf[64 + i * 4..64 + i * 4 + 4].try_into().expect("4")))
             .collect();
+        // Walk the overflow trunk chain. A zero head pointer means no
+        // overflow — also the value found in pre-chain files, which keeps
+        // them readable.
+        self.freelist_trunks.clear();
+        let mut t = u32::from_le_bytes(buf[24..28].try_into().expect("4"));
+        let mut tb = new_page();
+        while t != 0 {
+            if t > self.n_pages || self.freelist_trunks.len() as u32 >= self.n_pages {
+                return Err(DbError::Storage("corrupt freelist trunk chain".into()));
+            }
+            let f = self.file.as_mut().expect("file-backed");
+            f.read_at(u64::from(t - 1) * PAGE_SIZE as u64, &mut tb[..])?;
+            self.stats.page_reads += 1;
+            if &tb[..4] != TRUNK_MAGIC {
+                return Err(DbError::Storage("corrupt freelist trunk page".into()));
+            }
+            let next = u32::from_le_bytes(tb[4..8].try_into().expect("4"));
+            let count = u32::from_le_bytes(tb[8..12].try_into().expect("4")) as usize;
+            if count > TRUNK_CAP {
+                return Err(DbError::Storage("corrupt freelist trunk count".into()));
+            }
+            for k in 0..count {
+                let id = u32::from_le_bytes(tb[12 + k * 4..12 + k * 4 + 4].try_into().expect("4"));
+                self.freelist.push(id);
+            }
+            self.freelist_trunks.push(t);
+            t = next;
+        }
         Ok(())
     }
 
@@ -380,15 +479,35 @@ impl Pager {
         Ok(())
     }
 
-    /// Return a page to the freelist.
+    /// Return a page to the freelist. Never drops an id: past
+    /// `MAX_FREELIST` entries the surplus spills to chained trunk pages
+    /// at commit.
     pub fn free_page(&mut self, id: PageId) -> DbResult<()> {
         if !self.in_txn {
             return Err(DbError::Storage("free outside transaction".into()));
         }
-        if self.freelist.len() < MAX_FREELIST {
-            self.freelist.push(id);
+        if id == 0 || id > self.n_pages {
+            return Err(DbError::Storage(format!("free of page {id} out of range")));
         }
+        if !self.is_memory() {
+            // The freelist change must reach the header at commit even if
+            // no page content was modified this transaction.
+            self.ensure_journal()?;
+        }
+        self.freelist.push(id);
         Ok(())
+    }
+
+    /// Free pages currently tracked (header + overflow chain).
+    #[must_use]
+    pub fn freelist_len(&self) -> usize {
+        self.freelist.len()
+    }
+
+    /// Pages currently serving as overflow freelist trunk storage.
+    #[must_use]
+    pub fn freelist_trunk_pages(&self) -> usize {
+        self.freelist_trunks.len()
     }
 
     // ------------------------------------------------------------------
@@ -410,6 +529,7 @@ impl Pager {
         }
         self.in_txn = true;
         self.txn_start_n_pages = self.n_pages;
+        self.txn_start_freelist = self.freelist.clone();
         self.journaled.clear();
         self.mem_undo.clear();
         Ok(())
@@ -469,6 +589,30 @@ impl Pager {
         Ok(())
     }
 
+    /// Journal the on-disk pre-image of `id` straight from the file (used
+    /// for pages the commit itself overwrites: the header and freelist
+    /// trunks). Pages the transaction already journaled — or allocated
+    /// fresh — are skipped, since their file content is not the
+    /// pre-transaction image.
+    fn journal_raw_preimage(&mut self, id: PageId) -> DbResult<()> {
+        if self.is_memory() || self.journaled.contains(&id) {
+            return Ok(());
+        }
+        self.ensure_journal()?;
+        let mut pre = new_page();
+        let f = self.file.as_mut().expect("file-backed");
+        f.read_at(u64::from(id - 1) * PAGE_SIZE as u64, &mut pre[..])?;
+        self.stats.page_reads += 1;
+        let j = self.journal.as_mut().expect("journal open in txn");
+        let off = 16 + u64::from(self.journal_count) * (4 + PAGE_SIZE as u64);
+        j.write_at(off, &id.to_le_bytes())?;
+        j.write_at(off + 4, &pre[..])?;
+        self.journal_count += 1;
+        self.stats.journal_writes += 1;
+        self.journaled.insert(id);
+        Ok(())
+    }
+
     /// Commit: flush dirty pages, sync, drop the journal. Read-only
     /// transactions commit for free.
     pub fn commit(&mut self) -> DbResult<()> {
@@ -479,38 +623,57 @@ impl Pager {
             self.in_txn = false;
             self.journaled.clear();
             self.mem_undo.clear();
+            self.txn_start_freelist.clear();
             return Ok(());
         }
+        if self.is_memory() {
+            self.write_header()?;
+            self.in_txn = false;
+            self.journaled.clear();
+            self.mem_undo.clear();
+            self.txn_start_freelist.clear();
+            return Ok(());
+        }
+        // The commit overwrites pages outside the cache's journal
+        // protection: the header and any freelist trunk pages. Fix the
+        // trunk layout now and journal their pre-images so an interrupted
+        // commit (hot-journal replay) or a rollback restores the previous
+        // header chain intact.
+        self.plan_spill();
+        self.journal_raw_preimage(1)?;
+        let trunks = self.freelist_trunks.clone();
+        for t in trunks {
+            self.journal_raw_preimage(t)?;
+        }
+        // Commit point: persist the journal entry count, then sync it.
+        let count = self.journal_count;
+        if let Some(j) = self.journal.as_mut() {
+            j.write_at(12, &count.to_le_bytes())?;
+            j.sync()?;
+        }
+        self.stats.syncs += 1;
+        // Only now mutate the main file: header + trunks, then dirty pages.
         self.write_header()?;
-        if !self.is_memory() {
-            // Persist the journal entry count, then sync it (commit point
-            // ordering: journal first, then data).
-            let count = self.journal_count;
-            if let Some(j) = self.journal.as_mut() {
-                j.write_at(12, &count.to_le_bytes())?;
-                j.sync()?;
+        for slot in &mut self.slots {
+            if slot.occupied && slot.dirty {
+                let f = self.file.as_mut().expect("file");
+                f.write_at(u64::from(slot.id - 1) * PAGE_SIZE as u64, &slot.buf[..])?;
+                self.stats.page_writes += 1;
+                slot.dirty = false;
             }
-            self.stats.syncs += 1;
-            for slot in &mut self.slots {
-                if slot.occupied && slot.dirty {
-                    let f = self.file.as_mut().expect("file");
-                    f.write_at(u64::from(slot.id - 1) * PAGE_SIZE as u64, &slot.buf[..])?;
-                    self.stats.page_writes += 1;
-                    slot.dirty = false;
-                }
-            }
-            let f = self.file.as_mut().expect("file");
-            f.sync()?;
-            self.stats.syncs += 1;
-            self.journal = None;
-            let vfs = self.vfs.as_mut().expect("vfs");
-            if vfs.exists(&self.journal_name) {
-                vfs.delete(&self.journal_name)?;
-            }
+        }
+        let f = self.file.as_mut().expect("file");
+        f.sync()?;
+        self.stats.syncs += 1;
+        self.journal = None;
+        let vfs = self.vfs.as_mut().expect("vfs");
+        if vfs.exists(&self.journal_name) {
+            vfs.delete(&self.journal_name)?;
         }
         self.in_txn = false;
         self.journaled.clear();
         self.mem_undo.clear();
+        self.txn_start_freelist.clear();
         Ok(())
     }
 
@@ -519,7 +682,11 @@ impl Pager {
         if !self.in_txn {
             return Err(DbError::Storage("rollback outside transaction".into()));
         }
+        let start_freelist = std::mem::take(&mut self.txn_start_freelist);
         if !self.txn_dirty() {
+            // Even a "clean" transaction may have freed pages (memory
+            // mode): restore the freelist it started with.
+            self.freelist = start_freelist;
             self.in_txn = false;
             self.journaled.clear();
             self.mem_undo.clear();
@@ -530,6 +697,7 @@ impl Pager {
             for (id, pre) in undo {
                 self.mem_pages[id as usize - 1] = pre;
             }
+            self.freelist = start_freelist;
         } else {
             // Restore pre-images from the journal into cache + file.
             self.replay_journal_into_file()?;
@@ -762,19 +930,152 @@ mod tests {
 
     #[test]
     fn hook_observes_touches() {
-        use std::cell::RefCell;
-        use std::rc::Rc;
-        let touches = Rc::new(RefCell::new(Vec::new()));
+        use std::sync::{Arc, Mutex};
+        let touches = Arc::new(Mutex::new(Vec::new()));
         let t2 = touches.clone();
         let mut p = Pager::open_memory();
-        p.set_hook(Some(Box::new(move |id, w| t2.borrow_mut().push((id, w)))));
+        p.set_hook(Some(Box::new(move |id, w| t2.lock().unwrap().push((id, w)))));
         p.begin().unwrap();
         let id = p.allocate().unwrap();
         p.get_mut(id).unwrap()[0] = 1;
         let _ = p.get(id).unwrap();
         p.commit().unwrap();
-        let t = touches.borrow();
+        let t = touches.lock().unwrap();
         assert!(t.contains(&(id, true)));
         assert!(t.contains(&(id, false)));
+    }
+
+    #[test]
+    fn freelist_survives_overflow_and_reopen() {
+        // Free far more pages than the header can hold; every id must
+        // come back after a reopen (the pre-fix pager silently dropped
+        // the tail past MAX_FREELIST).
+        let vfs = MemVfs::new();
+        let n = MAX_FREELIST + 2 * TRUNK_CAP + 37;
+        let before;
+        {
+            let mut p = Pager::open_file(Box::new(vfs.clone()), "big.db").unwrap();
+            p.begin().unwrap();
+            let ids: Vec<PageId> = (0..n).map(|_| p.allocate().unwrap()).collect();
+            for &id in &ids {
+                p.free_page(id).unwrap();
+            }
+            p.commit().unwrap();
+            assert_eq!(p.stats.leaked_pages, 0);
+            assert_eq!(p.freelist_len() + p.freelist_trunk_pages(), n);
+            before = p.page_count();
+        }
+        let mut p = Pager::open_file(Box::new(vfs), "big.db").unwrap();
+        assert_eq!(p.stats.leaked_pages, 0);
+        assert_eq!(p.freelist_len() + p.freelist_trunk_pages(), n);
+        // Reuse must drain the freelist before growing the file.
+        let reusable = p.freelist_len();
+        assert!(reusable > MAX_FREELIST, "overflow ids recovered");
+        p.begin().unwrap();
+        for _ in 0..reusable {
+            let id = p.allocate().unwrap();
+            assert!(id <= before, "allocation reuses freed pages");
+        }
+        p.commit().unwrap();
+        assert_eq!(p.page_count(), before);
+    }
+
+    #[test]
+    fn churn_does_not_leak_pages() {
+        // Alloc/free churn across reopen cycles: the file stabilises at
+        // its working set (pre-fix it grew by the dropped tail per round).
+        let vfs = MemVfs::new();
+        let mut high_water = 0;
+        for round in 0..6u32 {
+            let mut p = Pager::open_file(Box::new(vfs.clone()), "churn.db").unwrap();
+            p.begin().unwrap();
+            let ids: Vec<PageId> = (0..MAX_FREELIST + 200).map(|_| p.allocate().unwrap()).collect();
+            for &id in &ids {
+                p.get_mut(id).unwrap()[0] = round as u8;
+            }
+            for &id in &ids {
+                p.free_page(id).unwrap();
+            }
+            p.commit().unwrap();
+            assert_eq!(p.stats.leaked_pages, 0);
+            if round == 0 {
+                high_water = p.page_count();
+            } else {
+                // Trunk storage itself costs at most a couple of pages.
+                assert!(
+                    p.page_count() <= high_water + 2,
+                    "round {round}: {} pages vs high water {high_water}",
+                    p.page_count()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reopen_preserves_allocation_order() {
+        // Allocation order after close/reopen must match a never-closed
+        // pager bit for bit — park/restore replay determinism depends on
+        // it.
+        let n = MAX_FREELIST + TRUNK_CAP + 5;
+        fn churn(vfs: MemVfs, n: usize) -> Pager {
+            let mut p = Pager::open_file(Box::new(vfs), "ord.db").unwrap();
+            p.begin().unwrap();
+            let ids: Vec<PageId> = (0..n).map(|_| p.allocate().unwrap()).collect();
+            for &id in &ids {
+                p.free_page(id).unwrap();
+            }
+            p.commit().unwrap();
+            p
+        }
+        fn take(p: &mut Pager, k: usize) -> Vec<PageId> {
+            p.begin().unwrap();
+            let v = (0..k).map(|_| p.allocate().unwrap()).collect();
+            p.commit().unwrap();
+            v
+        }
+        let mut continuous = churn(MemVfs::new(), n);
+        let order_a = take(&mut continuous, 64);
+        let vfs = MemVfs::new();
+        drop(churn(vfs.clone(), n));
+        let mut reopened = Pager::open_file(Box::new(vfs), "ord.db").unwrap();
+        let order_b = take(&mut reopened, 64);
+        assert_eq!(order_a, order_b);
+    }
+
+    #[test]
+    fn rollback_restores_freelist_file() {
+        let (mut p, _) = file_pager();
+        p.begin().unwrap();
+        let a = p.allocate().unwrap();
+        let b = p.allocate().unwrap();
+        p.get_mut(a).unwrap()[0] = 1;
+        p.get_mut(b).unwrap()[0] = 2;
+        p.free_page(a).unwrap();
+        p.commit().unwrap();
+        let free_before = p.freelist_len();
+        p.begin().unwrap();
+        let re = p.allocate().unwrap();
+        assert_eq!(re, a);
+        p.get_mut(re).unwrap()[0] = 9;
+        p.rollback().unwrap();
+        assert_eq!(p.freelist_len(), free_before, "freed page back on the freelist");
+        p.begin().unwrap();
+        assert_eq!(p.allocate().unwrap(), a, "same page allocated after rollback");
+        p.commit().unwrap();
+    }
+
+    #[test]
+    fn rollback_restores_freelist_memory() {
+        let mut p = Pager::open_memory();
+        p.begin().unwrap();
+        let a = p.allocate().unwrap();
+        p.free_page(a).unwrap();
+        p.commit().unwrap();
+        p.begin().unwrap();
+        assert_eq!(p.allocate().unwrap(), a);
+        p.rollback().unwrap();
+        p.begin().unwrap();
+        assert_eq!(p.allocate().unwrap(), a, "rollback returned the page to the freelist");
+        p.commit().unwrap();
     }
 }

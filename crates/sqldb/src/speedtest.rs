@@ -16,8 +16,45 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::db::Connection;
-use crate::value::SqlValue;
+use crate::value::{Row, SqlValue};
 use crate::{DbError, DbResult};
+
+/// Anything that can execute SQL: a local [`Connection`], or a proxy to a
+/// tenant database session living on the serving plane. [`Speedtest`] is
+/// generic over this so one workload battery drives both the standalone
+/// Figure 4 variants and the `--serve` axis.
+pub trait SqlExecutor {
+    /// Execute one statement (DDL/DML or BEGIN/COMMIT/ROLLBACK),
+    /// discarding any rows.
+    fn execute(&mut self, sql: &str) -> DbResult<()>;
+    /// Execute and return the rows.
+    fn query(&mut self, sql: &str) -> DbResult<Vec<Row>>;
+    /// Names of the tables currently in the schema (integrity check).
+    fn table_names(&mut self) -> DbResult<Vec<String>>;
+
+    /// Execute and return the single scalar result.
+    fn query_scalar(&mut self, sql: &str) -> DbResult<SqlValue> {
+        let rows = self.query(sql)?;
+        rows.first()
+            .and_then(|r| r.first())
+            .cloned()
+            .ok_or_else(|| DbError::Schema("query returned no rows".into()))
+    }
+}
+
+impl SqlExecutor for Connection {
+    fn execute(&mut self, sql: &str) -> DbResult<()> {
+        Connection::execute(self, sql).map(|_| ())
+    }
+
+    fn query(&mut self, sql: &str) -> DbResult<Vec<Row>> {
+        Connection::query(self, sql)
+    }
+
+    fn table_names(&mut self) -> DbResult<Vec<String>> {
+        Ok(self.schema().tables.keys().cloned().collect())
+    }
+}
 
 /// The Speedtest1 test numbers the paper reports (Figure 4).
 pub const TEST_IDS: [u32; 29] = [
@@ -102,7 +139,7 @@ impl Speedtest {
     /// Run one numbered test against `db`. Tests must run in ascending
     /// order (later tests use tables created by earlier ones).
     #[allow(clippy::too_many_lines)]
-    pub fn run_test(&mut self, db: &mut Connection, id: u32) -> DbResult<()> {
+    pub fn run_test<E: SqlExecutor + ?Sized>(&mut self, db: &mut E, id: u32) -> DbResult<()> {
         match id {
             100 => {
                 let n = self.n(1.0);
@@ -324,8 +361,8 @@ impl Speedtest {
 }
 
 /// Full-scan verification of every table (PRAGMA integrity_check analogue).
-pub fn integrity_check(db: &mut Connection) -> DbResult<u64> {
-    let tables: Vec<String> = db.schema().tables.keys().cloned().collect();
+pub fn integrity_check<E: SqlExecutor + ?Sized>(db: &mut E) -> DbResult<u64> {
+    let tables: Vec<String> = db.table_names()?;
     let mut total = 0u64;
     for t in tables {
         let n = db.query_scalar(&format!("SELECT count(*) FROM {t}"))?;

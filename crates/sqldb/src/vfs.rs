@@ -5,14 +5,16 @@
 //! memory (native), WASI-routed (Wasm variants), protected-FS-encrypted
 //! (Twine), or a disk-image layer (SGX-LKL baseline).
 
-use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use crate::{DbError, DbResult};
 
 /// An open random-access file.
-pub trait VfsFile {
+///
+/// `Send` so a [`crate::Connection`] (and thus a whole tenant database)
+/// can live on a service worker thread and move back on close.
+pub trait VfsFile: Send {
     /// Read exactly `buf.len()` bytes at `offset`; short reads are zero-
     /// filled (SQLite's convention for reads past EOF).
     fn read_at(&mut self, offset: u64, buf: &mut [u8]) -> DbResult<()>;
@@ -26,8 +28,8 @@ pub trait VfsFile {
     fn size(&mut self) -> DbResult<u64>;
 }
 
-/// A file-system namespace.
-pub trait Vfs {
+/// A file-system namespace (`Send`, like [`VfsFile`]).
+pub trait Vfs: Send {
     /// Open (creating if needed) a file.
     fn open(&mut self, name: &str) -> DbResult<Box<dyn VfsFile>>;
     /// Delete a file (journal removal at commit).
@@ -37,9 +39,9 @@ pub trait Vfs {
 }
 
 /// Shared handle to one file's bytes (every open handle views the same buffer).
-pub type FileBytes = Rc<RefCell<Vec<u8>>>;
+pub type FileBytes = Arc<Mutex<Vec<u8>>>;
 /// The shared namespace: path → file bytes.
-pub type FileMap = Rc<RefCell<HashMap<String, FileBytes>>>;
+pub type FileMap = Arc<Mutex<HashMap<String, FileBytes>>>;
 
 /// Plain in-memory VFS (the "native" storage of the benchmarks).
 #[derive(Default, Clone)]
@@ -58,20 +60,21 @@ impl MemVfs {
     #[must_use]
     pub fn total_bytes(&self) -> u64 {
         self.files
-            .borrow()
+            .lock()
+            .unwrap()
             .values()
-            .map(|f| f.borrow().len() as u64)
+            .map(|f| f.lock().unwrap().len() as u64)
             .sum()
     }
 }
 
 struct MemVfsFile {
-    data: Rc<RefCell<Vec<u8>>>,
+    data: FileBytes,
 }
 
 impl VfsFile for MemVfsFile {
     fn read_at(&mut self, offset: u64, buf: &mut [u8]) -> DbResult<()> {
-        let data = self.data.borrow();
+        let data = self.data.lock().unwrap();
         let off = offset as usize;
         buf.fill(0);
         if off < data.len() {
@@ -82,7 +85,7 @@ impl VfsFile for MemVfsFile {
     }
 
     fn write_at(&mut self, offset: u64, src: &[u8]) -> DbResult<()> {
-        let mut data = self.data.borrow_mut();
+        let mut data = self.data.lock().unwrap();
         let end = offset as usize + src.len();
         if data.len() < end {
             data.resize(end, 0);
@@ -92,7 +95,7 @@ impl VfsFile for MemVfsFile {
     }
 
     fn truncate(&mut self, size: u64) -> DbResult<()> {
-        self.data.borrow_mut().truncate(size as usize);
+        self.data.lock().unwrap().truncate(size as usize);
         Ok(())
     }
 
@@ -101,7 +104,7 @@ impl VfsFile for MemVfsFile {
     }
 
     fn size(&mut self) -> DbResult<u64> {
-        Ok(self.data.borrow().len() as u64)
+        Ok(self.data.lock().unwrap().len() as u64)
     }
 }
 
@@ -109,7 +112,8 @@ impl Vfs for MemVfs {
     fn open(&mut self, name: &str) -> DbResult<Box<dyn VfsFile>> {
         let data = self
             .files
-            .borrow_mut()
+            .lock()
+            .unwrap()
             .entry(name.to_string())
             .or_default()
             .clone();
@@ -118,14 +122,15 @@ impl Vfs for MemVfs {
 
     fn delete(&mut self, name: &str) -> DbResult<()> {
         self.files
-            .borrow_mut()
+            .lock()
+            .unwrap()
             .remove(name)
             .map(|_| ())
             .ok_or_else(|| DbError::Storage(format!("delete: no such file {name}")))
     }
 
     fn exists(&mut self, name: &str) -> bool {
-        self.files.borrow().contains_key(name)
+        self.files.lock().unwrap().contains_key(name)
     }
 }
 
